@@ -1,0 +1,95 @@
+//! Ablations over the estimator design choices DESIGN.md calls out.
+//!
+//! * sequential-access assumption (the paper's Equation 1 default) vs the
+//!   concurrency-aware extension — what the tag machinery costs,
+//! * plain weight-sum hardware size (Equation 4) vs the sharing-aware
+//!   extension (the paper's reference \[1\]),
+//! * message transfer-only policy vs the literal Equation 1
+//!   (receiver-inclusive) reading — both estimator cost and value impact
+//!   are printed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slif_bench::built_entry;
+use slif_core::PmRef;
+use slif_estimate::{size, size_shared, EstimatorConfig, ExecTimeEstimator, MessagePolicy};
+use slif_speclang::corpus;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    slif_bench::banner("Ablations: estimator variants (cost and value impact)");
+    let entry = corpus::by_name("fuzzy").expect("fuzzy exists");
+    let (mut design, part) = built_entry(&entry);
+    let asic = design.processor_by_name("asic0").expect("allocated");
+    // Put all behaviors on the ASIC so hardware sizing has something to do.
+    let mut hw_part = part.clone();
+    for n in design.graph().node_ids() {
+        if design.graph().node(n).kind().is_behavior() {
+            hw_part.assign_node(n, PmRef::Processor(asic));
+        }
+    }
+    let main = design.graph().node_by_name("FuzzyMain").expect("exists");
+
+    // Print the value-level differences once.
+    let t_seq = ExecTimeEstimator::new(&design, &part)
+        .exec_time(main)
+        .unwrap();
+    let t_conc = ExecTimeEstimator::with_config(
+        &design,
+        &part,
+        EstimatorConfig::default().with_concurrency_aware(true),
+    )
+    .exec_time(main)
+    .unwrap();
+    let s_plain = size(&design, &hw_part, PmRef::Processor(asic)).unwrap();
+    let s_shared = size_shared(&design, &hw_part, PmRef::Processor(asic), 0.3).unwrap();
+    println!("FuzzyMain period: sequential {t_seq:.0} ns, concurrency-aware {t_conc:.0} ns");
+    println!("ASIC size: plain sum {s_plain} gates, sharing-aware (α=0.3) {s_shared} gates");
+
+    let mut group = c.benchmark_group("ablation_estimators");
+    group.bench_function("exec_time/sequential", |b| {
+        b.iter(|| {
+            black_box(
+                ExecTimeEstimator::new(&design, &part)
+                    .exec_time(main)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("exec_time/concurrency_aware", |b| {
+        b.iter(|| {
+            black_box(
+                ExecTimeEstimator::with_config(
+                    &design,
+                    &part,
+                    EstimatorConfig::default().with_concurrency_aware(true),
+                )
+                .exec_time(main)
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("exec_time/messages_include_receiver", |b| {
+        b.iter(|| {
+            black_box(
+                ExecTimeEstimator::with_config(
+                    &design,
+                    &part,
+                    EstimatorConfig::default().with_message_policy(MessagePolicy::IncludeReceiver),
+                )
+                .exec_time(main)
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("hw_size/plain_sum", |b| {
+        b.iter(|| black_box(size(&design, &hw_part, PmRef::Processor(asic)).unwrap()))
+    });
+    group.bench_function("hw_size/sharing_aware", |b| {
+        b.iter(|| black_box(size_shared(&design, &hw_part, PmRef::Processor(asic), 0.3).unwrap()))
+    });
+    group.finish();
+    let _ = &mut design;
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

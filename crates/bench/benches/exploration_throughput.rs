@@ -1,0 +1,97 @@
+//! Partition-exploration throughput: the "thousands of possible designs"
+//! claim.
+//!
+//! The paper's estimation speed exists so that partitioning algorithms
+//! can "explore thousands of possible designs" interactively (Section 5).
+//! This bench measures candidate partitions evaluated per second — one
+//! evaluation = move one node + recompute the full cost function — with
+//! the incremental estimator, with a from-scratch estimator per candidate
+//! (the ablation), and across growing synthetic designs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use slif_bench::built_entry;
+use slif_core::gen::DesignGenerator;
+use slif_core::{Design, NodeId, Partition, PmRef};
+use slif_estimate::{DesignReport, IncrementalEstimator};
+use slif_explore::{cost, Objectives};
+use slif_speclang::corpus;
+use std::hint::black_box;
+
+/// One evaluation round: move `moves` nodes cyclically, scoring after each.
+fn incremental_rounds(
+    design: &Design,
+    part: &Partition,
+    objectives: &Objectives,
+    moves: usize,
+) -> f64 {
+    let mut est = IncrementalEstimator::new(design, part.clone()).expect("valid start");
+    let procs: Vec<_> = design.processor_ids().collect();
+    let n_nodes = design.graph().node_count();
+    let mut acc = 0.0;
+    for k in 0..moves {
+        let n = NodeId::from_raw((k % n_nodes) as u32);
+        let target: PmRef = procs[k % procs.len()].into();
+        est.move_node(n, target).expect("legal move");
+        acc += cost(design, &mut est, objectives).expect("estimable");
+    }
+    acc
+}
+
+/// The ablation: same moves, but a full report recomputed from scratch
+/// per candidate.
+fn full_recompute_rounds(design: &Design, part: &Partition, moves: usize) -> f64 {
+    let mut current = part.clone();
+    let procs: Vec<_> = design.processor_ids().collect();
+    let n_nodes = design.graph().node_count();
+    let mut acc = 0.0;
+    for k in 0..moves {
+        let n = NodeId::from_raw((k % n_nodes) as u32);
+        let target: PmRef = procs[k % procs.len()].into();
+        if design.graph().node(n).kind().is_behavior() {
+            current.assign_node(n, target);
+        }
+        let report = DesignReport::compute(design, &current).expect("estimable");
+        acc += report.processes.iter().map(|p| p.exec_time).sum::<f64>();
+    }
+    acc
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    slif_bench::banner("Exploration throughput: candidate partitions per second");
+    let objectives = Objectives::new();
+    const MOVES: usize = 64;
+
+    let mut group = c.benchmark_group("exploration_throughput");
+    group.throughput(Throughput::Elements(MOVES as u64));
+
+    // The real corpus, incremental vs full recompute.
+    for name in ["fuzzy", "ether"] {
+        let entry = corpus::by_name(name).expect("exists");
+        let (design, part) = built_entry(&entry);
+        group.bench_function(format!("{name}/incremental"), |b| {
+            b.iter(|| black_box(incremental_rounds(&design, &part, &objectives, MOVES)))
+        });
+        group.bench_function(format!("{name}/full_recompute"), |b| {
+            b.iter(|| black_box(full_recompute_rounds(&design, &part, MOVES)))
+        });
+    }
+
+    // Scaling on synthetic designs well past the corpus sizes.
+    for &(behaviors, variables) in &[(50usize, 50usize), (200, 200), (500, 500)] {
+        let (design, part) = DesignGenerator::new(99)
+            .behaviors(behaviors)
+            .variables(variables)
+            .processors(3)
+            .memories(2)
+            .buses(2)
+            .build();
+        group.bench_function(
+            format!("synthetic_{}_nodes/incremental", behaviors + variables),
+            |b| b.iter(|| black_box(incremental_rounds(&design, &part, &objectives, MOVES))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

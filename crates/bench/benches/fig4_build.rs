@@ -1,0 +1,38 @@
+//! Figure 4, T-slif column: time to build the SLIF representation.
+//!
+//! The paper reports 0.34–10.40 s on a Sparc 2 for the four examples and
+//! argues that is acceptable because "the SLIF is built only once, when a
+//! system-design tool is first started". This bench measures the whole
+//! step — parse, resolve, CDFG lowering, profiling, per-class
+//! pre-compilation and pre-synthesis, channel annotation — per example.
+//! Expected shape: milliseconds on modern hardware, ordered by system
+//! size (ether largest).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use slif_frontend::build_design;
+use slif_speclang::corpus;
+use slif_techlib::TechnologyLibrary;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    slif_bench::banner("Figure 4 / T-slif: build SLIF from the specification");
+    let lib = TechnologyLibrary::proc_asic();
+    let mut group = c.benchmark_group("fig4_build");
+    for entry in corpus::all() {
+        group.bench_function(entry.name, |b| {
+            b.iter_batched(
+                || entry.load().expect("corpus loads"),
+                |rs| black_box(build_design(&rs, &lib)),
+                BatchSize::SmallInput,
+            )
+        });
+        // Parsing+resolution alone, to separate front-end from annotation.
+        group.bench_function(format!("{}_parse_resolve", entry.name), |b| {
+            b.iter(|| black_box(entry.load().expect("corpus loads")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 4, T-est column: time to obtain size, pin, bitrate and
+//! performance estimates for a partition.
+//!
+//! The paper reports less than a hundredth of a second per example —
+//! below its timer's resolution — and argues this "enables rapid feedback
+//! during interactive design, and permits the use of algorithms that
+//! explore thousands of possible designs". Expected shape: microseconds
+//! here, two or more orders of magnitude below the corresponding build
+//! time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slif_bench::built_entry;
+use slif_estimate::DesignReport;
+use slif_speclang::corpus;
+use std::hint::black_box;
+
+fn bench_estimate(c: &mut Criterion) {
+    slif_bench::banner("Figure 4 / T-est: full estimate suite (Equations 1-6)");
+    let mut group = c.benchmark_group("fig4_estimate");
+    for entry in corpus::all() {
+        let (design, part) = built_entry(&entry);
+        group.bench_function(entry.name, |b| {
+            b.iter(|| black_box(DesignReport::compute(&design, &part).expect("estimates")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Section 5's format-size comparison, made operational.
+//!
+//! The paper reports node/edge counts (SLIF 35/56 vs ADD 450+/400+ vs
+//! CDFG 1100+/900+ on fuzzy) and derives the work an `n²` partitioning
+//! algorithm would do on each (1 225 / 202 500 / 1 210 000 computations).
+//! This bench prints the measured counts and then actually *runs* an
+//! n²-shaped pass — a pairwise scan over each format's nodes — so the
+//! blow-up is wall-clock, not arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slif_bench::built_entry;
+use slif_cdfg::lower_spec;
+use slif_formats::{build_spec_add, FormatComparison};
+use slif_speclang::corpus;
+use std::hint::black_box;
+
+/// The n²-shaped workload: visit every ordered node pair.
+fn n_squared_pass(n: usize) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..n {
+        for j in 0..n {
+            acc = acc.wrapping_add((i ^ j) as u64);
+        }
+    }
+    acc
+}
+
+fn bench_formats(c: &mut Criterion) {
+    slif_bench::banner("Section 5: format sizes and n^2 algorithm work");
+    let entry = corpus::by_name("fuzzy").expect("fuzzy exists");
+    let rs = entry.load().expect("loads");
+    let (design, _) = built_entry(&entry);
+    let cmp = FormatComparison::measure(&rs, design.graph().channel_count());
+    println!("{cmp}");
+
+    let slif_nodes = cmp.slif().nodes;
+    let add = build_spec_add(&rs);
+    let cdfgs = lower_spec(&rs);
+    let cdfg_nodes: usize = cdfgs.iter().map(|g| g.node_count()).sum();
+
+    let mut group = c.benchmark_group("format_sizes/n_squared_pass");
+    group.bench_function("slif_ag", |b| {
+        b.iter(|| black_box(n_squared_pass(black_box(slif_nodes))))
+    });
+    group.bench_function("add", |b| {
+        b.iter(|| black_box(n_squared_pass(black_box(add.node_count()))))
+    });
+    group.bench_function("cdfg", |b| {
+        b.iter(|| black_box(n_squared_pass(black_box(cdfg_nodes))))
+    });
+    group.finish();
+
+    // Building the fine-grained formats is itself part of their cost.
+    let mut group = c.benchmark_group("format_sizes/build");
+    group.bench_function("add", |b| b.iter(|| black_box(build_spec_add(&rs))));
+    group.bench_function("cdfg", |b| b.iter(|| black_box(lower_spec(&rs))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Shared helpers for the SLIF benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one of the paper's
+//! tables or figures (see DESIGN.md's experiment index); this crate holds
+//! the setup they share.
+
+use slif_core::{Design, Partition};
+use slif_frontend::{all_software_partition, allocate_proc_asic, build_design};
+use slif_speclang::corpus::CorpusEntry;
+use slif_techlib::TechnologyLibrary;
+
+/// Builds a corpus entry with the paper's processor–ASIC architecture and
+/// its all-software starting partition.
+pub fn built_entry(entry: &CorpusEntry) -> (Design, Partition) {
+    let rs = entry.load().expect("corpus entry loads");
+    let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+    let arch = allocate_proc_asic(&mut design);
+    let part = all_software_partition(&design, arch);
+    (design, part)
+}
+
+/// Prints a one-line banner tying a bench to its paper artifact.
+pub fn banner(what: &str) {
+    println!("── {what} ──");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_entry_produces_valid_partitions() {
+        for entry in slif_speclang::corpus::all() {
+            let (design, part) = built_entry(&entry);
+            part.validate(&design).unwrap();
+        }
+    }
+}

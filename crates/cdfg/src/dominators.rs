@@ -1,0 +1,173 @@
+//! Dominator computation over a CDFG's control-flow graph.
+//!
+//! Used by the basic-block-granularity SLIF builder: modelling each block
+//! as a procedure needs an acyclic "who causes whom to run" structure,
+//! and the immediate-dominator tree is exactly that — every block is
+//! entered under the control of its immediate dominator, and summing
+//! `count(block) × ict(block)` over the tree telescopes to the behavior's
+//! total internal computation time.
+
+use crate::ir::{BlockId, Cdfg};
+
+/// Computes the immediate dominator of every reachable block (the entry
+/// block dominates itself). Unreachable blocks map to the entry.
+///
+/// The classic iterative algorithm (Cooper–Harvey–Kennedy) over a reverse
+/// postorder; CDFG block graphs are tiny, so simplicity beats asymptotics.
+pub fn immediate_dominators(g: &Cdfg) -> Vec<BlockId> {
+    let n = g.block_count();
+    let entry = g.entry();
+    // Predecessor lists and a reverse postorder.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in g.block_ids() {
+        for &s in &g.block(b).succs {
+            preds[s.index()].push(b.index());
+        }
+    }
+    let rpo = reverse_postorder(g);
+    let mut order_of = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        order_of[b] = i;
+    }
+
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[entry.index()] = Some(entry.index());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &order_of, p, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b] != Some(ni) {
+                    idom[b] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    (0..n)
+        .map(|b| BlockId(idom[b].unwrap_or(entry.index()) as u32))
+        .collect()
+}
+
+fn intersect(idom: &[Option<usize>], order_of: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while order_of[a] > order_of[b] {
+            a = idom[a].expect("processed in RPO");
+        }
+        while order_of[b] > order_of[a] {
+            b = idom[b].expect("processed in RPO");
+        }
+    }
+    a
+}
+
+/// Reverse postorder of the reachable blocks from the entry.
+fn reverse_postorder(g: &Cdfg) -> Vec<usize> {
+    let n = g.block_count();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit stack of (block, next-successor).
+    let mut stack: Vec<(usize, usize)> = vec![(g.entry().index(), 0)];
+    visited[g.entry().index()] = true;
+    while let Some(&(b, next)) = stack.last() {
+        let succs = &g.block(BlockId(b as u32)).succs;
+        if next < succs.len() {
+            stack.last_mut().expect("non-empty").1 += 1;
+            let s = succs[next].index();
+            if !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_behavior;
+    use slif_speclang::parse_and_resolve;
+
+    fn doms_of(src: &str) -> (Cdfg, Vec<BlockId>) {
+        let rs = parse_and_resolve(src).unwrap();
+        let g = lower_behavior(&rs, 0);
+        let d = immediate_dominators(&g);
+        (g, d)
+    }
+
+    #[test]
+    fn straight_line_has_self_dominating_entry() {
+        let (g, d) = doms_of("system T;\nvar x : int<8>;\nproc P() { x = 1; }");
+        assert_eq!(d[g.entry().index()], g.entry());
+        assert_eq!(d.len(), g.block_count());
+    }
+
+    #[test]
+    fn diamond_join_is_dominated_by_the_branch_head() {
+        let (g, d) =
+            doms_of("system T;\nvar x : int<8>;\nproc P() { if x > 0 { x = 1; } else { x = 2; } }");
+        // Blocks: 0 entry, 1 then, 2 else, 3 join.
+        assert_eq!(g.block_count(), 4);
+        assert_eq!(d[1], g.entry());
+        assert_eq!(d[2], g.entry());
+        assert_eq!(d[3], g.entry(), "join is NOT dominated by either arm");
+    }
+
+    #[test]
+    fn loop_body_dominated_by_preheader() {
+        let (g, d) =
+            doms_of("system T;\nvar a : int<8>[8];\nproc P() { for i in 0 .. 7 { a[i] = i; } }");
+        // Blocks: 0 entry/preheader, 1 body, 2 exit.
+        assert_eq!(d[1], g.entry());
+        assert_eq!(d[2].index(), 1, "the exit is reached only through the body");
+    }
+
+    #[test]
+    fn while_exit_dominated_by_header() {
+        let (g, d) =
+            doms_of("system T;\nvar x : int<8>;\nproc P() { while x > 0 iters 3 { x = x - 1; } }");
+        // Blocks: 0 entry, 1 header, 2 body, 3 exit.
+        assert_eq!(d[1], g.entry());
+        assert_eq!(d[2].index(), 1);
+        assert_eq!(d[3].index(), 1);
+    }
+
+    #[test]
+    fn every_dominator_chain_reaches_the_entry() {
+        for entry in slif_speclang::corpus::all() {
+            let rs = entry.load().unwrap();
+            for (i, _) in rs.spec().behaviors.iter().enumerate() {
+                let g = lower_behavior(&rs, i);
+                let d = immediate_dominators(&g);
+                for b in g.block_ids() {
+                    let mut cur = b.index();
+                    let mut guard = 0;
+                    while cur != g.entry().index() {
+                        cur = d[cur].index();
+                        guard += 1;
+                        assert!(
+                            guard <= g.block_count(),
+                            "{}: dominator chain cycles",
+                            g.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

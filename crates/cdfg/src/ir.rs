@@ -1,0 +1,406 @@
+//! The control/dataflow-graph IR.
+//!
+//! CDFGs are the operation-granularity internal format that high-level
+//! synthesis uses and that the SLIF paper argues is *too fine-grained* for
+//! system-level design (Section 5 compares format sizes). This crate
+//! builds them anyway, for two reasons: they are the honest baseline for
+//! the format-size comparison, and they are the substrate on which
+//! per-behavior preprocessing (pseudo-compilation and pseudo-synthesis in
+//! `slif-techlib`) computes the `ict`/`size` weights SLIF nodes carry.
+//!
+//! A [`Cdfg`] holds one behavior's operations partitioned into basic
+//! blocks. Dataflow edges are the `inputs` of each operation; control
+//! edges connect blocks. Each block carries average/min/max execution
+//! counts per behavior execution, derived from loop bounds and branch
+//! probabilities — the same profile data that gives SLIF channels their
+//! access frequencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an operation node within a [`Cdfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Index of a basic block within a [`Cdfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// The operation a CDFG node performs.
+///
+/// Operations that touch *system-level objects* — global variables,
+/// external ports, other behaviors — are what SLIF abstracts into
+/// channels; [`OpKind::is_system_access`] identifies them so the
+/// pseudo-compiler can cost internal computation separately from
+/// communication (the paper's `ict` explicitly excludes channel time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// An integer or boolean constant.
+    Const(i64),
+    /// Read of a behavior-local scalar (local, parameter, or loop var).
+    ReadLocal(String),
+    /// Write of a behavior-local scalar.
+    WriteLocal(String),
+    /// Read of a behavior-local array element.
+    ReadLocalArray(String),
+    /// Write of a behavior-local array element.
+    WriteLocalArray(String),
+    /// Read of a system-level scalar variable.
+    ReadGlobal(String),
+    /// Write of a system-level scalar variable.
+    WriteGlobal(String),
+    /// Read of a system-level array element.
+    ReadGlobalArray(String),
+    /// Write of a system-level array element.
+    WriteGlobalArray(String),
+    /// Read of an external input port.
+    ReadPort(String),
+    /// Write of an external output port.
+    WritePort(String),
+    /// Call of another behavior.
+    Call(String),
+    /// Message send to a process.
+    SendMsg(String),
+    /// Message receive.
+    ReceiveMsg,
+    /// Two-operand arithmetic/logic.
+    Binary(AluOp),
+    /// One-operand arithmetic/logic.
+    Unary(AluOp),
+    /// Conditional branch terminator.
+    Branch,
+    /// Unconditional jump terminator.
+    Jump,
+    /// Start of a fork region.
+    Fork,
+    /// End of a fork region.
+    Join,
+    /// Return from the behavior.
+    Return,
+    /// Time delay.
+    Wait(u64),
+}
+
+impl OpKind {
+    /// Whether this operation accesses a system-level object (and so
+    /// corresponds to a SLIF channel rather than internal computation).
+    pub fn is_system_access(&self) -> bool {
+        matches!(
+            self,
+            OpKind::ReadGlobal(_)
+                | OpKind::WriteGlobal(_)
+                | OpKind::ReadGlobalArray(_)
+                | OpKind::WriteGlobalArray(_)
+                | OpKind::ReadPort(_)
+                | OpKind::WritePort(_)
+                | OpKind::Call(_)
+                | OpKind::SendMsg(_)
+                | OpKind::ReceiveMsg
+        )
+    }
+
+    /// Whether this operation ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, OpKind::Branch | OpKind::Jump | OpKind::Return)
+    }
+}
+
+/// The function an ALU-style operation computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+    /// Comparison (any relational operator).
+    Cmp,
+    /// Logical and / or.
+    Logic,
+    /// Logical or arithmetic negation.
+    Not,
+    /// Two-input minimum.
+    Min,
+    /// Two-input maximum.
+    Max,
+    /// Absolute value.
+    Abs,
+}
+
+/// An operation node: kind + dataflow inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpNode {
+    /// What the node computes.
+    pub kind: OpKind,
+    /// Dataflow predecessors (operands), in operand order.
+    pub inputs: Vec<OpId>,
+    /// The block the node belongs to.
+    pub block: BlockId,
+}
+
+/// Execution counts of a block per start-to-finish behavior execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecCount {
+    /// Average executions (branch probabilities × loop bounds).
+    pub avg: f64,
+    /// Minimum executions.
+    pub min: u64,
+    /// Maximum executions.
+    pub max: u64,
+}
+
+impl ExecCount {
+    /// Count of a block executed exactly once.
+    pub const ONCE: ExecCount = ExecCount {
+        avg: 1.0,
+        min: 1,
+        max: 1,
+    };
+}
+
+/// A basic block: straight-line operations plus control successors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// The block's operations, in program order.
+    pub ops: Vec<OpId>,
+    /// Control-flow successors.
+    pub succs: Vec<BlockId>,
+    /// How often the block runs per behavior execution.
+    pub count: ExecCount,
+}
+
+/// A control/dataflow graph for one behavior.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdfg {
+    name: String,
+    ops: Vec<OpNode>,
+    blocks: Vec<BasicBlock>,
+}
+
+impl Cdfg {
+    /// Creates an empty CDFG with a single entry block.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+            blocks: vec![BasicBlock {
+                ops: Vec::new(),
+                succs: Vec::new(),
+                count: ExecCount::ONCE,
+            }],
+        }
+    }
+
+    /// The behavior's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Appends a new block with the given execution count and returns its id.
+    pub fn add_block(&mut self, count: ExecCount) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock {
+            ops: Vec::new(),
+            succs: Vec::new(),
+            count,
+        });
+        id
+    }
+
+    /// Appends an operation to `block` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` or any input id is out of range.
+    pub fn add_op(&mut self, block: BlockId, kind: OpKind, inputs: Vec<OpId>) -> OpId {
+        for i in &inputs {
+            assert!(i.index() < self.ops.len(), "dangling dataflow input {i}");
+        }
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpNode {
+            kind,
+            inputs,
+            block,
+        });
+        self.blocks[block.index()].ops.push(id);
+        id
+    }
+
+    /// Adds a control edge between blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either block id is out of range.
+    pub fn add_edge(&mut self, from: BlockId, to: BlockId) {
+        assert!(to.index() < self.blocks.len(), "dangling control edge");
+        self.blocks[from.index()].succs.push(to);
+    }
+
+    /// The operation with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn op(&self, id: OpId) -> &OpNode {
+        &self.ops[id.index()]
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block (for count adjustment by profilers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over all operation ids.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// Iterates over all block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Number of operation nodes (the "node" count of the Section 5
+    /// format-size comparison).
+    pub fn node_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of dataflow edges (operand connections).
+    pub fn dataflow_edge_count(&self) -> usize {
+        self.ops.iter().map(|o| o.inputs.len()).sum()
+    }
+
+    /// Number of control edges between blocks.
+    pub fn control_edge_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.succs.len()).sum()
+    }
+
+    /// Total edge count (dataflow + control), the "edge" count of the
+    /// Section 5 comparison.
+    pub fn edge_count(&self) -> usize {
+        self.dataflow_edge_count() + self.control_edge_count()
+    }
+}
+
+impl fmt::Display for Cdfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cdfg {}: {} ops, {} blocks, {} edges",
+            self.name,
+            self.node_count(),
+            self.block_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_count() {
+        let mut g = Cdfg::new("t");
+        let entry = g.entry();
+        let a = g.add_op(entry, OpKind::Const(1), vec![]);
+        let b = g.add_op(entry, OpKind::Const(2), vec![]);
+        let sum = g.add_op(entry, OpKind::Binary(AluOp::Add), vec![a, b]);
+        let _w = g.add_op(entry, OpKind::WriteGlobal("x".into()), vec![sum]);
+        let exit = g.add_block(ExecCount::ONCE);
+        g.add_edge(entry, exit);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.dataflow_edge_count(), 3);
+        assert_eq!(g.control_edge_count(), 1);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.block_count(), 2);
+    }
+
+    #[test]
+    fn system_access_classification() {
+        assert!(OpKind::ReadGlobal("x".into()).is_system_access());
+        assert!(OpKind::Call("P".into()).is_system_access());
+        assert!(OpKind::WritePort("o".into()).is_system_access());
+        assert!(OpKind::SendMsg("M".into()).is_system_access());
+        assert!(!OpKind::ReadLocal("t".into()).is_system_access());
+        assert!(!OpKind::Binary(AluOp::Add).is_system_access());
+        assert!(!OpKind::Const(0).is_system_access());
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(OpKind::Branch.is_terminator());
+        assert!(OpKind::Jump.is_terminator());
+        assert!(OpKind::Return.is_terminator());
+        assert!(!OpKind::Wait(5).is_terminator());
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling dataflow input")]
+    fn dangling_input_rejected() {
+        let mut g = Cdfg::new("t");
+        let entry = g.entry();
+        g.add_op(entry, OpKind::Binary(AluOp::Add), vec![OpId(7)]);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let g = Cdfg::new("conv");
+        assert_eq!(g.to_string(), "cdfg conv: 0 ops, 1 blocks, 0 edges");
+    }
+}

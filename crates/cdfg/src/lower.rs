@@ -1,0 +1,664 @@
+//! Lowering: resolved specification AST → per-behavior CDFGs.
+//!
+//! Every expression operand becomes an operation node with dataflow
+//! inputs; control flow becomes basic blocks. Block execution counts are
+//! computed during lowering from loop bounds and branch probabilities
+//! (`prob` defaults to 0.5, `iters` to 1) — the "branch probability file"
+//! mechanism of the paper, realized as inline annotations.
+
+use crate::ir::{AluOp, BlockId, Cdfg, ExecCount, OpId, OpKind};
+use slif_speclang::ast::{BinOp, Expr, LValue, Stmt, UnOp};
+use slif_speclang::{GlobalSymbol, LocalSymbol, ResolvedSpec, Symbol};
+
+/// Default probability of a branch with no `prob` annotation.
+pub const DEFAULT_BRANCH_PROB: f64 = 0.5;
+/// Default average iteration count of a `while` with no `iters`.
+pub const DEFAULT_WHILE_ITERS: f64 = 1.0;
+
+/// Lowers every behavior of a resolved spec, in declaration order.
+pub fn lower_spec(rs: &ResolvedSpec) -> Vec<Cdfg> {
+    (0..rs.spec().behaviors.len())
+        .map(|i| lower_behavior(rs, i))
+        .collect()
+}
+
+/// Lowers one behavior to a CDFG.
+///
+/// # Panics
+///
+/// Panics if `behavior` is out of range. Malformed ASTs cannot occur:
+/// resolution has already validated every name and call.
+pub fn lower_behavior(rs: &ResolvedSpec, behavior: usize) -> Cdfg {
+    let decl = &rs.spec().behaviors[behavior];
+    let mut lower = Lower {
+        rs,
+        behavior,
+        g: Cdfg::new(decl.name.clone()),
+        current: BlockId(0),
+        ctx: ExecCount::ONCE,
+        loop_vars: Vec::new(),
+    };
+    lower.body(&decl.body);
+    // Processes repeat forever; procedures and functions return. Either
+    // way a Return terminator closes the final block.
+    let cur = lower.current;
+    lower.g.add_op(cur, OpKind::Return, vec![]);
+    lower.g
+}
+
+struct Lower<'a> {
+    rs: &'a ResolvedSpec,
+    behavior: usize,
+    g: Cdfg,
+    current: BlockId,
+    ctx: ExecCount,
+    loop_vars: Vec<String>,
+}
+
+impl Lower<'_> {
+    fn body(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Assign { lhs, value, .. } => {
+                let v = self.expr(value);
+                self.store(lhs, v);
+            }
+            Stmt::Call { callee, args, .. } => {
+                let inputs: Vec<OpId> = args.iter().map(|a| self.expr(a)).collect();
+                self.emit(OpKind::Call(callee.clone()), inputs);
+            }
+            Stmt::If {
+                cond,
+                prob,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let c = self.expr(cond);
+                self.emit(OpKind::Branch, vec![c]);
+                let p = prob.unwrap_or(DEFAULT_BRANCH_PROB);
+                let before = self.current;
+                let outer_ctx = self.ctx;
+
+                let then_blk = self.g.add_block(scale_prob(outer_ctx, p));
+                self.g.add_edge(before, then_blk);
+                self.current = then_blk;
+                self.ctx = scale_prob(outer_ctx, p);
+                self.body(then_body);
+                self.emit(OpKind::Jump, vec![]);
+                let then_end = self.current;
+
+                let else_end = if else_body.is_empty() {
+                    None
+                } else {
+                    let else_blk = self.g.add_block(scale_prob(outer_ctx, 1.0 - p));
+                    self.g.add_edge(before, else_blk);
+                    self.current = else_blk;
+                    self.ctx = scale_prob(outer_ctx, 1.0 - p);
+                    self.body(else_body);
+                    self.emit(OpKind::Jump, vec![]);
+                    Some(self.current)
+                };
+
+                let join = self.g.add_block(outer_ctx);
+                self.g.add_edge(then_end, join);
+                match else_end {
+                    Some(e) => self.g.add_edge(e, join),
+                    None => self.g.add_edge(before, join),
+                }
+                self.current = join;
+                self.ctx = outer_ctx;
+            }
+            Stmt::For {
+                var, lo, hi, body, ..
+            } => {
+                // Bounds are compile-time constants (checked by resolution).
+                let l = self.rs.eval_const(lo).expect("checked constant bound");
+                let h = self.rs.eval_const(hi).expect("checked constant bound");
+                let n = (h - l + 1).max(0) as u64;
+                let outer_ctx = self.ctx;
+                let body_ctx = scale_iters(outer_ctx, n);
+
+                // Preheader: initialize the induction variable.
+                let init = self.emit(OpKind::Const(l), vec![]);
+                self.emit(OpKind::WriteLocal(var.clone()), vec![init]);
+                self.emit(OpKind::Jump, vec![]);
+                let before = self.current;
+                let body_blk = self.g.add_block(body_ctx);
+                self.g.add_edge(before, body_blk);
+                self.current = body_blk;
+                self.ctx = body_ctx;
+                self.loop_vars.push(var.clone());
+                self.body(body);
+                // Loop bookkeeping: increment the induction variable and
+                // test it against the bound (runs once per iteration).
+                let iv = self.emit(OpKind::ReadLocal(var.clone()), vec![]);
+                let one = self.emit(OpKind::Const(1), vec![]);
+                let inc = self.emit(OpKind::Binary(AluOp::Add), vec![iv, one]);
+                self.emit(OpKind::WriteLocal(var.clone()), vec![inc]);
+                let bound = self.emit(OpKind::Const(h), vec![]);
+                let cmp = self.emit(OpKind::Binary(AluOp::Cmp), vec![inc, bound]);
+                self.emit(OpKind::Branch, vec![cmp]);
+                self.loop_vars.pop();
+                let body_end = self.current;
+                // Back edge and loop exit.
+                self.g.add_edge(body_end, body_blk);
+                let exit = self.g.add_block(outer_ctx);
+                self.g.add_edge(body_end, exit);
+                self.current = exit;
+                self.ctx = outer_ctx;
+            }
+            Stmt::While {
+                cond, iters, body, ..
+            } => {
+                let avg_iters = iters.unwrap_or(DEFAULT_WHILE_ITERS);
+                let outer_ctx = self.ctx;
+                self.emit(OpKind::Jump, vec![]);
+                let before = self.current;
+                // Header block: the condition re-evaluates once more than
+                // the body runs.
+                let header_ctx = ExecCount {
+                    avg: outer_ctx.avg * (avg_iters + 1.0),
+                    min: outer_ctx.min,
+                    max: outer_ctx.max * ((2.0 * avg_iters).ceil().max(1.0) as u64 + 1),
+                };
+                let header = self.g.add_block(header_ctx);
+                self.g.add_edge(before, header);
+                self.current = header;
+                self.ctx = header_ctx;
+                let c = self.expr(cond);
+                self.emit(OpKind::Branch, vec![c]);
+
+                let body_ctx = scale_while(outer_ctx, avg_iters);
+                let body_blk = self.g.add_block(body_ctx);
+                self.g.add_edge(header, body_blk);
+                self.current = body_blk;
+                self.ctx = body_ctx;
+                self.body(body);
+                self.emit(OpKind::Jump, vec![]);
+                let body_end = self.current;
+                self.g.add_edge(body_end, header);
+                let exit = self.g.add_block(outer_ctx);
+                self.g.add_edge(header, exit);
+                self.current = exit;
+                self.ctx = outer_ctx;
+            }
+            Stmt::Fork { body, .. } => {
+                self.emit(OpKind::Fork, vec![]);
+                self.body(body);
+                self.emit(OpKind::Join, vec![]);
+            }
+            Stmt::Send { target, value, .. } => {
+                let v = self.expr(value);
+                self.emit(OpKind::SendMsg(target.clone()), vec![v]);
+            }
+            Stmt::Receive { lhs, .. } => {
+                let r = self.emit(OpKind::ReceiveMsg, vec![]);
+                self.store(lhs, r);
+            }
+            Stmt::Return { value, .. } => {
+                let inputs = match value {
+                    Some(v) => vec![self.expr(v)],
+                    None => vec![],
+                };
+                self.emit(OpKind::Return, inputs);
+            }
+            Stmt::Wait { amount, .. } => {
+                self.emit(OpKind::Wait(*amount), vec![]);
+            }
+        }
+    }
+
+    fn store(&mut self, lhs: &LValue, value: OpId) {
+        match lhs {
+            LValue::Name { name, .. } => {
+                let kind = match self.classify(name) {
+                    NameClass::Local => OpKind::WriteLocal(name.clone()),
+                    NameClass::GlobalScalar => OpKind::WriteGlobal(name.clone()),
+                    NameClass::Port => OpKind::WritePort(name.clone()),
+                    NameClass::Const | NameClass::GlobalArray | NameClass::LocalArray => {
+                        unreachable!("resolution rejects writes to {name}")
+                    }
+                };
+                self.emit(kind, vec![value]);
+            }
+            LValue::Index { name, index, .. } => {
+                let idx = self.expr(index);
+                let kind = match self.classify(name) {
+                    NameClass::LocalArray => OpKind::WriteLocalArray(name.clone()),
+                    NameClass::GlobalArray => OpKind::WriteGlobalArray(name.clone()),
+                    _ => unreachable!("resolution rejects indexed write to {name}"),
+                };
+                self.emit(kind, vec![idx, value]);
+            }
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) -> OpId {
+        match expr {
+            Expr::Int { value, .. } => self.emit(OpKind::Const(*value as i64), vec![]),
+            Expr::Bool { value, .. } => self.emit(OpKind::Const(i64::from(*value)), vec![]),
+            Expr::Name { name, .. } => {
+                let kind = match self.classify(name) {
+                    NameClass::Local => OpKind::ReadLocal(name.clone()),
+                    NameClass::GlobalScalar => OpKind::ReadGlobal(name.clone()),
+                    NameClass::Port => OpKind::ReadPort(name.clone()),
+                    NameClass::Const => {
+                        let v = match self.rs.global(name) {
+                            Some(GlobalSymbol::Const(v)) => v,
+                            _ => unreachable!("classify said const"),
+                        };
+                        OpKind::Const(v)
+                    }
+                    NameClass::GlobalArray | NameClass::LocalArray => {
+                        unreachable!("resolution rejects bare array reads")
+                    }
+                };
+                self.emit(kind, vec![])
+            }
+            Expr::Index { name, index, .. } => {
+                let idx = self.expr(index);
+                let kind = match self.classify(name) {
+                    NameClass::LocalArray => OpKind::ReadLocalArray(name.clone()),
+                    NameClass::GlobalArray => OpKind::ReadGlobalArray(name.clone()),
+                    _ => unreachable!("resolution rejects indexed read of {name}"),
+                };
+                self.emit(kind, vec![idx])
+            }
+            Expr::Call { callee, args, .. } => {
+                let inputs: Vec<OpId> = args.iter().map(|a| self.expr(a)).collect();
+                let kind = match callee.as_str() {
+                    "min" => OpKind::Binary(AluOp::Min),
+                    "max" => OpKind::Binary(AluOp::Max),
+                    "abs" => OpKind::Unary(AluOp::Abs),
+                    _ => OpKind::Call(callee.clone()),
+                };
+                self.emit(kind, inputs)
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let l = self.expr(lhs);
+                let r = self.expr(rhs);
+                let alu = match op {
+                    BinOp::Add => AluOp::Add,
+                    BinOp::Sub => AluOp::Sub,
+                    BinOp::Mul => AluOp::Mul,
+                    BinOp::Div => AluOp::Div,
+                    BinOp::Rem => AluOp::Rem,
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        AluOp::Cmp
+                    }
+                    BinOp::And | BinOp::Or => AluOp::Logic,
+                };
+                self.emit(OpKind::Binary(alu), vec![l, r])
+            }
+            Expr::Unary { op, operand, .. } => {
+                let v = self.expr(operand);
+                let alu = match op {
+                    UnOp::Neg | UnOp::Not => AluOp::Not,
+                };
+                self.emit(OpKind::Unary(alu), vec![v])
+            }
+        }
+    }
+
+    fn emit(&mut self, kind: OpKind, inputs: Vec<OpId>) -> OpId {
+        self.g.add_op(self.current, kind, inputs)
+    }
+
+    fn classify(&self, name: &str) -> NameClass {
+        if self.loop_vars.iter().any(|v| v == name) {
+            return NameClass::Local;
+        }
+        match self.rs.lookup(self.behavior, name) {
+            Some(Symbol::Local(LocalSymbol::Param(_))) => NameClass::Local,
+            Some(Symbol::Local(LocalSymbol::Local(i))) => {
+                if self.rs.spec().behaviors[self.behavior].locals[i]
+                    .ty
+                    .is_array()
+                {
+                    NameClass::LocalArray
+                } else {
+                    NameClass::Local
+                }
+            }
+            Some(Symbol::Global(GlobalSymbol::Var(i))) => {
+                if self.rs.spec().vars[i].ty.is_array() {
+                    NameClass::GlobalArray
+                } else {
+                    NameClass::GlobalScalar
+                }
+            }
+            Some(Symbol::Global(GlobalSymbol::Port(_))) => NameClass::Port,
+            Some(Symbol::Global(GlobalSymbol::Const(_))) => NameClass::Const,
+            Some(Symbol::Global(GlobalSymbol::Behavior(_))) | None => {
+                unreachable!("resolution leaves no unknown names ({name})")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NameClass {
+    Local,
+    LocalArray,
+    GlobalScalar,
+    GlobalArray,
+    Port,
+    Const,
+}
+
+fn scale_prob(ctx: ExecCount, p: f64) -> ExecCount {
+    ExecCount {
+        avg: ctx.avg * p,
+        min: if p >= 1.0 { ctx.min } else { 0 },
+        max: if p > 0.0 { ctx.max } else { 0 },
+    }
+}
+
+fn scale_iters(ctx: ExecCount, n: u64) -> ExecCount {
+    ExecCount {
+        avg: ctx.avg * n as f64,
+        min: ctx.min * n,
+        max: ctx.max * n,
+    }
+}
+
+/// `while` loops have data-dependent trip counts: the profile gives the
+/// average; the minimum is zero and the maximum is modelled as twice the
+/// average (rounded up), a deliberately loose envelope.
+fn scale_while(ctx: ExecCount, iters: f64) -> ExecCount {
+    ExecCount {
+        avg: ctx.avg * iters,
+        min: 0,
+        max: ctx.max * (2.0 * iters).ceil().max(1.0) as u64,
+    }
+}
+
+/// The per-access frequency of system accesses in a behavior's CDFG,
+/// summed per accessed object: the raw material for SLIF channel
+/// annotation. Returns `(object key, kind sample, avg, min, max)` tuples
+/// keyed by the [`OpKind`] discriminant + name.
+pub fn access_frequencies(g: &Cdfg) -> Vec<AccessSummary> {
+    let mut out: Vec<AccessSummary> = Vec::new();
+    for id in g.op_ids() {
+        let op = g.op(id);
+        if !op.kind.is_system_access() {
+            continue;
+        }
+        let count = g.block(op.block).count;
+        let (target, access) = match &op.kind {
+            OpKind::ReadGlobal(n) | OpKind::ReadGlobalArray(n) => (n.clone(), Access::Read),
+            OpKind::WriteGlobal(n) | OpKind::WriteGlobalArray(n) => (n.clone(), Access::Write),
+            OpKind::ReadPort(n) => (n.clone(), Access::Read),
+            OpKind::WritePort(n) => (n.clone(), Access::Write),
+            OpKind::Call(n) => (n.clone(), Access::Call),
+            OpKind::SendMsg(n) => (n.clone(), Access::Message),
+            OpKind::ReceiveMsg => continue, // the sender's edge covers it
+            _ => unreachable!("is_system_access covered all cases"),
+        };
+        match out.iter_mut().find(|s| s.target == target) {
+            Some(s) => {
+                s.avg += count.avg;
+                s.min += count.min;
+                s.max += count.max;
+                // Calls dominate reads/writes for edge labelling.
+                if access == Access::Call || access == Access::Message {
+                    s.access = access;
+                }
+            }
+            None => out.push(AccessSummary {
+                target,
+                access,
+                avg: count.avg,
+                min: count.min,
+                max: count.max,
+            }),
+        }
+    }
+    out
+}
+
+/// How a behavior accesses one system-level object, summed over all the
+/// behavior's operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessSummary {
+    /// The accessed object's name (variable, port, or behavior).
+    pub target: String,
+    /// The dominant access kind.
+    pub access: Access,
+    /// Average accesses per behavior execution.
+    pub avg: f64,
+    /// Minimum accesses per behavior execution.
+    pub min: u64,
+    /// Maximum accesses per behavior execution.
+    pub max: u64,
+}
+
+/// Access kinds from the frontend's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Subroutine call.
+    Call,
+    /// Message pass.
+    Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_speclang::parse_and_resolve;
+
+    fn lower_one(src: &str, name: &str) -> Cdfg {
+        let rs = parse_and_resolve(src).expect("spec loads");
+        let idx = rs
+            .spec()
+            .behaviors
+            .iter()
+            .position(|b| b.name == name)
+            .expect("behavior exists");
+        lower_behavior(&rs, idx)
+    }
+
+    #[test]
+    fn straight_line_lowering() {
+        let g = lower_one("system T;\nvar x : int<8>;\nproc P() { x = x + 1; }", "P");
+        // ReadGlobal, Const, Add, WriteGlobal, Return.
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.block_count(), 1);
+        // Add has 2 inputs, Write has 1.
+        assert_eq!(g.dataflow_edge_count(), 3);
+    }
+
+    #[test]
+    fn if_creates_diamond() {
+        let g = lower_one(
+            "system T;\nvar x : int<8>;\nproc P() { if x > 0 prob 0.25 { x = 1; } else { x = 2; } }",
+            "P",
+        );
+        // entry, then, else, join.
+        assert_eq!(g.block_count(), 4);
+        let then_blk = g.block(BlockId(1));
+        let else_blk = g.block(BlockId(2));
+        assert!((then_blk.count.avg - 0.25).abs() < 1e-12);
+        assert!((else_blk.count.avg - 0.75).abs() < 1e-12);
+        assert_eq!(then_blk.count.min, 0);
+        assert_eq!(then_blk.count.max, 1);
+    }
+
+    #[test]
+    fn if_without_else_short_circuits_to_join() {
+        let g = lower_one(
+            "system T;\nvar x : int<8>;\nproc P() { if x > 0 { x = 1; } }",
+            "P",
+        );
+        // entry, then, join.
+        assert_eq!(g.block_count(), 3);
+        // Entry branches to both then and join.
+        assert_eq!(g.block(g.entry()).succs.len(), 2);
+    }
+
+    #[test]
+    fn for_loop_multiplies_counts() {
+        let g = lower_one(
+            "system T;\nvar a : int<8>[128];\nproc P() { for i in 0 .. 127 { a[i] = i; } }",
+            "P",
+        );
+        let body = g.block(BlockId(1));
+        assert_eq!(body.count.avg, 128.0);
+        assert_eq!(body.count.min, 128);
+        assert_eq!(body.count.max, 128);
+    }
+
+    #[test]
+    fn nested_branch_in_loop_reproduces_figure3_frequency() {
+        // The paper's EvaluateRule: a 0.5-probability access inside a
+        // 128-iteration loop plus a 0.5-probability double access outside
+        // gives accfreq 65 for mr1 (see Figure 3).
+        let g = lower_one(
+            "system T;\n\
+             var in1val : int<8>;\n\
+             var mr1 : int<8>[384];\n\
+             var tmr1 : int<8>[128];\n\
+             proc EvaluateRule(num : int<8>) {\n\
+               var trunc : int<8>;\n\
+               if num == 1 prob 0.5 {\n\
+                 trunc = min(mr1[in1val], mr1[128 + in1val]);\n\
+               }\n\
+               for i in 0 .. 127 {\n\
+                 if num == 1 prob 0.5 {\n\
+                   tmr1[i] = min(trunc, mr1[256 + i]);\n\
+                 }\n\
+               }\n\
+             }",
+            "EvaluateRule",
+        );
+        let accs = access_frequencies(&g);
+        let mr1 = accs.iter().find(|a| a.target == "mr1").unwrap();
+        assert!((mr1.avg - 65.0).abs() < 1e-9, "accfreq {}", mr1.avg);
+        assert_eq!(mr1.min, 0);
+        assert_eq!(mr1.max, 130);
+        let in1val = accs.iter().find(|a| a.target == "in1val").unwrap();
+        assert!((in1val.avg - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn while_loop_scales_by_iters() {
+        let g = lower_one(
+            "system T;\nvar x : int<8>;\nproc P() { while x > 0 iters 10 { x = x - 1; } }",
+            "P",
+        );
+        // entry → header → body, plus exit.
+        let header = g.block(BlockId(1));
+        assert_eq!(header.count.avg, 11.0, "condition runs iters+1 times");
+        let body = g.block(BlockId(2));
+        assert_eq!(body.count.avg, 10.0);
+        assert_eq!(body.count.min, 0);
+        assert_eq!(body.count.max, 20);
+    }
+
+    #[test]
+    fn builtin_calls_become_alu_ops() {
+        let g = lower_one(
+            "system T;\nvar x : int<8>;\nproc P() { x = min(x, abs(x)); }",
+            "P",
+        );
+        assert!(g
+            .op_ids()
+            .any(|i| g.op(i).kind == OpKind::Binary(AluOp::Min)));
+        assert!(g
+            .op_ids()
+            .any(|i| g.op(i).kind == OpKind::Unary(AluOp::Abs)));
+        // No Call nodes: builtins are not behaviors.
+        assert!(!g.op_ids().any(|i| matches!(g.op(i).kind, OpKind::Call(_))));
+    }
+
+    #[test]
+    fn fork_wraps_calls() {
+        let g = lower_one(
+            "system T;\nproc A() { }\nproc B() { }\nprocess M { fork { call A(); call B(); } }",
+            "M",
+        );
+        let kinds: Vec<_> = g.op_ids().map(|i| g.op(i).kind.clone()).collect();
+        let fork = kinds.iter().position(|k| *k == OpKind::Fork).unwrap();
+        let join = kinds.iter().position(|k| *k == OpKind::Join).unwrap();
+        let a = kinds
+            .iter()
+            .position(|k| *k == OpKind::Call("A".into()))
+            .unwrap();
+        assert!(fork < a && a < join);
+    }
+
+    #[test]
+    fn send_and_receive_lowering() {
+        let g = lower_one(
+            "system T;\nvar m : int<8>;\nprocess A { send B m; }\nprocess B { receive m; }",
+            "A",
+        );
+        assert!(g
+            .op_ids()
+            .any(|i| g.op(i).kind == OpKind::SendMsg("B".into())));
+        let g2 = lower_one(
+            "system T;\nvar m : int<8>;\nprocess A { send B m; }\nprocess B { receive m; }",
+            "B",
+        );
+        assert!(g2.op_ids().any(|i| g2.op(i).kind == OpKind::ReceiveMsg));
+        // The receive's value flows into the write of m.
+        let recv = g2
+            .op_ids()
+            .find(|&i| g2.op(i).kind == OpKind::ReceiveMsg)
+            .unwrap();
+        let write = g2
+            .op_ids()
+            .find(|&i| g2.op(i).kind == OpKind::WriteGlobal("m".into()))
+            .unwrap();
+        assert_eq!(g2.op(write).inputs, vec![recv]);
+    }
+
+    #[test]
+    fn consts_fold_to_literals() {
+        let g = lower_one(
+            "system T;\nconst N = 42;\nvar x : int<8>;\nproc P() { x = N; }",
+            "P",
+        );
+        assert!(g.op_ids().any(|i| g.op(i).kind == OpKind::Const(42)));
+        assert!(!g
+            .op_ids()
+            .any(|i| matches!(g.op(i).kind, OpKind::ReadGlobal(_) if false)));
+    }
+
+    #[test]
+    fn every_behavior_of_the_corpus_lowers() {
+        for entry in slif_speclang::corpus::all() {
+            let rs = entry.load().unwrap();
+            let graphs = lower_spec(&rs);
+            assert_eq!(graphs.len(), rs.spec().behaviors.len());
+            for g in &graphs {
+                assert!(
+                    g.node_count() > 0,
+                    "{}: empty cdfg {}",
+                    entry.name,
+                    g.name()
+                );
+                // Counts must be internally consistent.
+                for b in g.block_ids() {
+                    let c = g.block(b).count;
+                    assert!(c.avg >= 0.0, "negative count in {}", g.name());
+                    assert!(
+                        c.min as f64 <= c.avg + 1e-9 && c.avg <= c.max as f64 + 1e-9,
+                        "{}: inconsistent count {c:?}",
+                        g.name()
+                    );
+                }
+            }
+        }
+    }
+}

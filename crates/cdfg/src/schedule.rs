@@ -1,0 +1,427 @@
+//! Operation scheduling within basic blocks.
+//!
+//! The paper obtains a behavior's ASIC `ict` "by synthesizing the behavior
+//! to a structure", a step whose core is scheduling; the channel
+//! concurrency tags likewise "create the channel tags from that schedule".
+//! This module provides the classic trio — ASAP, ALAP, and
+//! resource-constrained list scheduling — over each block's dataflow
+//! graph. `slif-techlib` drives it with per-operation delays from a
+//! technology model and turns the resulting latencies into ict weights
+//! and functional-unit usage into area estimates.
+
+use crate::ir::{BlockId, Cdfg, OpId, OpKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Functional-unit classes used for resource constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Add/sub/compare/logic units.
+    Alu,
+    /// Multipliers.
+    Mul,
+    /// Dividers (div/rem).
+    Div,
+    /// Memory/register-file ports (loads and stores).
+    Mem,
+    /// Everything else (control, calls, I/O) — not resource-limited.
+    Other,
+}
+
+/// Classifies an operation into a functional-unit class.
+pub fn fu_class(kind: &OpKind) -> FuClass {
+    use crate::ir::AluOp;
+    match kind {
+        OpKind::Binary(AluOp::Mul) => FuClass::Mul,
+        OpKind::Binary(AluOp::Div) | OpKind::Binary(AluOp::Rem) => FuClass::Div,
+        OpKind::Binary(_) | OpKind::Unary(_) => FuClass::Alu,
+        OpKind::ReadLocal(_)
+        | OpKind::WriteLocal(_)
+        | OpKind::ReadLocalArray(_)
+        | OpKind::WriteLocalArray(_)
+        | OpKind::ReadGlobal(_)
+        | OpKind::WriteGlobal(_)
+        | OpKind::ReadGlobalArray(_)
+        | OpKind::WriteGlobalArray(_) => FuClass::Mem,
+        _ => FuClass::Other,
+    }
+}
+
+/// How many units of each class the schedule may use per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceSet {
+    /// Available ALUs.
+    pub alus: u32,
+    /// Available multipliers.
+    pub muls: u32,
+    /// Available dividers.
+    pub divs: u32,
+    /// Available memory ports.
+    pub mem_ports: u32,
+}
+
+impl ResourceSet {
+    /// A small datapath: 2 ALUs, 1 multiplier, 1 divider, 1 memory port.
+    pub fn small() -> Self {
+        Self {
+            alus: 2,
+            muls: 1,
+            divs: 1,
+            mem_ports: 1,
+        }
+    }
+
+    /// A generous datapath: 4 ALUs, 2 multipliers, 1 divider, 2 ports.
+    pub fn large() -> Self {
+        Self {
+            alus: 4,
+            muls: 2,
+            divs: 1,
+            mem_ports: 2,
+        }
+    }
+
+    fn limit(&self, class: FuClass) -> u32 {
+        match class {
+            FuClass::Alu => self.alus,
+            FuClass::Mul => self.muls,
+            FuClass::Div => self.divs,
+            FuClass::Mem => self.mem_ports,
+            FuClass::Other => u32::MAX,
+        }
+    }
+}
+
+impl Default for ResourceSet {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// The result of scheduling one basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSchedule {
+    /// Start cycle of each scheduled op (block-relative).
+    pub start: HashMap<OpId, u64>,
+    /// Total block latency in cycles.
+    pub latency: u64,
+    /// Peak number of simultaneously busy units per class.
+    pub peak_usage: HashMap<FuClass, u32>,
+}
+
+impl BlockSchedule {
+    /// Ops that start at the same cycle — used to derive concurrency tags.
+    pub fn concurrent_groups(&self) -> Vec<Vec<OpId>> {
+        let mut by_start: HashMap<u64, Vec<OpId>> = HashMap::new();
+        for (&op, &s) in &self.start {
+            by_start.entry(s).or_default().push(op);
+        }
+        let mut groups: Vec<Vec<OpId>> = by_start.into_values().filter(|g| g.len() > 1).collect();
+        for g in &mut groups {
+            g.sort();
+        }
+        groups.sort();
+        groups
+    }
+}
+
+/// ASAP schedule of `block`: every op starts as soon as its in-block
+/// dataflow operands finish. Returns per-op start cycles and the critical
+/// path latency. `delay_of` gives each op's latency in cycles (0-delay
+/// ops are allowed and chain within a cycle).
+pub fn asap(g: &Cdfg, block: BlockId, delay_of: &dyn Fn(&OpKind) -> u64) -> BlockSchedule {
+    let ops = &g.block(block).ops;
+    let mut start: HashMap<OpId, u64> = HashMap::with_capacity(ops.len());
+    let mut finish: HashMap<OpId, u64> = HashMap::with_capacity(ops.len());
+    let mut latency = 0;
+    for &op in ops {
+        let node = g.op(op);
+        let ready = node
+            .inputs
+            .iter()
+            .filter_map(|i| finish.get(i).copied())
+            .max()
+            .unwrap_or(0);
+        let d = delay_of(&node.kind);
+        start.insert(op, ready);
+        finish.insert(op, ready + d);
+        latency = latency.max(ready + d);
+    }
+    let peak_usage = peak_usage(g, &start, &finish);
+    BlockSchedule {
+        start,
+        latency,
+        peak_usage,
+    }
+}
+
+/// ALAP start times for `block` against a target latency (usually the
+/// ASAP latency). Returns per-op latest start cycles.
+pub fn alap(
+    g: &Cdfg,
+    block: BlockId,
+    delay_of: &dyn Fn(&OpKind) -> u64,
+    target_latency: u64,
+) -> HashMap<OpId, u64> {
+    let ops = &g.block(block).ops;
+    // Build successor lists restricted to this block.
+    let mut latest_finish: HashMap<OpId, u64> = HashMap::with_capacity(ops.len());
+    for &op in ops.iter().rev() {
+        let node = g.op(op);
+        let d = delay_of(&node.kind);
+        // An op must finish before the earliest latest-start of its users.
+        let bound = ops
+            .iter()
+            .filter(|&&user| g.op(user).inputs.contains(&op))
+            .filter_map(|&user| {
+                latest_finish
+                    .get(&user)
+                    .map(|&f| f - delay_of(&g.op(user).kind))
+            })
+            .min()
+            .unwrap_or(target_latency);
+        latest_finish.insert(op, bound);
+        let _ = d;
+    }
+    ops.iter()
+        .map(|&op| {
+            let d = delay_of(&g.op(op).kind);
+            let f = latest_finish[&op];
+            (op, f.saturating_sub(d))
+        })
+        .collect()
+}
+
+/// Resource-constrained list scheduling of `block`.
+///
+/// Priority is ALAP slack (critical ops first). Each cycle, ready ops are
+/// issued while units of their class remain; multi-cycle ops hold their
+/// unit until completion.
+pub fn list_schedule(
+    g: &Cdfg,
+    block: BlockId,
+    delay_of: &dyn Fn(&OpKind) -> u64,
+    resources: ResourceSet,
+) -> BlockSchedule {
+    let ops = &g.block(block).ops;
+    if ops.is_empty() {
+        return BlockSchedule {
+            start: HashMap::new(),
+            latency: 0,
+            peak_usage: HashMap::new(),
+        };
+    }
+    let unconstrained = asap(g, block, delay_of);
+    let alap_start = alap(g, block, delay_of, unconstrained.latency);
+
+    let mut start: HashMap<OpId, u64> = HashMap::with_capacity(ops.len());
+    let mut finish: HashMap<OpId, u64> = HashMap::with_capacity(ops.len());
+    let mut remaining: Vec<OpId> = ops.clone();
+    // Critical ops (small ALAP start) first.
+    remaining.sort_by_key(|op| alap_start.get(op).copied().unwrap_or(0));
+
+    let mut cycle: u64 = 0;
+    // Busy units per class, as (class, free_at) pairs.
+    let mut busy: Vec<(FuClass, u64)> = Vec::new();
+    let mut guard = 0usize;
+    while !remaining.is_empty() {
+        busy.retain(|&(_, free_at)| free_at > cycle);
+        let mut issued_any = false;
+        let mut i = 0;
+        while i < remaining.len() {
+            let op = remaining[i];
+            let node = g.op(op);
+            // Ready: all in-block inputs finished by now.
+            let ready = node
+                .inputs
+                .iter()
+                .all(|inp| !ops.contains(inp) || finish.get(inp).is_some_and(|&f| f <= cycle));
+            if ready {
+                let class = fu_class(&node.kind);
+                let in_use = busy.iter().filter(|(c, _)| *c == class).count() as u32;
+                if in_use < resources.limit(class) {
+                    let d = delay_of(&node.kind);
+                    start.insert(op, cycle);
+                    // Zero-delay ops (e.g. channel accesses, whose time is
+                    // estimated separately) finish instantly and occupy no
+                    // unit; real ops hold their unit until completion.
+                    finish.insert(op, cycle + d);
+                    if d > 0 {
+                        busy.push((class, cycle + d));
+                    }
+                    remaining.remove(i);
+                    issued_any = true;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        if !issued_any {
+            cycle += 1;
+        }
+        guard += 1;
+        assert!(
+            guard < 1_000_000,
+            "list scheduling failed to converge (cyclic in-block dataflow?)"
+        );
+    }
+    let latency = finish.values().copied().max().unwrap_or(0);
+    let peak_usage = peak_usage(g, &start, &finish);
+    BlockSchedule {
+        start,
+        latency,
+        peak_usage,
+    }
+}
+
+fn peak_usage(
+    g: &Cdfg,
+    start: &HashMap<OpId, u64>,
+    finish: &HashMap<OpId, u64>,
+) -> HashMap<FuClass, u32> {
+    let mut peak: HashMap<FuClass, u32> = HashMap::new();
+    // Sample usage at each distinct start cycle.
+    for (&probe_op, &t) in start {
+        let _ = probe_op;
+        let mut usage: HashMap<FuClass, u32> = HashMap::new();
+        for (&op, &s) in start {
+            let f = finish[&op];
+            if s <= t && t < f.max(s + 1) {
+                *usage.entry(fu_class(&g.op(op).kind)).or_insert(0) += 1;
+            }
+        }
+        for (class, n) in usage {
+            let entry = peak.entry(class).or_insert(0);
+            *entry = (*entry).max(n);
+        }
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::AluOp;
+
+    /// Unit delay for every op.
+    fn unit(_k: &OpKind) -> u64 {
+        1
+    }
+
+    /// A block computing (a+b) * (c+d): two independent adds then a mul.
+    fn adder_tree() -> (Cdfg, BlockId) {
+        let mut g = Cdfg::new("t");
+        let b = g.entry();
+        let a = g.add_op(b, OpKind::ReadLocal("a".into()), vec![]);
+        let bb = g.add_op(b, OpKind::ReadLocal("b".into()), vec![]);
+        let c = g.add_op(b, OpKind::ReadLocal("c".into()), vec![]);
+        let d = g.add_op(b, OpKind::ReadLocal("d".into()), vec![]);
+        let s1 = g.add_op(b, OpKind::Binary(AluOp::Add), vec![a, bb]);
+        let s2 = g.add_op(b, OpKind::Binary(AluOp::Add), vec![c, d]);
+        let _m = g.add_op(b, OpKind::Binary(AluOp::Mul), vec![s1, s2]);
+        (g, b)
+    }
+
+    #[test]
+    fn asap_critical_path() {
+        let (g, b) = adder_tree();
+        let s = asap(&g, b, &unit);
+        // reads at 0 (1 cycle), adds at 1, mul at 2 → latency 3.
+        assert_eq!(s.latency, 3);
+        assert_eq!(s.start[&g.block(b).ops[4]], 1);
+        assert_eq!(s.start[&g.block(b).ops[6]], 2);
+    }
+
+    #[test]
+    fn asap_peak_usage_sees_parallel_adds() {
+        let (g, b) = adder_tree();
+        let s = asap(&g, b, &unit);
+        assert_eq!(s.peak_usage[&FuClass::Alu], 2);
+        assert_eq!(s.peak_usage[&FuClass::Mem], 4);
+    }
+
+    #[test]
+    fn alap_pushes_slack_late() {
+        let (g, b) = adder_tree();
+        let s = asap(&g, b, &unit);
+        let alap_start = alap(&g, b, &unit, s.latency);
+        // The multiplication is critical: ALAP start == ASAP start.
+        let mul = g.block(b).ops[6];
+        assert_eq!(alap_start[&mul], s.start[&mul]);
+        // Reads have slack: they may start later than 0.
+        let a = g.block(b).ops[0];
+        assert!(alap_start[&a] >= s.start[&a]);
+    }
+
+    #[test]
+    fn list_schedule_respects_resources() {
+        let (g, b) = adder_tree();
+        // Only one memory port: the four reads serialize.
+        let tight = ResourceSet {
+            alus: 1,
+            muls: 1,
+            divs: 1,
+            mem_ports: 1,
+        };
+        let s = list_schedule(&g, b, &unit, tight);
+        assert!(s.latency >= 6, "latency {} with 1 port", s.latency);
+        assert!(s.peak_usage[&FuClass::Mem] <= 1);
+        assert!(s.peak_usage[&FuClass::Alu] <= 1);
+        // With generous resources we approach the ASAP latency.
+        let loose = list_schedule(&g, b, &unit, ResourceSet::large());
+        assert!(loose.latency <= s.latency);
+    }
+
+    #[test]
+    fn list_schedule_never_beats_asap() {
+        let (g, b) = adder_tree();
+        let unconstrained = asap(&g, b, &unit);
+        let constrained = list_schedule(&g, b, &unit, ResourceSet::small());
+        assert!(constrained.latency >= unconstrained.latency);
+    }
+
+    #[test]
+    fn empty_block_schedules_trivially() {
+        let g = Cdfg::new("t");
+        let s = list_schedule(&g, g.entry(), &unit, ResourceSet::small());
+        assert_eq!(s.latency, 0);
+        assert!(s.start.is_empty());
+    }
+
+    #[test]
+    fn multi_cycle_ops_hold_units() {
+        let mut g = Cdfg::new("t");
+        let b = g.entry();
+        let x = g.add_op(b, OpKind::ReadLocal("x".into()), vec![]);
+        let y = g.add_op(b, OpKind::ReadLocal("y".into()), vec![]);
+        let _m1 = g.add_op(b, OpKind::Binary(AluOp::Mul), vec![x, y]);
+        let _m2 = g.add_op(b, OpKind::Binary(AluOp::Mul), vec![y, x]);
+        let delays = |k: &OpKind| match k {
+            OpKind::Binary(AluOp::Mul) => 4,
+            _ => 1,
+        };
+        // One multiplier: the second mul waits for the first to release it.
+        let s = list_schedule(
+            &g,
+            b,
+            &delays,
+            ResourceSet {
+                alus: 1,
+                muls: 1,
+                divs: 1,
+                mem_ports: 2,
+            },
+        );
+        assert!(s.latency >= 9, "latency {}", s.latency);
+    }
+
+    #[test]
+    fn concurrent_groups_from_schedule() {
+        let (g, b) = adder_tree();
+        let s = asap(&g, b, &unit);
+        let groups = s.concurrent_groups();
+        // The four reads share cycle 0; the two adds share cycle 1.
+        assert!(groups.iter().any(|grp| grp.len() == 4));
+        assert!(groups.iter().any(|grp| grp.len() == 2));
+    }
+}

@@ -1,0 +1,414 @@
+//! Preprocessed annotations carried by SLIF objects.
+//!
+//! Section 2.4 of the paper annotates the basic format with everything the
+//! estimators of Section 3 need so that estimation becomes lookups and sums:
+//!
+//! * channels carry an access frequency ([`AccessFreq`]) and a per-access
+//!   bit count,
+//! * behavior/variable nodes carry an `ict_list` and a `size_list` — one
+//!   weight per component *class* the node could be implemented on
+//!   ([`WeightList`]),
+//! * same-source channels that may be exercised concurrently (fork/join, or
+//!   parallelism discovered by scheduling the behavior contents) share a
+//!   [`ConcurrencyTag`].
+
+use crate::ids::ClassId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of accesses a channel sees during one start-to-finish execution of
+/// its source behavior.
+///
+/// The paper annotates the *average* count (derived from a branch
+/// probability file) plus optional maximum and minimum counts. Averages can
+/// be fractional: an access guarded by a 50 %-probability branch inside a
+/// two-iteration loop has `avg == 1.0`.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::AccessFreq;
+///
+/// let f = AccessFreq::new(65.0, 0, 130);
+/// assert_eq!(f.avg, 65.0);
+/// assert!(f.is_consistent());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessFreq {
+    /// Average number of accesses per source execution.
+    pub avg: f64,
+    /// Minimum number of accesses per source execution.
+    pub min: u64,
+    /// Maximum number of accesses per source execution.
+    pub max: u64,
+}
+
+impl AccessFreq {
+    /// Creates a frequency annotation from average, minimum, and maximum
+    /// access counts.
+    pub fn new(avg: f64, min: u64, max: u64) -> Self {
+        Self { avg, min, max }
+    }
+
+    /// Creates a frequency whose minimum, average, and maximum all equal
+    /// `n` — an unconditional access.
+    pub fn exact(n: u64) -> Self {
+        Self {
+            avg: n as f64,
+            min: n,
+            max: n,
+        }
+    }
+
+    /// Returns `true` when `min <= avg <= max` and `avg` is finite and
+    /// non-negative.
+    pub fn is_consistent(&self) -> bool {
+        self.avg.is_finite()
+            && self.avg >= 0.0
+            && (self.min as f64) <= self.avg + 1e-9
+            && self.avg <= self.max as f64 + 1e-9
+    }
+
+    /// Returns the count for the requested estimation mode.
+    pub fn for_mode(&self, mode: FreqMode) -> f64 {
+        match mode {
+            FreqMode::Average => self.avg,
+            FreqMode::Min => self.min as f64,
+            FreqMode::Max => self.max as f64,
+        }
+    }
+}
+
+impl Default for AccessFreq {
+    fn default() -> Self {
+        Self::exact(1)
+    }
+}
+
+impl fmt::Display for AccessFreq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}, {}]", self.avg, self.min, self.max)
+    }
+}
+
+/// Which of the three recorded access counts an estimator should use.
+///
+/// The paper presents equations for average metrics and notes "simple
+/// extensions for maximum and minimum performance"; this enum selects among
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FreqMode {
+    /// Use average access counts (the paper's default).
+    #[default]
+    Average,
+    /// Use minimum access counts (best-case performance).
+    Min,
+    /// Use maximum access counts (worst-case performance).
+    Max,
+}
+
+impl fmt::Display for FreqMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FreqMode::Average => "average",
+            FreqMode::Min => "min",
+            FreqMode::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Concurrency tag associated with a channel.
+///
+/// Same-source channels bearing the same tag "could be accessed
+/// concurrently" (Section 2.3): either because the specification used a
+/// fork/join construct, or because scheduling the behavior contents showed
+/// the accesses to be overlappable. `ConcurrencyTag::SEQUENTIAL` marks a
+/// channel that must be accessed sequentially with respect to its siblings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ConcurrencyTag(Option<u32>);
+
+impl ConcurrencyTag {
+    /// The tag of a channel with no concurrency: it is accessed sequentially.
+    pub const SEQUENTIAL: ConcurrencyTag = ConcurrencyTag(None);
+
+    /// Creates a tag with the given group number.
+    pub fn group(id: u32) -> Self {
+        ConcurrencyTag(Some(id))
+    }
+
+    /// Returns the group number, or `None` for a sequential channel.
+    pub fn id(self) -> Option<u32> {
+        self.0
+    }
+
+    /// Returns `true` when this channel may overlap with same-source
+    /// channels bearing an equal tag.
+    pub fn is_concurrent(self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl fmt::Display for ConcurrencyTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(id) => write!(f, "tag{id}"),
+            None => f.write_str("seq"),
+        }
+    }
+}
+
+/// One entry of an `ict_list` or `size_list`: the weight of a node on a
+/// particular component class.
+///
+/// The paper's `ict_k = <comp, val>` / `size_k = <comp, val>` with
+/// `val ∈ Natural`. For size weights on custom-hardware classes the value
+/// may carry an optional datapath/control split used by the sharing-aware
+/// size estimator (the paper's reference \[1\]); when absent, the simple
+/// summing estimator is exact and the sharing-aware one degrades to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightEntry {
+    /// The component class this weight applies to.
+    pub class: ClassId,
+    /// The weight value: time units for `ict_list`, size units (bytes,
+    /// gates, words) for `size_list`.
+    pub val: u64,
+    /// Optional datapath portion of a size weight (gates attributable to
+    /// functional units that could be shared between behaviors).
+    pub datapath: Option<u64>,
+}
+
+impl WeightEntry {
+    /// Creates a plain weight with no datapath split.
+    pub fn new(class: ClassId, val: u64) -> Self {
+        Self {
+            class,
+            val,
+            datapath: None,
+        }
+    }
+
+    /// Creates a size weight that records how much of `val` is shareable
+    /// datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `datapath > val`.
+    pub fn with_datapath(class: ClassId, val: u64, datapath: u64) -> Self {
+        assert!(
+            datapath <= val,
+            "datapath portion {datapath} exceeds total weight {val}"
+        );
+        Self {
+            class,
+            val,
+            datapath: Some(datapath),
+        }
+    }
+
+    /// The non-shareable (control, wiring, register) portion of the weight.
+    pub fn control(&self) -> u64 {
+        self.val - self.datapath.unwrap_or(0)
+    }
+}
+
+/// A list of per-component-class weights: the paper's `ict_list` /
+/// `size_list`.
+///
+/// Entries are kept sorted by class id and are unique per class, so lookup
+/// is a binary search. Building the list once, before system design begins,
+/// is what makes estimation "only lookups" (Section 2.1).
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::{ClassId, WeightList};
+///
+/// let mut ict = WeightList::new();
+/// ict.set(ClassId::from_raw(0), 80); // e.g. 80 us on the processor class
+/// ict.set(ClassId::from_raw(1), 10); // 10 us on the ASIC class
+/// assert_eq!(ict.get(ClassId::from_raw(1)), Some(10));
+/// assert_eq!(ict.get(ClassId::from_raw(2)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WeightList {
+    entries: Vec<WeightEntry>,
+}
+
+impl WeightList {
+    /// Creates an empty weight list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the weight for `class`, replacing any previous entry, and
+    /// returns the previous value if one existed.
+    pub fn set(&mut self, class: ClassId, val: u64) -> Option<u64> {
+        self.insert(WeightEntry::new(class, val))
+    }
+
+    /// Inserts a full entry (including an optional datapath split),
+    /// replacing any previous entry for the same class.
+    pub fn insert(&mut self, entry: WeightEntry) -> Option<u64> {
+        match self.entries.binary_search_by_key(&entry.class, |e| e.class) {
+            Ok(pos) => {
+                let old = self.entries[pos].val;
+                self.entries[pos] = entry;
+                Some(old)
+            }
+            Err(pos) => {
+                self.entries.insert(pos, entry);
+                None
+            }
+        }
+    }
+
+    /// Looks up the weight for `class` — the paper's
+    /// `GetBvIct(bv, pm)` / `GetBvSize(bv, pm)` lookup step.
+    pub fn get(&self, class: ClassId) -> Option<u64> {
+        self.entry(class).map(|e| e.val)
+    }
+
+    /// Looks up the full entry for `class`.
+    pub fn entry(&self, class: ClassId) -> Option<&WeightEntry> {
+        self.entries
+            .binary_search_by_key(&class, |e| e.class)
+            .ok()
+            .map(|pos| &self.entries[pos])
+    }
+
+    /// Returns `true` when a weight is recorded for `class`, i.e. the node
+    /// "could possibly be implemented" on that class.
+    pub fn supports(&self, class: ClassId) -> bool {
+        self.entry(class).is_some()
+    }
+
+    /// Iterates over entries in ascending class order.
+    pub fn iter(&self) -> std::slice::Iter<'_, WeightEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of classes with a recorded weight.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no weights are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(ClassId, u64)> for WeightList {
+    fn from_iter<T: IntoIterator<Item = (ClassId, u64)>>(iter: T) -> Self {
+        let mut list = WeightList::new();
+        for (class, val) in iter {
+            list.set(class, val);
+        }
+        list
+    }
+}
+
+impl Extend<(ClassId, u64)> for WeightList {
+    fn extend<T: IntoIterator<Item = (ClassId, u64)>>(&mut self, iter: T) {
+        for (class, val) in iter {
+            self.set(class, val);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a WeightList {
+    type Item = &'a WeightEntry;
+    type IntoIter = std::slice::Iter<'a, WeightEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(raw: u32) -> ClassId {
+        ClassId::from_raw(raw)
+    }
+
+    #[test]
+    fn exact_freq_is_consistent() {
+        let f = AccessFreq::exact(3);
+        assert!(f.is_consistent());
+        assert_eq!(f.avg, 3.0);
+        assert_eq!(f.min, 3);
+        assert_eq!(f.max, 3);
+    }
+
+    #[test]
+    fn inconsistent_freq_detected() {
+        assert!(!AccessFreq::new(5.0, 6, 7).is_consistent());
+        assert!(!AccessFreq::new(8.0, 0, 7).is_consistent());
+        assert!(!AccessFreq::new(f64::NAN, 0, 1).is_consistent());
+        assert!(!AccessFreq::new(-1.0, 0, 1).is_consistent());
+    }
+
+    #[test]
+    fn freq_mode_selection() {
+        let f = AccessFreq::new(65.0, 0, 130);
+        assert_eq!(f.for_mode(FreqMode::Average), 65.0);
+        assert_eq!(f.for_mode(FreqMode::Min), 0.0);
+        assert_eq!(f.for_mode(FreqMode::Max), 130.0);
+    }
+
+    #[test]
+    fn concurrency_tag_equality_defines_groups() {
+        assert_eq!(ConcurrencyTag::group(1), ConcurrencyTag::group(1));
+        assert_ne!(ConcurrencyTag::group(1), ConcurrencyTag::group(2));
+        assert_ne!(ConcurrencyTag::group(1), ConcurrencyTag::SEQUENTIAL);
+        assert!(!ConcurrencyTag::SEQUENTIAL.is_concurrent());
+        assert!(ConcurrencyTag::group(0).is_concurrent());
+    }
+
+    #[test]
+    fn weight_list_set_get_replace() {
+        let mut list = WeightList::new();
+        assert_eq!(list.set(k(2), 20), None);
+        assert_eq!(list.set(k(0), 5), None);
+        assert_eq!(list.set(k(2), 25), Some(20));
+        assert_eq!(list.get(k(0)), Some(5));
+        assert_eq!(list.get(k(2)), Some(25));
+        assert_eq!(list.get(k(1)), None);
+        assert_eq!(list.len(), 2);
+        assert!(list.supports(k(0)));
+        assert!(!list.supports(k(9)));
+    }
+
+    #[test]
+    fn weight_list_iterates_sorted() {
+        let list: WeightList = [(k(3), 30), (k(1), 10), (k(2), 20)].into_iter().collect();
+        let classes: Vec<u32> = list.iter().map(|e| e.class.index() as u32).collect();
+        assert_eq!(classes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn datapath_split() {
+        let e = WeightEntry::with_datapath(k(0), 100, 60);
+        assert_eq!(e.control(), 40);
+        assert_eq!(e.datapath, Some(60));
+        let plain = WeightEntry::new(k(0), 100);
+        assert_eq!(plain.control(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds total weight")]
+    fn datapath_larger_than_total_panics() {
+        let _ = WeightEntry::with_datapath(k(0), 10, 11);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AccessFreq::new(1.5, 1, 2).to_string(), "1.5 [1, 2]");
+        assert_eq!(ConcurrencyTag::group(4).to_string(), "tag4");
+        assert_eq!(ConcurrencyTag::SEQUENTIAL.to_string(), "seq");
+        assert_eq!(FreqMode::Max.to_string(), "max");
+    }
+}

@@ -1,0 +1,254 @@
+//! Communication channels: the edges of the access graph.
+//!
+//! A channel represents an *access* by a source behavior to another
+//! behavior (a subroutine call or message pass), to a variable (read or
+//! write), or to an external port (Section 2.2). Edge direction is the
+//! **initiator** of the access, not the direction of data flow — a cycle in
+//! the graph therefore represents recursion.
+
+use crate::annotation::{AccessFreq, ConcurrencyTag};
+use crate::ids::{AccessTarget, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What flavour of access a channel performs.
+///
+/// The basic format does not need this distinction (all accesses are
+/// edges), but frontends record it because it determines how the `bits`
+/// annotation was computed and it is useful for reporting and
+/// transformations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A subroutine call to another behavior.
+    Call,
+    /// A read of a variable or input port.
+    Read,
+    /// A write of a variable or output port.
+    Write,
+    /// A message pass to another behavior.
+    Message,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Call => "call",
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Message => "message",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A channel `c = <src, dst, accfreq, bits>`: one edge of the SLIF access
+/// graph, fully annotated.
+///
+/// * `src` is always a behavior node (`src ∈ B_all`);
+/// * `dst` is a behavior, variable, or external port
+///   (`dst ∈ BV_all ∪ IO_all`);
+/// * [`freq`](Channel::freq) counts accesses per start-to-finish execution
+///   of `src`;
+/// * [`bits`](Channel::bits) is the number of bits transferred per access —
+///   for a scalar its encoding width, for an array element the element
+///   width plus the address bits needed to select an element, for a call
+///   the total parameter bits, for a message the message encoding width;
+/// * [`tag`](Channel::tag) groups same-source channels that may be accessed
+///   concurrently.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::{AccessFreq, AccessKind, Channel, NodeId};
+///
+/// // EvaluateRule reads array mr1 65 times per execution, 15 bits per access.
+/// let c = Channel::new(
+///     NodeId::from_raw(1),
+///     NodeId::from_raw(4).into(),
+///     AccessKind::Read,
+/// )
+/// .with_freq(AccessFreq::new(65.0, 0, 130))
+/// .with_bits(15);
+/// assert_eq!(c.bits(), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    src: NodeId,
+    dst: AccessTarget,
+    kind: AccessKind,
+    freq: AccessFreq,
+    bits: u32,
+    tag: ConcurrencyTag,
+}
+
+impl Channel {
+    /// Creates a channel with default annotations (one access of one bit,
+    /// sequential).
+    pub fn new(src: NodeId, dst: AccessTarget, kind: AccessKind) -> Self {
+        Self {
+            src,
+            dst,
+            kind,
+            freq: AccessFreq::default(),
+            bits: 1,
+            tag: ConcurrencyTag::SEQUENTIAL,
+        }
+    }
+
+    /// Sets the access-frequency annotation (builder style).
+    pub fn with_freq(mut self, freq: AccessFreq) -> Self {
+        self.freq = freq;
+        self
+    }
+
+    /// Sets the bits-per-access annotation (builder style).
+    pub fn with_bits(mut self, bits: u32) -> Self {
+        self.bits = bits;
+        self
+    }
+
+    /// Sets the concurrency tag (builder style).
+    pub fn with_tag(mut self, tag: ConcurrencyTag) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// The accessing (initiating) behavior.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The accessed behavior, variable, or port.
+    pub fn dst(&self) -> AccessTarget {
+        self.dst
+    }
+
+    /// The flavour of access.
+    pub fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    /// Accesses per start-to-finish execution of the source behavior.
+    pub fn freq(&self) -> AccessFreq {
+        self.freq
+    }
+
+    /// Mutable access to the frequency annotation.
+    pub fn freq_mut(&mut self) -> &mut AccessFreq {
+        &mut self.freq
+    }
+
+    /// Bits transferred per access.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Sets the bits-per-access annotation.
+    pub fn set_bits(&mut self, bits: u32) {
+        self.bits = bits;
+    }
+
+    /// The concurrency tag.
+    pub fn tag(&self) -> ConcurrencyTag {
+        self.tag
+    }
+
+    /// Sets the concurrency tag.
+    pub fn set_tag(&mut self, tag: ConcurrencyTag) {
+        self.tag = tag;
+    }
+
+    /// Average bits transferred per source execution
+    /// (`freq.avg * bits`) — the numerator of the paper's Equation 2.
+    pub fn avg_traffic(&self) -> f64 {
+        self.freq.avg * f64::from(self.bits)
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} ({}, freq {}, {} bits, {})",
+            self.src, self.dst, self.kind, self.freq, self.bits, self.tag
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PortId;
+
+    #[test]
+    fn builder_sets_annotations() {
+        let c = Channel::new(
+            NodeId::from_raw(0),
+            AccessTarget::Node(NodeId::from_raw(1)),
+            AccessKind::Call,
+        )
+        .with_freq(AccessFreq::exact(2))
+        .with_bits(8)
+        .with_tag(ConcurrencyTag::group(1));
+        assert_eq!(c.src(), NodeId::from_raw(0));
+        assert_eq!(c.dst().node(), Some(NodeId::from_raw(1)));
+        assert_eq!(c.kind(), AccessKind::Call);
+        assert_eq!(c.freq().avg, 2.0);
+        assert_eq!(c.bits(), 8);
+        assert!(c.tag().is_concurrent());
+    }
+
+    #[test]
+    fn defaults_are_one_access_one_bit_sequential() {
+        let c = Channel::new(
+            NodeId::from_raw(0),
+            AccessTarget::Port(PortId::from_raw(0)),
+            AccessKind::Write,
+        );
+        assert_eq!(c.freq().avg, 1.0);
+        assert_eq!(c.bits(), 1);
+        assert_eq!(c.tag(), ConcurrencyTag::SEQUENTIAL);
+    }
+
+    #[test]
+    fn avg_traffic_multiplies_freq_and_bits() {
+        let c = Channel::new(
+            NodeId::from_raw(0),
+            AccessTarget::Node(NodeId::from_raw(1)),
+            AccessKind::Read,
+        )
+        .with_freq(AccessFreq::new(65.0, 0, 130))
+        .with_bits(15);
+        assert_eq!(c.avg_traffic(), 975.0);
+    }
+
+    #[test]
+    fn mutators_update_annotations() {
+        let mut c = Channel::new(
+            NodeId::from_raw(0),
+            AccessTarget::Node(NodeId::from_raw(1)),
+            AccessKind::Write,
+        );
+        c.set_bits(32);
+        c.set_tag(ConcurrencyTag::group(7));
+        c.freq_mut().avg = 3.5;
+        assert_eq!(c.bits(), 32);
+        assert_eq!(c.tag().id(), Some(7));
+        assert_eq!(c.freq().avg, 3.5);
+    }
+
+    #[test]
+    fn display_mentions_all_annotations() {
+        let c = Channel::new(
+            NodeId::from_raw(2),
+            AccessTarget::Node(NodeId::from_raw(5)),
+            AccessKind::Read,
+        )
+        .with_bits(15)
+        .with_freq(AccessFreq::exact(65));
+        let s = c.to_string();
+        assert!(s.contains("bv2"), "{s}");
+        assert!(s.contains("bv5"), "{s}");
+        assert!(s.contains("15 bits"), "{s}");
+    }
+}

@@ -1,0 +1,394 @@
+//! Structural objects: component classes, processors, memories, and buses.
+//!
+//! SLIF represents "not only functionality, but also the mapping of that
+//! functionality to a variety of system component types" (Section 1). The
+//! structural side has two levels:
+//!
+//! * [`ComponentClass`] — a component *type* from a technology library
+//!   (e.g. "8051 microcontroller", "gate-array ASIC", "SRAM"). Node
+//!   `ict`/`size` weight lists are keyed by class, so pre-computed weights
+//!   apply to every instance of the class.
+//! * Component *instances*: [`Processor`] (`p_k = <BV, sizecon>`),
+//!   [`Memory`] (`m_k = <V, sizecon>`), and [`Bus`]
+//!   (`i_k = <C, bitwidth, ts, td>`). The `BV`/`V`/`C` membership sets live
+//!   in [`Partition`](crate::Partition), not here, so that many candidate
+//!   partitions can share one component allocation.
+
+use crate::ids::ClassId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The technology kind of a component class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClassKind {
+    /// A standard (software-programmed) processor; node sizes on this
+    /// class are program/data bytes, ict comes from compilation.
+    StdProcessor,
+    /// A custom hardware part (standard-cell / gate-array ASIC or FPGA);
+    /// node sizes are gates (or equivalent), ict comes from synthesis.
+    CustomHw,
+    /// A standard memory; variable sizes are words, ict is access time.
+    Memory,
+}
+
+impl ClassKind {
+    /// Returns `true` when a *behavior* node may be implemented on this
+    /// class kind (behaviors go on processors, never on memories).
+    pub fn holds_behaviors(self) -> bool {
+        matches!(self, ClassKind::StdProcessor | ClassKind::CustomHw)
+    }
+}
+
+impl fmt::Display for ClassKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ClassKind::StdProcessor => "std-processor",
+            ClassKind::CustomHw => "custom-hw",
+            ClassKind::Memory => "memory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A component type from the technology library.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::{ClassKind, ComponentClass};
+///
+/// let proc8 = ComponentClass::new("proc8", ClassKind::StdProcessor);
+/// assert!(proc8.kind().holds_behaviors());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentClass {
+    name: String,
+    kind: ClassKind,
+}
+
+impl ComponentClass {
+    /// Creates a class.
+    pub fn new(name: impl Into<String>, kind: ClassKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The class name (unique within a design's class table).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The technology kind.
+    pub fn kind(&self) -> ClassKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for ComponentClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+/// A processor instance `p_k = <BV, sizecon>` — standard processor or
+/// custom ASIC — to which behaviors and variables may be mapped.
+///
+/// The size constraint is the maximum the component can implement (program
+/// bytes for a standard processor, gates for an ASIC); the pin constraint
+/// is the available I/O (Section 2.4.2–2.4.3). `None` means unconstrained.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Processor {
+    name: String,
+    class: ClassId,
+    size_constraint: Option<u64>,
+    pin_constraint: Option<u32>,
+}
+
+impl Processor {
+    /// Creates an unconstrained processor of the given class.
+    pub fn new(name: impl Into<String>, class: ClassId) -> Self {
+        Self {
+            name: name.into(),
+            class,
+            size_constraint: None,
+            pin_constraint: None,
+        }
+    }
+
+    /// Sets the maximum size (bytes or gates) the component can implement.
+    pub fn with_size_constraint(mut self, max: u64) -> Self {
+        self.size_constraint = Some(max);
+        self
+    }
+
+    /// Sets the number of available I/O pins.
+    pub fn with_pin_constraint(mut self, pins: u32) -> Self {
+        self.pin_constraint = Some(pins);
+        self
+    }
+
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component class this instance belongs to.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Maximum implementable size, if constrained.
+    pub fn size_constraint(&self) -> Option<u64> {
+        self.size_constraint
+    }
+
+    /// Available I/O pins, if constrained.
+    pub fn pin_constraint(&self) -> Option<u32> {
+        self.pin_constraint
+    }
+}
+
+impl fmt::Display for Processor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "processor {}", self.name)?;
+        if let Some(s) = self.size_constraint {
+            write!(f, " size<={s}")?;
+        }
+        if let Some(p) = self.pin_constraint {
+            write!(f, " pins<={p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A memory instance `m_k = <V, sizecon>` to which variables may be mapped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Memory {
+    name: String,
+    class: ClassId,
+    size_constraint: Option<u64>,
+}
+
+impl Memory {
+    /// Creates an unconstrained memory of the given class.
+    pub fn new(name: impl Into<String>, class: ClassId) -> Self {
+        Self {
+            name: name.into(),
+            class,
+            size_constraint: None,
+        }
+    }
+
+    /// Sets the maximum number of words the memory holds.
+    pub fn with_size_constraint(mut self, max: u64) -> Self {
+        self.size_constraint = Some(max);
+        self
+    }
+
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component class this instance belongs to.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Maximum word capacity, if constrained.
+    pub fn size_constraint(&self) -> Option<u64> {
+        self.size_constraint
+    }
+}
+
+impl fmt::Display for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory {}", self.name)?;
+        if let Some(s) = self.size_constraint {
+            write!(f, " words<={s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A bus instance `i_k = <C, bitwidth, ts, td>` to which channels are
+/// mapped.
+///
+/// * `bitwidth` — physical wires. A channel transferring more bits than the
+///   bus has wires needs multiple transfers (`ceil(bits / bitwidth)`).
+/// * `ts` — time for one transfer when source and destination are on the
+///   *same* component.
+/// * `td` — time for one transfer *between different* components
+///   (usually larger than `ts`).
+/// * `capacity` — optional maximum bitrate for the capacity-limited bitrate
+///   extension (the paper's reference \[2\]); `None` disables it.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::Bus;
+///
+/// let bus = Bus::new("mainbus", 16, 1, 4);
+/// assert_eq!(bus.transfers_for(32), 2); // 32 bits over 16 wires
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bus {
+    name: String,
+    bitwidth: u32,
+    ts: u64,
+    td: u64,
+    capacity: Option<f64>,
+}
+
+impl Bus {
+    /// Creates a bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitwidth` is zero: a bus must have at least one wire.
+    pub fn new(name: impl Into<String>, bitwidth: u32, ts: u64, td: u64) -> Self {
+        assert!(bitwidth > 0, "bus bitwidth must be at least one wire");
+        Self {
+            name: name.into(),
+            bitwidth,
+            ts,
+            td,
+            capacity: None,
+        }
+    }
+
+    /// Sets the maximum bitrate the bus can sustain (bits per time unit).
+    pub fn with_capacity(mut self, bits_per_time: f64) -> Self {
+        self.capacity = Some(bits_per_time);
+        self
+    }
+
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical wires.
+    pub fn bitwidth(&self) -> u32 {
+        self.bitwidth
+    }
+
+    /// Same-component transfer time.
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// Cross-component transfer time.
+    pub fn td(&self) -> u64 {
+        self.td
+    }
+
+    /// Maximum sustainable bitrate, if modelled.
+    pub fn capacity(&self) -> Option<f64> {
+        self.capacity
+    }
+
+    /// Number of bus transfers needed to move `bits` bits:
+    /// `ceil(bits / bitwidth)`, minimum 1 (even a zero-bit access — e.g. a
+    /// parameterless call — occupies the bus once).
+    pub fn transfers_for(&self, bits: u32) -> u64 {
+        u64::from(bits.div_ceil(self.bitwidth)).max(1)
+    }
+
+    /// Time for one access of `bits` bits when source and destination are
+    /// on the same component (`same == true`) or on different components.
+    pub fn access_time(&self, bits: u32, same: bool) -> u64 {
+        let per_transfer = if same { self.ts } else { self.td };
+        self.transfers_for(bits) * per_transfer
+    }
+}
+
+impl fmt::Display for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bus {} {}w ts={} td={}",
+            self.name, self.bitwidth, self.ts, self.td
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_kind_behavior_rules() {
+        assert!(ClassKind::StdProcessor.holds_behaviors());
+        assert!(ClassKind::CustomHw.holds_behaviors());
+        assert!(!ClassKind::Memory.holds_behaviors());
+    }
+
+    #[test]
+    fn processor_constraints() {
+        let p = Processor::new("asic1", ClassId::from_raw(1))
+            .with_size_constraint(100_000)
+            .with_pin_constraint(120);
+        assert_eq!(p.size_constraint(), Some(100_000));
+        assert_eq!(p.pin_constraint(), Some(120));
+        assert_eq!(p.class(), ClassId::from_raw(1));
+        let q = Processor::new("cpu", ClassId::from_raw(0));
+        assert_eq!(q.size_constraint(), None);
+        assert_eq!(q.pin_constraint(), None);
+    }
+
+    #[test]
+    fn memory_constraints() {
+        let m = Memory::new("ram0", ClassId::from_raw(2)).with_size_constraint(65536);
+        assert_eq!(m.size_constraint(), Some(65536));
+        assert_eq!(m.name(), "ram0");
+    }
+
+    #[test]
+    fn bus_transfer_count_rounds_up() {
+        let bus = Bus::new("b", 16, 1, 4);
+        assert_eq!(bus.transfers_for(1), 1);
+        assert_eq!(bus.transfers_for(16), 1);
+        assert_eq!(bus.transfers_for(17), 2);
+        assert_eq!(bus.transfers_for(32), 2);
+        assert_eq!(bus.transfers_for(33), 3);
+        // A zero-bit access still takes one transfer.
+        assert_eq!(bus.transfers_for(0), 1);
+    }
+
+    #[test]
+    fn bus_access_time_uses_ts_or_td() {
+        let bus = Bus::new("b", 16, 2, 5);
+        assert_eq!(bus.access_time(32, true), 4); // 2 transfers * ts
+        assert_eq!(bus.access_time(32, false), 10); // 2 transfers * td
+    }
+
+    #[test]
+    #[should_panic(expected = "bitwidth")]
+    fn zero_width_bus_rejected() {
+        let _ = Bus::new("bad", 0, 1, 1);
+    }
+
+    #[test]
+    fn bus_capacity_annotation() {
+        let bus = Bus::new("b", 8, 1, 2).with_capacity(1000.0);
+        assert_eq!(bus.capacity(), Some(1000.0));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            ComponentClass::new("sram", ClassKind::Memory).to_string(),
+            "sram (memory)"
+        );
+        assert_eq!(
+            Processor::new("cpu", ClassId::from_raw(0))
+                .with_size_constraint(4096)
+                .to_string(),
+            "processor cpu size<=4096"
+        );
+        assert_eq!(Bus::new("b", 16, 1, 4).to_string(), "bus b 16w ts=1 td=4");
+    }
+}

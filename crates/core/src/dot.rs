@@ -1,0 +1,276 @@
+//! Graphviz DOT export of the access graph.
+//!
+//! Reproduces the paper's Figure 2 (basic SLIF-AG: bold process nodes,
+//! plain procedure nodes, rounded variable nodes) and Figure 3 (annotated
+//! SLIF: edge labels with bits/accfreq, node labels with ict lists).
+
+use crate::design::Design;
+use crate::graph::AccessGraph;
+use crate::ids::AccessTarget;
+use crate::node::NodeKind;
+use std::fmt::Write as _;
+
+/// What to include in a DOT rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DotStyle {
+    /// Figure-2 style: topology only.
+    #[default]
+    Basic,
+    /// Figure-3 style: bits/accfreq edge labels and ict node annotations.
+    Annotated,
+}
+
+/// Renders the access graph as a Graphviz `digraph`.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::{AccessGraph, AccessKind, NodeKind, dot::{to_dot, DotStyle}};
+///
+/// let mut ag = AccessGraph::new();
+/// let main = ag.add_node("Main", NodeKind::process());
+/// let v = ag.add_node("v", NodeKind::scalar(8));
+/// ag.add_channel(main, v.into(), AccessKind::Write)?;
+/// let dot = to_dot(&ag, DotStyle::Basic);
+/// assert!(dot.starts_with("digraph slif"));
+/// # Ok::<(), slif_core::CoreError>(())
+/// ```
+pub fn to_dot(graph: &AccessGraph, style: DotStyle) -> String {
+    let mut out = String::new();
+    out.push_str("digraph slif {\n");
+    out.push_str("  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n");
+    for id in graph.node_ids() {
+        let node = graph.node(id);
+        let (shape, penwidth) = match node.kind() {
+            NodeKind::Behavior { process: true } => ("ellipse", 3.0),
+            NodeKind::Behavior { process: false } => ("ellipse", 1.0),
+            NodeKind::Variable { .. } => ("box", 1.0),
+        };
+        let mut label = node.name().to_owned();
+        if style == DotStyle::Annotated && !node.ict().is_empty() {
+            let icts: Vec<String> = node
+                .ict()
+                .iter()
+                .map(|e| format!("{}:{}", e.class, e.val))
+                .collect();
+            let _ = write!(label, "\\nict {{{}}}", icts.join(", "));
+        }
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={shape}, penwidth={penwidth}, label=\"{label}\"];",
+            node.name()
+        );
+    }
+    for id in graph.port_ids() {
+        let port = graph.port(id);
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=plaintext, label=\"{}\"];",
+            port.name(),
+            port.name()
+        );
+    }
+    for cid in graph.channel_ids() {
+        let ch = graph.channel(cid);
+        let src = graph.node(ch.src()).name();
+        let dst = match ch.dst() {
+            AccessTarget::Node(n) => graph.node(n).name().to_owned(),
+            AccessTarget::Port(p) => graph.port(p).name().to_owned(),
+        };
+        match style {
+            DotStyle::Basic => {
+                let _ = writeln!(out, "  \"{src}\" -> \"{dst}\";");
+            }
+            DotStyle::Annotated => {
+                let _ = writeln!(
+                    out,
+                    "  \"{src}\" -> \"{dst}\" [label=\"{}b x{}\"];",
+                    ch.bits(),
+                    ch.freq().avg
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a design's access graph, clustering nodes is left to callers;
+/// this simply delegates to [`to_dot`] on the design's graph.
+pub fn design_to_dot(design: &Design, style: DotStyle) -> String {
+    to_dot(design.graph(), style)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::AccessKind;
+    use crate::ids::ClassId;
+    use crate::node::PortDirection;
+
+    fn fig2_like() -> AccessGraph {
+        let mut ag = AccessGraph::new();
+        let main = ag.add_node("FuzzyMain", NodeKind::process());
+        let eval = ag.add_node("EvaluateRule", NodeKind::procedure());
+        let mr1 = ag.add_node("mr1", NodeKind::array(384, 8));
+        let out1 = ag.add_port("out1", PortDirection::Out, 8);
+        ag.add_channel(main, eval.into(), AccessKind::Call).unwrap();
+        ag.add_channel(eval, mr1.into(), AccessKind::Read).unwrap();
+        ag.add_channel(main, out1.into(), AccessKind::Write)
+            .unwrap();
+        ag
+    }
+
+    #[test]
+    fn basic_dot_contains_all_objects_and_edges() {
+        let dot = to_dot(&fig2_like(), DotStyle::Basic);
+        assert!(dot.contains("\"FuzzyMain\""));
+        assert!(dot.contains("\"EvaluateRule\""));
+        assert!(dot.contains("\"mr1\" [shape=box"));
+        assert!(dot.contains("\"out1\" [shape=plaintext"));
+        assert!(dot.contains("\"FuzzyMain\" -> \"EvaluateRule\";"));
+        assert!(dot.contains("\"EvaluateRule\" -> \"mr1\";"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn process_nodes_are_bold() {
+        let dot = to_dot(&fig2_like(), DotStyle::Basic);
+        // Process gets penwidth 3, procedure penwidth 1.
+        assert!(dot.contains("penwidth=3, label=\"FuzzyMain\""));
+        assert!(dot.contains("penwidth=1, label=\"EvaluateRule\""));
+    }
+
+    #[test]
+    fn annotated_dot_shows_bits_freq_and_ict() {
+        let mut ag = fig2_like();
+        let eval = ag.node_by_name("EvaluateRule").unwrap();
+        ag.node_mut(eval).ict_mut().set(ClassId::from_raw(0), 80);
+        let c = ag.channel_ids().nth(1).unwrap();
+        ag.channel_mut(c).set_bits(15);
+        ag.channel_mut(c).freq_mut().avg = 65.0;
+        let dot = to_dot(&ag, DotStyle::Annotated);
+        assert!(dot.contains("15b x65"), "{dot}");
+        assert!(dot.contains("ict {k0:80}"), "{dot}");
+    }
+}
+
+/// Renders a partitioned design: nodes grouped into one cluster per
+/// processor/memory component, channels labelled with their bus.
+///
+/// Unassigned nodes land outside every cluster; unassigned channels are
+/// drawn dashed.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::gen::DesignGenerator;
+/// use slif_core::dot::partitioned_to_dot;
+///
+/// let (design, partition) = DesignGenerator::new(1).build();
+/// let dot = partitioned_to_dot(&design, &partition);
+/// assert!(dot.contains("subgraph cluster_"));
+/// ```
+pub fn partitioned_to_dot(design: &Design, partition: &crate::Partition) -> String {
+    let g = design.graph();
+    let mut out = String::new();
+    out.push_str("digraph slif_partition {\n");
+    out.push_str("  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n");
+
+    for (idx, pm) in design.pm_refs().enumerate() {
+        let comp_name = match pm {
+            crate::PmRef::Processor(p) => design.processor(p).name(),
+            crate::PmRef::Memory(m) => design.memory(m).name(),
+        };
+        let _ = writeln!(out, "  subgraph cluster_{idx} {{");
+        let _ = writeln!(out, "    label=\"{comp_name}\";");
+        for n in partition.nodes_on(pm) {
+            let node = g.node(n);
+            let (shape, penwidth) = match node.kind() {
+                NodeKind::Behavior { process: true } => ("ellipse", 3.0),
+                NodeKind::Behavior { process: false } => ("ellipse", 1.0),
+                NodeKind::Variable { .. } => ("box", 1.0),
+            };
+            let _ = writeln!(
+                out,
+                "    \"{}\" [shape={shape}, penwidth={penwidth}];",
+                node.name()
+            );
+        }
+        out.push_str("  }\n");
+    }
+    // Ports and any unassigned nodes sit outside the clusters.
+    for p in g.port_ids() {
+        let _ = writeln!(out, "  \"{}\" [shape=plaintext];", g.port(p).name());
+    }
+    for n in g.node_ids() {
+        if partition.node_component(n).is_none() {
+            let _ = writeln!(out, "  \"{}\" [style=dotted];", g.node(n).name());
+        }
+    }
+    for c in g.channel_ids() {
+        let ch = g.channel(c);
+        let src = g.node(ch.src()).name();
+        let dst = match ch.dst() {
+            AccessTarget::Node(n) => g.node(n).name().to_owned(),
+            AccessTarget::Port(p) => g.port(p).name().to_owned(),
+        };
+        match partition.channel_bus(c) {
+            Some(bus) => {
+                let _ = writeln!(
+                    out,
+                    "  \"{src}\" -> \"{dst}\" [label=\"{}\"];",
+                    design.bus(bus).name()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  \"{src}\" -> \"{dst}\" [style=dashed];");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod partitioned_tests {
+    use super::*;
+    use crate::gen::DesignGenerator;
+
+    #[test]
+    fn clusters_cover_every_assigned_node() {
+        let (design, partition) = DesignGenerator::new(3).build();
+        let dot = partitioned_to_dot(&design, &partition);
+        assert!(dot.starts_with("digraph slif_partition"));
+        for n in design.graph().node_ids() {
+            assert!(
+                dot.contains(&format!("\"{}\"", design.graph().node(n).name())),
+                "missing node {}",
+                design.graph().node(n).name()
+            );
+        }
+        // One cluster per component.
+        let clusters = dot.matches("subgraph cluster_").count();
+        assert_eq!(clusters, design.processor_count() + design.memory_count());
+    }
+
+    #[test]
+    fn channels_carry_bus_labels() {
+        let (design, partition) = DesignGenerator::new(4).build();
+        let dot = partitioned_to_dot(&design, &partition);
+        assert!(dot.contains("label=\"bus0\""));
+        assert!(!dot.contains("style=dashed"), "all channels are mapped");
+    }
+
+    #[test]
+    fn unassigned_objects_are_marked() {
+        let (design, mut partition) = DesignGenerator::new(5).build();
+        let n = design.graph().node_ids().next().unwrap();
+        let c = design.graph().channel_ids().next().unwrap();
+        partition.unassign_node(n);
+        partition.unassign_channel(c);
+        let dot = partitioned_to_dot(&design, &partition);
+        assert!(dot.contains("style=dotted"));
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Error types for SLIF construction and validation.
+
+use crate::ids::{AccessTarget, BusId, ChannelId, MemoryId, NodeId, PmRef, ProcessorId};
+use std::error::Error;
+use std::fmt;
+
+/// Error building or validating a SLIF design.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A channel's source is not a behavior node (`src` must be in `B_all`).
+    SourceNotBehavior {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A channel's access kind does not match its destination, e.g. a
+    /// `Call` to a variable or a `Read` of a behavior.
+    KindTargetMismatch {
+        /// The channel's access kind, as text.
+        kind: &'static str,
+        /// The offending destination.
+        dst: AccessTarget,
+    },
+    /// Two distinct nodes (or ports) carry the same name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A name was looked up but does not exist in the design.
+    UnknownName {
+        /// The missing name.
+        name: String,
+    },
+    /// A behavior was mapped to a memory component.
+    BehaviorInMemory {
+        /// The behavior node.
+        node: NodeId,
+        /// The memory it was mapped to.
+        memory: MemoryId,
+    },
+    /// A functional object is not mapped to any component, so the partition
+    /// is not proper ("each functional object is mapped to exactly one
+    /// system component").
+    UnmappedNode {
+        /// The unmapped node.
+        node: NodeId,
+    },
+    /// A channel is not mapped to any bus.
+    UnmappedChannel {
+        /// The unmapped channel.
+        channel: ChannelId,
+    },
+    /// A node was mapped to a component instance that does not exist in
+    /// the design.
+    UnknownComponent {
+        /// The dangling reference.
+        component: PmRef,
+    },
+    /// A channel was mapped to a bus that does not exist in the design.
+    UnknownBus {
+        /// The dangling reference.
+        bus: BusId,
+    },
+    /// A node lacks the weight needed for the component class it was
+    /// mapped to ("one weight for each type of system component on which
+    /// that node could possibly be implemented").
+    MissingWeight {
+        /// The node missing a weight.
+        node: NodeId,
+        /// Which list is incomplete: `"ict"` or `"size"`.
+        list: &'static str,
+        /// The component the node is mapped to.
+        component: PmRef,
+    },
+    /// Execution-time estimation encountered a cycle of call accesses,
+    /// which represents recursion; the paper's Equation 1 has no finite
+    /// value for recursive behaviors.
+    RecursiveAccess {
+        /// A node on the cycle.
+        node: NodeId,
+    },
+    /// A processor id is out of range for this design.
+    InvalidProcessor {
+        /// The offending id.
+        processor: ProcessorId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::SourceNotBehavior { node } => {
+                write!(f, "channel source {node} is not a behavior")
+            }
+            CoreError::KindTargetMismatch { kind, dst } => {
+                write!(f, "{kind} access cannot target {dst}")
+            }
+            CoreError::DuplicateName { name } => {
+                write!(f, "duplicate object name `{name}`")
+            }
+            CoreError::UnknownName { name } => {
+                write!(f, "no object named `{name}`")
+            }
+            CoreError::BehaviorInMemory { node, memory } => {
+                write!(f, "behavior {node} mapped to memory {memory}")
+            }
+            CoreError::UnmappedNode { node } => {
+                write!(f, "node {node} is not mapped to any component")
+            }
+            CoreError::UnmappedChannel { channel } => {
+                write!(f, "channel {channel} is not mapped to any bus")
+            }
+            CoreError::UnknownComponent { component } => {
+                write!(f, "component {component} does not exist in the design")
+            }
+            CoreError::UnknownBus { bus } => {
+                write!(f, "bus {bus} does not exist in the design")
+            }
+            CoreError::MissingWeight {
+                node,
+                list,
+                component,
+            } => {
+                write!(
+                    f,
+                    "node {node} has no {list} weight for the class of component {component}"
+                )
+            }
+            CoreError::RecursiveAccess { node } => {
+                write!(
+                    f,
+                    "access cycle (recursion) through {node}; execution time is undefined"
+                )
+            }
+            CoreError::InvalidProcessor { processor } => {
+                write!(f, "processor {processor} does not exist in the design")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = CoreError::UnmappedNode {
+            node: NodeId::from_raw(3),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("bv3"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        let e = CoreError::MissingWeight {
+            node: NodeId::from_raw(1),
+            list: "ict",
+            component: PmRef::Processor(ProcessorId::from_raw(0)),
+        };
+        assert!(e.to_string().contains("ict"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+    }
+}

@@ -1,0 +1,606 @@
+//! The SLIF access graph (AG).
+//!
+//! "Because this graph is oriented around the various accesses among
+//! functional objects, we refer to it as an access graph" (Section 2.2).
+//! Nodes are behaviors and variables; edges (channels) are accesses,
+//! directed from the initiating behavior to the accessed object. The graph
+//! is "very much like a call-graph commonly used for software profiling,
+//! with variables included in addition to procedures".
+//!
+//! [`AccessGraph`] validates structure on insertion — channel sources must
+//! be behaviors, access kinds must match their targets — and maintains
+//! adjacency indexes so the paper's `GetBehChans(b)` query is O(out-degree).
+
+use crate::channel::{AccessKind, Channel};
+use crate::error::CoreError;
+use crate::ids::{AccessTarget, ChannelId, NodeId, PortId};
+use crate::node::{Node, NodeKind, Port};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The functional-object side of SLIF: `< BV_all, IO_all, C_all >`.
+///
+/// # Examples
+///
+/// Building the heart of the paper's Figure 2 (the fuzzy-logic controller):
+///
+/// ```
+/// use slif_core::{AccessGraph, AccessKind, NodeKind, PortDirection};
+///
+/// let mut ag = AccessGraph::new();
+/// let main = ag.add_node("FuzzyMain", NodeKind::process());
+/// let eval = ag.add_node("EvaluateRule", NodeKind::procedure());
+/// let in1val = ag.add_node("in1val", NodeKind::scalar(8));
+/// let in1 = ag.add_port("in1", PortDirection::In, 8);
+///
+/// ag.add_channel(main, in1.into(), AccessKind::Read)?;
+/// ag.add_channel(main, in1val.into(), AccessKind::Write)?;
+/// ag.add_channel(main, eval.into(), AccessKind::Call)?;
+/// ag.add_channel(eval, in1val.into(), AccessKind::Read)?;
+///
+/// assert_eq!(ag.node_count(), 3);
+/// assert_eq!(ag.channel_count(), 4);
+/// assert_eq!(ag.channels_of(main).count(), 3);
+/// # Ok::<(), slif_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccessGraph {
+    nodes: Vec<Node>,
+    ports: Vec<Port>,
+    channels: Vec<Channel>,
+    /// Outgoing channel ids per node (indexed by node).
+    out_channels: Vec<Vec<ChannelId>>,
+    /// Incoming channel ids per node (indexed by node).
+    in_channels: Vec<Vec<ChannelId>>,
+    /// Incoming channel ids per port (indexed by port).
+    port_channels: Vec<Vec<ChannelId>>,
+    /// Name lookup across nodes and ports.
+    names: HashMap<String, NameEntry>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum NameEntry {
+    Node(NodeId),
+    Port(PortId),
+}
+
+impl AccessGraph {
+    /// Creates an empty access graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a behavior or variable node and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another node or port already uses `name`; specifications
+    /// have a single flat namespace of system-level objects, and the
+    /// frontend mangles nested scopes before reaching this point.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        let name = name.into();
+        let id = NodeId(self.nodes.len() as u32);
+        let prev = self.names.insert(name.clone(), NameEntry::Node(id));
+        assert!(prev.is_none(), "duplicate object name `{name}`");
+        self.nodes.push(Node::new(name, kind));
+        self.out_channels.push(Vec::new());
+        self.in_channels.push(Vec::new());
+        id
+    }
+
+    /// Adds an external port and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another node or port already uses `name`.
+    pub fn add_port(
+        &mut self,
+        name: impl Into<String>,
+        direction: crate::node::PortDirection,
+        bits: u32,
+    ) -> PortId {
+        let name = name.into();
+        let id = PortId(self.ports.len() as u32);
+        let prev = self.names.insert(name.clone(), NameEntry::Port(id));
+        assert!(prev.is_none(), "duplicate object name `{name}`");
+        self.ports.push(Port::new(name, direction, bits));
+        self.port_channels.push(Vec::new());
+        id
+    }
+
+    /// Adds a channel from behavior `src` to `dst` and returns its id.
+    ///
+    /// The paper merges repeated accesses into a single edge (the two calls
+    /// of `EvaluateRule` by `FuzzyMain` "translate to a single edge"); use
+    /// [`find_channel`](Self::find_channel) first, or
+    /// [`add_or_merge_channel`](Self::add_or_merge_channel), to get that
+    /// behaviour.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::SourceNotBehavior`] if `src` is a variable node.
+    /// * [`CoreError::KindTargetMismatch`] if the access kind cannot target
+    ///   `dst` (calls and messages must target behaviors; reads and writes
+    ///   must target variables or ports).
+    pub fn add_channel(
+        &mut self,
+        src: NodeId,
+        dst: AccessTarget,
+        kind: AccessKind,
+    ) -> Result<ChannelId, CoreError> {
+        self.check_channel(src, dst, kind)?;
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(Channel::new(src, dst, kind));
+        self.out_channels[src.index()].push(id);
+        match dst {
+            AccessTarget::Node(n) => self.in_channels[n.index()].push(id),
+            AccessTarget::Port(p) => self.port_channels[p.index()].push(id),
+        }
+        Ok(id)
+    }
+
+    /// Returns the existing channel `src → dst` of the same kind, or adds
+    /// one. Merging repeated accesses into one edge is how SLIF stays
+    /// coarse: the frontend accumulates access frequencies on the single
+    /// edge instead.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_channel`](Self::add_channel).
+    pub fn add_or_merge_channel(
+        &mut self,
+        src: NodeId,
+        dst: AccessTarget,
+        kind: AccessKind,
+    ) -> Result<ChannelId, CoreError> {
+        if let Some(existing) = self.find_channel(src, dst, kind) {
+            return Ok(existing);
+        }
+        self.add_channel(src, dst, kind)
+    }
+
+    /// Finds the channel `src → dst` with the given kind, if present.
+    pub fn find_channel(
+        &self,
+        src: NodeId,
+        dst: AccessTarget,
+        kind: AccessKind,
+    ) -> Option<ChannelId> {
+        self.out_channels
+            .get(src.index())?
+            .iter()
+            .copied()
+            .find(|&c| {
+                let ch = &self.channels[c.index()];
+                ch.dst() == dst && ch.kind() == kind
+            })
+    }
+
+    fn check_channel(
+        &self,
+        src: NodeId,
+        dst: AccessTarget,
+        kind: AccessKind,
+    ) -> Result<(), CoreError> {
+        if !self.node(src).kind().is_behavior() {
+            return Err(CoreError::SourceNotBehavior { node: src });
+        }
+        let dst_is_behavior = match dst {
+            AccessTarget::Node(n) => self.node(n).kind().is_behavior(),
+            AccessTarget::Port(p) => {
+                // Validate the port id eagerly.
+                let _ = self.port(p);
+                false
+            }
+        };
+        let ok = match kind {
+            AccessKind::Call | AccessKind::Message => dst_is_behavior,
+            AccessKind::Read | AccessKind::Write => !dst_is_behavior,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CoreError::KindTargetMismatch {
+                kind: match kind {
+                    AccessKind::Call => "call",
+                    AccessKind::Message => "message",
+                    AccessKind::Read => "read",
+                    AccessKind::Write => "write",
+                },
+                dst,
+            })
+        }
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this graph.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node (for annotation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this graph.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The port with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this graph.
+    pub fn port(&self, id: PortId) -> &Port {
+        &self.ports[id.index()]
+    }
+
+    /// The channel with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this graph.
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Mutable access to a channel (for annotation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this graph.
+    pub fn channel_mut(&mut self, id: ChannelId) -> &mut Channel {
+        &mut self.channels[id.index()]
+    }
+
+    /// Looks up a node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        match self.names.get(name) {
+            Some(NameEntry::Node(id)) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Looks up a port by name.
+    pub fn port_by_name(&self, name: &str) -> Option<PortId> {
+        match self.names.get(name) {
+            Some(NameEntry::Port(id)) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Number of behavior + variable nodes (`|BV_all|` — the "BV" column
+    /// of the paper's Figure 4).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of external ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of channels (`|C_all|` — the "C" column of Figure 4).
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all port ids.
+    pub fn port_ids(&self) -> impl Iterator<Item = PortId> + '_ {
+        (0..self.ports.len() as u32).map(PortId)
+    }
+
+    /// Iterates over all channel ids.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        (0..self.channels.len() as u32).map(ChannelId)
+    }
+
+    /// Iterates over behavior node ids only (`B_all`).
+    pub fn behavior_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids()
+            .filter(|&n| self.node(n).kind().is_behavior())
+    }
+
+    /// Iterates over variable node ids only (`V_all`).
+    pub fn variable_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids()
+            .filter(|&n| self.node(n).kind().is_variable())
+    }
+
+    /// The channels accessed by behavior `b` — the paper's
+    /// `GetBehChans(b)`: all channels `c` with `c.src == b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` did not come from this graph.
+    pub fn channels_of(&self, b: NodeId) -> impl Iterator<Item = ChannelId> + '_ {
+        self.out_channels[b.index()].iter().copied()
+    }
+
+    /// The channels that access node `n` (calls of a behavior, reads and
+    /// writes of a variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` did not come from this graph.
+    pub fn accessors_of(&self, n: NodeId) -> impl Iterator<Item = ChannelId> + '_ {
+        self.in_channels[n.index()].iter().copied()
+    }
+
+    /// The channels that access external port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` did not come from this graph.
+    pub fn port_accessors(&self, p: PortId) -> impl Iterator<Item = ChannelId> + '_ {
+        self.port_channels[p.index()].iter().copied()
+    }
+
+    /// Returns a node on a call/message cycle, if any such cycle exists.
+    ///
+    /// "A cycle would represent recursion" (Section 2.2). Execution-time
+    /// estimation requires an acyclic behavior-access structure, so callers
+    /// use this to detect recursion up front.
+    pub fn find_recursion(&self) -> Option<NodeId> {
+        // Iterative DFS over behavior→behavior edges with colour marking.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.nodes.len()];
+        for start in self.behavior_ids() {
+            if colour[start.index()] != Colour::White {
+                continue;
+            }
+            // Stack of (node, next-edge-index).
+            let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+            colour[start.index()] = Colour::Grey;
+            'dfs: while let Some(&(n, _)) = stack.last() {
+                let out = &self.out_channels[n.index()];
+                loop {
+                    let next = stack.last().expect("stack is non-empty").1;
+                    if next >= out.len() {
+                        break;
+                    }
+                    stack.last_mut().expect("stack is non-empty").1 += 1;
+                    let ch = &self.channels[out[next].index()];
+                    if let AccessTarget::Node(dst) = ch.dst() {
+                        if self.node(dst).kind().is_behavior() {
+                            match colour[dst.index()] {
+                                Colour::Grey => return Some(dst),
+                                Colour::White => {
+                                    colour[dst.index()] = Colour::Grey;
+                                    stack.push((dst, 0));
+                                    continue 'dfs;
+                                }
+                                Colour::Black => {}
+                            }
+                        }
+                    }
+                }
+                colour[n.index()] = Colour::Black;
+                stack.pop();
+            }
+        }
+        None
+    }
+
+    /// Returns the behavior ids in reverse topological order of the
+    /// behavior-access (call) relation: every behavior appears after all
+    /// behaviors it accesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::RecursiveAccess`] if the call structure is
+    /// cyclic.
+    pub fn behaviors_bottom_up(&self) -> Result<Vec<NodeId>, CoreError> {
+        if let Some(node) = self.find_recursion() {
+            return Err(CoreError::RecursiveAccess { node });
+        }
+        let mut order = Vec::new();
+        let mut state = vec![0u8; self.nodes.len()]; // 0 unvisited, 1 in-stack, 2 done
+        for start in self.behavior_ids() {
+            if state[start.index()] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+            state[start.index()] = 1;
+            'dfs: while let Some(&(n, _)) = stack.last() {
+                let out = &self.out_channels[n.index()];
+                loop {
+                    let next = stack.last().expect("stack is non-empty").1;
+                    if next >= out.len() {
+                        break;
+                    }
+                    stack.last_mut().expect("stack is non-empty").1 += 1;
+                    let ch = &self.channels[out[next].index()];
+                    if let AccessTarget::Node(dst) = ch.dst() {
+                        if self.node(dst).kind().is_behavior() && state[dst.index()] == 0 {
+                            state[dst.index()] = 1;
+                            stack.push((dst, 0));
+                            continue 'dfs;
+                        }
+                    }
+                }
+                state[n.index()] = 2;
+                order.push(n);
+                stack.pop();
+            }
+        }
+        Ok(order)
+    }
+
+    /// All nodes from which `target` is reachable over channels (including
+    /// `target` itself): the transitive initiators whose estimates depend
+    /// on `target`. Used by incremental estimation to invalidate caches.
+    pub fn dependents_of(&self, target: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![target];
+        seen[target.index()] = true;
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in &self.in_channels[n.index()] {
+                let src = self.channels[c.index()].src();
+                if !seen[src.index()] {
+                    seen[src.index()] = true;
+                    stack.push(src);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PortDirection;
+
+    fn tiny() -> (AccessGraph, NodeId, NodeId, NodeId) {
+        let mut ag = AccessGraph::new();
+        let main = ag.add_node("Main", NodeKind::process());
+        let sub = ag.add_node("Sub", NodeKind::procedure());
+        let v = ag.add_node("v", NodeKind::scalar(8));
+        (ag, main, sub, v)
+    }
+
+    #[test]
+    fn add_and_query_channels() {
+        let (mut ag, main, sub, v) = tiny();
+        let c1 = ag.add_channel(main, sub.into(), AccessKind::Call).unwrap();
+        let c2 = ag.add_channel(sub, v.into(), AccessKind::Write).unwrap();
+        assert_eq!(ag.channels_of(main).collect::<Vec<_>>(), vec![c1]);
+        assert_eq!(ag.channels_of(sub).collect::<Vec<_>>(), vec![c2]);
+        assert_eq!(ag.accessors_of(sub).collect::<Vec<_>>(), vec![c1]);
+        assert_eq!(ag.accessors_of(v).collect::<Vec<_>>(), vec![c2]);
+    }
+
+    #[test]
+    fn variable_cannot_initiate_access() {
+        let (mut ag, _main, sub, v) = tiny();
+        let err = ag.add_channel(v, sub.into(), AccessKind::Call).unwrap_err();
+        assert_eq!(err, CoreError::SourceNotBehavior { node: v });
+    }
+
+    #[test]
+    fn call_must_target_behavior() {
+        let (mut ag, main, _sub, v) = tiny();
+        let err = ag
+            .add_channel(main, v.into(), AccessKind::Call)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::KindTargetMismatch { .. }));
+    }
+
+    #[test]
+    fn read_must_target_variable_or_port() {
+        let (mut ag, main, sub, _v) = tiny();
+        let err = ag
+            .add_channel(main, sub.into(), AccessKind::Read)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::KindTargetMismatch { .. }));
+        let p = ag.add_port("in1", PortDirection::In, 8);
+        assert!(ag.add_channel(main, p.into(), AccessKind::Read).is_ok());
+    }
+
+    #[test]
+    fn merge_reuses_existing_edge() {
+        let (mut ag, main, sub, _v) = tiny();
+        let c1 = ag
+            .add_or_merge_channel(main, sub.into(), AccessKind::Call)
+            .unwrap();
+        let c2 = ag
+            .add_or_merge_channel(main, sub.into(), AccessKind::Call)
+            .unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(ag.channel_count(), 1);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (mut ag, main, _sub, v) = tiny();
+        let p = ag.add_port("in1", PortDirection::In, 8);
+        assert_eq!(ag.node_by_name("Main"), Some(main));
+        assert_eq!(ag.node_by_name("v"), Some(v));
+        assert_eq!(ag.port_by_name("in1"), Some(p));
+        assert_eq!(ag.node_by_name("in1"), None);
+        assert_eq!(ag.node_by_name("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate object name")]
+    fn duplicate_names_rejected() {
+        let mut ag = AccessGraph::new();
+        ag.add_node("x", NodeKind::scalar(8));
+        ag.add_node("x", NodeKind::process());
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let (mut ag, main, sub, _v) = tiny();
+        ag.add_channel(main, sub.into(), AccessKind::Call).unwrap();
+        assert_eq!(ag.find_recursion(), None);
+        ag.add_channel(sub, main.into(), AccessKind::Call).unwrap();
+        assert!(ag.find_recursion().is_some());
+        assert!(matches!(
+            ag.behaviors_bottom_up(),
+            Err(CoreError::RecursiveAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let (mut ag, _main, sub, _v) = tiny();
+        ag.add_channel(sub, sub.into(), AccessKind::Call).unwrap();
+        assert_eq!(ag.find_recursion(), Some(sub));
+    }
+
+    #[test]
+    fn bottom_up_order_has_callees_first() {
+        let (mut ag, main, sub, _v) = tiny();
+        let leaf = ag.add_node("Leaf", NodeKind::procedure());
+        ag.add_channel(main, sub.into(), AccessKind::Call).unwrap();
+        ag.add_channel(sub, leaf.into(), AccessKind::Call).unwrap();
+        let order = ag.behaviors_bottom_up().unwrap();
+        let pos = |n: NodeId| order.iter().position(|&m| m == n).unwrap();
+        assert!(pos(leaf) < pos(sub));
+        assert!(pos(sub) < pos(main));
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn dependents_walks_initiators_transitively() {
+        let (mut ag, main, sub, v) = tiny();
+        ag.add_channel(main, sub.into(), AccessKind::Call).unwrap();
+        ag.add_channel(sub, v.into(), AccessKind::Write).unwrap();
+        let mut deps = ag.dependents_of(v);
+        deps.sort();
+        assert_eq!(deps, vec![main, sub, v]);
+        let deps_main = ag.dependents_of(main);
+        assert_eq!(deps_main, vec![main]);
+    }
+
+    #[test]
+    fn counts_track_insertions() {
+        let (mut ag, main, _sub, v) = tiny();
+        assert_eq!(ag.node_count(), 3);
+        assert_eq!(ag.channel_count(), 0);
+        ag.add_port("o", PortDirection::Out, 4);
+        ag.add_channel(main, v.into(), AccessKind::Read).unwrap();
+        assert_eq!(ag.port_count(), 1);
+        assert_eq!(ag.channel_count(), 1);
+        assert_eq!(ag.behavior_ids().count(), 2);
+        assert_eq!(ag.variable_ids().count(), 1);
+    }
+}

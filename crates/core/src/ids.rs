@@ -1,0 +1,239 @@
+//! Typed identifiers for the objects of a SLIF design.
+//!
+//! Every object in a [`Design`](crate::Design) — functional objects (nodes,
+//! ports, channels) and structural objects (processors, memories, buses,
+//! component classes) — is referred to by a small copyable index newtype.
+//! The newtypes prevent, at compile time, a bus index from being used where
+//! a node index is expected ([C-NEWTYPE]).
+//!
+//! Identifiers are only meaningful relative to the design that issued them;
+//! all accessors on [`Design`](crate::Design) and
+//! [`AccessGraph`](crate::AccessGraph) validate indices and panic on
+//! out-of-range ids (which indicate ids from a different design).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// Mostly useful in tests and generators; ordinary code receives
+            /// ids from the design builder methods.
+            pub fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index backing this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a behavior or variable node (an element of `BV_all`).
+    NodeId,
+    "bv"
+);
+id_type!(
+    /// Identifies an external input/output port (an element of `IO_all`).
+    PortId,
+    "io"
+);
+id_type!(
+    /// Identifies a communication channel (an element of `C_all`).
+    ChannelId,
+    "c"
+);
+id_type!(
+    /// Identifies a processor component — standard or custom — (an element of `P_all`).
+    ProcessorId,
+    "p"
+);
+id_type!(
+    /// Identifies a memory component (an element of `M_all`).
+    MemoryId,
+    "m"
+);
+id_type!(
+    /// Identifies a bus component (an element of `I_all`).
+    BusId,
+    "i"
+);
+id_type!(
+    /// Identifies a *component class* (a technology type such as "8-bit
+    /// microcontroller" or "gate-array ASIC") against which per-node
+    /// `ict`/`size` weights are recorded.
+    ClassId,
+    "k"
+);
+
+/// A reference to a processor or memory component: the two component kinds a
+/// node can be mapped to.
+///
+/// The paper's `GetBvComp(bv)` returns exactly this: "the processor or
+/// memory component pm to which bv has been mapped".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PmRef {
+    /// A processor (standard processor or custom ASIC).
+    Processor(ProcessorId),
+    /// A memory component.
+    Memory(MemoryId),
+}
+
+impl PmRef {
+    /// Returns the processor id if this reference denotes a processor.
+    pub fn processor(self) -> Option<ProcessorId> {
+        match self {
+            PmRef::Processor(p) => Some(p),
+            PmRef::Memory(_) => None,
+        }
+    }
+
+    /// Returns the memory id if this reference denotes a memory.
+    pub fn memory(self) -> Option<MemoryId> {
+        match self {
+            PmRef::Memory(m) => Some(m),
+            PmRef::Processor(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for PmRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmRef::Processor(p) => write!(f, "{p}"),
+            PmRef::Memory(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<ProcessorId> for PmRef {
+    fn from(value: ProcessorId) -> Self {
+        PmRef::Processor(value)
+    }
+}
+
+impl From<MemoryId> for PmRef {
+    fn from(value: MemoryId) -> Self {
+        PmRef::Memory(value)
+    }
+}
+
+/// The destination of a channel: a node (behavior or variable) or an
+/// external port.
+///
+/// Per the paper's definition, `c_i = <src, dst>` with `src ∈ B_all` and
+/// `dst ∈ BV_all ∪ IO_all`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AccessTarget {
+    /// Access to another behavior (a call or message pass) or a variable
+    /// (read/write).
+    Node(NodeId),
+    /// Access to an external port of the system.
+    Port(PortId),
+}
+
+impl AccessTarget {
+    /// Returns the node id if the target is a node.
+    pub fn node(self) -> Option<NodeId> {
+        match self {
+            AccessTarget::Node(n) => Some(n),
+            AccessTarget::Port(_) => None,
+        }
+    }
+
+    /// Returns the port id if the target is an external port.
+    pub fn port(self) -> Option<PortId> {
+        match self {
+            AccessTarget::Port(p) => Some(p),
+            AccessTarget::Node(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessTarget::Node(n) => write!(f, "{n}"),
+            AccessTarget::Port(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl From<NodeId> for AccessTarget {
+    fn from(value: NodeId) -> Self {
+        AccessTarget::Node(value)
+    }
+}
+
+impl From<PortId> for AccessTarget {
+    fn from(value: PortId) -> Self {
+        AccessTarget::Port(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(NodeId::from_raw(3).to_string(), "bv3");
+        assert_eq!(PortId::from_raw(0).to_string(), "io0");
+        assert_eq!(ChannelId::from_raw(7).to_string(), "c7");
+        assert_eq!(ProcessorId::from_raw(1).to_string(), "p1");
+        assert_eq!(MemoryId::from_raw(2).to_string(), "m2");
+        assert_eq!(BusId::from_raw(4).to_string(), "i4");
+        assert_eq!(ClassId::from_raw(5).to_string(), "k5");
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let id = NodeId::from_raw(42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn pm_ref_accessors() {
+        let p = PmRef::from(ProcessorId::from_raw(1));
+        assert_eq!(p.processor(), Some(ProcessorId::from_raw(1)));
+        assert_eq!(p.memory(), None);
+        let m = PmRef::from(MemoryId::from_raw(9));
+        assert_eq!(m.memory(), Some(MemoryId::from_raw(9)));
+        assert_eq!(m.processor(), None);
+    }
+
+    #[test]
+    fn access_target_accessors() {
+        let t = AccessTarget::from(NodeId::from_raw(5));
+        assert_eq!(t.node(), Some(NodeId::from_raw(5)));
+        assert_eq!(t.port(), None);
+        let t = AccessTarget::from(PortId::from_raw(6));
+        assert_eq!(t.port(), Some(PortId::from_raw(6)));
+        assert_eq!(t.node(), None);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::from_raw(1) < NodeId::from_raw(2));
+        assert_eq!(PmRef::from(ProcessorId::from_raw(0)).to_string(), "p0");
+    }
+}

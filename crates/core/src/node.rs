@@ -1,0 +1,286 @@
+//! Functional objects: behavior and variable nodes, and external ports.
+//!
+//! SLIF's functional objects are of *system-level granularity*: processes,
+//! procedures, variables and communication channels (Section 2.2). Each
+//! behavior or variable from the specification becomes one [`Node`] of the
+//! access graph; external ports become [`Port`]s.
+
+use crate::annotation::WeightList;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A behavior: a process or procedure of the specification.
+    ///
+    /// `process == true` marks a top-level concurrent process (drawn bold
+    /// in the paper's Figure 2); `false` marks a procedure. Finer
+    /// granularity can be obtained by treating basic blocks as procedures.
+    Behavior {
+        /// Whether this behavior is a concurrent process.
+        process: bool,
+    },
+    /// A variable of the specification.
+    Variable {
+        /// Number of storage words the variable occupies (1 for a scalar,
+        /// the element count for an array).
+        words: u64,
+        /// Bits per word.
+        word_bits: u32,
+    },
+}
+
+impl NodeKind {
+    /// Shorthand for a process behavior.
+    pub fn process() -> Self {
+        NodeKind::Behavior { process: true }
+    }
+
+    /// Shorthand for a procedure behavior.
+    pub fn procedure() -> Self {
+        NodeKind::Behavior { process: false }
+    }
+
+    /// Shorthand for a scalar variable of `bits` bits.
+    pub fn scalar(bits: u32) -> Self {
+        NodeKind::Variable {
+            words: 1,
+            word_bits: bits,
+        }
+    }
+
+    /// Shorthand for an array variable.
+    pub fn array(words: u64, word_bits: u32) -> Self {
+        NodeKind::Variable { words, word_bits }
+    }
+
+    /// Returns `true` for behaviors (processes and procedures).
+    pub fn is_behavior(&self) -> bool {
+        matches!(self, NodeKind::Behavior { .. })
+    }
+
+    /// Returns `true` for variables.
+    pub fn is_variable(&self) -> bool {
+        matches!(self, NodeKind::Variable { .. })
+    }
+
+    /// Returns `true` for process behaviors only.
+    pub fn is_process(&self) -> bool {
+        matches!(self, NodeKind::Behavior { process: true })
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Behavior { process: true } => f.write_str("process"),
+            NodeKind::Behavior { process: false } => f.write_str("procedure"),
+            NodeKind::Variable { words, word_bits } => {
+                write!(f, "variable[{words}x{word_bits}b]")
+            }
+        }
+    }
+}
+
+/// A behavior or variable node of the access graph (an element of
+/// `BV_all = B_all ∪ V_all`).
+///
+/// The contents of behavior nodes are deliberately left unspecified
+/// (Section 2.2); what the node carries instead are the *abstractions* of
+/// those contents needed for estimation:
+///
+/// * [`ict`](Node::ict): internal computation time per component class
+///   (for variables: storage access time per class),
+/// * [`size`](Node::size): size per component class (bytes on a standard
+///   processor, gates on an ASIC, words in a memory).
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::{ClassId, Node, NodeKind};
+///
+/// let mut conv = Node::new("Convolve", NodeKind::procedure());
+/// conv.ict_mut().set(ClassId::from_raw(0), 80); // 80 time units on class 0
+/// conv.ict_mut().set(ClassId::from_raw(1), 10);
+/// assert!(conv.kind().is_behavior());
+/// assert_eq!(conv.ict().get(ClassId::from_raw(1)), Some(10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    name: String,
+    kind: NodeKind,
+    ict: WeightList,
+    size: WeightList,
+}
+
+impl Node {
+    /// Creates a node with empty annotation lists.
+    pub fn new(name: impl Into<String>, kind: NodeKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            ict: WeightList::new(),
+            size: WeightList::new(),
+        }
+    }
+
+    /// The node's name from the specification.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What the node represents.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Internal-computation-time weights (`ict_list`). For a variable node
+    /// this is the time to read or write the storage on each class.
+    pub fn ict(&self) -> &WeightList {
+        &self.ict
+    }
+
+    /// Mutable access to the `ict_list` for annotation.
+    pub fn ict_mut(&mut self) -> &mut WeightList {
+        &mut self.ict
+    }
+
+    /// Size weights (`size_list`): bytes / gates / words per class.
+    pub fn size(&self) -> &WeightList {
+        &self.size
+    }
+
+    /// Mutable access to the `size_list` for annotation.
+    pub fn size_mut(&mut self) -> &mut WeightList {
+        &mut self.size
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+/// Direction of an external port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDirection {
+    /// Data flows into the system.
+    In,
+    /// Data flows out of the system.
+    Out,
+    /// Bidirectional port.
+    InOut,
+}
+
+impl fmt::Display for PortDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PortDirection::In => "in",
+            PortDirection::Out => "out",
+            PortDirection::InOut => "inout",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An external input/output port of the system (an element of `IO_all`).
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::{Port, PortDirection};
+///
+/// let p = Port::new("in1", PortDirection::In, 8);
+/// assert_eq!(p.bits(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Port {
+    name: String,
+    direction: PortDirection,
+    bits: u32,
+}
+
+impl Port {
+    /// Creates a port.
+    pub fn new(name: impl Into<String>, direction: PortDirection, bits: u32) -> Self {
+        Self {
+            name: name.into(),
+            direction,
+            bits,
+        }
+    }
+
+    /// The port's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The port's direction.
+    pub fn direction(&self) -> PortDirection {
+        self.direction
+    }
+
+    /// Width of the port's data in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} : {} {}b", self.name, self.direction, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClassId;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::process().is_behavior());
+        assert!(NodeKind::process().is_process());
+        assert!(NodeKind::procedure().is_behavior());
+        assert!(!NodeKind::procedure().is_process());
+        assert!(NodeKind::scalar(8).is_variable());
+        assert!(!NodeKind::scalar(8).is_behavior());
+        assert!(NodeKind::array(384, 8).is_variable());
+    }
+
+    #[test]
+    fn scalar_and_array_shapes() {
+        if let NodeKind::Variable { words, word_bits } = NodeKind::scalar(16) {
+            assert_eq!((words, word_bits), (1, 16));
+        } else {
+            panic!("expected variable");
+        }
+        if let NodeKind::Variable { words, word_bits } = NodeKind::array(128, 8) {
+            assert_eq!((words, word_bits), (128, 8));
+        } else {
+            panic!("expected variable");
+        }
+    }
+
+    #[test]
+    fn node_annotation_roundtrip() {
+        let mut n = Node::new("EvaluateRule", NodeKind::procedure());
+        n.ict_mut().set(ClassId::from_raw(0), 40);
+        n.size_mut().set(ClassId::from_raw(0), 220);
+        assert_eq!(n.name(), "EvaluateRule");
+        assert_eq!(n.ict().get(ClassId::from_raw(0)), Some(40));
+        assert_eq!(n.size().get(ClassId::from_raw(0)), Some(220));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let n = Node::new("FuzzyMain", NodeKind::process());
+        assert_eq!(n.to_string(), "FuzzyMain (process)");
+        let v = Node::new("mr1", NodeKind::array(384, 8));
+        assert_eq!(v.to_string(), "mr1 (variable[384x8b])");
+        let p = Port::new("out1", PortDirection::Out, 8);
+        assert_eq!(p.to_string(), "out1 : out 8b");
+    }
+}

@@ -1,0 +1,483 @@
+//! Partitions: the mapping of functional objects to system components.
+//!
+//! "A partition is a mapping of channels to buses, of behaviors to
+//! processors, and of variables to either processors or memories, such that
+//! each functional object is mapped to exactly one system component"
+//! (Section 2.2). [`Partition`] stores that mapping densely (one slot per
+//! node and per channel), supports O(1) reassignment for partitioning
+//! algorithms that examine thousands of candidates, and validates the
+//! paper's proper-partition conditions on demand.
+
+use crate::design::Design;
+use crate::error::CoreError;
+use crate::ids::{AccessTarget, BusId, ChannelId, NodeId, PmRef, ProcessorId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A (possibly incomplete) mapping of nodes to processors/memories and of
+/// channels to buses.
+///
+/// A partition is created against a specific design and keeps one entry per
+/// node and per channel of that design's graph. It does not borrow the
+/// design: algorithms clone and mutate partitions freely, then validate
+/// against the design with [`validate`](Partition::validate).
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::{AccessKind, Bus, ClassKind, Design, NodeKind, Partition};
+///
+/// let mut d = Design::new("demo");
+/// let pc = d.add_class("proc", ClassKind::StdProcessor);
+/// let main = d.graph_mut().add_node("Main", NodeKind::process());
+/// let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+/// let c = d.graph_mut().add_channel(main, v.into(), AccessKind::Read)?;
+/// // A proper partition needs ict/size weights for the mapped class.
+/// for n in [main, v] {
+///     d.graph_mut().node_mut(n).ict_mut().set(pc, 10);
+///     d.graph_mut().node_mut(n).size_mut().set(pc, 100);
+/// }
+/// let cpu = d.add_processor("cpu", pc);
+/// let bus = d.add_bus(Bus::new("b", 8, 1, 2));
+///
+/// let mut part = Partition::new(&d);
+/// part.assign_node(main, cpu.into());
+/// part.assign_node(v, cpu.into());
+/// part.assign_channel(c, bus);
+/// assert!(part.validate(&d).is_ok());
+/// # Ok::<(), slif_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    node_to_comp: Vec<Option<PmRef>>,
+    chan_to_bus: Vec<Option<BusId>>,
+}
+
+impl Partition {
+    /// Creates an empty (fully unassigned) partition shaped for `design`.
+    pub fn new(design: &Design) -> Self {
+        Self {
+            node_to_comp: vec![None; design.graph().node_count()],
+            chan_to_bus: vec![None; design.graph().channel_count()],
+        }
+    }
+
+    /// Assigns node `n` to a processor or memory, returning the previous
+    /// assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` did not come from the design this partition was
+    /// created for.
+    pub fn assign_node(&mut self, n: NodeId, comp: PmRef) -> Option<PmRef> {
+        self.node_to_comp[n.index()].replace(comp)
+    }
+
+    /// Removes node `n`'s assignment, returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for this partition.
+    pub fn unassign_node(&mut self, n: NodeId) -> Option<PmRef> {
+        self.node_to_comp[n.index()].take()
+    }
+
+    /// Assigns channel `c` to a bus, returning the previous assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range for this partition.
+    pub fn assign_channel(&mut self, c: ChannelId, bus: BusId) -> Option<BusId> {
+        self.chan_to_bus[c.index()].replace(bus)
+    }
+
+    /// Removes channel `c`'s assignment, returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range for this partition.
+    pub fn unassign_channel(&mut self, c: ChannelId) -> Option<BusId> {
+        self.chan_to_bus[c.index()].take()
+    }
+
+    /// The component node `n` is mapped to — the paper's `GetBvComp(bv)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range for this partition.
+    pub fn node_component(&self, n: NodeId) -> Option<PmRef> {
+        self.node_to_comp[n.index()]
+    }
+
+    /// The bus channel `c` is mapped to — the paper's `GetChanBus(c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range for this partition.
+    pub fn channel_bus(&self, c: ChannelId) -> Option<BusId> {
+        self.chan_to_bus[c.index()]
+    }
+
+    /// Returns `true` when every node and channel is assigned.
+    pub fn is_complete(&self) -> bool {
+        self.node_to_comp.iter().all(Option::is_some)
+            && self.chan_to_bus.iter().all(Option::is_some)
+    }
+
+    /// Iterates over the nodes mapped to component `comp` (a processor's
+    /// `BV` set or a memory's `V` set).
+    pub fn nodes_on(&self, comp: PmRef) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_to_comp
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| **c == Some(comp))
+            .map(|(i, _)| NodeId::from_raw(i as u32))
+    }
+
+    /// Iterates over the channels mapped to bus `bus` (the bus's `C` set).
+    pub fn channels_on(&self, bus: BusId) -> impl Iterator<Item = ChannelId> + '_ {
+        self.chan_to_bus
+            .iter()
+            .enumerate()
+            .filter(move |(_, b)| **b == Some(bus))
+            .map(|(i, _)| ChannelId::from_raw(i as u32))
+    }
+
+    /// Validates the paper's proper-partition conditions against `design`:
+    ///
+    /// * every node is mapped to an existing component, every channel to an
+    ///   existing bus (exactly-one mapping; disjointness is structural
+    ///   because the mapping is a function);
+    /// * behaviors are mapped only to processors;
+    /// * every node has `ict` and `size` weights for the class of its
+    ///   component ("one weight for each type of system component on which
+    ///   that node could possibly be implemented").
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, as a [`CoreError`].
+    pub fn validate(&self, design: &Design) -> Result<(), CoreError> {
+        let g = design.graph();
+        for n in g.node_ids() {
+            let comp = self.node_to_comp[n.index()].ok_or(CoreError::UnmappedNode { node: n })?;
+            match comp {
+                PmRef::Processor(p) => {
+                    if p.index() >= design.processor_count() {
+                        return Err(CoreError::UnknownComponent { component: comp });
+                    }
+                }
+                PmRef::Memory(m) => {
+                    if m.index() >= design.memory_count() {
+                        return Err(CoreError::UnknownComponent { component: comp });
+                    }
+                    if g.node(n).kind().is_behavior() {
+                        return Err(CoreError::BehaviorInMemory { node: n, memory: m });
+                    }
+                }
+            }
+            let class = design.component_class(comp);
+            let node = g.node(n);
+            if node.kind().is_behavior() && !node.ict().supports(class) {
+                return Err(CoreError::MissingWeight {
+                    node: n,
+                    list: "ict",
+                    component: comp,
+                });
+            }
+            if !node.size().supports(class) {
+                return Err(CoreError::MissingWeight {
+                    node: n,
+                    list: "size",
+                    component: comp,
+                });
+            }
+        }
+        for c in g.channel_ids() {
+            let bus =
+                self.chan_to_bus[c.index()].ok_or(CoreError::UnmappedChannel { channel: c })?;
+            if bus.index() >= design.bus_count() {
+                return Err(CoreError::UnknownBus { bus });
+            }
+        }
+        Ok(())
+    }
+
+    /// The channels crossing the boundary of processor `p` — the paper's
+    /// `CutChans(p)`: channels connecting an object on `p` with an object
+    /// (or external port) not on `p`.
+    ///
+    /// External ports are not on any component, so a channel touching a
+    /// port from an object on `p` always crosses the boundary.
+    pub fn cut_channels<'a>(
+        &'a self,
+        design: &'a Design,
+        p: ProcessorId,
+    ) -> impl Iterator<Item = ChannelId> + 'a {
+        let comp = PmRef::Processor(p);
+        design.graph().channel_ids().filter(move |&c| {
+            let ch = design.graph().channel(c);
+            let src_on = self.node_component(ch.src()) == Some(comp);
+            let dst_on = match ch.dst() {
+                AccessTarget::Node(n) => self.node_component(n) == Some(comp),
+                AccessTarget::Port(_) => false,
+            };
+            src_on != dst_on
+        })
+    }
+
+    /// The buses crossing the boundary of processor `p` — the paper's
+    /// `CutBuses(p)`: buses implementing at least one cut channel.
+    ///
+    /// The result is sorted and duplicate-free.
+    pub fn cut_buses(&self, design: &Design, p: ProcessorId) -> Vec<BusId> {
+        let mut buses: Vec<BusId> = self
+            .cut_channels(design, p)
+            .filter_map(|c| self.channel_bus(c))
+            .collect();
+        buses.sort();
+        buses.dedup();
+        buses
+    }
+
+    /// Number of node slots (the design's node count at creation).
+    pub fn node_slots(&self) -> usize {
+        self.node_to_comp.len()
+    }
+
+    /// Number of channel slots (the design's channel count at creation).
+    pub fn channel_slots(&self) -> usize {
+        self.chan_to_bus.len()
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let assigned_nodes = self.node_to_comp.iter().flatten().count();
+        let assigned_chans = self.chan_to_bus.iter().flatten().count();
+        write!(
+            f,
+            "partition: {}/{} nodes, {}/{} channels assigned",
+            assigned_nodes,
+            self.node_to_comp.len(),
+            assigned_chans,
+            self.chan_to_bus.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::AccessKind;
+    use crate::component::{Bus, ClassKind};
+    use crate::ids::MemoryId;
+    use crate::node::NodeKind;
+
+    /// main --call--> sub --write--> v, one cpu + one asic + one ram + one bus.
+    #[allow(clippy::type_complexity)]
+    fn fixture() -> (
+        Design,
+        (NodeId, NodeId, NodeId),
+        (ChannelId, ChannelId),
+        (ProcessorId, ProcessorId, MemoryId, BusId),
+    ) {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let ac = d.add_class("asic", ClassKind::CustomHw);
+        let mc = d.add_class("sram", ClassKind::Memory);
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let sub = d.graph_mut().add_node("Sub", NodeKind::procedure());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+        let c1 = d
+            .graph_mut()
+            .add_channel(main, sub.into(), AccessKind::Call)
+            .unwrap();
+        let c2 = d
+            .graph_mut()
+            .add_channel(sub, v.into(), AccessKind::Write)
+            .unwrap();
+        // Annotate weights for every class so validation passes.
+        for n in [main, sub] {
+            for k in [pc, ac] {
+                d.graph_mut().node_mut(n).ict_mut().set(k, 10);
+                d.graph_mut().node_mut(n).size_mut().set(k, 100);
+            }
+        }
+        for k in [pc, ac, mc] {
+            d.graph_mut().node_mut(v).ict_mut().set(k, 1);
+            d.graph_mut().node_mut(v).size_mut().set(k, 1);
+        }
+        let cpu = d.add_processor("cpu", pc);
+        let asic = d.add_processor("asic", ac);
+        let ram = d.add_memory("ram", mc);
+        let bus = d.add_bus(Bus::new("b", 8, 1, 2));
+        (d, (main, sub, v), (c1, c2), (cpu, asic, ram, bus))
+    }
+
+    #[test]
+    fn complete_partition_validates() {
+        let (d, (main, sub, v), (c1, c2), (cpu, _asic, ram, bus)) = fixture();
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_node(sub, cpu.into());
+        part.assign_node(v, ram.into());
+        part.assign_channel(c1, bus);
+        part.assign_channel(c2, bus);
+        assert!(part.is_complete());
+        part.validate(&d).unwrap();
+    }
+
+    #[test]
+    fn unmapped_node_fails_validation() {
+        let (d, (main, sub, _v), (c1, c2), (cpu, _asic, _ram, bus)) = fixture();
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_node(sub, cpu.into());
+        part.assign_channel(c1, bus);
+        part.assign_channel(c2, bus);
+        assert!(!part.is_complete());
+        assert!(matches!(
+            part.validate(&d),
+            Err(CoreError::UnmappedNode { .. })
+        ));
+    }
+
+    #[test]
+    fn behavior_in_memory_fails_validation() {
+        let (d, (main, sub, v), (c1, c2), (cpu, _asic, ram, bus)) = fixture();
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_node(sub, ram.into()); // illegal
+        part.assign_node(v, ram.into());
+        part.assign_channel(c1, bus);
+        part.assign_channel(c2, bus);
+        assert!(matches!(
+            part.validate(&d),
+            Err(CoreError::BehaviorInMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_weight_fails_validation() {
+        let (mut d, _, _, _) = fixture();
+        // A fresh node with no weights at all.
+        let orphan = d.graph_mut().add_node("orphan", NodeKind::procedure());
+        let cpu = d.processor_by_name("cpu").unwrap();
+        let mut part = Partition::new(&d);
+        // Assign everything to cpu / ram / bus.
+        let ram = d.memory_by_name("ram").unwrap();
+        let bus = d.bus_by_name("b").unwrap();
+        for n in d.graph().node_ids() {
+            if d.graph().node(n).kind().is_behavior() {
+                part.assign_node(n, cpu.into());
+            } else {
+                part.assign_node(n, ram.into());
+            }
+        }
+        for c in d.graph().channel_ids() {
+            part.assign_channel(c, bus);
+        }
+        let err = part.validate(&d).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::MissingWeight {
+                node: orphan,
+                list: "ict",
+                component: cpu.into()
+            }
+        );
+    }
+
+    #[test]
+    fn dangling_component_fails_validation() {
+        let (d, (main, sub, v), (c1, c2), (cpu, _asic, ram, bus)) = fixture();
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_node(sub, PmRef::Processor(ProcessorId::from_raw(99)));
+        part.assign_node(v, ram.into());
+        part.assign_channel(c1, bus);
+        part.assign_channel(c2, bus);
+        assert!(matches!(
+            part.validate(&d),
+            Err(CoreError::UnknownComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_bus_fails_validation() {
+        let (d, (main, sub, v), (c1, c2), (cpu, _asic, ram, bus)) = fixture();
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_node(sub, cpu.into());
+        part.assign_node(v, ram.into());
+        part.assign_channel(c1, bus);
+        part.assign_channel(c2, BusId::from_raw(42));
+        assert!(matches!(
+            part.validate(&d),
+            Err(CoreError::UnknownBus { .. })
+        ));
+    }
+
+    #[test]
+    fn membership_queries() {
+        let (d, (main, sub, v), (c1, c2), (cpu, asic, ram, bus)) = fixture();
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_node(sub, asic.into());
+        part.assign_node(v, ram.into());
+        part.assign_channel(c1, bus);
+        part.assign_channel(c2, bus);
+        assert_eq!(part.nodes_on(cpu.into()).collect::<Vec<_>>(), vec![main]);
+        assert_eq!(part.nodes_on(asic.into()).collect::<Vec<_>>(), vec![sub]);
+        assert_eq!(part.nodes_on(ram.into()).collect::<Vec<_>>(), vec![v]);
+        assert_eq!(part.channels_on(bus).collect::<Vec<_>>(), vec![c1, c2]);
+    }
+
+    #[test]
+    fn cut_channels_and_buses() {
+        let (d, (main, sub, v), (c1, c2), (cpu, asic, ram, bus)) = fixture();
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_node(sub, asic.into());
+        part.assign_node(v, ram.into());
+        part.assign_channel(c1, bus);
+        part.assign_channel(c2, bus);
+        // cpu boundary: c1 (main on cpu, sub on asic) crosses; c2 does not touch cpu.
+        assert_eq!(part.cut_channels(&d, cpu).collect::<Vec<_>>(), vec![c1]);
+        // asic boundary: both c1 (into asic) and c2 (out of asic) cross.
+        assert_eq!(
+            part.cut_channels(&d, asic).collect::<Vec<_>>(),
+            vec![c1, c2]
+        );
+        assert_eq!(part.cut_buses(&d, asic), vec![bus]);
+    }
+
+    #[test]
+    fn channel_to_port_counts_as_cut() {
+        let (mut d, (main, _sub, _v), _, (cpu, _asic, _ram, bus)) = fixture();
+        let p = d
+            .graph_mut()
+            .add_port("out1", crate::node::PortDirection::Out, 8);
+        let c3 = d
+            .graph_mut()
+            .add_channel(main, p.into(), AccessKind::Write)
+            .unwrap();
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_channel(c3, bus);
+        let cut: Vec<_> = part.cut_channels(&d, cpu).collect();
+        assert!(cut.contains(&c3));
+    }
+
+    #[test]
+    fn reassignment_returns_previous() {
+        let (d, (main, ..), (c1, _), (cpu, asic, _ram, bus)) = fixture();
+        let mut part = Partition::new(&d);
+        assert_eq!(part.assign_node(main, cpu.into()), None);
+        assert_eq!(part.assign_node(main, asic.into()), Some(cpu.into()));
+        assert_eq!(part.unassign_node(main), Some(asic.into()));
+        assert_eq!(part.node_component(main), None);
+        assert_eq!(part.assign_channel(c1, bus), None);
+        assert_eq!(part.unassign_channel(c1), Some(bus));
+    }
+}

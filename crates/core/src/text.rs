@@ -1,0 +1,584 @@
+//! Textual SLIF serialization.
+//!
+//! A line-oriented, human-readable exchange format for designs and
+//! partitions, so that a SLIF built once (the expensive step, Figure 4's
+//! T-slif column) can be stored and reloaded by later tool runs. The
+//! format round-trips exactly: `parse_design(&write_design(d)) == d`.
+//!
+//! ```text
+//! slif 1
+//! design fuzzy
+//! class proc8 std-processor
+//! port in1 in 8
+//! node FuzzyMain process
+//!   ict proc8 120
+//!   size proc8 940
+//! node mr1 variable 384 8
+//! channel EvaluateRule mr1 read freq 65 0 130 bits 15 tag seq
+//! processor cpu0 proc8 size 4096 pins 64
+//! memory ram0 sram size 65536
+//! bus mainbus 16 1 4 cap 1200
+//! ```
+
+use crate::annotation::{AccessFreq, ConcurrencyTag, WeightEntry};
+use crate::channel::AccessKind;
+use crate::component::{Bus, ClassKind, Memory, Processor};
+use crate::design::Design;
+use crate::ids::{AccessTarget, NodeId, PmRef};
+use crate::node::{NodeKind, PortDirection};
+use crate::partition::Partition;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error parsing the textual SLIF format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTextError {
+    line: usize,
+    message: String,
+}
+
+impl ParseTextError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line number the error occurred on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTextError {}
+
+/// Serializes a design to the textual SLIF format.
+///
+/// # Panics
+///
+/// Panics if any object name contains whitespace (frontends only produce
+/// identifier names).
+pub fn write_design(design: &Design) -> String {
+    let g = design.graph();
+    let mut out = String::new();
+    let _ = writeln!(out, "slif 1");
+    let _ = writeln!(out, "design {}", check_name(design.name()));
+    for k in design.class_ids() {
+        let c = design.class(k);
+        let _ = writeln!(out, "class {} {}", check_name(c.name()), c.kind());
+    }
+    for p in g.port_ids() {
+        let port = g.port(p);
+        let _ = writeln!(
+            out,
+            "port {} {} {}",
+            check_name(port.name()),
+            port.direction(),
+            port.bits()
+        );
+    }
+    for n in g.node_ids() {
+        let node = g.node(n);
+        match node.kind() {
+            NodeKind::Behavior { process } => {
+                let _ = writeln!(
+                    out,
+                    "node {} {}",
+                    check_name(node.name()),
+                    if process { "process" } else { "procedure" }
+                );
+            }
+            NodeKind::Variable { words, word_bits } => {
+                let _ = writeln!(
+                    out,
+                    "node {} variable {words} {word_bits}",
+                    check_name(node.name())
+                );
+            }
+        }
+        for e in node.ict().iter() {
+            let _ = writeln!(out, "  ict {} {}", design.class(e.class).name(), e.val);
+        }
+        for e in node.size().iter() {
+            match e.datapath {
+                Some(dp) => {
+                    let _ = writeln!(
+                        out,
+                        "  size {} {} dp {dp}",
+                        design.class(e.class).name(),
+                        e.val
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  size {} {}", design.class(e.class).name(), e.val);
+                }
+            }
+        }
+    }
+    for c in g.channel_ids() {
+        let ch = g.channel(c);
+        let dst = match ch.dst() {
+            AccessTarget::Node(n) => g.node(n).name().to_owned(),
+            AccessTarget::Port(p) => g.port(p).name().to_owned(),
+        };
+        let tag = match ch.tag().id() {
+            Some(t) => t.to_string(),
+            None => "seq".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "channel {} {} {} freq {} {} {} bits {} tag {}",
+            g.node(ch.src()).name(),
+            dst,
+            ch.kind(),
+            ch.freq().avg,
+            ch.freq().min,
+            ch.freq().max,
+            ch.bits(),
+            tag
+        );
+    }
+    for p in design.processor_ids() {
+        let proc = design.processor(p);
+        let mut line = format!(
+            "processor {} {}",
+            check_name(proc.name()),
+            design.class(proc.class()).name()
+        );
+        if let Some(s) = proc.size_constraint() {
+            let _ = write!(line, " size {s}");
+        }
+        if let Some(pins) = proc.pin_constraint() {
+            let _ = write!(line, " pins {pins}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    for m in design.memory_ids() {
+        let mem = design.memory(m);
+        let mut line = format!(
+            "memory {} {}",
+            check_name(mem.name()),
+            design.class(mem.class()).name()
+        );
+        if let Some(s) = mem.size_constraint() {
+            let _ = write!(line, " size {s}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    for b in design.bus_ids() {
+        let bus = design.bus(b);
+        let mut line = format!(
+            "bus {} {} {} {}",
+            check_name(bus.name()),
+            bus.bitwidth(),
+            bus.ts(),
+            bus.td()
+        );
+        if let Some(cap) = bus.capacity() {
+            let _ = write!(line, " cap {cap}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+fn check_name(name: &str) -> &str {
+    assert!(
+        !name.is_empty() && !name.contains(char::is_whitespace),
+        "object name `{name}` is not serializable (empty or contains whitespace)"
+    );
+    name
+}
+
+/// Parses the textual SLIF format produced by [`write_design`].
+///
+/// # Errors
+///
+/// Returns a [`ParseTextError`] with a line number on any malformed input:
+/// unknown directives, bad numbers, references to undeclared names, or
+/// structurally invalid channels.
+pub fn parse_design(input: &str) -> Result<Design, ParseTextError> {
+    let mut design = Design::new("unnamed");
+    let mut last_node: Option<NodeId> = None;
+    let mut saw_header = false;
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let err = |msg: String| ParseTextError::new(lineno, msg);
+        match toks[0] {
+            "slif" => {
+                if toks.get(1) != Some(&"1") {
+                    return Err(err("unsupported slif version".into()));
+                }
+                saw_header = true;
+            }
+            "design" => {
+                let name = *toks
+                    .get(1)
+                    .ok_or_else(|| err("design needs a name".into()))?;
+                design = Design::new(name);
+                last_node = None;
+            }
+            "class" => {
+                let name = *toks
+                    .get(1)
+                    .ok_or_else(|| err("class needs a name".into()))?;
+                let kind = match toks.get(2).copied() {
+                    Some("std-processor") => ClassKind::StdProcessor,
+                    Some("custom-hw") => ClassKind::CustomHw,
+                    Some("memory") => ClassKind::Memory,
+                    other => return Err(err(format!("unknown class kind {other:?}"))),
+                };
+                design.add_class(name, kind);
+            }
+            "port" => {
+                let name = *toks.get(1).ok_or_else(|| err("port needs a name".into()))?;
+                let dir = match toks.get(2).copied() {
+                    Some("in") => PortDirection::In,
+                    Some("out") => PortDirection::Out,
+                    Some("inout") => PortDirection::InOut,
+                    other => return Err(err(format!("unknown port direction {other:?}"))),
+                };
+                let bits = parse_num(toks.get(3), lineno, "port bits")?;
+                design.graph_mut().add_port(name, dir, bits as u32);
+            }
+            "node" => {
+                let name = *toks.get(1).ok_or_else(|| err("node needs a name".into()))?;
+                let kind = match toks.get(2).copied() {
+                    Some("process") => NodeKind::process(),
+                    Some("procedure") => NodeKind::procedure(),
+                    Some("variable") => {
+                        let words = parse_num(toks.get(3), lineno, "variable words")?;
+                        let bits = parse_num(toks.get(4), lineno, "variable word bits")?;
+                        NodeKind::array(words, bits as u32)
+                    }
+                    other => return Err(err(format!("unknown node kind {other:?}"))),
+                };
+                last_node = Some(design.graph_mut().add_node(name, kind));
+            }
+            "ict" | "size" => {
+                let node = last_node
+                    .ok_or_else(|| err(format!("{} annotation outside a node", toks[0])))?;
+                let class_name = *toks
+                    .get(1)
+                    .ok_or_else(|| err("annotation needs a class".into()))?;
+                let class = design
+                    .class_by_name(class_name)
+                    .ok_or_else(|| err(format!("unknown class `{class_name}`")))?;
+                let val = parse_num(toks.get(2), lineno, "annotation value")?;
+                if toks[0] == "ict" {
+                    design.graph_mut().node_mut(node).ict_mut().set(class, val);
+                } else {
+                    let entry = if toks.get(3) == Some(&"dp") {
+                        let dp = parse_num(toks.get(4), lineno, "datapath value")?;
+                        if dp > val {
+                            return Err(err("datapath exceeds size".into()));
+                        }
+                        WeightEntry::with_datapath(class, val, dp)
+                    } else {
+                        WeightEntry::new(class, val)
+                    };
+                    design.graph_mut().node_mut(node).size_mut().insert(entry);
+                }
+            }
+            "channel" => {
+                let src_name = *toks.get(1).ok_or_else(|| err("channel needs src".into()))?;
+                let dst_name = *toks.get(2).ok_or_else(|| err("channel needs dst".into()))?;
+                let kind = match toks.get(3).copied() {
+                    Some("call") => AccessKind::Call,
+                    Some("read") => AccessKind::Read,
+                    Some("write") => AccessKind::Write,
+                    Some("message") => AccessKind::Message,
+                    other => return Err(err(format!("unknown access kind {other:?}"))),
+                };
+                let src = design
+                    .graph()
+                    .node_by_name(src_name)
+                    .ok_or_else(|| err(format!("unknown node `{src_name}`")))?;
+                let dst: AccessTarget = if let Some(n) = design.graph().node_by_name(dst_name) {
+                    n.into()
+                } else if let Some(p) = design.graph().port_by_name(dst_name) {
+                    p.into()
+                } else {
+                    return Err(err(format!("unknown destination `{dst_name}`")));
+                };
+                // Expect: freq <avg> <min> <max> bits <n> tag <t>
+                if toks.get(4) != Some(&"freq")
+                    || toks.get(8) != Some(&"bits")
+                    || toks.get(10) != Some(&"tag")
+                {
+                    return Err(err("channel annotations malformed".into()));
+                }
+                let avg: f64 = toks[5]
+                    .parse()
+                    .map_err(|_| err("bad freq average".into()))?;
+                let min = parse_num(toks.get(6), lineno, "freq min")?;
+                let max = parse_num(toks.get(7), lineno, "freq max")?;
+                let bits = parse_num(toks.get(9), lineno, "bits")? as u32;
+                let tag = match toks[11] {
+                    "seq" => ConcurrencyTag::SEQUENTIAL,
+                    t => ConcurrencyTag::group(
+                        t.parse().map_err(|_| err("bad concurrency tag".into()))?,
+                    ),
+                };
+                let c = design
+                    .graph_mut()
+                    .add_channel(src, dst, kind)
+                    .map_err(|e| err(e.to_string()))?;
+                let ch = design.graph_mut().channel_mut(c);
+                *ch.freq_mut() = AccessFreq::new(avg, min, max);
+                ch.set_bits(bits);
+                ch.set_tag(tag);
+            }
+            "processor" => {
+                let name = *toks
+                    .get(1)
+                    .ok_or_else(|| err("processor needs a name".into()))?;
+                let class_name = *toks
+                    .get(2)
+                    .ok_or_else(|| err("processor needs a class".into()))?;
+                let class = design
+                    .class_by_name(class_name)
+                    .ok_or_else(|| err(format!("unknown class `{class_name}`")))?;
+                let mut proc = Processor::new(name, class);
+                let mut j = 3;
+                while j < toks.len() {
+                    match toks[j] {
+                        "size" => {
+                            proc = proc.with_size_constraint(parse_num(
+                                toks.get(j + 1),
+                                lineno,
+                                "size constraint",
+                            )?);
+                            j += 2;
+                        }
+                        "pins" => {
+                            proc = proc.with_pin_constraint(parse_num(
+                                toks.get(j + 1),
+                                lineno,
+                                "pin constraint",
+                            )? as u32);
+                            j += 2;
+                        }
+                        other => return Err(err(format!("unknown processor option `{other}`"))),
+                    }
+                }
+                design.add_processor_instance(proc);
+            }
+            "memory" => {
+                let name = *toks
+                    .get(1)
+                    .ok_or_else(|| err("memory needs a name".into()))?;
+                let class_name = *toks
+                    .get(2)
+                    .ok_or_else(|| err("memory needs a class".into()))?;
+                let class = design
+                    .class_by_name(class_name)
+                    .ok_or_else(|| err(format!("unknown class `{class_name}`")))?;
+                let mut mem = Memory::new(name, class);
+                if toks.get(3) == Some(&"size") {
+                    mem = mem.with_size_constraint(parse_num(
+                        toks.get(4),
+                        lineno,
+                        "size constraint",
+                    )?);
+                }
+                design.add_memory_instance(mem);
+            }
+            "bus" => {
+                let name = *toks.get(1).ok_or_else(|| err("bus needs a name".into()))?;
+                let width = parse_num(toks.get(2), lineno, "bus width")? as u32;
+                let ts = parse_num(toks.get(3), lineno, "bus ts")?;
+                let td = parse_num(toks.get(4), lineno, "bus td")?;
+                if width == 0 {
+                    return Err(err("bus width must be nonzero".into()));
+                }
+                let mut bus = Bus::new(name, width, ts, td);
+                if toks.get(5) == Some(&"cap") {
+                    let cap: f64 = toks
+                        .get(6)
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("bad bus capacity".into()))?;
+                    bus = bus.with_capacity(cap);
+                }
+                design.add_bus(bus);
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+    if !saw_header {
+        return Err(ParseTextError::new(1, "missing `slif 1` header"));
+    }
+    Ok(design)
+}
+
+fn parse_num(tok: Option<&&str>, lineno: usize, what: &str) -> Result<u64, ParseTextError> {
+    tok.and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseTextError::new(lineno, format!("bad or missing {what}")))
+}
+
+/// Serializes a partition against its design.
+///
+/// Channels are identified by their stable index in the design.
+pub fn write_partition(design: &Design, partition: &Partition) -> String {
+    let mut out = String::from("partition 1\n");
+    for n in design.graph().node_ids() {
+        if let Some(comp) = partition.node_component(n) {
+            let comp_name = match comp {
+                PmRef::Processor(p) => design.processor(p).name(),
+                PmRef::Memory(m) => design.memory(m).name(),
+            };
+            let _ = writeln!(out, "map {} {}", design.graph().node(n).name(), comp_name);
+        }
+    }
+    for c in design.graph().channel_ids() {
+        if let Some(bus) = partition.channel_bus(c) {
+            let _ = writeln!(out, "chan {} {}", c.index(), design.bus(bus).name());
+        }
+    }
+    out
+}
+
+/// Parses a partition serialized by [`write_partition`] against `design`.
+///
+/// # Errors
+///
+/// Returns a [`ParseTextError`] for unknown names or malformed lines.
+pub fn parse_partition(design: &Design, input: &str) -> Result<Partition, ParseTextError> {
+    let mut part = Partition::new(design);
+    let mut saw_header = false;
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let err = |msg: String| ParseTextError::new(lineno, msg);
+        match toks[0] {
+            "partition" => {
+                if toks.get(1) != Some(&"1") {
+                    return Err(err("unsupported partition version".into()));
+                }
+                saw_header = true;
+            }
+            "map" => {
+                let node_name = *toks.get(1).ok_or_else(|| err("map needs a node".into()))?;
+                let comp_name = *toks
+                    .get(2)
+                    .ok_or_else(|| err("map needs a component".into()))?;
+                let node = design
+                    .graph()
+                    .node_by_name(node_name)
+                    .ok_or_else(|| err(format!("unknown node `{node_name}`")))?;
+                let comp: PmRef = if let Some(p) = design.processor_by_name(comp_name) {
+                    p.into()
+                } else if let Some(m) = design.memory_by_name(comp_name) {
+                    m.into()
+                } else {
+                    return Err(err(format!("unknown component `{comp_name}`")));
+                };
+                part.assign_node(node, comp);
+            }
+            "chan" => {
+                let idx = parse_num(toks.get(1), lineno, "channel index")? as usize;
+                if idx >= design.graph().channel_count() {
+                    return Err(err(format!("channel index {idx} out of range")));
+                }
+                let bus_name = *toks.get(2).ok_or_else(|| err("chan needs a bus".into()))?;
+                let bus = design
+                    .bus_by_name(bus_name)
+                    .ok_or_else(|| err(format!("unknown bus `{bus_name}`")))?;
+                part.assign_channel(crate::ids::ChannelId::from_raw(idx as u32), bus);
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+    if !saw_header {
+        return Err(ParseTextError::new(1, "missing `partition 1` header"));
+    }
+    Ok(part)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::DesignGenerator;
+
+    #[test]
+    fn design_roundtrip_exact() {
+        for seed in [0, 1, 2, 99] {
+            let (design, _) = DesignGenerator::new(seed).build();
+            let text = write_design(&design);
+            let back = parse_design(&text).expect("parse back");
+            assert_eq!(design, back, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn partition_roundtrip_exact() {
+        let (design, partition) = DesignGenerator::new(5).build();
+        let text = write_partition(&design, &partition);
+        let back = parse_partition(&design, &text).expect("parse back");
+        assert_eq!(partition, back);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(parse_design("design x\n").is_err());
+        let (design, _) = DesignGenerator::new(0).build();
+        assert!(parse_partition(&design, "map beh0 proc0\n").is_err());
+    }
+
+    #[test]
+    fn unknown_directive_reports_line() {
+        let err = parse_design("slif 1\nfrobnicate\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let d = parse_design("slif 1\n\n# comment\ndesign x\n").unwrap();
+        assert_eq!(d.name(), "x");
+    }
+
+    #[test]
+    fn channel_with_unknown_node_rejected() {
+        let text = "slif 1\ndesign x\nchannel nope alsono call freq 1 1 1 bits 8 tag seq\n";
+        let err = parse_design(text).unwrap_err();
+        assert!(err.to_string().contains("unknown node"));
+    }
+
+    #[test]
+    fn bad_number_reports_context() {
+        let text = "slif 1\ndesign x\nport p in eight\n";
+        let err = parse_design(text).unwrap_err();
+        assert!(err.to_string().contains("port bits"));
+    }
+
+    #[test]
+    fn fractional_freq_roundtrips() {
+        let text = "slif 1\ndesign x\nnode A process\nnode v variable 1 8\n\
+                    channel A v read freq 0.5 0 1 bits 8 tag 3\n";
+        let d = parse_design(text).unwrap();
+        let c = d.graph().channel_ids().next().unwrap();
+        assert_eq!(d.graph().channel(c).freq().avg, 0.5);
+        assert_eq!(d.graph().channel(c).tag(), ConcurrencyTag::group(3));
+        let back = parse_design(&write_design(&d)).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,234 @@
+//! Bitrate estimation (the paper's Equations 2 and 3).
+//!
+//! ```text
+//! ChanBitrate(c) = (c.freq × c.bits) / Exectime(c.src)          (Eq. 2)
+//! BusBitrate(i)  = Σ_{c ∈ i.C} ChanBitrate(c)                   (Eq. 3)
+//! ```
+//!
+//! A channel's bitrate is the bits it moves during one start-to-finish
+//! execution of its source behavior, divided by that execution's duration;
+//! a bus's bitrate is the sum over the channels mapped to it. The module
+//! also provides the capacity-limited extension the paper points to (its
+//! reference \[2\]): when the demanded bus bitrate exceeds the bus's
+//! capacity, transfers must slow down by the utilization factor.
+
+use crate::exectime::ExecTimeEstimator;
+use slif_core::{BusId, ChannelId, CoreError, Design, Partition};
+
+/// Bitrate estimator layered on the execution-time estimator.
+#[derive(Debug)]
+pub struct BitrateEstimator<'a> {
+    design: &'a Design,
+    partition: &'a Partition,
+    exec: ExecTimeEstimator<'a>,
+}
+
+impl<'a> BitrateEstimator<'a> {
+    /// Creates a bitrate estimator that computes source execution times
+    /// with the default configuration.
+    pub fn new(design: &'a Design, partition: &'a Partition) -> Self {
+        Self {
+            design,
+            partition,
+            exec: ExecTimeEstimator::new(design, partition),
+        }
+    }
+
+    /// Creates a bitrate estimator around an existing execution-time
+    /// estimator (sharing its memo).
+    pub fn with_estimator(
+        design: &'a Design,
+        partition: &'a Partition,
+        exec: ExecTimeEstimator<'a>,
+    ) -> Self {
+        Self {
+            design,
+            partition,
+            exec,
+        }
+    }
+
+    /// Equation 2: the average bitrate of channel `c`.
+    ///
+    /// Returns `f64::INFINITY` when the source behavior's execution time is
+    /// zero (all-zero ict and free accesses), which only degenerate designs
+    /// exhibit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution-time estimation errors for the source behavior
+    /// (unmapped objects, missing weights, recursion).
+    pub fn channel_bitrate(&mut self, c: ChannelId) -> Result<f64, CoreError> {
+        let ch = self.design.graph().channel(c);
+        let traffic = ch.freq().avg * f64::from(ch.bits());
+        if traffic == 0.0 {
+            return Ok(0.0);
+        }
+        let t = self.exec.exec_time(ch.src())?;
+        Ok(traffic / t)
+    }
+
+    /// Equation 3: the demanded bitrate of bus `i` — the sum of its
+    /// channels' bitrates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-channel errors.
+    pub fn bus_bitrate(&mut self, bus: BusId) -> Result<f64, CoreError> {
+        let channels: Vec<ChannelId> = self.partition.channels_on(bus).collect();
+        let mut total = 0.0;
+        for c in channels {
+            total += self.channel_bitrate(c)?;
+        }
+        Ok(total)
+    }
+
+    /// Capacity-limited extension: utilization of bus `i` as
+    /// `demanded / capacity`, or `None` when the bus has no capacity model.
+    /// Utilization above 1.0 means the transfers must be slowed down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-channel errors.
+    pub fn bus_utilization(&mut self, bus: BusId) -> Result<Option<f64>, CoreError> {
+        let capacity = match self.design.bus(bus).capacity() {
+            Some(c) if c > 0.0 => c,
+            _ => return Ok(None),
+        };
+        Ok(Some(self.bus_bitrate(bus)? / capacity))
+    }
+
+    /// Capacity-limited extension: the bitrate bus `i` actually sustains —
+    /// the demanded rate clipped to the bus capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-channel errors.
+    pub fn effective_bus_bitrate(&mut self, bus: BusId) -> Result<f64, CoreError> {
+        let demanded = self.bus_bitrate(bus)?;
+        Ok(match self.design.bus(bus).capacity() {
+            Some(cap) if cap > 0.0 => demanded.min(cap),
+            _ => demanded,
+        })
+    }
+
+    /// Consumes the bitrate estimator, returning the underlying
+    /// execution-time estimator (with its warm memo).
+    pub fn into_inner(self) -> ExecTimeEstimator<'a> {
+        self.exec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::{AccessFreq, AccessKind, Bus, ClassKind, NodeKind};
+
+    /// main (ict 90) reads v (ict 2) 5 times, 16 bits each, over a 16-bit
+    /// bus with ts=1: Exectime(main) = 90 + 5*(1+2) = 105;
+    /// ChanBitrate = 5*16/105.
+    fn fixture(capacity: Option<f64>) -> (Design, Partition, ChannelId, BusId) {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(16));
+        let c = d
+            .graph_mut()
+            .add_channel(main, v.into(), AccessKind::Read)
+            .unwrap();
+        d.graph_mut().node_mut(main).ict_mut().set(pc, 90);
+        d.graph_mut().node_mut(v).ict_mut().set(pc, 2);
+        *d.graph_mut().channel_mut(c).freq_mut() = AccessFreq::exact(5);
+        d.graph_mut().channel_mut(c).set_bits(16);
+        let cpu = d.add_processor("cpu", pc);
+        let mut bus = Bus::new("b", 16, 1, 4);
+        if let Some(cap) = capacity {
+            bus = bus.with_capacity(cap);
+        }
+        let bus = d.add_bus(bus);
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_node(v, cpu.into());
+        part.assign_channel(c, bus);
+        (d, part, c, bus)
+    }
+
+    #[test]
+    fn equation2_channel_bitrate() {
+        let (d, part, c, _) = fixture(None);
+        let mut est = BitrateEstimator::new(&d, &part);
+        let rate = est.channel_bitrate(c).unwrap();
+        assert!((rate - 80.0 / 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation3_bus_bitrate_sums_channels() {
+        let (mut d, _, _, _) = fixture(None);
+        // Add a second reader of v.
+        let pc = d.class_by_name("proc").unwrap();
+        let other = d.graph_mut().add_node("Other", NodeKind::process());
+        d.graph_mut().node_mut(other).ict_mut().set(pc, 37);
+        let v = d.graph().node_by_name("v").unwrap();
+        let c2 = d
+            .graph_mut()
+            .add_channel(other, v.into(), AccessKind::Read)
+            .unwrap();
+        *d.graph_mut().channel_mut(c2).freq_mut() = AccessFreq::exact(1);
+        d.graph_mut().channel_mut(c2).set_bits(16);
+        let cpu = d.processor_by_name("cpu").unwrap();
+        let bus = d.bus_by_name("b").unwrap();
+        let mut part = Partition::new(&d);
+        for n in d.graph().node_ids() {
+            part.assign_node(n, cpu.into());
+        }
+        for c in d.graph().channel_ids() {
+            part.assign_channel(c, bus);
+        }
+        let mut est = BitrateEstimator::new(&d, &part);
+        let c1 = d.graph().channel_ids().next().unwrap();
+        let r1 = est.channel_bitrate(c1).unwrap();
+        let r2 = est.channel_bitrate(c2).unwrap();
+        let total = est.bus_bitrate(bus).unwrap();
+        assert!((total - (r1 + r2)).abs() < 1e-12);
+        // Other: 37 + 1*(1+2) = 40; 16/40 = 0.4.
+        assert!((r2 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_traffic_channel_has_zero_bitrate() {
+        let (mut d, part, c, _) = fixture(None);
+        *d.graph_mut().channel_mut(c).freq_mut() = AccessFreq::new(0.0, 0, 0);
+        let mut est = BitrateEstimator::new(&d, &part);
+        assert_eq!(est.channel_bitrate(c).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn utilization_none_without_capacity_model() {
+        let (d, part, _, bus) = fixture(None);
+        let mut est = BitrateEstimator::new(&d, &part);
+        assert_eq!(est.bus_utilization(bus).unwrap(), None);
+    }
+
+    #[test]
+    fn utilization_and_effective_rate_with_capacity() {
+        // Demanded rate is 80/105 ≈ 0.762; capacity 0.5 → utilization ≈ 1.524.
+        let (d, part, _, bus) = fixture(Some(0.5));
+        let mut est = BitrateEstimator::new(&d, &part);
+        let util = est.bus_utilization(bus).unwrap().unwrap();
+        assert!((util - (80.0 / 105.0) / 0.5).abs() < 1e-12);
+        assert!(util > 1.0, "bus is saturated");
+        assert_eq!(est.effective_bus_bitrate(bus).unwrap(), 0.5);
+        // A roomy capacity leaves the demanded rate untouched.
+        let (d2, part2, _, bus2) = fixture(Some(10.0));
+        let mut est2 = BitrateEstimator::new(&d2, &part2);
+        assert!((est2.effective_bus_bitrate(bus2).unwrap() - 80.0 / 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_propagate_from_exec_time() {
+        let (d, _, c, _) = fixture(None);
+        let empty = Partition::new(&d);
+        let mut est = BitrateEstimator::new(&d, &empty);
+        assert!(est.channel_bitrate(c).is_err());
+    }
+}

@@ -1,0 +1,559 @@
+//! Execution-time estimation (the paper's Equation 1).
+//!
+//! ```text
+//! Exectime(b)     = GetBvIct(b, p) + Commtime(b)
+//! Commtime(b)     = Σ_{c ∈ GetBehChans(b)} c.freq × (TransferTime(c, p) + Exectime(c.dst))
+//! TransferTime(c) = ceil(c.bits / bus.bitwidth) × (bus.ts if same component else bus.td)
+//! ```
+//!
+//! A behavior's execution time is its internal computation time on the
+//! component it is mapped to, plus its communication time: for every
+//! channel it accesses, the bus transfer time plus the execution time of
+//! the accessed object, multiplied by the access count. A variable's
+//! "execution time" is its storage access time (its ict on the memory or
+//! processor holding it).
+//!
+//! The estimator memoizes per node, so evaluating every behavior of a
+//! design is linear in the size of the access graph. Cycles of
+//! time-contributing accesses represent recursion, for which the equation
+//! has no finite value; they are reported as
+//! [`CoreError::RecursiveAccess`].
+
+use crate::config::{EstimatorConfig, MessagePolicy};
+use slif_core::{
+    AccessKind, AccessTarget, ChannelId, ConcurrencyTag, CoreError, Design, NodeId, Partition,
+    PmRef,
+};
+
+/// Memoizing execution-time estimator for one (design, partition) pair.
+///
+/// # Examples
+///
+/// Reproducing the paper's Figure 3 numbers: `Convolve` has ict 80 on the
+/// processor and 10 on the ASIC; mapped to the ASIC it runs 8× faster.
+///
+/// ```
+/// use slif_core::{AccessKind, Bus, ClassKind, Design, NodeKind, Partition};
+/// use slif_estimate::ExecTimeEstimator;
+///
+/// let mut d = Design::new("demo");
+/// let pc = d.add_class("proc", ClassKind::StdProcessor);
+/// let ac = d.add_class("asic", ClassKind::CustomHw);
+/// let conv = d.graph_mut().add_node("Convolve", NodeKind::procedure());
+/// d.graph_mut().node_mut(conv).ict_mut().set(pc, 80);
+/// d.graph_mut().node_mut(conv).ict_mut().set(ac, 10);
+/// let cpu = d.add_processor("cpu", pc);
+/// let asic = d.add_processor("asic", ac);
+///
+/// let mut on_cpu = Partition::new(&d);
+/// on_cpu.assign_node(conv, cpu.into());
+/// let mut on_asic = Partition::new(&d);
+/// on_asic.assign_node(conv, asic.into());
+///
+/// let t_cpu = ExecTimeEstimator::new(&d, &on_cpu).exec_time(conv)?;
+/// let t_asic = ExecTimeEstimator::new(&d, &on_asic).exec_time(conv)?;
+/// assert_eq!((t_cpu, t_asic), (80.0, 10.0));
+/// # Ok::<(), slif_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct ExecTimeEstimator<'a> {
+    design: &'a Design,
+    partition: &'a Partition,
+    config: EstimatorConfig,
+    memo: Vec<MemoState>,
+}
+
+/// Memoization state for one node's execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) enum MemoState {
+    /// Not yet computed.
+    #[default]
+    Unvisited,
+    /// Currently being computed (seeing this again means recursion).
+    InProgress,
+    /// Computed.
+    Done(f64),
+}
+
+/// Evaluates Equation 1 for node `n` against an external memo table, so
+/// that owners of long-lived memos (the incremental estimator) share the
+/// exact same evaluation as [`ExecTimeEstimator`].
+pub(crate) fn eval_exec_time(
+    design: &Design,
+    partition: &Partition,
+    config: &EstimatorConfig,
+    memo: &mut [MemoState],
+    n: NodeId,
+) -> Result<f64, CoreError> {
+    match memo[n.index()] {
+        MemoState::Done(t) => Ok(t),
+        MemoState::InProgress => Err(CoreError::RecursiveAccess { node: n }),
+        MemoState::Unvisited => {
+            memo[n.index()] = MemoState::InProgress;
+            let result = eval_compute(design, partition, config, memo, n);
+            match result {
+                Ok(t) => {
+                    memo[n.index()] = MemoState::Done(t);
+                    Ok(t)
+                }
+                Err(e) => {
+                    memo[n.index()] = MemoState::Unvisited;
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+fn eval_compute(
+    design: &Design,
+    partition: &Partition,
+    config: &EstimatorConfig,
+    memo: &mut [MemoState],
+    n: NodeId,
+) -> Result<f64, CoreError> {
+    let comp = partition
+        .node_component(n)
+        .ok_or(CoreError::UnmappedNode { node: n })?;
+    let class = design.component_class(comp);
+    let ict = design
+        .graph()
+        .node(n)
+        .ict()
+        .get(class)
+        .map(|v| v as f64)
+        .ok_or(CoreError::MissingWeight {
+            node: n,
+            list: "ict",
+            component: comp,
+        })?;
+    if design.graph().node(n).kind().is_variable() {
+        return Ok(ict);
+    }
+    Ok(ict + eval_comm_time(design, partition, config, memo, n, comp)?)
+}
+
+pub(crate) fn eval_comm_time(
+    design: &Design,
+    partition: &Partition,
+    config: &EstimatorConfig,
+    memo: &mut [MemoState],
+    n: NodeId,
+    comp: PmRef,
+) -> Result<f64, CoreError> {
+    let channels: Vec<ChannelId> = design.graph().channels_of(n).collect();
+    if !config.concurrency_aware {
+        let mut total = 0.0;
+        for c in channels {
+            total += eval_channel_time(design, partition, config, memo, c, comp)?;
+        }
+        return Ok(total);
+    }
+    let mut sequential = 0.0;
+    let mut groups: Vec<(ConcurrencyTag, f64)> = Vec::new();
+    for c in channels {
+        let t = eval_channel_time(design, partition, config, memo, c, comp)?;
+        let tag = design.graph().channel(c).tag();
+        if !tag.is_concurrent() {
+            sequential += t;
+        } else if let Some(entry) = groups.iter_mut().find(|(g, _)| *g == tag) {
+            entry.1 = entry.1.max(t);
+        } else {
+            groups.push((tag, t));
+        }
+    }
+    Ok(sequential + groups.iter().map(|(_, t)| t).sum::<f64>())
+}
+
+fn eval_channel_time(
+    design: &Design,
+    partition: &Partition,
+    config: &EstimatorConfig,
+    memo: &mut [MemoState],
+    c: ChannelId,
+    src_comp: PmRef,
+) -> Result<f64, CoreError> {
+    let ch = design.graph().channel(c);
+    let freq = ch.freq().for_mode(config.mode);
+    if freq == 0.0 {
+        return Ok(0.0);
+    }
+    let bus_id = partition
+        .channel_bus(c)
+        .ok_or(CoreError::UnmappedChannel { channel: c })?;
+    if bus_id.index() >= design.bus_count() {
+        return Err(CoreError::UnknownBus { bus: bus_id });
+    }
+    let bus = design.bus(bus_id);
+    let (same, dst_time) = match ch.dst() {
+        AccessTarget::Port(_) => (false, 0.0),
+        AccessTarget::Node(dst) => {
+            let dst_comp = partition
+                .node_component(dst)
+                .ok_or(CoreError::UnmappedNode { node: dst })?;
+            let include_dst = match ch.kind() {
+                AccessKind::Message => config.message_policy == MessagePolicy::IncludeReceiver,
+                AccessKind::Call | AccessKind::Read | AccessKind::Write => true,
+            };
+            let dst_time = if include_dst {
+                eval_exec_time(design, partition, config, memo, dst)?
+            } else {
+                0.0
+            };
+            (dst_comp == src_comp, dst_time)
+        }
+    };
+    let transfer = bus.access_time(ch.bits(), same) as f64;
+    Ok(freq * (transfer + dst_time))
+}
+
+impl<'a> ExecTimeEstimator<'a> {
+    /// Creates an estimator with the default configuration (average
+    /// frequencies, sequential accesses, message transfers do not include
+    /// the receiver's execution time).
+    pub fn new(design: &'a Design, partition: &'a Partition) -> Self {
+        Self::with_config(design, partition, EstimatorConfig::default())
+    }
+
+    /// Creates an estimator with an explicit configuration.
+    pub fn with_config(
+        design: &'a Design,
+        partition: &'a Partition,
+        config: EstimatorConfig,
+    ) -> Self {
+        Self {
+            design,
+            partition,
+            config,
+            memo: vec![MemoState::default(); design.graph().node_count()],
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Estimated execution time of node `n`: Equation 1 for behaviors, the
+    /// storage access time for variables.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnmappedNode`] / [`CoreError::UnmappedChannel`] if the
+    ///   partition does not cover the objects involved,
+    /// * [`CoreError::MissingWeight`] if a node lacks an ict weight for the
+    ///   class of its component,
+    /// * [`CoreError::RecursiveAccess`] if the access structure is
+    ///   recursive.
+    pub fn exec_time(&mut self, n: NodeId) -> Result<f64, CoreError> {
+        eval_exec_time(self.design, self.partition, &self.config, &mut self.memo, n)
+    }
+
+    /// Estimated communication time of behavior `n` alone (the
+    /// `Commtime(b)` term).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`exec_time`](Self::exec_time).
+    pub fn comm_time(&mut self, n: NodeId) -> Result<f64, CoreError> {
+        let comp = self
+            .partition
+            .node_component(n)
+            .ok_or(CoreError::UnmappedNode { node: n })?;
+        eval_comm_time(
+            self.design,
+            self.partition,
+            &self.config,
+            &mut self.memo,
+            n,
+            comp,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::{AccessFreq, Bus, ClassKind, NodeKind};
+
+    /// One process calling one procedure which writes one variable, all on
+    /// one cpu connected by one 8-bit bus with ts=1, td=4.
+    struct Fix {
+        d: Design,
+        main: NodeId,
+        sub: NodeId,
+        v: NodeId,
+        part: Partition,
+    }
+
+    fn fixture(sub_on_asic: bool) -> Fix {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let ac = d.add_class("asic", ClassKind::CustomHw);
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let sub = d.graph_mut().add_node("Sub", NodeKind::procedure());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+        let call = d
+            .graph_mut()
+            .add_channel(main, sub.into(), AccessKind::Call)
+            .unwrap();
+        let wr = d
+            .graph_mut()
+            .add_channel(sub, v.into(), AccessKind::Write)
+            .unwrap();
+        for (n, p_ict, a_ict) in [(main, 100, 50), (sub, 40, 8)] {
+            d.graph_mut().node_mut(n).ict_mut().set(pc, p_ict);
+            d.graph_mut().node_mut(n).ict_mut().set(ac, a_ict);
+        }
+        // Variable access time 2 on either behavior class.
+        d.graph_mut().node_mut(v).ict_mut().set(pc, 2);
+        d.graph_mut().node_mut(v).ict_mut().set(ac, 2);
+        // Calls: 2 per execution, 8 bits of parameters. Writes: 3 per
+        // execution, 8 bits.
+        *d.graph_mut().channel_mut(call).freq_mut() = AccessFreq::exact(2);
+        d.graph_mut().channel_mut(call).set_bits(8);
+        *d.graph_mut().channel_mut(wr).freq_mut() = AccessFreq::exact(3);
+        d.graph_mut().channel_mut(wr).set_bits(8);
+
+        let cpu = d.add_processor("cpu", pc);
+        let asic = d.add_processor("asic", ac);
+        let bus = d.add_bus(Bus::new("b", 8, 1, 4));
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_node(sub, if sub_on_asic { asic.into() } else { cpu.into() });
+        part.assign_node(v, cpu.into());
+        part.assign_channel(call, bus);
+        part.assign_channel(wr, bus);
+        Fix {
+            d,
+            main,
+            sub,
+            v,
+            part,
+        }
+    }
+
+    #[test]
+    fn equation1_all_same_component() {
+        let f = fixture(false);
+        let mut est = ExecTimeEstimator::new(&f.d, &f.part);
+        // v: ict 2.
+        assert_eq!(est.exec_time(f.v).unwrap(), 2.0);
+        // sub: 40 + 3 * (1*ts + 2) = 40 + 3*3 = 49.
+        assert_eq!(est.exec_time(f.sub).unwrap(), 49.0);
+        // main: 100 + 2 * (1*ts + 49) = 100 + 100 = 200.
+        assert_eq!(est.exec_time(f.main).unwrap(), 200.0);
+    }
+
+    #[test]
+    fn equation1_cross_component_uses_td() {
+        let f = fixture(true);
+        let mut est = ExecTimeEstimator::new(&f.d, &f.part);
+        // sub on asic: ict 8; write to v on cpu crosses: 3 * (1*td + 2) = 18.
+        assert_eq!(est.exec_time(f.sub).unwrap(), 26.0);
+        // main on cpu calling sub on asic: 100 + 2 * (1*td + 26) = 160.
+        assert_eq!(est.exec_time(f.main).unwrap(), 160.0);
+    }
+
+    #[test]
+    fn comm_time_excludes_ict() {
+        let f = fixture(false);
+        let mut est = ExecTimeEstimator::new(&f.d, &f.part);
+        assert_eq!(est.comm_time(f.main).unwrap(), 100.0);
+        assert_eq!(est.comm_time(f.sub).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn wide_transfer_needs_multiple_bus_cycles() {
+        let mut f = fixture(false);
+        // Make the write 20 bits on the 8-bit bus: ceil(20/8)=3 transfers.
+        let wr = f.d.graph().channel_ids().nth(1).unwrap();
+        f.d.graph_mut().channel_mut(wr).set_bits(20);
+        let mut est = ExecTimeEstimator::new(&f.d, &f.part);
+        // sub: 40 + 3 * (3*1 + 2) = 55.
+        assert_eq!(est.exec_time(f.sub).unwrap(), 55.0);
+    }
+
+    #[test]
+    fn min_max_modes_bracket_average() {
+        let mut f = fixture(false);
+        let wr = f.d.graph().channel_ids().nth(1).unwrap();
+        *f.d.graph_mut().channel_mut(wr).freq_mut() = AccessFreq::new(3.0, 1, 10);
+        let avg = ExecTimeEstimator::with_config(&f.d, &f.part, EstimatorConfig::default())
+            .exec_time(f.sub)
+            .unwrap();
+        let min = ExecTimeEstimator::with_config(
+            &f.d,
+            &f.part,
+            EstimatorConfig::default().with_mode(slif_core::FreqMode::Min),
+        )
+        .exec_time(f.sub)
+        .unwrap();
+        let max = ExecTimeEstimator::with_config(
+            &f.d,
+            &f.part,
+            EstimatorConfig::default().with_mode(slif_core::FreqMode::Max),
+        )
+        .exec_time(f.sub)
+        .unwrap();
+        assert!(min <= avg && avg <= max);
+        assert_eq!(min, 43.0); // 40 + 1*3
+        assert_eq!(max, 70.0); // 40 + 10*3
+    }
+
+    #[test]
+    fn recursion_is_reported() {
+        let mut f = fixture(false);
+        // sub calls main: recursion. The graph grew, so rebuild the partition.
+        f.d.graph_mut()
+            .add_channel(f.sub, f.main.into(), AccessKind::Call)
+            .unwrap();
+        let bus = f.d.bus_by_name("b").unwrap();
+        let cpu = f.d.processor_by_name("cpu").unwrap();
+        let mut part = Partition::new(&f.d);
+        for n in f.d.graph().node_ids() {
+            part.assign_node(n, cpu.into());
+        }
+        for c in f.d.graph().channel_ids() {
+            part.assign_channel(c, bus);
+        }
+        f.part = part;
+        let mut est = ExecTimeEstimator::new(&f.d, &f.part);
+        assert!(matches!(
+            est.exec_time(f.main),
+            Err(CoreError::RecursiveAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn message_cycles_allowed_with_transfer_only_policy() {
+        // Two processes messaging each other: a cycle, but legal under the
+        // default transfer-only message policy.
+        let mut d = Design::new("msg");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let a = d.graph_mut().add_node("A", NodeKind::process());
+        let b = d.graph_mut().add_node("B", NodeKind::process());
+        let m1 = d
+            .graph_mut()
+            .add_channel(a, b.into(), AccessKind::Message)
+            .unwrap();
+        let m2 = d
+            .graph_mut()
+            .add_channel(b, a.into(), AccessKind::Message)
+            .unwrap();
+        for n in [a, b] {
+            d.graph_mut().node_mut(n).ict_mut().set(pc, 10);
+        }
+        d.graph_mut().channel_mut(m1).set_bits(8);
+        d.graph_mut().channel_mut(m2).set_bits(8);
+        let cpu = d.add_processor("cpu", pc);
+        let bus = d.add_bus(Bus::new("b", 8, 1, 4));
+        let mut part = Partition::new(&d);
+        part.assign_node(a, cpu.into());
+        part.assign_node(b, cpu.into());
+        part.assign_channel(m1, bus);
+        part.assign_channel(m2, bus);
+
+        let mut est = ExecTimeEstimator::new(&d, &part);
+        // 10 ict + 1 transfer (ts=1).
+        assert_eq!(est.exec_time(a).unwrap(), 11.0);
+        assert_eq!(est.exec_time(b).unwrap(), 11.0);
+
+        // Under IncludeReceiver the cycle is recursion.
+        let cfg = EstimatorConfig::default().with_message_policy(MessagePolicy::IncludeReceiver);
+        let mut est2 = ExecTimeEstimator::with_config(&d, &part, cfg);
+        assert!(matches!(
+            est2.exec_time(a),
+            Err(CoreError::RecursiveAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrency_aware_takes_group_max() {
+        let mut f = fixture(false);
+        // Give sub a second variable access, tagged concurrent with the first.
+        let w = f.d.graph_mut().add_node("w", NodeKind::scalar(8));
+        let pc = f.d.class_by_name("proc").unwrap();
+        let ac = f.d.class_by_name("asic").unwrap();
+        f.d.graph_mut().node_mut(w).ict_mut().set(pc, 2);
+        f.d.graph_mut().node_mut(w).ict_mut().set(ac, 2);
+        let wr2 =
+            f.d.graph_mut()
+                .add_channel(f.sub, w.into(), AccessKind::Write)
+                .unwrap();
+        let cpu = f.d.processor_by_name("cpu").unwrap();
+        let bus = f.d.bus_by_name("b").unwrap();
+        // Rebuild the partition (the graph grew).
+        let mut part = Partition::new(&f.d);
+        for n in f.d.graph().node_ids() {
+            part.assign_node(n, cpu.into());
+        }
+        for c in f.d.graph().channel_ids() {
+            part.assign_channel(c, bus);
+        }
+        let wr1 = f.d.graph().channel_ids().nth(1).unwrap();
+        let tag = ConcurrencyTag::group(1);
+        f.d.graph_mut().channel_mut(wr1).set_tag(tag);
+        f.d.graph_mut().channel_mut(wr2).set_tag(tag);
+        *f.d.graph_mut().channel_mut(wr2).freq_mut() = AccessFreq::exact(3);
+
+        // Sequential: 40 + 3*3 + 3*3 = 58.
+        let seq = ExecTimeEstimator::new(&f.d, &part)
+            .exec_time(f.sub)
+            .unwrap();
+        assert_eq!(seq, 58.0);
+        // Concurrency-aware: the two tagged writes overlap: 40 + max(9, 9) = 49.
+        let cfg = EstimatorConfig::default().with_concurrency_aware(true);
+        let conc = ExecTimeEstimator::with_config(&f.d, &part, cfg)
+            .exec_time(f.sub)
+            .unwrap();
+        assert_eq!(conc, 49.0);
+        assert!(conc <= seq);
+    }
+
+    #[test]
+    fn unmapped_objects_are_reported() {
+        let f = fixture(false);
+        let mut empty = Partition::new(&f.d);
+        let unmapped = empty.clone();
+        let mut est = ExecTimeEstimator::new(&f.d, &unmapped);
+        assert!(matches!(
+            est.exec_time(f.main),
+            Err(CoreError::UnmappedNode { .. })
+        ));
+        // Map nodes but not channels.
+        let cpu = f.d.processor_by_name("cpu").unwrap();
+        for n in f.d.graph().node_ids() {
+            empty.assign_node(n, cpu.into());
+        }
+        let mut est = ExecTimeEstimator::new(&f.d, &empty);
+        assert!(matches!(
+            est.exec_time(f.main),
+            Err(CoreError::UnmappedChannel { .. })
+        ));
+    }
+
+    #[test]
+    fn error_then_fix_is_not_cached_as_recursion() {
+        // After an error, re-querying reports the same error (not a
+        // spurious RecursiveAccess from the InProgress marker).
+        let f = fixture(false);
+        let empty = Partition::new(&f.d);
+        let mut est = ExecTimeEstimator::new(&f.d, &empty);
+        for _ in 0..2 {
+            assert!(matches!(
+                est.exec_time(f.main),
+                Err(CoreError::UnmappedNode { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn zero_frequency_channels_cost_nothing() {
+        let mut f = fixture(false);
+        let call = f.d.graph().channel_ids().next().unwrap();
+        *f.d.graph_mut().channel_mut(call).freq_mut() = AccessFreq::new(0.0, 0, 0);
+        let mut est = ExecTimeEstimator::new(&f.d, &f.part);
+        assert_eq!(est.exec_time(f.main).unwrap(), 100.0);
+    }
+}

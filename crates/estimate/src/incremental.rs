@@ -1,0 +1,370 @@
+//! Incremental estimation for partition-space exploration.
+//!
+//! The paper's speed claims exist so that "algorithms that explore
+//! thousands of possible designs" stay interactive (Section 5). When an
+//! algorithm moves one object at a time, most estimates are unaffected:
+//!
+//! * component sizes change by exactly one weight (subtract from the old
+//!   component, add to the new),
+//! * execution-time memo entries are stale only for the moved node and the
+//!   nodes that can reach it through channels,
+//! * pin counts are stale only for components touching the moved object's
+//!   channels.
+//!
+//! [`IncrementalEstimator`] owns a working partition, maintains these
+//! caches across [`move_node`](IncrementalEstimator::move_node) /
+//! [`move_channel`](IncrementalEstimator::move_channel) calls, and always
+//! returns exactly what a from-scratch estimator would (property-tested in
+//! the crate's test suite).
+
+use crate::config::EstimatorConfig;
+use crate::exectime::{eval_exec_time, MemoState};
+use crate::io::io_pins;
+use crate::size::node_size_on;
+use slif_core::{
+    AccessTarget, BusId, ChannelId, CoreError, Design, NodeId, Partition, PmRef, ProcessorId,
+};
+
+/// A caching estimator that tracks a mutating partition.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::gen::DesignGenerator;
+/// use slif_estimate::IncrementalEstimator;
+///
+/// let (design, partition) = DesignGenerator::new(1).build();
+/// let mut inc = IncrementalEstimator::new(&design, partition)?;
+/// let some_node = design.graph().node_ids().next().unwrap();
+/// let target = design.processor_ids().next().unwrap();
+/// inc.move_node(some_node, target.into())?;
+/// let _size = inc.size(target.into());
+/// # Ok::<(), slif_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct IncrementalEstimator<'a> {
+    design: &'a Design,
+    partition: Partition,
+    config: EstimatorConfig,
+    /// Per-component size sums, indexed processors-then-memories.
+    comp_size: Vec<u64>,
+    exec_memo: Vec<MemoState>,
+    pins_cache: Vec<Option<u32>>,
+}
+
+impl<'a> IncrementalEstimator<'a> {
+    /// Creates an estimator over an initial complete partition with the
+    /// default configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnmappedNode`] or [`CoreError::MissingWeight`] if the
+    /// starting partition is not proper.
+    pub fn new(design: &'a Design, partition: Partition) -> Result<Self, CoreError> {
+        Self::with_config(design, partition, EstimatorConfig::default())
+    }
+
+    /// Creates an estimator with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn with_config(
+        design: &'a Design,
+        partition: Partition,
+        config: EstimatorConfig,
+    ) -> Result<Self, CoreError> {
+        let slots = design.processor_count() + design.memory_count();
+        let mut comp_size = vec![0u64; slots];
+        for n in design.graph().node_ids() {
+            let comp = partition
+                .node_component(n)
+                .ok_or(CoreError::UnmappedNode { node: n })?;
+            comp_size[pm_index(design, comp)] += node_size_on(design, n, comp)?;
+        }
+        Ok(Self {
+            design,
+            partition,
+            config,
+            comp_size,
+            exec_memo: vec![MemoState::default(); design.graph().node_count()],
+            pins_cache: vec![None; design.processor_count()],
+        })
+    }
+
+    /// The current working partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Consumes the estimator, returning the working partition.
+    pub fn into_partition(self) -> Partition {
+        self.partition
+    }
+
+    /// Moves node `n` to `comp`, updating all caches. Returns the previous
+    /// component. Moving a node to its current component is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MissingWeight`] (and the move is not performed) if the
+    /// node has no size weight for the new component's class, or
+    /// [`CoreError::BehaviorInMemory`] if a behavior is moved to a memory.
+    pub fn move_node(&mut self, n: NodeId, comp: PmRef) -> Result<Option<PmRef>, CoreError> {
+        let old = self.partition.node_component(n);
+        if old == Some(comp) {
+            return Ok(old);
+        }
+        if let PmRef::Memory(m) = comp {
+            if self.design.graph().node(n).kind().is_behavior() {
+                return Err(CoreError::BehaviorInMemory { node: n, memory: m });
+            }
+        }
+        let new_w = node_size_on(self.design, n, comp)?;
+        if let Some(old_comp) = old {
+            let old_w = node_size_on(self.design, n, old_comp)?;
+            self.comp_size[pm_index(self.design, old_comp)] -= old_w;
+        }
+        self.comp_size[pm_index(self.design, comp)] += new_w;
+        self.partition.assign_node(n, comp);
+        self.invalidate_exec_through(n);
+        self.invalidate_pins_around_node(n, old, Some(comp));
+        Ok(old)
+    }
+
+    /// Moves channel `c` to `bus`, updating caches. Returns the previous
+    /// bus.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownBus`] if `bus` is not part of the design.
+    pub fn move_channel(&mut self, c: ChannelId, bus: BusId) -> Result<Option<BusId>, CoreError> {
+        if bus.index() >= self.design.bus_count() {
+            return Err(CoreError::UnknownBus { bus });
+        }
+        let old = self.partition.assign_channel(c, bus);
+        if old == Some(bus) {
+            return Ok(old);
+        }
+        // Transfer times of the channel's source (and its initiators) change.
+        self.invalidate_exec_through(self.design.graph().channel(c).src());
+        // Cut-bus sets of both endpoint components may change.
+        let ch = self.design.graph().channel(c);
+        self.invalidate_pins_of_comp(self.partition.node_component(ch.src()));
+        if let AccessTarget::Node(dst) = ch.dst() {
+            self.invalidate_pins_of_comp(self.partition.node_component(dst));
+        }
+        Ok(old)
+    }
+
+    /// Equation 1 execution time of node `n`, from cache where valid.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ExecTimeEstimator::exec_time`](crate::ExecTimeEstimator::exec_time).
+    pub fn exec_time(&mut self, n: NodeId) -> Result<f64, CoreError> {
+        eval_exec_time(
+            self.design,
+            &self.partition,
+            &self.config,
+            &mut self.exec_memo,
+            n,
+        )
+    }
+
+    /// Equation 4/5 size of component `pm` — an O(1) cache read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pm` does not come from this design.
+    pub fn size(&self, pm: PmRef) -> u64 {
+        self.comp_size[pm_index(self.design, pm)]
+    }
+
+    /// Equation 6 pins of processor `p`, from cache where valid.
+    ///
+    /// # Errors
+    ///
+    /// As for [`io_pins`].
+    pub fn pins(&mut self, p: ProcessorId) -> Result<u32, CoreError> {
+        if let Some(pins) = self.pins_cache[p.index()] {
+            return Ok(pins);
+        }
+        let pins = io_pins(self.design, &self.partition, p)?;
+        self.pins_cache[p.index()] = Some(pins);
+        Ok(pins)
+    }
+
+    /// Invalidates exec-time memo entries for `n` and every node that can
+    /// reach it through channels.
+    fn invalidate_exec_through(&mut self, n: NodeId) {
+        for dep in self.design.graph().dependents_of(n) {
+            self.exec_memo[dep.index()] = MemoState::default();
+        }
+    }
+
+    fn invalidate_pins_of_comp(&mut self, comp: Option<PmRef>) {
+        if let Some(PmRef::Processor(p)) = comp {
+            self.pins_cache[p.index()] = None;
+        }
+    }
+
+    /// Invalidates the pin caches of every processor whose cut set can be
+    /// affected by re-homing node `n`: its old and new components, and the
+    /// components of every node it shares a channel with.
+    fn invalidate_pins_around_node(&mut self, n: NodeId, old: Option<PmRef>, new: Option<PmRef>) {
+        self.invalidate_pins_of_comp(old);
+        self.invalidate_pins_of_comp(new);
+        let g = self.design.graph();
+        let mut neighbours: Vec<Option<PmRef>> = Vec::new();
+        for c in g.channels_of(n) {
+            if let AccessTarget::Node(dst) = g.channel(c).dst() {
+                neighbours.push(self.partition.node_component(dst));
+            }
+        }
+        for c in g.accessors_of(n) {
+            neighbours.push(self.partition.node_component(g.channel(c).src()));
+        }
+        for comp in neighbours {
+            self.invalidate_pins_of_comp(comp);
+        }
+    }
+}
+
+fn pm_index(design: &Design, pm: PmRef) -> usize {
+    match pm {
+        PmRef::Processor(p) => p.index(),
+        PmRef::Memory(m) => design.processor_count() + m.index(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exectime::ExecTimeEstimator;
+    use crate::size::size;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use slif_core::gen::DesignGenerator;
+
+    /// Applies `moves` random single-object moves, checking after each that
+    /// incremental results equal from-scratch results.
+    fn random_walk_agrees(seed: u64, moves: usize) {
+        let (design, part) = DesignGenerator::new(seed)
+            .behaviors(15)
+            .variables(12)
+            .processors(3)
+            .memories(2)
+            .buses(2)
+            .build();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let mut inc = IncrementalEstimator::new(&design, part).unwrap();
+        let procs: Vec<_> = design.processor_ids().collect();
+        let mems: Vec<_> = design.memory_ids().collect();
+        let buses: Vec<_> = design.bus_ids().collect();
+        for _ in 0..moves {
+            if rng.gen_bool(0.7) {
+                // Move a node.
+                let n = NodeId::from_raw(rng.gen_range(0..design.graph().node_count()) as u32);
+                let comp: PmRef =
+                    if design.graph().node(n).kind().is_variable() && rng.gen_bool(0.5) {
+                        mems[rng.gen_range(0..mems.len())].into()
+                    } else {
+                        procs[rng.gen_range(0..procs.len())].into()
+                    };
+                inc.move_node(n, comp).unwrap();
+            } else {
+                let c =
+                    ChannelId::from_raw(rng.gen_range(0..design.graph().channel_count()) as u32);
+                inc.move_channel(c, buses[rng.gen_range(0..buses.len())])
+                    .unwrap();
+            }
+            // Compare against a from-scratch estimator.
+            let fresh_part = inc.partition().clone();
+            let mut fresh = ExecTimeEstimator::new(&design, &fresh_part);
+            for n in design.graph().node_ids() {
+                let a = inc.exec_time(n).unwrap();
+                let b = fresh.exec_time(n).unwrap();
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "exec time mismatch on {n}: {a} vs {b}"
+                );
+            }
+            for pm in design.pm_refs() {
+                assert_eq!(inc.size(pm), size(&design, &fresh_part, pm).unwrap());
+            }
+            for p in design.processor_ids() {
+                assert_eq!(
+                    inc.pins(p).unwrap(),
+                    io_pins(&design, &fresh_part, p).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_full_recompute_across_random_walks() {
+        for seed in 0..4 {
+            random_walk_agrees(seed, 30);
+        }
+    }
+
+    #[test]
+    fn move_to_same_component_is_noop() {
+        let (design, part) = DesignGenerator::new(0).build();
+        let mut inc = IncrementalEstimator::new(&design, part).unwrap();
+        let n = design.graph().node_ids().next().unwrap();
+        let comp = inc.partition().node_component(n).unwrap();
+        let before = inc.size(comp);
+        assert_eq!(inc.move_node(n, comp).unwrap(), Some(comp));
+        assert_eq!(inc.size(comp), before);
+    }
+
+    #[test]
+    fn behavior_to_memory_rejected_without_corruption() {
+        let (design, part) = DesignGenerator::new(2).memories(1).build();
+        let mut inc = IncrementalEstimator::new(&design, part).unwrap();
+        let b = design.graph().behavior_ids().next().unwrap();
+        let mem = design.memory_ids().next().unwrap();
+        let comp_before = inc.partition().node_component(b).unwrap();
+        let size_before = inc.size(comp_before);
+        assert!(matches!(
+            inc.move_node(b, mem.into()),
+            Err(CoreError::BehaviorInMemory { .. })
+        ));
+        assert_eq!(inc.partition().node_component(b), Some(comp_before));
+        assert_eq!(inc.size(comp_before), size_before);
+    }
+
+    #[test]
+    fn unknown_bus_rejected() {
+        let (design, part) = DesignGenerator::new(3).build();
+        let mut inc = IncrementalEstimator::new(&design, part).unwrap();
+        let c = design.graph().channel_ids().next().unwrap();
+        assert!(matches!(
+            inc.move_channel(c, BusId::from_raw(99)),
+            Err(CoreError::UnknownBus { .. })
+        ));
+    }
+
+    #[test]
+    fn incomplete_partition_rejected_at_construction() {
+        let (design, _) = DesignGenerator::new(4).build();
+        let empty = Partition::new(&design);
+        assert!(matches!(
+            IncrementalEstimator::new(&design, empty),
+            Err(CoreError::UnmappedNode { .. })
+        ));
+    }
+
+    #[test]
+    fn into_partition_returns_working_state() {
+        let (design, part) = DesignGenerator::new(5).build();
+        let mut inc = IncrementalEstimator::new(&design, part).unwrap();
+        let n = design.graph().node_ids().next().unwrap();
+        let target: PmRef = design.processor_ids().last().unwrap().into();
+        inc.move_node(n, target).unwrap();
+        let out = inc.into_partition();
+        assert_eq!(out.node_component(n), Some(target));
+    }
+}

@@ -1,0 +1,198 @@
+//! I/O (pin) estimation (the paper's Equation 6).
+//!
+//! ```text
+//! IO(p) = Σ_{i ∈ CutBuses(p)} i.bitwidth                        (Eq. 6)
+//! ```
+//!
+//! The number of wires crossing a component's boundary is the total
+//! bitwidth of the buses that cross the boundary; a bus crosses the
+//! boundary when it implements at least one channel connecting an object
+//! on the component with an object (or external port) off it.
+
+use slif_core::{CoreError, Design, Partition, ProcessorId};
+
+/// Equation 6: the number of I/O wires of processor `p` under `partition`.
+///
+/// # Errors
+///
+/// [`CoreError::UnmappedChannel`] if a cut channel has no bus assignment —
+/// without a bus, the wires crossing the boundary are unknown.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::{AccessKind, Bus, ClassKind, Design, NodeKind, Partition};
+/// use slif_estimate::io_pins;
+///
+/// let mut d = Design::new("demo");
+/// let pc = d.add_class("proc", ClassKind::StdProcessor);
+/// let ac = d.add_class("asic", ClassKind::CustomHw);
+/// let a = d.graph_mut().add_node("A", NodeKind::process());
+/// let b = d.graph_mut().add_node("B", NodeKind::procedure());
+/// let c = d.graph_mut().add_channel(a, b.into(), AccessKind::Call)?;
+/// let cpu = d.add_processor("cpu", pc);
+/// let asic = d.add_processor("asic", ac);
+/// let bus = d.add_bus(Bus::new("b", 16, 1, 4));
+/// let mut part = Partition::new(&d);
+/// part.assign_node(a, cpu.into());
+/// part.assign_node(b, asic.into());
+/// part.assign_channel(c, bus);
+/// assert_eq!(io_pins(&d, &part, asic)?, 16);
+/// # Ok::<(), slif_core::CoreError>(())
+/// ```
+pub fn io_pins(design: &Design, partition: &Partition, p: ProcessorId) -> Result<u32, CoreError> {
+    if p.index() >= design.processor_count() {
+        return Err(CoreError::InvalidProcessor { processor: p });
+    }
+    // Every cut channel must have a bus; collect the distinct cut buses.
+    let cut: Vec<_> = partition.cut_channels(design, p).collect();
+    for &c in &cut {
+        if partition.channel_bus(c).is_none() {
+            return Err(CoreError::UnmappedChannel { channel: c });
+        }
+    }
+    Ok(partition
+        .cut_buses(design, p)
+        .iter()
+        .map(|&b| design.bus(b).bitwidth())
+        .sum())
+}
+
+/// Checks a processor's pin usage against its pin constraint, returning
+/// the overshoot (0 when within budget or unconstrained).
+///
+/// # Errors
+///
+/// Propagates [`io_pins`] errors.
+pub fn pin_violation(
+    design: &Design,
+    partition: &Partition,
+    p: ProcessorId,
+) -> Result<u32, CoreError> {
+    let pins = io_pins(design, partition, p)?;
+    Ok(match design.processor(p).pin_constraint() {
+        Some(max) => pins.saturating_sub(max),
+        None => 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::{AccessKind, Bus, ClassKind, NodeKind, PortDirection};
+
+    /// a on cpu, b on asic, v on asic; a→b (bus0), a→v (bus1), b→v (bus0,
+    /// internal to asic), a→port (bus0).
+    fn fixture() -> (Design, Partition, ProcessorId, ProcessorId) {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let ac = d.add_class("asic", ClassKind::CustomHw);
+        let a = d.graph_mut().add_node("a", NodeKind::process());
+        let b = d.graph_mut().add_node("b", NodeKind::procedure());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+        let port = d.graph_mut().add_port("out1", PortDirection::Out, 8);
+        let c_ab = d
+            .graph_mut()
+            .add_channel(a, b.into(), AccessKind::Call)
+            .unwrap();
+        let c_av = d
+            .graph_mut()
+            .add_channel(a, v.into(), AccessKind::Read)
+            .unwrap();
+        let c_bv = d
+            .graph_mut()
+            .add_channel(b, v.into(), AccessKind::Write)
+            .unwrap();
+        let c_ap = d
+            .graph_mut()
+            .add_channel(a, port.into(), AccessKind::Write)
+            .unwrap();
+        let cpu = d.add_processor("cpu", pc);
+        let asic = d.add_processor("asic", ac);
+        let bus0 = d.add_bus(Bus::new("bus0", 16, 1, 4));
+        let bus1 = d.add_bus(Bus::new("bus1", 8, 1, 4));
+        let mut part = Partition::new(&d);
+        part.assign_node(a, cpu.into());
+        part.assign_node(b, asic.into());
+        part.assign_node(v, asic.into());
+        part.assign_channel(c_ab, bus0);
+        part.assign_channel(c_av, bus1);
+        part.assign_channel(c_bv, bus0);
+        part.assign_channel(c_ap, bus0);
+        (d, part, cpu, asic)
+    }
+
+    #[test]
+    fn equation6_sums_cut_bus_widths_once() {
+        let (d, part, cpu, asic) = fixture();
+        // asic boundary: c_ab (bus0) and c_av (bus1) cross; c_bv is internal.
+        // bus0 appears once even though it also carries internal traffic.
+        assert_eq!(io_pins(&d, &part, asic).unwrap(), 16 + 8);
+        // cpu boundary: c_ab (bus0), c_av (bus1), c_ap (bus0, to a port).
+        assert_eq!(io_pins(&d, &part, cpu).unwrap(), 16 + 8);
+    }
+
+    #[test]
+    fn internal_channels_cost_no_pins() {
+        let (mut d, _, _, asic) = fixture();
+        // Map everything to the asic: only the port write crosses.
+        let bus0 = d.bus_by_name("bus0").unwrap();
+        let mut part = Partition::new(&d);
+        for n in d.graph().node_ids() {
+            part.assign_node(n, asic.into());
+        }
+        for c in d.graph().channel_ids() {
+            part.assign_channel(c, bus0);
+        }
+        let _ = &mut d;
+        assert_eq!(io_pins(&d, &part, asic).unwrap(), 16);
+    }
+
+    #[test]
+    fn unmapped_cut_channel_is_reported() {
+        let (d, mut part, _, asic) = fixture();
+        let c_ab = d.graph().channel_ids().next().unwrap();
+        part.unassign_channel(c_ab);
+        assert!(matches!(
+            io_pins(&d, &part, asic),
+            Err(CoreError::UnmappedChannel { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_processor_is_reported() {
+        let (d, part, _, _) = fixture();
+        assert!(matches!(
+            io_pins(&d, &part, ProcessorId::from_raw(99)),
+            Err(CoreError::InvalidProcessor { .. })
+        ));
+    }
+
+    #[test]
+    fn pin_violation_measures_overshoot() {
+        let (mut d, _, _, _) = fixture();
+        let ac = d.class_by_name("asic").unwrap();
+        let tight = d
+            .add_processor_instance(slif_core::Processor::new("tight", ac).with_pin_constraint(10));
+        // Move b and v onto the tight asic.
+        let b = d.graph().node_by_name("b").unwrap();
+        let v = d.graph().node_by_name("v").unwrap();
+        let a = d.graph().node_by_name("a").unwrap();
+        let cpu = d.processor_by_name("cpu").unwrap();
+        let bus0 = d.bus_by_name("bus0").unwrap();
+        let bus1 = d.bus_by_name("bus1").unwrap();
+        let mut part = Partition::new(&d);
+        part.assign_node(a, cpu.into());
+        part.assign_node(b, tight.into());
+        part.assign_node(v, tight.into());
+        let chans: Vec<_> = d.graph().channel_ids().collect();
+        part.assign_channel(chans[0], bus0);
+        part.assign_channel(chans[1], bus1);
+        part.assign_channel(chans[2], bus0);
+        part.assign_channel(chans[3], bus0);
+        // 24 pins needed, 10 available → 14 over.
+        assert_eq!(pin_violation(&d, &part, tight).unwrap(), 14);
+        // The unconstrained cpu never violates.
+        assert_eq!(pin_violation(&d, &part, cpu).unwrap(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! # slif-estimate — rapid design-metric estimation from SLIF
+//!
+//! Implements Section 3 of the SLIF paper: estimation of quality metrics
+//! for a given partition of functional objects among system components,
+//! entirely from SLIF's preprocessed annotations. All estimators are
+//! lookups and sums over the access graph — no re-synthesis, no
+//! re-compilation — which is what makes them fast enough for interactive
+//! design and for partitioning algorithms that examine thousands of
+//! candidates.
+//!
+//! | paper equation | item |
+//! |---|---|
+//! | Eq. 1 (execution time) | [`ExecTimeEstimator`] |
+//! | Eq. 2 (channel bitrate) | [`BitrateEstimator::channel_bitrate`] |
+//! | Eq. 3 (bus bitrate) | [`BitrateEstimator::bus_bitrate`] |
+//! | Eq. 4/5 (sw/hw/memory size) | [`size`] |
+//! | Eq. 6 (I/O pins) | [`io_pins`] |
+//!
+//! Extensions the paper names but defers:
+//!
+//! * min/max performance ([`EstimatorConfig::with_mode`]),
+//! * concurrency-aware communication time
+//!   ([`EstimatorConfig::with_concurrency_aware`]),
+//! * capacity-limited bus bitrate
+//!   ([`BitrateEstimator::bus_utilization`], ref \[2\]) and the full
+//!   saturation fixed point ([`saturation_analysis`]),
+//! * sharing-aware hardware size ([`size_shared`], ref \[1\]),
+//! * incremental re-estimation under single-object moves
+//!   ([`IncrementalEstimator`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use slif_core::gen::DesignGenerator;
+//! use slif_estimate::DesignReport;
+//!
+//! let (design, partition) = DesignGenerator::new(7).build();
+//! let report = DesignReport::compute(&design, &partition)?;
+//! println!("{report}");
+//! # Ok::<(), slif_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bitrate;
+mod config;
+mod exectime;
+mod incremental;
+mod io;
+mod report;
+mod saturation;
+mod size;
+
+pub use bitrate::BitrateEstimator;
+pub use config::{EstimatorConfig, MessagePolicy};
+pub use exectime::ExecTimeEstimator;
+pub use incremental::IncrementalEstimator;
+pub use io::{io_pins, pin_violation};
+pub use report::{BusReport, ComponentReport, DesignReport, ProcessReport};
+pub use saturation::{saturation_analysis, SaturationReport};
+pub use size::{node_size_on, size, size_shared, size_violation};

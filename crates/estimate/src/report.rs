@@ -1,0 +1,285 @@
+//! The full estimate suite: "size, pin, bitrate and performance estimates
+//! for a partition" — exactly what the paper's Figure 4 times in its
+//! T-est column.
+
+use crate::bitrate::BitrateEstimator;
+use crate::config::EstimatorConfig;
+use crate::exectime::ExecTimeEstimator;
+use crate::io::io_pins;
+use crate::size::size;
+use slif_core::{BusId, CoreError, Design, NodeId, Partition, PmRef};
+use std::fmt;
+
+/// Estimated metrics for one component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentReport {
+    /// The component.
+    pub component: PmRef,
+    /// The component's name.
+    pub name: String,
+    /// Equation 4/5 size (bytes, gates, or words depending on class).
+    pub size: u64,
+    /// The size constraint, if any.
+    pub size_constraint: Option<u64>,
+    /// Equation 6 pins (processors only).
+    pub pins: Option<u32>,
+    /// The pin constraint, if any.
+    pub pin_constraint: Option<u32>,
+}
+
+impl ComponentReport {
+    /// Whether the component meets its size and pin constraints.
+    pub fn satisfies_constraints(&self) -> bool {
+        let size_ok = self.size_constraint.is_none_or(|max| self.size <= max);
+        let pins_ok = match (self.pins, self.pin_constraint) {
+            (Some(p), Some(max)) => p <= max,
+            _ => true,
+        };
+        size_ok && pins_ok
+    }
+}
+
+/// Estimated metrics for one bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusReport {
+    /// The bus.
+    pub bus: BusId,
+    /// The bus's name.
+    pub name: String,
+    /// Equation 3 demanded bitrate.
+    pub bitrate: f64,
+    /// Utilization against the capacity model, if one exists.
+    pub utilization: Option<f64>,
+}
+
+/// Estimated execution time for one process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessReport {
+    /// The process node.
+    pub node: NodeId,
+    /// The process's name.
+    pub name: String,
+    /// Equation 1 execution time of one start-to-finish execution.
+    pub exec_time: f64,
+}
+
+/// The complete estimate suite for a (design, partition) pair.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::gen::DesignGenerator;
+/// use slif_estimate::DesignReport;
+///
+/// let (design, partition) = DesignGenerator::new(3).build();
+/// let report = DesignReport::compute(&design, &partition)?;
+/// assert_eq!(report.components.len(), design.processor_count() + design.memory_count());
+/// # Ok::<(), slif_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct DesignReport {
+    /// Per-component size and pin estimates.
+    pub components: Vec<ComponentReport>,
+    /// Per-bus bitrate estimates.
+    pub buses: Vec<BusReport>,
+    /// Per-process execution-time estimates.
+    pub processes: Vec<ProcessReport>,
+}
+
+impl DesignReport {
+    /// Runs all estimators (Equations 1–6) with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any estimation error: unmapped objects, missing weights,
+    /// or recursion.
+    pub fn compute(design: &Design, partition: &Partition) -> Result<Self, CoreError> {
+        Self::compute_with(design, partition, EstimatorConfig::default())
+    }
+
+    /// Runs all estimators with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any estimation error.
+    pub fn compute_with(
+        design: &Design,
+        partition: &Partition,
+        config: EstimatorConfig,
+    ) -> Result<Self, CoreError> {
+        let mut components = Vec::new();
+        for pm in design.pm_refs() {
+            let (name, size_constraint, pins, pin_constraint) = match pm {
+                PmRef::Processor(p) => {
+                    let proc = design.processor(p);
+                    (
+                        proc.name().to_owned(),
+                        proc.size_constraint(),
+                        Some(io_pins(design, partition, p)?),
+                        proc.pin_constraint(),
+                    )
+                }
+                PmRef::Memory(m) => {
+                    let mem = design.memory(m);
+                    (mem.name().to_owned(), mem.size_constraint(), None, None)
+                }
+            };
+            components.push(ComponentReport {
+                component: pm,
+                name,
+                size: size(design, partition, pm)?,
+                size_constraint,
+                pins,
+                pin_constraint,
+            });
+        }
+
+        let exec = ExecTimeEstimator::with_config(design, partition, config);
+        let mut bitrate = BitrateEstimator::with_estimator(design, partition, exec);
+        let mut buses = Vec::new();
+        for b in design.bus_ids() {
+            buses.push(BusReport {
+                bus: b,
+                name: design.bus(b).name().to_owned(),
+                bitrate: bitrate.bus_bitrate(b)?,
+                utilization: bitrate.bus_utilization(b)?,
+            });
+        }
+        let mut exec = bitrate.into_inner();
+        let mut processes = Vec::new();
+        for n in design.graph().node_ids() {
+            if design.graph().node(n).kind().is_process() {
+                processes.push(ProcessReport {
+                    node: n,
+                    name: design.graph().node(n).name().to_owned(),
+                    exec_time: exec.exec_time(n)?,
+                });
+            }
+        }
+        Ok(Self {
+            components,
+            buses,
+            processes,
+        })
+    }
+
+    /// Whether every component satisfies its constraints.
+    pub fn satisfies_constraints(&self) -> bool {
+        self.components
+            .iter()
+            .all(ComponentReport::satisfies_constraints)
+    }
+}
+
+impl fmt::Display for DesignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "components:")?;
+        for c in &self.components {
+            write!(f, "  {:<12} size {:>8}", c.name, c.size)?;
+            if let Some(max) = c.size_constraint {
+                write!(f, " / {max}")?;
+            }
+            if let Some(p) = c.pins {
+                write!(f, "  pins {p:>4}")?;
+                if let Some(max) = c.pin_constraint {
+                    write!(f, " / {max}")?;
+                }
+            }
+            if !c.satisfies_constraints() {
+                write!(f, "  VIOLATED")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "buses:")?;
+        for b in &self.buses {
+            write!(f, "  {:<12} bitrate {:>12.4}", b.name, b.bitrate)?;
+            if let Some(u) = b.utilization {
+                write!(f, "  util {:.2}", u)?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "processes:")?;
+        for p in &self.processes {
+            writeln!(f, "  {:<12} exec time {:>12.2}", p.name, p.exec_time)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::gen::DesignGenerator;
+    use slif_core::{AccessKind, Bus, ClassKind, Design, NodeKind, Partition, Processor};
+
+    #[test]
+    fn report_covers_all_components_buses_processes() {
+        let (d, part) = DesignGenerator::new(11)
+            .processors(3)
+            .memories(2)
+            .buses(2)
+            .build();
+        let r = DesignReport::compute(&d, &part).unwrap();
+        assert_eq!(r.components.len(), 5);
+        assert_eq!(r.buses.len(), 2);
+        let processes = d
+            .graph()
+            .node_ids()
+            .filter(|&n| d.graph().node(n).kind().is_process())
+            .count();
+        assert_eq!(r.processes.len(), processes);
+    }
+
+    #[test]
+    fn constraint_satisfaction_detected() {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let a = d.graph_mut().add_node("A", NodeKind::process());
+        d.graph_mut().node_mut(a).ict_mut().set(pc, 10);
+        d.graph_mut().node_mut(a).size_mut().set(pc, 500);
+        let tight = d.add_processor_instance(Processor::new("tight", pc).with_size_constraint(100));
+        d.add_bus(Bus::new("b", 8, 1, 2));
+        let mut part = Partition::new(&d);
+        part.assign_node(a, tight.into());
+        let r = DesignReport::compute(&d, &part).unwrap();
+        assert!(!r.satisfies_constraints());
+        assert!(!r.components[0].satisfies_constraints());
+        assert!(r.to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_objects() {
+        let (d, part) = DesignGenerator::new(2).build();
+        let r = DesignReport::compute(&d, &part).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("components:"));
+        assert!(s.contains("buses:"));
+        assert!(s.contains("processes:"));
+        assert!(s.contains("proc0"));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let a = d.graph_mut().add_node("A", NodeKind::process());
+        let b = d.graph_mut().add_node("B", NodeKind::procedure());
+        let c = d
+            .graph_mut()
+            .add_channel(a, b.into(), AccessKind::Call)
+            .unwrap();
+        for n in [a, b] {
+            d.graph_mut().node_mut(n).ict_mut().set(pc, 1);
+            d.graph_mut().node_mut(n).size_mut().set(pc, 1);
+        }
+        let cpu = d.add_processor("cpu", pc);
+        d.add_bus(Bus::new("bus", 8, 1, 2));
+        let mut part = Partition::new(&d);
+        part.assign_node(a, cpu.into());
+        part.assign_node(b, cpu.into());
+        // Channel left unmapped → the process exec-time estimate fails.
+        let _ = c;
+        assert!(DesignReport::compute(&d, &part).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Capacity-limited bus analysis (the paper's reference \[2\], taken one
+//! step further).
+//!
+//! Equation 3 computes the bitrate *demanded* of a bus; the paper notes
+//! that "if the bitrate capacity is exceeded, then we need to slow down
+//! the transfers". Slowing transfers lengthens source execution times,
+//! which in turn lowers the demanded bitrates — a fixed point. This
+//! module iterates that feedback loop:
+//!
+//! 1. assume no slowdown; estimate execution times (Eq. 1) and bus
+//!    bitrates (Eq. 3);
+//! 2. for every saturated bus set `slowdown = demanded / capacity`;
+//! 3. re-estimate with the bus's `ts`/`td` scaled by its slowdown;
+//! 4. repeat until the slowdowns stabilize (or an iteration cap).
+//!
+//! Buses with no capacity model never slow down.
+
+use crate::bitrate::BitrateEstimator;
+use crate::config::EstimatorConfig;
+use crate::exectime::ExecTimeEstimator;
+use slif_core::{Bus, CoreError, Design, NodeId, Partition};
+
+/// The converged (or capped) result of saturation analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SaturationReport {
+    /// Per-bus slowdown factors (1.0 = unsaturated), indexed by bus id.
+    pub bus_slowdown: Vec<f64>,
+    /// Saturation-adjusted execution time per process.
+    pub process_times: Vec<(NodeId, f64)>,
+    /// Fixed-point iterations performed.
+    pub iterations: u32,
+    /// Whether the slowdowns stabilized within the iteration cap.
+    pub converged: bool,
+}
+
+impl SaturationReport {
+    /// The adjusted execution time of `process`, if it was analyzed.
+    pub fn process_time(&self, process: NodeId) -> Option<f64> {
+        self.process_times
+            .iter()
+            .find(|(n, _)| *n == process)
+            .map(|(_, t)| *t)
+    }
+
+    /// Whether any bus is saturated.
+    pub fn any_saturated(&self) -> bool {
+        self.bus_slowdown.iter().any(|&s| s > 1.0 + 1e-9)
+    }
+}
+
+/// Runs the saturation fixed point (at most `max_iterations` rounds,
+/// convergence tolerance 1 %).
+///
+/// # Errors
+///
+/// Propagates estimation errors from any iteration.
+pub fn saturation_analysis(
+    design: &Design,
+    partition: &Partition,
+    config: EstimatorConfig,
+    max_iterations: u32,
+) -> Result<SaturationReport, CoreError> {
+    let bus_count = design.bus_count();
+    let mut slowdown = vec![1.0f64; bus_count];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < max_iterations.max(1) {
+        iterations += 1;
+        let scaled = scaled_design(design, &slowdown);
+        let exec = ExecTimeEstimator::with_config(&scaled, partition, config);
+        let mut bitrate = BitrateEstimator::with_estimator(&scaled, partition, exec);
+        let mut next = vec![1.0f64; bus_count];
+        for b in scaled.bus_ids() {
+            if let Some(util) = bitrate.bus_utilization(b)? {
+                // Bitrates were computed under the *current* slowdown; the
+                // demanded rate on the original bus is util × slowdown.
+                let demanded = util * slowdown[b.index()];
+                next[b.index()] = demanded.max(1.0);
+            }
+        }
+        let stable = slowdown
+            .iter()
+            .zip(&next)
+            .all(|(a, b)| (a - b).abs() <= 0.01 * a.max(1.0));
+        slowdown = next;
+        if stable {
+            converged = true;
+            break;
+        }
+    }
+
+    // Final times under the converged slowdowns.
+    let scaled = scaled_design(design, &slowdown);
+    let mut exec = ExecTimeEstimator::with_config(&scaled, partition, config);
+    let mut process_times = Vec::new();
+    for n in design.graph().node_ids() {
+        if design.graph().node(n).kind().is_process() {
+            process_times.push((n, exec.exec_time(n)?));
+        }
+    }
+    Ok(SaturationReport {
+        bus_slowdown: slowdown,
+        process_times,
+        iterations,
+        converged,
+    })
+}
+
+/// Clones the design with each bus's transfer times scaled by its
+/// slowdown.
+fn scaled_design(design: &Design, slowdown: &[f64]) -> Design {
+    let mut d = design.clone();
+    // Buses cannot be edited in place; rebuild the design's bus table by
+    // cloning into a fresh design sharing everything else.
+    let mut fresh = Design::new(design.name().to_owned());
+    for k in design.class_ids() {
+        let c = design.class(k);
+        fresh.add_class(c.name(), c.kind());
+    }
+    std::mem::swap(fresh.graph_mut(), d.graph_mut());
+    for p in design.processor_ids() {
+        fresh.add_processor_instance(design.processor(p).clone());
+    }
+    for m in design.memory_ids() {
+        fresh.add_memory_instance(design.memory(m).clone());
+    }
+    for b in design.bus_ids() {
+        let bus = design.bus(b);
+        let s = slowdown.get(b.index()).copied().unwrap_or(1.0).max(1.0);
+        let scale = |t: u64| ((t as f64) * s).round().max(1.0) as u64;
+        let mut nb = Bus::new(bus.name(), bus.bitwidth(), scale(bus.ts()), scale(bus.td()));
+        if let Some(cap) = bus.capacity() {
+            nb = nb.with_capacity(cap);
+        }
+        fresh.add_bus(nb);
+    }
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::{AccessFreq, AccessKind, ClassKind, NodeKind};
+
+    /// One process hammering a variable over a bus with configurable
+    /// capacity.
+    fn fixture(capacity: Option<f64>) -> (Design, Partition, NodeId) {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(16));
+        let c = d
+            .graph_mut()
+            .add_channel(main, v.into(), AccessKind::Read)
+            .unwrap();
+        d.graph_mut().node_mut(main).ict_mut().set(pc, 100);
+        d.graph_mut().node_mut(v).ict_mut().set(pc, 0);
+        *d.graph_mut().channel_mut(c).freq_mut() = AccessFreq::exact(10);
+        d.graph_mut().channel_mut(c).set_bits(16);
+        let cpu = d.add_processor("cpu", pc);
+        let mut bus = Bus::new("b", 16, 10, 20);
+        if let Some(cap) = capacity {
+            bus = bus.with_capacity(cap);
+        }
+        let bus = d.add_bus(bus);
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_node(v, cpu.into());
+        part.assign_channel(c, bus);
+        (d, part, main)
+    }
+
+    #[test]
+    fn unsaturated_bus_changes_nothing() {
+        // Exec time = 100 + 10*10 = 200; traffic = 160 bits / 200 = 0.8.
+        let (d, part, main) = fixture(Some(100.0));
+        let r = saturation_analysis(&d, &part, EstimatorConfig::default(), 10).unwrap();
+        assert!(r.converged);
+        assert!(!r.any_saturated());
+        assert_eq!(r.process_time(main), Some(200.0));
+    }
+
+    #[test]
+    fn no_capacity_model_means_no_slowdown() {
+        let (d, part, main) = fixture(None);
+        let r = saturation_analysis(&d, &part, EstimatorConfig::default(), 10).unwrap();
+        assert_eq!(r.bus_slowdown, vec![1.0]);
+        assert_eq!(r.process_time(main), Some(200.0));
+    }
+
+    #[test]
+    fn saturated_bus_slows_transfers_and_converges() {
+        // Demanded 0.8 bits/ns against capacity 0.2: 4x oversubscribed.
+        let (d, part, main) = fixture(Some(0.2));
+        let r = saturation_analysis(&d, &part, EstimatorConfig::default(), 50).unwrap();
+        assert!(r.converged, "fixed point should converge");
+        assert!(r.any_saturated());
+        let slow = r.bus_slowdown[0];
+        assert!(slow > 1.0, "slowdown {slow}");
+        let t = r.process_time(main).unwrap();
+        assert!(t > 200.0, "adjusted time {t} must exceed nominal");
+        // At the fixed point the effective bitrate is at most capacity
+        // (within the 1 % tolerance).
+        let traffic = 160.0;
+        assert!(
+            traffic / t <= 0.2 * 1.05,
+            "effective rate {} exceeds capacity",
+            traffic / t
+        );
+    }
+
+    #[test]
+    fn tighter_capacity_means_more_slowdown() {
+        let (d1, p1, m1) = fixture(Some(0.4));
+        let (d2, p2, m2) = fixture(Some(0.1));
+        let r1 = saturation_analysis(&d1, &p1, EstimatorConfig::default(), 50).unwrap();
+        let r2 = saturation_analysis(&d2, &p2, EstimatorConfig::default(), 50).unwrap();
+        assert!(r2.process_time(m2).unwrap() > r1.process_time(m1).unwrap());
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let (d, part, _) = fixture(Some(0.01));
+        let r = saturation_analysis(&d, &part, EstimatorConfig::default(), 2).unwrap();
+        assert!(r.iterations <= 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Size estimation (the paper's Equations 4 and 5).
+//!
+//! ```text
+//! Size(p) = Σ_{bv ∈ p.BV} GetBvSize(bv, p)                      (Eq. 4)
+//! Size(m) = Σ_{v ∈ m.V} GetBvSize(v, m)                          (Eq. 5)
+//! ```
+//!
+//! Software size (bytes on a standard processor), hardware size (gates on
+//! a custom part), and memory size (words) are all the same computation
+//! once per-class size weights have been preprocessed: a sum of lookups.
+//!
+//! The paper notes that plain summing overestimates datapath-intensive
+//! hardware, because behaviors share functional units, and points to its
+//! reference \[1\] for a sharing-aware technique. [`size_shared`] provides
+//! that extension: weights that carry a datapath/control split are combined
+//! as `control-sum + max-datapath + α·(rest of datapath)`, where the
+//! sharing factor α ∈ \[0, 1\] models how much of the remaining datapath
+//! still needs dedicated hardware (α = 1 degenerates to Equation 4).
+
+use slif_core::{CoreError, Design, NodeId, Partition, PmRef};
+
+/// Equation 4/5: the size of component `pm` under `partition` — the sum of
+/// the size weights of the nodes mapped to it, looked up for the
+/// component's class.
+///
+/// # Errors
+///
+/// [`CoreError::MissingWeight`] if a mapped node lacks a size weight for
+/// the component's class.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::{ClassKind, Design, NodeKind, Partition};
+/// use slif_estimate::size;
+///
+/// let mut d = Design::new("demo");
+/// let pc = d.add_class("proc", ClassKind::StdProcessor);
+/// let a = d.graph_mut().add_node("A", NodeKind::process());
+/// let b = d.graph_mut().add_node("B", NodeKind::procedure());
+/// d.graph_mut().node_mut(a).size_mut().set(pc, 700);
+/// d.graph_mut().node_mut(b).size_mut().set(pc, 240);
+/// let cpu = d.add_processor("cpu", pc);
+/// let mut part = Partition::new(&d);
+/// part.assign_node(a, cpu.into());
+/// part.assign_node(b, cpu.into());
+/// assert_eq!(size(&d, &part, cpu.into())?, 940);
+/// # Ok::<(), slif_core::CoreError>(())
+/// ```
+pub fn size(design: &Design, partition: &Partition, pm: PmRef) -> Result<u64, CoreError> {
+    let class = design.component_class(pm);
+    let mut total = 0u64;
+    for n in partition.nodes_on(pm) {
+        let w = design
+            .graph()
+            .node(n)
+            .size()
+            .get(class)
+            .ok_or(CoreError::MissingWeight {
+                node: n,
+                list: "size",
+                component: pm,
+            })?;
+        total += w;
+    }
+    Ok(total)
+}
+
+/// The size contribution of a single node on component `pm` — the
+/// `GetBvSize(bv, pm)` lookup. Exposed so incremental estimators can
+/// update sums without recomputing them.
+///
+/// # Errors
+///
+/// [`CoreError::MissingWeight`] if the node lacks a size weight for the
+/// component's class.
+pub fn node_size_on(design: &Design, node: NodeId, pm: PmRef) -> Result<u64, CoreError> {
+    let class = design.component_class(pm);
+    design
+        .graph()
+        .node(node)
+        .size()
+        .get(class)
+        .ok_or(CoreError::MissingWeight {
+            node,
+            list: "size",
+            component: pm,
+        })
+}
+
+/// Sharing-aware hardware-size extension (the paper's reference \[1\]).
+///
+/// Weights with a datapath/control split are combined as
+///
+/// ```text
+/// Σ control  +  max(datapath)  +  sharing_factor × (Σ datapath − max(datapath))
+/// ```
+///
+/// Control logic is never shared (every behavior keeps its own controller
+/// states), while functional units can be: the largest datapath must exist
+/// in full, and each further behavior reuses `1 − α` of its datapath.
+/// Weights without a split are treated as all-control (unshareable), so for
+/// designs annotated without splits this function equals [`size`].
+///
+/// # Panics
+///
+/// Panics if `sharing_factor` is not within `0.0..=1.0`.
+///
+/// # Errors
+///
+/// [`CoreError::MissingWeight`] as for [`size`].
+pub fn size_shared(
+    design: &Design,
+    partition: &Partition,
+    pm: PmRef,
+    sharing_factor: f64,
+) -> Result<u64, CoreError> {
+    assert!(
+        (0.0..=1.0).contains(&sharing_factor),
+        "sharing factor must be in [0, 1]"
+    );
+    let class = design.component_class(pm);
+    let mut control_sum = 0u64;
+    let mut dp_sum = 0u64;
+    let mut dp_max = 0u64;
+    for n in partition.nodes_on(pm) {
+        let entry = design
+            .graph()
+            .node(n)
+            .size()
+            .entry(class)
+            .ok_or(CoreError::MissingWeight {
+                node: n,
+                list: "size",
+                component: pm,
+            })?;
+        control_sum += entry.control();
+        let dp = entry.datapath.unwrap_or(0);
+        dp_sum += dp;
+        dp_max = dp_max.max(dp);
+    }
+    let shared_dp = dp_max as f64 + sharing_factor * (dp_sum - dp_max) as f64;
+    Ok(control_sum + shared_dp.round() as u64)
+}
+
+/// Checks a component's estimated size against its constraint, returning
+/// the overshoot (0 when within budget, or when unconstrained).
+///
+/// # Errors
+///
+/// Propagates [`size`] errors.
+pub fn size_violation(design: &Design, partition: &Partition, pm: PmRef) -> Result<u64, CoreError> {
+    let actual = size(design, partition, pm)?;
+    let constraint = match pm {
+        PmRef::Processor(p) => design.processor(p).size_constraint(),
+        PmRef::Memory(m) => design.memory(m).size_constraint(),
+    };
+    Ok(match constraint {
+        Some(max) => actual.saturating_sub(max),
+        None => 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::{ClassKind, NodeKind, WeightEntry};
+
+    fn fixture() -> (Design, Partition, PmRef, PmRef) {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let ac = d.add_class("asic", ClassKind::CustomHw);
+        let mc = d.add_class("mem", ClassKind::Memory);
+        let a = d.graph_mut().add_node("A", NodeKind::process());
+        let b = d.graph_mut().add_node("B", NodeKind::procedure());
+        let v = d.graph_mut().add_node("v", NodeKind::array(64, 8));
+        // A: 700 bytes / 5000 gates (3000 dp). B: 240 bytes / 2000 gates (1500 dp).
+        d.graph_mut().node_mut(a).size_mut().set(pc, 700);
+        d.graph_mut()
+            .node_mut(a)
+            .size_mut()
+            .insert(WeightEntry::with_datapath(ac, 5000, 3000));
+        d.graph_mut().node_mut(b).size_mut().set(pc, 240);
+        d.graph_mut()
+            .node_mut(b)
+            .size_mut()
+            .insert(WeightEntry::with_datapath(ac, 2000, 1500));
+        // v: 64 words in memory, 64 bytes on proc.
+        d.graph_mut().node_mut(v).size_mut().set(mc, 64);
+        d.graph_mut().node_mut(v).size_mut().set(pc, 64);
+        let cpu = d.add_processor("cpu", pc);
+        let asic = d.add_processor("asic", ac);
+        let ram = d.add_memory("ram", mc);
+        let _ = asic;
+        let mut part = Partition::new(&d);
+        part.assign_node(a, cpu.into());
+        part.assign_node(b, cpu.into());
+        part.assign_node(v, ram.into());
+        (d, part, PmRef::Processor(cpu), PmRef::Memory(ram))
+    }
+
+    #[test]
+    fn equation4_software_size_sums_bytes() {
+        let (d, part, cpu, _) = fixture();
+        assert_eq!(size(&d, &part, cpu).unwrap(), 940);
+    }
+
+    #[test]
+    fn equation5_memory_size_sums_words() {
+        let (d, part, _, ram) = fixture();
+        assert_eq!(size(&d, &part, ram).unwrap(), 64);
+    }
+
+    #[test]
+    fn hardware_size_plain_sum() {
+        let (d, mut part, _, _) = fixture();
+        let asic = PmRef::Processor(d.processor_by_name("asic").unwrap());
+        let a = d.graph().node_by_name("A").unwrap();
+        let b = d.graph().node_by_name("B").unwrap();
+        part.assign_node(a, asic);
+        part.assign_node(b, asic);
+        assert_eq!(size(&d, &part, asic).unwrap(), 7000);
+    }
+
+    #[test]
+    fn sharing_aware_size_discounts_datapath() {
+        let (d, mut part, _, _) = fixture();
+        let asic = PmRef::Processor(d.processor_by_name("asic").unwrap());
+        let a = d.graph().node_by_name("A").unwrap();
+        let b = d.graph().node_by_name("B").unwrap();
+        part.assign_node(a, asic);
+        part.assign_node(b, asic);
+        // control = 2000 + 500 = 2500; dp: sum 4500, max 3000.
+        // α=0: 2500 + 3000 = 5500 (perfect sharing).
+        assert_eq!(size_shared(&d, &part, asic, 0.0).unwrap(), 5500);
+        // α=1: 2500 + 3000 + 1500 = 7000 == plain sum.
+        assert_eq!(
+            size_shared(&d, &part, asic, 1.0).unwrap(),
+            size(&d, &part, asic).unwrap()
+        );
+        // α=0.5: 2500 + 3000 + 750 = 6250.
+        assert_eq!(size_shared(&d, &part, asic, 0.5).unwrap(), 6250);
+    }
+
+    #[test]
+    fn sharing_without_splits_equals_plain_sum() {
+        let (d, part, cpu, _) = fixture();
+        assert_eq!(
+            size_shared(&d, &part, cpu, 0.0).unwrap(),
+            size(&d, &part, cpu).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sharing factor")]
+    fn out_of_range_sharing_factor_panics() {
+        let (d, part, cpu, _) = fixture();
+        let _ = size_shared(&d, &part, cpu, 1.5);
+    }
+
+    #[test]
+    fn missing_weight_is_reported() {
+        let (mut d, mut part, cpu, _) = fixture();
+        let orphan = d.graph_mut().add_node("orphan", NodeKind::procedure());
+        // Partition shaped before the node existed: rebuild and map orphan.
+        let mut p2 = Partition::new(&d);
+        for n in d.graph().node_ids() {
+            if let Some(c) = if n.index() < part.node_slots() {
+                part.node_component(n)
+            } else {
+                None
+            } {
+                p2.assign_node(n, c);
+            }
+        }
+        p2.assign_node(orphan, cpu);
+        part = p2;
+        assert!(matches!(
+            size(&d, &part, cpu),
+            Err(CoreError::MissingWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn node_size_on_is_the_lookup() {
+        let (d, _, cpu, _) = fixture();
+        let a = d.graph().node_by_name("A").unwrap();
+        assert_eq!(node_size_on(&d, a, cpu).unwrap(), 700);
+    }
+
+    #[test]
+    fn size_violation_measures_overshoot() {
+        let (mut d, _, _, _) = fixture();
+        let pc = d.class_by_name("proc").unwrap();
+        let tight = d.add_processor_instance(
+            slif_core::Processor::new("tight", pc).with_size_constraint(900),
+        );
+        let a = d.graph().node_by_name("A").unwrap();
+        let b = d.graph().node_by_name("B").unwrap();
+        let mut part = Partition::new(&d);
+        part.assign_node(a, tight.into());
+        part.assign_node(b, tight.into());
+        assert_eq!(size_violation(&d, &part, tight.into()).unwrap(), 40);
+        // Unconstrained components never violate.
+        let cpu = d.processor_by_name("cpu").unwrap();
+        let mut part2 = Partition::new(&d);
+        part2.assign_node(a, cpu.into());
+        part2.assign_node(b, cpu.into());
+        assert_eq!(size_violation(&d, &part2, cpu.into()).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_component_has_zero_size() {
+        let (d, part, _, _) = fixture();
+        let asic = PmRef::Processor(d.processor_by_name("asic").unwrap());
+        assert_eq!(size(&d, &part, asic).unwrap(), 0);
+    }
+}

@@ -1,0 +1,463 @@
+//! Partitioning algorithms.
+//!
+//! SpecSyn "permits rapid exploration of partitions of functionality
+//! among processors, ASICs, memories and bus components" and the paper's
+//! speed argument exists so that "algorithms that explore thousands of
+//! possible designs" stay practical (Section 5). This module provides the
+//! classic system-partitioning quartet over SLIF + incremental
+//! estimation:
+//!
+//! * [`random_search`] — uniform random moves, keep the best,
+//! * [`greedy_improve`] — steepest-descent single-object moves,
+//! * [`simulated_annealing`] — Metropolis acceptance with geometric
+//!   cooling,
+//! * [`group_migration`] — Kernighan–Lin-style passes with node locking
+//!   and best-prefix rollback.
+
+use crate::cost::{cost, Objectives};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slif_core::{CoreError, Design, NodeId, Partition, PmRef};
+use slif_estimate::IncrementalEstimator;
+
+/// The outcome of an exploration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorationResult {
+    /// The best partition found.
+    pub partition: Partition,
+    /// Its cost.
+    pub cost: f64,
+    /// How many candidate partitions were evaluated.
+    pub evaluations: u64,
+}
+
+/// All components a node could legally move to.
+fn move_targets(design: &Design, n: NodeId) -> Vec<PmRef> {
+    let node = design.graph().node(n);
+    let mut targets: Vec<PmRef> = Vec::new();
+    for pm in design.pm_refs() {
+        if node.kind().is_behavior() && matches!(pm, PmRef::Memory(_)) {
+            continue;
+        }
+        let class = design.component_class(pm);
+        if node.size().supports(class) && (!node.kind().is_behavior() || node.ict().supports(class))
+        {
+            targets.push(pm);
+        }
+    }
+    targets
+}
+
+/// Random search: `iterations` random single-node moves, always applied,
+/// remembering the best partition seen.
+///
+/// # Errors
+///
+/// Propagates estimation errors; the starting partition must be complete.
+pub fn random_search(
+    design: &Design,
+    start: Partition,
+    objectives: &Objectives,
+    iterations: u64,
+    seed: u64,
+) -> Result<ExplorationResult, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut est = IncrementalEstimator::new(design, start)?;
+    let mut best_cost = cost(design, &mut est, objectives)?;
+    let mut best = est.partition().clone();
+    let mut evaluations = 1;
+    let nodes: Vec<NodeId> = design.graph().node_ids().collect();
+    for _ in 0..iterations {
+        let n = nodes[rng.gen_range(0..nodes.len())];
+        let targets = move_targets(design, n);
+        if targets.is_empty() {
+            continue;
+        }
+        let target = targets[rng.gen_range(0..targets.len())];
+        est.move_node(n, target)?;
+        let c = cost(design, &mut est, objectives)?;
+        evaluations += 1;
+        if c < best_cost {
+            best_cost = c;
+            best = est.partition().clone();
+        }
+    }
+    Ok(ExplorationResult {
+        partition: best,
+        cost: best_cost,
+        evaluations,
+    })
+}
+
+/// Greedy improvement: repeatedly apply the best single-node move until a
+/// full pass yields no improvement (or `max_passes` is hit).
+///
+/// # Errors
+///
+/// Propagates estimation errors.
+pub fn greedy_improve(
+    design: &Design,
+    start: Partition,
+    objectives: &Objectives,
+    max_passes: u32,
+) -> Result<ExplorationResult, CoreError> {
+    let mut est = IncrementalEstimator::new(design, start)?;
+    let mut current = cost(design, &mut est, objectives)?;
+    let mut evaluations = 1;
+    for _ in 0..max_passes {
+        let mut best_move: Option<(NodeId, PmRef, f64)> = None;
+        for n in design.graph().node_ids() {
+            let home = est.partition().node_component(n).expect("complete");
+            for target in move_targets(design, n) {
+                if target == home {
+                    continue;
+                }
+                est.move_node(n, target)?;
+                let c = cost(design, &mut est, objectives)?;
+                evaluations += 1;
+                est.move_node(n, home)?;
+                if c < current && best_move.is_none_or(|(_, _, bc)| c < bc) {
+                    best_move = Some((n, target, c));
+                }
+            }
+        }
+        match best_move {
+            Some((n, target, c)) => {
+                est.move_node(n, target)?;
+                current = c;
+            }
+            None => break,
+        }
+    }
+    Ok(ExplorationResult {
+        partition: est.into_partition(),
+        cost: current,
+        evaluations,
+    })
+}
+
+/// Simulated-annealing configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealingConfig {
+    /// Starting temperature.
+    pub t0: f64,
+    /// Geometric cooling factor per temperature step.
+    pub alpha: f64,
+    /// Moves attempted per temperature step.
+    pub moves_per_temp: u32,
+    /// Stop when the temperature falls below this.
+    pub t_min: f64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        Self {
+            t0: 50.0,
+            alpha: 0.9,
+            moves_per_temp: 64,
+            t_min: 0.05,
+        }
+    }
+}
+
+/// Simulated annealing with Metropolis acceptance.
+///
+/// The neighborhood covers both mapping dimensions: node-to-component
+/// moves always, and channel-to-bus moves (a quarter of proposals) when
+/// the design has more than one bus.
+///
+/// # Errors
+///
+/// Propagates estimation errors.
+pub fn simulated_annealing(
+    design: &Design,
+    start: Partition,
+    objectives: &Objectives,
+    config: AnnealingConfig,
+    seed: u64,
+) -> Result<ExplorationResult, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut est = IncrementalEstimator::new(design, start)?;
+    let mut current = cost(design, &mut est, objectives)?;
+    let mut best_cost = current;
+    let mut best = est.partition().clone();
+    let mut evaluations = 1;
+    let nodes: Vec<NodeId> = design.graph().node_ids().collect();
+
+    let channels: Vec<slif_core::ChannelId> = design.graph().channel_ids().collect();
+    let buses: Vec<slif_core::BusId> = design.bus_ids().collect();
+    let mut temp = config.t0;
+    while temp > config.t_min {
+        for _ in 0..config.moves_per_temp {
+            // A quarter of the proposals re-home a channel when the
+            // design has several buses to choose from.
+            let channel_move = buses.len() > 1 && !channels.is_empty() && rng.gen_bool(0.25);
+            enum Undo {
+                Node(NodeId, PmRef),
+                Channel(slif_core::ChannelId, slif_core::BusId),
+            }
+            let undo = if channel_move {
+                let ch = channels[rng.gen_range(0..channels.len())];
+                let target = buses[rng.gen_range(0..buses.len())];
+                let home = est.partition().channel_bus(ch).expect("complete");
+                if target == home {
+                    continue;
+                }
+                est.move_channel(ch, target)?;
+                Undo::Channel(ch, home)
+            } else {
+                let n = nodes[rng.gen_range(0..nodes.len())];
+                let targets = move_targets(design, n);
+                if targets.is_empty() {
+                    continue;
+                }
+                let target = targets[rng.gen_range(0..targets.len())];
+                let home = est.partition().node_component(n).expect("complete");
+                if target == home {
+                    continue;
+                }
+                est.move_node(n, target)?;
+                Undo::Node(n, home)
+            };
+            let c = cost(design, &mut est, objectives)?;
+            evaluations += 1;
+            let accept = c <= current || rng.gen::<f64>() < ((current - c) / temp).exp();
+            if accept {
+                current = c;
+                if c < best_cost {
+                    best_cost = c;
+                    best = est.partition().clone();
+                }
+            } else {
+                match undo {
+                    Undo::Node(n, home) => {
+                        est.move_node(n, home)?;
+                    }
+                    Undo::Channel(ch, home) => {
+                        est.move_channel(ch, home)?;
+                    }
+                }
+            }
+        }
+        temp *= config.alpha;
+    }
+    Ok(ExplorationResult {
+        partition: best,
+        cost: best_cost,
+        evaluations,
+    })
+}
+
+/// Kernighan–Lin-style group migration: in each pass every node is moved
+/// once (to its best target) and locked; the pass is then rolled back to
+/// its best prefix. Stops when a pass yields no net gain.
+///
+/// # Errors
+///
+/// Propagates estimation errors.
+pub fn group_migration(
+    design: &Design,
+    start: Partition,
+    objectives: &Objectives,
+    max_passes: u32,
+) -> Result<ExplorationResult, CoreError> {
+    let mut est = IncrementalEstimator::new(design, start)?;
+    let mut pass_start_cost = cost(design, &mut est, objectives)?;
+    let mut evaluations = 1;
+    let nodes: Vec<NodeId> = design.graph().node_ids().collect();
+
+    for _ in 0..max_passes {
+        let mut locked = vec![false; design.graph().node_count()];
+        // The sequence of applied moves: (node, from, cost-after).
+        let mut trail: Vec<(NodeId, PmRef, f64)> = Vec::new();
+        let mut current = pass_start_cost;
+
+        for _ in 0..nodes.len() {
+            // Best (possibly worsening) move among unlocked nodes.
+            let mut best: Option<(NodeId, PmRef, PmRef, f64)> = None;
+            for &n in &nodes {
+                if locked[n.index()] {
+                    continue;
+                }
+                let home = est.partition().node_component(n).expect("complete");
+                for target in move_targets(design, n) {
+                    if target == home {
+                        continue;
+                    }
+                    est.move_node(n, target)?;
+                    let c = cost(design, &mut est, objectives)?;
+                    evaluations += 1;
+                    est.move_node(n, home)?;
+                    if best.is_none_or(|(_, _, _, bc)| c < bc) {
+                        best = Some((n, home, target, c));
+                    }
+                }
+            }
+            let Some((n, home, target, c)) = best else {
+                break;
+            };
+            est.move_node(n, target)?;
+            locked[n.index()] = true;
+            trail.push((n, home, c));
+            current = c;
+        }
+        let _ = current;
+
+        // Roll back to the best prefix of the pass.
+        let best_idx = trail
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .2.total_cmp(&b.1 .2))
+            .map(|(i, _)| i);
+        let best_prefix_cost = best_idx.map(|i| trail[i].2).unwrap_or(pass_start_cost);
+        if best_prefix_cost >= pass_start_cost {
+            // No gain: undo the whole pass and stop.
+            for &(n, home, _) in trail.iter().rev() {
+                est.move_node(n, home)?;
+            }
+            break;
+        }
+        let keep = best_idx.expect("gain implies a move") + 1;
+        for &(n, home, _) in trail[keep..].iter().rev() {
+            est.move_node(n, home)?;
+        }
+        pass_start_cost = best_prefix_cost;
+    }
+    Ok(ExplorationResult {
+        partition: est.into_partition(),
+        cost: pass_start_cost,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::gen::DesignGenerator;
+
+    fn setup(seed: u64) -> (Design, Partition) {
+        DesignGenerator::new(seed)
+            .behaviors(10)
+            .variables(8)
+            .processors(2)
+            .memories(1)
+            .buses(1)
+            .build()
+    }
+
+    fn start_cost(design: &Design, part: &Partition) -> f64 {
+        let mut est = IncrementalEstimator::new(design, part.clone()).unwrap();
+        cost(design, &mut est, &Objectives::new()).unwrap()
+    }
+
+    #[test]
+    fn random_search_never_worsens() {
+        let (design, part) = setup(3);
+        let c0 = start_cost(&design, &part);
+        let r = random_search(&design, part, &Objectives::new(), 200, 7).unwrap();
+        assert!(r.cost <= c0);
+        assert!(r.evaluations > 1);
+        r.partition.validate(&design).unwrap();
+    }
+
+    #[test]
+    fn greedy_never_worsens_and_reaches_local_optimum() {
+        let (design, part) = setup(4);
+        let c0 = start_cost(&design, &part);
+        let r = greedy_improve(&design, part, &Objectives::new(), 20).unwrap();
+        assert!(r.cost <= c0);
+        r.partition.validate(&design).unwrap();
+        // Re-running greedy from the result must find nothing better.
+        let r2 = greedy_improve(&design, r.partition.clone(), &Objectives::new(), 20).unwrap();
+        assert!(r2.cost >= r.cost - 1e-9);
+    }
+
+    #[test]
+    fn annealing_never_returns_worse_than_start() {
+        let (design, part) = setup(5);
+        let c0 = start_cost(&design, &part);
+        let r = simulated_annealing(
+            &design,
+            part,
+            &Objectives::new(),
+            AnnealingConfig {
+                t0: 10.0,
+                alpha: 0.8,
+                moves_per_temp: 32,
+                t_min: 0.1,
+            },
+            11,
+        )
+        .unwrap();
+        assert!(r.cost <= c0);
+        r.partition.validate(&design).unwrap();
+    }
+
+    #[test]
+    fn group_migration_never_worsens() {
+        let (design, part) = setup(6);
+        let c0 = start_cost(&design, &part);
+        let r = group_migration(&design, part, &Objectives::new(), 4).unwrap();
+        assert!(r.cost <= c0, "{} vs {c0}", r.cost);
+        r.partition.validate(&design).unwrap();
+    }
+
+    #[test]
+    fn algorithms_are_deterministic_per_seed() {
+        let (design, part) = setup(7);
+        let a = random_search(&design, part.clone(), &Objectives::new(), 100, 1).unwrap();
+        let b = random_search(&design, part, &Objectives::new(), 100, 1).unwrap();
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn greedy_beats_or_ties_random_with_same_budget() {
+        let (design, part) = setup(8);
+        let greedy = greedy_improve(&design, part.clone(), &Objectives::new(), 10).unwrap();
+        let random =
+            random_search(&design, part, &Objectives::new(), greedy.evaluations, 2).unwrap();
+        assert!(greedy.cost <= random.cost * 1.05 + 1e-9);
+    }
+
+    #[test]
+    fn annealing_explores_bus_assignments_on_multibus_designs() {
+        let (design, part) = DesignGenerator::new(12)
+            .behaviors(8)
+            .variables(6)
+            .processors(2)
+            .buses(3)
+            .build();
+        let r = simulated_annealing(
+            &design,
+            part,
+            &Objectives::new(),
+            AnnealingConfig {
+                t0: 10.0,
+                alpha: 0.8,
+                moves_per_temp: 64,
+                t_min: 0.2,
+            },
+            21,
+        )
+        .unwrap();
+        r.partition.validate(&design).unwrap();
+        // Channels are spread across (or at least legally mapped to) the
+        // available buses.
+        for c in design.graph().channel_ids() {
+            let bus = r.partition.channel_bus(c).unwrap();
+            assert!(bus.index() < design.bus_count());
+        }
+    }
+
+    #[test]
+    fn move_targets_respect_behavior_rules() {
+        let (design, _) = setup(9);
+        let behavior = design.graph().behavior_ids().next().unwrap();
+        for pm in move_targets(&design, behavior) {
+            assert!(matches!(pm, PmRef::Processor(_)));
+        }
+        let variable = design.graph().variable_ids().next().unwrap();
+        assert!(!move_targets(&design, variable).is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Allocation exploration: the paper's first system-design task.
+//!
+//! "One task is the allocation of system components, such as processors,
+//! ASICs, memories and buses, to the design" (Section 1). Allocation and
+//! partitioning are interdependent — a candidate allocation is only as
+//! good as the best partition it admits — so this module evaluates each
+//! allocation option by instantiating its components on the design and
+//! running a (budgeted) partitioner inside it.
+
+use crate::algorithms::{simulated_annealing, AnnealingConfig};
+use crate::cost::Objectives;
+use slif_core::{Bus, ClassId, CoreError, Design, Partition, PmRef};
+use std::fmt;
+
+/// One processor to instantiate in an allocation option.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorAlloc {
+    /// The component class (from the design's class table).
+    pub class: ClassId,
+    /// Optional size constraint (bytes or gates).
+    pub size_constraint: Option<u64>,
+    /// Optional pin constraint.
+    pub pin_constraint: Option<u32>,
+}
+
+impl ProcessorAlloc {
+    /// An unconstrained processor of the given class.
+    pub fn new(class: ClassId) -> Self {
+        Self {
+            class,
+            size_constraint: None,
+            pin_constraint: None,
+        }
+    }
+}
+
+/// A candidate system architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocOption {
+    /// A short label ("cpu-only", "cpu+asic", …).
+    pub name: String,
+    /// Processors to instantiate (at least one).
+    pub processors: Vec<ProcessorAlloc>,
+    /// Memory classes to instantiate.
+    pub memories: Vec<ClassId>,
+    /// Buses to instantiate (at least one).
+    pub buses: Vec<Bus>,
+    /// Monetary/area proxy cost of the components themselves, used to
+    /// rank architectures that meet constraints equally well.
+    pub component_cost: f64,
+}
+
+/// The evaluation of one allocation option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocResult {
+    /// The option's label.
+    pub name: String,
+    /// The design with the option's components instantiated.
+    pub design: Design,
+    /// The best partition the budgeted search found.
+    pub partition: Partition,
+    /// Its objective cost.
+    pub partition_cost: f64,
+    /// The option's component cost.
+    pub component_cost: f64,
+    /// Candidate partitions examined.
+    pub evaluations: u64,
+}
+
+impl AllocResult {
+    /// Combined figure of merit: constraint cost dominates, component
+    /// cost breaks ties among feasible architectures.
+    pub fn merit(&self) -> f64 {
+        self.partition_cost + self.component_cost * 1e-3
+    }
+}
+
+impl fmt::Display for AllocResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} partition cost {:>10.4}  component cost {:>8.1}  ({} evals)",
+            self.name, self.partition_cost, self.component_cost, self.evaluations
+        )
+    }
+}
+
+/// Evaluates every allocation option on a component-less base design
+/// (as produced by `slif_frontend::build_design`) and returns the
+/// results sorted by [`AllocResult::merit`].
+///
+/// Each option gets its own clone of the base design, an all-on-first-
+/// processor starting partition, and a simulated-annealing budget.
+///
+/// # Panics
+///
+/// Panics if the base design already has components, or if an option has
+/// no processors or no buses.
+///
+/// # Errors
+///
+/// Propagates estimation errors from partitioning.
+pub fn explore_allocations(
+    base: &Design,
+    options: &[AllocOption],
+    objectives: &Objectives,
+    annealing: AnnealingConfig,
+    seed: u64,
+) -> Result<Vec<AllocResult>, CoreError> {
+    assert!(
+        base.processor_count() == 0 && base.memory_count() == 0 && base.bus_count() == 0,
+        "allocation exploration needs a component-less base design"
+    );
+    let mut results = Vec::with_capacity(options.len());
+    for option in options {
+        assert!(
+            !option.processors.is_empty(),
+            "{}: no processors",
+            option.name
+        );
+        assert!(!option.buses.is_empty(), "{}: no buses", option.name);
+        let mut design = base.clone();
+        let mut procs = Vec::new();
+        for (i, p) in option.processors.iter().enumerate() {
+            let mut inst = slif_core::Processor::new(format!("{}_p{i}", option.name), p.class);
+            if let Some(s) = p.size_constraint {
+                inst = inst.with_size_constraint(s);
+            }
+            if let Some(pins) = p.pin_constraint {
+                inst = inst.with_pin_constraint(pins);
+            }
+            procs.push(design.add_processor_instance(inst));
+        }
+        for (i, &m) in option.memories.iter().enumerate() {
+            design.add_memory(format!("{}_m{i}", option.name), m);
+        }
+        let mut buses = Vec::new();
+        for b in &option.buses {
+            buses.push(design.add_bus(b.clone()));
+        }
+
+        let mut start = Partition::new(&design);
+        for n in design.graph().node_ids() {
+            start.assign_node(n, PmRef::Processor(procs[0]));
+        }
+        for c in design.graph().channel_ids() {
+            start.assign_channel(c, buses[0]);
+        }
+
+        let r = simulated_annealing(&design, start, objectives, annealing, seed)?;
+        results.push(AllocResult {
+            name: option.name.clone(),
+            design,
+            partition: r.partition,
+            partition_cost: r.cost,
+            component_cost: option.component_cost,
+            evaluations: r.evaluations,
+        });
+    }
+    results.sort_by(|a, b| a.merit().total_cmp(&b.merit()));
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_estimate::ExecTimeEstimator;
+    use slif_frontend::build_design;
+    use slif_techlib::TechnologyLibrary;
+
+    fn base() -> Design {
+        let rs = slif_speclang::corpus::by_name("vol")
+            .unwrap()
+            .load()
+            .unwrap();
+        build_design(&rs, &TechnologyLibrary::proc_asic())
+    }
+
+    fn options(d: &Design) -> Vec<AllocOption> {
+        let pc = d.class_by_name("mcu8").unwrap();
+        let ac = d.class_by_name("asic_ga").unwrap();
+        let mc = d.class_by_name("sram").unwrap();
+        let bus = || Bus::new("sysbus", 16, 20, 100);
+        vec![
+            AllocOption {
+                name: "cpu-only".into(),
+                processors: vec![ProcessorAlloc::new(pc)],
+                memories: vec![],
+                buses: vec![bus()],
+                component_cost: 5.0,
+            },
+            AllocOption {
+                name: "cpu+asic".into(),
+                processors: vec![ProcessorAlloc::new(pc), ProcessorAlloc::new(ac)],
+                memories: vec![mc],
+                buses: vec![bus()],
+                component_cost: 25.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn evaluates_and_ranks_every_option() {
+        let base = base();
+        let opts = options(&base);
+        let fast_anneal = AnnealingConfig {
+            t0: 5.0,
+            alpha: 0.7,
+            moves_per_temp: 24,
+            t_min: 0.5,
+        };
+        let results =
+            explore_allocations(&base, &opts, &Objectives::new(), fast_anneal, 3).unwrap();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            r.partition.validate(&r.design).unwrap();
+            assert!(r.evaluations > 0);
+        }
+        // Sorted by merit.
+        assert!(results[0].merit() <= results[1].merit());
+    }
+
+    #[test]
+    fn deadline_pressure_prefers_the_asic_architecture() {
+        let base = base();
+        let opts = options(&base);
+        // Find the all-software period and demand a third of it: only the
+        // cpu+asic option can approach that.
+        let probe = {
+            let pc = base.class_by_name("mcu8").unwrap();
+            let mut d = base.clone();
+            let cpu = d.add_processor("probe", pc);
+            let bus = d.add_bus(Bus::new("b", 16, 20, 100));
+            let mut part = Partition::new(&d);
+            for n in d.graph().node_ids() {
+                part.assign_node(n, PmRef::Processor(cpu));
+            }
+            for c in d.graph().channel_ids() {
+                part.assign_channel(c, bus);
+            }
+            let main = d.graph().node_by_name("VolMain").unwrap();
+            ExecTimeEstimator::new(&d, &part).exec_time(main).unwrap()
+        };
+        let main = base.graph().node_by_name("VolMain").unwrap();
+        let objectives = Objectives::new().with_deadline(main, probe / 3.0);
+        let anneal = AnnealingConfig {
+            t0: 20.0,
+            alpha: 0.8,
+            moves_per_temp: 48,
+            t_min: 0.2,
+        };
+        let results = explore_allocations(&base, &opts, &objectives, anneal, 5).unwrap();
+        assert_eq!(
+            results[0].name, "cpu+asic",
+            "under a tight deadline the hardware-assisted allocation must win: {results:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "component-less")]
+    fn base_with_components_rejected() {
+        let mut d = base();
+        let pc = d.class_by_name("mcu8").unwrap();
+        d.add_processor("cpu", pc);
+        let opts = options(&d);
+        let _ = explore_allocations(&d, &opts, &Objectives::new(), AnnealingConfig::default(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The partition cost function.
+//!
+//! The goal of allocation/partitioning/transformation is "a design that
+//! satisfies constraints on design metrics" (Section 1). The cost function
+//! scores a candidate partition as a weighted sum of normalized constraint
+//! violations — execution time against per-process deadlines, component
+//! sizes and pins against their declared constraints — plus a small
+//! pressure term on total execution time so that search keeps improving
+//! performance once feasible.
+
+use slif_core::{CoreError, Design, NodeId, PmRef};
+use slif_estimate::IncrementalEstimator;
+
+/// Objectives and weights for partition scoring.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::gen::DesignGenerator;
+/// use slif_explore::Objectives;
+///
+/// let (design, _) = DesignGenerator::new(0).build();
+/// let main = design.graph().behavior_ids().next().unwrap();
+/// let obj = Objectives::new().with_deadline(main, 1_000_000.0);
+/// assert_eq!(obj.deadlines().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objectives {
+    deadlines: Vec<(NodeId, f64)>,
+    /// Weight of deadline violations.
+    pub wt_time: f64,
+    /// Weight of size-constraint violations.
+    pub wt_size: f64,
+    /// Weight of pin-constraint violations.
+    pub wt_pins: f64,
+    /// Weight of the total-execution-time pressure term.
+    pub wt_perf: f64,
+}
+
+impl Objectives {
+    /// Creates objectives with default weights (violations dominate the
+    /// performance pressure term by orders of magnitude).
+    pub fn new() -> Self {
+        Self {
+            deadlines: Vec::new(),
+            wt_time: 100.0,
+            wt_size: 100.0,
+            wt_pins: 100.0,
+            wt_perf: 1.0,
+        }
+    }
+
+    /// Adds an execution-time constraint for a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `deadline` is positive and finite.
+    pub fn with_deadline(mut self, process: NodeId, deadline: f64) -> Self {
+        assert!(
+            deadline.is_finite() && deadline > 0.0,
+            "deadline must be positive"
+        );
+        self.deadlines.push((process, deadline));
+        self
+    }
+
+    /// The per-process deadlines.
+    pub fn deadlines(&self) -> &[(NodeId, f64)] {
+        &self.deadlines
+    }
+}
+
+impl Default for Objectives {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Evaluates the cost of the estimator's current partition. Lower is
+/// better; a cost below `objectives.wt_time.min(wt_size).min(wt_pins)`
+/// generally means no constraint is violated.
+///
+/// # Errors
+///
+/// Propagates estimation errors (unmapped objects, missing weights,
+/// recursion).
+pub fn cost(
+    design: &Design,
+    est: &mut IncrementalEstimator<'_>,
+    objectives: &Objectives,
+) -> Result<f64, CoreError> {
+    let mut total = 0.0;
+
+    // Deadline violations, normalized by the deadline.
+    let mut perf_sum = 0.0;
+    let mut perf_norm = 0.0;
+    for &(process, deadline) in &objectives.deadlines {
+        let t = est.exec_time(process)?;
+        if t > deadline {
+            total += objectives.wt_time * (t - deadline) / deadline;
+        }
+        perf_sum += t;
+        perf_norm += deadline;
+    }
+    // Performance pressure: total process time relative to the deadline
+    // budget (or raw, scaled down, when no deadlines are set).
+    if perf_norm > 0.0 {
+        total += objectives.wt_perf * perf_sum / perf_norm;
+    } else {
+        let mut sum = 0.0;
+        for n in design.graph().node_ids() {
+            if design.graph().node(n).kind().is_process() {
+                sum += est.exec_time(n)?;
+            }
+        }
+        total += objectives.wt_perf * sum / 1.0e9;
+    }
+
+    // Size violations, normalized by the constraint.
+    for pm in design.pm_refs() {
+        let constraint = match pm {
+            PmRef::Processor(p) => design.processor(p).size_constraint(),
+            PmRef::Memory(m) => design.memory(m).size_constraint(),
+        };
+        if let Some(max) = constraint {
+            let used = est.size(pm);
+            if used > max {
+                total += objectives.wt_size * (used - max) as f64 / max.max(1) as f64;
+            }
+        }
+    }
+
+    // Pin violations, normalized by the constraint.
+    for p in design.processor_ids() {
+        if let Some(max) = design.processor(p).pin_constraint() {
+            let pins = est.pins(p)?;
+            if pins > max {
+                total += objectives.wt_pins * f64::from(pins - max) / f64::from(max.max(1));
+            }
+        }
+    }
+
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::gen::DesignGenerator;
+    use slif_core::{Bus, ClassKind, NodeKind, Partition, Processor};
+
+    #[test]
+    fn feasible_partition_costs_little() {
+        let (design, part) = DesignGenerator::new(1).build();
+        let mut est = IncrementalEstimator::new(&design, part).unwrap();
+        let c = cost(&design, &mut est, &Objectives::new()).unwrap();
+        // No constraints in the generated design: only the pressure term.
+        assert!(c >= 0.0);
+        assert!(c.is_finite());
+        assert!(c < 100.0, "cost {c}");
+    }
+
+    #[test]
+    fn deadline_violation_raises_cost() {
+        let (design, part) = DesignGenerator::new(2).build();
+        let process = design
+            .graph()
+            .node_ids()
+            .find(|&n| design.graph().node(n).kind().is_process())
+            .unwrap();
+        let mut est = IncrementalEstimator::new(&design, part).unwrap();
+        let t = est.exec_time(process).unwrap();
+        let loose = Objectives::new().with_deadline(process, t * 2.0);
+        let tight = Objectives::new().with_deadline(process, t / 2.0);
+        let c_loose = cost(&design, &mut est, &loose).unwrap();
+        let c_tight = cost(&design, &mut est, &tight).unwrap();
+        assert!(c_tight > c_loose + 50.0, "{c_tight} vs {c_loose}");
+    }
+
+    #[test]
+    fn size_violation_raises_cost() {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let a = d.graph_mut().add_node("A", NodeKind::process());
+        d.graph_mut().node_mut(a).ict_mut().set(pc, 10);
+        d.graph_mut().node_mut(a).size_mut().set(pc, 1000);
+        let tight = d.add_processor_instance(Processor::new("tight", pc).with_size_constraint(100));
+        d.add_bus(Bus::new("b", 8, 1, 2));
+        let mut part = Partition::new(&d);
+        part.assign_node(a, tight.into());
+        let mut est = IncrementalEstimator::new(&d, part).unwrap();
+        let c = cost(&d, &mut est, &Objectives::new()).unwrap();
+        // 900/100 * 100 = 900 from the size violation.
+        assert!(c >= 900.0, "cost {c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn bad_deadline_rejected() {
+        let _ = Objectives::new().with_deadline(NodeId::from_raw(0), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # slif-explore — allocation, partitioning, and transformation
+//!
+//! The system-design tasks SLIF exists to support (Section 1): deciding
+//! which functional objects go on which components, and restructuring the
+//! specification when that helps. Everything here evaluates candidates
+//! through `slif-estimate`'s incremental estimator, which is what lets a
+//! single run examine thousands of partitions:
+//!
+//! * [`explore_allocations`] — the allocation task: rank candidate
+//!   architectures by the best partition each admits,
+//! * [`Objectives`] / [`cost`] — constraint-violation scoring,
+//! * [`random_search`], [`greedy_improve`], [`simulated_annealing`],
+//!   [`group_migration`] — move-based partitioners,
+//! * [`closeness_clusters`] / [`cluster_partition`] — SpecSyn-style
+//!   traffic clustering,
+//! * [`pareto_sweep`] — multi-objective exploration returning the
+//!   non-dominated (time, gates, pins) designs,
+//! * [`inline_procedure`] / [`merge_processes`] — the paper's
+//!   transformation task, with annotation recomputation.
+//!
+//! # Examples
+//!
+//! ```
+//! use slif_core::gen::DesignGenerator;
+//! use slif_explore::{greedy_improve, Objectives};
+//!
+//! let (design, start) = DesignGenerator::new(5).build();
+//! let result = greedy_improve(&design, start, &Objectives::new(), 10)?;
+//! result.partition.validate(&design)?;
+//! # Ok::<(), slif_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod algorithms;
+mod alloc;
+mod cluster;
+mod cost;
+mod pareto;
+mod transform;
+
+pub use algorithms::{
+    greedy_improve, group_migration, random_search, simulated_annealing, AnnealingConfig,
+    ExplorationResult,
+};
+pub use alloc::{explore_allocations, AllocOption, AllocResult, ProcessorAlloc};
+pub use cluster::{closeness_clusters, cluster_partition};
+pub use cost::{cost, Objectives};
+pub use pareto::{pareto_sweep, ParetoPoint};
+pub use transform::{
+    auto_inline, inline_candidates, inline_procedure, merge_processes, TransformError,
+    TransformResult,
+};

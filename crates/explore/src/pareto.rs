@@ -1,0 +1,241 @@
+//! Multi-objective (Pareto) design-space exploration.
+//!
+//! System design trades performance against hardware cost: SpecSyn's
+//! designers examined many allocations and partitions precisely to see
+//! that trade-off. This module sweeps the partition space and maintains
+//! the set of *non-dominated* designs over three metrics:
+//!
+//! * worst process execution time (Equation 1),
+//! * custom-hardware gates (Equation 4 over `CustomHw` components),
+//! * total I/O pins (Equation 6 over all processors).
+//!
+//! A point dominates another when it is no worse in every metric and
+//! strictly better in at least one.
+
+use crate::cost::{cost, Objectives};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slif_core::{ClassKind, CoreError, Design, NodeId, Partition, PmRef};
+use slif_estimate::IncrementalEstimator;
+
+/// One design point on (or off) the Pareto front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The partition realizing the point.
+    pub partition: Partition,
+    /// Worst per-process execution time (ns).
+    pub exec_time: f64,
+    /// Gates on custom-hardware components.
+    pub hw_gates: u64,
+    /// Total processor pins.
+    pub pins: u32,
+}
+
+impl ParetoPoint {
+    /// Whether `self` dominates `other` (no worse everywhere, better
+    /// somewhere).
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let no_worse = self.exec_time <= other.exec_time
+            && self.hw_gates <= other.hw_gates
+            && self.pins <= other.pins;
+        let better = self.exec_time < other.exec_time
+            || self.hw_gates < other.hw_gates
+            || self.pins < other.pins;
+        no_worse && better
+    }
+}
+
+/// Measures the metrics of the estimator's current partition.
+fn measure(
+    design: &Design,
+    est: &mut IncrementalEstimator<'_>,
+) -> Result<(f64, u64, u32), CoreError> {
+    let mut worst = 0.0f64;
+    for n in design.graph().node_ids() {
+        if design.graph().node(n).kind().is_process() {
+            worst = worst.max(est.exec_time(n)?);
+        }
+    }
+    let mut gates = 0;
+    for p in design.processor_ids() {
+        if design.class(design.processor(p).class()).kind() == ClassKind::CustomHw {
+            gates += est.size(PmRef::Processor(p));
+        }
+    }
+    let mut pins = 0;
+    for p in design.processor_ids() {
+        pins += est.pins(p)?;
+    }
+    Ok((worst, gates, pins))
+}
+
+/// Inserts `point` into `front`, dropping dominated members; returns
+/// whether it was kept.
+fn insert_nondominated(front: &mut Vec<ParetoPoint>, point: ParetoPoint) -> bool {
+    if front.iter().any(|p| {
+        p.dominates(&point)
+            || (p.exec_time == point.exec_time
+                && p.hw_gates == point.hw_gates
+                && p.pins == point.pins)
+    }) {
+        return false;
+    }
+    front.retain(|p| !point.dominates(p));
+    front.push(point);
+    true
+}
+
+/// Sweeps the partition space with `iterations` random single-node moves
+/// (biased toward improving the aggregate cost so the walk stays in
+/// sensible territory) and returns the non-dominated set, sorted by
+/// execution time.
+///
+/// # Errors
+///
+/// Propagates estimation errors; the starting partition must be complete.
+pub fn pareto_sweep(
+    design: &Design,
+    start: Partition,
+    iterations: u64,
+    seed: u64,
+) -> Result<Vec<ParetoPoint>, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut est = IncrementalEstimator::new(design, start)?;
+    let objectives = Objectives::new();
+    let mut current_cost = cost(design, &mut est, &objectives)?;
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    let (t, g, p) = measure(design, &mut est)?;
+    insert_nondominated(
+        &mut front,
+        ParetoPoint {
+            partition: est.partition().clone(),
+            exec_time: t,
+            hw_gates: g,
+            pins: p,
+        },
+    );
+
+    let nodes: Vec<NodeId> = design.graph().node_ids().collect();
+    let comps: Vec<PmRef> = design.pm_refs().collect();
+    for _ in 0..iterations {
+        let n = nodes[rng.gen_range(0..nodes.len())];
+        let target = comps[rng.gen_range(0..comps.len())];
+        let node = design.graph().node(n);
+        if node.kind().is_behavior() && matches!(target, PmRef::Memory(_)) {
+            continue;
+        }
+        let class = design.component_class(target);
+        if !node.size().supports(class)
+            || (node.kind().is_behavior() && !node.ict().supports(class))
+        {
+            continue;
+        }
+        let home = est.partition().node_component(n).expect("complete");
+        est.move_node(n, target)?;
+        let c = cost(design, &mut est, &objectives)?;
+        // Metropolis-ish bias: always keep improving moves, sometimes
+        // keep worsening ones so the sweep explores the cost surface.
+        let keep = c <= current_cost || rng.gen::<f64>() < 0.3;
+        if keep {
+            current_cost = c;
+            let (t, g, p) = measure(design, &mut est)?;
+            insert_nondominated(
+                &mut front,
+                ParetoPoint {
+                    partition: est.partition().clone(),
+                    exec_time: t,
+                    hw_gates: g,
+                    pins: p,
+                },
+            );
+        } else {
+            est.move_node(n, home)?;
+        }
+    }
+    front.sort_by(|a, b| a.exec_time.total_cmp(&b.exec_time));
+    Ok(front)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::gen::DesignGenerator;
+
+    fn front(seed: u64) -> (Design, Vec<ParetoPoint>) {
+        let (design, part) = DesignGenerator::new(seed)
+            .behaviors(10)
+            .variables(8)
+            .processors(2)
+            .memories(1)
+            .build();
+        let f = pareto_sweep(&design, part, 300, seed).unwrap();
+        (design, f)
+    }
+
+    #[test]
+    fn front_is_mutually_nondominated() {
+        let (_, f) = front(1);
+        assert!(!f.is_empty());
+        for (i, a) in f.iter().enumerate() {
+            for (j, b) in f.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominates(b), "front member dominated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn front_is_sorted_by_time() {
+        let (_, f) = front(2);
+        for w in f.windows(2) {
+            assert!(w[0].exec_time <= w[1].exec_time);
+        }
+    }
+
+    #[test]
+    fn front_partitions_are_valid() {
+        let (design, f) = front(3);
+        for p in &f {
+            p.partition.validate(&design).unwrap();
+        }
+    }
+
+    #[test]
+    fn dominance_definition() {
+        let mk = |t: f64, g: u64, p: u32| ParetoPoint {
+            partition: Partition::new(&DesignGenerator::new(0).build().0),
+            exec_time: t,
+            hw_gates: g,
+            pins: p,
+        };
+        assert!(mk(1.0, 10, 5).dominates(&mk(2.0, 10, 5)));
+        assert!(mk(1.0, 9, 5).dominates(&mk(1.0, 10, 5)));
+        assert!(!mk(1.0, 11, 5).dominates(&mk(2.0, 10, 5)), "trade-off");
+        assert!(!mk(1.0, 10, 5).dominates(&mk(1.0, 10, 5)), "equal");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let (design, part) = DesignGenerator::new(4).build();
+        let a = pareto_sweep(&design, part.clone(), 100, 7).unwrap();
+        let b = pareto_sweep(&design, part, 100, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn insert_drops_dominated_members() {
+        let mk = |t: f64, g: u64| ParetoPoint {
+            partition: Partition::new(&DesignGenerator::new(0).build().0),
+            exec_time: t,
+            hw_gates: g,
+            pins: 0,
+        };
+        let mut front = vec![mk(5.0, 5)];
+        assert!(insert_nondominated(&mut front, mk(1.0, 1)));
+        assert_eq!(front.len(), 1, "dominating point evicts");
+        assert!(!insert_nondominated(&mut front, mk(2.0, 2)));
+        assert!(insert_nondominated(&mut front, mk(0.5, 9)));
+        assert_eq!(front.len(), 2, "trade-off point joins");
+    }
+}

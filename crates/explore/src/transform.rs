@@ -1,0 +1,741 @@
+//! Specification transformations: procedure inlining and process merging.
+//!
+//! The third system-design task (besides allocation and partitioning) is
+//! "the transformation of the specification into one more suited for
+//! synthesis, such as merging processes into a single process" (Section
+//! 1). The paper defers demonstrating transformations to future work but
+//! notes they "would require modification of certain nodes and edges,
+//! along with recomputation of certain annotations" (Section 3) — which
+//! is exactly what this module implements, directly on SLIF:
+//!
+//! * [`inline_procedure`] — remove a procedure node, re-source its
+//!   accesses from every caller (frequencies multiply), and fold its
+//!   ict/size into the callers (code is duplicated per caller),
+//! * [`merge_processes`] — combine two process nodes into one (ict/size
+//!   add, access sets union, messages between the two become internal and
+//!   disappear).
+
+use slif_core::{AccessFreq, AccessTarget, ChannelId, Design, NodeId, WeightEntry};
+use std::error::Error;
+use std::fmt;
+
+/// Error applying a transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransformError {
+    /// The node is not of the kind the transformation needs.
+    WrongKind {
+        /// The offending node.
+        node: NodeId,
+        /// What was required.
+        expected: &'static str,
+    },
+    /// Inlining a self-calling (recursive) procedure is impossible.
+    Recursive {
+        /// The recursive node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::WrongKind { node, expected } => {
+                write!(f, "node {node} is not a {expected}")
+            }
+            TransformError::Recursive { node } => {
+                write!(f, "cannot inline recursive procedure {node}")
+            }
+        }
+    }
+}
+
+impl Error for TransformError {}
+
+/// The outcome of a transformation: the rewritten design plus the mapping
+/// from old node indices to new node ids (`None` for removed nodes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformResult {
+    /// The transformed design.
+    pub design: Design,
+    /// Old node index → new node id.
+    pub node_map: Vec<Option<NodeId>>,
+}
+
+/// Inlines procedure `proc` into all of its callers.
+///
+/// Every access the procedure made is re-sourced from each caller with
+/// its frequency multiplied by the call frequency; each caller's `ict`
+/// grows by `call_freq × proc_ict` and its `size` by the full procedure
+/// size (code duplication). The procedure node and its call edges
+/// disappear.
+///
+/// # Errors
+///
+/// [`TransformError::WrongKind`] if `proc` is not a procedure (processes
+/// and variables cannot be inlined), [`TransformError::Recursive`] if the
+/// procedure calls itself.
+pub fn inline_procedure(design: &Design, proc: NodeId) -> Result<TransformResult, TransformError> {
+    let g = design.graph();
+    let kind = g.node(proc).kind();
+    if !kind.is_behavior() || kind.is_process() {
+        return Err(TransformError::WrongKind {
+            node: proc,
+            expected: "procedure",
+        });
+    }
+    for c in g.channels_of(proc) {
+        if g.channel(c).dst() == AccessTarget::Node(proc) {
+            return Err(TransformError::Recursive { node: proc });
+        }
+    }
+    // Only call sites can be inlined; a message-accessed behavior runs on
+    // its own schedule and cannot be folded into its senders.
+    for c in g.accessors_of(proc) {
+        if g.channel(c).kind() != slif_core::AccessKind::Call {
+            return Err(TransformError::WrongKind {
+                node: proc,
+                expected: "call-only procedure",
+            });
+        }
+    }
+
+    let mut out = clone_structure(design, |n| n != proc);
+
+    // Call frequencies per caller.
+    let callers: Vec<(NodeId, AccessFreq)> = g
+        .accessors_of(proc)
+        .map(|c| {
+            let ch = g.channel(c);
+            (ch.src(), ch.freq())
+        })
+        .collect();
+
+    // Copy all channels except those touching `proc`; then replay the
+    // procedure's accesses from each caller.
+    for c in g.channel_ids() {
+        let ch = g.channel(c);
+        if ch.src() == proc || ch.dst() == AccessTarget::Node(proc) {
+            continue;
+        }
+        copy_channel(design, &mut out, c);
+    }
+    for &(caller, call_freq) in &callers {
+        let new_src = out.node_map[caller.index()].expect("callers survive");
+        for c in g.channels_of(proc) {
+            let ch = g.channel(c);
+            let new_dst = remap_target(ch.dst(), &out.node_map);
+            let id = out
+                .design
+                .graph_mut()
+                .add_or_merge_channel(new_src, new_dst, ch.kind())
+                .expect("kinds preserved by remapping");
+            let scaled = AccessFreq::new(
+                call_freq.avg * ch.freq().avg,
+                call_freq.min * ch.freq().min,
+                call_freq.max * ch.freq().max,
+            );
+            accumulate_channel(&mut out.design, id, scaled, ch.bits());
+        }
+        // Fold the procedure's weights into the caller.
+        let proc_node = g.node(proc).clone();
+        let caller_node = out.design.graph_mut().node_mut(new_src);
+        for e in proc_node.ict().iter() {
+            let grown = (call_freq.avg * e.val as f64).round() as u64;
+            let old = caller_node.ict().get(e.class).unwrap_or(0);
+            caller_node.ict_mut().set(e.class, old + grown);
+        }
+        for e in proc_node.size().iter() {
+            let old = caller_node.size().entry(e.class).copied();
+            let merged = match old {
+                Some(o) => WeightEntry {
+                    class: e.class,
+                    val: o.val + e.val,
+                    datapath: match (o.datapath, e.datapath) {
+                        (None, None) => None,
+                        (a, b) => Some(a.unwrap_or(0) + b.unwrap_or(0)),
+                    },
+                },
+                None => *e,
+            };
+            caller_node.size_mut().insert(merged);
+        }
+    }
+    Ok(out)
+}
+
+/// Merges process `b` into process `a`: the result keeps `a`'s node with
+/// summed ict/size, the union of both access sets, and `b`'s incoming
+/// messages redirected to `a`. Messages between `a` and `b` become
+/// internal control flow and disappear.
+///
+/// # Errors
+///
+/// [`TransformError::WrongKind`] unless both nodes are processes.
+pub fn merge_processes(
+    design: &Design,
+    a: NodeId,
+    b: NodeId,
+) -> Result<TransformResult, TransformError> {
+    let g = design.graph();
+    for n in [a, b] {
+        if !g.node(n).kind().is_process() {
+            return Err(TransformError::WrongKind {
+                node: n,
+                expected: "process",
+            });
+        }
+    }
+    let mut out = clone_structure(design, |n| n != b);
+    // Fold b's weights into a.
+    let b_node = g.node(b).clone();
+    let new_a = out.node_map[a.index()].expect("a survives");
+    {
+        let a_mut = out.design.graph_mut().node_mut(new_a);
+        for e in b_node.ict().iter() {
+            let old = a_mut.ict().get(e.class).unwrap_or(0);
+            a_mut.ict_mut().set(e.class, old + e.val);
+        }
+        for e in b_node.size().iter() {
+            let old = a_mut.size().entry(e.class).copied();
+            let merged = match old {
+                Some(o) => WeightEntry {
+                    class: e.class,
+                    val: o.val + e.val,
+                    datapath: match (o.datapath, e.datapath) {
+                        (None, None) => None,
+                        (x, y) => Some(x.unwrap_or(0) + y.unwrap_or(0)),
+                    },
+                },
+                None => *e,
+            };
+            a_mut.size_mut().insert(merged);
+        }
+    }
+    // Channels: redirect b's endpoints to a; drop a↔b internals.
+    for c in design.graph().channel_ids() {
+        let ch = design.graph().channel(c);
+        let src_is_pair = ch.src() == a || ch.src() == b;
+        let dst_is_pair = ch.dst() == AccessTarget::Node(a) || ch.dst() == AccessTarget::Node(b);
+        if src_is_pair && dst_is_pair {
+            continue; // now-internal communication
+        }
+        let new_src = if ch.src() == b {
+            new_a
+        } else {
+            out.node_map[ch.src().index()].expect("non-b nodes survive")
+        };
+        let new_dst = match ch.dst() {
+            AccessTarget::Node(n) if n == b => AccessTarget::Node(new_a),
+            other => remap_target(other, &out.node_map),
+        };
+        let id = out
+            .design
+            .graph_mut()
+            .add_or_merge_channel(new_src, new_dst, ch.kind())
+            .expect("kinds preserved by remapping");
+        accumulate_channel(&mut out.design, id, ch.freq(), ch.bits());
+    }
+    Ok(out)
+}
+
+/// Clones classes, ports, components, and the surviving nodes (with their
+/// weights); channels are left for the caller.
+fn clone_structure(design: &Design, keep: impl Fn(NodeId) -> bool) -> TransformResult {
+    let g = design.graph();
+    let mut d = Design::new(design.name().to_owned());
+    for k in design.class_ids() {
+        let c = design.class(k);
+        d.add_class(c.name(), c.kind());
+    }
+    for p in g.port_ids() {
+        let port = g.port(p);
+        d.graph_mut()
+            .add_port(port.name(), port.direction(), port.bits());
+    }
+    let mut node_map: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    for n in g.node_ids() {
+        if !keep(n) {
+            continue;
+        }
+        let node = g.node(n);
+        let id = d.graph_mut().add_node(node.name(), node.kind());
+        for e in node.ict().iter() {
+            d.graph_mut().node_mut(id).ict_mut().insert(*e);
+        }
+        for e in node.size().iter() {
+            d.graph_mut().node_mut(id).size_mut().insert(*e);
+        }
+        node_map[n.index()] = Some(id);
+    }
+    for p in design.processor_ids() {
+        d.add_processor_instance(design.processor(p).clone());
+    }
+    for m in design.memory_ids() {
+        d.add_memory_instance(design.memory(m).clone());
+    }
+    for b in design.bus_ids() {
+        d.add_bus(design.bus(b).clone());
+    }
+    TransformResult {
+        design: d,
+        node_map,
+    }
+}
+
+fn remap_target(dst: AccessTarget, map: &[Option<NodeId>]) -> AccessTarget {
+    match dst {
+        AccessTarget::Node(n) => AccessTarget::Node(map[n.index()].expect("target survives")),
+        AccessTarget::Port(p) => AccessTarget::Port(p),
+    }
+}
+
+/// Copies channel `c` of `design` into `out`, merging with any existing
+/// same-source/destination edge.
+fn copy_channel(design: &Design, out: &mut TransformResult, c: ChannelId) {
+    let ch = design.graph().channel(c);
+    let src = out.node_map[ch.src().index()].expect("source survives");
+    let dst = remap_target(ch.dst(), &out.node_map);
+    let id = out
+        .design
+        .graph_mut()
+        .add_or_merge_channel(src, dst, ch.kind())
+        .expect("valid in the source design");
+    accumulate_channel(&mut out.design, id, ch.freq(), ch.bits());
+    out.design.graph_mut().channel_mut(id).set_tag(ch.tag());
+}
+
+/// Adds `freq` (and the wider `bits`) onto channel `id`, treating a
+/// freshly created channel (default 1-access/1-bit) as empty.
+fn accumulate_channel(design: &mut Design, id: ChannelId, freq: AccessFreq, bits: u32) {
+    let ch = design.graph_mut().channel_mut(id);
+    let fresh = ch.freq() == AccessFreq::default() && ch.bits() == 1;
+    if fresh {
+        *ch.freq_mut() = freq;
+        ch.set_bits(bits);
+    } else {
+        let old = ch.freq();
+        *ch.freq_mut() =
+            AccessFreq::new(old.avg + freq.avg, old.min + freq.min, old.max + freq.max);
+        ch.set_bits(ch.bits().max(bits));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::{AccessKind, Bus, ClassKind, NodeKind, Partition, PmRef};
+
+    /// main calls sub twice; sub writes v 3 times per execution.
+    fn fixture() -> (Design, NodeId, NodeId, NodeId) {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let sub = d.graph_mut().add_node("Sub", NodeKind::procedure());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+        for (n, ict, size) in [(main, 100u64, 500u64), (sub, 40, 200)] {
+            d.graph_mut().node_mut(n).ict_mut().set(pc, ict);
+            d.graph_mut().node_mut(n).size_mut().set(pc, size);
+        }
+        d.graph_mut().node_mut(v).ict_mut().set(pc, 2);
+        d.graph_mut().node_mut(v).size_mut().set(pc, 1);
+        let call = d
+            .graph_mut()
+            .add_channel(main, sub.into(), AccessKind::Call)
+            .unwrap();
+        *d.graph_mut().channel_mut(call).freq_mut() = AccessFreq::exact(2);
+        d.graph_mut().channel_mut(call).set_bits(8);
+        let wr = d
+            .graph_mut()
+            .add_channel(sub, v.into(), AccessKind::Write)
+            .unwrap();
+        *d.graph_mut().channel_mut(wr).freq_mut() = AccessFreq::exact(3);
+        d.graph_mut().channel_mut(wr).set_bits(8);
+        d.add_processor("cpu", pc);
+        d.add_bus(Bus::new("b", 8, 1, 2));
+        (d, main, sub, v)
+    }
+
+    #[test]
+    fn inline_multiplies_frequencies_and_folds_weights() {
+        let (d, main, sub, v) = fixture();
+        let r = inline_procedure(&d, sub).unwrap();
+        let g = r.design.graph();
+        assert_eq!(g.node_count(), 2);
+        assert!(g.node_by_name("Sub").is_none());
+        let new_main = r.node_map[main.index()].unwrap();
+        let new_v = r.node_map[v.index()].unwrap();
+        // Main now writes v with freq 2 × 3 = 6.
+        let c = g
+            .find_channel(new_main, new_v.into(), AccessKind::Write)
+            .unwrap();
+        assert_eq!(g.channel(c).freq().avg, 6.0);
+        assert_eq!(g.channel(c).bits(), 8);
+        // Main's ict grew by 2 × 40; size by 200.
+        let pc = r.design.class_by_name("proc").unwrap();
+        assert_eq!(g.node(new_main).ict().get(pc), Some(100 + 80));
+        assert_eq!(g.node(new_main).size().get(pc), Some(500 + 200));
+    }
+
+    #[test]
+    fn inline_preserves_execution_time_modulo_call_transfer() {
+        let (d, main, sub, _v) = fixture();
+        let cpu = d.processor_by_name("cpu").unwrap();
+        let bus = d.bus_by_name("b").unwrap();
+        let mut part = Partition::new(&d);
+        for n in d.graph().node_ids() {
+            part.assign_node(n, PmRef::Processor(cpu));
+        }
+        for c in d.graph().channel_ids() {
+            part.assign_channel(c, bus);
+        }
+        let before = slif_estimate::ExecTimeEstimator::new(&d, &part)
+            .exec_time(main)
+            .unwrap();
+
+        let r = inline_procedure(&d, sub).unwrap();
+        let cpu2 = r.design.processor_by_name("cpu").unwrap();
+        let bus2 = r.design.bus_by_name("b").unwrap();
+        let mut part2 = Partition::new(&r.design);
+        for n in r.design.graph().node_ids() {
+            part2.assign_node(n, PmRef::Processor(cpu2));
+        }
+        for c in r.design.graph().channel_ids() {
+            part2.assign_channel(c, bus2);
+        }
+        let new_main = r.node_map[main.index()].unwrap();
+        let after = slif_estimate::ExecTimeEstimator::new(&r.design, &part2)
+            .exec_time(new_main)
+            .unwrap();
+        // The call's own bus transfers (2 accesses × ts=1) disappear;
+        // everything else is preserved.
+        assert_eq!(before - after, 2.0);
+    }
+
+    #[test]
+    fn inline_rejects_processes_variables_and_recursion() {
+        let (mut d, main, sub, v) = fixture();
+        assert!(matches!(
+            inline_procedure(&d, main),
+            Err(TransformError::WrongKind { .. })
+        ));
+        assert!(matches!(
+            inline_procedure(&d, v),
+            Err(TransformError::WrongKind { .. })
+        ));
+        d.graph_mut()
+            .add_channel(sub, sub.into(), AccessKind::Call)
+            .unwrap();
+        assert!(matches!(
+            inline_procedure(&d, sub),
+            Err(TransformError::Recursive { .. })
+        ));
+    }
+
+    #[test]
+    fn inline_with_two_callers_duplicates_code() {
+        let (mut d, _main, sub, v) = fixture();
+        let pc = d.class_by_name("proc").unwrap();
+        let other = d.graph_mut().add_node("Other", NodeKind::process());
+        d.graph_mut().node_mut(other).ict_mut().set(pc, 10);
+        d.graph_mut().node_mut(other).size_mut().set(pc, 50);
+        let c2 = d
+            .graph_mut()
+            .add_channel(other, sub.into(), AccessKind::Call)
+            .unwrap();
+        *d.graph_mut().channel_mut(c2).freq_mut() = AccessFreq::exact(5);
+        let r = inline_procedure(&d, sub).unwrap();
+        let g = r.design.graph();
+        let new_other = r.node_map[other.index()].unwrap();
+        let new_v = r.node_map[v.index()].unwrap();
+        let c = g
+            .find_channel(new_other, new_v.into(), AccessKind::Write)
+            .unwrap();
+        assert_eq!(g.channel(c).freq().avg, 15.0); // 5 calls × 3 writes
+                                                   // Both callers carry a full copy of the code.
+        assert_eq!(g.node(new_other).size().get(pc), Some(50 + 200));
+    }
+
+    #[test]
+    fn merge_sums_weights_and_unions_accesses() {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let a = d.graph_mut().add_node("A", NodeKind::process());
+        let b = d.graph_mut().add_node("B", NodeKind::process());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+        for (n, ict, size) in [(a, 10u64, 100u64), (b, 20, 300)] {
+            d.graph_mut().node_mut(n).ict_mut().set(pc, ict);
+            d.graph_mut().node_mut(n).size_mut().set(pc, size);
+        }
+        d.graph_mut().node_mut(v).ict_mut().set(pc, 1);
+        d.graph_mut().node_mut(v).size_mut().set(pc, 1);
+        // Both write v; they also message each other (becomes internal).
+        let wa = d
+            .graph_mut()
+            .add_channel(a, v.into(), AccessKind::Write)
+            .unwrap();
+        *d.graph_mut().channel_mut(wa).freq_mut() = AccessFreq::exact(2);
+        let wb = d
+            .graph_mut()
+            .add_channel(b, v.into(), AccessKind::Write)
+            .unwrap();
+        *d.graph_mut().channel_mut(wb).freq_mut() = AccessFreq::exact(3);
+        d.graph_mut()
+            .add_channel(a, b.into(), AccessKind::Message)
+            .unwrap();
+        d.graph_mut()
+            .add_channel(b, a.into(), AccessKind::Message)
+            .unwrap();
+
+        let r = merge_processes(&d, a, b).unwrap();
+        let g = r.design.graph();
+        assert_eq!(g.node_count(), 2);
+        let new_a = r.node_map[a.index()].unwrap();
+        assert_eq!(g.node(new_a).ict().get(pc), Some(30));
+        assert_eq!(g.node(new_a).size().get(pc), Some(400));
+        // Writes union: 2 + 3 = 5 accesses of v.
+        let new_v = r.node_map[v.index()].unwrap();
+        let c = g
+            .find_channel(new_a, new_v.into(), AccessKind::Write)
+            .unwrap();
+        assert_eq!(g.channel(c).freq().avg, 5.0);
+        // The messages between a and b are gone.
+        assert_eq!(g.channel_count(), 1);
+    }
+
+    #[test]
+    fn merge_redirects_external_messages() {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let a = d.graph_mut().add_node("A", NodeKind::process());
+        let b = d.graph_mut().add_node("B", NodeKind::process());
+        let c = d.graph_mut().add_node("C", NodeKind::process());
+        for n in [a, b, c] {
+            d.graph_mut().node_mut(n).ict_mut().set(pc, 1);
+            d.graph_mut().node_mut(n).size_mut().set(pc, 1);
+        }
+        d.graph_mut()
+            .add_channel(c, b.into(), AccessKind::Message)
+            .unwrap();
+        let r = merge_processes(&d, a, b).unwrap();
+        let g = r.design.graph();
+        let new_a = r.node_map[a.index()].unwrap();
+        let new_c = r.node_map[c.index()].unwrap();
+        assert!(g
+            .find_channel(new_c, new_a.into(), AccessKind::Message)
+            .is_some());
+    }
+
+    #[test]
+    fn merge_rejects_non_processes() {
+        let (d, _main, sub, _v) = fixture();
+        let main = d.graph().node_by_name("Main").unwrap();
+        assert!(matches!(
+            merge_processes(&d, main, sub),
+            Err(TransformError::WrongKind { .. })
+        ));
+    }
+}
+
+/// Estimated execution-time gain from inlining each procedure of the
+/// design, under `partition`: inlining removes the call's bus transfers
+/// (`freq × TransferTime` per caller). Returns `(procedure, gain)` pairs
+/// with positive gain, sorted descending — a transformation-selection
+/// heuristic for the paper's transformation task.
+pub fn inline_candidates(design: &Design, partition: &slif_core::Partition) -> Vec<(NodeId, f64)> {
+    let g = design.graph();
+    let mut out: Vec<(NodeId, f64)> = Vec::new();
+    for n in g.node_ids() {
+        let kind = g.node(n).kind();
+        if !kind.is_behavior() || kind.is_process() {
+            continue;
+        }
+        // Recursive procedures cannot be inlined.
+        if g.channels_of(n)
+            .any(|c| g.channel(c).dst() == AccessTarget::Node(n))
+        {
+            continue;
+        }
+        let mut gain = 0.0;
+        for c in g.accessors_of(n) {
+            let ch = g.channel(c);
+            let Some(bus_id) = partition.channel_bus(c) else {
+                continue;
+            };
+            let bus = design.bus(bus_id);
+            let same = partition.node_component(ch.src()) == partition.node_component(n);
+            gain += ch.freq().avg * bus.access_time(ch.bits(), same) as f64;
+        }
+        if gain > 0.0 {
+            out.push((n, gain));
+        }
+    }
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
+    out
+}
+
+/// Applies [`inline_procedure`] to every candidate whose estimated gain
+/// meets `min_gain`, highest gain first, re-evaluating candidates after
+/// each step (inlining changes the graph). Returns the transformed design
+/// and how many procedures were inlined.
+///
+/// The partition argument only supplies the channel-to-bus mapping used
+/// to price call transfers; the returned design needs a fresh partition.
+///
+/// # Errors
+///
+/// Propagates [`TransformError`] from an individual inline step.
+pub fn auto_inline(
+    design: &Design,
+    partition: &slif_core::Partition,
+    min_gain: f64,
+) -> Result<(Design, usize), TransformError> {
+    let mut current = design.clone();
+    // Bus mapping by name survives across rebuilds; price transfers with
+    // the first bus when the original mapping no longer applies.
+    let mut inlined = 0;
+    loop {
+        // Price against an everything-on-first-bus mapping of the current
+        // design (the structure changed, so the original partition's
+        // channel slots no longer line up).
+        let Some(first_bus) = current.bus_ids().next() else {
+            return Ok((current, inlined));
+        };
+        let mut pricing = slif_core::Partition::new(&current);
+        for c in current.graph().channel_ids() {
+            pricing.assign_channel(c, first_bus);
+        }
+        for n in current.graph().node_ids() {
+            // Component placement affects ts-vs-td; reuse the original
+            // partition's placement where names still match.
+            if let Some(orig) = design.graph().node_by_name(current.graph().node(n).name()) {
+                if let Some(comp) = partition.node_component(orig) {
+                    pricing.assign_node(n, comp);
+                }
+            }
+        }
+        let candidates = inline_candidates(&current, &pricing);
+        let Some(&(target, gain)) = candidates.first() else {
+            return Ok((current, inlined));
+        };
+        if gain < min_gain {
+            return Ok((current, inlined));
+        }
+        current = inline_procedure(&current, target)?.design;
+        inlined += 1;
+    }
+}
+
+#[cfg(test)]
+mod selection_tests {
+    use super::*;
+    use slif_core::{AccessFreq, AccessKind, Bus, ClassKind, NodeKind, Partition, PmRef};
+
+    /// Two procedures: Hot is called 100x with wide parameters, Cold once.
+    fn fixture() -> (Design, Partition, NodeId, NodeId) {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let hot = d.graph_mut().add_node("Hot", NodeKind::procedure());
+        let cold = d.graph_mut().add_node("Cold", NodeKind::procedure());
+        for n in [main, hot, cold] {
+            d.graph_mut().node_mut(n).ict_mut().set(pc, 10);
+            d.graph_mut().node_mut(n).size_mut().set(pc, 100);
+        }
+        let c_hot = d
+            .graph_mut()
+            .add_channel(main, hot.into(), AccessKind::Call)
+            .unwrap();
+        *d.graph_mut().channel_mut(c_hot).freq_mut() = AccessFreq::exact(100);
+        d.graph_mut().channel_mut(c_hot).set_bits(32);
+        let c_cold = d
+            .graph_mut()
+            .add_channel(main, cold.into(), AccessKind::Call)
+            .unwrap();
+        *d.graph_mut().channel_mut(c_cold).freq_mut() = AccessFreq::exact(1);
+        d.graph_mut().channel_mut(c_cold).set_bits(1);
+        let cpu = d.add_processor("cpu", pc);
+        let bus = d.add_bus(Bus::new("b", 16, 2, 8));
+        let mut part = Partition::new(&d);
+        for n in d.graph().node_ids() {
+            part.assign_node(n, PmRef::Processor(cpu));
+        }
+        for c in d.graph().channel_ids() {
+            part.assign_channel(c, bus);
+        }
+        (d, part, hot, cold)
+    }
+
+    #[test]
+    fn candidates_ranked_by_transfer_savings() {
+        let (d, part, hot, cold) = fixture();
+        let candidates = inline_candidates(&d, &part);
+        assert_eq!(candidates.len(), 2);
+        assert_eq!(candidates[0].0, hot);
+        assert_eq!(candidates[1].0, cold);
+        // Hot: 100 calls × 2 transfers × ts 2 = 400. Cold: 1 × 1 × 2 = 2.
+        assert_eq!(candidates[0].1, 400.0);
+        assert_eq!(candidates[1].1, 2.0);
+    }
+
+    #[test]
+    fn processes_and_recursive_procedures_excluded() {
+        let (mut d, _, _, _) = fixture();
+        let hot = d.graph().node_by_name("Hot").unwrap();
+        d.graph_mut()
+            .add_channel(hot, hot.into(), AccessKind::Call)
+            .unwrap();
+        // Rebuild the partition for the grown graph.
+        let cpu = d.processor_by_name("cpu").unwrap();
+        let bus = d.bus_by_name("b").unwrap();
+        let mut part = Partition::new(&d);
+        for n in d.graph().node_ids() {
+            part.assign_node(n, PmRef::Processor(cpu));
+        }
+        for c in d.graph().channel_ids() {
+            part.assign_channel(c, bus);
+        }
+        let names: Vec<&str> = inline_candidates(&d, &part)
+            .iter()
+            .map(|(n, _)| d.graph().node(*n).name())
+            .collect();
+        assert!(!names.contains(&"Hot"), "recursive Hot excluded: {names:?}");
+        assert!(!names.contains(&"Main"), "processes excluded");
+    }
+
+    #[test]
+    fn auto_inline_applies_above_threshold_only() {
+        let (d, part, ..) = fixture();
+        // Threshold 100: only Hot (gain 400) qualifies.
+        let (out, count) = auto_inline(&d, &part, 100.0).unwrap();
+        assert_eq!(count, 1);
+        assert!(out.graph().node_by_name("Hot").is_none());
+        assert!(out.graph().node_by_name("Cold").is_some());
+        // Threshold 1: both go.
+        let (out, count) = auto_inline(&d, &part, 1.0).unwrap();
+        assert_eq!(count, 2);
+        assert!(out.graph().node_by_name("Cold").is_none());
+        // Impossible threshold: nothing changes.
+        let (out, count) = auto_inline(&d, &part, 1e12).unwrap();
+        assert_eq!(count, 0);
+        assert_eq!(out.graph().node_count(), d.graph().node_count());
+    }
+
+    #[test]
+    fn auto_inline_on_the_corpus_terminates_and_shrinks() {
+        let rs = slif_speclang::corpus::by_name("fuzzy")
+            .unwrap()
+            .load()
+            .unwrap();
+        let d = slif_frontend::build_design(&rs, &slif_techlib::TechnologyLibrary::proc_asic());
+        let mut d = d;
+        let arch = slif_frontend::allocate_proc_asic(&mut d);
+        let part = slif_frontend::all_software_partition(&d, arch);
+        let (out, count) = auto_inline(&d, &part, 0.1).unwrap();
+        assert!(count > 0, "fuzzy has inlinable procedures");
+        assert!(out.graph().node_count() < d.graph().node_count());
+        // Processes survive.
+        assert!(out.graph().node_by_name("FuzzyMain").is_some());
+        assert!(out.graph().node_by_name("Monitor").is_some());
+    }
+}

@@ -1,0 +1,431 @@
+//! An assignment-decision-diagram (ADD) style format.
+//!
+//! Section 5 of the paper compares SLIF's size against "the ADD format,
+//! which is similar in form and complexity to the VT format". An ADD
+//! represents each storage write as an *assignment* node guarded by
+//! *decision* nodes (the conditions under which the assignment executes),
+//! fed by a dataflow of *operation* nodes. It carries no explicit control
+//! flow — conditions are shared data predicates — which is why it is
+//! smaller than a CDFG but still operation-granularity, i.e. an order of
+//! magnitude bigger than SLIF's access graph.
+
+use slif_speclang::ast::{Expr, LValue, Stmt};
+use slif_speclang::ResolvedSpec;
+use std::fmt;
+
+/// A node of an ADD graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AddNode {
+    /// A leaf read of a named object.
+    Read(String),
+    /// A literal constant.
+    Const(i64),
+    /// An operation over its input edges.
+    Op(&'static str),
+    /// A decision (guard) node combining a predicate with the guarded
+    /// value.
+    Decision,
+    /// An assignment target (storage write, port write, call-site, or
+    /// message).
+    Assign(String),
+}
+
+/// An ADD graph: nodes plus directed edges (operand → consumer).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AddGraph {
+    name: String,
+    nodes: Vec<AddNode>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl AddGraph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The nodes, in creation order.
+    pub fn nodes(&self) -> &[AddNode] {
+        &self.nodes
+    }
+
+    fn add(&mut self, node: AddNode) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        id
+    }
+
+    fn edge(&mut self, from: u32, to: u32) {
+        debug_assert!(
+            (from as usize) < self.nodes.len() && (to as usize) < self.nodes.len(),
+            "dangling ADD edge"
+        );
+        self.edges.push((from, to));
+    }
+
+    /// Merges another graph into this one (for whole-spec totals).
+    pub fn absorb(&mut self, other: &AddGraph) {
+        let base = self.nodes.len() as u32;
+        self.nodes.extend(other.nodes.iter().cloned());
+        self.edges
+            .extend(other.edges.iter().map(|&(f, t)| (f + base, t + base)));
+    }
+}
+
+impl fmt::Display for AddGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "add {}: {} nodes, {} edges",
+            self.name,
+            self.node_count(),
+            self.edge_count()
+        )
+    }
+}
+
+/// Builds the ADD for one behavior.
+///
+/// An ADD is organized *per assignment target*: each write gets its own
+/// decision structure, so guard conditions are re-materialized for every
+/// guarded assignment rather than shared (that duplication relative to a
+/// CDFG is intrinsic to the format and part of why the paper reports it
+/// between SLIF and CDFG in size).
+///
+/// # Panics
+///
+/// Panics if `behavior` is out of range.
+pub fn build_add(rs: &ResolvedSpec, behavior: usize) -> AddGraph {
+    let decl = &rs.spec().behaviors[behavior];
+    let mut b = Builder {
+        g: AddGraph::new(decl.name.clone()),
+        guards: Vec::new(),
+    };
+    b.stmts(&decl.body);
+    b.g
+}
+
+/// One enclosing guard, kept symbolically so each assignment materializes
+/// its own copy of the condition.
+#[derive(Debug, Clone, Copy)]
+enum Guard<'a> {
+    /// `if cond { … }`
+    Cond(&'a Expr),
+    /// The else side of `if cond`.
+    NotCond(&'a Expr),
+    /// A `for` loop's index-range predicate over its bounds.
+    Range(&'a Expr, &'a Expr),
+}
+
+/// Builds one merged ADD for the whole spec (the Section 5 totals).
+pub fn build_spec_add(rs: &ResolvedSpec) -> AddGraph {
+    let mut total = AddGraph::new(rs.spec().name.clone());
+    for i in 0..rs.spec().behaviors.len() {
+        total.absorb(&build_add(rs, i));
+    }
+    total
+}
+
+struct Builder<'a> {
+    g: AddGraph,
+    /// Enclosing guards, held symbolically; each assignment materializes
+    /// its own copies.
+    guards: Vec<Guard<'a>>,
+}
+
+impl<'a> Builder<'a> {
+    fn stmts(&mut self, stmts: &'a [Stmt]) {
+        for stmt in stmts {
+            self.stmt(stmt);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &'a Stmt) {
+        match stmt {
+            Stmt::Assign { lhs, value, .. } => {
+                let v = self.expr(value);
+                self.assign(lhs_name(lhs), lhs_index(lhs), v);
+            }
+            Stmt::Call { callee, args, .. } => {
+                let inputs: Vec<u32> = args.iter().map(|a| self.expr(a)).collect();
+                let call = self.g.add(AddNode::Assign(callee.clone()));
+                for i in inputs {
+                    self.g.edge(i, call);
+                }
+                // The call site is guarded like any assignment.
+                let guards = self.materialize_guards();
+                for guard in guards {
+                    self.g.edge(guard, call);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                self.guards.push(Guard::Cond(cond));
+                self.stmts(then_body);
+                self.guards.pop();
+                if !else_body.is_empty() {
+                    self.guards.push(Guard::NotCond(cond));
+                    self.stmts(else_body);
+                    self.guards.pop();
+                }
+            }
+            Stmt::For { lo, hi, body, .. } => {
+                // An ADD models the loop's index range as a predicate over
+                // the induction value; the body assignments are guarded.
+                self.guards.push(Guard::Range(lo, hi));
+                self.stmts(body);
+                self.guards.pop();
+            }
+            Stmt::While { cond, body, .. } => {
+                self.guards.push(Guard::Cond(cond));
+                self.stmts(body);
+                self.guards.pop();
+            }
+            Stmt::Fork { body, .. } => self.stmts(body),
+            Stmt::Send { target, value, .. } => {
+                let v = self.expr(value);
+                self.assign(target.clone(), None, v);
+            }
+            Stmt::Receive { lhs, .. } => {
+                let v = self.g.add(AddNode::Read("<message>".to_owned()));
+                self.assign(lhs_name(lhs), lhs_index(lhs), v);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    let val = self.expr(v);
+                    self.assign("<return>".to_owned(), None, val);
+                }
+            }
+            Stmt::Wait { .. } => {}
+        }
+    }
+
+    /// Materializes fresh nodes for every enclosing guard.
+    fn materialize_guards(&mut self) -> Vec<u32> {
+        let guards: Vec<Guard<'a>> = self.guards.clone();
+        guards
+            .into_iter()
+            .map(|guard| match guard {
+                Guard::Cond(c) => self.expr(c),
+                Guard::NotCond(c) => {
+                    let inner = self.expr(c);
+                    let not = self.g.add(AddNode::Op("not"));
+                    self.g.edge(inner, not);
+                    not
+                }
+                Guard::Range(lo, hi) => {
+                    let l = self.expr(lo);
+                    let h = self.expr(hi);
+                    let range = self.g.add(AddNode::Op("in-range"));
+                    self.g.edge(l, range);
+                    self.g.edge(h, range);
+                    range
+                }
+            })
+            .collect()
+    }
+
+    /// Emits an assignment node for `name`, guarded by fresh copies of the
+    /// enclosing conditions through a decision node.
+    fn assign(&mut self, name: String, index: Option<&Expr>, value: u32) {
+        let idx_node = index.map(|e| self.expr(e));
+        let guards = self.materialize_guards();
+        let target = self.g.add(AddNode::Assign(name));
+        let mut feed = value;
+        if !guards.is_empty() {
+            let decision = self.g.add(AddNode::Decision);
+            for guard in guards {
+                self.g.edge(guard, decision);
+            }
+            self.g.edge(value, decision);
+            feed = decision;
+        }
+        self.g.edge(feed, target);
+        if let Some(i) = idx_node {
+            self.g.edge(i, target);
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) -> u32 {
+        match expr {
+            Expr::Int { value, .. } => self.g.add(AddNode::Const(*value as i64)),
+            Expr::Bool { value, .. } => self.g.add(AddNode::Const(i64::from(*value))),
+            Expr::Name { name, .. } => self.g.add(AddNode::Read(name.clone())),
+            Expr::Index { name, index, .. } => {
+                let i = self.expr(index);
+                let read = self.g.add(AddNode::Read(name.clone()));
+                self.g.edge(i, read);
+                read
+            }
+            Expr::Call { callee, args, .. } => {
+                let inputs: Vec<u32> = args.iter().map(|a| self.expr(a)).collect();
+                let node = self.g.add(AddNode::Op("call"));
+                let _ = callee;
+                for i in inputs {
+                    self.g.edge(i, node);
+                }
+                node
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let l = self.expr(lhs);
+                let r = self.expr(rhs);
+                let node = self.g.add(AddNode::Op(binop_name(*op)));
+                self.g.edge(l, node);
+                self.g.edge(r, node);
+                node
+            }
+            Expr::Unary { operand, .. } => {
+                let v = self.expr(operand);
+                let node = self.g.add(AddNode::Op("not"));
+                self.g.edge(v, node);
+                node
+            }
+        }
+    }
+}
+
+fn lhs_name(lhs: &LValue) -> String {
+    lhs.name().to_owned()
+}
+
+fn lhs_index(lhs: &LValue) -> Option<&Expr> {
+    match lhs {
+        LValue::Index { index, .. } => Some(index),
+        LValue::Name { .. } => None,
+    }
+}
+
+fn binop_name(op: slif_speclang::ast::BinOp) -> &'static str {
+    use slif_speclang::ast::BinOp::*;
+    match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Div => "/",
+        Rem => "%",
+        Eq => "==",
+        Ne => "!=",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        And => "and",
+        Or => "or",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_speclang::parse_and_resolve;
+
+    fn add_for(src: &str, name: &str) -> AddGraph {
+        let rs = parse_and_resolve(src).unwrap();
+        let i = rs
+            .spec()
+            .behaviors
+            .iter()
+            .position(|b| b.name == name)
+            .unwrap();
+        build_add(&rs, i)
+    }
+
+    #[test]
+    fn unguarded_assignment_shape() {
+        // x = y + 1: Read(y), Const(1), Op(+), Assign(x); 3 edges.
+        let g = add_for(
+            "system T;\nvar x : int<8>;\nvar y : int<8>;\nproc P() { x = y + 1; }",
+            "P",
+        );
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn guarded_assignment_gets_decision_node() {
+        let g = add_for(
+            "system T;\nvar x : int<8>;\nproc P() { if x > 0 { x = 1; } }",
+            "P",
+        );
+        assert!(g.nodes().contains(&AddNode::Decision));
+        // Read(x), Const(0), Op(>), Const(1), Decision, Assign(x).
+        assert_eq!(g.node_count(), 6);
+    }
+
+    #[test]
+    fn else_branch_negates_the_guard() {
+        let g = add_for(
+            "system T;\nvar x : int<8>;\nproc P() { if x > 0 { x = 1; } else { x = 2; } }",
+            "P",
+        );
+        let nots = g
+            .nodes()
+            .iter()
+            .filter(|n| **n == AddNode::Op("not"))
+            .count();
+        assert_eq!(nots, 1);
+        let decisions = g
+            .nodes()
+            .iter()
+            .filter(|n| **n == AddNode::Decision)
+            .count();
+        assert_eq!(decisions, 2);
+    }
+
+    #[test]
+    fn spec_totals_absorb_all_behaviors() {
+        let rs = parse_and_resolve(
+            "system T;\nvar x : int<8>;\nproc P() { x = 1; }\nproc Q() { x = 2; }",
+        )
+        .unwrap();
+        let total = build_spec_add(&rs);
+        let p = build_add(&rs, 0);
+        let q = build_add(&rs, 1);
+        assert_eq!(total.node_count(), p.node_count() + q.node_count());
+        assert_eq!(total.edge_count(), p.edge_count() + q.edge_count());
+    }
+
+    #[test]
+    fn add_is_smaller_than_cdfg_but_larger_than_slif() {
+        // The Section 5 ordering on the paper's own example.
+        let entry = slif_speclang::corpus::by_name("fuzzy").unwrap();
+        let rs = entry.load().unwrap();
+        let add = build_spec_add(&rs);
+        let cdfg_nodes: usize = slif_cdfg::lower_spec(&rs)
+            .iter()
+            .map(|g| g.node_count())
+            .sum();
+        let slif_nodes = rs.spec().bv_count();
+        assert!(add.node_count() > 4 * slif_nodes, "ADD ≫ SLIF");
+        assert!(cdfg_nodes > add.node_count(), "CDFG > ADD");
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let g = add_for("system T;\nvar x : int<8>;\nproc P() { x = 1; }", "P");
+        assert!(g.to_string().contains("nodes"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Bits-per-access computation (Section 2.4.1's rules).
+//!
+//! * scalar variable or port: the number of bits of its encoding;
+//! * array variable: element bits plus the address bits needed to select
+//!   an element;
+//! * behavior call: the total bits of all parameters;
+//! * message pass: the bits of the message's encoding, estimated from the
+//!   payload expression.
+
+use slif_speclang::ast::{BehaviorKind, Expr, Type};
+use slif_speclang::{GlobalSymbol, ResolvedSpec};
+
+/// Bits transferred by one access to the named system object from within
+/// `behavior` (variables and ports use their type's access width).
+pub fn object_access_bits(rs: &ResolvedSpec, name: &str) -> Option<u32> {
+    match rs.global(name)? {
+        GlobalSymbol::Var(i) => Some(rs.spec().vars[i].ty.access_bits()),
+        GlobalSymbol::Port(i) => Some(rs.spec().ports[i].ty.access_bits()),
+        GlobalSymbol::Behavior(i) => Some(call_bits(rs, i)),
+        GlobalSymbol::Const(_) => None,
+    }
+}
+
+/// Bits transferred by one call of behavior `i`: the sum of its parameter
+/// widths (a parameterless call still transfers a 1-bit "go").
+pub fn call_bits(rs: &ResolvedSpec, behavior: usize) -> u32 {
+    let decl = &rs.spec().behaviors[behavior];
+    let params: u32 = decl.params.iter().map(|p| p.ty.access_bits()).sum();
+    let ret = match decl.kind {
+        BehaviorKind::Function { ret } => ret.access_bits(),
+        _ => 0,
+    };
+    (params + ret).max(1)
+}
+
+/// Estimated encoding width of an expression, used for message-pass bits.
+///
+/// Widths combine structurally: names and indexed reads use their declared
+/// types, arithmetic takes the wider operand, comparisons and logic are
+/// one bit, literals take the minimum width that represents them.
+pub fn expr_bits(rs: &ResolvedSpec, behavior: usize, expr: &Expr) -> u32 {
+    match expr {
+        Expr::Int { value, .. } => bits_for(*value),
+        Expr::Bool { .. } => 1,
+        Expr::Name { name, .. } => rs
+            .type_of(behavior, name)
+            .map(|t| t.access_bits())
+            .unwrap_or(8),
+        Expr::Index { name, .. } => match rs.type_of(behavior, name) {
+            Some(Type::Array { elem_bits, .. }) => elem_bits,
+            _ => 8,
+        },
+        Expr::Call { callee, args, .. } => {
+            if let Some(GlobalSymbol::Behavior(i)) = rs.global(callee) {
+                if let BehaviorKind::Function { ret } = rs.spec().behaviors[i].kind {
+                    return ret.access_bits();
+                }
+            }
+            args.iter()
+                .map(|a| expr_bits(rs, behavior, a))
+                .max()
+                .unwrap_or(8)
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            if op.is_comparison() || op.is_logical() {
+                1
+            } else {
+                expr_bits(rs, behavior, lhs).max(expr_bits(rs, behavior, rhs))
+            }
+        }
+        Expr::Unary { operand, .. } => expr_bits(rs, behavior, operand),
+    }
+}
+
+fn bits_for(value: u64) -> u32 {
+    (64 - value.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_speclang::parse_and_resolve;
+
+    const SRC: &str = "system T;\n\
+        port in1 : in int<8>;\n\
+        var x : int<12>;\n\
+        var mr1 : int<8>[128];\n\
+        var big : int<8>[384];\n\
+        func F(a : int<8>, b : int<16>) -> int<24> { return a + b; }\n\
+        proc P() { }\n\
+        process Main { x = in1; call P(); send Main x; }\n";
+
+    fn rs() -> slif_speclang::ResolvedSpec {
+        parse_and_resolve(SRC).unwrap()
+    }
+
+    #[test]
+    fn scalar_bits_are_type_width() {
+        let rs = rs();
+        assert_eq!(object_access_bits(&rs, "x"), Some(12));
+        assert_eq!(object_access_bits(&rs, "in1"), Some(8));
+    }
+
+    #[test]
+    fn array_bits_add_address_lines() {
+        let rs = rs();
+        // 128 entries → 7 address bits + 8 data = 15 (the paper's Figure 3).
+        assert_eq!(object_access_bits(&rs, "mr1"), Some(15));
+        // 384 entries → 9 address bits + 8 data = 17.
+        assert_eq!(object_access_bits(&rs, "big"), Some(17));
+    }
+
+    #[test]
+    fn call_bits_sum_parameters_and_return() {
+        let rs = rs();
+        let f = match rs.global("F") {
+            Some(GlobalSymbol::Behavior(i)) => i,
+            _ => panic!(),
+        };
+        assert_eq!(call_bits(&rs, f), 8 + 16 + 24);
+        // Parameterless procedure: 1 "go" bit.
+        let p = match rs.global("P") {
+            Some(GlobalSymbol::Behavior(i)) => i,
+            _ => panic!(),
+        };
+        assert_eq!(call_bits(&rs, p), 1);
+        assert_eq!(object_access_bits(&rs, "P"), Some(1));
+    }
+
+    #[test]
+    fn expr_bits_structure() {
+        let rs = rs();
+        let main = match rs.global("Main") {
+            Some(GlobalSymbol::Behavior(i)) => i,
+            _ => panic!(),
+        };
+        let e = |src: &str| {
+            let spec = slif_speclang::parse(&format!("system D;\nconst Z = {src};\n")).unwrap();
+            spec.consts[0].value.clone()
+        };
+        assert_eq!(expr_bits(&rs, main, &e("255")), 8);
+        assert_eq!(expr_bits(&rs, main, &e("256")), 9);
+        assert_eq!(expr_bits(&rs, main, &e("1")), 1);
+        assert_eq!(expr_bits(&rs, main, &e("x + 1")), 12);
+        assert_eq!(expr_bits(&rs, main, &e("x > 1")), 1);
+        assert_eq!(expr_bits(&rs, main, &e("mr1[3]")), 8);
+        assert_eq!(expr_bits(&rs, main, &e("F(1, 2)")), 24);
+    }
+}

@@ -1,0 +1,49 @@
+//! # slif-frontend — building SLIF from specifications
+//!
+//! The front end of the flow: a behavioural specification (parsed and
+//! resolved by `slif-speclang`) plus a technology library
+//! (`slif-techlib`) become a fully annotated SLIF design (`slif-core`),
+//! ready for allocation, partitioning, and estimation. This is the step
+//! the paper's Figure 4 times as "T-slif" — run once at tool start-up.
+//!
+//! * [`build_design`] / [`build_from_source`] — construct the access
+//!   graph, profile access frequencies (inline `prob`/`iters` or an
+//!   external [`Profile`]), compute per-access bits, pre-compile and
+//!   pre-synthesize every behavior for every component class, and tag
+//!   fork-concurrent channels,
+//! * [`build_design_at`] — the paper's granularity knob: the same flow
+//!   with every basic block as its own node,
+//! * [`allocate_proc_asic`] / [`all_software_partition`] — the paper's
+//!   running processor–ASIC target architecture and its natural starting
+//!   partition.
+//!
+//! # Examples
+//!
+//! ```
+//! use slif_frontend::{allocate_proc_asic, all_software_partition, build_design};
+//! use slif_techlib::TechnologyLibrary;
+//!
+//! let entry = slif_speclang::corpus::by_name("fuzzy").unwrap();
+//! let rs = entry.load()?;
+//! let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+//! let arch = allocate_proc_asic(&mut design);
+//! let partition = all_software_partition(&design, arch);
+//! partition.validate(&design)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bits;
+mod build;
+mod granularity;
+mod profile;
+
+pub use bits::{call_bits, expr_bits, object_access_bits};
+pub use build::{
+    all_software_partition, allocate_proc_asic, build_design, build_design_with,
+    build_from_source, BuildOptions, ProcAsicArchitecture,
+};
+pub use granularity::{block_node_name, build_design_at, Granularity};
+pub use profile::{ParseProfileError, Profile};

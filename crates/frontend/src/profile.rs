@@ -1,0 +1,249 @@
+//! External branch-probability files.
+//!
+//! The paper's access frequencies are "determined from a branch
+//! probability file", which "may be obtained manually or through
+//! profiling". Inline `prob`/`iters` annotations in the specification are
+//! the manual path; a [`Profile`] is the file path: it overrides the
+//! annotations of named behaviors without editing the spec.
+//!
+//! File format (line oriented, `#` comments):
+//!
+//! ```text
+//! branch EvaluateRule 0 0.5     # 0-based index of the if within the behavior
+//! loop   AnsMain      0 300     # average iterations of the n-th while
+//! ```
+
+use slif_speclang::ast::{BehaviorDecl, Spec, Stmt};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a profile file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProfileError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profile line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseProfileError {}
+
+/// A set of branch-probability and loop-iteration overrides.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// (behavior, n-th `if`) → probability.
+    branches: HashMap<(String, usize), f64>,
+    /// (behavior, n-th `while`) → average iterations.
+    loops: HashMap<(String, usize), f64>,
+}
+
+impl Profile {
+    /// Creates an empty profile (all inline annotations kept).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a branch-probability override.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= prob <= 1.0`.
+    pub fn set_branch(&mut self, behavior: impl Into<String>, index: usize, prob: f64) {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.branches.insert((behavior.into(), index), prob);
+    }
+
+    /// Adds a loop-iteration override.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `iters` is finite and non-negative.
+    pub fn set_loop(&mut self, behavior: impl Into<String>, index: usize, iters: f64) {
+        assert!(iters.is_finite() && iters >= 0.0, "iterations out of range");
+        self.loops.insert((behavior.into(), index), iters);
+    }
+
+    /// Parses the textual profile format.
+    ///
+    /// # Errors
+    ///
+    /// A [`ParseProfileError`] with a line number for malformed input.
+    pub fn parse(input: &str) -> Result<Self, ParseProfileError> {
+        let mut profile = Profile::new();
+        for (i, raw) in input.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let err = |message: &str| ParseProfileError {
+                line: lineno,
+                message: message.to_owned(),
+            };
+            if toks.len() != 4 {
+                return Err(err("expected `branch|loop <behavior> <index> <value>`"));
+            }
+            let index: usize = toks[2].parse().map_err(|_| err("bad index"))?;
+            let value: f64 = toks[3].parse().map_err(|_| err("bad value"))?;
+            match toks[0] {
+                "branch" => {
+                    if !(0.0..=1.0).contains(&value) {
+                        return Err(err("probability must be within 0..=1"));
+                    }
+                    profile.branches.insert((toks[1].to_owned(), index), value);
+                }
+                "loop" => {
+                    if !value.is_finite() || value < 0.0 {
+                        return Err(err("iterations must be non-negative"));
+                    }
+                    profile.loops.insert((toks[1].to_owned(), index), value);
+                }
+                _ => return Err(err("expected `branch` or `loop`")),
+            }
+        }
+        Ok(profile)
+    }
+
+    /// Returns `true` when no overrides are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty() && self.loops.is_empty()
+    }
+
+    /// Applies the overrides to a spec (in place), rewriting `prob` /
+    /// `iters` annotations of the indexed statements.
+    pub fn apply(&self, spec: &mut Spec) {
+        if self.is_empty() {
+            return;
+        }
+        for behavior in &mut spec.behaviors {
+            let mut counters = Counters::default();
+            let name = behavior.name.clone();
+            apply_to_behavior(self, &name, behavior, &mut counters);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    ifs: usize,
+    whiles: usize,
+}
+
+fn apply_to_behavior(
+    profile: &Profile,
+    name: &str,
+    behavior: &mut BehaviorDecl,
+    counters: &mut Counters,
+) {
+    apply_to_stmts(profile, name, &mut behavior.body, counters);
+}
+
+fn apply_to_stmts(profile: &Profile, name: &str, stmts: &mut [Stmt], counters: &mut Counters) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::If {
+                prob,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let idx = counters.ifs;
+                counters.ifs += 1;
+                if let Some(p) = profile.branches.get(&(name.to_owned(), idx)) {
+                    *prob = Some(*p);
+                }
+                apply_to_stmts(profile, name, then_body, counters);
+                apply_to_stmts(profile, name, else_body, counters);
+            }
+            Stmt::While { iters, body, .. } => {
+                let idx = counters.whiles;
+                counters.whiles += 1;
+                if let Some(n) = profile.loops.get(&(name.to_owned(), idx)) {
+                    *iters = Some(*n);
+                }
+                apply_to_stmts(profile, name, body, counters);
+            }
+            Stmt::For { body, .. } | Stmt::Fork { body, .. } => {
+                apply_to_stmts(profile, name, body, counters);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_speclang::parse;
+
+    const SRC: &str = "system T;\nvar x : int<8>;\n\
+        proc P() {\n\
+          if x > 0 prob 0.5 { x = 1; }\n\
+          while x > 0 iters 10 { if x > 5 { x = x - 1; } }\n\
+        }";
+
+    #[test]
+    fn parse_profile_format() {
+        let p = Profile::parse("# comment\nbranch P 0 0.9\nloop P 0 42\n").unwrap();
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_report_lines() {
+        let e = Profile::parse("branch P x 0.9").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+        assert!(Profile::parse("branch P 0 1.5").is_err());
+        assert!(Profile::parse("loop P 0 -3").is_err());
+        assert!(Profile::parse("frob P 0 1").is_err());
+        assert!(Profile::parse("branch P 0").is_err());
+    }
+
+    #[test]
+    fn apply_overrides_indexed_statements() {
+        let mut spec = parse(SRC).unwrap();
+        let p = Profile::parse("branch P 0 0.9\nbranch P 1 0.25\nloop P 0 100\n").unwrap();
+        p.apply(&mut spec);
+        let body = &spec.behaviors[0].body;
+        let Stmt::If { prob, .. } = &body[0] else {
+            panic!()
+        };
+        assert_eq!(*prob, Some(0.9));
+        let Stmt::While { iters, body, .. } = &body[1] else {
+            panic!()
+        };
+        assert_eq!(*iters, Some(100.0));
+        let Stmt::If { prob, .. } = &body[0] else {
+            panic!()
+        };
+        assert_eq!(*prob, Some(0.25), "nested if is index 1");
+    }
+
+    #[test]
+    fn unmatched_overrides_are_ignored() {
+        let mut spec = parse(SRC).unwrap();
+        let before = spec.clone();
+        let p = Profile::parse("branch Q 0 0.9\nbranch P 7 0.9\n").unwrap();
+        p.apply(&mut spec);
+        assert_eq!(spec, before);
+    }
+
+    #[test]
+    fn empty_profile_is_identity() {
+        let mut spec = parse(SRC).unwrap();
+        let before = spec.clone();
+        Profile::new().apply(&mut spec);
+        assert_eq!(spec, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn setter_validates() {
+        Profile::new().set_branch("P", 0, 2.0);
+    }
+}

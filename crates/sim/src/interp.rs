@@ -1,0 +1,754 @@
+//! The interpreter: round-based execution of a resolved specification.
+//!
+//! Execution model:
+//!
+//! * one **round** runs every `process` once, start to finish, in
+//!   declaration order (the paper's processes "repeat forever"; a round
+//!   is one repetition of each);
+//! * input ports sample the stimulus **per read**: the n-th read of a
+//!   port anywhere in the run sees the stimulus's n-th value, so a loop
+//!   polling a port observes a changing signal (and terminates when the
+//!   stimulus says so); output-port writes are recorded in order;
+//! * `send` enqueues into the target process's mailbox; `receive` pops
+//!   (zero when empty);
+//! * `wait n` advances the simulated clock;
+//! * array indices wrap modulo the array length (out-of-range accesses
+//!   are counted and reported);
+//! * `while` loops and call depth are guarded so a mis-specified system
+//!   terminates with an error instead of hanging.
+//!
+//! Besides functional outputs, the simulator counts every system-level
+//! access — exactly the events SLIF channels model — so profiled
+//! `accfreq` annotations can be validated against dynamic behaviour.
+
+use crate::stimulus::Stimulus;
+use slif_speclang::ast::{BehaviorKind, BinOp, Expr, LValue, Stmt, UnOp};
+use slif_speclang::{GlobalSymbol, LocalSymbol, ResolvedSpec, Symbol};
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Simulation limits and length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of rounds to run.
+    pub rounds: u64,
+    /// Maximum iterations of any single `while` loop execution.
+    pub max_loop_iters: u64,
+    /// Maximum nested call depth.
+    pub max_call_depth: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 16,
+            max_loop_iters: 100_000,
+            max_call_depth: 64,
+        }
+    }
+}
+
+/// Error during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A `while` loop exceeded the iteration guard.
+    LoopGuard {
+        /// The behavior containing the loop.
+        behavior: String,
+    },
+    /// Calls nested deeper than the guard (runaway recursion through
+    /// function values cannot happen — resolution forbids recursion — but
+    /// the guard also bounds legitimate deep chains).
+    CallDepth {
+        /// The behavior whose call overflowed.
+        behavior: String,
+    },
+    /// Division or remainder by zero.
+    DivideByZero {
+        /// The behavior evaluating the expression.
+        behavior: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::LoopGuard { behavior } => {
+                write!(f, "while loop in `{behavior}` exceeded the iteration guard")
+            }
+            SimError::CallDepth { behavior } => {
+                write!(f, "call depth exceeded in `{behavior}`")
+            }
+            SimError::DivideByZero { behavior } => {
+                write!(f, "division by zero in `{behavior}`")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The observable outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SimResult {
+    /// Values written to each output port, in write order.
+    pub port_writes: HashMap<String, Vec<i64>>,
+    /// Final values of system-level scalar variables.
+    pub finals: HashMap<String, i64>,
+    /// Dynamic access counts per (behavior, accessed object).
+    pub access_counts: HashMap<(String, String), u64>,
+    /// Completed start-to-finish executions per behavior.
+    pub executions: HashMap<String, u64>,
+    /// Simulated time accumulated by `wait` statements.
+    pub sim_time: u64,
+    /// Array accesses whose index wrapped (out of declared range).
+    pub wrapped_indices: u64,
+}
+
+impl SimResult {
+    /// Dynamic accesses of `target` per execution of `behavior` — the
+    /// measured counterpart of a SLIF channel's `accfreq`.
+    pub fn accesses_per_execution(&self, behavior: &str, target: &str) -> Option<f64> {
+        let count = *self
+            .access_counts
+            .get(&(behavior.to_owned(), target.to_owned()))?;
+        let execs = *self.executions.get(behavior)?;
+        if execs == 0 {
+            return None;
+        }
+        Some(count as f64 / execs as f64)
+    }
+}
+
+/// Runs a resolved specification against a stimulus.
+///
+/// # Errors
+///
+/// A [`SimError`] if a guard trips or an arithmetic fault occurs.
+///
+/// # Examples
+///
+/// ```
+/// use slif_sim::{simulate, SimConfig, Stimulus, PortStimulus};
+///
+/// let rs = slif_speclang::parse_and_resolve(
+///     "system T;\nport i : in int<8>;\nport o : out int<8>;\n\
+///      var acc : int<16>;\n\
+///      process Main { acc = acc + i; o = acc; }",
+/// )?;
+/// let stim = Stimulus::new().with_port("i", PortStimulus::Constant(2));
+/// let result = simulate(&rs, &stim, SimConfig { rounds: 3, ..SimConfig::default() })?;
+/// assert_eq!(result.port_writes["o"], vec![2, 4, 6]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate(
+    rs: &ResolvedSpec,
+    stimulus: &Stimulus,
+    config: SimConfig,
+) -> Result<SimResult, SimError> {
+    let mut interp = Interp::new(rs, stimulus, config);
+    for round in 0..config.rounds {
+        interp.round = round;
+        for (i, b) in rs.spec().behaviors.iter().enumerate() {
+            if b.kind == BehaviorKind::Process {
+                interp.run_behavior(i, &[])?;
+            }
+        }
+    }
+    Ok(interp.into_result())
+}
+
+/// A storage cell: scalar or array.
+#[derive(Debug, Clone)]
+enum Cell {
+    Scalar(i64),
+    Array(Vec<i64>),
+}
+
+struct Interp<'a> {
+    rs: &'a ResolvedSpec,
+    stimulus: &'a Stimulus,
+    config: SimConfig,
+    round: u64,
+    globals: Vec<Cell>,
+    mailboxes: HashMap<String, VecDeque<i64>>,
+    /// Per-port read counters: the n-th read samples the stimulus at n.
+    port_ticks: HashMap<String, u64>,
+    result: SimResult,
+    call_depth: u32,
+}
+
+/// One behavior activation's local frame.
+struct Frame {
+    behavior: usize,
+    locals: Vec<Cell>,
+    params: Vec<i64>,
+    loop_vars: Vec<(String, i64)>,
+    return_value: Option<i64>,
+}
+
+impl<'a> Interp<'a> {
+    fn new(rs: &'a ResolvedSpec, stimulus: &'a Stimulus, config: SimConfig) -> Self {
+        let globals = rs
+            .spec()
+            .vars
+            .iter()
+            .map(|v| match v.ty.storage() {
+                (1, _) => Cell::Scalar(0),
+                (words, _) => Cell::Array(vec![0; words as usize]),
+            })
+            .collect();
+        Self {
+            rs,
+            stimulus,
+            config,
+            round: 0,
+            globals,
+            mailboxes: HashMap::new(),
+            port_ticks: HashMap::new(),
+            result: SimResult {
+                port_writes: HashMap::new(),
+                finals: HashMap::new(),
+                access_counts: HashMap::new(),
+                executions: HashMap::new(),
+                sim_time: 0,
+                wrapped_indices: 0,
+            },
+            call_depth: 0,
+        }
+    }
+
+    fn into_result(mut self) -> SimResult {
+        for (i, v) in self.rs.spec().vars.iter().enumerate() {
+            if let Cell::Scalar(val) = self.globals[i] {
+                self.result.finals.insert(v.name.clone(), val);
+            }
+        }
+        self.result
+    }
+
+    fn count_access(&mut self, behavior: usize, target: &str) {
+        let key = (
+            self.rs.spec().behaviors[behavior].name.clone(),
+            target.to_owned(),
+        );
+        *self.result.access_counts.entry(key).or_insert(0) += 1;
+    }
+
+    fn run_behavior(&mut self, behavior: usize, args: &[i64]) -> Result<i64, SimError> {
+        if self.call_depth >= self.config.max_call_depth {
+            return Err(SimError::CallDepth {
+                behavior: self.rs.spec().behaviors[behavior].name.clone(),
+            });
+        }
+        self.call_depth += 1;
+        let decl = &self.rs.spec().behaviors[behavior];
+        let locals = decl
+            .locals
+            .iter()
+            .map(|v| match v.ty.storage() {
+                (1, _) => Cell::Scalar(0),
+                (words, _) => Cell::Array(vec![0; words as usize]),
+            })
+            .collect();
+        let mut frame = Frame {
+            behavior,
+            locals,
+            params: args.to_vec(),
+            loop_vars: Vec::new(),
+            return_value: None,
+        };
+        self.exec_body(&decl.body, &mut frame)?;
+        self.call_depth -= 1;
+        *self.result.executions.entry(decl.name.clone()).or_insert(0) += 1;
+        Ok(frame.return_value.unwrap_or(0))
+    }
+
+    fn exec_body(&mut self, body: &[Stmt], frame: &mut Frame) -> Result<(), SimError> {
+        for stmt in body {
+            if frame.return_value.is_some() {
+                return Ok(());
+            }
+            self.exec_stmt(stmt, frame)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<(), SimError> {
+        match stmt {
+            Stmt::Assign { lhs, value, .. } => {
+                let v = self.eval(value, frame)?;
+                self.store(lhs, v, frame)?;
+            }
+            Stmt::Call { callee, args, .. } => {
+                let vals = self.eval_args(args, frame)?;
+                let target = self.behavior_index(callee);
+                self.count_access(frame.behavior, callee);
+                self.run_behavior(target, &vals)?;
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                if self.eval(cond, frame)? != 0 {
+                    self.exec_body(then_body, frame)?;
+                } else {
+                    self.exec_body(else_body, frame)?;
+                }
+            }
+            Stmt::For {
+                var, lo, hi, body, ..
+            } => {
+                let l = self.eval(lo, frame)?;
+                let h = self.eval(hi, frame)?;
+                frame.loop_vars.push((var.clone(), l));
+                for i in l..=h {
+                    frame.loop_vars.last_mut().expect("just pushed").1 = i;
+                    self.exec_body(body, frame)?;
+                    if frame.return_value.is_some() {
+                        break;
+                    }
+                }
+                frame.loop_vars.pop();
+            }
+            Stmt::While { cond, body, .. } => {
+                let mut iters = 0u64;
+                while self.eval(cond, frame)? != 0 {
+                    self.exec_body(body, frame)?;
+                    if frame.return_value.is_some() {
+                        break;
+                    }
+                    iters += 1;
+                    if iters >= self.config.max_loop_iters {
+                        return Err(SimError::LoopGuard {
+                            behavior: self.rs.spec().behaviors[frame.behavior].name.clone(),
+                        });
+                    }
+                }
+            }
+            Stmt::Fork { body, .. } => {
+                // Functionally, fork/join runs its calls to completion;
+                // concurrency only matters for timing, which the
+                // estimators model.
+                self.exec_body(body, frame)?;
+            }
+            Stmt::Send { target, value, .. } => {
+                let v = self.eval(value, frame)?;
+                self.count_access(frame.behavior, target);
+                self.mailboxes
+                    .entry(target.clone())
+                    .or_default()
+                    .push_back(v);
+            }
+            Stmt::Receive { lhs, .. } => {
+                let me = self.rs.spec().behaviors[frame.behavior].name.clone();
+                let v = self
+                    .mailboxes
+                    .entry(me)
+                    .or_default()
+                    .pop_front()
+                    .unwrap_or(0);
+                self.store(lhs, v, frame)?;
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => self.eval(e, frame)?,
+                    None => 0,
+                };
+                frame.return_value = Some(v);
+            }
+            Stmt::Wait { amount, .. } => {
+                self.result.sim_time += amount;
+            }
+        }
+        Ok(())
+    }
+
+    fn store(&mut self, lhs: &LValue, value: i64, frame: &mut Frame) -> Result<(), SimError> {
+        let name = lhs.name().to_owned();
+        let index = match lhs {
+            LValue::Index { index, .. } => Some(self.eval(index, frame)?),
+            LValue::Name { .. } => None,
+        };
+        // Loop variables are unassignable (checked); locals/params first.
+        match self.rs.lookup(frame.behavior, &name) {
+            Some(Symbol::Local(LocalSymbol::Param(i))) => {
+                frame.params[i] = value;
+            }
+            Some(Symbol::Local(LocalSymbol::Local(i))) => {
+                write_cell(
+                    &mut frame.locals[i],
+                    index,
+                    value,
+                    &mut self.result.wrapped_indices,
+                );
+            }
+            Some(Symbol::Global(GlobalSymbol::Var(i))) => {
+                self.count_access(frame.behavior, &name);
+                write_cell(
+                    &mut self.globals[i],
+                    index,
+                    value,
+                    &mut self.result.wrapped_indices,
+                );
+            }
+            Some(Symbol::Global(GlobalSymbol::Port(i))) => {
+                self.count_access(frame.behavior, &name);
+                let port = self.rs.spec().ports[i].name.clone();
+                self.result.port_writes.entry(port).or_default().push(value);
+            }
+            other => unreachable!("resolution rejects stores to {other:?}"),
+        }
+        Ok(())
+    }
+
+    fn eval_args(&mut self, args: &[Expr], frame: &mut Frame) -> Result<Vec<i64>, SimError> {
+        args.iter().map(|a| self.eval(a, frame)).collect()
+    }
+
+    fn behavior_index(&self, name: &str) -> usize {
+        match self.rs.global(name) {
+            Some(GlobalSymbol::Behavior(i)) => i,
+            other => unreachable!("resolution bound `{name}` to {other:?}"),
+        }
+    }
+
+    fn eval(&mut self, expr: &Expr, frame: &mut Frame) -> Result<i64, SimError> {
+        match expr {
+            Expr::Int { value, .. } => Ok(*value as i64),
+            Expr::Bool { value, .. } => Ok(i64::from(*value)),
+            Expr::Name { name, .. } => {
+                if let Some(&(_, v)) = frame.loop_vars.iter().rev().find(|(n, _)| n == name) {
+                    return Ok(v);
+                }
+                match self.rs.lookup(frame.behavior, name) {
+                    Some(Symbol::Local(LocalSymbol::Param(i))) => Ok(frame.params[i]),
+                    Some(Symbol::Local(LocalSymbol::Local(i))) => Ok(read_cell(
+                        &frame.locals[i],
+                        None,
+                        &mut self.result.wrapped_indices,
+                    )),
+                    Some(Symbol::Global(GlobalSymbol::Var(i))) => {
+                        self.count_access(frame.behavior, name);
+                        Ok(read_cell(
+                            &self.globals[i],
+                            None,
+                            &mut self.result.wrapped_indices,
+                        ))
+                    }
+                    Some(Symbol::Global(GlobalSymbol::Const(v))) => Ok(v),
+                    Some(Symbol::Global(GlobalSymbol::Port(_))) => {
+                        self.count_access(frame.behavior, name);
+                        let tick = self.port_ticks.entry(name.clone()).or_insert(0);
+                        let value = self.stimulus.value(name, *tick);
+                        *tick += 1;
+                        Ok(value)
+                    }
+                    other => unreachable!("resolution bound `{name}` to {other:?}"),
+                }
+            }
+            Expr::Index { name, index, .. } => {
+                let i = self.eval(index, frame)?;
+                match self.rs.lookup(frame.behavior, name) {
+                    Some(Symbol::Local(LocalSymbol::Local(l))) => Ok(read_cell(
+                        &frame.locals[l],
+                        Some(i),
+                        &mut self.result.wrapped_indices,
+                    )),
+                    Some(Symbol::Global(GlobalSymbol::Var(g))) => {
+                        self.count_access(frame.behavior, name);
+                        Ok(read_cell(
+                            &self.globals[g],
+                            Some(i),
+                            &mut self.result.wrapped_indices,
+                        ))
+                    }
+                    other => unreachable!("resolution bound `{name}` to {other:?}"),
+                }
+            }
+            Expr::Call { callee, args, .. } => {
+                let vals = self.eval_args(args, frame)?;
+                match callee.as_str() {
+                    "min" => Ok(vals[0].min(vals[1])),
+                    "max" => Ok(vals[0].max(vals[1])),
+                    "abs" => Ok(vals[0].wrapping_abs()),
+                    _ => {
+                        let target = self.behavior_index(callee);
+                        self.count_access(frame.behavior, callee);
+                        self.run_behavior(target, &vals)
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let l = self.eval(lhs, frame)?;
+                let r = self.eval(rhs, frame)?;
+                let behavior = || self.rs.spec().behaviors[frame.behavior].name.clone();
+                Ok(match op {
+                    BinOp::Add => l.wrapping_add(r),
+                    BinOp::Sub => l.wrapping_sub(r),
+                    BinOp::Mul => l.wrapping_mul(r),
+                    BinOp::Div => {
+                        if r == 0 {
+                            return Err(SimError::DivideByZero {
+                                behavior: behavior(),
+                            });
+                        }
+                        l.wrapping_div(r)
+                    }
+                    BinOp::Rem => {
+                        if r == 0 {
+                            return Err(SimError::DivideByZero {
+                                behavior: behavior(),
+                            });
+                        }
+                        l.wrapping_rem(r)
+                    }
+                    BinOp::Eq => i64::from(l == r),
+                    BinOp::Ne => i64::from(l != r),
+                    BinOp::Lt => i64::from(l < r),
+                    BinOp::Le => i64::from(l <= r),
+                    BinOp::Gt => i64::from(l > r),
+                    BinOp::Ge => i64::from(l >= r),
+                    BinOp::And => i64::from(l != 0 && r != 0),
+                    BinOp::Or => i64::from(l != 0 || r != 0),
+                })
+            }
+            Expr::Unary { op, operand, .. } => {
+                let v = self.eval(operand, frame)?;
+                Ok(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => i64::from(v == 0),
+                })
+            }
+        }
+    }
+}
+
+fn read_cell(cell: &Cell, index: Option<i64>, wrapped: &mut u64) -> i64 {
+    match (cell, index) {
+        (Cell::Scalar(v), None) => *v,
+        (Cell::Array(values), Some(i)) => {
+            let len = values.len() as i64;
+            let wrapped_i = i.rem_euclid(len);
+            if wrapped_i != i {
+                *wrapped += 1;
+            }
+            values[wrapped_i as usize]
+        }
+        (Cell::Array(values), None) => values.first().copied().unwrap_or(0),
+        (Cell::Scalar(v), Some(_)) => *v,
+    }
+}
+
+fn write_cell(cell: &mut Cell, index: Option<i64>, value: i64, wrapped: &mut u64) {
+    match (cell, index) {
+        (Cell::Scalar(v), _) => *v = value,
+        (Cell::Array(values), Some(i)) => {
+            let len = values.len() as i64;
+            let wrapped_i = i.rem_euclid(len);
+            if wrapped_i != i {
+                *wrapped += 1;
+            }
+            values[wrapped_i as usize] = value;
+        }
+        (Cell::Array(values), None) => {
+            if let Some(first) = values.first_mut() {
+                *first = value;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::PortStimulus;
+    use slif_speclang::parse_and_resolve;
+
+    fn sim(src: &str, stim: Stimulus, rounds: u64) -> SimResult {
+        let rs = parse_and_resolve(src).expect("spec loads");
+        simulate(
+            &rs,
+            &stim,
+            SimConfig {
+                rounds,
+                ..SimConfig::default()
+            },
+        )
+        .expect("simulation succeeds")
+    }
+
+    #[test]
+    fn accumulator_counts_up() {
+        let r = sim(
+            "system T;\nport i : in int<8>;\nport o : out int<8>;\n\
+             var acc : int<16>;\nprocess Main { acc = acc + i; o = acc; }",
+            Stimulus::new().with_port("i", PortStimulus::Constant(3)),
+            4,
+        );
+        assert_eq!(r.port_writes["o"], vec![3, 6, 9, 12]);
+        assert_eq!(r.finals["acc"], 12);
+        assert_eq!(r.executions["Main"], 4);
+    }
+
+    #[test]
+    fn sequence_stimulus_drives_rounds() {
+        let r = sim(
+            "system T;\nport i : in int<8>;\nport o : out int<8>;\nprocess Main { o = i * 2; }",
+            Stimulus::new().with_port("i", PortStimulus::Sequence(vec![1, 5])),
+            4,
+        );
+        assert_eq!(r.port_writes["o"], vec![2, 10, 2, 10]);
+    }
+
+    #[test]
+    fn calls_functions_and_builtins() {
+        let r = sim(
+            "system T;\nport o : out int<8>;\n\
+             func F(a : int<8>) -> int<8> { return max(a, 10) + abs(0 - 2); }\n\
+             process Main { o = F(3); }",
+            Stimulus::new(),
+            1,
+        );
+        assert_eq!(r.port_writes["o"], vec![12]);
+        assert_eq!(r.executions["F"], 1);
+    }
+
+    #[test]
+    fn arrays_and_loops() {
+        let r = sim(
+            "system T;\nport o : out int<16>;\nvar a : int<8>[8];\nvar s : int<16>;\n\
+             process Main {\n\
+               for i in 0 .. 7 { a[i] = i * i; }\n\
+               s = 0;\n\
+               for i in 0 .. 7 { s = s + a[i]; }\n\
+               o = s;\n\
+             }",
+            Stimulus::new(),
+            1,
+        );
+        // Σ i² for i in 0..=7 = 140.
+        assert_eq!(r.port_writes["o"], vec![140]);
+    }
+
+    #[test]
+    fn messages_flow_between_processes() {
+        let r = sim(
+            "system T;\nport o : out int<8>;\nvar x : int<8>;\n\
+             process A { send B 42; }\n\
+             process B { receive x; o = x; }",
+            Stimulus::new(),
+            2,
+        );
+        // A runs before B each round, so B sees the message same-round.
+        assert_eq!(r.port_writes["o"], vec![42, 42]);
+    }
+
+    #[test]
+    fn receive_on_empty_mailbox_yields_zero() {
+        let r = sim(
+            "system T;\nport o : out int<8>;\nvar x : int<8>;\n\
+             process B { receive x; o = x + 1; }",
+            Stimulus::new(),
+            1,
+        );
+        assert_eq!(r.port_writes["o"], vec![1]);
+    }
+
+    #[test]
+    fn while_loops_run_to_condition() {
+        let r = sim(
+            "system T;\nport o : out int<8>;\nvar n : int<8>;\n\
+             process Main { n = 5; while n > 0 iters 5 { n = n - 1; } o = n; }",
+            Stimulus::new(),
+            1,
+        );
+        assert_eq!(r.port_writes["o"], vec![0]);
+    }
+
+    #[test]
+    fn loop_guard_trips_on_nontermination() {
+        let rs = parse_and_resolve(
+            "system T;\nvar n : int<8>;\nprocess Main { n = 1; while n > 0 { n = 1; } }",
+        )
+        .unwrap();
+        let err = simulate(
+            &rs,
+            &Stimulus::new(),
+            SimConfig {
+                rounds: 1,
+                max_loop_iters: 100,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::LoopGuard { .. }));
+    }
+
+    #[test]
+    fn divide_by_zero_reported() {
+        let rs = parse_and_resolve(
+            "system T;\nvar a : int<8>;\nvar b : int<8>;\nprocess Main { a = 1 / b; }",
+        )
+        .unwrap();
+        let err = simulate(&rs, &Stimulus::new(), SimConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::DivideByZero { .. }));
+    }
+
+    #[test]
+    fn access_counts_match_structure() {
+        let r = sim(
+            "system T;\nvar x : int<8>;\nvar y : int<8>;\n\
+             proc P() { y = x; }\n\
+             process Main { call P(); call P(); x = 1; }",
+            Stimulus::new(),
+            3,
+        );
+        // Main calls P twice per round, 3 rounds.
+        assert_eq!(r.access_counts[&("Main".into(), "P".into())], 6);
+        assert_eq!(r.access_counts[&("P".into(), "x".into())], 6);
+        assert_eq!(r.accesses_per_execution("Main", "P"), Some(2.0));
+        assert_eq!(r.accesses_per_execution("P", "x"), Some(1.0));
+        assert_eq!(r.accesses_per_execution("Main", "missing"), None);
+    }
+
+    #[test]
+    fn out_of_range_indices_wrap_and_count() {
+        let r = sim(
+            "system T;\nport o : out int<8>;\nvar a : int<8>[4];\n\
+             process Main { a[5] = 9; o = a[1]; }",
+            Stimulus::new(),
+            1,
+        );
+        assert_eq!(r.port_writes["o"], vec![9]);
+        assert_eq!(r.wrapped_indices, 1);
+    }
+
+    #[test]
+    fn waits_accumulate_sim_time() {
+        let r = sim("system T;\nprocess Main { wait 50; }", Stimulus::new(), 4);
+        assert_eq!(r.sim_time, 200);
+    }
+
+    #[test]
+    fn early_return_skips_rest() {
+        let r = sim(
+            "system T;\nport o : out int<8>;\nvar x : int<8>;\n\
+             func F(v : int<8>) -> int<8> {\n\
+               if v > 0 { return 1; }\n\
+               x = 99;\n\
+               return 0;\n\
+             }\n\
+             process Main { o = F(5); }",
+            Stimulus::new(),
+            1,
+        );
+        assert_eq!(r.port_writes["o"], vec![1]);
+        assert_eq!(r.finals["x"], 0, "statements after return must not run");
+    }
+}

@@ -1,0 +1,107 @@
+//! Input-port stimulus for simulation runs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How an input port behaves over successive reads (the n-th read of the
+/// port anywhere in the run samples index n).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PortStimulus {
+    /// The port holds one value forever.
+    Constant(i64),
+    /// The port cycles through a sequence, one value per read.
+    Sequence(Vec<i64>),
+    /// The port ramps: `start + read_index × step`.
+    Ramp {
+        /// Value of the first read.
+        start: i64,
+        /// Increment per read.
+        step: i64,
+    },
+}
+
+impl PortStimulus {
+    /// The port's value at the given read index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Sequence` stimulus is empty.
+    pub fn value_at(&self, round: u64) -> i64 {
+        match self {
+            PortStimulus::Constant(v) => *v,
+            PortStimulus::Sequence(values) => {
+                assert!(!values.is_empty(), "empty stimulus sequence");
+                values[(round as usize) % values.len()]
+            }
+            PortStimulus::Ramp { start, step } => {
+                start.wrapping_add(step.wrapping_mul(round as i64))
+            }
+        }
+    }
+}
+
+/// A full stimulus: per-port behaviours, defaulting to zero for ports
+/// without one.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stimulus {
+    ports: HashMap<String, PortStimulus>,
+}
+
+impl Stimulus {
+    /// Creates an empty stimulus (every input reads as zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a port's behaviour (builder style).
+    pub fn with_port(mut self, name: impl Into<String>, s: PortStimulus) -> Self {
+        self.ports.insert(name.into(), s);
+        self
+    }
+
+    /// The value observed by the `tick`-th read of `port` (zero when
+    /// unspecified).
+    pub fn value(&self, port: &str, tick: u64) -> i64 {
+        self.ports.get(port).map_or(0, |s| s.value_at(tick))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_holds() {
+        let s = PortStimulus::Constant(7);
+        assert_eq!(s.value_at(0), 7);
+        assert_eq!(s.value_at(99), 7);
+    }
+
+    #[test]
+    fn sequence_cycles() {
+        let s = PortStimulus::Sequence(vec![1, 2, 3]);
+        assert_eq!(s.value_at(0), 1);
+        assert_eq!(s.value_at(2), 3);
+        assert_eq!(s.value_at(3), 1);
+    }
+
+    #[test]
+    fn ramp_increments() {
+        let s = PortStimulus::Ramp { start: 10, step: 5 };
+        assert_eq!(s.value_at(0), 10);
+        assert_eq!(s.value_at(4), 30);
+    }
+
+    #[test]
+    fn unspecified_ports_read_zero() {
+        let s = Stimulus::new().with_port("a", PortStimulus::Constant(1));
+        assert_eq!(s.value("a", 3), 1);
+        assert_eq!(s.value("b", 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stimulus")]
+    fn empty_sequence_panics() {
+        PortStimulus::Sequence(vec![]).value_at(0);
+    }
+}

@@ -1,0 +1,249 @@
+-- ans: a telephone answering machine.
+--
+-- One of the four benchmark systems of the SLIF paper's Figure 4 (632
+-- lines of VHDL, 45 behavior/variable objects, 64 channels). The machine
+-- monitors the phone line for rings, answers after a configurable count,
+-- plays the outgoing greeting, records incoming messages into a digital
+-- message store, supports local playback/delete through the front-panel
+-- buttons, and accepts a remote-access code dialled in DTMF tones.
+
+system AnsweringMachine;
+
+-- Line interface.
+port line_sample : in int<8>;
+port ring_detect : in int<1>;
+port hook_ctl : out int<1>;
+port speaker : out int<8>;
+
+-- Front panel.
+port buttons : in int<4>;
+port display7 : out int<8>;
+port msg_led : out int<1>;
+
+-- Ring and call state.
+var ring_count : int<8>;
+var rings_to_answer : int<8>;
+var line_active : bool;
+var call_timer : int<16>;
+
+-- Outgoing greeting and the digital message store.
+var greeting : int<8>[256];
+var greeting_len : int<16>;
+var msg_store : int<8>[2048];
+var msg_index : int<16>[16];
+var msg_len : int<16>[16];
+var msg_count : int<8>;
+var write_ptr : int<16>;
+var play_ptr : int<16>;
+var current_msg : int<8>;
+
+-- Recording state.
+var rec_active : bool;
+var rec_time : int<16>;
+var max_rec_time : int<16>;
+var silence_count : int<16>;
+var silence_limit : int<16>;
+
+-- DTMF remote access.
+var dtmf_val : int<4>;
+var dtmf_valid : bool;
+var remote_code : int<4>[4];
+var entered_code : int<4>[4];
+var code_pos : int<8>;
+var code_ok : bool;
+
+-- User interface state (volume_setting, led_on, call_timer, msg_len, and
+-- greeting_len are host/factory-visible registers latched externally).
+var button_state : int<4>;
+var last_button : int<4>;
+var display_code : int<8>;
+var led_on : bool;
+var volume_setting : int<4>;
+var beep_freq : int<8>;
+
+-- Detect a ring edge on the line and count it.
+proc DetectRing() {
+  if ring_detect == 1 prob 0.1 {
+    ring_count = ring_count + 1;
+  } else {
+    ring_count = 0;
+  }
+}
+
+-- Go off-hook and start the call timer.
+proc AnswerCall() {
+  hook_ctl = 1;
+  line_active = true;
+  ring_count = 0;
+}
+
+-- Hang up.
+proc HangUp() {
+  hook_ctl = 0;
+  line_active = false;
+}
+
+-- Play the outgoing greeting to the line.
+proc PlayGreeting() {
+  for i in 0 .. 255 {
+    if i < 200 prob 0.8 {
+      speaker = greeting[i];
+    }
+  }
+}
+
+-- Record one sample of the incoming message; track silence for auto-stop
+-- and watch for DTMF tones from a remote caller.
+proc RecordSample() {
+  var s : int<8>;
+  s = line_sample;
+  msg_store[write_ptr % 2048] = s;
+  write_ptr = write_ptr + 1;
+  rec_time = rec_time + 1;
+  if abs(s - 128) < 4 prob 0.3 {
+    silence_count = silence_count + 1;
+  } else {
+    silence_count = 0;
+  }
+  dtmf_val = DecodeDtmf(s);
+  if dtmf_val != 0 prob 0.05 {
+    call CheckRemoteCode();
+  }
+  if silence_count > silence_limit prob 0.02 {
+    call FinishRecording();
+  }
+  if rec_time > max_rec_time prob 0.01 {
+    call FinishRecording();
+  }
+}
+
+-- Close out the message being recorded and index it.
+proc FinishRecording() {
+  msg_index[msg_count % 16] = write_ptr;
+  msg_count = msg_count + 1;
+  rec_active = false;
+  rec_time = 0;
+  call BeepTone(1);
+}
+
+-- Play back one stored message through the speaker.
+proc PlayMessage(which : int<8>) {
+  var base : int<16>;
+  var len : int<16>;
+  base = msg_index[which % 16];
+  len = 128;
+  play_ptr = base;
+  while play_ptr < base + len iters 400 {
+    speaker = msg_store[play_ptr % 2048];
+    play_ptr = play_ptr + 1;
+  }
+}
+
+-- Delete all stored messages.
+proc DeleteMessages() {
+  msg_count = 0;
+  write_ptr = 0;
+  current_msg = 0;
+}
+
+-- Decode a DTMF pair from the current line sample (quick table model).
+func DecodeDtmf(s : int<8>) -> int<4> {
+  if s > 200 prob 0.1 {
+    return (s - 200) % 16;
+  }
+  return 0;
+}
+
+-- Accumulate remote-access digits, validate the code, and open a remote
+-- session when it matches.
+proc CheckRemoteCode() {
+  entered_code[code_pos % 4] = dtmf_val;
+  code_pos = code_pos + 1;
+  if code_pos >= 4 prob 0.25 {
+    code_ok = true;
+    for d in 0 .. 3 {
+      if entered_code[d] != remote_code[d] prob 0.5 {
+        code_ok = false;
+      }
+    }
+    code_pos = 0;
+    if code_ok prob 0.3 {
+      send RemoteSession 1;
+    }
+  }
+}
+
+-- Emit a confirmation beep pattern.
+proc BeepTone(n : int<8>) {
+  for b in 0 .. 7 {
+    if b < 4 prob 0.5 {
+      speaker = beep_freq + n * 8;
+    } else {
+      speaker = 0;
+    }
+  }
+}
+
+-- Refresh the 7-segment display with the message count or an error code.
+proc UpdateDisplay() {
+  if msg_count > 0 prob 0.6 {
+    display_code = msg_count;
+    msg_led = 1;
+  } else {
+    display_code = 0;
+    msg_led = 0;
+  }
+  display7 = display_code;
+}
+
+-- The call-handling controller.
+process AnsMain {
+  call DetectRing();
+  if ring_count >= rings_to_answer prob 0.05 {
+    call AnswerCall();
+    call PlayGreeting();
+    rec_active = true;
+    while rec_active iters 300 {
+      call RecordSample();
+    }
+    call HangUp();
+    send PanelMain ring_count;
+  }
+  wait 10;
+}
+
+-- Remote-access session: play messages to the caller over the line.
+process RemoteSession {
+  var cmd : int<4>;
+  receive cmd;
+  for m in 0 .. 15 {
+    if m < 3 prob 0.2 {
+      call PlayMessage(m);
+    }
+  }
+  code_ok = false;
+  wait 10;
+}
+
+-- Front-panel controller: buttons drive playback, delete, volume.
+process PanelMain {
+  var note : int<8>;
+  receive note;
+  button_state = buttons;
+  if button_state != last_button prob 0.2 {
+    if button_state == 1 prob 0.4 {
+      call PlayMessage(current_msg);
+      current_msg = current_msg + 1;
+    } else if button_state == 2 prob 0.3 {
+      call DeleteMessages();
+    } else if button_state == 8 prob 0.1 {
+      rings_to_answer = rings_to_answer + 1;
+      if rings_to_answer > 9 prob 0.2 {
+        rings_to_answer = 2;
+      }
+    }
+  }
+  last_button = button_state;
+  call UpdateDisplay();
+  wait 25;
+}

@@ -1,0 +1,457 @@
+-- ether: an ethernet coprocessor.
+--
+-- The largest of the four benchmark systems in the SLIF paper's Figure 4
+-- (1021 lines of VHDL, 123 behavior/variable objects, 112 channels). The
+-- coprocessor implements the 10 Mb/s MAC datapath: frame transmission
+-- with preamble/CRC generation, CSMA/CD collision handling with binary
+-- exponential backoff, frame reception with address filtering and CRC
+-- checking, a descriptor-based DMA engine toward host memory, an MII
+-- management interface to the PHY, and the usual pile of control/status
+-- registers and statistics counters. The register file dominates the
+-- object count — most CSRs are touched by only one or two behaviors —
+-- which is why this example has more objects (123) than channels (112).
+
+system EtherCoprocessor;
+
+-- Host bus interface.
+port host_data : in int<32>;
+port host_addr : in int<8>;
+port host_wr : in int<1>;
+port host_out : out int<32>;
+port intr : out int<1>;
+
+-- Medium interface (serial side).
+port phy_rx : in int<8>;
+port phy_tx : out int<8>;
+port phy_crs : in int<1>;
+port phy_col : in int<1>;
+port mdio_in : in int<1>;
+port mdio_out : out int<1>;
+
+-- === Station address and multicast filter ===
+var mac_addr : int<8>[6];
+var mcast_hash : int<8>[8];
+
+-- === Frame buffers and FIFOs ===
+var tx_buffer : int<8>[1536];
+var rx_buffer : int<8>[1536];
+var tx_fifo : int<8>[64];
+var rx_fifo : int<8>[64];
+
+-- === Buffer pointers ===
+var tx_len : int<16>;
+var rx_len : int<16>;
+var tx_ptr : int<16>;
+var rx_ptr : int<16>;
+var tx_head : int<8>;
+var tx_tail : int<8>;
+var rx_head : int<8>;
+var rx_tail : int<8>;
+
+-- === CRC engine ===
+var crc_acc : int<32>;
+var crc_table : int<32>[256];
+
+-- === Engine states ===
+var tx_state : int<4>;
+var rx_state : int<4>;
+var dma_state : int<4>;
+var mii_state : int<4>;
+
+-- === Control and status registers ===
+var csr_ctrl : int<32>;
+var csr_status : int<32>;
+var csr_intr_mask : int<32>;
+var csr_intr_stat : int<32>;
+var csr_tx_desc : int<32>;
+var csr_rx_desc : int<32>;
+var csr_dma_addr : int<32>;
+var csr_dma_len : int<16>;
+var csr_mode : int<32>;
+var csr_duplex : int<1>;
+var csr_speed : int<2>;
+var csr_fctrl : int<16>;
+
+-- === Statistics counters ===
+var cnt_tx_ok : int<32>;
+var cnt_tx_err : int<16>;
+var cnt_tx_col : int<16>;
+var cnt_tx_defer : int<16>;
+var cnt_rx_ok : int<32>;
+var cnt_rx_err : int<16>;
+var cnt_rx_crc : int<16>;
+var cnt_rx_align : int<16>;
+var cnt_rx_long : int<16>;
+var cnt_rx_short : int<16>;
+var cnt_octets_tx : int<32>;
+var cnt_octets_rx : int<32>;
+var cnt_rx_missed : int<16>;
+
+-- === Collision handling and backoff ===
+var col_count : int<8>;
+var backoff_mask : int<16>;
+var backoff_time : int<16>;
+var retry_limit : int<8>;
+var jam_len : int<8>;
+
+-- === Inter-frame gap and deferral ===
+var ifg_timer : int<8>;
+var defer_count : int<16>;
+
+-- === Preamble generation ===
+var preamble_len : int<8>;
+var sfd_val : int<8>;
+
+-- === Receive address filtering ===
+var promisc : bool;
+var accept_bcast : bool;
+var accept_mcast : bool;
+var addr_match : bool;
+
+-- === Current frame fields ===
+var frame_type : int<16>;
+var frame_len_field : int<16>;
+var dest_addr : int<8>[6];
+var src_addr : int<8>[6];
+var pad_count : int<8>;
+
+-- === MII management ===
+var mii_phy_addr : int<5>;
+var mii_reg_addr : int<5>;
+var mii_data_in : int<16>;
+var mii_data_out : int<16>;
+var mii_busy : bool;
+
+-- === DMA engine ===
+var dma_src : int<32>;
+var dma_dst : int<32>;
+var dma_count : int<16>;
+var dma_busy : bool;
+var desc_ptr : int<32>;
+var desc_status : int<8>;
+
+-- === Mode flags ===
+var loopback : bool;
+var link_up : bool;
+var full_duplex : bool;
+var tx_enable : bool;
+var rx_enable : bool;
+var intr_pending : bool;
+var soft_reset : bool;
+
+-- === Flow control (pause frames) ===
+var pause_timer : int<16>;
+var pause_quanta : int<16>;
+var pause_active : bool;
+
+-- === FIFO thresholds ===
+var tx_threshold : int<8>;
+var rx_threshold : int<8>;
+var fifo_depth : int<8>;
+
+-- === Error latches ===
+var err_underflow : bool;
+var err_overflow : bool;
+var err_latecol : bool;
+var err_carrier : bool;
+var err_heartbeat : bool;
+
+-- === Timestamps (maintained by the host-visible timer block) ===
+var ts_last_tx : int<32>;
+var ts_last_rx : int<32>;
+
+-- === Descriptor shadows ===
+var tx_desc_addr : int<32>;
+var tx_desc_len : int<16>;
+var tx_desc_flags : int<8>;
+var rx_desc_addr : int<32>;
+var rx_desc_len : int<16>;
+var rx_desc_flags : int<8>;
+
+-- === Misc ===
+var lfsr_seed : int<16>;
+var led_mode : int<4>;
+var led_timer : int<16>;
+
+-- Table-driven CRC-32 over the transmit buffer.
+func ComputeCrc(len : int<16>) -> int<32> {
+  var acc : int<32>;
+  acc = 0xFF;
+  for i in 0 .. 1517 {
+    if i < 1500 prob 0.04 {
+      acc = crc_table[(acc + tx_buffer[i]) % 256];
+    }
+  }
+  crc_acc = acc;
+  return acc;
+}
+
+-- Serialize the 7-byte preamble and start-of-frame delimiter.
+proc AppendPreamble() {
+  for p in 0 .. 6 {
+    phy_tx = 0x55;
+  }
+  phy_tx = sfd_val;
+}
+
+-- Copy a frame from the host-facing FIFO into the transmit buffer.
+proc LoadTxBuffer() {
+  var b : int<8>;
+  tx_ptr = 0;
+  while tx_head != tx_tail iters 60 {
+    b = tx_fifo[tx_tail % 64];
+    tx_buffer[tx_ptr % 1536] = b;
+    tx_ptr = tx_ptr + 1;
+    tx_tail = tx_tail + 1;
+  }
+  tx_len = tx_ptr;
+  if tx_len < 60 prob 0.2 {
+    pad_count = 60 - tx_len;
+    tx_len = 60;
+  }
+}
+
+-- Pseudo-random backoff slot count after the n-th collision.
+func BackoffDelay(n : int<8>) -> int<16> {
+  var mask : int<16>;
+  mask = (1 * n + lfsr_seed) % 1024;
+  backoff_mask = mask;
+  return mask % (16 * n + 1);
+}
+
+-- Sample the collision pin (with loopback masking).
+func CheckCollision() -> int<1> {
+  if loopback prob 0.01 {
+    return 0;
+  }
+  return phy_col;
+}
+
+-- Shift the frame onto the medium, handling collisions and retries.
+proc TransmitFrame() {
+  call AppendPreamble();
+  tx_ptr = 0;
+  while tx_ptr < tx_len iters 64 {
+    phy_tx = tx_buffer[tx_ptr % 1536];
+    tx_ptr = tx_ptr + 1;
+    if CheckCollision() == 1 prob 0.03 {
+      col_count = col_count + 1;
+      cnt_tx_col = cnt_tx_col + 1;
+      for j in 0 .. 3 {
+        phy_tx = 0xAA;
+      }
+      backoff_time = BackoffDelay(col_count);
+      tx_ptr = 0;
+    }
+  }
+  phy_tx = ComputeCrc(tx_len) % 256;
+  cnt_tx_ok = cnt_tx_ok + 1;
+  cnt_octets_tx = cnt_octets_tx + tx_len;
+  col_count = 0;
+}
+
+-- Compare the received destination address against station filters.
+func FilterAddress() -> int<1> {
+  var match : int<1>;
+  match = 1;
+  if promisc prob 0.05 {
+    return 1;
+  }
+  for a in 0 .. 5 {
+    if rx_buffer[a] != mac_addr[a] prob 0.5 {
+      match = 0;
+    }
+  }
+  if match == 0 and accept_bcast prob 0.3 {
+    if rx_buffer[0] == 0xFF prob 0.1 {
+      match = 1;
+    }
+  }
+  if match == 0 and accept_mcast prob 0.2 {
+    if mcast_hash[rx_buffer[1] % 8] != 0 prob 0.3 {
+      match = 1;
+    }
+  }
+  return match;
+}
+
+-- Check length and CRC of the received frame.
+func ValidateFrame() -> int<1> {
+  if rx_len < 64 prob 0.02 {
+    cnt_rx_short = cnt_rx_short + 1;
+    return 0;
+  }
+  if rx_len > 1518 prob 0.02 {
+    cnt_rx_long = cnt_rx_long + 1;
+    return 0;
+  }
+  if (crc_acc % 256) != rx_buffer[(rx_len - 1) % 1536] prob 0.02 {
+    cnt_rx_crc = cnt_rx_crc + 1;
+    return 0;
+  }
+  return 1;
+}
+
+-- Deserialize one frame from the medium into the receive buffer.
+proc ReceiveFrame() {
+  var b : int<8>;
+  rx_ptr = 0;
+  while phy_crs == 1 iters 80 {
+    b = phy_rx;
+    rx_buffer[rx_ptr % 1536] = b;
+    rx_ptr = rx_ptr + 1;
+  }
+  rx_len = rx_ptr;
+  frame_len_field = rx_buffer[12 % 1536] * 256;
+}
+
+-- Push the validated frame into the host-facing receive FIFO.
+proc StoreRxFrame() {
+  rx_ptr = 0;
+  while rx_ptr < rx_len iters 80 {
+    rx_fifo[rx_head % 64] = rx_buffer[rx_ptr % 1536];
+    rx_head = rx_head + 1;
+    rx_ptr = rx_ptr + 1;
+  }
+  cnt_rx_ok = cnt_rx_ok + 1;
+  cnt_octets_rx = cnt_octets_rx + rx_len;
+}
+
+-- Host CSR read dispatch.
+func ReadCsr(addr : int<8>) -> int<32> {
+  if addr == 0 prob 0.3 {
+    return csr_ctrl;
+  }
+  if addr == 1 prob 0.3 {
+    return csr_status;
+  }
+  if addr == 2 prob 0.2 {
+    return csr_intr_stat;
+  }
+  return cnt_rx_ok;
+}
+
+-- Host CSR write dispatch.
+proc WriteCsr(addr : int<8>, val : int<32>) {
+  if addr == 0 prob 0.4 {
+    csr_ctrl = val;
+    tx_enable = val % 2 == 1;
+    rx_enable = (val / 2) % 2 == 1;
+  } else if addr == 3 prob 0.3 {
+    csr_intr_mask = val;
+  } else if addr == 4 prob 0.2 {
+    csr_tx_desc = val;
+  } else {
+    csr_rx_desc = val;
+  }
+}
+
+-- Serial MII read transaction toward the PHY.
+func MiiRead(reg : int<5>) -> int<16> {
+  var val : int<16>;
+  val = 0;
+  for bit in 0 .. 15 {
+    val = val * 2 + mdio_in;
+  }
+  mii_data_in = val;
+  return val;
+}
+
+-- Serial MII write transaction toward the PHY.
+proc MiiWrite(reg : int<5>, val : int<16>) {
+  mii_data_out = val;
+  for bit in 0 .. 15 {
+    mdio_out = (val / (bit + 1)) % 2;
+  }
+}
+
+-- Update statistics and raise the interrupt line when unmasked.
+proc UpdateStats() {
+  if err_overflow prob 0.02 {
+    cnt_rx_err = cnt_rx_err + 1;
+  }
+  if err_underflow prob 0.02 {
+    cnt_tx_err = cnt_tx_err + 1;
+  }
+  csr_intr_stat = cnt_tx_err + cnt_rx_err;
+  if csr_intr_stat > 0 and csr_intr_mask > 0 prob 0.1 {
+    intr = 1;
+  }
+}
+
+-- Transmit engine: wait for work, load, defer, transmit.
+process TxMain {
+  if tx_enable prob 0.5 {
+    if tx_head != tx_tail prob 0.3 {
+      call LoadTxBuffer();
+      while phy_crs == 1 iters 3 {
+        defer_count = defer_count + 1;
+        cnt_tx_defer = cnt_tx_defer + 1;
+      }
+      ifg_timer = 96;
+      call TransmitFrame();
+      send DmaMain tx_len;
+    }
+  }
+  wait 8;
+}
+
+-- Receive engine: carrier sense, deserialize, filter, validate, store.
+process RxMain {
+  if rx_enable prob 0.6 {
+    if phy_crs == 1 prob 0.25 {
+      call ReceiveFrame();
+      if FilterAddress() == 1 prob 0.4 {
+        if ValidateFrame() == 1 prob 0.9 {
+          call StoreRxFrame();
+          send DmaMain rx_len;
+        }
+      }
+    }
+  }
+  wait 8;
+}
+
+-- Host interface: decode CSR accesses from the host bus.
+process HostMain {
+  var addr : int<8>;
+  var data : int<32>;
+  addr = host_addr;
+  data = host_data;
+  if host_wr == 1 prob 0.5 {
+    call WriteCsr(addr, data);
+  } else {
+    host_out = ReadCsr(addr);
+  }
+  call UpdateStats();
+  wait 16;
+}
+
+-- Descriptor DMA engine: move frame data to/from host memory.
+process DmaMain {
+  var len : int<16>;
+  receive len;
+  dma_busy = true;
+  dma_count = len;
+  dma_src = csr_dma_addr;
+  desc_ptr = csr_tx_desc;
+  while dma_count > 0 iters 90 {
+    dma_count = dma_count - 1;
+  }
+  dma_busy = false;
+  wait 4;
+}
+
+-- PHY management: poll link state over MII.
+process MiiMain {
+  mii_phy_addr = 1;
+  mii_busy = true;
+  if MiiRead(1) % 4 >= 2 prob 0.9 {
+    link_up = true;
+  } else {
+    link_up = false;
+    call MiiWrite(0, 0x1200);
+  }
+  mii_busy = false;
+  wait 200;
+}

@@ -1,0 +1,210 @@
+-- fuzzy: a fuzzy-logic controller.
+--
+-- The running example of the SLIF paper (its Figure 1 shows the partial
+-- VHDL source). Two sampled inputs are fuzzified against stored membership
+-- rules, the truncated rules are convolved, and a centroid defuzzification
+-- produces the output value. Such controllers appear in video camera focus
+-- control, thermostats, and cruise control, where smooth transitions
+-- between output values are needed.
+--
+-- Structure per the paper: process FuzzyMain samples in1/in2 into
+-- in1val/in2val, calls EvaluateRule once per input, convolves the
+-- truncated membership rules, computes a centroid, and drives out1.
+
+system FuzzyController;
+
+port in1 : in int<8>;
+port in2 : in int<8>;
+port out1 : out int<8>;
+port alarm : out int<8>;
+
+-- Sampled input values.
+var in1val : int<8>;
+var in2val : int<8>;
+
+-- Membership rules (three 128-entry banks each: low / high / output).
+var mr1 : int<8>[384];
+var mr2 : int<8>[384];
+
+-- Truncated membership rules.
+var tmr1 : int<8>[128];
+var tmr2 : int<8>[128];
+
+-- Convolution of the truncated rules.
+var conv : int<8>[128];
+
+-- Centroid accumulators.
+var centroid_num : int<24>;
+var centroid_den : int<16>;
+
+-- Output pipeline.
+var outval : int<8>;
+var smooth_acc : int<16>;
+var clip_lo : int<8>;
+var clip_hi : int<8>;
+
+-- Rule store the membership banks are unpacked from.
+var rulebase : int<8>[512];
+var weights : int<8>[16];
+
+-- Output history for smoothing and alarm detection.
+var history : int<8>[32];
+var histidx : int<8>;
+
+-- Per-input rule strengths and their normalization.
+var strength1 : int<8>;
+var strength2 : int<8>;
+var norm_max : int<8>;
+
+-- Alarm bookkeeping.
+var alarm_level : int<8>;
+var alarm_count : int<8>;
+var initialized : bool;
+
+-- Unpack the rule store into the two membership banks.
+proc InitRules() {
+  for i in 0 .. 383 {
+    mr1[i] = rulebase[i];
+  }
+  for i in 0 .. 127 {
+    mr2[i] = rulebase[384 + i];
+  }
+  for i in 128 .. 383 {
+    mr2[i] = rulebase[i - 128];
+  }
+  clip_lo = rulebase[500];
+  clip_hi = rulebase[501];
+  alarm_level = rulebase[502];
+  initialized = true;
+}
+
+-- Truncate one input's membership rules (the paper's EvaluateRule).
+proc EvaluateRule(num : int<8>) {
+  var trunc : int<8>;
+  if num == 1 prob 0.5 {
+    trunc = min(mr1[in1val], mr1[128 + in1val]);
+  } else {
+    trunc = min(mr2[in2val], mr2[128 + in2val]);
+  }
+  for i in 0 .. 127 {
+    if num == 1 prob 0.5 {
+      tmr1[i] = min(trunc, mr1[256 + i]);
+    } else {
+      tmr2[i] = min(trunc, mr2[256 + i]);
+    }
+  }
+  if num == 1 prob 0.5 {
+    strength1 = trunc;
+  } else {
+    strength2 = trunc;
+  }
+}
+
+-- Convolve the two truncated rule banks.
+proc Convolve() {
+  for i in 0 .. 127 {
+    conv[i] = max(tmr1[i], tmr2[i]);
+  }
+}
+
+-- Strength of the rule at an index, weighted by the rule weights.
+func RuleStrength(idx : int<8>) -> int<8> {
+  var w : int<8>;
+  w = weights[idx % 16];
+  return min(conv[idx], w);
+}
+
+-- Scale a value by a weight into a wider accumulator term.
+func ApplyWeight(v : int<8>, w : int<8>) -> int<16> {
+  return v * w;
+}
+
+-- Normalize the two rule strengths against their maximum.
+proc Normalize() {
+  norm_max = max(strength1, strength2);
+  if norm_max > 0 prob 0.9 {
+    strength1 = (strength1 * 100) / norm_max;
+    strength2 = (strength2 * 100) / norm_max;
+  }
+}
+
+-- Centroid defuzzification over the convolved surface.
+func ComputeCentroid() -> int<8> {
+  var acc_n : int<24>;
+  var acc_d : int<16>;
+  acc_n = 0;
+  acc_d = 0;
+  for i in 0 .. 127 {
+    acc_n = acc_n + ApplyWeight(RuleStrength(i), i);
+    acc_d = acc_d + conv[i];
+  }
+  centroid_num = acc_n;
+  centroid_den = acc_d;
+  if acc_d == 0 prob 0.05 {
+    return 0;
+  }
+  return acc_n / acc_d;
+}
+
+-- Clip the defuzzified value into the configured output window.
+func ClipValue(v : int<8>) -> int<8> {
+  if v < clip_lo prob 0.1 {
+    return clip_lo;
+  }
+  if v > clip_hi prob 0.1 {
+    return clip_hi;
+  }
+  return v;
+}
+
+-- Exponential-ish smoothing over the output history.
+proc SmoothOutput() {
+  smooth_acc = (smooth_acc * 3) / 4 + outval;
+  outval = smooth_acc / 4;
+}
+
+-- Append the output value to the history ring.
+proc UpdateHistory() {
+  history[histidx % 32] = outval;
+  histidx = histidx + 1;
+  if histidx >= 96 prob 0.02 {
+    histidx = 0;
+  }
+}
+
+process FuzzyMain {
+  if not initialized prob 0.01 {
+    call InitRules();
+  }
+  in1val = in1;
+  in2val = in2;
+  call EvaluateRule(1);
+  call EvaluateRule(2);
+  call Convolve();
+  call Normalize();
+  outval = ClipValue(ComputeCentroid());
+  call SmoothOutput();
+  call UpdateHistory();
+  out1 = outval;
+  send Monitor outval;
+  wait 50;
+}
+
+-- Watchdog process: trips the alarm when the output saturates repeatedly.
+process Monitor {
+  var v : int<8>;
+  receive v;
+  if v >= alarm_level prob 0.1 {
+    alarm_count = alarm_count + 1;
+  } else {
+    alarm_count = 0;
+  }
+  if history[histidx % 32] >= alarm_level prob 0.1 {
+    alarm_count = alarm_count + 1;
+  }
+  if alarm_count > 8 prob 0.02 {
+    alarm = alarm_count;
+    alarm_count = 0;
+  }
+  wait 50;
+}

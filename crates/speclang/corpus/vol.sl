@@ -1,0 +1,156 @@
+-- vol: a volume-measuring medical instrument.
+--
+-- One of the four benchmark systems of the SLIF paper's Figure 4 (214
+-- lines of VHDL, 30 behavior/variable objects, 41 channels). The
+-- instrument samples an ultrasound depth transducer, filters the samples,
+-- integrates cross-sectional slice areas into a volume, applies the
+-- calibration stored during manufacture, and drives a display, flagging
+-- out-of-range measurements.
+
+system VolumeMeter;
+
+port transducer : in int<12>;
+port mode_sel : in int<2>;
+port display : out int<16>;
+port range_err : out int<1>;
+
+-- Raw and filtered depth readings.
+var depth_raw : int<12>;
+var depth_filt : int<12>;
+
+-- Sample window for the FIR filter.
+var samples : int<12>[64];
+var sampidx : int<8>;
+
+-- FIR filter coefficients and accumulator.
+var filter_taps : int<8>[8];
+var filter_acc : int<24>;
+
+-- Per-slice areas and their accumulation into a volume.
+var slice_area : int<16>[32];
+var slice_count : int<8>;
+var area : int<16>;
+var avg_area : int<16>;
+var volume : int<24>;
+var last_volume : int<24>;
+
+-- Calibration constants (set by Calibrate) and the factory reference.
+var calib_gain : int<8>;
+var calib_offset : int<8>;
+var ref_volume : int<24>;
+
+-- Display and range checking. err_code and depth_filt are host-visible
+-- status registers latched by external logic in the real instrument.
+var unit_mode : int<2>;
+var display_val : int<16>;
+var range_lo : int<16>;
+var range_hi : int<16>;
+var out_of_range : bool;
+var err_code : int<4>;
+
+-- Capture one raw sample into the window.
+proc SampleDepth() {
+  depth_raw = transducer;
+  samples[sampidx % 64] = depth_raw;
+  sampidx = sampidx + 1;
+}
+
+-- 8-tap FIR over the most recent samples.
+func FilterSample() -> int<12> {
+  var acc : int<24>;
+  acc = 0;
+  for t in 0 .. 7 {
+    acc = acc + samples[(sampidx - t) % 64] * filter_taps[t];
+  }
+  filter_acc = acc;
+  return acc / 256;
+}
+
+-- Cross-sectional area from a filtered depth (square-law transducer).
+func ComputeArea(depth : int<12>) -> int<16> {
+  var a : int<16>;
+  a = depth * depth / 16;
+  if a > 4000 prob 0.05 {
+    a = 4000;
+  }
+  return a;
+}
+
+-- Integrate slice areas into the running volume.
+proc AccumulateVolume() {
+  slice_area[slice_count % 32] = area;
+  slice_count = slice_count + 1;
+  if slice_count >= 32 prob 0.03 {
+    var acc : int<24>;
+    acc = 0;
+    for s in 0 .. 31 {
+      acc = acc + slice_area[s];
+    }
+    avg_area = acc / 32;
+    volume = acc;
+    slice_count = 0;
+  }
+}
+
+-- Apply the factory calibration to a raw volume.
+func ConvertUnits(v : int<24>) -> int<16> {
+  var scaled : int<24>;
+  scaled = v * calib_gain / 64 + calib_offset;
+  if unit_mode == 1 prob 0.3 {
+    scaled = scaled * 61 / 62;
+  } else if unit_mode == 2 prob 0.2 {
+    scaled = scaled / 1000;
+  }
+  return scaled;
+}
+
+-- Range check against the configured window.
+func CheckRange(v : int<16>) -> int<1> {
+  if v < range_lo prob 0.05 {
+    return 1;
+  }
+  if v > range_hi prob 0.05 {
+    return 1;
+  }
+  return 0;
+}
+
+-- One-time calibration pass using a known reference volume.
+proc Calibrate() {
+  ref_volume = 1000;
+  calib_gain = 64;
+  calib_offset = 0;
+  range_lo = 10;
+  range_hi = 30000;
+  for t in 0 .. 7 {
+    filter_taps[t] = 32 - t * 4;
+  }
+}
+
+process VolMain {
+  if sampidx == 0 prob 0.01 {
+    call Calibrate();
+  }
+  unit_mode = mode_sel;
+  call SampleDepth();
+  area = ComputeArea(FilterSample());
+  call AccumulateVolume();
+  send DisplayMain volume;
+  wait 20;
+}
+
+-- Display refresh runs as its own process at a slower rate.
+process DisplayMain {
+  var v : int<24>;
+  receive v;
+  display_val = ConvertUnits(v);
+  if CheckRange(display_val) == 1 prob 0.1 {
+    out_of_range = true;
+    range_err = 1;
+  } else {
+    out_of_range = false;
+    range_err = 0;
+  }
+  display = display_val;
+  wait 100;
+}

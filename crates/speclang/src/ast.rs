@@ -1,0 +1,617 @@
+//! Abstract syntax tree of the specification language.
+//!
+//! The language is a small VHDL-flavoured behavioural subset, sufficient
+//! to express the paper's benchmark systems: a `system` with external
+//! ports, system-level variables (scalars and arrays), and behaviors —
+//! concurrent `process`es and callable `proc`/`func` procedures — whose
+//! bodies use assignments, calls, branches with optional branch
+//! probabilities, statically bounded loops, fork/join concurrency, and
+//! message passing.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Type {
+    /// Signed integer of the given bit width.
+    Int(u32),
+    /// Boolean (1 bit).
+    Bool,
+    /// Array of `len` integer elements, each `elem_bits` wide.
+    Array {
+        /// Element count.
+        len: u64,
+        /// Element width in bits.
+        elem_bits: u32,
+    },
+}
+
+impl Type {
+    /// Bits transferred by one access of a value of this type, per the
+    /// paper's rule: scalars their encoding width; arrays the element
+    /// width plus the address bits needed to select an element.
+    pub fn access_bits(&self) -> u32 {
+        match *self {
+            Type::Int(bits) => bits,
+            Type::Bool => 1,
+            Type::Array { len, elem_bits } => {
+                elem_bits + (64 - len.saturating_sub(1).leading_zeros()).max(1)
+            }
+        }
+    }
+
+    /// Storage footprint: (words, bits per word).
+    pub fn storage(&self) -> (u64, u32) {
+        match *self {
+            Type::Int(bits) => (1, bits),
+            Type::Bool => (1, 1),
+            Type::Array { len, elem_bits } => (len, elem_bits),
+        }
+    }
+
+    /// Whether this is an array type.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Type::Array { .. })
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Type::Int(bits) => write!(f, "int<{bits}>"),
+            Type::Bool => f.write_str("bool"),
+            Type::Array { len, elem_bits } => write!(f, "int<{elem_bits}>[{len}]"),
+        }
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Input port.
+    In,
+    /// Output port.
+    Out,
+    /// Bidirectional port.
+    Inout,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::In => "in",
+            Direction::Out => "out",
+            Direction::Inout => "inout",
+        })
+    }
+}
+
+/// An external port declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortDecl {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub direction: Direction,
+    /// Data type (must be scalar).
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A system-level variable declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Data type.
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A named compile-time constant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstDecl {
+    /// Constant name.
+    pub name: String,
+    /// Its value (a constant expression, evaluated by the resolver).
+    pub value: Expr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// What kind of behavior a declaration introduces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BehaviorKind {
+    /// A concurrent process (no parameters, repeats forever).
+    Process,
+    /// A procedure without a return value.
+    Procedure,
+    /// A procedure with a return value (`func`).
+    Function {
+        /// The return type.
+        ret: Type,
+    },
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type (scalar).
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A behavior declaration: process, procedure, or function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorDecl {
+    /// Behavior name.
+    pub name: String,
+    /// Process / procedure / function.
+    pub kind: BehaviorKind,
+    /// Formal parameters (empty for processes).
+    pub params: Vec<Param>,
+    /// Behavior-local variables (not system-level objects).
+    pub locals: Vec<VarDecl>,
+    /// The statement body.
+    pub body: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `lhs = expr;` — write of a variable, array element, or out-port.
+    Assign {
+        /// The write target.
+        lhs: LValue,
+        /// The value.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `call Name(args);`
+    Call {
+        /// The callee name.
+        callee: String,
+        /// The actual arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `if cond [prob p] { .. } else { .. }`
+    If {
+        /// The branch condition.
+        cond: Expr,
+        /// Probability the then-branch is taken (profiling default 0.5).
+        prob: Option<f64>,
+        /// Then-branch statements.
+        then_body: Vec<Stmt>,
+        /// Else-branch statements (empty when absent).
+        else_body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `for i in lo .. hi { .. }` — static inclusive bounds.
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Lower bound (constant expression).
+        lo: Expr,
+        /// Upper bound (constant expression).
+        hi: Expr,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `while cond [iters n] { .. }` — data-dependent loop with a profiled
+    /// iteration count.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Average iteration count (profiling default 1).
+        iters: Option<f64>,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `fork { stmt* }` — the statements (typically calls) may execute
+    /// concurrently.
+    Fork {
+        /// The forked statements.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `send Target expr;` — message pass to another process.
+    Send {
+        /// Receiving behavior name.
+        target: String,
+        /// The message payload.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `receive lhs;` — receive a message into a variable.
+    Receive {
+        /// Where the message lands.
+        lhs: LValue,
+        /// Source location.
+        span: Span,
+    },
+    /// `return expr?;`
+    Return {
+        /// The returned value (functions only).
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `wait n;` — time delay (ignored by estimation preprocessing except
+    /// as a process-period marker).
+    Wait {
+        /// Delay amount in time units.
+        amount: u64,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The statement's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::Call { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Fork { span, .. }
+            | Stmt::Send { span, .. }
+            | Stmt::Receive { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Wait { span, .. } => *span,
+        }
+    }
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LValue {
+    /// A scalar name: variable, local, or out-port.
+    Name {
+        /// The name.
+        name: String,
+        /// Source location.
+        span: Span,
+    },
+    /// An array element.
+    Index {
+        /// The array name.
+        name: String,
+        /// The index expression.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl LValue {
+    /// The target's name.
+    pub fn name(&self) -> &str {
+        match self {
+            LValue::Name { name, .. } | LValue::Index { name, .. } => name,
+        }
+    }
+
+    /// The target's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Name { span, .. } | LValue::Index { span, .. } => *span,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Whether the operator takes boolean operands.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "not",
+        })
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int {
+        /// The value.
+        value: u64,
+        /// Source location.
+        span: Span,
+    },
+    /// Boolean literal.
+    Bool {
+        /// The value.
+        value: bool,
+        /// Source location.
+        span: Span,
+    },
+    /// A name: variable, local, parameter, constant, or in-port read.
+    Name {
+        /// The name.
+        name: String,
+        /// Source location.
+        span: Span,
+    },
+    /// Array element read.
+    Index {
+        /// The array name.
+        name: String,
+        /// The index expression.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Function (or builtin `min`/`max`/`abs`) call.
+    Call {
+        /// The callee name.
+        callee: String,
+        /// The actual arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        operand: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The expression's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int { span, .. }
+            | Expr::Bool { span, .. }
+            | Expr::Name { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. } => *span,
+        }
+    }
+}
+
+/// A complete specification: one system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spec {
+    /// The system name.
+    pub name: String,
+    /// External ports.
+    pub ports: Vec<PortDecl>,
+    /// Named constants.
+    pub consts: Vec<ConstDecl>,
+    /// System-level variables.
+    pub vars: Vec<VarDecl>,
+    /// Behaviors: processes, procedures, functions.
+    pub behaviors: Vec<BehaviorDecl>,
+}
+
+impl Spec {
+    /// Finds a behavior by name.
+    pub fn behavior(&self, name: &str) -> Option<&BehaviorDecl> {
+        self.behaviors.iter().find(|b| b.name == name)
+    }
+
+    /// Counts the system-level functional objects this spec will produce
+    /// in SLIF: behaviors plus system-level variables (the "BV" column of
+    /// the paper's Figure 4).
+    pub fn bv_count(&self) -> usize {
+        self.behaviors.len() + self.vars.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_bits_scalar_is_width() {
+        assert_eq!(Type::Int(8).access_bits(), 8);
+        assert_eq!(Type::Int(32).access_bits(), 32);
+        assert_eq!(Type::Bool.access_bits(), 1);
+    }
+
+    #[test]
+    fn access_bits_array_adds_address_bits() {
+        // 128 elements → 7 address bits; 8 data bits → 15 total (the
+        // paper's Figure 3 example).
+        assert_eq!(
+            Type::Array {
+                len: 128,
+                elem_bits: 8
+            }
+            .access_bits(),
+            15
+        );
+        // 384 elements → ceil(log2(384)) = 9 → 17.
+        assert_eq!(
+            Type::Array {
+                len: 384,
+                elem_bits: 8
+            }
+            .access_bits(),
+            17
+        );
+        // Degenerate 1-element array still needs one address bit.
+        assert_eq!(
+            Type::Array {
+                len: 1,
+                elem_bits: 8
+            }
+            .access_bits(),
+            9
+        );
+    }
+
+    #[test]
+    fn storage_shapes() {
+        assert_eq!(Type::Int(16).storage(), (1, 16));
+        assert_eq!(
+            Type::Array {
+                len: 384,
+                elem_bits: 8
+            }
+            .storage(),
+            (384, 8)
+        );
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Int(8).to_string(), "int<8>");
+        assert_eq!(
+            Type::Array {
+                len: 384,
+                elem_bits: 8
+            }
+            .to_string(),
+            "int<8>[384]"
+        );
+        assert_eq!(Type::Bool.to_string(), "bool");
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Lt.is_logical());
+    }
+
+    #[test]
+    fn spec_bv_count_counts_behaviors_and_vars() {
+        let spec = Spec {
+            name: "t".into(),
+            ports: vec![],
+            consts: vec![],
+            vars: vec![VarDecl {
+                name: "v".into(),
+                ty: Type::Int(8),
+                span: Span::dummy(),
+            }],
+            behaviors: vec![BehaviorDecl {
+                name: "Main".into(),
+                kind: BehaviorKind::Process,
+                params: vec![],
+                locals: vec![],
+                body: vec![],
+                span: Span::dummy(),
+            }],
+        };
+        assert_eq!(spec.bv_count(), 2);
+        assert!(spec.behavior("Main").is_some());
+        assert!(spec.behavior("nope").is_none());
+    }
+}

@@ -1,0 +1,201 @@
+//! The paper's benchmark corpus: the four example systems of Figure 4.
+//!
+//! The originals were VHDL behavioural specifications processed by
+//! SpecSyn; here each system is rewritten in this crate's specification
+//! language at the same system-level shape — the same processes,
+//! procedures and variables, and therefore (closely) the same number of
+//! SLIF functional objects. The paper's reported numbers are embedded as
+//! [`PaperRow`] so benchmarks and reports can print paper-vs-measured
+//! tables.
+
+use crate::diag::SpecError;
+use crate::resolver::{resolve, ResolvedSpec};
+
+/// Source of the telephone answering machine example.
+pub const ANS: &str = include_str!("../corpus/ans.sl");
+/// Source of the ethernet coprocessor example.
+pub const ETHER: &str = include_str!("../corpus/ether.sl");
+/// Source of the fuzzy-logic controller example (the paper's Figure 1).
+pub const FUZZY: &str = include_str!("../corpus/fuzzy.sl");
+/// Source of the volume-measuring medical instrument example.
+pub const VOL: &str = include_str!("../corpus/vol.sl");
+
+/// One row of the paper's Figure 4 table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// VHDL line count reported by the paper.
+    pub lines: u32,
+    /// Behavior + variable functional objects.
+    pub bv: u32,
+    /// Channels.
+    pub channels: u32,
+    /// Seconds to build SLIF on a Sparc 2.
+    pub t_slif_s: f64,
+    /// Seconds to estimate size/pins/bitrate/performance on a Sparc 2
+    /// (reported as 0.00, i.e. below the 10 ms measurement resolution).
+    pub t_est_s: f64,
+}
+
+/// A corpus entry: name, source, and the paper's reported numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusEntry {
+    /// Short name used throughout the paper (`ans`, `ether`, `fuzzy`, `vol`).
+    pub name: &'static str,
+    /// What the system is.
+    pub description: &'static str,
+    /// Specification source text.
+    pub source: &'static str,
+    /// The paper's Figure 4 row.
+    pub paper: PaperRow,
+}
+
+impl CorpusEntry {
+    /// Parses and resolves this entry's source.
+    ///
+    /// # Errors
+    ///
+    /// A [`SpecError`] — which for the shipped corpus would indicate a
+    /// packaging bug, and is covered by tests.
+    pub fn load(&self) -> Result<ResolvedSpec, SpecError> {
+        let spec = crate::parser::parse(self.source).map_err(SpecError::single)?;
+        resolve(spec)
+    }
+}
+
+/// The four benchmark systems, in the paper's Figure 4 order.
+pub fn all() -> [CorpusEntry; 4] {
+    [
+        CorpusEntry {
+            name: "ans",
+            description: "telephone answering machine",
+            source: ANS,
+            paper: PaperRow {
+                lines: 632,
+                bv: 45,
+                channels: 64,
+                t_slif_s: 2.20,
+                t_est_s: 0.00,
+            },
+        },
+        CorpusEntry {
+            name: "ether",
+            description: "ethernet coprocessor",
+            source: ETHER,
+            paper: PaperRow {
+                lines: 1021,
+                bv: 123,
+                channels: 112,
+                t_slif_s: 10.40,
+                t_est_s: 0.00,
+            },
+        },
+        CorpusEntry {
+            name: "fuzzy",
+            description: "fuzzy-logic controller",
+            source: FUZZY,
+            paper: PaperRow {
+                lines: 350,
+                bv: 35,
+                channels: 56,
+                t_slif_s: 0.46,
+                t_est_s: 0.00,
+            },
+        },
+        CorpusEntry {
+            name: "vol",
+            description: "volume-measuring medical instrument",
+            source: VOL,
+            paper: PaperRow {
+                lines: 214,
+                bv: 30,
+                channels: 41,
+                t_slif_s: 0.34,
+                t_est_s: 0.00,
+            },
+        },
+    ]
+}
+
+/// Finds a corpus entry by name.
+pub fn by_name(name: &str) -> Option<CorpusEntry> {
+    all().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_parses_and_resolves() {
+        for entry in all() {
+            let resolved = entry
+                .load()
+                .unwrap_or_else(|e| panic!("{} fails to load:\n{e}", entry.name));
+            assert!(!resolved.spec().behaviors.is_empty(), "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn bv_counts_match_the_paper_exactly() {
+        for entry in all() {
+            let resolved = entry.load().unwrap();
+            assert_eq!(
+                resolved.spec().bv_count() as u32,
+                entry.paper.bv,
+                "{}: BV count diverges from Figure 4",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn relative_sizes_match_figure4_ordering() {
+        // ether > ans > fuzzy > vol, in both lines and objects.
+        let lines: Vec<usize> = all().iter().map(|e| e.source.lines().count()).collect();
+        let (ans, ether, fuzzy, vol) = (lines[0], lines[1], lines[2], lines[3]);
+        assert!(ether > ans, "ether ({ether}) should out-size ans ({ans})");
+        assert!(ans > fuzzy, "ans ({ans}) should out-size fuzzy ({fuzzy})");
+        assert!(fuzzy > vol, "fuzzy ({fuzzy}) should out-size vol ({vol})");
+    }
+
+    #[test]
+    fn corpus_lookup_by_name() {
+        assert_eq!(by_name("fuzzy").unwrap().paper.bv, 35);
+        assert_eq!(by_name("ether").unwrap().paper.channels, 112);
+        assert!(by_name("missing").is_none());
+    }
+
+    #[test]
+    fn fuzzy_matches_figure1_structure() {
+        let resolved = by_name("fuzzy").unwrap().load().unwrap();
+        let spec = resolved.spec();
+        // The paper's Figure 1/2 objects are all present.
+        for name in ["FuzzyMain", "EvaluateRule", "Convolve", "ComputeCentroid"] {
+            assert!(spec.behavior(name).is_some(), "missing behavior {name}");
+        }
+        for var in ["in1val", "in2val", "mr1", "mr2", "tmr1", "tmr2"] {
+            assert!(
+                spec.vars.iter().any(|v| v.name == var),
+                "missing variable {var}"
+            );
+        }
+        assert!(spec.ports.iter().any(|p| p.name == "in1"));
+        assert!(spec.ports.iter().any(|p| p.name == "out1"));
+    }
+
+    #[test]
+    fn corpus_pretty_roundtrips() {
+        for entry in all() {
+            let ast = crate::parser::parse(entry.source).unwrap();
+            let printed = crate::pretty::pretty(&ast);
+            let back = crate::parser::parse(&printed)
+                .unwrap_or_else(|e| panic!("{} reparse: {e}", entry.name));
+            assert_eq!(
+                crate::pretty::pretty(&back),
+                printed,
+                "{}: pretty not a fixed point",
+                entry.name
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Diagnostics for lexing, parsing, and resolution.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// A diagnostic produced while processing a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    span: Span,
+    message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at the given location.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Self {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Where the problem is.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// What the problem is.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl Error for Diagnostic {}
+
+/// Error carrying one or more diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl SpecError {
+    /// Wraps a single diagnostic.
+    pub fn single(diag: Diagnostic) -> Self {
+        Self {
+            diagnostics: vec![diag],
+        }
+    }
+
+    /// Wraps a batch of diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diagnostics` is empty — an error must explain itself.
+    pub fn batch(diagnostics: Vec<Diagnostic>) -> Self {
+        assert!(!diagnostics.is_empty(), "SpecError needs a diagnostic");
+        Self { diagnostics }
+    }
+
+    /// The diagnostics, in source order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for SpecError {}
+
+impl From<Diagnostic> for SpecError {
+    fn from(value: Diagnostic) -> Self {
+        SpecError::single(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_location_and_message() {
+        let d = Diagnostic::new(Span::new(0, 1, 4, 9), "unexpected `}`");
+        assert_eq!(d.to_string(), "4:9: unexpected `}`");
+    }
+
+    #[test]
+    fn batch_joins_with_newlines() {
+        let e = SpecError::batch(vec![
+            Diagnostic::new(Span::dummy(), "first"),
+            Diagnostic::new(Span::dummy(), "second"),
+        ]);
+        assert_eq!(e.to_string(), "1:1: first\n1:1: second");
+        assert_eq!(e.diagnostics().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a diagnostic")]
+    fn empty_batch_panics() {
+        let _ = SpecError::batch(vec![]);
+    }
+}

@@ -1,0 +1,365 @@
+//! The lexer: source text → token stream.
+//!
+//! Comments run from `//` or `--` (VHDL style) to end of line. Integer
+//! literals are decimal or `0x` hexadecimal; float literals (`0.5`) only
+//! appear in `prob` annotations but are lexed uniformly.
+
+use crate::diag::Diagnostic;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source`, returning the tokens followed by an `Eof` token.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for unterminated or unknown characters and
+/// malformed numbers.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let Some(b) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start, line, col),
+                });
+                return Ok(out);
+            };
+            let kind = match b {
+                b'0'..=b'9' => self.number()?,
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(),
+                b'(' => self.one(TokenKind::LParen),
+                b')' => self.one(TokenKind::RParen),
+                b'{' => self.one(TokenKind::LBrace),
+                b'}' => self.one(TokenKind::RBrace),
+                b'[' => self.one(TokenKind::LBracket),
+                b']' => self.one(TokenKind::RBracket),
+                b';' => self.one(TokenKind::Semi),
+                b':' => self.one(TokenKind::Colon),
+                b',' => self.one(TokenKind::Comma),
+                b'+' => self.one(TokenKind::Plus),
+                b'*' => self.one(TokenKind::Star),
+                b'/' => self.one(TokenKind::Slash),
+                b'%' => self.one(TokenKind::Percent),
+                b'=' => self.one_or_two(b'=', TokenKind::Assign, TokenKind::Eq),
+                b'<' => self.one_or_two(b'=', TokenKind::Lt, TokenKind::Le),
+                b'>' => self.one_or_two(b'=', TokenKind::Gt, TokenKind::Ge),
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Ne
+                    } else {
+                        return Err(self.error_at(start, line, col, "expected `!=`"));
+                    }
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::Arrow
+                    } else {
+                        TokenKind::Minus
+                    }
+                }
+                b'.' => {
+                    self.bump();
+                    if self.peek() == Some(b'.') {
+                        self.bump();
+                        TokenKind::DotDot
+                    } else {
+                        return Err(self.error_at(start, line, col, "expected `..`"));
+                    }
+                }
+                other => {
+                    return Err(self.error_at(
+                        start,
+                        line,
+                        col,
+                        format!("unexpected character `{}`", char::from(other)),
+                    ));
+                }
+            };
+            out.push(Token {
+                kind,
+                span: Span::new(start, self.pos, line, col),
+            });
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.bump();
+                }
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.col = 1;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                Some(b'-') if self.peek_at(1) == Some(b'-') => self.line_comment(),
+                _ => return,
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, Diagnostic> {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hex_start = self.pos;
+            while matches!(self.peek(), Some(b) if b.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            let digits = &self.src[hex_start..self.pos];
+            return u64::from_str_radix(digits, 16)
+                .map(TokenKind::Int)
+                .map_err(|_| self.error_at(start, line, col, "malformed hex literal"));
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.bump();
+        }
+        // A float only if `.` is followed by a digit (so `1..3` stays two ints).
+        if self.peek() == Some(b'.') && matches!(self.peek_at(1), Some(b) if b.is_ascii_digit()) {
+            self.bump();
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.bump();
+            }
+            let text = &self.src[start..self.pos];
+            return text
+                .parse()
+                .map(TokenKind::Float)
+                .map_err(|_| self.error_at(start, line, col, "malformed float literal"));
+        }
+        let text = &self.src[start..self.pos];
+        text.parse()
+            .map(TokenKind::Int)
+            .map_err(|_| self.error_at(start, line, col, "integer literal out of range"))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()))
+    }
+
+    fn one(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn one_or_two(&mut self, second: u8, single: TokenKind, double: TokenKind) -> TokenKind {
+        self.bump();
+        if self.peek() == Some(second) {
+            self.bump();
+            double
+        } else {
+            single
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.pos < self.bytes.len() {
+            self.pos += 1;
+            self.col += 1;
+        }
+    }
+
+    fn error_at(
+        &self,
+        start: usize,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic::new(
+            Span::new(start, self.pos.max(start + 1), line, col),
+            message,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("port in1 : in int<8>;"),
+            vec![
+                TokenKind::Port,
+                TokenKind::Ident("in1".into()),
+                TokenKind::Colon,
+                TokenKind::In,
+                TokenKind::IntType,
+                TokenKind::Lt,
+                TokenKind::Int(8),
+                TokenKind::Gt,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("== != <= >= -> .. = < >"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Arrow,
+                TokenKind::DotDot,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        assert_eq!(
+            kinds("1..128"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::DotDot,
+                TokenKind::Int(128),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn float_for_probabilities() {
+        assert_eq!(
+            kinds("prob 0.5"),
+            vec![TokenKind::Prob, TokenKind::Float(0.5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(kinds("0xFF"), vec![TokenKind::Int(255), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn both_comment_styles_skipped() {
+        assert_eq!(
+            kinds("var x; // c++ style\n-- vhdl style\nvar y;"),
+            vec![
+                TokenKind::Var,
+                TokenKind::Ident("x".into()),
+                TokenKind::Semi,
+                TokenKind::Var,
+                TokenKind::Ident("y".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        assert_eq!(
+            kinds("a - b -> c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("b".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("var\n  x;").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn unknown_character_is_an_error() {
+        let err = lex("var @x;").unwrap_err();
+        assert!(err.message().contains("unexpected character"));
+        assert_eq!(err.span().col, 5);
+    }
+
+    #[test]
+    fn lone_bang_is_an_error() {
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn lone_dot_is_an_error() {
+        assert!(lex("a . b").is_err());
+    }
+
+    #[test]
+    fn empty_source_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("  \n\t "), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,65 @@
+//! # slif-speclang — the behavioural specification language
+//!
+//! A small VHDL-flavoured specification language standing in for the VHDL
+//! front end the SLIF paper builds on. System design per the paper starts
+//! from "a simulatable functional specification" of processes, procedures,
+//! variables and communication; this crate provides exactly that substrate:
+//!
+//! * [`parse`] — lexer + recursive-descent parser producing a [`Spec`] AST,
+//! * [`resolve`] — name resolution, constant evaluation and semantic
+//!   checking producing a [`ResolvedSpec`],
+//! * [`pretty`] — canonical printing (round-trips through the parser),
+//! * [`corpus`] — the paper's four benchmark systems (`ans`, `ether`,
+//!   `fuzzy`, `vol`) written in this language.
+//!
+//! The language covers what SLIF construction needs: concurrent
+//! `process`es, callable `proc`/`func` behaviors, scalar and array
+//! variables, external ports, branch-probability (`prob`) and
+//! iteration-count (`iters`) annotations for profiling, `fork`/`join`
+//! concurrency, and `send`/`receive` message passing.
+//!
+//! # Examples
+//!
+//! ```
+//! let spec = slif_speclang::parse(
+//!     "system Controller;\n\
+//!      port sensor : in int<8>;\n\
+//!      var reading : int<8>;\n\
+//!      process Main { reading = sensor; wait 10; }\n",
+//! )?;
+//! let resolved = slif_speclang::resolve(spec)?;
+//! assert_eq!(resolved.spec().bv_count(), 2); // Main + reading
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod corpus;
+mod diag;
+mod lexer;
+mod parser;
+mod pretty;
+mod resolver;
+mod span;
+mod token;
+
+pub use ast::Spec;
+pub use diag::{Diagnostic, SpecError};
+pub use lexer::lex;
+pub use parser::parse;
+pub use pretty::{expr_str, pretty};
+pub use resolver::{resolve, GlobalSymbol, LocalSymbol, ResolvedSpec, Symbol, BUILTINS};
+pub use span::Span;
+pub use token::{Token, TokenKind};
+
+/// Parses and resolves in one step.
+///
+/// # Errors
+///
+/// A [`SpecError`] carrying parse or resolution diagnostics.
+pub fn parse_and_resolve(source: &str) -> Result<ResolvedSpec, SpecError> {
+    let spec = parse(source).map_err(SpecError::single)?;
+    resolve(spec)
+}

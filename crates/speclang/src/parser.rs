@@ -1,0 +1,846 @@
+//! Recursive-descent parser: token stream → [`Spec`] AST.
+
+use crate::ast::{
+    BehaviorDecl, BehaviorKind, BinOp, ConstDecl, Direction, Expr, LValue, Param, PortDecl, Spec,
+    Stmt, Type, UnOp, VarDecl,
+};
+use crate::diag::Diagnostic;
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a full specification from source text.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`Diagnostic`].
+///
+/// # Examples
+///
+/// ```
+/// let spec = slif_speclang::parse(
+///     "system Tiny;\n\
+///      port in1 : in int<8>;\n\
+///      var x : int<8>;\n\
+///      process Main { x = in1; }\n",
+/// )?;
+/// assert_eq!(spec.name, "Tiny");
+/// assert_eq!(spec.behaviors.len(), 1);
+/// # Ok::<(), slif_speclang::Diagnostic>(())
+/// ```
+pub fn parse(source: &str) -> Result<Spec, Diagnostic> {
+    let tokens = lex(source)?;
+    Parser {
+        tokens,
+        pos: 0,
+        hoisted_locals: Vec::new(),
+    }
+    .spec()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Local declarations of the behavior being parsed; `var` is allowed
+    /// in any nested block and hoisted to behavior scope.
+    hoisted_locals: Vec<VarDecl>,
+}
+
+impl Parser {
+    fn spec(&mut self) -> Result<Spec, Diagnostic> {
+        self.expect(TokenKind::System)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Semi)?;
+        let mut spec = Spec {
+            name,
+            ports: Vec::new(),
+            consts: Vec::new(),
+            vars: Vec::new(),
+            behaviors: Vec::new(),
+        };
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return Ok(spec),
+                TokenKind::Port => spec.ports.push(self.port_decl()?),
+                TokenKind::Const => spec.consts.push(self.const_decl()?),
+                TokenKind::Var => spec.vars.push(self.var_decl()?),
+                TokenKind::Process | TokenKind::Proc | TokenKind::Func => {
+                    spec.behaviors.push(self.behavior_decl()?);
+                }
+                _ => {
+                    return Err(self.error(format!("expected a declaration, found {}", self.peek())))
+                }
+            }
+        }
+    }
+
+    fn port_decl(&mut self) -> Result<PortDecl, Diagnostic> {
+        let span = self.span();
+        self.expect(TokenKind::Port)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        let direction = match self.peek().clone() {
+            TokenKind::In => {
+                self.bump();
+                Direction::In
+            }
+            TokenKind::Out => {
+                self.bump();
+                Direction::Out
+            }
+            TokenKind::Inout => {
+                self.bump();
+                Direction::Inout
+            }
+            other => return Err(self.error(format!("expected port direction, found {other}"))),
+        };
+        let ty = self.ty()?;
+        if ty.is_array() {
+            return Err(self.error("ports must have scalar types".to_owned()));
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(PortDecl {
+            name,
+            direction,
+            ty,
+            span,
+        })
+    }
+
+    fn const_decl(&mut self) -> Result<ConstDecl, Diagnostic> {
+        let span = self.span();
+        self.expect(TokenKind::Const)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Assign)?;
+        let value = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(ConstDecl { name, value, span })
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, Diagnostic> {
+        let span = self.span();
+        self.expect(TokenKind::Var)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        let ty = self.ty()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(VarDecl { name, ty, span })
+    }
+
+    fn ty(&mut self) -> Result<Type, Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::BoolType => {
+                self.bump();
+                Ok(Type::Bool)
+            }
+            TokenKind::IntType => {
+                self.bump();
+                self.expect(TokenKind::Lt)?;
+                let bits = self.int_lit()?;
+                if bits == 0 || bits > 128 {
+                    return Err(self.error("integer width must be 1..=128".to_owned()));
+                }
+                self.expect(TokenKind::Gt)?;
+                if self.peek() == &TokenKind::LBracket {
+                    self.bump();
+                    let len = self.int_lit()?;
+                    if len == 0 {
+                        return Err(self.error("array length must be positive".to_owned()));
+                    }
+                    self.expect(TokenKind::RBracket)?;
+                    Ok(Type::Array {
+                        len,
+                        elem_bits: bits as u32,
+                    })
+                } else {
+                    Ok(Type::Int(bits as u32))
+                }
+            }
+            other => Err(self.error(format!("expected a type, found {other}"))),
+        }
+    }
+
+    fn behavior_decl(&mut self) -> Result<BehaviorDecl, Diagnostic> {
+        let span = self.span();
+        let (kind_tok, has_params) = match self.peek() {
+            TokenKind::Process => (TokenKind::Process, false),
+            TokenKind::Proc => (TokenKind::Proc, true),
+            TokenKind::Func => (TokenKind::Func, true),
+            other => return Err(self.error(format!("expected a behavior, found {other}"))),
+        };
+        self.bump();
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if has_params {
+            self.expect(TokenKind::LParen)?;
+            while self.peek() != &TokenKind::RParen {
+                let pspan = self.span();
+                let pname = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                let pty = self.ty()?;
+                if pty.is_array() {
+                    return Err(self.error("parameters must have scalar types".to_owned()));
+                }
+                params.push(Param {
+                    name: pname,
+                    ty: pty,
+                    span: pspan,
+                });
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        let kind = match kind_tok {
+            TokenKind::Process => BehaviorKind::Process,
+            TokenKind::Proc => BehaviorKind::Procedure,
+            TokenKind::Func => {
+                self.expect(TokenKind::Arrow)?;
+                let ret = self.ty()?;
+                if ret.is_array() {
+                    return Err(self.error("functions must return scalars".to_owned()));
+                }
+                BehaviorKind::Function { ret }
+            }
+            _ => unreachable!("kind_tok is one of the three behavior keywords"),
+        };
+        self.hoisted_locals = Vec::new();
+        let body = self.block()?;
+        let locals = std::mem::take(&mut self.hoisted_locals);
+        Ok(BehaviorDecl {
+            name,
+            kind,
+            params,
+            locals,
+            body,
+            span,
+        })
+    }
+
+    /// Parses `{ (var-decl | stmt)* }`; local declarations in any nested
+    /// block are hoisted to the enclosing behavior's scope.
+    fn block(&mut self) -> Result<Vec<Stmt>, Diagnostic> {
+        self.expect(TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Var {
+                let decl = self.var_decl()?;
+                self.hoisted_locals.push(decl);
+            } else {
+                body.push(self.stmt()?);
+            }
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Call => {
+                self.bump();
+                let callee = self.ident()?;
+                self.expect(TokenKind::LParen)?;
+                let args = self.args()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Call { callee, args, span })
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::For => {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(TokenKind::In)?;
+                let lo = self.expr()?;
+                self.expect(TokenKind::DotDot)?;
+                let hi = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    body,
+                    span,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                let cond = self.expr()?;
+                let iters = if self.peek() == &TokenKind::Iters {
+                    self.bump();
+                    Some(self.number_lit()?)
+                } else {
+                    None
+                };
+                let body = self.block()?;
+                Ok(Stmt::While {
+                    cond,
+                    iters,
+                    body,
+                    span,
+                })
+            }
+            TokenKind::Fork => {
+                self.bump();
+                let body = self.block()?;
+                Ok(Stmt::Fork { body, span })
+            }
+            TokenKind::Send => {
+                self.bump();
+                let target = self.ident()?;
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Send {
+                    target,
+                    value,
+                    span,
+                })
+            }
+            TokenKind::Receive => {
+                self.bump();
+                let lhs = self.lvalue()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Receive { lhs, span })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            TokenKind::Wait => {
+                self.bump();
+                let amount = self.int_lit()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Wait { amount, span })
+            }
+            TokenKind::Ident(_) => {
+                let lhs = self.lvalue()?;
+                self.expect(TokenKind::Assign)?;
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Assign { lhs, value, span })
+            }
+            other => Err(self.error(format!("expected a statement, found {other}"))),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.span();
+        self.expect(TokenKind::If)?;
+        let cond = self.expr()?;
+        let prob = if self.peek() == &TokenKind::Prob {
+            self.bump();
+            let p = self.number_lit()?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(self.error("branch probability must be within 0..=1".to_owned()));
+            }
+            Some(p)
+        } else {
+            None
+        };
+        let then_body = self.block()?;
+        let else_body = if self.peek() == &TokenKind::Else {
+            self.bump();
+            if self.peek() == &TokenKind::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            prob,
+            then_body,
+            else_body,
+            span,
+        })
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, Diagnostic> {
+        let span = self.span();
+        let name = self.ident()?;
+        if self.peek() == &TokenKind::LBracket {
+            self.bump();
+            let index = self.expr()?;
+            self.expect(TokenKind::RBracket)?;
+            Ok(LValue::Index {
+                name,
+                index: Box::new(index),
+                span,
+            })
+        } else {
+            Ok(LValue::Name { name, span })
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, Diagnostic> {
+        let mut args = Vec::new();
+        if self.peek() == &TokenKind::RParen {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.peek() == &TokenKind::Comma {
+                self.bump();
+            } else {
+                return Ok(args);
+            }
+        }
+    }
+
+    // Expression precedence: or < and < comparison < add < mul < unary.
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &TokenKind::Or {
+            let span = self.span();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = binary(BinOp::Or, lhs, rhs, span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &TokenKind::And {
+            let span = self.span();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = binary(BinOp::And, lhs, rhs, span);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let span = self.span();
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(binary(op, lhs, rhs, span))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = binary(op, lhs, rhs, span);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = binary(op, lhs, rhs, span);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                    span,
+                })
+            }
+            TokenKind::Not => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                    span,
+                })
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(value) => {
+                self.bump();
+                Ok(Expr::Int { value, span })
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool { value: true, span })
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool { value: false, span })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    TokenKind::LParen => {
+                        self.bump();
+                        let args = self.args()?;
+                        self.expect(TokenKind::RParen)?;
+                        Ok(Expr::Call {
+                            callee: name,
+                            args,
+                            span,
+                        })
+                    }
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(TokenKind::RBracket)?;
+                        Ok(Expr::Index {
+                            name,
+                            index: Box::new(index),
+                            span,
+                        })
+                    }
+                    _ => Ok(Expr::Name { name, span }),
+                }
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+
+    // --- token plumbing ---
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) {
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), Diagnostic> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<u64, Diagnostic> {
+        match *self.peek() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => Err(self.error(format!("expected an integer, found {other}"))),
+        }
+    }
+
+    /// An integer or float literal, as f64 (for `prob` / `iters`).
+    fn number_lit(&mut self) -> Result<f64, Diagnostic> {
+        match *self.peek() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(v as f64)
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => Err(self.error(format!("expected a number, found {other}"))),
+        }
+    }
+
+    fn error(&self, message: String) -> Diagnostic {
+        Diagnostic::new(self.span(), message)
+    }
+}
+
+fn binary(op: BinOp, lhs: Expr, rhs: Expr, span: Span) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+        span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Spec {
+        match parse(src) {
+            Ok(s) => s,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    #[test]
+    fn parses_minimal_system() {
+        let s = parse_ok("system T;");
+        assert_eq!(s.name, "T");
+        assert!(s.ports.is_empty());
+    }
+
+    #[test]
+    fn parses_ports_and_vars() {
+        let s = parse_ok(
+            "system T;\n\
+             port in1 : in int<8>;\n\
+             port out1 : out int<16>;\n\
+             var x : int<8>;\n\
+             var mr1 : int<8>[384];\n",
+        );
+        assert_eq!(s.ports.len(), 2);
+        assert_eq!(s.ports[0].direction, Direction::In);
+        assert_eq!(s.ports[1].ty, Type::Int(16));
+        assert_eq!(
+            s.vars[1].ty,
+            Type::Array {
+                len: 384,
+                elem_bits: 8
+            }
+        );
+    }
+
+    #[test]
+    fn parses_const() {
+        let s = parse_ok("system T; const N = 384;");
+        assert_eq!(s.consts.len(), 1);
+        assert!(matches!(s.consts[0].value, Expr::Int { value: 384, .. }));
+    }
+
+    #[test]
+    fn parses_process_with_locals_and_statements() {
+        let s = parse_ok(
+            "system T;\n\
+             var x : int<8>;\n\
+             process Main {\n\
+               var t : int<8>;\n\
+               t = x + 1;\n\
+               x = t * 2;\n\
+               wait 100;\n\
+             }\n",
+        );
+        let main = s.behavior("Main").unwrap();
+        assert_eq!(main.kind, BehaviorKind::Process);
+        assert_eq!(main.locals.len(), 1);
+        assert_eq!(main.body.len(), 3);
+    }
+
+    #[test]
+    fn parses_proc_and_func_signatures() {
+        let s = parse_ok(
+            "system T;\n\
+             proc P(a : int<8>, b : bool) { a = 1; }\n\
+             func F(x : int<8>) -> int<16> { return x + 1; }\n",
+        );
+        let p = s.behavior("P").unwrap();
+        assert_eq!(p.kind, BehaviorKind::Procedure);
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.params[1].ty, Type::Bool);
+        let f = s.behavior("F").unwrap();
+        assert_eq!(f.kind, BehaviorKind::Function { ret: Type::Int(16) });
+    }
+
+    #[test]
+    fn parses_if_elsif_with_prob() {
+        let s = parse_ok(
+            "system T;\nvar x : int<8>;\nproc P(n : int<8>) {\n\
+               if n == 1 prob 0.5 { x = 1; }\n\
+               else if n == 2 { x = 2; }\n\
+               else { x = 3; }\n\
+             }\n",
+        );
+        let p = s.behavior("P").unwrap();
+        let Stmt::If {
+            prob, else_body, ..
+        } = &p.body[0]
+        else {
+            panic!("expected if");
+        };
+        assert_eq!(*prob, Some(0.5));
+        assert!(matches!(&else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_for_and_while() {
+        let s = parse_ok(
+            "system T;\nvar a : int<8>[128];\nproc P() {\n\
+               for i in 1 .. 128 { a[i] = i; }\n\
+               while a[0] > 0 iters 10 { a[0] = a[0] - 1; }\n\
+             }\n",
+        );
+        let p = s.behavior("P").unwrap();
+        assert!(matches!(&p.body[0], Stmt::For { .. }));
+        let Stmt::While { iters, .. } = &p.body[1] else {
+            panic!("expected while");
+        };
+        assert_eq!(*iters, Some(10.0));
+    }
+
+    #[test]
+    fn parses_fork_send_receive() {
+        let s = parse_ok(
+            "system T;\nvar m : int<8>;\n\
+             proc A() { m = 1; }\nproc B() { m = 2; }\n\
+             process Main {\n\
+               fork { call A(); call B(); }\n\
+               send Worker m + 1;\n\
+               receive m;\n\
+             }\n\
+             process Worker { receive m; }\n",
+        );
+        let main = s.behavior("Main").unwrap();
+        assert!(matches!(&main.body[0], Stmt::Fork { body, .. } if body.len() == 2));
+        assert!(matches!(&main.body[1], Stmt::Send { target, .. } if target == "Worker"));
+        assert!(matches!(&main.body[2], Stmt::Receive { .. }));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let s = parse_ok("system T;\nvar x : int<8>;\nproc P() { x = 1 + 2 * 3; }\n");
+        let p = s.behavior("P").unwrap();
+        let Stmt::Assign { value, .. } = &p.body[0] else {
+            panic!();
+        };
+        // 1 + (2 * 3)
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
+            panic!("expected + at root, got {value:?}");
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn logical_precedence_below_comparison() {
+        let s = parse_ok(
+            "system T;\nvar b : bool;\nproc P(x : int<8>) { b = x > 1 and x < 5 or not b; }\n",
+        );
+        let p = s.behavior("P").unwrap();
+        let Stmt::Assign { value, .. } = &p.body[0] else {
+            panic!();
+        };
+        assert!(matches!(value, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn builtin_calls_and_indexing_in_expressions() {
+        let s = parse_ok(
+            "system T;\nvar mr1 : int<8>[384];\nvar t : int<8>;\n\
+             proc P(v : int<8>) { t = min(mr1[v], mr1[128 + v]); }\n",
+        );
+        let p = s.behavior("P").unwrap();
+        let Stmt::Assign { value, .. } = &p.body[0] else {
+            panic!();
+        };
+        let Expr::Call { callee, args, .. } = value else {
+            panic!("expected call");
+        };
+        assert_eq!(callee, "min");
+        assert_eq!(args.len(), 2);
+        assert!(matches!(&args[1], Expr::Index { .. }));
+    }
+
+    #[test]
+    fn error_reports_location() {
+        let err = parse("system T;\nvar x : int<8>\nvar y : int<8>;").unwrap_err();
+        assert_eq!(err.span().line, 3);
+        assert!(err.message().contains("expected ;"));
+    }
+
+    #[test]
+    fn rejects_array_port() {
+        assert!(parse("system T; port p : in int<8>[4];").is_err());
+    }
+
+    #[test]
+    fn rejects_zero_width_int() {
+        assert!(parse("system T; var x : int<0>;").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(
+            parse("system T;\nvar x : int<8>;\nproc P() { if x > 0 prob 1.5 { x = 1; } }").is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_statement_outside_behavior() {
+        assert!(parse("system T; x = 1;").is_err());
+    }
+
+    #[test]
+    fn parenthesized_expressions() {
+        let s = parse_ok("system T;\nvar x : int<8>;\nproc P() { x = (1 + 2) * 3; }\n");
+        let p = s.behavior("P").unwrap();
+        let Stmt::Assign { value, .. } = &p.body[0] else {
+            panic!();
+        };
+        assert!(matches!(value, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+}

@@ -1,0 +1,260 @@
+//! Pretty-printer: AST → canonical source text.
+//!
+//! The printer's output re-parses to an AST equal to the input (modulo
+//! spans), which the test suite exploits for round-trip checks.
+
+use crate::ast::{BehaviorDecl, BehaviorKind, Expr, LValue, Spec, Stmt, VarDecl};
+use std::fmt::Write as _;
+
+/// Renders a specification as canonical source text.
+pub fn pretty(spec: &Spec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "system {};", spec.name);
+    for c in &spec.consts {
+        let _ = writeln!(out, "const {} = {};", c.name, expr_str(&c.value));
+    }
+    for p in &spec.ports {
+        let _ = writeln!(out, "port {} : {} {};", p.name, p.direction, p.ty);
+    }
+    for v in &spec.vars {
+        let _ = writeln!(out, "var {} : {};", v.name, v.ty);
+    }
+    for b in &spec.behaviors {
+        let _ = writeln!(out);
+        print_behavior(&mut out, b);
+    }
+    out
+}
+
+fn print_behavior(out: &mut String, b: &BehaviorDecl) {
+    match &b.kind {
+        BehaviorKind::Process => {
+            let _ = write!(out, "process {}", b.name);
+        }
+        BehaviorKind::Procedure => {
+            let _ = write!(out, "proc {}({})", b.name, params_str(b));
+        }
+        BehaviorKind::Function { ret } => {
+            let _ = write!(out, "func {}({}) -> {}", b.name, params_str(b), ret);
+        }
+    }
+    let _ = writeln!(out, " {{");
+    for l in &b.locals {
+        print_local(out, l, 1);
+    }
+    for s in &b.body {
+        print_stmt(out, s, 1);
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn params_str(b: &BehaviorDecl) -> String {
+    b.params
+        .iter()
+        .map(|p| format!("{} : {}", p.name, p.ty))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn print_local(out: &mut String, v: &VarDecl, depth: usize) {
+    let _ = writeln!(out, "{}var {} : {};", indent(depth), v.name, v.ty);
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    let pad = indent(depth);
+    match stmt {
+        Stmt::Assign { lhs, value, .. } => {
+            let _ = writeln!(out, "{pad}{} = {};", lvalue_str(lhs), expr_str(value));
+        }
+        Stmt::Call { callee, args, .. } => {
+            let _ = writeln!(out, "{pad}call {callee}({});", args_str(args));
+        }
+        Stmt::If {
+            cond,
+            prob,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let _ = write!(out, "{pad}if {}", expr_str(cond));
+            if let Some(p) = prob {
+                let _ = write!(out, " prob {}", float_str(*p));
+            }
+            let _ = writeln!(out, " {{");
+            for s in then_body {
+                print_stmt(out, s, depth + 1);
+            }
+            if else_body.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in else_body {
+                    print_stmt(out, s, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::For {
+            var, lo, hi, body, ..
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}for {var} in {} .. {} {{",
+                expr_str(lo),
+                expr_str(hi)
+            );
+            for s in body {
+                print_stmt(out, s, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::While {
+            cond, iters, body, ..
+        } => {
+            let _ = write!(out, "{pad}while {}", expr_str(cond));
+            if let Some(i) = iters {
+                let _ = write!(out, " iters {}", float_str(*i));
+            }
+            let _ = writeln!(out, " {{");
+            for s in body {
+                print_stmt(out, s, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Fork { body, .. } => {
+            let _ = writeln!(out, "{pad}fork {{");
+            for s in body {
+                print_stmt(out, s, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Send { target, value, .. } => {
+            let _ = writeln!(out, "{pad}send {target} {};", expr_str(value));
+        }
+        Stmt::Receive { lhs, .. } => {
+            let _ = writeln!(out, "{pad}receive {};", lvalue_str(lhs));
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "{pad}return {};", expr_str(v));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+        },
+        Stmt::Wait { amount, .. } => {
+            let _ = writeln!(out, "{pad}wait {amount};");
+        }
+    }
+}
+
+fn lvalue_str(lhs: &LValue) -> String {
+    match lhs {
+        LValue::Name { name, .. } => name.clone(),
+        LValue::Index { name, index, .. } => format!("{name}[{}]", expr_str(index)),
+    }
+}
+
+fn args_str(args: &[Expr]) -> String {
+    args.iter().map(expr_str).collect::<Vec<_>>().join(", ")
+}
+
+/// Renders an expression with full parenthesization of nested operations,
+/// so precedence never needs reconstructing.
+pub fn expr_str(expr: &Expr) -> String {
+    match expr {
+        Expr::Int { value, .. } => value.to_string(),
+        Expr::Bool { value, .. } => value.to_string(),
+        Expr::Name { name, .. } => name.clone(),
+        Expr::Index { name, index, .. } => format!("{name}[{}]", expr_str(index)),
+        Expr::Call { callee, args, .. } => format!("{callee}({})", args_str(args)),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("({} {op} {})", expr_str(lhs), expr_str(rhs))
+        }
+        Expr::Unary { op, operand, .. } => match op {
+            crate::ast::UnOp::Neg => format!("(-{})", expr_str(operand)),
+            crate::ast::UnOp::Not => format!("(not {})", expr_str(operand)),
+        },
+    }
+}
+
+fn float_str(v: f64) -> String {
+    if v.fract() == 0.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn indent(depth: usize) -> String {
+    "  ".repeat(depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strips spans by re-rendering: two ASTs are structurally equal when
+    /// their pretty forms match.
+    fn roundtrip(src: &str) {
+        let ast1 = parse(src).expect("first parse");
+        let printed = pretty(&ast1);
+        let ast2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(
+            pretty(&ast2),
+            printed,
+            "pretty output must be a fixed point"
+        );
+        assert_eq!(ast1.name, ast2.name);
+        assert_eq!(ast1.behaviors.len(), ast2.behaviors.len());
+    }
+
+    #[test]
+    fn roundtrips_declarations() {
+        roundtrip(
+            "system T;\nconst N = 4;\nport i : in int<8>;\nport o : out int<16>;\n\
+             var x : int<8>;\nvar a : int<8>[384];\n",
+        );
+    }
+
+    #[test]
+    fn roundtrips_statements() {
+        roundtrip(
+            "system T;\nvar x : int<8>;\nvar a : int<8>[128];\n\
+             proc A() { }\nproc B() { }\n\
+             func F(v : int<8>) -> int<8> { return v; }\n\
+             proc P(n : int<8>) {\n\
+               var t : int<8>;\n\
+               if n == 1 prob 0.5 { t = min(a[n], a[128 - n]); } else { t = 0; }\n\
+               for i in 1 .. 128 { a[i] = min(t, a[i]); }\n\
+               while t > 0 iters 10 { t = t - 1; }\n\
+               x = F(t);\n\
+             }\n\
+             process Main {\n\
+               fork { call A(); call B(); }\n\
+               send Main x + 1;\n\
+               receive x;\n\
+               wait 100;\n\
+             }\n",
+        );
+    }
+
+    #[test]
+    fn expr_str_parenthesizes() {
+        let spec = parse("system T;\nvar x : int<8>;\nproc P() { x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Assign { value, .. } = &spec.behaviors[0].body[0] else {
+            panic!();
+        };
+        assert_eq!(expr_str(value), "(1 + (2 * 3))");
+    }
+
+    #[test]
+    fn prob_prints_as_float() {
+        let spec =
+            parse("system T;\nvar x : int<8>;\nproc P() { if x > 0 prob 1 { x = 0; } }").unwrap();
+        let printed = pretty(&spec);
+        assert!(printed.contains("prob 1.0"), "{printed}");
+        roundtrip(&printed);
+    }
+}

@@ -1,0 +1,76 @@
+//! Source locations and spans for diagnostics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range into the source text, with line/column of its
+/// start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Self {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// A zero-width span at the origin, for synthesized nodes.
+    pub fn dummy() -> Self {
+        Self::new(0, 0, 1, 1)
+    }
+
+    /// Produces a span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Self::dummy()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_line_col() {
+        assert_eq!(Span::new(0, 5, 3, 7).to_string(), "3:7");
+    }
+
+    #[test]
+    fn join_covers_both() {
+        let a = Span::new(2, 5, 1, 3);
+        let b = Span::new(8, 12, 2, 1);
+        let j = a.to(b);
+        assert_eq!((j.start, j.end), (2, 12));
+        assert_eq!((j.line, j.col), (1, 3));
+    }
+}

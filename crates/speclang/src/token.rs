@@ -1,0 +1,258 @@
+//! Tokens of the specification language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// The kinds of tokens the lexer produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An integer literal.
+    Int(u64),
+    /// A floating-point literal (only used by `prob` annotations).
+    Float(f64),
+    /// An identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `system`
+    System,
+    /// `port`
+    Port,
+    /// `var`
+    Var,
+    /// `const`
+    Const,
+    /// `process`
+    Process,
+    /// `proc`
+    Proc,
+    /// `func`
+    Func,
+    /// `in`
+    In,
+    /// `out`
+    Out,
+    /// `inout`
+    Inout,
+    /// `int`
+    IntType,
+    /// `bool`
+    BoolType,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `call`
+    Call,
+    /// `return`
+    Return,
+    /// `wait`
+    Wait,
+    /// `fork`
+    Fork,
+    /// `send`
+    Send,
+    /// `receive`
+    Receive,
+    /// `prob`
+    Prob,
+    /// `iters`
+    Iters,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `..`
+    DotDot,
+    /// `->`
+    Arrow,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Looks up the keyword for an identifier-shaped lexeme.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "system" => TokenKind::System,
+            "port" => TokenKind::Port,
+            "var" => TokenKind::Var,
+            "const" => TokenKind::Const,
+            "process" => TokenKind::Process,
+            "proc" => TokenKind::Proc,
+            "func" => TokenKind::Func,
+            "in" => TokenKind::In,
+            "out" => TokenKind::Out,
+            "inout" => TokenKind::Inout,
+            "int" => TokenKind::IntType,
+            "bool" => TokenKind::BoolType,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "for" => TokenKind::For,
+            "while" => TokenKind::While,
+            "call" => TokenKind::Call,
+            "return" => TokenKind::Return,
+            "wait" => TokenKind::Wait,
+            "fork" => TokenKind::Fork,
+            "send" => TokenKind::Send,
+            "receive" => TokenKind::Receive,
+            "prob" => TokenKind::Prob,
+            "iters" => TokenKind::Iters,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s: &str = match self {
+            TokenKind::Int(v) => return write!(f, "{v}"),
+            TokenKind::Float(v) => return write!(f, "{v}"),
+            TokenKind::Ident(name) => return write!(f, "`{name}`"),
+            TokenKind::System => "system",
+            TokenKind::Port => "port",
+            TokenKind::Var => "var",
+            TokenKind::Const => "const",
+            TokenKind::Process => "process",
+            TokenKind::Proc => "proc",
+            TokenKind::Func => "func",
+            TokenKind::In => "in",
+            TokenKind::Out => "out",
+            TokenKind::Inout => "inout",
+            TokenKind::IntType => "int",
+            TokenKind::BoolType => "bool",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::For => "for",
+            TokenKind::While => "while",
+            TokenKind::Call => "call",
+            TokenKind::Return => "return",
+            TokenKind::Wait => "wait",
+            TokenKind::Fork => "fork",
+            TokenKind::Send => "send",
+            TokenKind::Receive => "receive",
+            TokenKind::Prob => "prob",
+            TokenKind::Iters => "iters",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::And => "and",
+            TokenKind::Or => "or",
+            TokenKind::Not => "not",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Colon => ":",
+            TokenKind::Comma => ",",
+            TokenKind::Assign => "=",
+            TokenKind::Eq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::DotDot => "..",
+            TokenKind::Arrow => "->",
+            TokenKind::Eof => "end of input",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("process"), Some(TokenKind::Process));
+        assert_eq!(TokenKind::keyword("prob"), Some(TokenKind::Prob));
+        assert_eq!(TokenKind::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(TokenKind::Int(42).to_string(), "42");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "`x`");
+        assert_eq!(TokenKind::DotDot.to_string(), "..");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

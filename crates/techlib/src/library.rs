@@ -1,0 +1,117 @@
+//! The technology library: the set of component classes a design may
+//! allocate from.
+
+use crate::models::{AsicModel, MemoryModel, ProcessorModel};
+
+/// A library of processor, ASIC, and memory technology models.
+///
+/// The frontend registers one SLIF component class per model and
+/// pre-computes every node's ict/size weight against each, so any
+/// allocation drawn from the library can be estimated without further
+/// preprocessing.
+///
+/// # Examples
+///
+/// ```
+/// use slif_techlib::TechnologyLibrary;
+///
+/// let lib = TechnologyLibrary::standard();
+/// assert_eq!(lib.processors.len(), 2);
+/// assert_eq!(lib.asics.len(), 2);
+/// assert_eq!(lib.memories.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechnologyLibrary {
+    /// Standard processor models.
+    pub processors: Vec<ProcessorModel>,
+    /// Custom-hardware models.
+    pub asics: Vec<AsicModel>,
+    /// Memory models.
+    pub memories: Vec<MemoryModel>,
+}
+
+impl TechnologyLibrary {
+    /// The standard library: two processors (`mcu8`, `cpu32`), two
+    /// custom-hardware technologies (`asic_ga`, `fpga`), two memories
+    /// (`sram`, `dram`).
+    pub fn standard() -> Self {
+        Self {
+            processors: vec![ProcessorModel::mcu8(), ProcessorModel::cpu32()],
+            asics: vec![AsicModel::gate_array(), AsicModel::fpga()],
+            memories: vec![MemoryModel::sram(), MemoryModel::dram()],
+        }
+    }
+
+    /// The standard library plus the pipelined RISC (`risc32`) — the
+    /// paper's "pipelined processors" future-work architecture.
+    pub fn extended() -> Self {
+        let mut lib = Self::standard();
+        lib.processors.push(ProcessorModel::risc32_pipelined());
+        lib
+    }
+
+    /// A minimal processor+ASIC library (the paper's running
+    /// "processor-asic architecture"): `mcu8`, `asic_ga`, `sram`.
+    pub fn proc_asic() -> Self {
+        Self {
+            processors: vec![ProcessorModel::mcu8()],
+            asics: vec![AsicModel::gate_array()],
+            memories: vec![MemoryModel::sram()],
+        }
+    }
+
+    /// Total number of component classes.
+    pub fn class_count(&self) -> usize {
+        self.processors.len() + self.asics.len() + self.memories.len()
+    }
+
+    /// All class names, processors then ASICs then memories.
+    pub fn class_names(&self) -> Vec<&str> {
+        self.processors
+            .iter()
+            .map(|p| p.name.as_str())
+            .chain(self.asics.iter().map(|a| a.name.as_str()))
+            .chain(self.memories.iter().map(|m| m.name.as_str()))
+            .collect()
+    }
+}
+
+impl Default for TechnologyLibrary {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_names_are_unique() {
+        let lib = TechnologyLibrary::standard();
+        let names = lib.class_names();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+        assert_eq!(lib.class_count(), 6);
+    }
+
+    #[test]
+    fn extended_adds_the_pipelined_risc() {
+        let lib = TechnologyLibrary::extended();
+        assert_eq!(lib.class_count(), 7);
+        assert!(lib.class_names().contains(&"risc32"));
+    }
+
+    #[test]
+    fn proc_asic_is_the_papers_architecture() {
+        let lib = TechnologyLibrary::proc_asic();
+        assert_eq!(lib.class_names(), vec!["mcu8", "asic_ga", "sram"]);
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(TechnologyLibrary::default(), TechnologyLibrary::standard());
+    }
+}

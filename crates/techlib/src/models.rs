@@ -1,0 +1,336 @@
+//! Technology models: processors, ASICs, and memories.
+//!
+//! The paper annotates every node with "a list of ict weights, one weight
+//! for each type of system component on which that node could possibly be
+//! implemented", obtained by compiling the behavior for processors and
+//! synthesizing it for custom hardware. These models supply the cost
+//! tables those steps need. Times are in nanoseconds; sizes in bytes
+//! (processors), gate equivalents (ASICs), or words (memories).
+
+use serde::{Deserialize, Serialize};
+use slif_cdfg::{AluOp, OpKind, ResourceSet};
+
+/// Weights produced by pre-compiling or pre-synthesizing one behavior for
+/// one component class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BehaviorWeights {
+    /// Internal computation time (ns) of one start-to-finish execution,
+    /// *excluding* channel communication (per Equation 1's split).
+    pub ict: u64,
+    /// Size: bytes (processor) or gates (ASIC).
+    pub size: u64,
+    /// Shareable datapath portion of `size` (ASICs only).
+    pub datapath: Option<u64>,
+}
+
+/// Weights for one variable on one component class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VariableWeights {
+    /// Storage access time (ns) — the variable's ict.
+    pub access_time: u64,
+    /// Storage footprint: bytes, gates, or words depending on class.
+    pub size: u64,
+}
+
+/// A standard (software-programmed) processor model.
+///
+/// # Examples
+///
+/// ```
+/// use slif_techlib::ProcessorModel;
+///
+/// let mcu = ProcessorModel::mcu8();
+/// assert!(mcu.cycle_ns >= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorModel {
+    /// Model name (becomes the SLIF component-class name).
+    pub name: String,
+    /// Clock period in nanoseconds.
+    pub cycle_ns: u64,
+    /// Cycles for a multiply (other ALU ops take 1).
+    pub mul_cycles: u64,
+    /// Cycles for a divide or remainder.
+    pub div_cycles: u64,
+    /// Cycles for a memory (load/store) operation.
+    pub mem_cycles: u64,
+    /// Average bytes of code per operation.
+    pub bytes_per_op: u64,
+    /// Fixed code bytes per behavior (prologue/epilogue).
+    pub behavior_overhead_bytes: u64,
+    /// Superscalar issue width (1 = strictly sequential). The paper's
+    /// future work names "pipelined processors"; a width above one lets
+    /// independent operations of a block overlap, bounded below by the
+    /// block's dataflow critical path.
+    pub issue_width: u32,
+}
+
+impl ProcessorModel {
+    /// An 8-bit microcontroller: 10 MHz, slow multiply/divide, compact code.
+    pub fn mcu8() -> Self {
+        Self {
+            name: "mcu8".to_owned(),
+            cycle_ns: 100,
+            mul_cycles: 8,
+            div_cycles: 32,
+            mem_cycles: 2,
+            bytes_per_op: 2,
+            behavior_overhead_bytes: 8,
+            issue_width: 1,
+        }
+    }
+
+    /// A 32-bit embedded processor: 25 MHz, hardware multiply.
+    pub fn cpu32() -> Self {
+        Self {
+            name: "cpu32".to_owned(),
+            cycle_ns: 40,
+            mul_cycles: 3,
+            div_cycles: 18,
+            mem_cycles: 2,
+            bytes_per_op: 4,
+            behavior_overhead_bytes: 16,
+            issue_width: 1,
+        }
+    }
+
+    /// A dual-issue pipelined 32-bit RISC: 50 MHz, the paper's
+    /// "pipelined processors" future-work architecture.
+    pub fn risc32_pipelined() -> Self {
+        Self {
+            name: "risc32".to_owned(),
+            cycle_ns: 20,
+            mul_cycles: 3,
+            div_cycles: 20,
+            mem_cycles: 2,
+            bytes_per_op: 4,
+            behavior_overhead_bytes: 16,
+            issue_width: 2,
+        }
+    }
+
+    /// Cycles one operation takes on this processor.
+    pub fn cycles(&self, kind: &OpKind) -> u64 {
+        match kind {
+            OpKind::Const(_) => 1,
+            OpKind::ReadLocal(_) | OpKind::WriteLocal(_) => 1,
+            OpKind::ReadLocalArray(_) | OpKind::WriteLocalArray(_) => self.mem_cycles,
+            OpKind::Binary(AluOp::Mul) => self.mul_cycles,
+            OpKind::Binary(AluOp::Div) | OpKind::Binary(AluOp::Rem) => self.div_cycles,
+            OpKind::Binary(_) | OpKind::Unary(_) => 1,
+            OpKind::Branch => 2,
+            OpKind::Jump => 1,
+            OpKind::Fork | OpKind::Join => 2,
+            OpKind::Return => 2,
+            OpKind::Wait(_) => 0,
+            // System accesses are communication, not internal computation:
+            // their time comes from channel transfer estimation.
+            _ => 0,
+        }
+    }
+
+    /// Code bytes one operation occupies (system-access ops still occupy
+    /// code space even though their *time* is communication).
+    pub fn bytes(&self, kind: &OpKind) -> u64 {
+        match kind {
+            OpKind::Wait(_) => self.bytes_per_op,
+            OpKind::Call(_) => 2 * self.bytes_per_op,
+            _ => self.bytes_per_op,
+        }
+    }
+
+    /// Weights for a variable held in the processor's own memory.
+    pub fn variable(&self, words: u64, word_bits: u32) -> VariableWeights {
+        let bytes_per_word = u64::from(word_bits.div_ceil(8));
+        VariableWeights {
+            access_time: self.mem_cycles * self.cycle_ns,
+            size: words * bytes_per_word,
+        }
+    }
+}
+
+/// A custom-hardware (ASIC or FPGA) technology model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsicModel {
+    /// Model name (becomes the SLIF component-class name).
+    pub name: String,
+    /// Clock period in nanoseconds.
+    pub cycle_ns: u64,
+    /// Datapath resources available to the scheduler.
+    pub resources: ResourceSet,
+    /// Gates per ALU instance.
+    pub alu_gates: u64,
+    /// Gates per multiplier instance.
+    pub mul_gates: u64,
+    /// Gates per divider instance.
+    pub div_gates: u64,
+    /// Gates per memory port.
+    pub mem_port_gates: u64,
+    /// Gates per stored bit (registers and local arrays).
+    pub gates_per_bit: u64,
+    /// Control gates per controller state (block).
+    pub state_gates: u64,
+    /// Control gates per operation (decode/steering logic).
+    pub op_ctrl_gates: u64,
+}
+
+impl AsicModel {
+    /// A gate-array ASIC: 20 ns clock, small datapath.
+    pub fn gate_array() -> Self {
+        Self {
+            name: "asic_ga".to_owned(),
+            cycle_ns: 20,
+            resources: ResourceSet::small(),
+            alu_gates: 400,
+            mul_gates: 2500,
+            div_gates: 4000,
+            mem_port_gates: 300,
+            gates_per_bit: 8,
+            state_gates: 40,
+            op_ctrl_gates: 6,
+        }
+    }
+
+    /// An FPGA: slower clock, cheaper "gates" (logic cells scaled), wider
+    /// datapath.
+    pub fn fpga() -> Self {
+        Self {
+            name: "fpga".to_owned(),
+            cycle_ns: 50,
+            resources: ResourceSet::large(),
+            alu_gates: 250,
+            mul_gates: 1800,
+            div_gates: 3200,
+            mem_port_gates: 200,
+            gates_per_bit: 4,
+            state_gates: 30,
+            op_ctrl_gates: 5,
+        }
+    }
+
+    /// Cycles one operation takes on this technology's datapath.
+    pub fn cycles(&self, kind: &OpKind) -> u64 {
+        match kind {
+            OpKind::Const(_) => 0,
+            OpKind::ReadLocal(_) | OpKind::WriteLocal(_) => 1,
+            OpKind::ReadLocalArray(_) | OpKind::WriteLocalArray(_) => 1,
+            OpKind::Binary(AluOp::Mul) => 2,
+            OpKind::Binary(AluOp::Div) | OpKind::Binary(AluOp::Rem) => 8,
+            OpKind::Binary(_) | OpKind::Unary(_) => 1,
+            OpKind::Branch | OpKind::Jump | OpKind::Return => 1,
+            OpKind::Fork | OpKind::Join => 1,
+            OpKind::Wait(_) => 0,
+            // Channel communication is estimated separately.
+            _ => 0,
+        }
+    }
+
+    /// Weights for a variable implemented as on-chip storage.
+    pub fn variable(&self, words: u64, word_bits: u32) -> VariableWeights {
+        VariableWeights {
+            access_time: self.cycle_ns,
+            size: words * u64::from(word_bits) * self.gates_per_bit,
+        }
+    }
+}
+
+/// A standard memory component model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Model name (becomes the SLIF component-class name).
+    pub name: String,
+    /// Read/write access time in nanoseconds.
+    pub access_ns: u64,
+    /// Word width in bits.
+    pub word_bits: u32,
+}
+
+impl MemoryModel {
+    /// A fast SRAM: 20 ns, 8-bit words.
+    pub fn sram() -> Self {
+        Self {
+            name: "sram".to_owned(),
+            access_ns: 20,
+            word_bits: 8,
+        }
+    }
+
+    /// A DRAM: 80 ns, 16-bit words.
+    pub fn dram() -> Self {
+        Self {
+            name: "dram".to_owned(),
+            access_ns: 80,
+            word_bits: 16,
+        }
+    }
+
+    /// Weights for a variable stored in this memory: size is in memory
+    /// words (a variable word wider than the memory word takes several).
+    pub fn variable(&self, words: u64, word_bits: u32) -> VariableWeights {
+        let per_var_word = u64::from(word_bits.div_ceil(self.word_bits));
+        VariableWeights {
+            access_time: self.access_ns * per_var_word,
+            size: words * per_var_word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_cycles_cost_arithmetic_not_communication() {
+        let m = ProcessorModel::mcu8();
+        assert_eq!(m.cycles(&OpKind::Binary(AluOp::Add)), 1);
+        assert_eq!(m.cycles(&OpKind::Binary(AluOp::Mul)), 8);
+        assert_eq!(m.cycles(&OpKind::Binary(AluOp::Div)), 32);
+        assert_eq!(m.cycles(&OpKind::ReadGlobal("x".into())), 0);
+        assert_eq!(m.cycles(&OpKind::Call("P".into())), 0);
+        assert_eq!(m.cycles(&OpKind::WritePort("o".into())), 0);
+    }
+
+    #[test]
+    fn processor_bytes_cover_all_ops() {
+        let m = ProcessorModel::cpu32();
+        assert_eq!(m.bytes(&OpKind::Binary(AluOp::Add)), 4);
+        assert_eq!(m.bytes(&OpKind::Call("P".into())), 8);
+        assert_eq!(m.bytes(&OpKind::ReadGlobal("x".into())), 4);
+    }
+
+    #[test]
+    fn processor_variable_weights() {
+        let m = ProcessorModel::mcu8();
+        let w = m.variable(384, 8);
+        assert_eq!(w.size, 384);
+        assert_eq!(w.access_time, 200);
+        // 12-bit words round up to 2 bytes.
+        assert_eq!(m.variable(64, 12).size, 128);
+    }
+
+    #[test]
+    fn asic_variable_weights_scale_with_bits() {
+        let a = AsicModel::gate_array();
+        assert_eq!(a.variable(1, 8).size, 64);
+        assert_eq!(a.variable(128, 8).size, 8192);
+        assert_eq!(a.variable(1, 8).access_time, a.cycle_ns);
+    }
+
+    #[test]
+    fn memory_variable_weights_split_wide_words() {
+        let m = MemoryModel::sram();
+        // 8-bit variable in an 8-bit memory: one word each.
+        assert_eq!(m.variable(384, 8).size, 384);
+        // 12-bit variable needs two 8-bit words.
+        assert_eq!(m.variable(64, 12).size, 128);
+        assert_eq!(m.variable(64, 12).access_time, 40);
+    }
+
+    #[test]
+    fn models_have_distinct_speed_classes() {
+        // The ASIC clock beats the microcontroller, as the paper's
+        // Figure 3 example assumes (Convolve: 80 us proc, 10 us ASIC).
+        assert!(AsicModel::gate_array().cycle_ns < ProcessorModel::mcu8().cycle_ns);
+        assert!(ProcessorModel::cpu32().cycle_ns < ProcessorModel::mcu8().cycle_ns);
+    }
+}

@@ -1,0 +1,50 @@
+//! The granularity knob: behaviors vs basic blocks as SLIF nodes.
+//!
+//! "Finer granularity can be obtained by treating basic blocks as
+//! procedures" (Section 2.2). The same fuzzy controller is built both
+//! ways; at block granularity a partitioner can move just a procedure's
+//! hot loop to the ASIC instead of the whole procedure.
+//!
+//! Run with: `cargo run --release --example block_granularity`
+
+use slif::explore::{greedy_improve, Objectives};
+use slif::frontend::{all_software_partition, allocate_proc_asic, build_design_at, Granularity};
+use slif::speclang::corpus;
+use slif::techlib::TechnologyLibrary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rs = corpus::by_name("fuzzy").unwrap().load()?;
+    let lib = TechnologyLibrary::proc_asic();
+
+    println!(
+        "{:<12} {:>7} {:>9} | {:>13} {:>13} {:>12}",
+        "granularity", "nodes", "channels", "period sw", "period best", "evaluations"
+    );
+    for (label, granularity) in [
+        ("behavior", Granularity::Behavior),
+        ("basic-block", Granularity::BasicBlock),
+    ] {
+        let mut design = build_design_at(&rs, &lib, granularity);
+        let arch = allocate_proc_asic(&mut design);
+        let start = all_software_partition(&design, arch);
+        let main = design.graph().node_by_name("FuzzyMain").unwrap();
+        let t_sw = slif::estimate::ExecTimeEstimator::new(&design, &start).exec_time(main)?;
+        // Push hard on the period: a deadline software alone cannot meet.
+        let objectives = Objectives::new().with_deadline(main, t_sw / 4.0);
+        let r = greedy_improve(&design, start, &objectives, 25)?;
+        let t_best =
+            slif::estimate::ExecTimeEstimator::new(&design, &r.partition).exec_time(main)?;
+        println!(
+            "{:<12} {:>7} {:>9} | {:>10.0} ns {:>10.0} ns {:>12}",
+            label,
+            design.graph().node_count(),
+            design.graph().channel_count(),
+            t_sw,
+            t_best,
+            r.evaluations
+        );
+    }
+    println!("\nBlock granularity multiplies the search space — and lets the");
+    println!("partitioner offload a single hot loop instead of a whole procedure.");
+    Ok(())
+}

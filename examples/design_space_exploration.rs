@@ -1,0 +1,106 @@
+//! Design-space exploration on the answering machine.
+//!
+//! Demonstrates the claim the paper's speed argument serves: with
+//! estimates costing well under a hundredth of a second, "algorithms that
+//! explore thousands of possible designs" become practical. All five
+//! partitioners run against a deadline + size-constrained
+//! processor–ASIC architecture and report their cost, evaluation count,
+//! and throughput.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use slif::core::Processor;
+use slif::estimate::IncrementalEstimator;
+use slif::explore::{
+    cluster_partition, cost, greedy_improve, group_migration, random_search, simulated_annealing,
+    AnnealingConfig, Objectives,
+};
+use slif::frontend::{all_software_partition, build_design, ProcAsicArchitecture};
+use slif::speclang::corpus;
+use slif::techlib::TechnologyLibrary;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rs = corpus::by_name("ans").unwrap().load()?;
+    let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+
+    // A constrained allocation: a small processor, a pin-limited ASIC.
+    let pc = design.class_by_name("mcu8").unwrap();
+    let ac = design.class_by_name("asic_ga").unwrap();
+    let mc = design.class_by_name("sram").unwrap();
+    let arch = ProcAsicArchitecture {
+        cpu: design.add_processor_instance(Processor::new("cpu0", pc).with_size_constraint(3000)),
+        asic: design.add_processor_instance(
+            Processor::new("asic0", ac)
+                .with_size_constraint(400_000)
+                .with_pin_constraint(96),
+        ),
+        mem: design.add_memory("mem0", mc),
+        bus: design.add_bus(slif::core::Bus::new("sysbus", 16, 20, 100)),
+    };
+    let start = all_software_partition(&design, arch);
+
+    // Objective: answer-path period under 2 ms, panel refresh under 5 ms.
+    let ans_main = design.graph().node_by_name("AnsMain").unwrap();
+    let panel = design.graph().node_by_name("PanelMain").unwrap();
+    let objectives = Objectives::new()
+        .with_deadline(ans_main, 2.0e6)
+        .with_deadline(panel, 5.0e6);
+
+    let mut est = IncrementalEstimator::new(&design, start.clone())?;
+    let c0 = cost(&design, &mut est, &objectives)?;
+    println!("answering machine, all-software start: cost {c0:.3}\n");
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>14}",
+        "algorithm", "cost", "evaluations", "time (ms)", "partitions/s"
+    );
+
+    type AlgoRun<'a> = Box<dyn Fn() -> slif::explore::ExplorationResult + 'a>;
+    let algos: Vec<(&str, AlgoRun)> = vec![
+        (
+            "random (2000 moves)",
+            Box::new(|| random_search(&design, start.clone(), &objectives, 2000, 42).unwrap()),
+        ),
+        (
+            "greedy descent",
+            Box::new(|| greedy_improve(&design, start.clone(), &objectives, 50).unwrap()),
+        ),
+        (
+            "simulated annealing",
+            Box::new(|| {
+                simulated_annealing(
+                    &design,
+                    start.clone(),
+                    &objectives,
+                    AnnealingConfig::default(),
+                    42,
+                )
+                .unwrap()
+            }),
+        ),
+        (
+            "group migration (KL)",
+            Box::new(|| group_migration(&design, start.clone(), &objectives, 6).unwrap()),
+        ),
+        (
+            "closeness clustering",
+            Box::new(|| cluster_partition(&design, start.clone(), &objectives, 4).unwrap()),
+        ),
+    ];
+
+    for (name, run) in algos {
+        let t0 = Instant::now();
+        let r = run();
+        let dt = t0.elapsed();
+        r.partition.validate(&design)?;
+        println!(
+            "{:<22} {:>10.3} {:>12} {:>12.1} {:>14.0}",
+            name,
+            r.cost,
+            r.evaluations,
+            dt.as_secs_f64() * 1e3,
+            r.evaluations as f64 / dt.as_secs_f64().max(1e-9)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Specification transformations on SLIF: inlining and process merging.
+//!
+//! The paper names transformation as the third system-design task and
+//! sketches how SLIF supports it: "a transformation, such as procedure
+//! inlining or process merging, would require modification of certain
+//! nodes and edges, along with recomputation of certain annotations"
+//! (Section 3). This example performs both on the benchmark systems and
+//! shows the annotation recomputation at work.
+//!
+//! Run with: `cargo run --example transformations`
+
+use slif::core::PmRef;
+use slif::estimate::ExecTimeEstimator;
+use slif::explore::{inline_procedure, merge_processes};
+use slif::frontend::{all_software_partition, allocate_proc_asic, build_design};
+use slif::speclang::corpus;
+use slif::techlib::TechnologyLibrary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    inline_demo()?;
+    merge_demo()?;
+    Ok(())
+}
+
+/// Inline the fuzzy controller's RuleStrength function into its caller.
+fn inline_demo() -> Result<(), Box<dyn std::error::Error>> {
+    let rs = corpus::by_name("fuzzy").unwrap().load()?;
+    let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+    let arch = allocate_proc_asic(&mut design);
+    let part = all_software_partition(&design, arch);
+
+    let main = design.graph().node_by_name("FuzzyMain").unwrap();
+    let target = design.graph().node_by_name("RuleStrength").unwrap();
+    let before_nodes = design.graph().node_count();
+    let before_chans = design.graph().channel_count();
+    let t_before = ExecTimeEstimator::new(&design, &part).exec_time(main)?;
+
+    let result = inline_procedure(&design, target)?;
+    let new_design = &result.design;
+    println!("== inlining RuleStrength into the fuzzy controller ==");
+    println!(
+        "  nodes {} -> {}, channels {} -> {}",
+        before_nodes,
+        new_design.graph().node_count(),
+        before_chans,
+        new_design.graph().channel_count()
+    );
+
+    // Rebuild the equivalent partition on the transformed design.
+    let mut design2 = result.design;
+    let arch2 = allocate_proc_asic(&mut design2);
+    let part2 = all_software_partition(&design2, arch2);
+    let new_main = design2.graph().node_by_name("FuzzyMain").unwrap();
+    let t_after = ExecTimeEstimator::new(&design2, &part2).exec_time(new_main)?;
+    println!(
+        "  FuzzyMain period {t_before:.0} -> {t_after:.0} ns \
+         (call transfers folded away; weights recomputed)\n"
+    );
+    Ok(())
+}
+
+/// Merge the volume meter's two processes into a single controller.
+fn merge_demo() -> Result<(), Box<dyn std::error::Error>> {
+    let rs = corpus::by_name("vol").unwrap().load()?;
+    let design = build_design(&rs, &TechnologyLibrary::proc_asic());
+    let a = design.graph().node_by_name("VolMain").unwrap();
+    let b = design.graph().node_by_name("DisplayMain").unwrap();
+    let pc = design.class_by_name("mcu8").unwrap();
+    let ict_a = design.graph().node(a).ict().get(pc).unwrap();
+    let ict_b = design.graph().node(b).ict().get(pc).unwrap();
+
+    let result = merge_processes(&design, a, b)?;
+    let merged = result.node_map[a.index()].unwrap();
+    let g = result.design.graph();
+    println!("== merging VolMain + DisplayMain in the volume meter ==");
+    println!(
+        "  processes {} -> {}",
+        design
+            .graph()
+            .node_ids()
+            .filter(|&n| design.graph().node(n).kind().is_process())
+            .count(),
+        g.node_ids()
+            .filter(|&n| g.node(n).kind().is_process())
+            .count()
+    );
+    println!(
+        "  merged ict on mcu8: {} + {} = {} ns",
+        ict_a,
+        ict_b,
+        g.node(merged).ict().get(pc).unwrap()
+    );
+    println!(
+        "  channels {} -> {} (the inter-process message became internal)",
+        design.graph().channel_count(),
+        g.channel_count()
+    );
+
+    // The merged design still estimates end to end.
+    let mut design2 = result.design;
+    let arch = allocate_proc_asic(&mut design2);
+    let part = all_software_partition(&design2, arch);
+    let t = ExecTimeEstimator::new(&design2, &part)
+        .exec_time(design2.graph().node_by_name("VolMain").unwrap())?;
+    println!("  merged controller period on the processor: {t:.0} ns");
+    let _ = PmRef::Processor(arch.cpu);
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! # slif — the Specification-Level Intermediate Format for system design
+//!
+//! A complete Rust implementation of **SLIF** (Frank Vahid, "SLIF: A
+//! specification-level intermediate format for system design", DATE 1995
+//! / UCR TR CS-94-06) and of the SpecSyn-style system-design flow built
+//! around it.
+//!
+//! SLIF represents a functional specification at *system-level*
+//! granularity — processes, procedures, variables and the accesses
+//! between them — together with system components (processors, memories,
+//! buses) and preprocessed annotations that make estimation of execution
+//! time, bitrate, size and I/O a matter of lookups and sums. That is what
+//! lets partitioning algorithms examine thousands of candidate designs
+//! interactively.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`core`] | the SLIF data model: access graph, components, partitions |
+//! | [`speclang`] | the behavioural specification language + benchmark corpus |
+//! | [`cdfg`] | control/dataflow graphs and scheduling (pre-synthesis substrate) |
+//! | [`techlib`] | technology models; pseudo-compiler and pseudo-synthesizer |
+//! | [`frontend`] | spec → annotated SLIF construction |
+//! | [`estimate`] | the paper's Equations 1–6 (+ extensions, incremental) |
+//! | [`explore`] | partitioning algorithms and transformations |
+//! | [`formats`] | ADD baseline + the Section 5 format-size comparison |
+//! | [`sim`] | functional simulator (the profiler behind `accfreq`) |
+//!
+//! # Examples
+//!
+//! The full flow on the paper's running example:
+//!
+//! ```
+//! use slif::estimate::DesignReport;
+//! use slif::frontend::{all_software_partition, allocate_proc_asic, build_design};
+//! use slif::speclang::corpus;
+//! use slif::techlib::TechnologyLibrary;
+//!
+//! // 1. Read the functional specification into SLIF (T-slif).
+//! let entry = corpus::by_name("fuzzy").unwrap();
+//! let rs = entry.load()?;
+//! let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+//! assert_eq!(design.graph().node_count(), 35);  // Figure 4's "BV"
+//! assert_eq!(design.graph().channel_count(), 56); // Figure 4's "C"
+//!
+//! // 2. Allocate the processor–ASIC architecture and map everything to
+//! //    software.
+//! let arch = allocate_proc_asic(&mut design);
+//! let partition = all_software_partition(&design, arch);
+//!
+//! // 3. Estimate size, pins, bitrate, performance (T-est).
+//! let report = DesignReport::compute(&design, &partition)?;
+//! assert!(!report.processes.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use slif_cdfg as cdfg;
+pub use slif_core as core;
+pub use slif_estimate as estimate;
+pub use slif_explore as explore;
+pub use slif_formats as formats;
+pub use slif_frontend as frontend;
+pub use slif_sim as sim;
+pub use slif_speclang as speclang;
+pub use slif_techlib as techlib;

@@ -1,0 +1,117 @@
+//! Integration test: the paper's Figure 4 table reproduces.
+//!
+//! For each benchmark system the built SLIF must match the published
+//! object and channel counts exactly, build in interactive time, and
+//! estimate in a small fraction of the build time.
+
+use slif::estimate::DesignReport;
+use slif::frontend::{all_software_partition, allocate_proc_asic, build_design};
+use slif::speclang::corpus;
+use slif::techlib::TechnologyLibrary;
+use std::time::Instant;
+
+#[test]
+fn bv_and_channel_counts_match_figure4_exactly() {
+    for entry in corpus::all() {
+        let rs = entry.load().unwrap();
+        let design = build_design(&rs, &TechnologyLibrary::proc_asic());
+        assert_eq!(
+            design.graph().node_count() as u32,
+            entry.paper.bv,
+            "{}: BV",
+            entry.name
+        );
+        assert_eq!(
+            design.graph().channel_count() as u32,
+            entry.paper.channels,
+            "{}: C",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn build_time_is_interactive_and_estimation_is_far_faster() {
+    for entry in corpus::all() {
+        let rs = entry.load().unwrap();
+        let t0 = Instant::now();
+        let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+        let t_slif = t0.elapsed();
+        // "The SLIF, with all its annotations, can be built in just a few
+        // seconds for even large examples" — on modern hardware, well
+        // under one second even unoptimized.
+        assert!(
+            t_slif.as_secs_f64() < 5.0,
+            "{}: T-slif {:?}",
+            entry.name,
+            t_slif
+        );
+
+        let arch = allocate_proc_asic(&mut design);
+        let part = all_software_partition(&design, arch);
+        // Warm up, then measure the estimate suite.
+        DesignReport::compute(&design, &part).unwrap();
+        let t0 = Instant::now();
+        let report = DesignReport::compute(&design, &part).unwrap();
+        let t_est = t0.elapsed();
+        assert!(!report.processes.is_empty());
+        // "size and performance estimates can be computed in less than a
+        // hundredth of a second".
+        assert!(
+            t_est.as_secs_f64() < 0.01,
+            "{}: T-est {:?}",
+            entry.name,
+            t_est
+        );
+        // And estimation is at least an order of magnitude below build.
+        assert!(
+            t_est.as_secs_f64() * 10.0 < t_slif.as_secs_f64(),
+            "{}: T-est {:?} not ≪ T-slif {:?}",
+            entry.name,
+            t_est,
+            t_slif
+        );
+    }
+}
+
+#[test]
+fn every_corpus_design_validates_and_estimates() {
+    for entry in corpus::all() {
+        let rs = entry.load().unwrap();
+        let mut design = build_design(&rs, &TechnologyLibrary::standard());
+        let arch = allocate_proc_asic(&mut design);
+        let part = all_software_partition(&design, arch);
+        part.validate(&design)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let report = DesignReport::compute(&design, &part).unwrap();
+        for p in &report.processes {
+            assert!(
+                p.exec_time.is_finite() && p.exec_time > 0.0,
+                "{}: process {} has degenerate time {}",
+                entry.name,
+                p.name,
+                p.exec_time
+            );
+        }
+        for b in &report.buses {
+            assert!(b.bitrate.is_finite() && b.bitrate >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn relative_build_times_follow_system_size() {
+    // The paper's ordering is by spec size: ether dominates everything.
+    // Measure with a couple of repetitions to damp noise.
+    let time_for = |name: &str| {
+        let rs = corpus::by_name(name).unwrap().load().unwrap();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            let _ = build_design(&rs, &TechnologyLibrary::proc_asic());
+        }
+        t0.elapsed()
+    };
+    let ether = time_for("ether");
+    let vol = time_for("vol");
+    assert!(ether > vol, "ether ({ether:?}) must out-cost vol ({vol:?})");
+}

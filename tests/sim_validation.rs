@@ -1,0 +1,261 @@
+//! Integration test: dynamic simulation validates the static profile.
+//!
+//! SLIF's access frequencies come from a branch-probability profile; the
+//! paper says that profile "may be obtained manually or through
+//! profiling". Here we close the loop: simulate the specification,
+//! measure accesses per behavior execution dynamically, and check they
+//! land on the statically profiled `accfreq` annotations wherever the
+//! stimulus realizes the annotated probabilities.
+
+use slif::core::AccessKind;
+use slif::frontend::build_design;
+use slif::sim::{simulate, PortStimulus, SimConfig, Stimulus};
+use slif::speclang::corpus;
+use slif::techlib::TechnologyLibrary;
+
+/// Static accfreq of the (src, dst) channel in the built fuzzy design.
+fn static_freq(design: &slif::core::Design, src: &str, dst: &str) -> f64 {
+    let g = design.graph();
+    let s = g.node_by_name(src).unwrap();
+    let d = g.node_by_name(dst).unwrap();
+    let c = [
+        AccessKind::Read,
+        AccessKind::Write,
+        AccessKind::Call,
+        AccessKind::Message,
+    ]
+    .into_iter()
+    .find_map(|k| g.find_channel(s, d.into(), k))
+    .unwrap_or_else(|| panic!("no channel {src} -> {dst}"));
+    g.channel(c).freq().avg
+}
+
+#[test]
+fn fuzzy_dynamic_access_rates_match_figure3() {
+    let entry = corpus::by_name("fuzzy").unwrap();
+    let rs = entry.load().unwrap();
+    let design = build_design(&rs, &TechnologyLibrary::proc_asic());
+
+    // EvaluateRule is called with num = 1 and num = 2 each round, so its
+    // `prob 0.5` branches are realized at exactly 0.5 dynamically.
+    let stim = Stimulus::new()
+        .with_port("in1", PortStimulus::Sequence(vec![10, 60, 110]))
+        .with_port("in2", PortStimulus::Sequence(vec![20, 80]));
+    let result = simulate(
+        &rs,
+        &stim,
+        SimConfig {
+            rounds: 100,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+
+    // The paper's Figure 3 numbers, both statically and dynamically.
+    for (src, dst, expected) in [
+        ("EvaluateRule", "mr1", 65.0),
+        ("EvaluateRule", "mr2", 65.0),
+        ("EvaluateRule", "in1val", 1.0),
+        ("EvaluateRule", "in2val", 1.0),
+        ("FuzzyMain", "EvaluateRule", 2.0),
+        ("FuzzyMain", "Convolve", 1.0),
+        ("Convolve", "conv", 128.0),
+    ] {
+        let s = static_freq(&design, src, dst);
+        assert!(
+            (s - expected).abs() < 1e-9,
+            "static {src}->{dst}: {s} != {expected}"
+        );
+        let d = result
+            .accesses_per_execution(src, dst)
+            .unwrap_or_else(|| panic!("no dynamic accesses {src}->{dst}"));
+        assert!(
+            (d - expected).abs() < 1e-9,
+            "dynamic {src}->{dst}: {d} != {expected}"
+        );
+    }
+}
+
+#[test]
+fn fuzzy_rarely_taken_branch_realizes_its_probability() {
+    // FuzzyMain's InitRules call is annotated `prob 0.01`; dynamically it
+    // happens exactly once (the first round, while `initialized` is
+    // false). Over 100 rounds the dynamic rate is exactly 0.01.
+    let rs = corpus::by_name("fuzzy").unwrap().load().unwrap();
+    let result = simulate(
+        &rs,
+        &Stimulus::new(),
+        SimConfig {
+            rounds: 100,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        result.accesses_per_execution("FuzzyMain", "InitRules"),
+        Some(0.01)
+    );
+}
+
+#[test]
+fn all_corpus_systems_simulate_without_faults() {
+    for entry in corpus::all() {
+        let rs = entry.load().unwrap();
+        // Mild, deterministic stimulus on every input port.
+        let mut stim = Stimulus::new();
+        for port in &rs.spec().ports {
+            if port.direction != slif::speclang::ast::Direction::Out {
+                stim = stim.with_port(
+                    &port.name,
+                    PortStimulus::Sequence(vec![0, 1, 3, 7, 2, 90, 201]),
+                );
+            }
+        }
+        let result = simulate(
+            &rs,
+            &stim,
+            SimConfig {
+                rounds: 25,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        // Every process executed every round.
+        for b in &rs.spec().behaviors {
+            if b.kind == slif::speclang::ast::BehaviorKind::Process {
+                assert_eq!(
+                    result.executions.get(&b.name),
+                    Some(&25),
+                    "{}: process {} executions",
+                    entry.name,
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dynamic_counts_stay_within_static_min_max_envelope() {
+    // For every channel whose source actually executed, the measured
+    // accesses per execution must lie within [min, max] — the envelope
+    // the annotations promise.
+    let entry = corpus::by_name("fuzzy").unwrap();
+    let rs = entry.load().unwrap();
+    let design = build_design(&rs, &TechnologyLibrary::proc_asic());
+    let stim = Stimulus::new()
+        .with_port("in1", PortStimulus::Ramp { start: 0, step: 11 })
+        .with_port("in2", PortStimulus::Ramp { start: 5, step: 7 });
+    let result = simulate(
+        &rs,
+        &stim,
+        SimConfig {
+            rounds: 50,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+
+    let g = design.graph();
+    for c in g.channel_ids() {
+        let ch = g.channel(c);
+        let src = g.node(ch.src()).name();
+        let dst = match ch.dst() {
+            slif::core::AccessTarget::Node(n) => g.node(n).name().to_owned(),
+            slif::core::AccessTarget::Port(p) => g.port(p).name().to_owned(),
+        };
+        let Some(rate) = result.accesses_per_execution(src, &dst) else {
+            continue; // never accessed under this stimulus
+        };
+        let f = ch.freq();
+        assert!(
+            rate >= f.min as f64 - 1e-9 && rate <= f.max as f64 + 1e-9,
+            "{src}->{dst}: dynamic {rate} outside [{}, {}]",
+            f.min,
+            f.max
+        );
+    }
+}
+
+#[test]
+fn golden_simulation_outputs_are_stable() {
+    // Deterministic end-to-end regression values: any change to the
+    // interpreter, the corpus, or the language semantics that alters
+    // functional behaviour shows up here.
+    use slif::sim::PortStimulus::{Constant, Ramp, Sequence};
+
+    // Volume meter: ramping transducer, metric units.
+    let rs = corpus::by_name("vol").unwrap().load().unwrap();
+    let stim = Stimulus::new()
+        .with_port(
+            "transducer",
+            Ramp {
+                start: 100,
+                step: 37,
+            },
+        )
+        .with_port("mode_sel", Constant(1));
+    let r = simulate(
+        &rs,
+        &stim,
+        SimConfig {
+            rounds: 40,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    let display = &r.port_writes["display"];
+    assert_eq!(display.len(), 40);
+    assert_eq!(display[display.len() - 1], 85555);
+    assert_eq!(r.finals["volume"], 86958);
+    assert_eq!(r.finals["avg_area"], 2717);
+    assert_eq!(r.sim_time, 4800);
+
+    // Answering machine: continuous ringing, a DTMF-ish line.
+    let rs = corpus::by_name("ans").unwrap().load().unwrap();
+    let stim = Stimulus::new()
+        .with_port("ring_detect", Constant(1))
+        .with_port("line_sample", Sequence(vec![128, 130, 220, 90]))
+        .with_port("buttons", Sequence(vec![0, 1, 2, 0]));
+    let r = simulate(
+        &rs,
+        &stim,
+        SimConfig {
+            rounds: 12,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        r.port_writes["hook_ctl"].len(),
+        24,
+        "answer + hangup per ring"
+    );
+    assert_eq!(r.finals["msg_count"], 1);
+    assert_eq!(r.finals["ring_count"], 0);
+
+    // Ethernet coprocessor: host enables rx+tx, carrier pulses.
+    let rs = corpus::by_name("ether").unwrap().load().unwrap();
+    let stim = Stimulus::new()
+        .with_port("host_wr", Sequence(vec![1, 0]))
+        .with_port("host_addr", Sequence(vec![0, 1]))
+        .with_port("host_data", Constant(3))
+        .with_port("phy_crs", Sequence(vec![1, 0, 0]))
+        .with_port("phy_rx", Ramp { start: 1, step: 5 })
+        .with_port("mdio_in", Sequence(vec![1, 0]));
+    let r = simulate(
+        &rs,
+        &stim,
+        SimConfig {
+            rounds: 10,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(r.executions["TxMain"], 10);
+    assert_eq!(
+        r.port_writes["host_out"].len(),
+        5,
+        "every other round reads a CSR"
+    );
+}

@@ -1,0 +1,252 @@
+//! Pipeline fuzzing: random specifications through the whole flow.
+//!
+//! A seeded generator emits structurally valid specifications; every one
+//! must parse, resolve, pretty-print to a fixed point, lower to CDFGs,
+//! build into a SLIF design whose every channel annotation is consistent,
+//! estimate without error, and simulate within its guards.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slif::estimate::DesignReport;
+use slif::frontend::{all_software_partition, allocate_proc_asic, build_design};
+use slif::sim::{simulate, PortStimulus, SimConfig, Stimulus};
+use slif::techlib::TechnologyLibrary;
+use std::fmt::Write as _;
+
+/// Generates a random, valid specification as source text.
+fn gen_spec(seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    let _ = writeln!(out, "system Gen{seed};");
+
+    let n_in = rng.gen_range(1..=3);
+    let n_out = rng.gen_range(1..=2);
+    for i in 0..n_in {
+        let _ = writeln!(out, "port pin{i} : in int<8>;");
+    }
+    for i in 0..n_out {
+        let _ = writeln!(out, "port pout{i} : out int<16>;");
+    }
+
+    let n_scalars = rng.gen_range(2..=6);
+    let n_arrays = rng.gen_range(1..=3);
+    for i in 0..n_scalars {
+        let _ = writeln!(out, "var v{i} : int<16>;");
+    }
+    for i in 0..n_arrays {
+        let len = [8, 16, 32][rng.gen_range(0..3)];
+        let _ = writeln!(out, "var a{i} : int<8>[{len}];");
+    }
+
+    // Integer expression over the declared names (depth-limited).
+    fn expr(rng: &mut StdRng, scalars: usize, arrays: usize, ins: usize, depth: u32) -> String {
+        if depth == 0 || rng.gen_bool(0.4) {
+            return match rng.gen_range(0..4) {
+                0 => format!("{}", rng.gen_range(0..100)),
+                1 => format!("v{}", rng.gen_range(0..scalars)),
+                2 if arrays > 0 => {
+                    format!("a{}[{}]", rng.gen_range(0..arrays), rng.gen_range(0..8))
+                }
+                _ => format!("pin{}", rng.gen_range(0..ins)),
+            };
+        }
+        let op = ["+", "-", "*"][rng.gen_range(0..3)];
+        let l = expr(rng, scalars, arrays, ins, depth - 1);
+        let r = expr(rng, scalars, arrays, ins, depth - 1);
+        match rng.gen_range(0..4) {
+            0 => format!("min({l}, {r})"),
+            1 => format!("abs({l})"),
+            _ => format!("({l} {op} {r})"),
+        }
+    }
+
+    fn cond(rng: &mut StdRng, scalars: usize, arrays: usize, ins: usize) -> String {
+        let op = ["==", "!=", "<", ">", "<=", ">="][rng.gen_range(0..6)];
+        format!(
+            "{} {op} {}",
+            expr(rng, scalars, arrays, ins, 1),
+            expr(rng, scalars, arrays, ins, 0)
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn stmts(
+        rng: &mut StdRng,
+        scalars: usize,
+        arrays: usize,
+        ins: usize,
+        outs: usize,
+        callables: usize,
+        depth: u32,
+        loop_level: u32,
+        out: &mut String,
+        pad: &str,
+    ) {
+        let n = rng.gen_range(1..=3);
+        for _ in 0..n {
+            match rng.gen_range(0..8) {
+                0..=2 => {
+                    let v = rng.gen_range(0..scalars);
+                    let e = expr(rng, scalars, arrays, ins, 2);
+                    let _ = writeln!(out, "{pad}v{v} = {e};");
+                }
+                3 if arrays > 0 => {
+                    let a = rng.gen_range(0..arrays);
+                    let idx = rng.gen_range(0..8);
+                    let e = expr(rng, scalars, arrays, ins, 1);
+                    let _ = writeln!(out, "{pad}a{a}[{idx}] = {e};");
+                }
+                4 if depth > 0 => {
+                    let c = cond(rng, scalars, arrays, ins);
+                    let p = rng.gen_range(1..=9);
+                    let _ = writeln!(out, "{pad}if {c} prob 0.{p} {{");
+                    stmts(
+                        rng,
+                        scalars,
+                        arrays,
+                        ins,
+                        outs,
+                        callables,
+                        depth - 1,
+                        loop_level,
+                        out,
+                        &format!("{pad}  "),
+                    );
+                    let _ = writeln!(out, "{pad}}}");
+                }
+                5 if depth > 0 && loop_level < 2 => {
+                    let hi = rng.gen_range(1..8);
+                    let lv = format!("i{loop_level}");
+                    let _ = writeln!(out, "{pad}for {lv} in 0 .. {hi} {{");
+                    stmts(
+                        rng,
+                        scalars,
+                        arrays,
+                        ins,
+                        outs,
+                        callables,
+                        depth - 1,
+                        loop_level + 1,
+                        out,
+                        &format!("{pad}  "),
+                    );
+                    let _ = writeln!(out, "{pad}}}");
+                }
+                6 if callables > 0 => {
+                    let b = rng.gen_range(0..callables);
+                    let e = expr(rng, scalars, arrays, ins, 1);
+                    let _ = writeln!(out, "{pad}call b{b}({e});");
+                }
+                _ => {
+                    let o = rng.gen_range(0..outs);
+                    let e = expr(rng, scalars, arrays, ins, 1);
+                    let _ = writeln!(out, "{pad}pout{o} = {e};");
+                }
+            }
+        }
+    }
+
+    // Procedures: b0..bK, each only calling lower-numbered ones.
+    let n_procs = rng.gen_range(1..=4);
+    for b in 0..n_procs {
+        let _ = writeln!(out, "proc b{b}(x : int<8>) {{");
+        let _ = writeln!(out, "  v0 = v0 + x;");
+        stmts(
+            &mut rng, n_scalars, n_arrays, n_in, n_out, b, 2, 0, &mut out, "  ",
+        );
+        let _ = writeln!(out, "}}");
+    }
+
+    // One process driving everything.
+    let _ = writeln!(out, "process Main {{");
+    stmts(
+        &mut rng, n_scalars, n_arrays, n_in, n_out, n_procs, 3, 0, &mut out, "  ",
+    );
+    let _ = writeln!(out, "  wait {};", rng.gen_range(1..100));
+    let _ = writeln!(out, "}}");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_specs_survive_the_whole_pipeline(seed in 0u64..100_000) {
+        let source = gen_spec(seed);
+
+        // Parse and resolve.
+        let rs = slif::speclang::parse_and_resolve(&source)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{source}"));
+
+        // Pretty-printing is a fixed point through the parser.
+        let printed = slif::speclang::pretty(rs.spec());
+        let reparsed = slif::speclang::parse(&printed)
+            .unwrap_or_else(|e| panic!("seed {seed} reparse: {e}\n{printed}"));
+        prop_assert_eq!(slif::speclang::pretty(&reparsed), printed);
+
+        // Build and validate SLIF.
+        let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+        let arch = allocate_proc_asic(&mut design);
+        let part = all_software_partition(&design, arch);
+        part.validate(&design)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{source}"));
+
+        // Channel annotations are internally consistent.
+        for c in design.graph().channel_ids() {
+            let ch = design.graph().channel(c);
+            prop_assert!(ch.freq().is_consistent(), "seed {}: {}", seed, ch);
+            prop_assert!(ch.bits() > 0);
+        }
+
+        // Full estimate suite runs.
+        let report = DesignReport::compute(&design, &part)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{source}"));
+        prop_assert_eq!(report.processes.len(), 1);
+
+        // And the specification executes.
+        let mut stim = Stimulus::new();
+        for p in &rs.spec().ports {
+            stim = stim.with_port(&p.name, PortStimulus::Ramp { start: 1, step: 3 });
+        }
+        let sim = simulate(
+            &rs,
+            &stim,
+            SimConfig { rounds: 4, ..SimConfig::default() },
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{source}"));
+        prop_assert_eq!(sim.executions.get("Main"), Some(&4));
+    }
+
+    /// Dynamic access rates of random specs always respect the static
+    /// [min, max] envelope.
+    #[test]
+    fn random_specs_respect_the_access_envelope(seed in 0u64..100_000) {
+        let source = gen_spec(seed);
+        let rs = slif::speclang::parse_and_resolve(&source).expect("valid by construction");
+        let design = build_design(&rs, &TechnologyLibrary::proc_asic());
+        let mut stim = Stimulus::new();
+        for p in &rs.spec().ports {
+            stim = stim.with_port(&p.name, PortStimulus::Sequence(vec![0, 7, 200, 3]));
+        }
+        let sim = simulate(&rs, &stim, SimConfig { rounds: 8, ..SimConfig::default() })
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{source}"));
+        let g = design.graph();
+        for c in g.channel_ids() {
+            let ch = g.channel(c);
+            let src = g.node(ch.src()).name();
+            let dst = match ch.dst() {
+                slif::core::AccessTarget::Node(n) => g.node(n).name().to_owned(),
+                slif::core::AccessTarget::Port(p) => g.port(p).name().to_owned(),
+            };
+            if let Some(rate) = sim.accesses_per_execution(src, &dst) {
+                let f = ch.freq();
+                prop_assert!(
+                    rate >= f.min as f64 - 1e-9 && rate <= f.max as f64 + 1e-9,
+                    "seed {}: {}->{} dynamic {} outside [{}, {}]\n{}",
+                    seed, src, dst, rate, f.min, f.max, source
+                );
+            }
+        }
+    }
+}
