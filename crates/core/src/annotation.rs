@@ -297,6 +297,19 @@ impl WeightList {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Removes the weight for `class`, returning the previous value.
+    pub fn remove(&mut self, class: ClassId) -> Option<u64> {
+        match self.entries.binary_search_by_key(&class, |e| e.class) {
+            Ok(pos) => Some(self.entries.remove(pos).val),
+            Err(_) => None,
+        }
+    }
+
+    /// Removes every recorded weight.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 impl FromIterator<(ClassId, u64)> for WeightList {
@@ -380,6 +393,16 @@ mod tests {
         assert_eq!(list.len(), 2);
         assert!(list.supports(k(0)));
         assert!(!list.supports(k(9)));
+    }
+
+    #[test]
+    fn weight_list_remove_and_clear() {
+        let mut list: WeightList = [(k(0), 5), (k(1), 10)].into_iter().collect();
+        assert_eq!(list.remove(k(0)), Some(5));
+        assert_eq!(list.remove(k(0)), None);
+        assert_eq!(list.get(k(1)), Some(10));
+        list.clear();
+        assert!(list.is_empty());
     }
 
     #[test]

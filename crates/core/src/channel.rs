@@ -158,6 +158,19 @@ impl Channel {
         self.tag = tag;
     }
 
+    /// Overwrites the source endpoint without revalidating it. Only the
+    /// fault injector uses this — it exists precisely to create the
+    /// dangling references that robust consumers must survive.
+    pub(crate) fn set_src_unchecked(&mut self, src: NodeId) {
+        self.src = src;
+    }
+
+    /// Overwrites the destination endpoint without revalidating it (fault
+    /// injection only; see [`set_src_unchecked`](Self::set_src_unchecked)).
+    pub(crate) fn set_dst_unchecked(&mut self, dst: AccessTarget) {
+        self.dst = dst;
+    }
+
     /// Average bits transferred per source execution
     /// (`freq.avg * bits`) — the numerator of the paper's Equation 2.
     pub fn avg_traffic(&self) -> f64 {

@@ -290,6 +290,14 @@ impl Bus {
         self.capacity
     }
 
+    /// Overwrites the bitwidth without enforcing the at-least-one-wire
+    /// invariant. Only the fault injector uses this, to model a corrupted
+    /// design; estimators must report [`CoreError::ZeroBitwidthBus`]
+    /// (`crate::CoreError`) rather than divide by the stored value blindly.
+    pub(crate) fn set_bitwidth_unchecked(&mut self, bitwidth: u32) {
+        self.bitwidth = bitwidth;
+    }
+
     /// Number of bus transfers needed to move `bits` bits:
     /// `ceil(bits / bitwidth)`, minimum 1 (even a zero-bit access — e.g. a
     /// parameterless call — occupies the bus once).

@@ -191,6 +191,16 @@ impl Design {
         &self.buses[id.index()]
     }
 
+    /// Mutable access to a bus (fault injection only: the setter it exposes
+    /// can break the bitwidth invariant on purpose).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this design.
+    pub(crate) fn bus_mut(&mut self, id: BusId) -> &mut Bus {
+        &mut self.buses[id.index()]
+    }
+
     /// The class of a processor-or-memory component: the key into node
     /// weight lists for objects mapped to it.
     ///

@@ -84,6 +84,28 @@ pub enum CoreError {
         /// The offending id.
         processor: ProcessorId,
     },
+    /// A bus has a bitwidth of zero, so transfer counts (Equation 2's
+    /// `bits(c) / buswidth` term) are undefined.
+    ZeroBitwidthBus {
+        /// The offending bus.
+        bus: BusId,
+    },
+    /// An id embedded in the design points outside the arena it indexes —
+    /// the kind of corruption a fault injector (or a buggy producer)
+    /// creates, which estimators must surface instead of panicking on.
+    DanglingReference {
+        /// What kind of thing the id claims to be (`"node"`, `"port"`,
+        /// `"channel"`, `"bus"`, `"class"`, `"component"`).
+        what: &'static str,
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// An algorithm was invoked with inputs that violate its documented
+    /// preconditions (empty allocation option, zero cluster count, ...).
+    InvalidInput {
+        /// What was wrong with the input.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -135,6 +157,15 @@ impl fmt::Display for CoreError {
             CoreError::InvalidProcessor { processor } => {
                 write!(f, "processor {processor} does not exist in the design")
             }
+            CoreError::ZeroBitwidthBus { bus } => {
+                write!(f, "bus {bus} has zero bitwidth; transfer counts are undefined")
+            }
+            CoreError::DanglingReference { what, index } => {
+                write!(f, "dangling {what} reference (index {index} is out of range)")
+            }
+            CoreError::InvalidInput { message } => {
+                write!(f, "invalid input: {message}")
+            }
         }
     }
 }
@@ -165,5 +196,117 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<CoreError>();
+    }
+
+    /// Every variant renders a non-empty, lowercase, single-line message
+    /// that names the offending object. Guards the machine-facing surface
+    /// used by `ValidationReport` and the diagnostics docs.
+    #[test]
+    fn every_variant_displays() {
+        let all: Vec<(CoreError, &str)> = vec![
+            (
+                CoreError::SourceNotBehavior {
+                    node: NodeId::from_raw(0),
+                },
+                "bv0",
+            ),
+            (
+                CoreError::KindTargetMismatch {
+                    kind: "call",
+                    dst: AccessTarget::Node(NodeId::from_raw(2)),
+                },
+                "call",
+            ),
+            (
+                CoreError::DuplicateName { name: "x".into() },
+                "`x`",
+            ),
+            (
+                CoreError::UnknownName { name: "y".into() },
+                "`y`",
+            ),
+            (
+                CoreError::BehaviorInMemory {
+                    node: NodeId::from_raw(1),
+                    memory: MemoryId::from_raw(0),
+                },
+                "memory",
+            ),
+            (
+                CoreError::UnmappedNode {
+                    node: NodeId::from_raw(4),
+                },
+                "bv4",
+            ),
+            (
+                CoreError::UnmappedChannel {
+                    channel: ChannelId::from_raw(7),
+                },
+                "c7",
+            ),
+            (
+                CoreError::UnknownComponent {
+                    component: PmRef::Memory(MemoryId::from_raw(9)),
+                },
+                "does not exist",
+            ),
+            (
+                CoreError::UnknownBus {
+                    bus: BusId::from_raw(3),
+                },
+                "does not exist",
+            ),
+            (
+                CoreError::MissingWeight {
+                    node: NodeId::from_raw(1),
+                    list: "size",
+                    component: PmRef::Processor(ProcessorId::from_raw(0)),
+                },
+                "size weight",
+            ),
+            (
+                CoreError::RecursiveAccess {
+                    node: NodeId::from_raw(5),
+                },
+                "recursion",
+            ),
+            (
+                CoreError::InvalidProcessor {
+                    processor: ProcessorId::from_raw(8),
+                },
+                "does not exist",
+            ),
+            (
+                CoreError::ZeroBitwidthBus {
+                    bus: BusId::from_raw(2),
+                },
+                "zero bitwidth",
+            ),
+            (
+                CoreError::DanglingReference {
+                    what: "node",
+                    index: 99,
+                },
+                "index 99",
+            ),
+            (
+                CoreError::InvalidInput {
+                    message: "k must be positive".into(),
+                },
+                "k must be positive",
+            ),
+        ];
+        for (err, needle) in all {
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "{err:?} renders `{msg}` without `{needle}`"
+            );
+            assert!(!msg.contains('\n'), "{err:?} renders multi-line");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "{err:?} does not start lowercase: `{msg}`"
+            );
+        }
     }
 }

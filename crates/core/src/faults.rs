@@ -1,0 +1,368 @@
+//! Seeded fault injection: deliberately corrupting designs and spec text.
+//!
+//! A robust pipeline must *report* a corrupted input, never panic on it.
+//! [`FaultInjector`] is the test harness for that property: seeded by a
+//! `u64`, it applies random but reproducible mutations to a
+//! [`Design`]/[`Partition`] pair (dropping annotations, dangling node and
+//! bus ids, unmapping objects, zeroing bus bitwidths, negating
+//! frequencies) or to specification source text (truncation, character
+//! flips). Every mutation models a real failure class: a buggy frontend, a
+//! stale partition from an older design revision, a hand-edited file.
+//!
+//! Consumers then assert that [`validate`](crate::validate::validate)
+//! reports the damage and that estimators return `Err` — the crate-level
+//! fault-injection suite runs hundreds of seeds through the whole
+//! parse → build → validate → estimate pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use slif_core::faults::FaultInjector;
+//! use slif_core::gen::DesignGenerator;
+//! use slif_core::validate::validate;
+//!
+//! let (mut design, mut partition) = DesignGenerator::new(3).build();
+//! let applied = FaultInjector::new(3).corrupt(&mut design, &mut partition, 2);
+//! assert_eq!(applied.len(), 2);
+//! // The sweep reports the damage instead of panicking.
+//! let _report = validate(&design, Some(&partition));
+//! ```
+
+use crate::annotation::AccessFreq;
+use crate::design::Design;
+use crate::ids::{AccessTarget, BusId, MemoryId, NodeId, PmRef, ProcessorId};
+use crate::partition::Partition;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The mutation classes the injector can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Erase a node's `ict_list` (annotation loss).
+    DropIctWeights,
+    /// Erase a node's `size_list` (annotation loss).
+    DropSizeWeights,
+    /// Point a channel's source at a node index that does not exist.
+    DangleChannelSrc,
+    /// Point a channel's destination at a node index that does not exist.
+    DangleChannelDst,
+    /// Map a node to a component instance that does not exist.
+    DangleNodeAssignment,
+    /// Map a channel to a bus that does not exist.
+    DangleBusAssignment,
+    /// Remove a node's component assignment.
+    UnassignNode,
+    /// Remove a channel's bus assignment.
+    UnassignChannel,
+    /// Set a bus's bitwidth to zero (divide-by-zero bait).
+    ZeroBusBitwidth,
+    /// Make a channel's average access frequency negative.
+    NegateChannelFreq,
+    /// Scramble a channel's frequency bounds so `min > max`.
+    ScrambleFreqBounds,
+}
+
+/// All mutation classes, in a fixed order (the injector draws uniformly
+/// from this set).
+pub const ALL_FAULT_KINDS: [FaultKind; 11] = [
+    FaultKind::DropIctWeights,
+    FaultKind::DropSizeWeights,
+    FaultKind::DangleChannelSrc,
+    FaultKind::DangleChannelDst,
+    FaultKind::DangleNodeAssignment,
+    FaultKind::DangleBusAssignment,
+    FaultKind::UnassignNode,
+    FaultKind::UnassignChannel,
+    FaultKind::ZeroBusBitwidth,
+    FaultKind::NegateChannelFreq,
+    FaultKind::ScrambleFreqBounds,
+];
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::DropIctWeights => "drop-ict-weights",
+            FaultKind::DropSizeWeights => "drop-size-weights",
+            FaultKind::DangleChannelSrc => "dangle-channel-src",
+            FaultKind::DangleChannelDst => "dangle-channel-dst",
+            FaultKind::DangleNodeAssignment => "dangle-node-assignment",
+            FaultKind::DangleBusAssignment => "dangle-bus-assignment",
+            FaultKind::UnassignNode => "unassign-node",
+            FaultKind::UnassignChannel => "unassign-channel",
+            FaultKind::ZeroBusBitwidth => "zero-bus-bitwidth",
+            FaultKind::NegateChannelFreq => "negate-channel-freq",
+            FaultKind::ScrambleFreqBounds => "scramble-freq-bounds",
+        })
+    }
+}
+
+/// A record of one applied mutation, for failure-reproduction messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedFault {
+    /// Which mutation class was applied.
+    pub kind: FaultKind,
+    /// Which object it hit, rendered (`"bv3"`, `"c7"`, `"i0"`, ...).
+    pub target: String,
+}
+
+impl fmt::Display for AppliedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}", self.kind, self.target)
+    }
+}
+
+/// A seeded, reproducible source of design and spec-text corruption.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector; equal seeds produce equal mutation sequences.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Applies `count` random mutations to `design`/`partition`, returning
+    /// a record of each. Mutation classes that cannot apply (e.g. a
+    /// channel fault on a channel-less design) are redrawn; a design with
+    /// no nodes, channels, or buses at all gets fewer faults than asked.
+    pub fn corrupt(
+        &mut self,
+        design: &mut Design,
+        partition: &mut Partition,
+        count: usize,
+    ) -> Vec<AppliedFault> {
+        let mut applied = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        while applied.len() < count && attempts < count * 32 {
+            attempts += 1;
+            let kind = ALL_FAULT_KINDS[self.rng.gen_range(0usize..ALL_FAULT_KINDS.len())];
+            if let Some(fault) = self.apply(kind, design, partition) {
+                applied.push(fault);
+            }
+        }
+        applied
+    }
+
+    /// Applies one specific mutation class, if the design has a target for
+    /// it. Returns what was hit.
+    pub fn apply(
+        &mut self,
+        kind: FaultKind,
+        design: &mut Design,
+        partition: &mut Partition,
+    ) -> Option<AppliedFault> {
+        let node_count = design.graph().node_count();
+        let channel_count = design.graph().channel_count();
+        let bus_count = design.bus_count();
+        let target = match kind {
+            FaultKind::DropIctWeights => {
+                // Only behaviors need ict weights, so only they are
+                // detectable targets for this fault.
+                let behaviors: Vec<NodeId> = design.graph().behavior_ids().collect();
+                if behaviors.is_empty() {
+                    return None;
+                }
+                let n = behaviors[self.rng.gen_range(0usize..behaviors.len())];
+                design.graph_mut().node_mut(n).ict_mut().clear();
+                n.to_string()
+            }
+            FaultKind::DropSizeWeights => {
+                let n = self.pick_node(node_count)?;
+                design.graph_mut().node_mut(n).size_mut().clear();
+                n.to_string()
+            }
+            FaultKind::DangleChannelSrc => {
+                let c = self.pick_channel(channel_count)?;
+                let bogus = NodeId::from_raw((node_count + 1 + self.rng.gen_range(0u32..7) as usize) as u32);
+                design.graph_mut().channel_mut(c).set_src_unchecked(bogus);
+                c.to_string()
+            }
+            FaultKind::DangleChannelDst => {
+                let c = self.pick_channel(channel_count)?;
+                let bogus = NodeId::from_raw((node_count + 1 + self.rng.gen_range(0u32..7) as usize) as u32);
+                design
+                    .graph_mut()
+                    .channel_mut(c)
+                    .set_dst_unchecked(AccessTarget::Node(bogus));
+                c.to_string()
+            }
+            FaultKind::DangleNodeAssignment => {
+                let n = self.pick_node(node_count.min(partition.node_slots()))?;
+                let comp = if self.rng.gen_bool(0.5) {
+                    PmRef::Processor(ProcessorId::from_raw(
+                        (design.processor_count() + 3) as u32,
+                    ))
+                } else {
+                    PmRef::Memory(MemoryId::from_raw((design.memory_count() + 3) as u32))
+                };
+                partition.assign_node(n, comp);
+                n.to_string()
+            }
+            FaultKind::DangleBusAssignment => {
+                let c = self.pick_channel(channel_count.min(partition.channel_slots()))?;
+                partition.assign_channel(c, BusId::from_raw((bus_count + 3) as u32));
+                c.to_string()
+            }
+            FaultKind::UnassignNode => {
+                let n = self.pick_node(node_count.min(partition.node_slots()))?;
+                partition.unassign_node(n);
+                n.to_string()
+            }
+            FaultKind::UnassignChannel => {
+                let c = self.pick_channel(channel_count.min(partition.channel_slots()))?;
+                partition.unassign_channel(c);
+                c.to_string()
+            }
+            FaultKind::ZeroBusBitwidth => {
+                if bus_count == 0 {
+                    return None;
+                }
+                let b = BusId::from_raw(self.rng.gen_range(0u32..bus_count as u32));
+                design.bus_mut(b).set_bitwidth_unchecked(0);
+                b.to_string()
+            }
+            FaultKind::NegateChannelFreq => {
+                let c = self.pick_channel(channel_count)?;
+                let freq = design.graph_mut().channel_mut(c).freq_mut();
+                freq.avg = -freq.avg.abs() - 1.0;
+                c.to_string()
+            }
+            FaultKind::ScrambleFreqBounds => {
+                let c = self.pick_channel(channel_count)?;
+                *design.graph_mut().channel_mut(c).freq_mut() = AccessFreq::new(
+                    self.rng.gen_range(0.0..4.0),
+                    10 + self.rng.gen_range(0u64..5),
+                    self.rng.gen_range(0u64..5),
+                );
+                c.to_string()
+            }
+        };
+        Some(AppliedFault { kind, target })
+    }
+
+    /// Corrupts specification source text while keeping it valid UTF-8:
+    /// either truncates it at a random byte boundary or overwrites one
+    /// ASCII byte with a printable junk character. Returns the corrupted
+    /// text and a description of the damage.
+    pub fn corrupt_spec(&mut self, source: &str) -> (String, String) {
+        let bytes = source.as_bytes();
+        if bytes.is_empty() {
+            return (String::new(), "empty input left as-is".to_owned());
+        }
+        if self.rng.gen_bool(0.4) {
+            // Truncate at a char boundary.
+            let mut cut = self.rng.gen_range(0usize..bytes.len());
+            while !source.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            (
+                source[..cut].to_owned(),
+                format!("truncated to {cut} of {} bytes", bytes.len()),
+            )
+        } else {
+            // Overwrite one ASCII byte with printable junk.
+            const JUNK: &[u8] = b"@#$~`?\\|^&{}();";
+            let mut pos = self.rng.gen_range(0usize..bytes.len());
+            while !bytes[pos].is_ascii() {
+                pos = (pos + 1) % bytes.len();
+            }
+            let junk = JUNK[self.rng.gen_range(0usize..JUNK.len())];
+            let mut out = source.as_bytes().to_vec();
+            out[pos] = junk;
+            let corrupted = String::from_utf8(out)
+                .expect("single ASCII byte replacement keeps UTF-8 valid");
+            (
+                corrupted,
+                format!("byte {pos} overwritten with `{}`", char::from(junk)),
+            )
+        }
+    }
+
+    fn pick_node(&mut self, count: usize) -> Option<NodeId> {
+        (count > 0).then(|| NodeId::from_raw(self.rng.gen_range(0u32..count as u32)))
+    }
+
+    fn pick_channel(&mut self, count: usize) -> Option<crate::ids::ChannelId> {
+        (count > 0).then(|| crate::ids::ChannelId::from_raw(self.rng.gen_range(0u32..count as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::DesignGenerator;
+    use crate::validate::validate;
+
+    #[test]
+    fn same_seed_same_faults() {
+        let (d0, p0) = DesignGenerator::new(5).build();
+        let (mut d1, mut p1) = (d0.clone(), p0.clone());
+        let (mut d2, mut p2) = (d0.clone(), p0.clone());
+        let a1 = FaultInjector::new(99).corrupt(&mut d1, &mut p1, 4);
+        let a2 = FaultInjector::new(99).corrupt(&mut d2, &mut p2, 4);
+        assert_eq!(a1, a2);
+        assert_eq!(d1, d2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn corrupt_applies_requested_count() {
+        let (mut d, mut p) = DesignGenerator::new(1).build();
+        let applied = FaultInjector::new(1).corrupt(&mut d, &mut p, 5);
+        assert_eq!(applied.len(), 5);
+    }
+
+    #[test]
+    fn every_fault_kind_applies_and_is_detected() {
+        for (i, kind) in ALL_FAULT_KINDS.iter().enumerate() {
+            let (mut d, mut p) = DesignGenerator::new(7).build();
+            let mut inj = FaultInjector::new(i as u64);
+            let applied = inj.apply(*kind, &mut d, &mut p);
+            assert!(applied.is_some(), "{kind} found no target");
+            let report = validate(&d, Some(&p));
+            assert!(
+                !report.is_clean(),
+                "{kind} went undetected by validation"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_kinds_display_kebab_case() {
+        for kind in ALL_FAULT_KINDS {
+            let s = kind.to_string();
+            assert!(!s.is_empty());
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{kind:?} renders `{s}`"
+            );
+        }
+        let fault = AppliedFault {
+            kind: FaultKind::ZeroBusBitwidth,
+            target: "i0".to_owned(),
+        };
+        assert_eq!(fault.to_string(), "zero-bus-bitwidth on i0");
+    }
+
+    #[test]
+    fn spec_corruption_keeps_utf8_and_is_seeded() {
+        let src = "system S;\nvar x : int<8>;\nprocess P { x = 1; }\n";
+        for seed in 0..32u64 {
+            let (a, why_a) = FaultInjector::new(seed).corrupt_spec(src);
+            let (b, _) = FaultInjector::new(seed).corrupt_spec(src);
+            assert_eq!(a, b, "seed {seed} not reproducible");
+            assert!(a.len() <= src.len());
+            assert!(!why_a.is_empty());
+            // `a` is a String, so UTF-8 validity held by construction.
+        }
+        let (empty, why) = FaultInjector::new(0).corrupt_spec("");
+        assert!(empty.is_empty());
+        assert!(why.contains("empty"));
+    }
+}

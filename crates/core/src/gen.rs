@@ -129,9 +129,9 @@ impl DesignGenerator {
         let mut variables = Vec::with_capacity(self.variables);
         for i in 0..self.variables {
             let kind = if rng.gen_bool(0.4) {
-                NodeKind::array(1 << rng.gen_range(4..10), 8 * rng.gen_range(1..=4))
+                NodeKind::array(1u64 << rng.gen_range(4..10), 8 * rng.gen_range(1u32..=4))
             } else {
-                NodeKind::scalar(8 * rng.gen_range(1..=4))
+                NodeKind::scalar(8 * rng.gen_range(1u32..=4))
             };
             let id = d.graph_mut().add_node(format!("var{i}"), kind);
             annotate(&mut d, id, &all_classes, &mut rng);
@@ -208,9 +208,9 @@ impl DesignGenerator {
         }
         let mut buses = Vec::new();
         for i in 0..self.buses {
-            let width = 8 << rng.gen_range(0..3);
-            let ts = rng.gen_range(1..4);
-            let td = ts + rng.gen_range(1..8);
+            let width = 8u32 << rng.gen_range(0..3);
+            let ts = rng.gen_range(1u64..4);
+            let td = ts + rng.gen_range(1u64..8);
             buses.push(d.add_bus(Bus::new(format!("bus{i}"), width, ts, td)));
         }
 
@@ -257,7 +257,7 @@ fn annotate(d: &mut Design, node: NodeId, classes: &[ClassId], rng: &mut StdRng)
 fn sample_count(mean: f64, rng: &mut StdRng) -> usize {
     let base = mean.floor() as usize;
     let frac = mean - mean.floor();
-    base + usize::from(rng.gen_bool(frac.clamp(0.0, 1.0))) + rng.gen_range(0..=1)
+    base + usize::from(rng.gen_bool(frac.clamp(0.0, 1.0))) + rng.gen_range(0usize..=1)
     // small jitter
 }
 

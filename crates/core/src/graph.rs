@@ -350,6 +350,11 @@ impl AccessGraph {
     /// "A cycle would represent recursion" (Section 2.2). Execution-time
     /// estimation requires an acyclic behavior-access structure, so callers
     /// use this to detect recursion up front.
+    ///
+    /// Channels whose destination id is out of range (possible only in a
+    /// corrupted graph) are skipped rather than followed; dangling
+    /// references are reported separately by
+    /// [`validate`](crate::validate::validate_design).
     pub fn find_recursion(&self) -> Option<NodeId> {
         // Iterative DFS over behavior→behavior edges with colour marking.
         #[derive(Clone, Copy, PartialEq)]
@@ -376,7 +381,7 @@ impl AccessGraph {
                     stack.last_mut().expect("stack is non-empty").1 += 1;
                     let ch = &self.channels[out[next].index()];
                     if let AccessTarget::Node(dst) = ch.dst() {
-                        if self.node(dst).kind().is_behavior() {
+                        if dst.index() < self.nodes.len() && self.node(dst).kind().is_behavior() {
                             match colour[dst.index()] {
                                 Colour::Grey => return Some(dst),
                                 Colour::White => {
@@ -426,7 +431,10 @@ impl AccessGraph {
                     stack.last_mut().expect("stack is non-empty").1 += 1;
                     let ch = &self.channels[out[next].index()];
                     if let AccessTarget::Node(dst) = ch.dst() {
-                        if self.node(dst).kind().is_behavior() && state[dst.index()] == 0 {
+                        if dst.index() < self.nodes.len()
+                            && self.node(dst).kind().is_behavior()
+                            && state[dst.index()] == 0
+                        {
                             state[dst.index()] = 1;
                             stack.push((dst, 0));
                             continue 'dfs;
@@ -453,7 +461,7 @@ impl AccessGraph {
             out.push(n);
             for &c in &self.in_channels[n.index()] {
                 let src = self.channels[c.index()].src();
-                if !seen[src.index()] {
+                if src.index() < seen.len() && !seen[src.index()] {
                     seen[src.index()] = true;
                     stack.push(src);
                 }

@@ -83,8 +83,10 @@ mod node;
 mod partition;
 
 pub mod dot;
+pub mod faults;
 pub mod gen;
 pub mod text;
+pub mod validate;
 
 pub use annotation::{AccessFreq, ConcurrencyTag, FreqMode, WeightEntry, WeightList};
 pub use channel::{AccessKind, Channel};
@@ -97,6 +99,7 @@ pub use ids::{
 };
 pub use node::{Node, NodeKind, Port, PortDirection};
 pub use partition::Partition;
+pub use validate::{IssueSeverity, ValidationIssue, ValidationReport};
 
 #[cfg(test)]
 mod tests {

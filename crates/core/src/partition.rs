@@ -214,11 +214,16 @@ impl Partition {
         p: ProcessorId,
     ) -> impl Iterator<Item = ChannelId> + 'a {
         let comp = PmRef::Processor(p);
+        // Out-of-range endpoints (a corrupted graph) count as "not on the
+        // component" instead of panicking; validation reports them.
+        let on_comp = move |n: NodeId| {
+            n.index() < self.node_to_comp.len() && self.node_component(n) == Some(comp)
+        };
         design.graph().channel_ids().filter(move |&c| {
             let ch = design.graph().channel(c);
-            let src_on = self.node_component(ch.src()) == Some(comp);
+            let src_on = on_comp(ch.src());
             let dst_on = match ch.dst() {
-                AccessTarget::Node(n) => self.node_component(n) == Some(comp),
+                AccessTarget::Node(n) => on_comp(n),
                 AccessTarget::Port(_) => false,
             };
             src_on != dst_on

@@ -1,0 +1,682 @@
+//! Whole-design validation: every problem in one sweep.
+//!
+//! The constructors and estimators report the *first* violation they hit
+//! ([`CoreError`]), which is right for programmatic use but wrong for a
+//! designer fixing a hand-written or machine-corrupted design: they want
+//! the complete list. [`validate_design`] and [`validate`] therefore sweep
+//! a whole [`Design`] (and optionally a [`Partition`]) and collect *all*
+//! findings into a [`ValidationReport`]:
+//!
+//! * **errors** — conditions under which estimation is undefined or the
+//!   partition is not proper (dangling references, kind/target mismatches,
+//!   recursion, zero-bitwidth buses, unmapped objects, missing weights for
+//!   the mapped class);
+//! * **warnings** — conditions estimators degrade around (inconsistent
+//!   access frequencies, zero-bit channels, incomplete per-class
+//!   annotation coverage).
+//!
+//! The sweep itself never panics, even on a design corrupted by the fault
+//! injector ([`faults`](crate::faults)): every indexed access is
+//! range-checked first, and dangling ids become
+//! [`CoreError::DanglingReference`] findings.
+//!
+//! # Examples
+//!
+//! ```
+//! use slif_core::gen::DesignGenerator;
+//! use slif_core::validate::validate;
+//!
+//! let (design, partition) = DesignGenerator::new(7).build();
+//! let report = validate(&design, Some(&partition));
+//! assert!(!report.has_errors(), "{report}");
+//! ```
+
+use crate::design::Design;
+use crate::error::CoreError;
+use crate::ids::{AccessTarget, PmRef};
+use crate::partition::Partition;
+use std::fmt;
+
+/// How severe a validation finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IssueSeverity {
+    /// Estimators degrade around the condition (possibly with reduced
+    /// fidelity); the design is still estimable.
+    Warning,
+    /// Estimation is undefined or the partition is not proper.
+    Error,
+}
+
+impl fmt::Display for IssueSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IssueSeverity::Warning => "warning",
+            IssueSeverity::Error => "error",
+        })
+    }
+}
+
+/// One finding of a validation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationIssue {
+    severity: IssueSeverity,
+    /// The underlying typed error, when the finding corresponds to a
+    /// condition a fail-fast API would have reported.
+    error: Option<CoreError>,
+    message: String,
+}
+
+impl ValidationIssue {
+    /// Creates an error finding backed by a typed [`CoreError`].
+    pub fn from_error(error: CoreError) -> Self {
+        Self {
+            severity: IssueSeverity::Error,
+            message: error.to_string(),
+            error: Some(error),
+        }
+    }
+
+    /// Creates an error finding with a free-form message.
+    pub fn error(message: impl Into<String>) -> Self {
+        Self {
+            severity: IssueSeverity::Error,
+            error: None,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning finding.
+    pub fn warning(message: impl Into<String>) -> Self {
+        Self {
+            severity: IssueSeverity::Warning,
+            error: None,
+            message: message.into(),
+        }
+    }
+
+    /// The finding's severity.
+    pub fn severity(&self) -> IssueSeverity {
+        self.severity
+    }
+
+    /// The underlying typed error, if any.
+    pub fn core_error(&self) -> Option<&CoreError> {
+        self.error.as_ref()
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.severity, self.message)
+    }
+}
+
+/// Every finding of a validation sweep, errors and warnings together.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationReport {
+    issues: Vec<ValidationIssue>,
+}
+
+impl ValidationReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, issue: ValidationIssue) {
+        self.issues.push(issue);
+    }
+
+    /// All findings, in sweep order.
+    pub fn issues(&self) -> &[ValidationIssue] {
+        &self.issues
+    }
+
+    /// The error findings only.
+    pub fn errors(&self) -> impl Iterator<Item = &ValidationIssue> + '_ {
+        self.issues
+            .iter()
+            .filter(|i| i.severity == IssueSeverity::Error)
+    }
+
+    /// The warning findings only.
+    pub fn warnings(&self) -> impl Iterator<Item = &ValidationIssue> + '_ {
+        self.issues
+            .iter()
+            .filter(|i| i.severity == IssueSeverity::Warning)
+    }
+
+    /// Returns `true` when at least one finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Returns `true` when there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.issues.len()
+    }
+
+    /// Returns `true` when there are no findings.
+    pub fn is_empty(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Converts the report into a fail-fast result: `Ok` when error-free
+    /// (warnings allowed), otherwise the first error — preferring its typed
+    /// [`CoreError`] when one exists.
+    ///
+    /// # Errors
+    ///
+    /// The first error finding, as a [`CoreError`]; free-form errors
+    /// surface as [`CoreError::InvalidInput`].
+    pub fn into_result(self) -> Result<(), CoreError> {
+        for issue in self.issues {
+            if issue.severity == IssueSeverity::Error {
+                return Err(issue.error.unwrap_or(CoreError::InvalidInput {
+                    message: issue.message,
+                }));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        write!(f, "validation: {errors} error(s), {warnings} warning(s)")?;
+        for issue in &self.issues {
+            write!(f, "\n  {issue}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps `design` for every structural problem and annotation gap,
+/// without a partition. See the [module docs](self) for what is an error
+/// versus a warning.
+pub fn validate_design(design: &Design) -> ValidationReport {
+    let mut report = ValidationReport::new();
+    check_components(design, &mut report);
+    check_channels(design, &mut report);
+    check_annotation_coverage(design, &mut report);
+    if let Some(node) = design.graph().find_recursion() {
+        report.push(ValidationIssue::from_error(CoreError::RecursiveAccess {
+            node,
+        }));
+    }
+    report
+}
+
+/// Sweeps `design` and, when given, `partition` — collecting design
+/// findings plus every proper-partition violation.
+pub fn validate(design: &Design, partition: Option<&Partition>) -> ValidationReport {
+    let mut report = validate_design(design);
+    if let Some(p) = partition {
+        check_partition(design, p, &mut report);
+    }
+    report
+}
+
+fn check_components(design: &Design, report: &mut ValidationReport) {
+    for b in design.bus_ids() {
+        if design.bus(b).bitwidth() == 0 {
+            report.push(ValidationIssue::from_error(CoreError::ZeroBitwidthBus {
+                bus: b,
+            }));
+        }
+    }
+    for p in design.processor_ids() {
+        let class = design.processor(p).class();
+        if class.index() >= design.class_count() {
+            report.push(ValidationIssue::from_error(CoreError::DanglingReference {
+                what: "class",
+                index: class.index(),
+            }));
+        } else if !design.class(class).kind().holds_behaviors() {
+            report.push(ValidationIssue::error(format!(
+                "processor {p} has memory class {class}"
+            )));
+        }
+    }
+    for m in design.memory_ids() {
+        let class = design.memory(m).class();
+        if class.index() >= design.class_count() {
+            report.push(ValidationIssue::from_error(CoreError::DanglingReference {
+                what: "class",
+                index: class.index(),
+            }));
+        } else if design.class(class).kind().holds_behaviors() {
+            report.push(ValidationIssue::error(format!(
+                "memory {m} has processor class {class}"
+            )));
+        }
+    }
+}
+
+fn check_channels(design: &Design, report: &mut ValidationReport) {
+    let g = design.graph();
+    for c in g.channel_ids() {
+        let ch = g.channel(c);
+        let src = ch.src();
+        let mut endpoints_ok = true;
+        if src.index() >= g.node_count() {
+            report.push(ValidationIssue::from_error(CoreError::DanglingReference {
+                what: "node",
+                index: src.index(),
+            }));
+            endpoints_ok = false;
+        } else if !g.node(src).kind().is_behavior() {
+            report.push(ValidationIssue::from_error(CoreError::SourceNotBehavior {
+                node: src,
+            }));
+        }
+        let dst_is_behavior = match ch.dst() {
+            AccessTarget::Node(n) if n.index() >= g.node_count() => {
+                report.push(ValidationIssue::from_error(CoreError::DanglingReference {
+                    what: "node",
+                    index: n.index(),
+                }));
+                endpoints_ok = false;
+                false
+            }
+            AccessTarget::Node(n) => g.node(n).kind().is_behavior(),
+            AccessTarget::Port(p) if p.index() >= g.port_count() => {
+                report.push(ValidationIssue::from_error(CoreError::DanglingReference {
+                    what: "port",
+                    index: p.index(),
+                }));
+                endpoints_ok = false;
+                false
+            }
+            AccessTarget::Port(_) => false,
+        };
+        if endpoints_ok {
+            let kind_ok = match ch.kind() {
+                crate::channel::AccessKind::Call | crate::channel::AccessKind::Message => {
+                    dst_is_behavior
+                }
+                crate::channel::AccessKind::Read | crate::channel::AccessKind::Write => {
+                    !dst_is_behavior
+                }
+            };
+            if !kind_ok {
+                report.push(ValidationIssue::from_error(CoreError::KindTargetMismatch {
+                    kind: match ch.kind() {
+                        crate::channel::AccessKind::Call => "call",
+                        crate::channel::AccessKind::Message => "message",
+                        crate::channel::AccessKind::Read => "read",
+                        crate::channel::AccessKind::Write => "write",
+                    },
+                    dst: ch.dst(),
+                }));
+            }
+        }
+        if !ch.freq().is_consistent() {
+            report.push(ValidationIssue::warning(format!(
+                "channel {c} has inconsistent access frequency {}",
+                ch.freq()
+            )));
+        }
+        if ch.bits() == 0 {
+            report.push(ValidationIssue::warning(format!(
+                "channel {c} transfers zero bits per access"
+            )));
+        }
+    }
+}
+
+/// Annotation completeness: "one weight for each type of system component
+/// on which that node could possibly be implemented" (Section 2.4).
+/// Behaviors can go on any behavior-holding class; variables on any class.
+/// Gaps are warnings — they only become errors once a partition actually
+/// maps the node onto the uncovered class.
+fn check_annotation_coverage(design: &Design, report: &mut ValidationReport) {
+    let g = design.graph();
+    for n in g.node_ids() {
+        let node = g.node(n);
+        for class in design.class_ids() {
+            let applicable = if node.kind().is_behavior() {
+                design.class(class).kind().holds_behaviors()
+            } else {
+                true
+            };
+            if !applicable {
+                continue;
+            }
+            if node.kind().is_behavior() && !node.ict().supports(class) {
+                report.push(ValidationIssue::warning(format!(
+                    "node {n} ({}) has no ict weight for class {class} ({})",
+                    node.name(),
+                    design.class(class).name()
+                )));
+            }
+            if !node.size().supports(class) {
+                report.push(ValidationIssue::warning(format!(
+                    "node {n} ({}) has no size weight for class {class} ({})",
+                    node.name(),
+                    design.class(class).name()
+                )));
+            }
+        }
+    }
+}
+
+fn check_partition(design: &Design, partition: &Partition, report: &mut ValidationReport) {
+    let g = design.graph();
+    if partition.node_slots() != g.node_count() || partition.channel_slots() != g.channel_count() {
+        report.push(ValidationIssue::error(format!(
+            "partition shape ({} node slots, {} channel slots) does not match \
+             the design ({} nodes, {} channels)",
+            partition.node_slots(),
+            partition.channel_slots(),
+            g.node_count(),
+            g.channel_count()
+        )));
+        return; // slot indexing below would be meaningless
+    }
+    for n in g.node_ids() {
+        let Some(comp) = partition.node_component(n) else {
+            report.push(ValidationIssue::from_error(CoreError::UnmappedNode {
+                node: n,
+            }));
+            continue;
+        };
+        let in_range = match comp {
+            PmRef::Processor(p) => p.index() < design.processor_count(),
+            PmRef::Memory(m) => m.index() < design.memory_count(),
+        };
+        if !in_range {
+            report.push(ValidationIssue::from_error(CoreError::UnknownComponent {
+                component: comp,
+            }));
+            continue;
+        }
+        if let PmRef::Memory(m) = comp {
+            if g.node(n).kind().is_behavior() {
+                report.push(ValidationIssue::from_error(CoreError::BehaviorInMemory {
+                    node: n,
+                    memory: m,
+                }));
+                continue;
+            }
+        }
+        let class = design.component_class(comp);
+        if class.index() >= design.class_count() {
+            // Already reported as a dangling class by check_components;
+            // weight lookups against it are meaningless.
+            continue;
+        }
+        let node = g.node(n);
+        if node.kind().is_behavior() && !node.ict().supports(class) {
+            report.push(ValidationIssue::from_error(CoreError::MissingWeight {
+                node: n,
+                list: "ict",
+                component: comp,
+            }));
+        }
+        if !node.size().supports(class) {
+            report.push(ValidationIssue::from_error(CoreError::MissingWeight {
+                node: n,
+                list: "size",
+                component: comp,
+            }));
+        }
+    }
+    for c in g.channel_ids() {
+        match partition.channel_bus(c) {
+            None => report.push(ValidationIssue::from_error(CoreError::UnmappedChannel {
+                channel: c,
+            })),
+            Some(bus) if bus.index() >= design.bus_count() => {
+                report.push(ValidationIssue::from_error(CoreError::UnknownBus { bus }));
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::AccessFreq;
+    use crate::channel::AccessKind;
+    use crate::component::{Bus, ClassKind};
+    use crate::gen::DesignGenerator;
+    use crate::ids::{BusId, NodeId, ProcessorId};
+    use crate::node::NodeKind;
+    use crate::Design;
+
+    fn annotated_fixture() -> (Design, Partition) {
+        let mut d = Design::new("t");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let mc = d.add_class("sram", ClassKind::Memory);
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+        let c = d
+            .graph_mut()
+            .add_channel(main, v.into(), AccessKind::Read)
+            .unwrap();
+        d.graph_mut().node_mut(main).ict_mut().set(pc, 10);
+        d.graph_mut().node_mut(main).size_mut().set(pc, 100);
+        for k in [pc, mc] {
+            d.graph_mut().node_mut(v).size_mut().set(k, 1);
+        }
+        let cpu = d.add_processor("cpu", pc);
+        let bus = d.add_bus(Bus::new("b", 8, 1, 2));
+        let mut part = Partition::new(&d);
+        part.assign_node(main, cpu.into());
+        part.assign_node(v, cpu.into());
+        part.assign_channel(c, bus);
+        (d, part)
+    }
+
+    #[test]
+    fn clean_design_reports_no_errors() {
+        let (d, p) = annotated_fixture();
+        let report = validate(&d, Some(&p));
+        assert!(!report.has_errors(), "{report}");
+        assert!(report.clone().into_result().is_ok());
+    }
+
+    #[test]
+    fn generated_designs_validate_cleanly() {
+        for seed in 0..8 {
+            let (d, p) = DesignGenerator::new(seed).build();
+            let report = validate(&d, Some(&p));
+            assert!(!report.has_errors(), "seed {seed}: {report}");
+        }
+    }
+
+    #[test]
+    fn collects_multiple_errors_in_one_sweep() {
+        let (mut d, mut p) = annotated_fixture();
+        // Three independent problems at once.
+        let orphan = d.graph_mut().add_node("orphan", NodeKind::procedure());
+        let c2 = d
+            .graph_mut()
+            .add_channel(orphan, orphan.into(), AccessKind::Call)
+            .unwrap();
+        let mut p2 = Partition::new(&d);
+        for n in d.graph().node_ids() {
+            if let Some(comp) = if n.index() < p.node_slots() {
+                p.node_component(n)
+            } else {
+                None
+            } {
+                p2.assign_node(n, comp);
+            }
+        }
+        p2.assign_channel(crate::ids::ChannelId::from_raw(0), BusId::from_raw(0));
+        let _ = c2; // left unmapped on purpose
+        p = p2;
+        let report = validate(&d, Some(&p));
+        // Recursion + unmapped orphan node + unmapped channel, all present.
+        assert!(
+            report
+                .errors()
+                .any(|i| matches!(i.core_error(), Some(CoreError::RecursiveAccess { .. }))),
+            "{report}"
+        );
+        assert!(
+            report
+                .errors()
+                .any(|i| matches!(i.core_error(), Some(CoreError::UnmappedNode { .. }))),
+            "{report}"
+        );
+        assert!(
+            report
+                .errors()
+                .any(|i| matches!(i.core_error(), Some(CoreError::UnmappedChannel { .. }))),
+            "{report}"
+        );
+        assert!(report.errors().count() >= 3, "{report}");
+    }
+
+    #[test]
+    fn annotation_gaps_are_warnings_not_errors() {
+        let (d, _) = annotated_fixture();
+        let report = validate_design(&d);
+        // `v` has no size weight gap, but `Main` is missing nothing; the
+        // fixture leaves no behavior-class gaps, so craft one:
+        let mut d2 = d;
+        let ac = d2.add_class("asic", ClassKind::CustomHw);
+        let report2 = validate_design(&d2);
+        assert!(!report2.has_errors(), "{report2}");
+        assert!(
+            report2.warnings().count() > report.warnings().count(),
+            "adding class {ac} should create coverage warnings"
+        );
+    }
+
+    #[test]
+    fn inconsistent_freq_and_zero_bits_warn() {
+        let (mut d, p) = annotated_fixture();
+        let c = d.graph().channel_ids().next().unwrap();
+        *d.graph_mut().channel_mut(c).freq_mut() = AccessFreq::new(5.0, 6, 7);
+        d.graph_mut().channel_mut(c).set_bits(0);
+        let report = validate(&d, Some(&p));
+        assert!(!report.has_errors(), "{report}");
+        assert!(
+            report
+                .warnings()
+                .any(|i| i.message().contains("inconsistent")),
+            "{report}"
+        );
+        assert!(
+            report.warnings().any(|i| i.message().contains("zero bits")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn zero_bitwidth_bus_is_an_error() {
+        let (mut d, p) = annotated_fixture();
+        let b = d.bus_ids().next().unwrap();
+        d.bus_mut(b).set_bitwidth_unchecked(0);
+        let report = validate(&d, Some(&p));
+        assert!(
+            report
+                .errors()
+                .any(|i| matches!(i.core_error(), Some(CoreError::ZeroBitwidthBus { .. }))),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn dangling_channel_endpoints_are_reported_not_panicked() {
+        let (mut d, p) = annotated_fixture();
+        let c = d.graph().channel_ids().next().unwrap();
+        d.graph_mut()
+            .channel_mut(c)
+            .set_src_unchecked(NodeId::from_raw(999));
+        let report = validate(&d, Some(&p));
+        assert!(
+            report
+                .errors()
+                .any(|i| matches!(i.core_error(), Some(CoreError::DanglingReference { .. }))),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn dangling_partition_component_is_reported() {
+        let (d, mut p) = annotated_fixture();
+        let n = d.graph().node_ids().next().unwrap();
+        p.assign_node(n, PmRef::Processor(ProcessorId::from_raw(44)));
+        let report = validate(&d, Some(&p));
+        assert!(
+            report
+                .errors()
+                .any(|i| matches!(i.core_error(), Some(CoreError::UnknownComponent { .. }))),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_one_clear_error() {
+        let (d, _) = annotated_fixture();
+        let other = Design::new("other");
+        let p = Partition::new(&other);
+        let report = validate(&d, Some(&p));
+        assert!(report.has_errors(), "{report}");
+        assert!(
+            report.errors().any(|i| i.message().contains("shape")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn report_display_lists_every_issue() {
+        let mut report = ValidationReport::new();
+        report.push(ValidationIssue::error("first problem"));
+        report.push(ValidationIssue::warning("second problem"));
+        let s = report.to_string();
+        assert!(s.contains("1 error(s), 1 warning(s)"), "{s}");
+        assert!(s.contains("error: first problem"), "{s}");
+        assert!(s.contains("warning: second problem"), "{s}");
+        assert_eq!(report.len(), 2);
+        assert!(!report.is_empty());
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn into_result_prefers_typed_errors() {
+        let mut report = ValidationReport::new();
+        report.push(ValidationIssue::warning("ignorable"));
+        report.push(ValidationIssue::from_error(CoreError::UnmappedNode {
+            node: NodeId::from_raw(1),
+        }));
+        assert_eq!(
+            report.into_result(),
+            Err(CoreError::UnmappedNode {
+                node: NodeId::from_raw(1)
+            })
+        );
+        let mut free = ValidationReport::new();
+        free.push(ValidationIssue::error("shape mismatch"));
+        assert!(matches!(
+            free.into_result(),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn severity_display() {
+        assert_eq!(IssueSeverity::Warning.to_string(), "warning");
+        assert_eq!(IssueSeverity::Error.to_string(), "error");
+        assert!(IssueSeverity::Warning < IssueSeverity::Error);
+    }
+}

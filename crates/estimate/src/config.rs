@@ -47,6 +47,15 @@ pub struct EstimatorConfig {
     /// when `false` (default), the paper's simplest method — all channel
     /// accesses occur sequentially — is used.
     pub concurrency_aware: bool,
+    /// Fallback ict weight for nodes lacking an entry for their mapped
+    /// class. `None` (default) keeps missing weights a hard
+    /// [`MissingWeight`](slif_core::CoreError::MissingWeight) error;
+    /// `Some(v)` substitutes `v` and records an
+    /// [`EstimateWarning`](crate::EstimateWarning) instead.
+    pub default_ict: Option<u64>,
+    /// Fallback size weight, with the same semantics as
+    /// [`default_ict`](Self::default_ict).
+    pub default_size: Option<u64>,
 }
 
 impl EstimatorConfig {
@@ -72,6 +81,20 @@ impl EstimatorConfig {
         self.concurrency_aware = aware;
         self
     }
+
+    /// Sets the fallback ict weight for graceful degradation on missing
+    /// annotations.
+    pub fn with_default_ict(mut self, ict: u64) -> Self {
+        self.default_ict = Some(ict);
+        self
+    }
+
+    /// Sets the fallback size weight for graceful degradation on missing
+    /// annotations.
+    pub fn with_default_size(mut self, size: u64) -> Self {
+        self.default_size = Some(size);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +107,15 @@ mod tests {
         assert_eq!(c.mode, FreqMode::Average);
         assert_eq!(c.message_policy, MessagePolicy::TransferOnly);
         assert!(!c.concurrency_aware);
+        assert_eq!(c.default_ict, None);
+        assert_eq!(c.default_size, None);
+    }
+
+    #[test]
+    fn default_weight_builders() {
+        let c = EstimatorConfig::new().with_default_ict(50).with_default_size(200);
+        assert_eq!(c.default_ict, Some(50));
+        assert_eq!(c.default_size, Some(200));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! [`CoreError::RecursiveAccess`].
 
 use crate::config::{EstimatorConfig, MessagePolicy};
+use crate::warning::EstimateWarning;
 use slif_core::{
     AccessKind, AccessTarget, ChannelId, ConcurrencyTag, CoreError, Design, NodeId, Partition,
     PmRef,
@@ -61,6 +62,7 @@ pub struct ExecTimeEstimator<'a> {
     partition: &'a Partition,
     config: EstimatorConfig,
     memo: Vec<MemoState>,
+    warnings: Vec<EstimateWarning>,
 }
 
 /// Memoization state for one node's execution time.
@@ -83,14 +85,23 @@ pub(crate) fn eval_exec_time(
     partition: &Partition,
     config: &EstimatorConfig,
     memo: &mut [MemoState],
+    warnings: &mut Vec<EstimateWarning>,
     n: NodeId,
 ) -> Result<f64, CoreError> {
+    // A corrupted graph can hold node ids outside every arena; report
+    // rather than index out of bounds.
+    if n.index() >= memo.len() || n.index() >= partition.node_slots() {
+        return Err(CoreError::DanglingReference {
+            what: "node",
+            index: n.index(),
+        });
+    }
     match memo[n.index()] {
         MemoState::Done(t) => Ok(t),
         MemoState::InProgress => Err(CoreError::RecursiveAccess { node: n }),
         MemoState::Unvisited => {
             memo[n.index()] = MemoState::InProgress;
-            let result = eval_compute(design, partition, config, memo, n);
+            let result = eval_compute(design, partition, config, memo, warnings, n);
             match result {
                 Ok(t) => {
                     memo[n.index()] = MemoState::Done(t);
@@ -110,27 +121,51 @@ fn eval_compute(
     partition: &Partition,
     config: &EstimatorConfig,
     memo: &mut [MemoState],
+    warnings: &mut Vec<EstimateWarning>,
     n: NodeId,
 ) -> Result<f64, CoreError> {
     let comp = partition
         .node_component(n)
         .ok_or(CoreError::UnmappedNode { node: n })?;
+    let comp_exists = match comp {
+        PmRef::Processor(p) => p.index() < design.processor_count(),
+        PmRef::Memory(m) => m.index() < design.memory_count(),
+    };
+    if !comp_exists {
+        return Err(CoreError::UnknownComponent { component: comp });
+    }
     let class = design.component_class(comp);
-    let ict = design
-        .graph()
-        .node(n)
-        .ict()
-        .get(class)
-        .map(|v| v as f64)
-        .ok_or(CoreError::MissingWeight {
-            node: n,
-            list: "ict",
-            component: comp,
-        })?;
+    if class.index() >= design.class_count() {
+        return Err(CoreError::DanglingReference {
+            what: "class",
+            index: class.index(),
+        });
+    }
+    let ict = match design.graph().node(n).ict().get(class) {
+        Some(v) => v as f64,
+        None => match config.default_ict {
+            Some(fallback) => {
+                warnings.push(EstimateWarning {
+                    node: n,
+                    list: "ict",
+                    component: comp,
+                    substituted: fallback,
+                });
+                fallback as f64
+            }
+            None => {
+                return Err(CoreError::MissingWeight {
+                    node: n,
+                    list: "ict",
+                    component: comp,
+                })
+            }
+        },
+    };
     if design.graph().node(n).kind().is_variable() {
         return Ok(ict);
     }
-    Ok(ict + eval_comm_time(design, partition, config, memo, n, comp)?)
+    Ok(ict + eval_comm_time(design, partition, config, memo, warnings, n, comp)?)
 }
 
 pub(crate) fn eval_comm_time(
@@ -138,21 +173,28 @@ pub(crate) fn eval_comm_time(
     partition: &Partition,
     config: &EstimatorConfig,
     memo: &mut [MemoState],
+    warnings: &mut Vec<EstimateWarning>,
     n: NodeId,
     comp: PmRef,
 ) -> Result<f64, CoreError> {
+    if n.index() >= design.graph().node_count() {
+        return Err(CoreError::DanglingReference {
+            what: "node",
+            index: n.index(),
+        });
+    }
     let channels: Vec<ChannelId> = design.graph().channels_of(n).collect();
     if !config.concurrency_aware {
         let mut total = 0.0;
         for c in channels {
-            total += eval_channel_time(design, partition, config, memo, c, comp)?;
+            total += eval_channel_time(design, partition, config, memo, warnings, c, comp)?;
         }
         return Ok(total);
     }
     let mut sequential = 0.0;
     let mut groups: Vec<(ConcurrencyTag, f64)> = Vec::new();
     for c in channels {
-        let t = eval_channel_time(design, partition, config, memo, c, comp)?;
+        let t = eval_channel_time(design, partition, config, memo, warnings, c, comp)?;
         let tag = design.graph().channel(c).tag();
         if !tag.is_concurrent() {
             sequential += t;
@@ -170,6 +212,7 @@ fn eval_channel_time(
     partition: &Partition,
     config: &EstimatorConfig,
     memo: &mut [MemoState],
+    warnings: &mut Vec<EstimateWarning>,
     c: ChannelId,
     src_comp: PmRef,
 ) -> Result<f64, CoreError> {
@@ -185,9 +228,19 @@ fn eval_channel_time(
         return Err(CoreError::UnknownBus { bus: bus_id });
     }
     let bus = design.bus(bus_id);
+    if bus.bitwidth() == 0 {
+        // Transfer counts would divide by zero; report, don't panic.
+        return Err(CoreError::ZeroBitwidthBus { bus: bus_id });
+    }
     let (same, dst_time) = match ch.dst() {
         AccessTarget::Port(_) => (false, 0.0),
         AccessTarget::Node(dst) => {
+            if dst.index() >= partition.node_slots() {
+                return Err(CoreError::DanglingReference {
+                    what: "node",
+                    index: dst.index(),
+                });
+            }
             let dst_comp = partition
                 .node_component(dst)
                 .ok_or(CoreError::UnmappedNode { node: dst })?;
@@ -196,7 +249,7 @@ fn eval_channel_time(
                 AccessKind::Call | AccessKind::Read | AccessKind::Write => true,
             };
             let dst_time = if include_dst {
-                eval_exec_time(design, partition, config, memo, dst)?
+                eval_exec_time(design, partition, config, memo, warnings, dst)?
             } else {
                 0.0
             };
@@ -226,6 +279,7 @@ impl<'a> ExecTimeEstimator<'a> {
             partition,
             config,
             memo: vec![MemoState::default(); design.graph().node_count()],
+            warnings: Vec::new(),
         }
     }
 
@@ -242,11 +296,26 @@ impl<'a> ExecTimeEstimator<'a> {
     /// * [`CoreError::UnmappedNode`] / [`CoreError::UnmappedChannel`] if the
     ///   partition does not cover the objects involved,
     /// * [`CoreError::MissingWeight`] if a node lacks an ict weight for the
-    ///   class of its component,
+    ///   class of its component and no
+    ///   [`default_ict`](EstimatorConfig::default_ict) is configured (with
+    ///   a default configured, the value is substituted and a warning is
+    ///   recorded instead — see [`warnings`](Self::warnings)),
+    /// * [`CoreError::ZeroBitwidthBus`] if a channel is mapped to a bus of
+    ///   zero bitwidth,
+    /// * [`CoreError::DanglingReference`] / [`CoreError::UnknownComponent`] /
+    ///   [`CoreError::UnknownBus`] if the design or partition references
+    ///   objects that do not exist (e.g. after corruption),
     /// * [`CoreError::RecursiveAccess`] if the access structure is
     ///   recursive.
     pub fn exec_time(&mut self, n: NodeId) -> Result<f64, CoreError> {
-        eval_exec_time(self.design, self.partition, &self.config, &mut self.memo, n)
+        eval_exec_time(
+            self.design,
+            self.partition,
+            &self.config,
+            &mut self.memo,
+            &mut self.warnings,
+            n,
+        )
     }
 
     /// Estimated communication time of behavior `n` alone (the
@@ -256,6 +325,12 @@ impl<'a> ExecTimeEstimator<'a> {
     ///
     /// Same conditions as [`exec_time`](Self::exec_time).
     pub fn comm_time(&mut self, n: NodeId) -> Result<f64, CoreError> {
+        if n.index() >= self.partition.node_slots() {
+            return Err(CoreError::DanglingReference {
+                what: "node",
+                index: n.index(),
+            });
+        }
         let comp = self
             .partition
             .node_component(n)
@@ -265,9 +340,22 @@ impl<'a> ExecTimeEstimator<'a> {
             self.partition,
             &self.config,
             &mut self.memo,
+            &mut self.warnings,
             n,
             comp,
         )
+    }
+
+    /// Warnings accumulated so far from graceful degradation (default
+    /// weight substitutions). Empty unless a default is configured and a
+    /// weight was actually missing.
+    pub fn warnings(&self) -> &[EstimateWarning] {
+        &self.warnings
+    }
+
+    /// Takes the accumulated warnings, leaving the estimator's list empty.
+    pub fn take_warnings(&mut self) -> Vec<EstimateWarning> {
+        std::mem::take(&mut self.warnings)
     }
 }
 
@@ -546,6 +634,62 @@ mod tests {
                 Err(CoreError::UnmappedNode { .. })
             ));
         }
+    }
+
+    #[test]
+    fn missing_ict_degrades_gracefully_with_default() {
+        let mut f = fixture(false);
+        // Drop sub's ict entry for the processor class.
+        let pc = f.d.class_by_name("proc").unwrap();
+        f.d.graph_mut().node_mut(f.sub).ict_mut().remove(pc);
+
+        // Strict (default) config: hard error.
+        let mut strict = ExecTimeEstimator::new(&f.d, &f.part);
+        assert!(matches!(
+            strict.exec_time(f.sub),
+            Err(CoreError::MissingWeight { list: "ict", .. })
+        ));
+        assert!(strict.warnings().is_empty());
+
+        // With a default: same answer as if ict were 40, plus a warning.
+        let cfg = EstimatorConfig::default().with_default_ict(40);
+        let mut soft = ExecTimeEstimator::with_config(&f.d, &f.part, cfg);
+        assert_eq!(soft.exec_time(f.sub).unwrap(), 49.0);
+        assert_eq!(soft.warnings().len(), 1);
+        let w = soft.warnings()[0];
+        assert_eq!((w.node, w.list, w.substituted), (f.sub, "ict", 40));
+        let drained = soft.take_warnings();
+        assert_eq!(drained.len(), 1);
+        assert!(soft.warnings().is_empty());
+    }
+
+    #[test]
+    fn zero_bitwidth_bus_is_reported_not_divided_by() {
+        use slif_core::faults::{FaultInjector, FaultKind};
+        let mut f = fixture(false);
+        FaultInjector::new(1)
+            .apply(FaultKind::ZeroBusBitwidth, &mut f.d, &mut f.part)
+            .expect("fixture has a bus");
+        let mut est = ExecTimeEstimator::new(&f.d, &f.part);
+        assert!(matches!(
+            est.exec_time(f.main),
+            Err(CoreError::ZeroBitwidthBus { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_node_query_is_reported() {
+        let f = fixture(false);
+        let mut est = ExecTimeEstimator::new(&f.d, &f.part);
+        let ghost = NodeId::from_raw(999);
+        assert!(matches!(
+            est.exec_time(ghost),
+            Err(CoreError::DanglingReference { what: "node", .. })
+        ));
+        assert!(matches!(
+            est.comm_time(ghost),
+            Err(CoreError::DanglingReference { what: "node", .. })
+        ));
     }
 
     #[test]

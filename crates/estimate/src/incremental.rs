@@ -20,7 +20,8 @@
 use crate::config::EstimatorConfig;
 use crate::exectime::{eval_exec_time, MemoState};
 use crate::io::io_pins;
-use crate::size::node_size_on;
+use crate::size::node_size_on_with;
+use crate::warning::EstimateWarning;
 use slif_core::{
     AccessTarget, BusId, ChannelId, CoreError, Design, NodeId, Partition, PmRef, ProcessorId,
 };
@@ -50,6 +51,7 @@ pub struct IncrementalEstimator<'a> {
     comp_size: Vec<u64>,
     exec_memo: Vec<MemoState>,
     pins_cache: Vec<Option<u32>>,
+    warnings: Vec<EstimateWarning>,
 }
 
 impl<'a> IncrementalEstimator<'a> {
@@ -76,11 +78,13 @@ impl<'a> IncrementalEstimator<'a> {
     ) -> Result<Self, CoreError> {
         let slots = design.processor_count() + design.memory_count();
         let mut comp_size = vec![0u64; slots];
+        let mut warnings = Vec::new();
         for n in design.graph().node_ids() {
             let comp = partition
                 .node_component(n)
                 .ok_or(CoreError::UnmappedNode { node: n })?;
-            comp_size[pm_index(design, comp)] += node_size_on(design, n, comp)?;
+            comp_size[pm_index(design, comp)] +=
+                node_size_on_with(design, n, comp, &config, &mut warnings)?;
         }
         Ok(Self {
             design,
@@ -89,6 +93,7 @@ impl<'a> IncrementalEstimator<'a> {
             comp_size,
             exec_memo: vec![MemoState::default(); design.graph().node_count()],
             pins_cache: vec![None; design.processor_count()],
+            warnings,
         })
     }
 
@@ -120,9 +125,10 @@ impl<'a> IncrementalEstimator<'a> {
                 return Err(CoreError::BehaviorInMemory { node: n, memory: m });
             }
         }
-        let new_w = node_size_on(self.design, n, comp)?;
+        let new_w = node_size_on_with(self.design, n, comp, &self.config, &mut self.warnings)?;
         if let Some(old_comp) = old {
-            let old_w = node_size_on(self.design, n, old_comp)?;
+            let old_w =
+                node_size_on_with(self.design, n, old_comp, &self.config, &mut self.warnings)?;
             self.comp_size[pm_index(self.design, old_comp)] -= old_w;
         }
         self.comp_size[pm_index(self.design, comp)] += new_w;
@@ -168,8 +174,16 @@ impl<'a> IncrementalEstimator<'a> {
             &self.partition,
             &self.config,
             &mut self.exec_memo,
+            &mut self.warnings,
             n,
         )
+    }
+
+    /// Warnings accumulated from graceful degradation (default weight
+    /// substitutions); see
+    /// [`ExecTimeEstimator::warnings`](crate::ExecTimeEstimator::warnings).
+    pub fn warnings(&self) -> &[EstimateWarning] {
+        &self.warnings
     }
 
     /// Equation 4/5 size of component `pm` — an O(1) cache read.

@@ -16,7 +16,9 @@ use slif_core::{CoreError, Design, Partition, ProcessorId};
 /// # Errors
 ///
 /// [`CoreError::UnmappedChannel`] if a cut channel has no bus assignment —
-/// without a bus, the wires crossing the boundary are unknown.
+/// without a bus, the wires crossing the boundary are unknown;
+/// [`CoreError::UnknownBus`] if a cut channel is assigned to a bus the
+/// design does not have.
 ///
 /// # Examples
 ///
@@ -51,11 +53,14 @@ pub fn io_pins(design: &Design, partition: &Partition, p: ProcessorId) -> Result
             return Err(CoreError::UnmappedChannel { channel: c });
         }
     }
-    Ok(partition
-        .cut_buses(design, p)
-        .iter()
-        .map(|&b| design.bus(b).bitwidth())
-        .sum())
+    let mut pins = 0u32;
+    for &b in partition.cut_buses(design, p).iter() {
+        if b.index() >= design.bus_count() {
+            return Err(CoreError::UnknownBus { bus: b });
+        }
+        pins = pins.saturating_add(design.bus(b).bitwidth());
+    }
+    Ok(pins)
 }
 
 /// Checks a processor's pin usage against its pin constraint, returning

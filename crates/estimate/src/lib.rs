@@ -51,6 +51,7 @@ mod io;
 mod report;
 mod saturation;
 mod size;
+mod warning;
 
 pub use bitrate::BitrateEstimator;
 pub use config::{EstimatorConfig, MessagePolicy};
@@ -59,4 +60,5 @@ pub use incremental::IncrementalEstimator;
 pub use io::{io_pins, pin_violation};
 pub use report::{BusReport, ComponentReport, DesignReport, ProcessReport};
 pub use saturation::{saturation_analysis, SaturationReport};
-pub use size::{node_size_on, size, size_shared, size_violation};
+pub use size::{node_size_on, node_size_on_with, size, size_shared, size_violation, size_with};
+pub use warning::EstimateWarning;

@@ -6,7 +6,8 @@ use crate::bitrate::BitrateEstimator;
 use crate::config::EstimatorConfig;
 use crate::exectime::ExecTimeEstimator;
 use crate::io::io_pins;
-use crate::size::size;
+use crate::size::size_with;
+use crate::warning::EstimateWarning;
 use slif_core::{BusId, CoreError, Design, NodeId, Partition, PmRef};
 use std::fmt;
 
@@ -85,6 +86,11 @@ pub struct DesignReport {
     pub buses: Vec<BusReport>,
     /// Per-process execution-time estimates.
     pub processes: Vec<ProcessReport>,
+    /// Graceful-degradation events: weights that were missing and replaced
+    /// by configured defaults. Empty unless the configuration sets
+    /// [`default_ict`](EstimatorConfig::default_ict) or
+    /// [`default_size`](EstimatorConfig::default_size).
+    pub warnings: Vec<EstimateWarning>,
 }
 
 impl DesignReport {
@@ -108,6 +114,7 @@ impl DesignReport {
         partition: &Partition,
         config: EstimatorConfig,
     ) -> Result<Self, CoreError> {
+        let mut warnings = Vec::new();
         let mut components = Vec::new();
         for pm in design.pm_refs() {
             let (name, size_constraint, pins, pin_constraint) = match pm {
@@ -128,7 +135,7 @@ impl DesignReport {
             components.push(ComponentReport {
                 component: pm,
                 name,
-                size: size(design, partition, pm)?,
+                size: size_with(design, partition, pm, &config, &mut warnings)?,
                 size_constraint,
                 pins,
                 pin_constraint,
@@ -157,10 +164,12 @@ impl DesignReport {
                 });
             }
         }
+        warnings.extend(exec.take_warnings());
         Ok(Self {
             components,
             buses,
             processes,
+            warnings,
         })
     }
 
@@ -202,6 +211,12 @@ impl fmt::Display for DesignReport {
         writeln!(f, "processes:")?;
         for p in &self.processes {
             writeln!(f, "  {:<12} exec time {:>12.2}", p.name, p.exec_time)?;
+        }
+        if !self.warnings.is_empty() {
+            writeln!(f, "warnings:")?;
+            for w in &self.warnings {
+                writeln!(f, "  {w}")?;
+            }
         }
         Ok(())
     }
@@ -257,6 +272,27 @@ mod tests {
         assert!(s.contains("buses:"));
         assert!(s.contains("processes:"));
         assert!(s.contains("proc0"));
+    }
+
+    #[test]
+    fn degraded_report_carries_warnings() {
+        let (mut d, part) = DesignGenerator::new(4).build();
+        // Strip one behavior's ict list: strict compute fails, a default
+        // rescues it and the report says what was assumed.
+        let b = d.graph().behavior_ids().next().unwrap();
+        d.graph_mut().node_mut(b).ict_mut().clear();
+        assert!(DesignReport::compute(&d, &part).is_err());
+        let cfg = EstimatorConfig::default().with_default_ict(10);
+        let r = DesignReport::compute_with(&d, &part, cfg).unwrap();
+        assert!(!r.warnings.is_empty());
+        assert!(r.warnings.iter().any(|w| w.node == b && w.list == "ict"));
+        assert!(r.to_string().contains("warnings:"));
+        assert!(r.to_string().contains("assumed default 10"));
+        // A clean design yields no warnings even with defaults configured.
+        let (d2, part2) = DesignGenerator::new(4).build();
+        let r2 = DesignReport::compute_with(&d2, &part2, cfg).unwrap();
+        assert!(r2.warnings.is_empty());
+        assert!(!r2.to_string().contains("warnings:"));
     }
 
     #[test]

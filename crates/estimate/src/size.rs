@@ -17,7 +17,29 @@
 //! sharing factor α ∈ \[0, 1\] models how much of the remaining datapath
 //! still needs dedicated hardware (α = 1 degenerates to Equation 4).
 
-use slif_core::{CoreError, Design, NodeId, Partition, PmRef};
+use crate::config::EstimatorConfig;
+use crate::warning::EstimateWarning;
+use slif_core::{ClassId, CoreError, Design, NodeId, Partition, PmRef};
+
+/// Verifies `pm` names a component the design actually has and that its
+/// class exists, returning the class.
+fn checked_class(design: &Design, pm: PmRef) -> Result<ClassId, CoreError> {
+    let exists = match pm {
+        PmRef::Processor(p) => p.index() < design.processor_count(),
+        PmRef::Memory(m) => m.index() < design.memory_count(),
+    };
+    if !exists {
+        return Err(CoreError::UnknownComponent { component: pm });
+    }
+    let class = design.component_class(pm);
+    if class.index() >= design.class_count() {
+        return Err(CoreError::DanglingReference {
+            what: "class",
+            index: class.index(),
+        });
+    }
+    Ok(class)
+}
 
 /// Equation 4/5: the size of component `pm` under `partition` — the sum of
 /// the size weights of the nodes mapped to it, looked up for the
@@ -26,7 +48,9 @@ use slif_core::{CoreError, Design, NodeId, Partition, PmRef};
 /// # Errors
 ///
 /// [`CoreError::MissingWeight`] if a mapped node lacks a size weight for
-/// the component's class.
+/// the component's class, [`CoreError::UnknownComponent`] /
+/// [`CoreError::DanglingReference`] if `pm` or an assigned node does not
+/// exist in the design.
 ///
 /// # Examples
 ///
@@ -48,20 +72,35 @@ use slif_core::{CoreError, Design, NodeId, Partition, PmRef};
 /// # Ok::<(), slif_core::CoreError>(())
 /// ```
 pub fn size(design: &Design, partition: &Partition, pm: PmRef) -> Result<u64, CoreError> {
-    let class = design.component_class(pm);
+    size_with(
+        design,
+        partition,
+        pm,
+        &EstimatorConfig::default(),
+        &mut Vec::new(),
+    )
+}
+
+/// [`size`] with graceful degradation: with
+/// [`default_size`](EstimatorConfig::default_size) configured, a missing
+/// size weight is substituted and recorded in `warnings` instead of
+/// aborting the sum.
+///
+/// # Errors
+///
+/// As for [`size`], except that [`CoreError::MissingWeight`] only occurs
+/// without a configured default.
+pub fn size_with(
+    design: &Design,
+    partition: &Partition,
+    pm: PmRef,
+    config: &EstimatorConfig,
+    warnings: &mut Vec<EstimateWarning>,
+) -> Result<u64, CoreError> {
+    checked_class(design, pm)?;
     let mut total = 0u64;
     for n in partition.nodes_on(pm) {
-        let w = design
-            .graph()
-            .node(n)
-            .size()
-            .get(class)
-            .ok_or(CoreError::MissingWeight {
-                node: n,
-                list: "size",
-                component: pm,
-            })?;
-        total += w;
+        total = total.saturating_add(node_size_on_with(design, n, pm, config, warnings)?);
     }
     Ok(total)
 }
@@ -73,19 +112,57 @@ pub fn size(design: &Design, partition: &Partition, pm: PmRef) -> Result<u64, Co
 /// # Errors
 ///
 /// [`CoreError::MissingWeight`] if the node lacks a size weight for the
-/// component's class.
+/// component's class, [`CoreError::UnknownComponent`] /
+/// [`CoreError::DanglingReference`] if `pm` or `node` does not exist.
 pub fn node_size_on(design: &Design, node: NodeId, pm: PmRef) -> Result<u64, CoreError> {
-    let class = design.component_class(pm);
-    design
-        .graph()
-        .node(node)
-        .size()
-        .get(class)
-        .ok_or(CoreError::MissingWeight {
-            node,
-            list: "size",
-            component: pm,
-        })
+    node_size_on_with(
+        design,
+        node,
+        pm,
+        &EstimatorConfig::default(),
+        &mut Vec::new(),
+    )
+}
+
+/// [`node_size_on`] with graceful degradation, as for [`size_with`].
+///
+/// # Errors
+///
+/// As for [`node_size_on`], except that [`CoreError::MissingWeight`] only
+/// occurs without a configured default.
+pub fn node_size_on_with(
+    design: &Design,
+    node: NodeId,
+    pm: PmRef,
+    config: &EstimatorConfig,
+    warnings: &mut Vec<EstimateWarning>,
+) -> Result<u64, CoreError> {
+    if node.index() >= design.graph().node_count() {
+        return Err(CoreError::DanglingReference {
+            what: "node",
+            index: node.index(),
+        });
+    }
+    let class = checked_class(design, pm)?;
+    match design.graph().node(node).size().get(class) {
+        Some(w) => Ok(w),
+        None => match config.default_size {
+            Some(fallback) => {
+                warnings.push(EstimateWarning {
+                    node,
+                    list: "size",
+                    component: pm,
+                    substituted: fallback,
+                });
+                Ok(fallback)
+            }
+            None => Err(CoreError::MissingWeight {
+                node,
+                list: "size",
+                component: pm,
+            }),
+        },
+    }
 }
 
 /// Sharing-aware hardware-size extension (the paper's reference \[1\]).
@@ -100,30 +177,37 @@ pub fn node_size_on(design: &Design, node: NodeId, pm: PmRef) -> Result<u64, Cor
 /// states), while functional units can be: the largest datapath must exist
 /// in full, and each further behavior reuses `1 − α` of its datapath.
 /// Weights without a split are treated as all-control (unshareable), so for
-/// designs annotated without splits this function equals [`size`].
-///
-/// # Panics
-///
-/// Panics if `sharing_factor` is not within `0.0..=1.0`.
+/// designs annotated without splits this function equals [`size`]. Sharing
+/// needs the real split, so [`default_size`](EstimatorConfig::default_size)
+/// does not apply here — missing weights stay hard errors.
 ///
 /// # Errors
 ///
-/// [`CoreError::MissingWeight`] as for [`size`].
+/// [`CoreError::InvalidInput`] if `sharing_factor` is not within
+/// `0.0..=1.0` (including NaN); [`CoreError::MissingWeight`] and the
+/// dangling-reference errors as for [`size`].
 pub fn size_shared(
     design: &Design,
     partition: &Partition,
     pm: PmRef,
     sharing_factor: f64,
 ) -> Result<u64, CoreError> {
-    assert!(
-        (0.0..=1.0).contains(&sharing_factor),
-        "sharing factor must be in [0, 1]"
-    );
-    let class = design.component_class(pm);
+    if !(0.0..=1.0).contains(&sharing_factor) {
+        return Err(CoreError::InvalidInput {
+            message: format!("sharing factor {sharing_factor} is outside [0, 1]"),
+        });
+    }
+    let class = checked_class(design, pm)?;
     let mut control_sum = 0u64;
     let mut dp_sum = 0u64;
     let mut dp_max = 0u64;
     for n in partition.nodes_on(pm) {
+        if n.index() >= design.graph().node_count() {
+            return Err(CoreError::DanglingReference {
+                what: "node",
+                index: n.index(),
+            });
+        }
         let entry = design
             .graph()
             .node(n)
@@ -150,6 +234,7 @@ pub fn size_shared(
 ///
 /// Propagates [`size`] errors.
 pub fn size_violation(design: &Design, partition: &Partition, pm: PmRef) -> Result<u64, CoreError> {
+    checked_class(design, pm)?;
     let actual = size(design, partition, pm)?;
     let constraint = match pm {
         PmRef::Processor(p) => design.processor(p).size_constraint(),
@@ -252,10 +337,58 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sharing factor")]
-    fn out_of_range_sharing_factor_panics() {
+    fn out_of_range_sharing_factor_is_an_error() {
         let (d, part, cpu, _) = fixture();
-        let _ = size_shared(&d, &part, cpu, 1.5);
+        for bad in [1.5, -0.1, f64::NAN] {
+            let err = size_shared(&d, &part, cpu, bad).unwrap_err();
+            assert!(matches!(err, CoreError::InvalidInput { .. }), "{err}");
+            assert!(err.to_string().contains("sharing factor"), "{err}");
+        }
+    }
+
+    #[test]
+    fn missing_size_degrades_gracefully_with_default() {
+        let (mut d, part, cpu, _) = fixture();
+        let pc = d.class_by_name("proc").unwrap();
+        let a = d.graph().node_by_name("A").unwrap();
+        d.graph_mut().node_mut(a).size_mut().remove(pc);
+
+        assert!(matches!(
+            size(&d, &part, cpu),
+            Err(CoreError::MissingWeight { list: "size", .. })
+        ));
+
+        let cfg = EstimatorConfig::default().with_default_size(100);
+        let mut warnings = Vec::new();
+        // A substituted at 100, B real at 240.
+        assert_eq!(size_with(&d, &part, cpu, &cfg, &mut warnings).unwrap(), 340);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(
+            (warnings[0].node, warnings[0].list, warnings[0].substituted),
+            (a, "size", 100)
+        );
+    }
+
+    #[test]
+    fn dangling_component_is_reported() {
+        let (d, part, _, _) = fixture();
+        let ghost = PmRef::Processor(slif_core::ProcessorId::from_raw(42));
+        assert!(matches!(
+            size(&d, &part, ghost),
+            Err(CoreError::UnknownComponent { .. })
+        ));
+        assert!(matches!(
+            size_violation(&d, &part, ghost),
+            Err(CoreError::UnknownComponent { .. })
+        ));
+        assert!(matches!(
+            node_size_on(&d, NodeId::from_raw(0), ghost),
+            Err(CoreError::UnknownComponent { .. })
+        ));
+        assert!(matches!(
+            node_size_on(&d, NodeId::from_raw(999), d.processor_by_name("cpu").unwrap().into()),
+            Err(CoreError::DanglingReference { what: "node", .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Warnings emitted when estimators degrade gracefully.
+//!
+//! With [`EstimatorConfig::default_ict`](crate::EstimatorConfig) /
+//! [`default_size`](crate::EstimatorConfig) set, a missing weight no
+//! longer aborts estimation: the estimator substitutes the configured
+//! default and records an [`EstimateWarning`] so the caller knows the
+//! result's fidelity dropped. Without defaults configured the same
+//! condition stays a hard [`CoreError::MissingWeight`]
+//! (`slif_core::CoreError`) — the paper's strict reading.
+
+use slif_core::{NodeId, PmRef};
+use std::fmt;
+
+/// One graceful-degradation event: a missing weight that was substituted
+/// with a configured default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateWarning {
+    /// The node whose weight list was incomplete.
+    pub node: NodeId,
+    /// Which list was incomplete: `"ict"` or `"size"`.
+    pub list: &'static str,
+    /// The component whose class had no entry.
+    pub component: PmRef,
+    /// The default value that was used instead.
+    pub substituted: u64,
+}
+
+impl fmt::Display for EstimateWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node {} has no {} weight for the class of component {}; \
+             assumed default {}",
+            self.node, self.list, self.component, self.substituted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::ProcessorId;
+
+    #[test]
+    fn display_names_node_list_and_default() {
+        let w = EstimateWarning {
+            node: NodeId::from_raw(3),
+            list: "ict",
+            component: PmRef::Processor(ProcessorId::from_raw(1)),
+            substituted: 100,
+        };
+        let s = w.to_string();
+        assert!(s.contains("bv3"), "{s}");
+        assert!(s.contains("ict"), "{s}");
+        assert!(s.contains("p1"), "{s}");
+        assert!(s.contains("100"), "{s}");
+    }
+}

@@ -92,14 +92,11 @@ impl fmt::Display for AllocResult {
 /// Each option gets its own clone of the base design, an all-on-first-
 /// processor starting partition, and a simulated-annealing budget.
 ///
-/// # Panics
-///
-/// Panics if the base design already has components, or if an option has
-/// no processors or no buses.
-///
 /// # Errors
 ///
-/// Propagates estimation errors from partitioning.
+/// [`CoreError::InvalidInput`] if the base design already has components,
+/// or if an option has no processors or no buses; otherwise propagates
+/// estimation errors from partitioning.
 pub fn explore_allocations(
     base: &Design,
     options: &[AllocOption],
@@ -107,18 +104,23 @@ pub fn explore_allocations(
     annealing: AnnealingConfig,
     seed: u64,
 ) -> Result<Vec<AllocResult>, CoreError> {
-    assert!(
-        base.processor_count() == 0 && base.memory_count() == 0 && base.bus_count() == 0,
-        "allocation exploration needs a component-less base design"
-    );
+    if base.processor_count() + base.memory_count() + base.bus_count() != 0 {
+        return Err(CoreError::InvalidInput {
+            message: "allocation exploration needs a component-less base design".to_owned(),
+        });
+    }
     let mut results = Vec::with_capacity(options.len());
     for option in options {
-        assert!(
-            !option.processors.is_empty(),
-            "{}: no processors",
-            option.name
-        );
-        assert!(!option.buses.is_empty(), "{}: no buses", option.name);
+        if option.processors.is_empty() {
+            return Err(CoreError::InvalidInput {
+                message: format!("allocation option `{}` has no processors", option.name),
+            });
+        }
+        if option.buses.is_empty() {
+            return Err(CoreError::InvalidInput {
+                message: format!("allocation option `{}` has no buses", option.name),
+            });
+        }
         let mut design = base.clone();
         let mut procs = Vec::new();
         for (i, p) in option.processors.iter().enumerate() {
@@ -257,12 +259,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "component-less")]
-    fn base_with_components_rejected() {
+    fn base_with_components_rejected_as_invalid_input() {
         let mut d = base();
         let pc = d.class_by_name("mcu8").unwrap();
         d.add_processor("cpu", pc);
         let opts = options(&d);
-        let _ = explore_allocations(&d, &opts, &Objectives::new(), AnnealingConfig::default(), 0);
+        let err = explore_allocations(&d, &opts, &Objectives::new(), AnnealingConfig::default(), 0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidInput { .. }), "{err}");
+        assert!(err.to_string().contains("component-less"), "{err}");
+    }
+
+    #[test]
+    fn empty_allocation_options_rejected_as_invalid_input() {
+        let d = base();
+        let mut no_procs = options(&d);
+        no_procs[0].processors.clear();
+        let err = explore_allocations(
+            &d,
+            &no_procs,
+            &Objectives::new(),
+            AnnealingConfig::default(),
+            0,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no processors"), "{err}");
+
+        let mut no_buses = options(&d);
+        no_buses[0].buses.clear();
+        let err = explore_allocations(
+            &d,
+            &no_buses,
+            &Objectives::new(),
+            AnnealingConfig::default(),
+            0,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no buses"), "{err}");
     }
 }

@@ -18,11 +18,15 @@ use slif_estimate::IncrementalEstimator;
 /// the highest-traffic channel merges first, until `k` clusters remain or
 /// no connecting channels are left (disconnected nodes stay singleton).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `k` is zero.
-pub fn closeness_clusters(design: &Design, k: usize) -> Vec<Vec<NodeId>> {
-    assert!(k > 0, "cluster count must be positive");
+/// [`CoreError::InvalidInput`] if `k` is zero.
+pub fn closeness_clusters(design: &Design, k: usize) -> Result<Vec<Vec<NodeId>>, CoreError> {
+    if k == 0 {
+        return Err(CoreError::InvalidInput {
+            message: "cluster count must be positive (got 0)".to_owned(),
+        });
+    }
     let n = design.graph().node_count();
     // Union-find over nodes.
     let mut parent: Vec<usize> = (0..n).collect();
@@ -74,7 +78,7 @@ pub fn closeness_clusters(design: &Design, k: usize) -> Vec<Vec<NodeId>> {
         };
         groups[g].push(NodeId::from_raw(i as u32));
     }
-    groups
+    Ok(groups)
 }
 
 /// Cluster-then-bind partitioning: clusters the nodes by closeness, then
@@ -84,14 +88,15 @@ pub fn closeness_clusters(design: &Design, k: usize) -> Vec<Vec<NodeId>> {
 ///
 /// # Errors
 ///
-/// Propagates estimation errors.
+/// [`CoreError::InvalidInput`] if `k` is zero; otherwise propagates
+/// estimation errors.
 pub fn cluster_partition(
     design: &Design,
     start: Partition,
     objectives: &Objectives,
     k: usize,
 ) -> Result<ExplorationResult, CoreError> {
-    let clusters = closeness_clusters(design, k);
+    let clusters = closeness_clusters(design, k)?;
     let mut est = IncrementalEstimator::new(design, start)?;
     let mut evaluations = 0;
 
@@ -161,7 +166,7 @@ mod tests {
     fn clusters_partition_every_node_exactly_once() {
         let (design, _) = DesignGenerator::new(1).behaviors(12).variables(10).build();
         for k in [1, 3, 7] {
-            let clusters = closeness_clusters(&design, k);
+            let clusters = closeness_clusters(&design, k).unwrap();
             let total: usize = clusters.iter().map(Vec::len).sum();
             assert_eq!(total, design.graph().node_count());
             let mut seen: Vec<NodeId> = clusters.into_iter().flatten().collect();
@@ -174,7 +179,7 @@ mod tests {
     #[test]
     fn one_cluster_merges_every_connected_node() {
         let (design, _) = DesignGenerator::new(2).build();
-        let clusters = closeness_clusters(&design, 1);
+        let clusters = closeness_clusters(&design, 1).unwrap();
         // At least one big cluster; disconnected nodes may stay singleton.
         let biggest = clusters.iter().map(Vec::len).max().unwrap();
         assert!(biggest > 1);
@@ -203,7 +208,7 @@ mod tests {
         *d.graph_mut().channel_mut(hot).freq_mut() = AccessFreq::exact(100);
         d.graph_mut().channel_mut(hot).set_bits(32);
         *d.graph_mut().channel_mut(cold).freq_mut() = AccessFreq::exact(1);
-        let clusters = closeness_clusters(&d, 2);
+        let clusters = closeness_clusters(&d, 2).unwrap();
         let of = |n: NodeId| clusters.iter().position(|g| g.contains(&n)).unwrap();
         assert_eq!(of(a), of(b), "hot pair clusters together");
         assert_ne!(of(a), of(c));
@@ -227,9 +232,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cluster count")]
-    fn zero_clusters_rejected() {
-        let (design, _) = DesignGenerator::new(4).build();
-        let _ = closeness_clusters(&design, 0);
+    fn zero_clusters_rejected_as_invalid_input() {
+        let (design, part) = DesignGenerator::new(4).build();
+        let err = closeness_clusters(&design, 0).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidInput { .. }), "{err}");
+        assert!(err.to_string().contains("cluster count"), "{err}");
+        assert!(matches!(
+            cluster_partition(&design, part, &Objectives::new(), 0),
+            Err(CoreError::InvalidInput { .. })
+        ));
     }
 }

@@ -52,16 +52,35 @@ impl Objectives {
 
     /// Adds an execution-time constraint for a process.
     ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] (carrying the rejected value, the
+    /// objectives unchanged) unless `deadline` is positive and finite.
+    pub fn try_with_deadline(
+        mut self,
+        process: NodeId,
+        deadline: f64,
+    ) -> Result<Self, CoreError> {
+        if !(deadline.is_finite() && deadline > 0.0) {
+            return Err(CoreError::InvalidInput {
+                message: format!("deadline {deadline} for {process} must be positive and finite"),
+            });
+        }
+        self.deadlines.push((process, deadline));
+        Ok(self)
+    }
+
+    /// [`try_with_deadline`](Self::try_with_deadline), panicking on a bad
+    /// value — the convenient form for statically known deadlines.
+    ///
     /// # Panics
     ///
     /// Panics unless `deadline` is positive and finite.
-    pub fn with_deadline(mut self, process: NodeId, deadline: f64) -> Self {
-        assert!(
-            deadline.is_finite() && deadline > 0.0,
-            "deadline must be positive"
-        );
-        self.deadlines.push((process, deadline));
-        self
+    pub fn with_deadline(self, process: NodeId, deadline: f64) -> Self {
+        match self.try_with_deadline(process, deadline) {
+            Ok(obj) => obj,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The per-process deadlines.
@@ -195,8 +214,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deadline must be positive")]
-    fn bad_deadline_rejected() {
+    fn bad_deadline_rejected_with_value() {
+        for bad in [0.0, -1.0, f64::INFINITY, f64::NAN] {
+            let err = Objectives::new()
+                .try_with_deadline(NodeId::from_raw(0), bad)
+                .unwrap_err();
+            assert!(matches!(err, CoreError::InvalidInput { .. }), "{err}");
+            assert!(err.to_string().contains("deadline"), "{err}");
+        }
+        assert_eq!(
+            Objectives::new()
+                .try_with_deadline(NodeId::from_raw(0), 5.0)
+                .unwrap()
+                .deadlines()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn panicking_builder_still_guards() {
         let _ = Objectives::new().with_deadline(NodeId::from_raw(0), 0.0);
     }
 }

@@ -9,6 +9,28 @@
 
 use slif_speclang::ast::{BehaviorKind, Expr, Type};
 use slif_speclang::{GlobalSymbol, ResolvedSpec};
+use std::error::Error;
+use std::fmt;
+
+/// A name that does not denote a bit-carrying system object, carrying the
+/// offending name so callers can report it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownObjectError {
+    /// The name that failed to resolve to a variable, port, or behavior.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` does not name a variable, port, or behavior with an access width",
+            self.name
+        )
+    }
+}
+
+impl Error for UnknownObjectError {}
 
 /// Bits transferred by one access to the named system object from within
 /// `behavior` (variables and ports use their type's access width).
@@ -19,6 +41,19 @@ pub fn object_access_bits(rs: &ResolvedSpec, name: &str) -> Option<u32> {
         GlobalSymbol::Behavior(i) => Some(call_bits(rs, i)),
         GlobalSymbol::Const(_) => None,
     }
+}
+
+/// [`object_access_bits`] with a typed error naming what failed, for
+/// callers that must report the gap instead of assuming a default.
+///
+/// # Errors
+///
+/// [`UnknownObjectError`] carrying `name` when it resolves to nothing or
+/// to a constant (constants are folded away and transfer no bits).
+pub fn try_object_access_bits(rs: &ResolvedSpec, name: &str) -> Result<u32, UnknownObjectError> {
+    object_access_bits(rs, name).ok_or_else(|| UnknownObjectError {
+        name: name.to_owned(),
+    })
 }
 
 /// Bits transferred by one call of behavior `i`: the sum of its parameter
@@ -99,6 +134,15 @@ mod tests {
         let rs = rs();
         assert_eq!(object_access_bits(&rs, "x"), Some(12));
         assert_eq!(object_access_bits(&rs, "in1"), Some(8));
+    }
+
+    #[test]
+    fn unknown_object_error_carries_the_name() {
+        let rs = rs();
+        assert_eq!(try_object_access_bits(&rs, "x"), Ok(12));
+        let e = try_object_access_bits(&rs, "nosuch").unwrap_err();
+        assert_eq!(e.name, "nosuch");
+        assert!(e.to_string().contains("`nosuch`"), "{e}");
     }
 
     #[test]

@@ -280,7 +280,10 @@ fn build_channels(d: &mut Design, rs: &ResolvedSpec, cdfgs: &[Cdfg]) {
             } else if let Some(p) = d.graph().port_by_name(&summary.target) {
                 p.into()
             } else {
-                unreachable!("resolution bound every accessed name");
+                // Resolution binds every accessed name on a well-formed
+                // spec; a partial spec (error recovery) can leave gaps.
+                // Skip the access rather than abort the whole build.
+                continue;
             };
             let kind = match summary.access {
                 Access::Read => AccessKind::Read,
@@ -292,10 +295,10 @@ fn build_channels(d: &mut Design, rs: &ResolvedSpec, cdfgs: &[Cdfg]) {
                 Access::Message => message_bits(rs, bi, &summary.target),
                 _ => object_access_bits(rs, &summary.target).unwrap_or(1),
             };
-            let c = d
-                .graph_mut()
-                .add_channel(src, dst, kind)
-                .expect("access structure is valid by construction");
+            let Ok(c) = d.graph_mut().add_channel(src, dst, kind) else {
+                // Kind/target mismatch on a degenerate spec: drop the access.
+                continue;
+            };
             let ch = d.graph_mut().channel_mut(c);
             *ch.freq_mut() = AccessFreq::new(summary.avg, summary.min, summary.max);
             ch.set_bits(bits);
@@ -396,28 +399,59 @@ pub struct ProcAsicArchitecture {
     pub bus: BusId,
 }
 
+/// The technology library behind a design has no class of the needed kind,
+/// so the processor–ASIC architecture cannot be allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissingClassError {
+    /// The component-class kind no class provides.
+    pub kind: ClassKind,
+}
+
+impl std::fmt::Display for MissingClassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "technology library provides no {} class", self.kind)
+    }
+}
+
+impl std::error::Error for MissingClassError {}
+
 /// Allocates the processor–ASIC architecture onto a design built by
 /// [`build_design`]: the first std-processor class, the first custom-hw
 /// class, the first memory class, and a 16-bit system bus (20 ns
 /// same-component transfers, 100 ns cross-component).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the design lacks a std-processor, custom-hw, or memory class.
-pub fn allocate_proc_asic(d: &mut Design) -> ProcAsicArchitecture {
+/// [`MissingClassError`] (naming the kind) if the design lacks a
+/// std-processor, custom-hw, or memory class. The design is not modified
+/// on failure.
+pub fn try_allocate_proc_asic(d: &mut Design) -> Result<ProcAsicArchitecture, MissingClassError> {
     let first = |kind: ClassKind, d: &Design| {
         d.class_ids()
             .find(|&k| d.class(k).kind() == kind)
-            .unwrap_or_else(|| panic!("design has no {kind} class"))
+            .ok_or(MissingClassError { kind })
     };
-    let pc = first(ClassKind::StdProcessor, d);
-    let ac = first(ClassKind::CustomHw, d);
-    let mc = first(ClassKind::Memory, d);
-    ProcAsicArchitecture {
+    let pc = first(ClassKind::StdProcessor, d)?;
+    let ac = first(ClassKind::CustomHw, d)?;
+    let mc = first(ClassKind::Memory, d)?;
+    Ok(ProcAsicArchitecture {
         cpu: d.add_processor("cpu0", pc),
         asic: d.add_processor("asic0", ac),
         mem: d.add_memory("mem0", mc),
         bus: d.add_bus(Bus::new("sysbus", 16, 20, 100)),
+    })
+}
+
+/// [`try_allocate_proc_asic`], panicking on an incomplete library.
+///
+/// # Panics
+///
+/// Panics if the design lacks a std-processor, custom-hw, or memory class;
+/// use [`try_allocate_proc_asic`] to handle that case gracefully.
+pub fn allocate_proc_asic(d: &mut Design) -> ProcAsicArchitecture {
+    match try_allocate_proc_asic(d) {
+        Ok(arch) => arch,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -627,6 +661,20 @@ mod tests {
             &TechnologyLibrary::proc_asic()
         )
         .is_err());
+    }
+
+    #[test]
+    fn try_allocate_reports_missing_classes_without_modifying_the_design() {
+        let mut d = Design::new("bare");
+        let e = try_allocate_proc_asic(&mut d).unwrap_err();
+        assert_eq!(e.kind, ClassKind::StdProcessor);
+        assert!(e.to_string().contains("std-processor"), "{e}");
+        assert_eq!(d.processor_count() + d.memory_count() + d.bus_count(), 0);
+        // With a processor class only, the next gap is named.
+        d.add_class("proc", ClassKind::StdProcessor);
+        let e = try_allocate_proc_asic(&mut d).unwrap_err();
+        assert_eq!(e.kind, ClassKind::CustomHw);
+        assert_eq!(d.processor_count() + d.memory_count() + d.bus_count(), 0);
     }
 }
 

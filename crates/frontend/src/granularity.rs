@@ -193,16 +193,17 @@ fn build_block_design(rs: &ResolvedSpec, lib: &TechnologyLibrary) -> Design {
                 } else if let Some(p) = d.graph().port_by_name(&target) {
                     p.into()
                 } else {
-                    unreachable!("resolution bound `{target}`");
+                    // Unresolvable name (possible on a partially recovered
+                    // spec): skip this access rather than abort the build.
+                    continue;
                 };
                 let bits = match kind {
                     OpKind::SendMsg(_) => crate::build::message_bits(rs, bi, &target),
                     _ => object_access_bits(rs, &target).unwrap_or(1),
                 };
-                let c = d
-                    .graph_mut()
-                    .add_or_merge_channel(src, dst, akind)
-                    .expect("valid access");
+                let Ok(c) = d.graph_mut().add_or_merge_channel(src, dst, akind) else {
+                    continue;
+                };
                 let ch = d.graph_mut().channel_mut(c);
                 // First touch: replace the defaults; later: accumulate.
                 if ch.freq() == AccessFreq::default() && ch.bits() == 1 {

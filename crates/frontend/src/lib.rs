@@ -40,10 +40,11 @@ mod build;
 mod granularity;
 mod profile;
 
-pub use bits::{call_bits, expr_bits, object_access_bits};
+pub use bits::{call_bits, expr_bits, object_access_bits, try_object_access_bits, UnknownObjectError};
 pub use build::{
     all_software_partition, allocate_proc_asic, build_design, build_design_with,
-    build_from_source, BuildOptions, ProcAsicArchitecture,
+    build_from_source, try_allocate_proc_asic, BuildOptions, MissingClassError,
+    ProcAsicArchitecture,
 };
 pub use granularity::{block_node_name, build_design_at, Granularity};
-pub use profile::{ParseProfileError, Profile};
+pub use profile::{ParseProfileError, Profile, ProfileValueError};

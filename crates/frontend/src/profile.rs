@@ -33,6 +33,29 @@ impl fmt::Display for ParseProfileError {
 
 impl Error for ParseProfileError {}
 
+/// An out-of-range override value passed to a [`Profile`] setter, carrying
+/// the offending value so callers can report it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileValueError {
+    /// What was being set: `"branch probability"` or `"loop iterations"`.
+    pub what: &'static str,
+    /// The rejected value.
+    pub value: f64,
+}
+
+impl fmt::Display for ProfileValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let range = if self.what == "branch probability" {
+            "[0, 1]"
+        } else {
+            "[0, +inf)"
+        };
+        write!(f, "{} {} is outside {range}", self.what, self.value)
+    }
+}
+
+impl Error for ProfileValueError {}
+
 /// A set of branch-probability and loop-iteration overrides.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Profile {
@@ -50,22 +73,46 @@ impl Profile {
 
     /// Adds a branch-probability override.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0.0 <= prob <= 1.0`.
-    pub fn set_branch(&mut self, behavior: impl Into<String>, index: usize, prob: f64) {
-        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+    /// [`ProfileValueError`] (carrying the rejected value, the profile
+    /// unchanged) unless `0.0 <= prob <= 1.0`.
+    pub fn set_branch(
+        &mut self,
+        behavior: impl Into<String>,
+        index: usize,
+        prob: f64,
+    ) -> Result<(), ProfileValueError> {
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(ProfileValueError {
+                what: "branch probability",
+                value: prob,
+            });
+        }
         self.branches.insert((behavior.into(), index), prob);
+        Ok(())
     }
 
     /// Adds a loop-iteration override.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `iters` is finite and non-negative.
-    pub fn set_loop(&mut self, behavior: impl Into<String>, index: usize, iters: f64) {
-        assert!(iters.is_finite() && iters >= 0.0, "iterations out of range");
+    /// [`ProfileValueError`] (carrying the rejected value, the profile
+    /// unchanged) unless `iters` is finite and non-negative.
+    pub fn set_loop(
+        &mut self,
+        behavior: impl Into<String>,
+        index: usize,
+        iters: f64,
+    ) -> Result<(), ProfileValueError> {
+        if !(iters.is_finite() && iters >= 0.0) {
+            return Err(ProfileValueError {
+                what: "loop iterations",
+                value: iters,
+            });
+        }
         self.loops.insert((behavior.into(), index), iters);
+        Ok(())
     }
 
     /// Parses the textual profile format.
@@ -242,8 +289,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "probability out of range")]
-    fn setter_validates() {
-        Profile::new().set_branch("P", 0, 2.0);
+    fn setters_reject_out_of_range_values_with_the_value() {
+        let mut p = Profile::new();
+        let e = p.set_branch("P", 0, 2.0).unwrap_err();
+        assert_eq!((e.what, e.value), ("branch probability", 2.0));
+        assert!(e.to_string().contains('2'), "{e}");
+        let e = p.set_loop("P", 0, -3.0).unwrap_err();
+        assert_eq!((e.what, e.value), ("loop iterations", -3.0));
+        assert!(p.set_loop("P", 0, f64::NAN).is_err());
+        // Rejections leave the profile untouched; accepted values land.
+        assert!(p.is_empty());
+        p.set_branch("P", 0, 0.5).unwrap();
+        p.set_loop("P", 0, 12.0).unwrap();
+        assert!(!p.is_empty());
     }
 }

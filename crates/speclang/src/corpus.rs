@@ -57,8 +57,59 @@ impl CorpusEntry {
     /// A [`SpecError`] — which for the shipped corpus would indicate a
     /// packaging bug, and is covered by tests.
     pub fn load(&self) -> Result<ResolvedSpec, SpecError> {
-        let spec = crate::parser::parse(self.source).map_err(SpecError::single)?;
-        resolve(spec)
+        resolve(crate::parser::parse(self.source)?)
+    }
+}
+
+/// Per-entry failures from [`load_all`]: one bad corpus file no longer
+/// hides the state of the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusLoadReport {
+    /// `(entry name, its aggregated diagnostics)`, in corpus order.
+    pub failures: Vec<(&'static str, SpecError)>,
+}
+
+impl std::fmt::Display for CorpusLoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} corpus entr", self.failures.len())?;
+        write!(
+            f,
+            "{} failed to load:",
+            if self.failures.len() == 1 { "y" } else { "ies" }
+        )?;
+        for (name, err) in &self.failures {
+            for diag in err.diagnostics() {
+                write!(f, "\n  {name}: {diag}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CorpusLoadReport {}
+
+/// Loads every corpus entry, collecting per-entry failures instead of
+/// stopping (or panicking) at the first bad file.
+///
+/// # Errors
+///
+/// A [`CorpusLoadReport`] naming each entry that failed and why; the
+/// successfully loaded entries are still dropped in that case, so a
+/// caller that wants partial results can inspect the report and re-call
+/// [`CorpusEntry::load`] per entry.
+pub fn load_all() -> Result<Vec<(CorpusEntry, ResolvedSpec)>, CorpusLoadReport> {
+    let mut loaded = Vec::new();
+    let mut failures = Vec::new();
+    for entry in all() {
+        match entry.load() {
+            Ok(resolved) => loaded.push((entry, resolved)),
+            Err(err) => failures.push((entry.name, err)),
+        }
+    }
+    if failures.is_empty() {
+        Ok(loaded)
+    } else {
+        Err(CorpusLoadReport { failures })
     }
 }
 

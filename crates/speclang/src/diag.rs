@@ -1,23 +1,105 @@
 //! Diagnostics for lexing, parsing, and resolution.
+//!
+//! Every problem found while processing a specification is a
+//! [`Diagnostic`]: a source [`Span`], a [`Severity`], a machine-readable
+//! code (stable across releases, e.g. `P001`), and a human-readable
+//! message. Stages never stop at the first problem — the lexer skips
+//! malformed characters, the parser synchronizes at statement and
+//! declaration boundaries, and the resolver sweeps the whole spec — so a
+//! single pass reports *all* diagnostics, batched into a [`SpecError`].
 
 use crate::span::Span;
 use std::error::Error;
 use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: processing produced a usable result anyway.
+    Warning,
+    /// The specification is invalid; the stage's result is unusable or
+    /// partial.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable machine-readable diagnostic codes.
+///
+/// `L...` are lexical, `P...` syntactic, `R...` semantic (resolution).
+/// Codes are part of the public interface: tools may match on them, so
+/// existing codes never change meaning.
+pub mod codes {
+    /// Unknown or unexpected character in the input.
+    pub const LEX_UNEXPECTED_CHAR: &str = "L001";
+    /// Malformed integer, hex, or float literal.
+    pub const LEX_BAD_LITERAL: &str = "L002";
+    /// An incomplete operator such as a lone `!` or `.`.
+    pub const LEX_BAD_OPERATOR: &str = "L003";
+    /// Generic syntax error (unexpected token).
+    pub const PARSE_SYNTAX: &str = "P001";
+    /// A declaration- or statement-level constraint violation (array
+    /// port, zero-width integer, out-of-range probability, ...).
+    pub const PARSE_CONSTRAINT: &str = "P002";
+    /// Error recovery gave up (diagnostic limit reached).
+    pub const PARSE_TOO_MANY_ERRORS: &str = "P003";
+    /// A name is not defined, or used in the wrong role.
+    pub const RESOLVE_NAME: &str = "R001";
+    /// A constant expression could not be evaluated.
+    pub const RESOLVE_CONST: &str = "R002";
+    /// A semantic rule violation (duplicate name, recursion, bad send
+    /// target, ...).
+    pub const RESOLVE_SEMANTIC: &str = "R003";
+    /// Catch-all for diagnostics created through [`super::Diagnostic::new`].
+    pub const GENERIC: &str = "E000";
+}
 
 /// A diagnostic produced while processing a specification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     span: Span,
     message: String,
+    severity: Severity,
+    code: &'static str,
 }
 
 impl Diagnostic {
-    /// Creates a diagnostic at the given location.
+    /// Creates an error diagnostic with the generic code ([`codes::GENERIC`]).
     pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Self::error(span, codes::GENERIC, message)
+    }
+
+    /// Creates an error diagnostic with a machine-readable code.
+    pub fn error(span: Span, code: &'static str, message: impl Into<String>) -> Self {
         Self {
             span,
             message: message.into(),
+            severity: Severity::Error,
+            code,
         }
+    }
+
+    /// Creates a warning diagnostic with a machine-readable code.
+    pub fn warning(span: Span, code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            span,
+            message: message.into(),
+            severity: Severity::Warning,
+            code,
+        }
+    }
+
+    /// Replaces the machine-readable code, keeping everything else.
+    pub fn with_code(mut self, code: &'static str) -> Self {
+        self.code = code;
+        self
     }
 
     /// Where the problem is.
@@ -29,11 +111,30 @@ impl Diagnostic {
     pub fn message(&self) -> &str {
         &self.message
     }
+
+    /// How serious the problem is.
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// The stable machine-readable code (see [`codes`]).
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+
+    /// `true` for [`Severity::Error`] diagnostics.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", self.span, self.message)
+        write!(
+            f,
+            "{}: {}[{}]: {}",
+            self.span, self.severity, self.code, self.message
+        )
     }
 }
 
@@ -67,6 +168,21 @@ impl SpecError {
     pub fn diagnostics(&self) -> &[Diagnostic] {
         &self.diagnostics
     }
+
+    /// Only the error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_error())
+    }
+
+    /// Only the warning-severity diagnostics.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.is_error())
+    }
+
+    /// `true` when at least one diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
 }
 
 impl fmt::Display for SpecError {
@@ -94,9 +210,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display_shows_location_and_message() {
+    fn display_shows_location_severity_code_and_message() {
         let d = Diagnostic::new(Span::new(0, 1, 4, 9), "unexpected `}`");
-        assert_eq!(d.to_string(), "4:9: unexpected `}`");
+        assert_eq!(d.to_string(), "4:9: error[E000]: unexpected `}`");
+        let w = Diagnostic::warning(Span::new(0, 1, 2, 3), codes::PARSE_CONSTRAINT, "odd");
+        assert_eq!(w.to_string(), "2:3: warning[P002]: odd");
+    }
+
+    #[test]
+    fn severity_and_code_accessors() {
+        let d = Diagnostic::error(Span::dummy(), codes::PARSE_SYNTAX, "boom");
+        assert_eq!(d.severity(), Severity::Error);
+        assert_eq!(d.code(), "P001");
+        assert!(d.is_error());
+        let w = Diagnostic::warning(Span::dummy(), codes::GENERIC, "hmm");
+        assert!(!w.is_error());
+        assert_eq!(w.severity().to_string(), "warning");
+        assert_eq!(Severity::Error.to_string(), "error");
     }
 
     #[test]
@@ -105,8 +235,28 @@ mod tests {
             Diagnostic::new(Span::dummy(), "first"),
             Diagnostic::new(Span::dummy(), "second"),
         ]);
-        assert_eq!(e.to_string(), "1:1: first\n1:1: second");
+        assert_eq!(
+            e.to_string(),
+            "1:1: error[E000]: first\n1:1: error[E000]: second"
+        );
         assert_eq!(e.diagnostics().len(), 2);
+    }
+
+    #[test]
+    fn error_and_warning_filters() {
+        let e = SpecError::batch(vec![
+            Diagnostic::error(Span::dummy(), codes::PARSE_SYNTAX, "bad"),
+            Diagnostic::warning(Span::dummy(), codes::PARSE_CONSTRAINT, "meh"),
+        ]);
+        assert_eq!(e.errors().count(), 1);
+        assert_eq!(e.warnings().count(), 1);
+        assert!(e.has_errors());
+        let w = SpecError::batch(vec![Diagnostic::warning(
+            Span::dummy(),
+            codes::GENERIC,
+            "only a warning",
+        )]);
+        assert!(!w.has_errors());
     }
 
     #[test]

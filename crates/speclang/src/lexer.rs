@@ -4,7 +4,7 @@
 //! literals are decimal or `0x` hexadecimal; float literals (`0.5`) only
 //! appear in `prob` annotations but are lexed uniformly.
 
-use crate::diag::Diagnostic;
+use crate::diag::{codes, Diagnostic};
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
@@ -12,9 +12,21 @@ use crate::token::{Token, TokenKind};
 ///
 /// # Errors
 ///
-/// Returns a [`Diagnostic`] for unterminated or unknown characters and
-/// malformed numbers.
+/// Returns the first [`Diagnostic`] for unterminated or unknown characters
+/// and malformed numbers. Use [`lex_recovering`] to collect every lexical
+/// diagnostic in one pass.
 pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let (tokens, mut diags) = lex_recovering(source);
+    match diags.is_empty() {
+        true => Ok(tokens),
+        false => Err(diags.remove(0)),
+    }
+}
+
+/// Tokenizes `source` with error recovery: malformed input is reported and
+/// skipped, so the token stream (always `Eof`-terminated) covers the whole
+/// source and *all* lexical diagnostics are returned.
+pub fn lex_recovering(source: &str) -> (Vec<Token>, Vec<Diagnostic>) {
     Lexer::new(source).run()
 }
 
@@ -37,8 +49,9 @@ impl<'s> Lexer<'s> {
         }
     }
 
-    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+    fn run(mut self) -> (Vec<Token>, Vec<Diagnostic>) {
         let mut out = Vec::new();
+        let mut diags = Vec::new();
         loop {
             self.skip_trivia();
             let start = self.pos;
@@ -48,10 +61,16 @@ impl<'s> Lexer<'s> {
                     kind: TokenKind::Eof,
                     span: Span::new(start, start, line, col),
                 });
-                return Ok(out);
+                return (out, diags);
             };
             let kind = match b {
-                b'0'..=b'9' => self.number()?,
+                b'0'..=b'9' => match self.number() {
+                    Ok(kind) => kind,
+                    Err(diag) => {
+                        diags.push(diag);
+                        continue; // the malformed literal was consumed
+                    }
+                },
                 b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(),
                 b'(' => self.one(TokenKind::LParen),
                 b')' => self.one(TokenKind::RParen),
@@ -75,7 +94,10 @@ impl<'s> Lexer<'s> {
                         self.bump();
                         TokenKind::Ne
                     } else {
-                        return Err(self.error_at(start, line, col, "expected `!=`"));
+                        diags.push(self.error_at(start, line, col, "expected `!=`").with_code(
+                            codes::LEX_BAD_OPERATOR,
+                        ));
+                        continue;
                     }
                 }
                 b'-' => {
@@ -93,16 +115,25 @@ impl<'s> Lexer<'s> {
                         self.bump();
                         TokenKind::DotDot
                     } else {
-                        return Err(self.error_at(start, line, col, "expected `..`"));
+                        diags.push(
+                            self.error_at(start, line, col, "expected `..`")
+                                .with_code(codes::LEX_BAD_OPERATOR),
+                        );
+                        continue;
                     }
                 }
                 other => {
-                    return Err(self.error_at(
-                        start,
-                        line,
-                        col,
-                        format!("unexpected character `{}`", char::from(other)),
-                    ));
+                    self.bump();
+                    diags.push(
+                        self.error_at(
+                            start,
+                            line,
+                            col,
+                            format!("unexpected character `{}`", char::from(other)),
+                        )
+                        .with_code(codes::LEX_UNEXPECTED_CHAR),
+                    );
+                    continue;
                 }
             };
             out.push(Token {
@@ -152,7 +183,10 @@ impl<'s> Lexer<'s> {
             let digits = &self.src[hex_start..self.pos];
             return u64::from_str_radix(digits, 16)
                 .map(TokenKind::Int)
-                .map_err(|_| self.error_at(start, line, col, "malformed hex literal"));
+                .map_err(|_| {
+                self.error_at(start, line, col, "malformed hex literal")
+                    .with_code(codes::LEX_BAD_LITERAL)
+            });
         }
         while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
             self.bump();
@@ -167,12 +201,18 @@ impl<'s> Lexer<'s> {
             return text
                 .parse()
                 .map(TokenKind::Float)
-                .map_err(|_| self.error_at(start, line, col, "malformed float literal"));
+                .map_err(|_| {
+                self.error_at(start, line, col, "malformed float literal")
+                    .with_code(codes::LEX_BAD_LITERAL)
+            });
         }
         let text = &self.src[start..self.pos];
         text.parse()
             .map(TokenKind::Int)
-            .map_err(|_| self.error_at(start, line, col, "integer literal out of range"))
+            .map_err(|_| {
+                self.error_at(start, line, col, "integer literal out of range")
+                    .with_code(codes::LEX_BAD_LITERAL)
+            })
     }
 
     fn ident(&mut self) -> TokenKind {

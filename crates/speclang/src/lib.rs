@@ -46,9 +46,9 @@ mod span;
 mod token;
 
 pub use ast::Spec;
-pub use diag::{Diagnostic, SpecError};
-pub use lexer::lex;
-pub use parser::parse;
+pub use diag::{codes, Diagnostic, Severity, SpecError};
+pub use lexer::{lex, lex_recovering};
+pub use parser::{parse, parse_partial};
 pub use pretty::{expr_str, pretty};
 pub use resolver::{resolve, GlobalSymbol, LocalSymbol, ResolvedSpec, Symbol, BUILTINS};
 pub use span::Span;
@@ -58,8 +58,8 @@ pub use token::{Token, TokenKind};
 ///
 /// # Errors
 ///
-/// A [`SpecError`] carrying parse or resolution diagnostics.
+/// A [`SpecError`] carrying *all* parse diagnostics (the parser recovers
+/// at statement/declaration boundaries) or all resolution diagnostics.
 pub fn parse_and_resolve(source: &str) -> Result<ResolvedSpec, SpecError> {
-    let spec = parse(source).map_err(SpecError::single)?;
-    resolve(spec)
+    resolve(parse(source)?)
 }

@@ -4,16 +4,25 @@ use crate::ast::{
     BehaviorDecl, BehaviorKind, BinOp, ConstDecl, Direction, Expr, LValue, Param, PortDecl, Spec,
     Stmt, Type, UnOp, VarDecl,
 };
-use crate::diag::Diagnostic;
-use crate::lexer::lex;
+use crate::diag::{codes, Diagnostic, SpecError};
+use crate::lexer::lex_recovering;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
+/// The parser stops recording diagnostics past this count; recovery keeps
+/// going, but a `P003` marker replaces the overflow.
+const MAX_DIAGNOSTICS: usize = 64;
+
 /// Parses a full specification from source text.
+///
+/// The parser recovers at statement and declaration boundaries, so a
+/// single pass over an invalid specification reports *all* its lexical
+/// and syntactic diagnostics, not just the first.
 ///
 /// # Errors
 ///
-/// Returns the first lexical or syntactic [`Diagnostic`].
+/// A [`SpecError`] aggregating every [`Diagnostic`] found. Use
+/// [`parse_partial`] to also obtain the best-effort AST.
 ///
 /// # Examples
 ///
@@ -26,16 +35,41 @@ use crate::token::{Token, TokenKind};
 /// )?;
 /// assert_eq!(spec.name, "Tiny");
 /// assert_eq!(spec.behaviors.len(), 1);
-/// # Ok::<(), slif_speclang::Diagnostic>(())
+/// # Ok::<(), slif_speclang::SpecError>(())
 /// ```
-pub fn parse(source: &str) -> Result<Spec, Diagnostic> {
-    let tokens = lex(source)?;
-    Parser {
+pub fn parse(source: &str) -> Result<Spec, SpecError> {
+    let (spec, diags) = parse_partial(source);
+    if diags.iter().any(Diagnostic::is_error) {
+        Err(SpecError::batch(diags))
+    } else {
+        Ok(spec)
+    }
+}
+
+/// Parses with error recovery, always returning the best-effort [`Spec`]
+/// alongside every diagnostic found (empty when the source is clean).
+///
+/// Declarations and statements that fail to parse are dropped from the
+/// AST; everything before and after a synchronization point survives.
+pub fn parse_partial(source: &str) -> (Spec, Vec<Diagnostic>) {
+    let (tokens, lex_diags) = lex_recovering(source);
+    let mut parser = Parser {
         tokens,
         pos: 0,
         hoisted_locals: Vec::new(),
+        diags: lex_diags,
+    };
+    let spec = parser.spec_recovering();
+    let mut diags = parser.diags;
+    if diags.len() > MAX_DIAGNOSTICS {
+        diags.truncate(MAX_DIAGNOSTICS);
+        diags.push(Diagnostic::error(
+            parser.tokens[parser.pos].span,
+            codes::PARSE_TOO_MANY_ERRORS,
+            format!("too many diagnostics; reporting the first {MAX_DIAGNOSTICS}"),
+        ));
     }
-    .spec()
+    (spec, diags)
 }
 
 struct Parser {
@@ -44,31 +78,143 @@ struct Parser {
     /// Local declarations of the behavior being parsed; `var` is allowed
     /// in any nested block and hoisted to behavior scope.
     hoisted_locals: Vec<VarDecl>,
+    /// Diagnostics accumulated across recovery points.
+    diags: Vec<Diagnostic>,
 }
 
 impl Parser {
-    fn spec(&mut self) -> Result<Spec, Diagnostic> {
-        self.expect(TokenKind::System)?;
-        let name = self.ident()?;
-        self.expect(TokenKind::Semi)?;
+    /// Parses the whole token stream, synchronizing at declaration
+    /// boundaries after an error so every declaration gets a chance.
+    fn spec_recovering(&mut self) -> Spec {
         let mut spec = Spec {
-            name,
+            name: String::new(),
             ports: Vec::new(),
             consts: Vec::new(),
             vars: Vec::new(),
             behaviors: Vec::new(),
         };
+        match self.header() {
+            Ok(name) => spec.name = name,
+            Err(diag) => {
+                self.report(diag);
+                self.sync_decl();
+            }
+        }
         loop {
-            match self.peek() {
-                TokenKind::Eof => return Ok(spec),
-                TokenKind::Port => spec.ports.push(self.port_decl()?),
-                TokenKind::Const => spec.consts.push(self.const_decl()?),
-                TokenKind::Var => spec.vars.push(self.var_decl()?),
+            let result = match self.peek() {
+                TokenKind::Eof => return spec,
+                TokenKind::Port => self.port_decl().map(|p| spec.ports.push(p)),
+                TokenKind::Const => self.const_decl().map(|c| spec.consts.push(c)),
+                TokenKind::Var => self.var_decl().map(|v| spec.vars.push(v)),
                 TokenKind::Process | TokenKind::Proc | TokenKind::Func => {
-                    spec.behaviors.push(self.behavior_decl()?);
+                    self.behavior_decl().map(|b| spec.behaviors.push(b))
                 }
                 _ => {
-                    return Err(self.error(format!("expected a declaration, found {}", self.peek())))
+                    let diag =
+                        self.error(format!("expected a declaration, found {}", self.peek()));
+                    self.bump();
+                    Err(diag)
+                }
+            };
+            if let Err(diag) = result {
+                self.report(diag);
+                self.sync_decl();
+            }
+        }
+    }
+
+    /// Parses the `system <name>;` header.
+    fn header(&mut self) -> Result<String, Diagnostic> {
+        self.expect(TokenKind::System)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(name)
+    }
+
+    /// Records a diagnostic; past [`MAX_DIAGNOSTICS`] only one overflow
+    /// entry is kept (recovery itself continues).
+    fn report(&mut self, diag: Diagnostic) {
+        if self.diags.len() <= MAX_DIAGNOSTICS {
+            self.diags.push(diag);
+        }
+    }
+
+    /// Skips ahead to the next top-level declaration keyword, or past a
+    /// top-level `;`, tracking brace depth so keywords inside behavior
+    /// bodies don't stop the scan.
+    fn sync_decl(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return,
+                TokenKind::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::RBrace => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                TokenKind::Semi if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::Port
+                | TokenKind::Const
+                | TokenKind::Var
+                | TokenKind::Process
+                | TokenKind::Proc
+                | TokenKind::Func
+                    if depth == 0 =>
+                {
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Skips ahead to the next statement boundary inside a block: past a
+    /// same-depth `;`, or to a same-depth `}` (left for the block to
+    /// close), or to a statement keyword once progress has been made.
+    fn sync_stmt(&mut self) {
+        let mut depth = 0usize;
+        let mut consumed = false;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return,
+                TokenKind::Semi if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::RBrace => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                TokenKind::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::If
+                | TokenKind::For
+                | TokenKind::While
+                | TokenKind::Fork
+                | TokenKind::Send
+                | TokenKind::Receive
+                | TokenKind::Return
+                | TokenKind::Wait
+                | TokenKind::Call
+                | TokenKind::Var
+                    if depth == 0 && consumed =>
+                {
+                    return;
+                }
+                _ => {
+                    self.bump();
+                    consumed = true;
                 }
             }
         }
@@ -96,7 +242,7 @@ impl Parser {
         };
         let ty = self.ty()?;
         if ty.is_array() {
-            return Err(self.error("ports must have scalar types".to_owned()));
+            return Err(self.constraint("ports must have scalar types".to_owned()));
         }
         self.expect(TokenKind::Semi)?;
         Ok(PortDecl {
@@ -138,14 +284,14 @@ impl Parser {
                 self.expect(TokenKind::Lt)?;
                 let bits = self.int_lit()?;
                 if bits == 0 || bits > 128 {
-                    return Err(self.error("integer width must be 1..=128".to_owned()));
+                    return Err(self.constraint("integer width must be 1..=128".to_owned()));
                 }
                 self.expect(TokenKind::Gt)?;
                 if self.peek() == &TokenKind::LBracket {
                     self.bump();
                     let len = self.int_lit()?;
                     if len == 0 {
-                        return Err(self.error("array length must be positive".to_owned()));
+                        return Err(self.constraint("array length must be positive".to_owned()));
                     }
                     self.expect(TokenKind::RBracket)?;
                     Ok(Type::Array {
@@ -179,7 +325,7 @@ impl Parser {
                 self.expect(TokenKind::Colon)?;
                 let pty = self.ty()?;
                 if pty.is_array() {
-                    return Err(self.error("parameters must have scalar types".to_owned()));
+                    return Err(self.constraint("parameters must have scalar types".to_owned()));
                 }
                 params.push(Param {
                     name: pname,
@@ -201,7 +347,7 @@ impl Parser {
                 self.expect(TokenKind::Arrow)?;
                 let ret = self.ty()?;
                 if ret.is_array() {
-                    return Err(self.error("functions must return scalars".to_owned()));
+                    return Err(self.constraint("functions must return scalars".to_owned()));
                 }
                 BehaviorKind::Function { ret }
             }
@@ -222,15 +368,24 @@ impl Parser {
 
     /// Parses `{ (var-decl | stmt)* }`; local declarations in any nested
     /// block are hoisted to the enclosing behavior's scope.
+    ///
+    /// A malformed statement is reported and skipped (synchronizing at the
+    /// next `;` or the closing `}`), so the rest of the block still parses.
     fn block(&mut self) -> Result<Vec<Stmt>, Diagnostic> {
         self.expect(TokenKind::LBrace)?;
         let mut body = Vec::new();
-        while self.peek() != &TokenKind::RBrace {
-            if self.peek() == &TokenKind::Var {
-                let decl = self.var_decl()?;
-                self.hoisted_locals.push(decl);
-            } else {
-                body.push(self.stmt()?);
+        loop {
+            let result = match self.peek() {
+                TokenKind::RBrace => break,
+                TokenKind::Eof => {
+                    return Err(self.error("unexpected end of input; expected `}`".to_owned()))
+                }
+                TokenKind::Var => self.var_decl().map(|decl| self.hoisted_locals.push(decl)),
+                _ => self.stmt().map(|stmt| body.push(stmt)),
+            };
+            if let Err(diag) = result {
+                self.report(diag);
+                self.sync_stmt();
             }
         }
         self.expect(TokenKind::RBrace)?;
@@ -340,7 +495,7 @@ impl Parser {
             self.bump();
             let p = self.number_lit()?;
             if !(0.0..=1.0).contains(&p) {
-                return Err(self.error("branch probability must be within 0..=1".to_owned()));
+                return Err(self.constraint("branch probability must be within 0..=1".to_owned()));
             }
             Some(p)
         } else {
@@ -609,8 +764,15 @@ impl Parser {
         }
     }
 
+    /// A syntax error ([`codes::PARSE_SYNTAX`]) at the current token.
     fn error(&self, message: String) -> Diagnostic {
-        Diagnostic::new(self.span(), message)
+        Diagnostic::error(self.span(), codes::PARSE_SYNTAX, message)
+    }
+
+    /// A constraint violation ([`codes::PARSE_CONSTRAINT`]) at the current
+    /// token: syntactically fine, but breaking a language rule.
+    fn constraint(&self, message: String) -> Diagnostic {
+        Diagnostic::error(self.span(), codes::PARSE_CONSTRAINT, message)
     }
 }
 
@@ -808,8 +970,10 @@ mod tests {
     #[test]
     fn error_reports_location() {
         let err = parse("system T;\nvar x : int<8>\nvar y : int<8>;").unwrap_err();
-        assert_eq!(err.span().line, 3);
-        assert!(err.message().contains("expected ;"));
+        let diag = &err.diagnostics()[0];
+        assert_eq!(diag.span().line, 3);
+        assert!(diag.message().contains("expected ;"));
+        assert_eq!(diag.code(), codes::PARSE_SYNTAX);
     }
 
     #[test]
@@ -832,6 +996,86 @@ mod tests {
     #[test]
     fn rejects_statement_outside_behavior() {
         assert!(parse("system T; x = 1;").is_err());
+    }
+
+    #[test]
+    fn recovery_reports_three_errors_in_one_pass() {
+        // Three distinct syntax errors: missing `;`, a bad statement, and
+        // a malformed declaration — all reported together.
+        let src = "system T;\n\
+                   var x : int<8>\n\
+                   var y : int<8>;\n\
+                   proc P() { x = ; y = 2; }\n\
+                   port z :: in int<8>;\n\
+                   proc Q() { y = 1; }\n";
+        let err = parse(src).unwrap_err();
+        assert!(
+            err.errors().count() >= 3,
+            "want >= 3 errors, got:\n{err}"
+        );
+        // Recovery kept going: the declarations after each error parsed.
+        let (spec, diags) = parse_partial(src);
+        assert!(diags.len() >= 3);
+        assert!(spec.behavior("Q").is_some(), "recovery lost proc Q");
+        assert!(spec.vars.iter().any(|v| v.name == "y"));
+    }
+
+    #[test]
+    fn recovery_keeps_good_statements_around_a_bad_one() {
+        let src = "system T;\nvar x : int<8>;\n\
+                   proc P() { x = 1; x = ; x = 3; }\n";
+        let (spec, diags) = parse_partial(src);
+        assert_eq!(diags.len(), 1);
+        let p = spec.behavior("P").unwrap();
+        assert_eq!(p.body.len(), 2, "good statements on both sides survive");
+    }
+
+    #[test]
+    fn recovery_survives_missing_system_header() {
+        let (spec, diags) = parse_partial("var x : int<8>;\nproc P() { x = 1; }\n");
+        assert!(!diags.is_empty());
+        assert!(spec.behavior("P").is_some());
+        assert_eq!(spec.vars.len(), 1);
+    }
+
+    #[test]
+    fn recovery_collects_lexer_and_parser_diagnostics_together() {
+        let src = "system T;\nvar @x : int<8>;\nproc P() { x = ; }\n";
+        let err = parse(src).unwrap_err();
+        let codes: Vec<&str> = err.diagnostics().iter().map(|d| d.code()).collect();
+        assert!(codes.contains(&super::codes::LEX_UNEXPECTED_CHAR), "{codes:?}");
+        assert!(codes.contains(&super::codes::PARSE_SYNTAX), "{codes:?}");
+    }
+
+    #[test]
+    fn recovery_never_loops_on_garbage() {
+        // Pure garbage, unbalanced braces, stray tokens: must terminate
+        // and report without panicking.
+        for src in [
+            "%%%%",
+            "system ; } } {",
+            "system T; proc P() {",
+            "system T; proc P() { if }",
+            "system T; }{)(",
+            "{ { { {",
+        ] {
+            let (_, diags) = parse_partial(src);
+            assert!(!diags.is_empty(), "{src:?} should diagnose");
+        }
+    }
+
+    #[test]
+    fn diagnostic_flood_is_capped() {
+        let mut src = String::from("system T;\n");
+        for _ in 0..200 {
+            src.push_str("var x : ;\n");
+        }
+        let (_, diags) = parse_partial(&src);
+        assert!(diags.len() <= super::MAX_DIAGNOSTICS + 1);
+        assert_eq!(
+            diags.last().unwrap().code(),
+            super::codes::PARSE_TOO_MANY_ERRORS
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::ast::{
     BehaviorDecl, BehaviorKind, BinOp, Direction, Expr, LValue, Spec, Stmt, Type, UnOp,
 };
-use crate::diag::{Diagnostic, SpecError};
+use crate::diag::{codes, Diagnostic, SpecError};
 use crate::span::Span;
 use std::collections::HashMap;
 
@@ -143,8 +143,9 @@ pub fn resolve(spec: Spec) -> Result<ResolvedSpec, SpecError> {
         diags: &mut Vec<Diagnostic>,
     ) {
         if globals.insert(name.to_owned(), sym).is_some() {
-            diags.push(Diagnostic::new(
+            diags.push(Diagnostic::error(
                 span,
+                codes::RESOLVE_SEMANTIC,
                 format!("`{name}` is declared more than once"),
             ));
         }
@@ -198,8 +199,9 @@ pub fn resolve(spec: Spec) -> Result<ResolvedSpec, SpecError> {
         let mut table: HashMap<String, LocalSymbol> = HashMap::new();
         for (i, p) in b.params.iter().enumerate() {
             if globals.contains_key(&p.name) {
-                diags.push(Diagnostic::new(
+                diags.push(Diagnostic::error(
                     p.span,
+                    codes::RESOLVE_SEMANTIC,
                     format!("parameter `{}` shadows a top-level object", p.name),
                 ));
             }
@@ -207,16 +209,18 @@ pub fn resolve(spec: Spec) -> Result<ResolvedSpec, SpecError> {
                 .insert(p.name.clone(), LocalSymbol::Param(i))
                 .is_some()
             {
-                diags.push(Diagnostic::new(
+                diags.push(Diagnostic::error(
                     p.span,
+                    codes::RESOLVE_SEMANTIC,
                     format!("parameter `{}` is declared more than once", p.name),
                 ));
             }
         }
         for (i, l) in b.locals.iter().enumerate() {
             if globals.contains_key(&l.name) {
-                diags.push(Diagnostic::new(
+                diags.push(Diagnostic::error(
                     l.span,
+                    codes::RESOLVE_SEMANTIC,
                     format!("local `{}` shadows a top-level object", l.name),
                 ));
             }
@@ -224,8 +228,9 @@ pub fn resolve(spec: Spec) -> Result<ResolvedSpec, SpecError> {
                 .insert(l.name.clone(), LocalSymbol::Local(i))
                 .is_some()
             {
-                diags.push(Diagnostic::new(
+                diags.push(Diagnostic::error(
                     l.span,
+                    codes::RESOLVE_SEMANTIC,
                     format!("local `{}` is declared more than once", l.name),
                 ));
             }
@@ -277,8 +282,17 @@ enum Ty {
 }
 
 impl<'a> Checker<'a> {
+    /// A semantic rule violation ([`codes::RESOLVE_SEMANTIC`]).
     fn err(&mut self, span: Span, message: impl Into<String>) {
-        self.diags.push(Diagnostic::new(span, message));
+        self.diags
+            .push(Diagnostic::error(span, codes::RESOLVE_SEMANTIC, message));
+    }
+
+    /// A name that is undefined or used in the wrong role
+    /// ([`codes::RESOLVE_NAME`]).
+    fn err_name(&mut self, span: Span, message: impl Into<String>) {
+        self.diags
+            .push(Diagnostic::error(span, codes::RESOLVE_NAME, message));
     }
 
     fn check_body(&mut self, body: &[Stmt]) {
@@ -308,15 +322,17 @@ impl<'a> Checker<'a> {
                     Some(GlobalSymbol::Behavior(ti)) => {
                         let target = &self.rs.spec.behaviors[ti];
                         match target.kind {
-                            BehaviorKind::Process => self
-                                .err(*span, format!("cannot call process `{callee}`; use `send`")),
+                            BehaviorKind::Process => self.err_name(
+                                *span,
+                                format!("cannot call process `{callee}`; use `send`"),
+                            ),
                             BehaviorKind::Procedure | BehaviorKind::Function { .. } => {
                                 self.check_call_args(callee, &target.params.len(), args, span);
                             }
                         }
                     }
-                    Some(_) => self.err(*span, format!("`{callee}` is not callable")),
-                    None => self.err(*span, format!("unknown behavior `{callee}`")),
+                    Some(_) => self.err_name(*span, format!("`{callee}` is not callable")),
+                    None => self.err_name(*span, format!("unknown behavior `{callee}`")),
                 }
                 for a in args {
                     self.check_expr_is(a, Ty::Int);
@@ -401,7 +417,7 @@ impl<'a> Checker<'a> {
                     Some(GlobalSymbol::Behavior(_)) => {
                         self.err(*span, format!("send target `{target}` is not a process"));
                     }
-                    _ => self.err(*span, format!("unknown process `{target}`")),
+                    _ => self.err_name(*span, format!("unknown process `{target}`")),
                 }
                 self.check_expr_is(value, Ty::Int);
             }
@@ -445,15 +461,15 @@ impl<'a> Checker<'a> {
                 Some(port.ty)
             }
             Some(Symbol::Global(GlobalSymbol::Const(_))) => {
-                self.err(span, format!("cannot assign to constant `{name}`"));
+                self.err_name(span, format!("cannot assign to constant `{name}`"));
                 None
             }
             Some(Symbol::Global(GlobalSymbol::Behavior(_))) => {
-                self.err(span, format!("cannot assign to behavior `{name}`"));
+                self.err_name(span, format!("cannot assign to behavior `{name}`"));
                 None
             }
             None => {
-                self.err(span, format!("unknown name `{name}`"));
+                self.err_name(span, format!("unknown name `{name}`"));
                 None
             }
         };
@@ -461,7 +477,7 @@ impl<'a> Checker<'a> {
             LValue::Index { index, .. } => {
                 if let Some(t) = ty {
                     if !t.is_array() {
-                        self.err(span, format!("`{name}` is not an array"));
+                        self.err_name(span, format!("`{name}` is not an array"));
                     }
                 }
                 self.check_expr_is(index, Ty::Int);
@@ -532,7 +548,7 @@ impl<'a> Checker<'a> {
                     }
                     Some(Symbol::Global(GlobalSymbol::Const(_))) => Ty::Int,
                     Some(Symbol::Global(GlobalSymbol::Behavior(_))) => {
-                        self.err(*span, format!("behavior `{name}` used as a value"));
+                        self.err_name(*span, format!("behavior `{name}` used as a value"));
                         Ty::Unknown
                     }
                     Some(Symbol::Local(LocalSymbol::Param(i))) => ty_of(self.decl.params[i].ty),
@@ -546,7 +562,7 @@ impl<'a> Checker<'a> {
                         }
                     }
                     None => {
-                        self.err(*span, format!("unknown name `{name}`"));
+                        self.err_name(*span, format!("unknown name `{name}`"));
                         Ty::Unknown
                     }
                 }
@@ -561,7 +577,7 @@ impl<'a> Checker<'a> {
                         Some(Symbol::Local(LocalSymbol::Local(i))) => Some(self.decl.locals[i].ty),
                         Some(_) => None,
                         None => {
-                            self.err(*span, format!("unknown name `{name}`"));
+                            self.err_name(*span, format!("unknown name `{name}`"));
                             return Ty::Unknown;
                         }
                     }
@@ -569,7 +585,7 @@ impl<'a> Checker<'a> {
                 match ty {
                     Some(t) if t.is_array() => Ty::Int,
                     Some(_) | None => {
-                        self.err(*span, format!("`{name}` is not an array"));
+                        self.err_name(*span, format!("`{name}` is not an array"));
                         Ty::Unknown
                     }
                 }
@@ -605,7 +621,7 @@ impl<'a> Checker<'a> {
                         }
                     }
                     _ => {
-                        self.err(*span, format!("unknown function `{callee}`"));
+                        self.err_name(*span, format!("unknown function `{callee}`"));
                         Ty::Unknown
                     }
                 }
@@ -652,11 +668,12 @@ fn eval_const_expr(
 ) -> Result<i64, Diagnostic> {
     match expr {
         Expr::Int { value, span } => i64::try_from(*value)
-            .map_err(|_| Diagnostic::new(*span, "constant out of range".to_owned())),
+            .map_err(|_| Diagnostic::error(*span, codes::RESOLVE_CONST, "constant out of range".to_owned())),
         Expr::Name { name, span } => match globals.get(name) {
             Some(GlobalSymbol::Const(v)) => Ok(*v),
-            _ => Err(Diagnostic::new(
+            _ => Err(Diagnostic::error(
                 *span,
+                codes::RESOLVE_CONST,
                 format!("`{name}` is not a constant"),
             )),
         },
@@ -669,19 +686,19 @@ fn eval_const_expr(
                 BinOp::Mul => l.checked_mul(r),
                 BinOp::Div => {
                     if r == 0 {
-                        return Err(Diagnostic::new(*span, "division by zero".to_owned()));
+                        return Err(Diagnostic::error(*span, codes::RESOLVE_CONST, "division by zero".to_owned()));
                     }
                     l.checked_div(r)
                 }
                 BinOp::Rem => {
                     if r == 0 {
-                        return Err(Diagnostic::new(*span, "division by zero".to_owned()));
+                        return Err(Diagnostic::error(*span, codes::RESOLVE_CONST, "division by zero".to_owned()));
                     }
                     l.checked_rem(r)
                 }
                 _ => None,
             };
-            out.ok_or_else(|| Diagnostic::new(*span, "constant expression overflow".to_owned()))
+            out.ok_or_else(|| Diagnostic::error(*span, codes::RESOLVE_CONST, "constant expression overflow".to_owned()))
         }
         Expr::Unary {
             op: UnOp::Neg,
@@ -689,9 +706,10 @@ fn eval_const_expr(
             span,
         } => eval_const_expr(operand, globals)?
             .checked_neg()
-            .ok_or_else(|| Diagnostic::new(*span, "constant expression overflow".to_owned())),
-        other => Err(Diagnostic::new(
+            .ok_or_else(|| Diagnostic::error(*span, codes::RESOLVE_CONST, "constant expression overflow".to_owned())),
+        other => Err(Diagnostic::error(
             other.span(),
+            codes::RESOLVE_CONST,
             "expression is not compile-time constant".to_owned(),
         )),
     }
@@ -944,5 +962,28 @@ mod tests {
             span: Span::dummy(),
         };
         assert!(r.eval_const(&runtime).is_err());
+    }
+    #[test]
+    fn resolver_diagnostics_carry_stage_codes() {
+        fn first_code(src: &str) -> &'static str {
+            resolve_src(src).unwrap_err().diagnostics()[0].code()
+        }
+        // Undefined or wrong-role name.
+        assert_eq!(first_code("system T; proc P() { y = 1; }"), "R001");
+        assert_eq!(
+            first_code("system T; process M { call Nope(1); }"),
+            "R001"
+        );
+        // Constant evaluation failure.
+        assert_eq!(
+            first_code("system T; const C = 1 / 0; var a : int<8>[4]; proc P() { a[C] = 1; }"),
+            "R002"
+        );
+        // Semantic rule violation.
+        assert_eq!(
+            first_code("system T; var x : int<8>; var x : int<8>; proc P() { x = 1; }"),
+            "R003"
+        );
+        assert_eq!(first_code("system T; process M { fork { } }"), "R003");
     }
 }

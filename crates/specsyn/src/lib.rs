@@ -233,8 +233,7 @@ fn load_with_profile(spec_arg: &str, profile: Option<Profile>) -> Result<Resolve
                 Some(e) => e.source.to_owned(),
                 None => std::fs::read_to_string(spec_arg)?,
             };
-            let mut spec = slif_speclang::parse(&source)
-                .map_err(|d| CliError::Spec(slif_speclang::SpecError::single(d)))?;
+            let mut spec = slif_speclang::parse(&source).map_err(CliError::Spec)?;
             p.apply(&mut spec);
             Ok(slif_speclang::resolve(spec)?)
         }

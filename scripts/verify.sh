@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md).
+#
+# 1. Release build + full test suite — the seed contract.
+# 2. Lint gate: clippy with warnings denied, plus `unwrap_used` on
+#    non-test code (without --all-targets, #[cfg(test)] code is not
+#    linted, which is exactly the carve-out we want: tests may unwrap,
+#    library paths must return typed errors).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings -W clippy::unwrap_used

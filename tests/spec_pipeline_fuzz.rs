@@ -35,7 +35,7 @@ fn gen_spec(seed: u64) -> String {
         let _ = writeln!(out, "var v{i} : int<16>;");
     }
     for i in 0..n_arrays {
-        let len = [8, 16, 32][rng.gen_range(0..3)];
+        let len = [8, 16, 32][rng.gen_range(0usize..3)];
         let _ = writeln!(out, "var a{i} : int<8>[{len}];");
     }
 
@@ -51,7 +51,7 @@ fn gen_spec(seed: u64) -> String {
                 _ => format!("pin{}", rng.gen_range(0..ins)),
             };
         }
-        let op = ["+", "-", "*"][rng.gen_range(0..3)];
+        let op = ["+", "-", "*"][rng.gen_range(0usize..3)];
         let l = expr(rng, scalars, arrays, ins, depth - 1);
         let r = expr(rng, scalars, arrays, ins, depth - 1);
         match rng.gen_range(0..4) {
@@ -62,7 +62,7 @@ fn gen_spec(seed: u64) -> String {
     }
 
     fn cond(rng: &mut StdRng, scalars: usize, arrays: usize, ins: usize) -> String {
-        let op = ["==", "!=", "<", ">", "<=", ">="][rng.gen_range(0..6)];
+        let op = ["==", "!=", "<", ">", "<=", ">="][rng.gen_range(0usize..6)];
         format!(
             "{} {op} {}",
             expr(rng, scalars, arrays, ins, 1),

@@ -1,0 +1,178 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of the API its tests use: the [`proptest!`] macro with a
+//! `#![proptest_config(...)]` header, integer-range strategies, and the
+//! `prop_assert*` macros. Cases are sampled deterministically (seeded per
+//! case index), so failures reproduce without a persistence file. There is
+//! no shrinking: a failing case reports its inputs via the panic message.
+
+pub mod strategy {
+    //! Strategies: value generators a [`crate::proptest!`] binder samples from.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Generates values of type `Value` from a seeded rng.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `Just`: a strategy producing one fixed (cloneable) value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Mirror of `proptest::test_runner::Config` (`cases` only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// How many cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Builds the deterministic per-case rng the [`proptest!`] expansion uses.
+/// Public so the macro works without `rand` at the call site; not part of
+/// the real proptest API.
+#[doc(hidden)]
+pub fn rng_for_case(case: u32) -> rand::rngs::StdRng {
+    <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0x5EED_0000_u64 ^ u64::from(case))
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each `fn name(x in strategy, ...)` item expands
+/// to a `#[test]` that samples its binders deterministically per case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                for __case in 0..__cfg.cases {
+                    // Fixed per-case seeds: failures reproduce across runs.
+                    let mut __rng = $crate::rng_for_case(__case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    // Bodies written for real proptest may `return Ok(())`
+                    // to skip a case, so run them inside a Result closure.
+                    let __outcome: ::core::result::Result<
+                        (),
+                        ::std::boxed::Box<dyn ::std::error::Error>,
+                    > = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    __outcome.expect("property returned an error");
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// `assert!` under a name test bodies written for real proptest expect.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name test bodies written for real proptest expect.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a name test bodies written for real proptest expect.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn binders_sample_in_range(x in 0u64..100, y in 1usize..=4) {
+            prop_assert!(x < 100);
+            prop_assert!((1..=4).contains(&y));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        use rand::{rngs::StdRng, SeedableRng};
+        let s = 0u64..1000;
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the two trait names and re-exports the no-op derive macros so
+//! `use serde::{Serialize, Deserialize};` + `#[derive(Serialize, Deserialize)]`
+//! compile without crates.io access. No serialization actually happens in
+//! this workspace; swap in the real crate to get it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::ser::Serialize` (no methods in the stub).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::de::Deserialize` (no methods in the stub).
+pub trait DeserializeMarker {}

@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a no-op derive: `#[derive(Serialize, Deserialize)]` (including `#[serde]`
+//! attributes) parses and expands to nothing. Nothing in this repository
+//! performs actual serialization; the derives exist so downstream users can
+//! swap in real serde without touching the type definitions.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
