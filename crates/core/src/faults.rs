@@ -98,6 +98,40 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// The byte-level mutation classes for serialized checkpoints (or any
+/// opaque blob whose loader must reject damage with a typed error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CheckpointFaultKind {
+    /// Cut the blob short, as a crash mid-write would.
+    Truncate,
+    /// Flip one bit somewhere in the blob.
+    BitFlip,
+    /// Zero a short span of bytes.
+    ZeroSpan,
+    /// Overwrite the leading header bytes with random junk.
+    HeaderSmash,
+}
+
+/// All checkpoint mutation classes, in a fixed order.
+pub const ALL_CHECKPOINT_FAULT_KINDS: [CheckpointFaultKind; 4] = [
+    CheckpointFaultKind::Truncate,
+    CheckpointFaultKind::BitFlip,
+    CheckpointFaultKind::ZeroSpan,
+    CheckpointFaultKind::HeaderSmash,
+];
+
+impl fmt::Display for CheckpointFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CheckpointFaultKind::Truncate => "truncate",
+            CheckpointFaultKind::BitFlip => "bit-flip",
+            CheckpointFaultKind::ZeroSpan => "zero-span",
+            CheckpointFaultKind::HeaderSmash => "header-smash",
+        })
+    }
+}
+
 /// A record of one applied mutation, for failure-reproduction messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppliedFault {
@@ -284,6 +318,50 @@ impl FaultInjector {
         }
     }
 
+    /// Corrupts a serialized checkpoint (or any byte blob) in place,
+    /// returning a description of the damage. Models the crash/bit-rot
+    /// failure classes a checkpoint loader must reject: truncation
+    /// (killed mid-write), bit flips and zeroed spans (storage rot), and
+    /// a smashed header. On an empty buffer only `Truncate` is a no-op;
+    /// the other kinds grow nothing and simply report `"empty"`.
+    pub fn corrupt_checkpoint(
+        &mut self,
+        bytes: &mut Vec<u8>,
+        kind: CheckpointFaultKind,
+    ) -> String {
+        if bytes.is_empty() {
+            return "empty blob left as-is".to_owned();
+        }
+        match kind {
+            CheckpointFaultKind::Truncate => {
+                let keep = self.rng.gen_range(0usize..bytes.len());
+                bytes.truncate(keep);
+                format!("truncated to {keep} bytes")
+            }
+            CheckpointFaultKind::BitFlip => {
+                let pos = self.rng.gen_range(0usize..bytes.len());
+                let bit = self.rng.gen_range(0u32..8);
+                bytes[pos] ^= 1 << bit;
+                format!("flipped bit {bit} of byte {pos}")
+            }
+            CheckpointFaultKind::ZeroSpan => {
+                let start = self.rng.gen_range(0usize..bytes.len());
+                let len = (self.rng.gen_range(1usize..=16)).min(bytes.len() - start);
+                for b in &mut bytes[start..start + len] {
+                    *b = 0;
+                }
+                format!("zeroed {len} bytes at {start}")
+            }
+            CheckpointFaultKind::HeaderSmash => {
+                let span = bytes.len().min(8);
+                for b in &mut bytes[..span] {
+                    *b = self.rng.gen_range(0u8..=255);
+                }
+                format!("rewrote the first {span} bytes")
+            }
+        }
+    }
+
     fn pick_node(&mut self, count: usize) -> Option<NodeId> {
         (count > 0).then(|| NodeId::from_raw(self.rng.gen_range(0u32..count as u32)))
     }
@@ -348,6 +426,45 @@ mod tests {
             target: "i0".to_owned(),
         };
         assert_eq!(fault.to_string(), "zero-bus-bitwidth on i0");
+    }
+
+    #[test]
+    fn checkpoint_corruption_is_seeded_and_always_damages() {
+        // No zero bytes, so a ZeroSpan always changes content.
+        let blob: Vec<u8> = (0u16..256).map(|i| (i % 250 + 1) as u8).collect();
+        for (i, kind) in ALL_CHECKPOINT_FAULT_KINDS.iter().enumerate() {
+            for seed in 0..16u64 {
+                let mut a = blob.clone();
+                let mut b = blob.clone();
+                let why_a = FaultInjector::new(seed).corrupt_checkpoint(&mut a, *kind);
+                let why_b = FaultInjector::new(seed).corrupt_checkpoint(&mut b, *kind);
+                assert_eq!(a, b, "{kind}/{seed} not reproducible");
+                assert_eq!(why_a, why_b);
+                // ZeroSpan can hit already-zero bytes only if the blob had
+                // them; this fixture has none at indices it can pick, and
+                // the other kinds always change content or length.
+                assert!(
+                    a != blob || a.len() != blob.len(),
+                    "{kind}/{seed} ({why_a}) left the blob intact; index {i}"
+                );
+            }
+        }
+        let mut empty = Vec::new();
+        let why = FaultInjector::new(0)
+            .corrupt_checkpoint(&mut empty, CheckpointFaultKind::BitFlip);
+        assert!(empty.is_empty());
+        assert!(why.contains("empty"));
+    }
+
+    #[test]
+    fn checkpoint_fault_kinds_display_kebab_case() {
+        for kind in ALL_CHECKPOINT_FAULT_KINDS {
+            let s = kind.to_string();
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{kind:?} renders `{s}`"
+            );
+        }
     }
 
     #[test]

@@ -81,6 +81,7 @@ mod graph;
 mod ids;
 mod node;
 mod partition;
+mod txn;
 
 pub mod dot;
 pub mod faults;
@@ -99,6 +100,7 @@ pub use ids::{
 };
 pub use node::{Node, NodeKind, Port, PortDirection};
 pub use partition::Partition;
+pub use txn::{PartitionTxn, Savepoint};
 pub use validate::{IssueSeverity, ValidationIssue, ValidationReport};
 
 #[cfg(test)]

@@ -1,0 +1,294 @@
+//! All-or-nothing batched partition edits.
+//!
+//! Exploration algorithms apply *sequences* of moves that must land
+//! together or not at all: group migration's best-prefix rewind, a
+//! checkpoint restore, a cluster seeding. [`PartitionTxn`] wraps a
+//! mutable [`Partition`] and records an undo entry for every assignment
+//! it makes, so the whole batch can be validated on commit and rolled
+//! back — fully or to a savepoint — when it does not hold up.
+//!
+//! # Examples
+//!
+//! ```
+//! use slif_core::gen::DesignGenerator;
+//! use slif_core::{PartitionTxn, PmRef};
+//!
+//! let (design, mut partition) = DesignGenerator::new(1).build();
+//! let n = design.graph().node_ids().next().unwrap();
+//! let before = partition.node_component(n);
+//! let mut txn = PartitionTxn::begin(&mut partition);
+//! let target: PmRef = design.processor_ids().last().unwrap().into();
+//! txn.assign_node(n, target)?;
+//! txn.rollback(); // changed our mind: the partition is untouched
+//! assert_eq!(partition.node_component(n), before);
+//! # Ok::<(), slif_core::CoreError>(())
+//! ```
+
+use crate::design::Design;
+use crate::error::CoreError;
+use crate::ids::{BusId, ChannelId, NodeId, PmRef};
+use crate::partition::Partition;
+
+/// One recorded undo entry: the slot and its value before this
+/// transaction touched it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UndoOp {
+    Node(NodeId, Option<PmRef>),
+    Channel(ChannelId, Option<BusId>),
+}
+
+/// An open transaction over a [`Partition`]: batched moves with bounds
+/// checking, savepoints, and all-or-nothing commit.
+///
+/// Dropping an open transaction *keeps* its edits (like forgetting to
+/// call [`commit`](Self::commit) on an in-place edit); call
+/// [`rollback`](Self::rollback) to discard them explicitly.
+#[derive(Debug)]
+pub struct PartitionTxn<'p> {
+    partition: &'p mut Partition,
+    log: Vec<UndoOp>,
+}
+
+/// A marker into a transaction's undo log, for partial rollback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Savepoint(usize);
+
+impl<'p> PartitionTxn<'p> {
+    /// Opens a transaction over `partition`.
+    pub fn begin(partition: &'p mut Partition) -> Self {
+        Self {
+            partition,
+            log: Vec::new(),
+        }
+    }
+
+    /// Assigns node `n` to `comp`, recording the previous value for undo.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DanglingReference`] if `n` is out of range for the
+    /// partition (nothing is changed or recorded).
+    pub fn assign_node(&mut self, n: NodeId, comp: PmRef) -> Result<(), CoreError> {
+        if n.index() >= self.partition.node_slots() {
+            return Err(CoreError::DanglingReference {
+                what: "node",
+                index: n.index(),
+            });
+        }
+        let prev = self.partition.assign_node(n, comp);
+        self.log.push(UndoOp::Node(n, prev));
+        Ok(())
+    }
+
+    /// Removes node `n`'s assignment, recording the previous value.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DanglingReference`] if `n` is out of range.
+    pub fn unassign_node(&mut self, n: NodeId) -> Result<(), CoreError> {
+        if n.index() >= self.partition.node_slots() {
+            return Err(CoreError::DanglingReference {
+                what: "node",
+                index: n.index(),
+            });
+        }
+        let prev = self.partition.unassign_node(n);
+        self.log.push(UndoOp::Node(n, prev));
+        Ok(())
+    }
+
+    /// Assigns channel `c` to `bus`, recording the previous value.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DanglingReference`] if `c` is out of range.
+    pub fn assign_channel(&mut self, c: ChannelId, bus: BusId) -> Result<(), CoreError> {
+        if c.index() >= self.partition.channel_slots() {
+            return Err(CoreError::DanglingReference {
+                what: "channel",
+                index: c.index(),
+            });
+        }
+        let prev = self.partition.assign_channel(c, bus);
+        self.log.push(UndoOp::Channel(c, prev));
+        Ok(())
+    }
+
+    /// The partition as the transaction currently sees it.
+    pub fn partition(&self) -> &Partition {
+        self.partition
+    }
+
+    /// How many edits the transaction has recorded.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether the transaction has recorded no edits yet.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Marks the current position in the undo log, for
+    /// [`rollback_to`](Self::rollback_to).
+    pub fn savepoint(&self) -> Savepoint {
+        Savepoint(self.log.len())
+    }
+
+    /// Undoes every edit made after `sp`, leaving earlier edits in place.
+    /// A savepoint from before edits that were already rolled back is
+    /// clamped (rolling back twice is a no-op).
+    pub fn rollback_to(&mut self, sp: Savepoint) {
+        while self.log.len() > sp.0 {
+            match self.log.pop() {
+                Some(UndoOp::Node(n, Some(comp))) => {
+                    self.partition.assign_node(n, comp);
+                }
+                Some(UndoOp::Node(n, None)) => {
+                    self.partition.unassign_node(n);
+                }
+                Some(UndoOp::Channel(c, Some(bus))) => {
+                    self.partition.assign_channel(c, bus);
+                }
+                Some(UndoOp::Channel(c, None)) => {
+                    self.partition.unassign_channel(c);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Undoes every edit and closes the transaction: the partition is
+    /// exactly as it was at [`begin`](Self::begin).
+    pub fn rollback(mut self) {
+        self.rollback_to(Savepoint(0));
+    }
+
+    /// Validates the edited partition against `design` and closes the
+    /// transaction. On a validation failure every edit is undone first —
+    /// the batch lands all-or-nothing.
+    ///
+    /// # Errors
+    ///
+    /// The first proper-partition violation, from
+    /// [`Partition::validate`]; the partition is back at its pre-
+    /// transaction state when an error is returned.
+    pub fn commit(self, design: &Design) -> Result<(), CoreError> {
+        match self.partition.validate(design) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Closes the transaction keeping every edit, without validating.
+    /// For callers that maintain validity by construction and only need
+    /// the undo log for mid-flight rollback.
+    pub fn commit_unchecked(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::DesignGenerator;
+    use crate::ids::ProcessorId;
+
+    #[test]
+    fn commit_keeps_a_valid_batch() {
+        let (design, mut part) = DesignGenerator::new(10).processors(2).build();
+        let n = design.graph().node_ids().next().unwrap();
+        let target: PmRef = design.processor_ids().last().unwrap().into();
+        let mut txn = PartitionTxn::begin(&mut part);
+        txn.assign_node(n, target).unwrap();
+        assert_eq!(txn.len(), 1);
+        txn.commit(&design).unwrap();
+        assert_eq!(part.node_component(n), Some(target));
+    }
+
+    #[test]
+    fn commit_rolls_back_an_invalid_batch_entirely() {
+        let (design, mut part) = DesignGenerator::new(11).processors(2).build();
+        let before = part.clone();
+        let nodes: Vec<_> = design.graph().node_ids().take(3).collect();
+        let good: PmRef = design.processor_ids().last().unwrap().into();
+        let ghost: PmRef = ProcessorId::from_raw(99).into();
+        let mut txn = PartitionTxn::begin(&mut part);
+        txn.assign_node(nodes[0], good).unwrap();
+        txn.assign_node(nodes[1], good).unwrap();
+        txn.assign_node(nodes[2], ghost).unwrap();
+        let err = txn.commit(&design).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownComponent { .. }), "{err}");
+        // The valid early edits are gone too: all-or-nothing.
+        assert_eq!(part, before);
+    }
+
+    #[test]
+    fn savepoint_rewinds_a_suffix_only() {
+        let (design, mut part) = DesignGenerator::new(12).processors(3).build();
+        let nodes: Vec<_> = design.graph().node_ids().take(2).collect();
+        let procs: Vec<_> = design.processor_ids().collect();
+        let keep_home = part.node_component(nodes[1]);
+        let mut txn = PartitionTxn::begin(&mut part);
+        txn.assign_node(nodes[0], procs[1].into()).unwrap();
+        let sp = txn.savepoint();
+        txn.assign_node(nodes[1], procs[2].into()).unwrap();
+        txn.rollback_to(sp);
+        assert_eq!(txn.len(), 1);
+        txn.commit(&design).unwrap();
+        assert_eq!(part.node_component(nodes[0]), Some(procs[1].into()));
+        assert_eq!(part.node_component(nodes[1]), keep_home);
+    }
+
+    #[test]
+    fn rollback_restores_unassignments_and_channels() {
+        let (design, mut part) = DesignGenerator::new(13).buses(2).build();
+        let before = part.clone();
+        let n = design.graph().node_ids().next().unwrap();
+        let c = design.graph().channel_ids().next().unwrap();
+        let buses: Vec<_> = design.bus_ids().collect();
+        let mut txn = PartitionTxn::begin(&mut part);
+        txn.unassign_node(n).unwrap();
+        txn.assign_channel(c, buses[1]).unwrap();
+        assert!(!txn.is_empty());
+        txn.rollback();
+        assert_eq!(part, before);
+    }
+
+    #[test]
+    fn out_of_range_targets_are_typed_errors_not_panics() {
+        let (design, mut part) = DesignGenerator::new(14).build();
+        let before = part.clone();
+        let good: PmRef = design.processor_ids().next().unwrap().into();
+        let mut txn = PartitionTxn::begin(&mut part);
+        let err = txn.assign_node(NodeId::from_raw(9999), good).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::DanglingReference { what: "node", .. }
+        ));
+        let err = txn
+            .assign_channel(ChannelId::from_raw(9999), BusId::from_raw(0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::DanglingReference { what: "channel", .. }
+        ));
+        let err = txn.unassign_node(NodeId::from_raw(9999)).unwrap_err();
+        assert!(matches!(err, CoreError::DanglingReference { .. }));
+        assert!(txn.is_empty(), "failed edits must not be logged");
+        txn.rollback();
+        assert_eq!(part, before);
+    }
+
+    #[test]
+    fn commit_unchecked_keeps_edits_without_validating() {
+        let (design, mut part) = DesignGenerator::new(15).build();
+        let n = design.graph().node_ids().next().unwrap();
+        let ghost: PmRef = ProcessorId::from_raw(42).into();
+        let mut txn = PartitionTxn::begin(&mut part);
+        txn.assign_node(n, ghost).unwrap();
+        txn.commit_unchecked();
+        assert_eq!(part.node_component(n), Some(ghost));
+    }
+}

@@ -145,7 +145,7 @@ fn eval_compute(
         Some(v) => v as f64,
         None => match config.default_ict {
             Some(fallback) => {
-                warnings.push(EstimateWarning {
+                warnings.push(EstimateWarning::MissingWeight {
                     node: n,
                     list: "ict",
                     component: comp,
@@ -657,7 +657,10 @@ mod tests {
         assert_eq!(soft.exec_time(f.sub).unwrap(), 49.0);
         assert_eq!(soft.warnings().len(), 1);
         let w = soft.warnings()[0];
-        assert_eq!((w.node, w.list, w.substituted), (f.sub, "ict", 40));
+        assert_eq!(
+            (w.node(), w.list(), w.substituted()),
+            (Some(f.sub), Some("ict"), Some(40))
+        );
         let drained = soft.take_warnings();
         assert_eq!(drained.len(), 1);
         assert!(soft.warnings().is_empty());

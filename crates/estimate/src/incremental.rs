@@ -52,6 +52,13 @@ pub struct IncrementalEstimator<'a> {
     exec_memo: Vec<MemoState>,
     pins_cache: Vec<Option<u32>>,
     warnings: Vec<EstimateWarning>,
+    /// Self-audit cadence: every N successful moves, one entry of each
+    /// cache is re-derived from scratch. `None` disables auditing.
+    audit_every: Option<u64>,
+    /// Successful (state-changing) moves applied so far.
+    moves: u64,
+    /// Cache divergences detected (and repaired) so far.
+    divergences: u64,
 }
 
 impl<'a> IncrementalEstimator<'a> {
@@ -94,7 +101,35 @@ impl<'a> IncrementalEstimator<'a> {
             exec_memo: vec![MemoState::default(); design.graph().node_count()],
             pins_cache: vec![None; design.processor_count()],
             warnings,
+            audit_every: None,
+            moves: 0,
+            divergences: 0,
         })
+    }
+
+    /// Enables self-audit mode: every `every` successful moves, one entry
+    /// of each cache (component size, execution-time memo, pin count) is
+    /// re-derived from scratch. A divergence is repaired on the spot and
+    /// recorded as an [`EstimateWarning::CacheDivergence`] — turning a
+    /// silent wrong-answer bug into a detected, recovered event. With
+    /// healthy caches the audit changes nothing observable but time.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] if `every` is zero.
+    pub fn with_audit(mut self, every: u64) -> Result<Self, CoreError> {
+        if every == 0 {
+            return Err(CoreError::InvalidInput {
+                message: "audit cadence must be at least one move".to_owned(),
+            });
+        }
+        self.audit_every = Some(every);
+        Ok(self)
+    }
+
+    /// How many cache divergences self-audits have detected and repaired.
+    pub fn cache_divergences(&self) -> u64 {
+        self.divergences
     }
 
     /// The current working partition.
@@ -135,6 +170,7 @@ impl<'a> IncrementalEstimator<'a> {
         self.partition.assign_node(n, comp);
         self.invalidate_exec_through(n);
         self.invalidate_pins_around_node(n, old, Some(comp));
+        self.tick_audit();
         Ok(old)
     }
 
@@ -160,7 +196,55 @@ impl<'a> IncrementalEstimator<'a> {
         if let AccessTarget::Node(dst) = ch.dst() {
             self.invalidate_pins_of_comp(self.partition.node_component(dst));
         }
+        self.tick_audit();
         Ok(old)
+    }
+
+    /// Re-applies the difference between the working partition and
+    /// `target` as a sequence of incremental moves, after which
+    /// [`partition`](Self::partition) equals `target` and every cache is
+    /// consistent with it. This is how batched rollbacks (e.g. a
+    /// [`PartitionTxn`](slif_core::PartitionTxn) rewind) are replayed
+    /// into the estimator without a from-scratch rebuild.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] if `target` was shaped for a different
+    /// design; [`CoreError::UnmappedNode`] / [`CoreError::UnmappedChannel`]
+    /// if `target` is incomplete; any [`move_node`](Self::move_node) /
+    /// [`move_channel`](Self::move_channel) error. On error the estimator
+    /// stays valid but may have applied a prefix of the diff.
+    pub fn sync_to(&mut self, target: &Partition) -> Result<(), CoreError> {
+        if target.node_slots() != self.partition.node_slots()
+            || target.channel_slots() != self.partition.channel_slots()
+        {
+            return Err(CoreError::InvalidInput {
+                message: format!(
+                    "sync target has {}/{} slots, estimator has {}/{}",
+                    target.node_slots(),
+                    target.channel_slots(),
+                    self.partition.node_slots(),
+                    self.partition.channel_slots()
+                ),
+            });
+        }
+        for n in self.design.graph().node_ids() {
+            let want = target
+                .node_component(n)
+                .ok_or(CoreError::UnmappedNode { node: n })?;
+            if self.partition.node_component(n) != Some(want) {
+                self.move_node(n, want)?;
+            }
+        }
+        for c in self.design.graph().channel_ids() {
+            let want = target
+                .channel_bus(c)
+                .ok_or(CoreError::UnmappedChannel { channel: c })?;
+            if self.partition.channel_bus(c) != Some(want) {
+                self.move_channel(c, want)?;
+            }
+        }
+        Ok(())
     }
 
     /// Equation 1 execution time of node `n`, from cache where valid.
@@ -243,12 +327,167 @@ impl<'a> IncrementalEstimator<'a> {
             self.invalidate_pins_of_comp(comp);
         }
     }
+
+    /// Counts a successful move and, when an audit is due, re-derives one
+    /// sampled entry per cache. Sampling is a pure function of the move
+    /// counter (never of any run RNG), so enabling audits cannot perturb
+    /// an exploration's decision stream.
+    fn tick_audit(&mut self) {
+        self.moves += 1;
+        let Some(every) = self.audit_every else {
+            return;
+        };
+        if !self.moves.is_multiple_of(every) {
+            return;
+        }
+        let round = self.moves / every;
+        if !self.comp_size.is_empty() {
+            self.audit_size_slot((round % self.comp_size.len() as u64) as usize);
+        }
+        if !self.exec_memo.is_empty() {
+            self.audit_exec_slot((round % self.exec_memo.len() as u64) as usize);
+        }
+        if !self.pins_cache.is_empty() {
+            self.audit_pins_slot((round % self.pins_cache.len() as u64) as usize);
+        }
+    }
+
+    /// Audits every cached entry at once, returning how many divergences
+    /// this sweep found (each already repaired and recorded as an
+    /// [`EstimateWarning::CacheDivergence`]). Entries whose from-scratch
+    /// re-derivation itself errors (a corrupted design) are skipped: the
+    /// audit detects silent wrong answers, the move/query paths report
+    /// loud ones.
+    pub fn audit_now(&mut self) -> u64 {
+        let before = self.divergences;
+        for i in 0..self.comp_size.len() {
+            self.audit_size_slot(i);
+        }
+        for i in 0..self.exec_memo.len() {
+            self.audit_exec_slot(i);
+        }
+        for i in 0..self.pins_cache.len() {
+            self.audit_pins_slot(i);
+        }
+        self.divergences - before
+    }
+
+    /// Re-sums component slot `i` from scratch; repairs and records a
+    /// divergence. Scratch warnings are discarded so an audit never
+    /// duplicates the missing-weight warnings the original sum recorded.
+    fn audit_size_slot(&mut self, i: usize) {
+        let pm = pm_of_index(self.design, i);
+        let mut scratch = Vec::new();
+        let mut total = 0u64;
+        for n in self.partition.nodes_on(pm) {
+            match node_size_on_with(self.design, n, pm, &self.config, &mut scratch) {
+                Ok(w) => total = total.saturating_add(w),
+                Err(_) => return,
+            }
+        }
+        let cached = self.comp_size[i];
+        if cached != total {
+            self.comp_size[i] = total;
+            self.record_divergence("size", i, cached as f64, total as f64);
+        }
+    }
+
+    /// Re-derives node `i`'s execution time from scratch if it is cached;
+    /// repairs and records a divergence.
+    fn audit_exec_slot(&mut self, i: usize) {
+        let MemoState::Done(cached) = self.exec_memo[i] else {
+            return;
+        };
+        let mut scratch_memo = vec![MemoState::default(); self.exec_memo.len()];
+        let mut scratch_warnings = Vec::new();
+        let Ok(recomputed) = eval_exec_time(
+            self.design,
+            &self.partition,
+            &self.config,
+            &mut scratch_memo,
+            &mut scratch_warnings,
+            NodeId::from_raw(i as u32),
+        ) else {
+            return;
+        };
+        if recomputed != cached {
+            self.exec_memo[i] = MemoState::Done(recomputed);
+            self.record_divergence("exec", i, cached, recomputed);
+        }
+    }
+
+    /// Re-counts processor `i`'s pins from scratch if cached; repairs and
+    /// records a divergence.
+    fn audit_pins_slot(&mut self, i: usize) {
+        let Some(cached) = self.pins_cache[i] else {
+            return;
+        };
+        let Ok(recomputed) = io_pins(
+            self.design,
+            &self.partition,
+            ProcessorId::from_raw(i as u32),
+        ) else {
+            return;
+        };
+        if recomputed != cached {
+            self.pins_cache[i] = Some(recomputed);
+            self.record_divergence("pins", i, f64::from(cached), f64::from(recomputed));
+        }
+    }
+
+    fn record_divergence(&mut self, cache: &'static str, index: usize, cached: f64, recomputed: f64) {
+        self.divergences += 1;
+        self.warnings.push(EstimateWarning::CacheDivergence {
+            cache,
+            index: index as u32,
+            cached,
+            recomputed,
+        });
+    }
+
+    /// Test hook: corrupts the cached size sum of component `pm` by
+    /// `delta`, simulating the silent cache bug self-audit exists to
+    /// catch. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn debug_corrupt_size_cache(&mut self, pm: PmRef, delta: u64) {
+        let i = pm_index(self.design, pm);
+        self.comp_size[i] = self.comp_size[i].wrapping_add(delta);
+    }
+
+    /// Test hook: corrupts node `n`'s cached execution time by `delta` if
+    /// it is currently memoized. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn debug_corrupt_exec_cache(&mut self, n: NodeId, delta: f64) {
+        if let MemoState::Done(t) = self.exec_memo[n.index()] {
+            self.exec_memo[n.index()] = MemoState::Done(t + delta);
+        }
+    }
+
+    /// Test hook: corrupts processor `p`'s cached pin count by `delta` if
+    /// it is currently cached. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn debug_corrupt_pins_cache(&mut self, p: ProcessorId, delta: u32) {
+        if let Some(pins) = self.pins_cache[p.index()] {
+            self.pins_cache[p.index()] = Some(pins.wrapping_add(delta));
+        }
+    }
 }
 
 fn pm_index(design: &Design, pm: PmRef) -> usize {
     match pm {
         PmRef::Processor(p) => p.index(),
         PmRef::Memory(m) => design.processor_count() + m.index(),
+    }
+}
+
+/// Inverse of [`pm_index`]: the component a cache slot belongs to.
+fn pm_of_index(design: &Design, i: usize) -> PmRef {
+    if i < design.processor_count() {
+        PmRef::Processor(ProcessorId::from_raw(i as u32))
+    } else {
+        PmRef::Memory(slif_core::MemoryId::from_raw(
+            (i - design.processor_count()) as u32,
+        ))
     }
 }
 
@@ -368,6 +607,145 @@ mod tests {
         assert!(matches!(
             IncrementalEstimator::new(&design, empty),
             Err(CoreError::UnmappedNode { .. })
+        ));
+    }
+
+    #[test]
+    fn audit_detects_and_repairs_corrupted_caches() {
+        let (design, part) = DesignGenerator::new(6)
+            .behaviors(8)
+            .variables(5)
+            .processors(2)
+            .memories(1)
+            .buses(1)
+            .build();
+        let mut inc = IncrementalEstimator::new(&design, part).unwrap();
+        // Warm every cache first.
+        let nodes: Vec<NodeId> = design.graph().node_ids().collect();
+        for &n in &nodes {
+            inc.exec_time(n).unwrap();
+        }
+        for p in design.processor_ids() {
+            inc.pins(p).unwrap();
+        }
+        // A healthy estimator audits clean.
+        assert_eq!(inc.audit_now(), 0);
+        assert_eq!(inc.cache_divergences(), 0);
+
+        // Corrupt one entry of each cache.
+        let pm: PmRef = design.processor_ids().next().unwrap().into();
+        let truth_size = inc.size(pm);
+        inc.debug_corrupt_size_cache(pm, 37);
+        assert_eq!(inc.size(pm), truth_size + 37, "corruption took");
+        let victim = nodes[0];
+        inc.debug_corrupt_exec_cache(victim, 5.0);
+        let p0 = design.processor_ids().next().unwrap();
+        inc.debug_corrupt_pins_cache(p0, 3);
+
+        let found = inc.audit_now();
+        assert_eq!(found, 3, "one divergence per corrupted cache");
+        assert_eq!(inc.cache_divergences(), 3);
+        // Every cache is repaired to its from-scratch value.
+        assert_eq!(inc.size(pm), truth_size);
+        let fresh_part = inc.partition().clone();
+        let mut fresh = ExecTimeEstimator::new(&design, &fresh_part);
+        assert_eq!(
+            inc.exec_time(victim).unwrap(),
+            fresh.exec_time(victim).unwrap()
+        );
+        assert_eq!(
+            inc.pins(p0).unwrap(),
+            io_pins(&design, &fresh_part, p0).unwrap()
+        );
+        // And every repair left a warning record.
+        let repairs: Vec<_> = inc
+            .warnings()
+            .iter()
+            .filter(|w| w.is_cache_divergence())
+            .collect();
+        assert_eq!(repairs.len(), 3, "{repairs:?}");
+        // A second sweep finds nothing left to repair.
+        assert_eq!(inc.audit_now(), 0);
+    }
+
+    #[test]
+    fn periodic_audit_fires_on_move_cadence() {
+        let (design, part) = DesignGenerator::new(7)
+            .behaviors(6)
+            .variables(4)
+            .processors(2)
+            .buses(1)
+            .build();
+        let mut inc = IncrementalEstimator::new(&design, part)
+            .unwrap()
+            .with_audit(2)
+            .unwrap();
+        let pm: PmRef = design.processor_ids().next().unwrap().into();
+        inc.debug_corrupt_size_cache(pm, 1_000_000);
+        // Enough moves that the counter-based sample must hit the
+        // corrupted slot (2 components, audit every 2 moves).
+        let procs: Vec<_> = design.processor_ids().collect();
+        let n = design.graph().node_ids().next().unwrap();
+        for i in 0..8u64 {
+            inc.move_node(n, procs[(i % 2) as usize].into()).unwrap();
+        }
+        assert!(
+            inc.cache_divergences() >= 1,
+            "periodic audit never sampled the corrupted slot"
+        );
+    }
+
+    #[test]
+    fn zero_audit_cadence_rejected() {
+        let (design, part) = DesignGenerator::new(8).build();
+        let err = IncrementalEstimator::new(&design, part)
+            .unwrap()
+            .with_audit(0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidInput { .. }), "{err}");
+    }
+
+    #[test]
+    fn sync_to_replays_a_partition_diff() {
+        let (design, part) = DesignGenerator::new(9)
+            .behaviors(8)
+            .variables(6)
+            .processors(3)
+            .memories(1)
+            .buses(2)
+            .build();
+        // Build a target by random-walking a twin estimator.
+        let mut twin = IncrementalEstimator::new(&design, part.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let procs: Vec<_> = design.processor_ids().collect();
+        let buses: Vec<_> = design.bus_ids().collect();
+        for _ in 0..20 {
+            let n = NodeId::from_raw(rng.gen_range(0..design.graph().node_count()) as u32);
+            twin.move_node(n, procs[rng.gen_range(0..procs.len())].into())
+                .unwrap();
+            let c = ChannelId::from_raw(rng.gen_range(0..design.graph().channel_count()) as u32);
+            twin.move_channel(c, buses[rng.gen_range(0..buses.len())])
+                .unwrap();
+        }
+        let target = twin.partition().clone();
+
+        let mut inc = IncrementalEstimator::new(&design, part).unwrap();
+        inc.sync_to(&target).unwrap();
+        assert_eq!(inc.partition(), &target);
+        // Caches agree with a from-scratch estimator over the target.
+        let mut fresh = ExecTimeEstimator::new(&design, &target);
+        for n in design.graph().node_ids() {
+            assert_eq!(inc.exec_time(n).unwrap(), fresh.exec_time(n).unwrap());
+        }
+        for pm in design.pm_refs() {
+            assert_eq!(inc.size(pm), size(&design, &target, pm).unwrap());
+        }
+        // Syncing to a foreign-shaped partition is a typed error.
+        let (other, _) = DesignGenerator::new(10).behaviors(3).build();
+        let foreign = Partition::new(&other);
+        assert!(matches!(
+            inc.sync_to(&foreign),
+            Err(CoreError::InvalidInput { .. })
         ));
     }
 

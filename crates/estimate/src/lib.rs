@@ -42,6 +42,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Estimation (including the self-auditing incremental path) must degrade
+// to typed errors, never panic; `scripts/verify.sh` turns this into a gate.
+#![warn(clippy::expect_used)]
 
 mod bitrate;
 mod config;

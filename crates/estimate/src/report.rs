@@ -285,7 +285,10 @@ mod tests {
         let cfg = EstimatorConfig::default().with_default_ict(10);
         let r = DesignReport::compute_with(&d, &part, cfg).unwrap();
         assert!(!r.warnings.is_empty());
-        assert!(r.warnings.iter().any(|w| w.node == b && w.list == "ict"));
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| w.node() == Some(b) && w.list() == Some("ict")));
         assert!(r.to_string().contains("warnings:"));
         assert!(r.to_string().contains("assumed default 10"));
         // A clean design yields no warnings even with defaults configured.

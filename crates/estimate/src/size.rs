@@ -148,7 +148,7 @@ pub fn node_size_on_with(
         Some(w) => Ok(w),
         None => match config.default_size {
             Some(fallback) => {
-                warnings.push(EstimateWarning {
+                warnings.push(EstimateWarning::MissingWeight {
                     node,
                     list: "size",
                     component: pm,
@@ -364,8 +364,12 @@ mod tests {
         assert_eq!(size_with(&d, &part, cpu, &cfg, &mut warnings).unwrap(), 340);
         assert_eq!(warnings.len(), 1);
         assert_eq!(
-            (warnings[0].node, warnings[0].list, warnings[0].substituted),
-            (a, "size", 100)
+            (
+                warnings[0].node(),
+                warnings[0].list(),
+                warnings[0].substituted()
+            ),
+            (Some(a), Some("size"), Some(100))
         );
     }
 

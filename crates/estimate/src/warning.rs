@@ -1,4 +1,4 @@
-//! Warnings emitted when estimators degrade gracefully.
+//! Warnings emitted when estimators degrade gracefully or self-repair.
 //!
 //! With [`EstimatorConfig::default_ict`](crate::EstimatorConfig) /
 //! [`default_size`](crate::EstimatorConfig) set, a missing weight no
@@ -7,32 +7,104 @@
 //! result's fidelity dropped. Without defaults configured the same
 //! condition stays a hard [`CoreError::MissingWeight`]
 //! (`slif_core::CoreError`) — the paper's strict reading.
+//!
+//! The incremental estimator's self-audit mode adds a second warning
+//! class: [`EstimateWarning::CacheDivergence`], recorded when a sampled
+//! re-derivation finds a cached value that no longer matches a
+//! from-scratch computation. The cache is repaired on the spot; the
+//! warning is the detection record.
 
 use slif_core::{NodeId, PmRef};
 use std::fmt;
 
-/// One graceful-degradation event: a missing weight that was substituted
-/// with a configured default.
+/// One graceful-degradation or self-repair event.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EstimateWarning {
-    /// The node whose weight list was incomplete.
-    pub node: NodeId,
-    /// Which list was incomplete: `"ict"` or `"size"`.
-    pub list: &'static str,
-    /// The component whose class had no entry.
-    pub component: PmRef,
-    /// The default value that was used instead.
-    pub substituted: u64,
+#[non_exhaustive]
+pub enum EstimateWarning {
+    /// A missing weight that was substituted with a configured default.
+    MissingWeight {
+        /// The node whose weight list was incomplete.
+        node: NodeId,
+        /// Which list was incomplete: `"ict"` or `"size"`.
+        list: &'static str,
+        /// The component whose class had no entry.
+        component: PmRef,
+        /// The default value that was used instead.
+        substituted: u64,
+    },
+    /// A self-audit found an incremental cache entry that diverged from
+    /// its from-scratch value. The cache was repaired.
+    CacheDivergence {
+        /// Which cache diverged: `"size"`, `"exec"`, or `"pins"`.
+        cache: &'static str,
+        /// The entry's index (component slot, node index, or processor
+        /// index, depending on `cache`).
+        index: u32,
+        /// The stale value the cache held.
+        cached: f64,
+        /// The correct value it was repaired to.
+        recomputed: f64,
+    },
+}
+
+impl EstimateWarning {
+    /// The node involved, for [`MissingWeight`](Self::MissingWeight)
+    /// warnings.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            Self::MissingWeight { node, .. } => Some(*node),
+            Self::CacheDivergence { .. } => None,
+        }
+    }
+
+    /// The incomplete weight list (`"ict"` or `"size"`), for
+    /// [`MissingWeight`](Self::MissingWeight) warnings.
+    pub fn list(&self) -> Option<&'static str> {
+        match self {
+            Self::MissingWeight { list, .. } => Some(list),
+            Self::CacheDivergence { .. } => None,
+        }
+    }
+
+    /// The substituted default, for
+    /// [`MissingWeight`](Self::MissingWeight) warnings.
+    pub fn substituted(&self) -> Option<u64> {
+        match self {
+            Self::MissingWeight { substituted, .. } => Some(*substituted),
+            Self::CacheDivergence { .. } => None,
+        }
+    }
+
+    /// Whether this is a repaired cache divergence.
+    pub fn is_cache_divergence(&self) -> bool {
+        matches!(self, Self::CacheDivergence { .. })
+    }
 }
 
 impl fmt::Display for EstimateWarning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "node {} has no {} weight for the class of component {}; \
-             assumed default {}",
-            self.node, self.list, self.component, self.substituted
-        )
+        match self {
+            Self::MissingWeight {
+                node,
+                list,
+                component,
+                substituted,
+            } => write!(
+                f,
+                "node {node} has no {list} weight for the class of component {component}; \
+                 assumed default {substituted}"
+            ),
+            Self::CacheDivergence {
+                cache,
+                index,
+                cached,
+                recomputed,
+            } => write!(
+                f,
+                "incremental {cache} cache entry {index} diverged \
+                 (cached {cached}, recomputed {recomputed}); repaired"
+            ),
+        }
     }
 }
 
@@ -43,7 +115,7 @@ mod tests {
 
     #[test]
     fn display_names_node_list_and_default() {
-        let w = EstimateWarning {
+        let w = EstimateWarning::MissingWeight {
             node: NodeId::from_raw(3),
             list: "ict",
             component: PmRef::Processor(ProcessorId::from_raw(1)),
@@ -54,5 +126,28 @@ mod tests {
         assert!(s.contains("ict"), "{s}");
         assert!(s.contains("p1"), "{s}");
         assert!(s.contains("100"), "{s}");
+        assert_eq!(w.node(), Some(NodeId::from_raw(3)));
+        assert_eq!(w.list(), Some("ict"));
+        assert_eq!(w.substituted(), Some(100));
+        assert!(!w.is_cache_divergence());
+    }
+
+    #[test]
+    fn display_names_cache_and_values() {
+        let w = EstimateWarning::CacheDivergence {
+            cache: "size",
+            index: 2,
+            cached: 40.0,
+            recomputed: 64.0,
+        };
+        let s = w.to_string();
+        assert!(s.contains("size"), "{s}");
+        assert!(s.contains("40"), "{s}");
+        assert!(s.contains("64"), "{s}");
+        assert!(s.contains("repaired"), "{s}");
+        assert!(w.is_cache_divergence());
+        assert_eq!(w.node(), None);
+        assert_eq!(w.list(), None);
+        assert_eq!(w.substituted(), None);
     }
 }

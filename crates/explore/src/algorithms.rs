@@ -13,11 +13,22 @@
 //!   cooling,
 //! * [`group_migration`] — Kernighan–Lin-style passes with node locking
 //!   and best-prefix rollback.
+//!
+//! All four run as resumable state machines under a
+//! [`Supervisor`]: [`explore`] starts a run, [`resume`] continues one
+//! from an [`ExplorationCheckpoint`], and the four classic entry points
+//! are unlimited-supervisor wrappers kept for convenience. The state
+//! machines only observe the supervisor at deterministic algorithm
+//! boundaries, so a run interrupted at any point and resumed from its
+//! checkpoint retraces the uninterrupted run bit for bit.
 
+use crate::checkpoint::{AlgorithmState, DesignFingerprint, ExplorationCheckpoint};
 use crate::cost::{cost, Objectives};
+use crate::error::ExploreError;
+use crate::supervise::{StopReason, SupervisedResult, Supervisor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use slif_core::{CoreError, Design, NodeId, Partition, PmRef};
+use slif_core::{BusId, ChannelId, CoreError, Design, NodeId, Partition, PartitionTxn, PmRef};
 use slif_estimate::IncrementalEstimator;
 
 /// The outcome of an exploration run.
@@ -29,111 +40,6 @@ pub struct ExplorationResult {
     pub cost: f64,
     /// How many candidate partitions were evaluated.
     pub evaluations: u64,
-}
-
-/// All components a node could legally move to.
-fn move_targets(design: &Design, n: NodeId) -> Vec<PmRef> {
-    let node = design.graph().node(n);
-    let mut targets: Vec<PmRef> = Vec::new();
-    for pm in design.pm_refs() {
-        if node.kind().is_behavior() && matches!(pm, PmRef::Memory(_)) {
-            continue;
-        }
-        let class = design.component_class(pm);
-        if node.size().supports(class) && (!node.kind().is_behavior() || node.ict().supports(class))
-        {
-            targets.push(pm);
-        }
-    }
-    targets
-}
-
-/// Random search: `iterations` random single-node moves, always applied,
-/// remembering the best partition seen.
-///
-/// # Errors
-///
-/// Propagates estimation errors; the starting partition must be complete.
-pub fn random_search(
-    design: &Design,
-    start: Partition,
-    objectives: &Objectives,
-    iterations: u64,
-    seed: u64,
-) -> Result<ExplorationResult, CoreError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut est = IncrementalEstimator::new(design, start)?;
-    let mut best_cost = cost(design, &mut est, objectives)?;
-    let mut best = est.partition().clone();
-    let mut evaluations = 1;
-    let nodes: Vec<NodeId> = design.graph().node_ids().collect();
-    for _ in 0..iterations {
-        let n = nodes[rng.gen_range(0..nodes.len())];
-        let targets = move_targets(design, n);
-        if targets.is_empty() {
-            continue;
-        }
-        let target = targets[rng.gen_range(0..targets.len())];
-        est.move_node(n, target)?;
-        let c = cost(design, &mut est, objectives)?;
-        evaluations += 1;
-        if c < best_cost {
-            best_cost = c;
-            best = est.partition().clone();
-        }
-    }
-    Ok(ExplorationResult {
-        partition: best,
-        cost: best_cost,
-        evaluations,
-    })
-}
-
-/// Greedy improvement: repeatedly apply the best single-node move until a
-/// full pass yields no improvement (or `max_passes` is hit).
-///
-/// # Errors
-///
-/// Propagates estimation errors.
-pub fn greedy_improve(
-    design: &Design,
-    start: Partition,
-    objectives: &Objectives,
-    max_passes: u32,
-) -> Result<ExplorationResult, CoreError> {
-    let mut est = IncrementalEstimator::new(design, start)?;
-    let mut current = cost(design, &mut est, objectives)?;
-    let mut evaluations = 1;
-    for _ in 0..max_passes {
-        let mut best_move: Option<(NodeId, PmRef, f64)> = None;
-        for n in design.graph().node_ids() {
-            let home = est.partition().node_component(n).expect("complete");
-            for target in move_targets(design, n) {
-                if target == home {
-                    continue;
-                }
-                est.move_node(n, target)?;
-                let c = cost(design, &mut est, objectives)?;
-                evaluations += 1;
-                est.move_node(n, home)?;
-                if c < current && best_move.is_none_or(|(_, _, bc)| c < bc) {
-                    best_move = Some((n, target, c));
-                }
-            }
-        }
-        match best_move {
-            Some((n, target, c)) => {
-                est.move_node(n, target)?;
-                current = c;
-            }
-            None => break,
-        }
-    }
-    Ok(ExplorationResult {
-        partition: est.into_partition(),
-        cost: current,
-        evaluations,
-    })
 }
 
 /// Simulated-annealing configuration.
@@ -160,6 +66,792 @@ impl Default for AnnealingConfig {
     }
 }
 
+/// Which partitioner a supervised run executes, with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Algorithm {
+    /// Uniform random moves, keep the best.
+    RandomSearch {
+        /// Moves to attempt.
+        iterations: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Steepest-descent single-object moves.
+    GreedyImprove {
+        /// Maximum improvement passes.
+        max_passes: u32,
+    },
+    /// Metropolis acceptance with geometric cooling.
+    SimulatedAnnealing {
+        /// Cooling schedule.
+        config: AnnealingConfig,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Kernighan–Lin-style passes with locking and best-prefix rollback.
+    GroupMigration {
+        /// Maximum passes.
+        max_passes: u32,
+    },
+}
+
+/// All components a node could legally move to.
+fn move_targets(design: &Design, n: NodeId) -> Vec<PmRef> {
+    let node = design.graph().node(n);
+    let mut targets: Vec<PmRef> = Vec::new();
+    for pm in design.pm_refs() {
+        if node.kind().is_behavior() && matches!(pm, PmRef::Memory(_)) {
+            continue;
+        }
+        let class = design.component_class(pm);
+        if node.size().supports(class) && (!node.kind().is_behavior() || node.ict().supports(class))
+        {
+            targets.push(pm);
+        }
+    }
+    targets
+}
+
+/// Mutable best-so-far bookkeeping shared by every state machine.
+struct Run {
+    evaluations: u64,
+    best: Partition,
+    best_cost: f64,
+}
+
+/// Packages the current run + algorithm state as a checkpoint.
+///
+/// `evaluations` is passed separately because greedy and group migration
+/// snapshot at their *last deterministic boundary*: evaluations spent on
+/// a partial (and discarded) scan are rolled back so a resumed run
+/// retraces the uninterrupted one exactly.
+fn snapshot(
+    design: &Design,
+    run: &Run,
+    current: &Partition,
+    state: AlgorithmState,
+    evaluations: u64,
+) -> ExplorationCheckpoint {
+    ExplorationCheckpoint {
+        fingerprint: DesignFingerprint::of(design),
+        evaluations,
+        best_cost: run.best_cost,
+        best: run.best.clone(),
+        current: current.clone(),
+        state,
+    }
+}
+
+/// Starts a supervised exploration run from `start`.
+///
+/// The run observes `supervisor` at deterministic algorithm boundaries:
+/// it stops early with a typed [`StopReason`] when a limit trips, writes
+/// crash-safe checkpoints on the configured cadence (plus a final one at
+/// an early stop), and always returns the best partition seen so far.
+///
+/// # Errors
+///
+/// Propagates estimation errors and checkpoint write failures.
+pub fn explore(
+    design: &Design,
+    start: Partition,
+    objectives: &Objectives,
+    algorithm: &Algorithm,
+    supervisor: &mut Supervisor,
+) -> Result<SupervisedResult, ExploreError> {
+    let mut est = IncrementalEstimator::new(design, start)?;
+    let c0 = cost(design, &mut est, objectives)?;
+    let run = Run {
+        evaluations: 1,
+        best: est.partition().clone(),
+        best_cost: c0,
+    };
+    let state = match *algorithm {
+        Algorithm::RandomSearch { iterations, seed } => AlgorithmState::Random {
+            iterations,
+            iter: 0,
+            rng: StdRng::seed_from_u64(seed).state(),
+        },
+        Algorithm::GreedyImprove { max_passes } => AlgorithmState::Greedy {
+            max_passes,
+            pass: 0,
+            current_cost: c0,
+        },
+        Algorithm::SimulatedAnnealing { config, seed } => AlgorithmState::Annealing {
+            config,
+            temp: config.t0,
+            move_idx: 0,
+            current_cost: c0,
+            rng: StdRng::seed_from_u64(seed).state(),
+        },
+        Algorithm::GroupMigration { max_passes } => AlgorithmState::GroupMigration {
+            max_passes,
+            pass: 0,
+            pass_start_cost: c0,
+            locked: vec![false; design.graph().node_count()],
+            trail: Vec::new(),
+        },
+    };
+    drive(design, objectives, supervisor, est, run, state)
+}
+
+/// Continues a supervised run from a checkpoint.
+///
+/// The checkpoint must have been decoded against the same `design`
+/// (checked structurally at decode time). A resumed run retraces the
+/// uninterrupted run exactly: same best partition, same cost bits, same
+/// evaluation count.
+///
+/// # Errors
+///
+/// Propagates estimation errors and checkpoint write failures.
+pub fn resume(
+    design: &Design,
+    objectives: &Objectives,
+    checkpoint: ExplorationCheckpoint,
+    supervisor: &mut Supervisor,
+) -> Result<SupervisedResult, ExploreError> {
+    let ExplorationCheckpoint {
+        evaluations,
+        best_cost,
+        best,
+        current,
+        state,
+        ..
+    } = checkpoint;
+    let est = IncrementalEstimator::new(design, current)?;
+    let run = Run {
+        evaluations,
+        best,
+        best_cost,
+    };
+    drive(design, objectives, supervisor, est, run, state)
+}
+
+fn drive(
+    design: &Design,
+    objectives: &Objectives,
+    supervisor: &mut Supervisor,
+    mut est: IncrementalEstimator<'_>,
+    mut run: Run,
+    state: AlgorithmState,
+) -> Result<SupervisedResult, ExploreError> {
+    supervisor.begin();
+    let stop = match state {
+        AlgorithmState::Random {
+            iterations,
+            iter,
+            rng,
+        } => run_random(
+            design, objectives, supervisor, &mut est, &mut run, iterations, iter, rng,
+        )?,
+        AlgorithmState::Greedy {
+            max_passes,
+            pass,
+            current_cost,
+        } => run_greedy(
+            design,
+            objectives,
+            supervisor,
+            &mut est,
+            &mut run,
+            max_passes,
+            pass,
+            current_cost,
+        )?,
+        AlgorithmState::Annealing {
+            config,
+            temp,
+            move_idx,
+            current_cost,
+            rng,
+        } => run_annealing(
+            design,
+            objectives,
+            supervisor,
+            &mut est,
+            &mut run,
+            config,
+            temp,
+            move_idx,
+            current_cost,
+            rng,
+        )?,
+        AlgorithmState::GroupMigration {
+            max_passes,
+            pass,
+            pass_start_cost,
+            locked,
+            trail,
+        } => run_group_migration(
+            design,
+            objectives,
+            supervisor,
+            &mut est,
+            &mut run,
+            max_passes,
+            pass,
+            pass_start_cost,
+            locked,
+            trail,
+        )?,
+    };
+    Ok(SupervisedResult {
+        result: ExplorationResult {
+            partition: run.best,
+            cost: run.best_cost,
+            evaluations: run.evaluations,
+        },
+        stop,
+        checkpoints_written: supervisor.checkpoints_written(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_random(
+    design: &Design,
+    objectives: &Objectives,
+    sup: &mut Supervisor,
+    est: &mut IncrementalEstimator<'_>,
+    run: &mut Run,
+    iterations: u64,
+    mut iter: u64,
+    rng_state: [u64; 4],
+) -> Result<StopReason, ExploreError> {
+    let nodes: Vec<NodeId> = design.graph().node_ids().collect();
+    let mut rng = StdRng::from_state(rng_state);
+    loop {
+        // Boundary: between iterations; the RNG snapshot taken here is
+        // exactly what a resumed run restarts from.
+        let boundary_rng = rng.state();
+        if iter >= iterations {
+            return Ok(StopReason::Completed);
+        }
+        if let Some(stop) = sup.check(run.evaluations) {
+            if sup.wants_checkpoints() {
+                let state = AlgorithmState::Random {
+                    iterations,
+                    iter,
+                    rng: boundary_rng,
+                };
+                sup.save_checkpoint(&snapshot(
+                    design,
+                    run,
+                    est.partition(),
+                    state,
+                    run.evaluations,
+                ))?;
+            }
+            return Ok(stop);
+        }
+        if sup.tick(run.evaluations, run.best_cost) {
+            let state = AlgorithmState::Random {
+                iterations,
+                iter,
+                rng: boundary_rng,
+            };
+            sup.save_checkpoint(&snapshot(
+                design,
+                run,
+                est.partition(),
+                state,
+                run.evaluations,
+            ))?;
+        }
+        let n = nodes[rng.gen_range(0..nodes.len())];
+        let targets = move_targets(design, n);
+        if !targets.is_empty() {
+            let target = targets[rng.gen_range(0..targets.len())];
+            est.move_node(n, target)?;
+            let c = cost(design, est, objectives)?;
+            run.evaluations += 1;
+            if c < run.best_cost {
+                run.best_cost = c;
+                run.best = est.partition().clone();
+            }
+        }
+        iter += 1;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_greedy(
+    design: &Design,
+    objectives: &Objectives,
+    sup: &mut Supervisor,
+    est: &mut IncrementalEstimator<'_>,
+    run: &mut Run,
+    max_passes: u32,
+    mut pass: u32,
+    mut current_cost: f64,
+) -> Result<StopReason, ExploreError> {
+    loop {
+        // Boundary: between passes. Probes inside a pass are applied and
+        // immediately undone, so at any stop check the estimator sits on
+        // the pass-boundary partition; the checkpoint rolls the
+        // evaluation counter back to the boundary so a resumed run
+        // re-scans the pass and retraces the uninterrupted trajectory.
+        if pass >= max_passes {
+            return Ok(StopReason::Completed);
+        }
+        let boundary_evals = run.evaluations;
+        if let Some(stop) = sup.check(run.evaluations) {
+            if sup.wants_checkpoints() {
+                let state = AlgorithmState::Greedy {
+                    max_passes,
+                    pass,
+                    current_cost,
+                };
+                sup.save_checkpoint(&snapshot(
+                    design,
+                    run,
+                    est.partition(),
+                    state,
+                    boundary_evals,
+                ))?;
+            }
+            return Ok(stop);
+        }
+        if sup.tick(run.evaluations, run.best_cost) {
+            let state = AlgorithmState::Greedy {
+                max_passes,
+                pass,
+                current_cost,
+            };
+            sup.save_checkpoint(&snapshot(
+                design,
+                run,
+                est.partition(),
+                state,
+                boundary_evals,
+            ))?;
+        }
+        let mut best_move: Option<(NodeId, PmRef, f64)> = None;
+        for n in design.graph().node_ids() {
+            let home = est
+                .partition()
+                .node_component(n)
+                .ok_or(CoreError::UnmappedNode { node: n })?;
+            for target in move_targets(design, n) {
+                if target == home {
+                    continue;
+                }
+                if let Some(stop) = sup.check(run.evaluations) {
+                    if sup.wants_checkpoints() {
+                        let state = AlgorithmState::Greedy {
+                            max_passes,
+                            pass,
+                            current_cost,
+                        };
+                        sup.save_checkpoint(&snapshot(
+                            design,
+                            run,
+                            est.partition(),
+                            state,
+                            boundary_evals,
+                        ))?;
+                    }
+                    return Ok(stop);
+                }
+                est.move_node(n, target)?;
+                let c = cost(design, est, objectives)?;
+                run.evaluations += 1;
+                est.move_node(n, home)?;
+                if c < current_cost && best_move.is_none_or(|(_, _, bc)| c < bc) {
+                    best_move = Some((n, target, c));
+                }
+            }
+        }
+        match best_move {
+            Some((n, target, c)) => {
+                est.move_node(n, target)?;
+                current_cost = c;
+                run.best = est.partition().clone();
+                run.best_cost = c;
+                pass += 1;
+            }
+            None => return Ok(StopReason::Completed),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_annealing(
+    design: &Design,
+    objectives: &Objectives,
+    sup: &mut Supervisor,
+    est: &mut IncrementalEstimator<'_>,
+    run: &mut Run,
+    config: AnnealingConfig,
+    mut temp: f64,
+    mut move_idx: u32,
+    mut current: f64,
+    rng_state: [u64; 4],
+) -> Result<StopReason, ExploreError> {
+    let nodes: Vec<NodeId> = design.graph().node_ids().collect();
+    let channels: Vec<ChannelId> = design.graph().channel_ids().collect();
+    let buses: Vec<BusId> = design.bus_ids().collect();
+    let mut rng = StdRng::from_state(rng_state);
+    enum Undo {
+        Node(NodeId, PmRef),
+        Channel(ChannelId, BusId),
+    }
+    loop {
+        // Boundary: between proposals; (temp, move_idx, rng) pin the
+        // exact position in the cooling schedule.
+        let boundary_rng = rng.state();
+        if move_idx == 0 && temp <= config.t_min {
+            return Ok(StopReason::Completed);
+        }
+        if let Some(stop) = sup.check(run.evaluations) {
+            if sup.wants_checkpoints() {
+                let state = AlgorithmState::Annealing {
+                    config,
+                    temp,
+                    move_idx,
+                    current_cost: current,
+                    rng: boundary_rng,
+                };
+                sup.save_checkpoint(&snapshot(
+                    design,
+                    run,
+                    est.partition(),
+                    state,
+                    run.evaluations,
+                ))?;
+            }
+            return Ok(stop);
+        }
+        if sup.tick(run.evaluations, run.best_cost) {
+            let state = AlgorithmState::Annealing {
+                config,
+                temp,
+                move_idx,
+                current_cost: current,
+                rng: boundary_rng,
+            };
+            sup.save_checkpoint(&snapshot(
+                design,
+                run,
+                est.partition(),
+                state,
+                run.evaluations,
+            ))?;
+        }
+        if config.moves_per_temp == 0 {
+            temp *= config.alpha;
+            continue;
+        }
+        'propose: {
+            // A quarter of the proposals re-home a channel when the
+            // design has several buses to choose from.
+            let channel_move = buses.len() > 1 && !channels.is_empty() && rng.gen_bool(0.25);
+            let undo = if channel_move {
+                let ch = channels[rng.gen_range(0..channels.len())];
+                let target = buses[rng.gen_range(0..buses.len())];
+                let home = est
+                    .partition()
+                    .channel_bus(ch)
+                    .ok_or(CoreError::UnmappedChannel { channel: ch })?;
+                if target == home {
+                    break 'propose;
+                }
+                est.move_channel(ch, target)?;
+                Undo::Channel(ch, home)
+            } else {
+                let n = nodes[rng.gen_range(0..nodes.len())];
+                let targets = move_targets(design, n);
+                if targets.is_empty() {
+                    break 'propose;
+                }
+                let target = targets[rng.gen_range(0..targets.len())];
+                let home = est
+                    .partition()
+                    .node_component(n)
+                    .ok_or(CoreError::UnmappedNode { node: n })?;
+                if target == home {
+                    break 'propose;
+                }
+                est.move_node(n, target)?;
+                Undo::Node(n, home)
+            };
+            let c = cost(design, est, objectives)?;
+            run.evaluations += 1;
+            let accept = c <= current || rng.gen::<f64>() < ((current - c) / temp).exp();
+            if accept {
+                current = c;
+                if c < run.best_cost {
+                    run.best_cost = c;
+                    run.best = est.partition().clone();
+                }
+            } else {
+                match undo {
+                    Undo::Node(n, home) => {
+                        est.move_node(n, home)?;
+                    }
+                    Undo::Channel(ch, home) => {
+                        est.move_channel(ch, home)?;
+                    }
+                }
+            }
+        }
+        move_idx += 1;
+        if move_idx >= config.moves_per_temp {
+            move_idx = 0;
+            temp *= config.alpha;
+        }
+    }
+}
+
+/// Rolls the estimator back to the state before `trail[keep..]` was
+/// applied, using an all-or-nothing [`PartitionTxn`] on a scratch copy:
+/// the rewound partition is validated before the estimator adopts it.
+fn rewind_trail(
+    design: &Design,
+    est: &mut IncrementalEstimator<'_>,
+    trail: &[(NodeId, PmRef, f64)],
+    keep: usize,
+) -> Result<(), ExploreError> {
+    if keep >= trail.len() {
+        return Ok(());
+    }
+    let mut target = est.partition().clone();
+    let mut txn = PartitionTxn::begin(&mut target);
+    for &(n, home, _) in trail[keep..].iter().rev() {
+        txn.assign_node(n, home)?;
+    }
+    txn.commit(design)?;
+    est.sync_to(&target)?;
+    Ok(())
+}
+
+/// Best-prefix index and cost of a (possibly partial) pass trail.
+fn best_prefix(trail: &[(NodeId, PmRef, f64)], pass_start_cost: f64) -> (Option<usize>, f64) {
+    let best_idx = trail
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1 .2.total_cmp(&b.1 .2))
+        .map(|(i, _)| i);
+    let best_cost = best_idx.map_or(pass_start_cost, |i| trail[i].2);
+    (best_idx, best_cost)
+}
+
+/// Settles an interrupted group-migration pass: keep the best prefix if
+/// it gains over the pass start, otherwise undo the whole pass.
+fn settle_interrupted_pass(
+    design: &Design,
+    est: &mut IncrementalEstimator<'_>,
+    run: &mut Run,
+    trail: &[(NodeId, PmRef, f64)],
+    pass_start_cost: f64,
+) -> Result<(), ExploreError> {
+    let (best_idx, best_prefix_cost) = best_prefix(trail, pass_start_cost);
+    if best_prefix_cost < pass_start_cost {
+        let keep = best_idx.map_or(0, |i| i + 1);
+        rewind_trail(design, est, trail, keep)?;
+        if best_prefix_cost < run.best_cost {
+            run.best = est.partition().clone();
+            run.best_cost = best_prefix_cost;
+        }
+    } else {
+        rewind_trail(design, est, trail, 0)?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_group_migration(
+    design: &Design,
+    objectives: &Objectives,
+    sup: &mut Supervisor,
+    est: &mut IncrementalEstimator<'_>,
+    run: &mut Run,
+    max_passes: u32,
+    mut pass: u32,
+    mut pass_start_cost: f64,
+    mut locked: Vec<bool>,
+    mut trail: Vec<(NodeId, PmRef, f64)>,
+) -> Result<StopReason, ExploreError> {
+    let nodes: Vec<NodeId> = design.graph().node_ids().collect();
+    loop {
+        if pass >= max_passes {
+            return Ok(StopReason::Completed);
+        }
+        // Inner loop: apply (and lock) one best move per round until
+        // every node has moved or no candidate remains. The boundary is
+        // *between applied moves*: locked + trail + the current
+        // partition pin the mid-pass position exactly.
+        while trail.len() < nodes.len() {
+            let boundary_evals = run.evaluations;
+            if let Some(stop) = sup.check(run.evaluations) {
+                if sup.wants_checkpoints() {
+                    let state = AlgorithmState::GroupMigration {
+                        max_passes,
+                        pass,
+                        pass_start_cost,
+                        locked: locked.clone(),
+                        trail: trail.clone(),
+                    };
+                    sup.save_checkpoint(&snapshot(
+                        design,
+                        run,
+                        est.partition(),
+                        state,
+                        boundary_evals,
+                    ))?;
+                }
+                settle_interrupted_pass(design, est, run, &trail, pass_start_cost)?;
+                return Ok(stop);
+            }
+            if sup.tick(run.evaluations, run.best_cost) {
+                let state = AlgorithmState::GroupMigration {
+                    max_passes,
+                    pass,
+                    pass_start_cost,
+                    locked: locked.clone(),
+                    trail: trail.clone(),
+                };
+                sup.save_checkpoint(&snapshot(
+                    design,
+                    run,
+                    est.partition(),
+                    state,
+                    boundary_evals,
+                ))?;
+            }
+            // Best (possibly worsening) move among unlocked nodes.
+            let mut best: Option<(NodeId, PmRef, PmRef, f64)> = None;
+            for &n in &nodes {
+                if locked[n.index()] {
+                    continue;
+                }
+                let home = est
+                    .partition()
+                    .node_component(n)
+                    .ok_or(CoreError::UnmappedNode { node: n })?;
+                for target in move_targets(design, n) {
+                    if target == home {
+                        continue;
+                    }
+                    if let Some(stop) = sup.check(run.evaluations) {
+                        // Probes are undone: the estimator sits on the
+                        // last applied-move boundary, and the checkpoint
+                        // discards the partial scan's evaluations.
+                        if sup.wants_checkpoints() {
+                            let state = AlgorithmState::GroupMigration {
+                                max_passes,
+                                pass,
+                                pass_start_cost,
+                                locked: locked.clone(),
+                                trail: trail.clone(),
+                            };
+                            sup.save_checkpoint(&snapshot(
+                                design,
+                                run,
+                                est.partition(),
+                                state,
+                                boundary_evals,
+                            ))?;
+                        }
+                        settle_interrupted_pass(design, est, run, &trail, pass_start_cost)?;
+                        return Ok(stop);
+                    }
+                    est.move_node(n, target)?;
+                    let c = cost(design, est, objectives)?;
+                    run.evaluations += 1;
+                    est.move_node(n, home)?;
+                    if best.is_none_or(|(_, _, _, bc)| c < bc) {
+                        best = Some((n, home, target, c));
+                    }
+                }
+            }
+            let Some((n, home, target, c)) = best else {
+                break;
+            };
+            est.move_node(n, target)?;
+            locked[n.index()] = true;
+            trail.push((n, home, c));
+        }
+
+        // Roll back to the best prefix of the pass.
+        let (best_idx, best_prefix_cost) = best_prefix(&trail, pass_start_cost);
+        if best_prefix_cost >= pass_start_cost {
+            // No gain: undo the whole pass and stop.
+            rewind_trail(design, est, &trail, 0)?;
+            return Ok(StopReason::Completed);
+        }
+        let keep = best_idx.map_or(0, |i| i + 1);
+        rewind_trail(design, est, &trail, keep)?;
+        pass_start_cost = best_prefix_cost;
+        run.best = est.partition().clone();
+        run.best_cost = best_prefix_cost;
+        pass += 1;
+        locked.iter_mut().for_each(|l| *l = false);
+        trail.clear();
+    }
+}
+
+/// Runs `algorithm` under an unlimited supervisor, folding the (then
+/// impossible) checkpoint errors into [`CoreError`] for the classic
+/// entry points.
+fn run_unsupervised(
+    design: &Design,
+    start: Partition,
+    objectives: &Objectives,
+    algorithm: &Algorithm,
+) -> Result<ExplorationResult, CoreError> {
+    let mut supervisor = Supervisor::unlimited();
+    match explore(design, start, objectives, algorithm, &mut supervisor) {
+        Ok(s) => Ok(s.result),
+        Err(ExploreError::Core(e)) => Err(e),
+        Err(other) => Err(CoreError::InvalidInput {
+            message: other.to_string(),
+        }),
+    }
+}
+
+/// Random search: `iterations` random single-node moves, always applied,
+/// remembering the best partition seen.
+///
+/// # Errors
+///
+/// Propagates estimation errors; the starting partition must be complete.
+pub fn random_search(
+    design: &Design,
+    start: Partition,
+    objectives: &Objectives,
+    iterations: u64,
+    seed: u64,
+) -> Result<ExplorationResult, CoreError> {
+    run_unsupervised(
+        design,
+        start,
+        objectives,
+        &Algorithm::RandomSearch { iterations, seed },
+    )
+}
+
+/// Greedy improvement: repeatedly apply the best single-node move until a
+/// full pass yields no improvement (or `max_passes` is hit).
+///
+/// # Errors
+///
+/// Propagates estimation errors.
+pub fn greedy_improve(
+    design: &Design,
+    start: Partition,
+    objectives: &Objectives,
+    max_passes: u32,
+) -> Result<ExplorationResult, CoreError> {
+    run_unsupervised(
+        design,
+        start,
+        objectives,
+        &Algorithm::GreedyImprove { max_passes },
+    )
+}
+
 /// Simulated annealing with Metropolis acceptance.
 ///
 /// The neighborhood covers both mapping dimensions: node-to-component
@@ -176,76 +868,12 @@ pub fn simulated_annealing(
     config: AnnealingConfig,
     seed: u64,
 ) -> Result<ExplorationResult, CoreError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut est = IncrementalEstimator::new(design, start)?;
-    let mut current = cost(design, &mut est, objectives)?;
-    let mut best_cost = current;
-    let mut best = est.partition().clone();
-    let mut evaluations = 1;
-    let nodes: Vec<NodeId> = design.graph().node_ids().collect();
-
-    let channels: Vec<slif_core::ChannelId> = design.graph().channel_ids().collect();
-    let buses: Vec<slif_core::BusId> = design.bus_ids().collect();
-    let mut temp = config.t0;
-    while temp > config.t_min {
-        for _ in 0..config.moves_per_temp {
-            // A quarter of the proposals re-home a channel when the
-            // design has several buses to choose from.
-            let channel_move = buses.len() > 1 && !channels.is_empty() && rng.gen_bool(0.25);
-            enum Undo {
-                Node(NodeId, PmRef),
-                Channel(slif_core::ChannelId, slif_core::BusId),
-            }
-            let undo = if channel_move {
-                let ch = channels[rng.gen_range(0..channels.len())];
-                let target = buses[rng.gen_range(0..buses.len())];
-                let home = est.partition().channel_bus(ch).expect("complete");
-                if target == home {
-                    continue;
-                }
-                est.move_channel(ch, target)?;
-                Undo::Channel(ch, home)
-            } else {
-                let n = nodes[rng.gen_range(0..nodes.len())];
-                let targets = move_targets(design, n);
-                if targets.is_empty() {
-                    continue;
-                }
-                let target = targets[rng.gen_range(0..targets.len())];
-                let home = est.partition().node_component(n).expect("complete");
-                if target == home {
-                    continue;
-                }
-                est.move_node(n, target)?;
-                Undo::Node(n, home)
-            };
-            let c = cost(design, &mut est, objectives)?;
-            evaluations += 1;
-            let accept = c <= current || rng.gen::<f64>() < ((current - c) / temp).exp();
-            if accept {
-                current = c;
-                if c < best_cost {
-                    best_cost = c;
-                    best = est.partition().clone();
-                }
-            } else {
-                match undo {
-                    Undo::Node(n, home) => {
-                        est.move_node(n, home)?;
-                    }
-                    Undo::Channel(ch, home) => {
-                        est.move_channel(ch, home)?;
-                    }
-                }
-            }
-        }
-        temp *= config.alpha;
-    }
-    Ok(ExplorationResult {
-        partition: best,
-        cost: best_cost,
-        evaluations,
-    })
+    run_unsupervised(
+        design,
+        start,
+        objectives,
+        &Algorithm::SimulatedAnnealing { config, seed },
+    )
 }
 
 /// Kernighan–Lin-style group migration: in each pass every node is moved
@@ -261,78 +889,18 @@ pub fn group_migration(
     objectives: &Objectives,
     max_passes: u32,
 ) -> Result<ExplorationResult, CoreError> {
-    let mut est = IncrementalEstimator::new(design, start)?;
-    let mut pass_start_cost = cost(design, &mut est, objectives)?;
-    let mut evaluations = 1;
-    let nodes: Vec<NodeId> = design.graph().node_ids().collect();
-
-    for _ in 0..max_passes {
-        let mut locked = vec![false; design.graph().node_count()];
-        // The sequence of applied moves: (node, from, cost-after).
-        let mut trail: Vec<(NodeId, PmRef, f64)> = Vec::new();
-        let mut current = pass_start_cost;
-
-        for _ in 0..nodes.len() {
-            // Best (possibly worsening) move among unlocked nodes.
-            let mut best: Option<(NodeId, PmRef, PmRef, f64)> = None;
-            for &n in &nodes {
-                if locked[n.index()] {
-                    continue;
-                }
-                let home = est.partition().node_component(n).expect("complete");
-                for target in move_targets(design, n) {
-                    if target == home {
-                        continue;
-                    }
-                    est.move_node(n, target)?;
-                    let c = cost(design, &mut est, objectives)?;
-                    evaluations += 1;
-                    est.move_node(n, home)?;
-                    if best.is_none_or(|(_, _, _, bc)| c < bc) {
-                        best = Some((n, home, target, c));
-                    }
-                }
-            }
-            let Some((n, home, target, c)) = best else {
-                break;
-            };
-            est.move_node(n, target)?;
-            locked[n.index()] = true;
-            trail.push((n, home, c));
-            current = c;
-        }
-        let _ = current;
-
-        // Roll back to the best prefix of the pass.
-        let best_idx = trail
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1 .2.total_cmp(&b.1 .2))
-            .map(|(i, _)| i);
-        let best_prefix_cost = best_idx.map(|i| trail[i].2).unwrap_or(pass_start_cost);
-        if best_prefix_cost >= pass_start_cost {
-            // No gain: undo the whole pass and stop.
-            for &(n, home, _) in trail.iter().rev() {
-                est.move_node(n, home)?;
-            }
-            break;
-        }
-        let keep = best_idx.expect("gain implies a move") + 1;
-        for &(n, home, _) in trail[keep..].iter().rev() {
-            est.move_node(n, home)?;
-        }
-        pass_start_cost = best_prefix_cost;
-    }
-    Ok(ExplorationResult {
-        partition: est.into_partition(),
-        cost: pass_start_cost,
-        evaluations,
-    })
+    run_unsupervised(
+        design,
+        start,
+        objectives,
+        &Algorithm::GroupMigration { max_passes },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervise::CancelToken;
     use slif_core::gen::DesignGenerator;
 
     fn setup(seed: u64) -> (Design, Partition) {
@@ -459,5 +1027,120 @@ mod tests {
         }
         let variable = design.graph().variable_ids().next().unwrap();
         assert!(!move_targets(&design, variable).is_empty());
+    }
+
+    #[test]
+    fn supervised_run_matches_the_classic_entry_point() {
+        let (design, part) = setup(10);
+        let classic = random_search(&design, part.clone(), &Objectives::new(), 150, 5).unwrap();
+        let mut sup = Supervisor::unlimited();
+        let supervised = explore(
+            &design,
+            part,
+            &Objectives::new(),
+            &Algorithm::RandomSearch {
+                iterations: 150,
+                seed: 5,
+            },
+            &mut sup,
+        )
+        .unwrap();
+        assert_eq!(supervised.stop, StopReason::Completed);
+        assert_eq!(supervised.result, classic);
+        assert_eq!(supervised.checkpoints_written, 0);
+    }
+
+    #[test]
+    fn budget_stops_early_with_best_so_far() {
+        let (design, part) = setup(11);
+        let mut sup = Supervisor::unlimited().with_budget(20);
+        let r = explore(
+            &design,
+            part,
+            &Objectives::new(),
+            &Algorithm::SimulatedAnnealing {
+                config: AnnealingConfig::default(),
+                seed: 3,
+            },
+            &mut sup,
+        )
+        .unwrap();
+        assert_eq!(r.stop, StopReason::BudgetExhausted);
+        assert!(r.result.evaluations >= 20);
+        r.result.partition.validate(&design).unwrap();
+    }
+
+    #[test]
+    fn cancellation_stops_every_algorithm() {
+        let (design, part) = setup(12);
+        let algorithms = [
+            Algorithm::RandomSearch {
+                iterations: 1_000_000,
+                seed: 1,
+            },
+            Algorithm::GreedyImprove { max_passes: 1000 },
+            Algorithm::SimulatedAnnealing {
+                config: AnnealingConfig::default(),
+                seed: 1,
+            },
+            Algorithm::GroupMigration { max_passes: 1000 },
+        ];
+        for alg in algorithms {
+            let token = CancelToken::new();
+            token.cancel();
+            let mut sup = Supervisor::unlimited().with_cancel_token(token);
+            let r = explore(&design, part.clone(), &Objectives::new(), &alg, &mut sup).unwrap();
+            assert_eq!(r.stop, StopReason::Cancelled, "{alg:?}");
+            r.result.partition.validate(&design).unwrap();
+        }
+    }
+
+    #[test]
+    fn deadline_stops_a_long_run() {
+        let (design, part) = setup(13);
+        let mut sup = Supervisor::unlimited().with_deadline(std::time::Duration::ZERO);
+        let r = explore(
+            &design,
+            part,
+            &Objectives::new(),
+            &Algorithm::GroupMigration { max_passes: 1000 },
+            &mut sup,
+        )
+        .unwrap();
+        assert_eq!(r.stop, StopReason::DeadlineExpired);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_for_random_search() {
+        let (design, part) = setup(14);
+        let objectives = Objectives::new();
+        let alg = Algorithm::RandomSearch {
+            iterations: 120,
+            seed: 9,
+        };
+        let full = explore(
+            &design,
+            part.clone(),
+            &objectives,
+            &alg,
+            &mut Supervisor::unlimited(),
+        )
+        .unwrap();
+
+        let path = std::env::temp_dir().join("slif-algorithms-resume-random.ckpt");
+        let mut sup = Supervisor::unlimited()
+            .with_budget(40)
+            .with_checkpoints(&path, 10);
+        let partial = explore(&design, part, &objectives, &alg, &mut sup).unwrap();
+        assert_eq!(partial.stop, StopReason::BudgetExhausted);
+        assert!(partial.checkpoints_written > 0);
+
+        let ckpt = ExplorationCheckpoint::load(&path, &design).unwrap();
+        let resumed = resume(&design, &objectives, ckpt, &mut Supervisor::unlimited()).unwrap();
+        assert_eq!(resumed.stop, StopReason::Completed);
+        assert_eq!(resumed.result.partition, full.result.partition);
+        assert_eq!(resumed.result.cost.to_bits(), full.result.cost.to_bits());
+        assert_eq!(resumed.result.evaluations, full.result.evaluations);
+        std::fs::remove_file(&path).unwrap();
     }
 }

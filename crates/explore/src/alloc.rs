@@ -244,7 +244,9 @@ mod tests {
             ExecTimeEstimator::new(&d, &part).exec_time(main).unwrap()
         };
         let main = base.graph().node_by_name("VolMain").unwrap();
-        let objectives = Objectives::new().with_deadline(main, probe / 3.0);
+        let objectives = Objectives::new()
+            .try_with_deadline(main, probe / 3.0)
+            .unwrap();
         let anneal = AnnealingConfig {
             t0: 20.0,
             alpha: 0.8,

@@ -1,0 +1,873 @@
+//! Crash-safe exploration checkpoints.
+//!
+//! A checkpoint is a versioned, checksummed binary snapshot of everything
+//! a partitioner needs to continue a run bit-for-bit: the RNG state, the
+//! loop counters, the best partition and cost, the current partition, and
+//! any per-pass bookkeeping (locked sets and move trails). The file
+//! layout is:
+//!
+//! ```text
+//! magic    8 bytes   b"SLIFCKPT"
+//! version  u32 LE    currently 1
+//! length   u64 LE    payload byte count
+//! checksum u64 LE    FNV-1a 64 over the payload
+//! payload  ...       design fingerprint, run state, algorithm state
+//! ```
+//!
+//! Writes are atomic: the bytes go to a sibling `*.tmp` file which is
+//! fsynced and then renamed over the destination, so a crash mid-write
+//! leaves either the previous checkpoint or a temp file — never a
+//! half-written snapshot under the real name. Loads verify the magic,
+//! version, length, and checksum before any field is decoded, and every
+//! decoded index is range-checked against the design, so corruption of
+//! any kind surfaces as a typed [`CheckpointError`], never a panic.
+
+use crate::algorithms::AnnealingConfig;
+use slif_core::{BusId, ChannelId, Design, MemoryId, NodeId, Partition, PmRef, ProcessorId};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// The 8-byte file magic.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"SLIFCKPT";
+/// The current (and only) format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+
+/// Why a checkpoint could not be written, read, or decoded.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The file could not be created, written, renamed, or read.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The operating-system error text.
+        message: String,
+    },
+    /// The file does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The file's version is not one this build can decode.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The file ends before the announced data does.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch,
+    /// The checkpoint was taken against a different design.
+    DesignMismatch {
+        /// The fingerprint field that disagrees.
+        field: &'static str,
+    },
+    /// A decoded value is out of range for the design.
+    Corrupt {
+        /// What was being decoded.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, message } => write!(f, "i/o on {path}: {message}"),
+            Self::BadMagic => write!(f, "not a slif checkpoint (bad magic)"),
+            Self::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {found} (this build reads {CHECKPOINT_VERSION})"
+                )
+            }
+            Self::Truncated { context } => write!(f, "checkpoint truncated while reading {context}"),
+            Self::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            Self::DesignMismatch { field } => {
+                write!(f, "checkpoint was taken against a different design ({field} differs)")
+            }
+            Self::Corrupt { context } => write!(f, "checkpoint corrupt: invalid {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Reads a little-endian `u32` from a 4-byte slice.
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Reads a little-endian `u64` from an 8-byte slice.
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// FNV-1a 64-bit hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A cheap structural identity for a design, embedded in every
+/// checkpoint so a snapshot cannot be resumed against the wrong design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DesignFingerprint {
+    nodes: u32,
+    channels: u32,
+    processors: u32,
+    memories: u32,
+    buses: u32,
+    name_hash: u64,
+}
+
+impl DesignFingerprint {
+    pub(crate) fn of(design: &Design) -> Self {
+        Self {
+            nodes: design.graph().node_count() as u32,
+            channels: design.graph().channel_count() as u32,
+            processors: design.processor_count() as u32,
+            memories: design.memory_count() as u32,
+            buses: design.bus_count() as u32,
+            name_hash: fnv1a(design.name().as_bytes()),
+        }
+    }
+
+    fn matches(&self, design: &Design) -> Result<(), CheckpointError> {
+        let live = Self::of(design);
+        let mismatch = |field| Err(CheckpointError::DesignMismatch { field });
+        if self.nodes != live.nodes {
+            return mismatch("node count");
+        }
+        if self.channels != live.channels {
+            return mismatch("channel count");
+        }
+        if self.processors != live.processors {
+            return mismatch("processor count");
+        }
+        if self.memories != live.memories {
+            return mismatch("memory count");
+        }
+        if self.buses != live.buses {
+            return mismatch("bus count");
+        }
+        if self.name_hash != live.name_hash {
+            return mismatch("design name");
+        }
+        Ok(())
+    }
+}
+
+/// Where a partitioner is inside its own loop structure.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum AlgorithmState {
+    /// [`random_search`](crate::random_search) between iterations.
+    Random {
+        iterations: u64,
+        iter: u64,
+        rng: [u64; 4],
+    },
+    /// [`greedy_improve`](crate::greedy_improve) at a pass boundary.
+    Greedy {
+        max_passes: u32,
+        pass: u32,
+        current_cost: f64,
+    },
+    /// [`simulated_annealing`](crate::simulated_annealing) between
+    /// proposals.
+    Annealing {
+        config: AnnealingConfig,
+        temp: f64,
+        move_idx: u32,
+        current_cost: f64,
+        rng: [u64; 4],
+    },
+    /// [`group_migration`](crate::group_migration) between applied moves.
+    GroupMigration {
+        max_passes: u32,
+        pass: u32,
+        pass_start_cost: f64,
+        locked: Vec<bool>,
+        trail: Vec<(NodeId, PmRef, f64)>,
+    },
+}
+
+/// A decoded (or to-be-written) exploration snapshot.
+///
+/// Produce one by running [`explore`](crate::explore) with a supervisor
+/// configured via
+/// [`Supervisor::with_checkpoints`](crate::Supervisor::with_checkpoints);
+/// consume one with [`load`](Self::load) followed by
+/// [`resume`](crate::resume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorationCheckpoint {
+    pub(crate) fingerprint: DesignFingerprint,
+    pub(crate) evaluations: u64,
+    pub(crate) best_cost: f64,
+    pub(crate) best: Partition,
+    pub(crate) current: Partition,
+    pub(crate) state: AlgorithmState,
+}
+
+impl ExplorationCheckpoint {
+    /// Evaluations recorded at the snapshot boundary.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// The best cost recorded at the snapshot boundary.
+    pub fn best_cost(&self) -> f64 {
+        self.best_cost
+    }
+
+    /// The best partition recorded at the snapshot boundary.
+    pub fn best_partition(&self) -> &Partition {
+        &self.best
+    }
+
+    /// Serializes the checkpoint (header + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a checkpoint, verifying header, checksum, and every index
+    /// against `design`.
+    ///
+    /// # Errors
+    ///
+    /// Any deviation from the format produces a typed [`CheckpointError`]:
+    /// bad magic, unsupported version, truncation, checksum mismatch,
+    /// design mismatch, or out-of-range fields.
+    pub fn from_bytes(bytes: &[u8], design: &Design) -> Result<Self, CheckpointError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(CheckpointError::Truncated { context: "header" });
+        }
+        if bytes[..8] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = le_u32(&bytes[8..12]);
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: version });
+        }
+        let length = le_u64(&bytes[12..20]);
+        let checksum = le_u64(&bytes[20..28]);
+        let payload = &bytes[HEADER_LEN..];
+        if (payload.len() as u64) != length {
+            return Err(CheckpointError::Truncated { context: "payload" });
+        }
+        if fnv1a(payload) != checksum {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+        Self::decode_payload(payload, design)
+    }
+
+    /// Writes the checkpoint atomically: temp file, fsync, rename.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if any filesystem step fails; the
+    /// destination is never left half-written.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let io = |p: &Path| {
+            let path = p.display().to_string();
+            move |e: std::io::Error| CheckpointError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            }
+        };
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = Path::new(&tmp_name);
+        let bytes = self.to_bytes();
+        let mut file = fs::File::create(tmp).map_err(io(tmp))?;
+        file.write_all(&bytes).map_err(io(tmp))?;
+        // fsync before rename: the rename must never make visible a file
+        // whose data is still in the page cache only.
+        file.sync_all().map_err(io(tmp))?;
+        drop(file);
+        fs::rename(tmp, path).map_err(io(path))?;
+        // Best effort: persist the rename itself.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and decodes a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the file cannot be read, otherwise any
+    /// decode error from [`from_bytes`](Self::from_bytes).
+    pub fn load(path: &Path, design: &Design) -> Result<Self, CheckpointError> {
+        let bytes = fs::read(path).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::from_bytes(&bytes, design)
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        let fp = &self.fingerprint;
+        e.u32(fp.nodes);
+        e.u32(fp.channels);
+        e.u32(fp.processors);
+        e.u32(fp.memories);
+        e.u32(fp.buses);
+        e.u64(fp.name_hash);
+        e.u64(self.evaluations);
+        e.f64(self.best_cost);
+        e.partition(&self.best);
+        e.partition(&self.current);
+        match &self.state {
+            AlgorithmState::Random {
+                iterations,
+                iter,
+                rng,
+            } => {
+                e.u8(0);
+                e.u64(*iterations);
+                e.u64(*iter);
+                e.rng(rng);
+            }
+            AlgorithmState::Greedy {
+                max_passes,
+                pass,
+                current_cost,
+            } => {
+                e.u8(1);
+                e.u32(*max_passes);
+                e.u32(*pass);
+                e.f64(*current_cost);
+            }
+            AlgorithmState::Annealing {
+                config,
+                temp,
+                move_idx,
+                current_cost,
+                rng,
+            } => {
+                e.u8(2);
+                e.f64(config.t0);
+                e.f64(config.alpha);
+                e.u32(config.moves_per_temp);
+                e.f64(config.t_min);
+                e.f64(*temp);
+                e.u32(*move_idx);
+                e.f64(*current_cost);
+                e.rng(rng);
+            }
+            AlgorithmState::GroupMigration {
+                max_passes,
+                pass,
+                pass_start_cost,
+                locked,
+                trail,
+            } => {
+                e.u8(3);
+                e.u32(*max_passes);
+                e.u32(*pass);
+                e.f64(*pass_start_cost);
+                e.u32(locked.len() as u32);
+                for &l in locked {
+                    e.u8(u8::from(l));
+                }
+                e.u32(trail.len() as u32);
+                for &(n, home, c) in trail {
+                    e.u32(n.index() as u32);
+                    e.pm_ref(home);
+                    e.f64(c);
+                }
+            }
+        }
+        e.buf
+    }
+
+    fn decode_payload(payload: &[u8], design: &Design) -> Result<Self, CheckpointError> {
+        let mut d = Dec::new(payload);
+        let fingerprint = DesignFingerprint {
+            nodes: d.u32("fingerprint")?,
+            channels: d.u32("fingerprint")?,
+            processors: d.u32("fingerprint")?,
+            memories: d.u32("fingerprint")?,
+            buses: d.u32("fingerprint")?,
+            name_hash: d.u64("fingerprint")?,
+        };
+        fingerprint.matches(design)?;
+        let evaluations = d.u64("evaluation count")?;
+        let best_cost = d.finite_f64("best cost")?;
+        let best = d.partition(design, "best partition")?;
+        let current = d.partition(design, "current partition")?;
+        let state = match d.u8("algorithm tag")? {
+            0 => AlgorithmState::Random {
+                iterations: d.u64("iteration budget")?,
+                iter: d.u64("iteration counter")?,
+                rng: d.rng()?,
+            },
+            1 => AlgorithmState::Greedy {
+                max_passes: d.u32("pass budget")?,
+                pass: d.u32("pass counter")?,
+                current_cost: d.finite_f64("current cost")?,
+            },
+            2 => {
+                let config = AnnealingConfig {
+                    t0: d.finite_f64("annealing t0")?,
+                    alpha: d.finite_f64("annealing alpha")?,
+                    moves_per_temp: d.u32("annealing moves per temp")?,
+                    t_min: d.finite_f64("annealing t_min")?,
+                };
+                AlgorithmState::Annealing {
+                    config,
+                    temp: d.finite_f64("annealing temperature")?,
+                    move_idx: d.u32("annealing move index")?,
+                    current_cost: d.finite_f64("current cost")?,
+                    rng: d.rng()?,
+                }
+            }
+            3 => {
+                let max_passes = d.u32("pass budget")?;
+                let pass = d.u32("pass counter")?;
+                let pass_start_cost = d.finite_f64("pass start cost")?;
+                let locked_len = d.u32("locked set length")? as usize;
+                if locked_len != design.graph().node_count() {
+                    return Err(CheckpointError::Corrupt {
+                        context: "locked set length",
+                    });
+                }
+                let mut locked = Vec::with_capacity(locked_len);
+                for _ in 0..locked_len {
+                    locked.push(match d.u8("locked flag")? {
+                        0 => false,
+                        1 => true,
+                        _ => {
+                            return Err(CheckpointError::Corrupt {
+                                context: "locked flag",
+                            })
+                        }
+                    });
+                }
+                let trail_len = d.u32("trail length")? as usize;
+                if trail_len > design.graph().node_count() {
+                    return Err(CheckpointError::Corrupt {
+                        context: "trail length",
+                    });
+                }
+                let mut trail = Vec::with_capacity(trail_len);
+                for _ in 0..trail_len {
+                    let n = d.node(design, "trail node")?;
+                    let home = d.pm_ref(design, "trail home")?;
+                    let c = d.finite_f64("trail cost")?;
+                    trail.push((n, home, c));
+                }
+                AlgorithmState::GroupMigration {
+                    max_passes,
+                    pass,
+                    pass_start_cost,
+                    locked,
+                    trail,
+                }
+            }
+            _ => {
+                return Err(CheckpointError::Corrupt {
+                    context: "algorithm tag",
+                })
+            }
+        };
+        d.finish()?;
+        Ok(Self {
+            fingerprint,
+            evaluations,
+            best_cost,
+            best,
+            current,
+            state,
+        })
+    }
+}
+
+/// Little-endian payload writer.
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn rng(&mut self, s: &[u64; 4]) {
+        for &w in s {
+            self.u64(w);
+        }
+    }
+    fn pm_ref(&mut self, pm: PmRef) {
+        match pm {
+            PmRef::Processor(p) => {
+                self.u8(1);
+                self.u32(p.index() as u32);
+            }
+            PmRef::Memory(m) => {
+                self.u8(2);
+                self.u32(m.index() as u32);
+            }
+        }
+    }
+    fn partition(&mut self, p: &Partition) {
+        self.u32(p.node_slots() as u32);
+        for i in 0..p.node_slots() {
+            match p.node_component(NodeId::from_raw(i as u32)) {
+                None => self.u8(0),
+                Some(pm) => self.pm_ref(pm),
+            }
+        }
+        self.u32(p.channel_slots() as u32);
+        for i in 0..p.channel_slots() {
+            match p.channel_bus(ChannelId::from_raw(i as u32)) {
+                None => self.u8(0),
+                Some(b) => {
+                    self.u8(1);
+                    self.u32(b.index() as u32);
+                }
+            }
+        }
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CheckpointError::Truncated { context })?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated { context });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, CheckpointError> {
+        Ok(le_u32(self.take(4, context)?))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, CheckpointError> {
+        Ok(le_u64(self.take(8, context)?))
+    }
+
+    fn finite_f64(&mut self, context: &'static str) -> Result<f64, CheckpointError> {
+        let v = f64::from_bits(self.u64(context)?);
+        if !v.is_finite() {
+            return Err(CheckpointError::Corrupt { context });
+        }
+        Ok(v)
+    }
+
+    fn rng(&mut self) -> Result<[u64; 4], CheckpointError> {
+        Ok([
+            self.u64("rng state")?,
+            self.u64("rng state")?,
+            self.u64("rng state")?,
+            self.u64("rng state")?,
+        ])
+    }
+
+    fn node(&mut self, design: &Design, context: &'static str) -> Result<NodeId, CheckpointError> {
+        let i = self.u32(context)?;
+        if (i as usize) >= design.graph().node_count() {
+            return Err(CheckpointError::Corrupt { context });
+        }
+        Ok(NodeId::from_raw(i))
+    }
+
+    fn pm_ref(&mut self, design: &Design, context: &'static str) -> Result<PmRef, CheckpointError> {
+        match self.u8(context)? {
+            1 => {
+                let i = self.u32(context)?;
+                if (i as usize) >= design.processor_count() {
+                    return Err(CheckpointError::Corrupt { context });
+                }
+                Ok(PmRef::Processor(ProcessorId::from_raw(i)))
+            }
+            2 => {
+                let i = self.u32(context)?;
+                if (i as usize) >= design.memory_count() {
+                    return Err(CheckpointError::Corrupt { context });
+                }
+                Ok(PmRef::Memory(MemoryId::from_raw(i)))
+            }
+            _ => Err(CheckpointError::Corrupt { context }),
+        }
+    }
+
+    fn partition(
+        &mut self,
+        design: &Design,
+        context: &'static str,
+    ) -> Result<Partition, CheckpointError> {
+        let nodes = self.u32(context)? as usize;
+        if nodes != design.graph().node_count() {
+            return Err(CheckpointError::Corrupt { context });
+        }
+        let mut p = Partition::new(design);
+        for i in 0..nodes {
+            match self.u8(context)? {
+                0 => {}
+                1 => {
+                    let c = self.u32(context)?;
+                    if (c as usize) >= design.processor_count() {
+                        return Err(CheckpointError::Corrupt { context });
+                    }
+                    p.assign_node(NodeId::from_raw(i as u32), ProcessorId::from_raw(c).into());
+                }
+                2 => {
+                    let c = self.u32(context)?;
+                    if (c as usize) >= design.memory_count() {
+                        return Err(CheckpointError::Corrupt { context });
+                    }
+                    p.assign_node(NodeId::from_raw(i as u32), MemoryId::from_raw(c).into());
+                }
+                _ => return Err(CheckpointError::Corrupt { context }),
+            }
+        }
+        let channels = self.u32(context)? as usize;
+        if channels != design.graph().channel_count() {
+            return Err(CheckpointError::Corrupt { context });
+        }
+        for i in 0..channels {
+            match self.u8(context)? {
+                0 => {}
+                1 => {
+                    let b = self.u32(context)?;
+                    if (b as usize) >= design.bus_count() {
+                        return Err(CheckpointError::Corrupt { context });
+                    }
+                    p.assign_channel(ChannelId::from_raw(i as u32), BusId::from_raw(b));
+                }
+                _ => return Err(CheckpointError::Corrupt { context }),
+            }
+        }
+        Ok(p)
+    }
+
+    fn finish(self) -> Result<(), CheckpointError> {
+        if self.pos != self.buf.len() {
+            return Err(CheckpointError::Corrupt {
+                context: "trailing bytes",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::gen::DesignGenerator;
+
+    fn sample(seed: u64) -> (Design, ExplorationCheckpoint) {
+        let (design, partition) = DesignGenerator::new(seed)
+            .behaviors(6)
+            .variables(4)
+            .processors(2)
+            .memories(1)
+            .buses(2)
+            .build();
+        let ckpt = ExplorationCheckpoint {
+            fingerprint: DesignFingerprint::of(&design),
+            evaluations: 42,
+            best_cost: 7.25,
+            best: partition.clone(),
+            current: partition,
+            state: AlgorithmState::Random {
+                iterations: 100,
+                iter: 17,
+                rng: [1, 2, 3, 4],
+            },
+        };
+        (design, ckpt)
+    }
+
+    #[test]
+    fn round_trips_every_algorithm_state() {
+        let (design, base) = sample(1);
+        let node = design.graph().node_ids().next().unwrap();
+        let home = base.best.node_component(node).unwrap();
+        let states = [
+            base.state.clone(),
+            AlgorithmState::Greedy {
+                max_passes: 9,
+                pass: 2,
+                current_cost: 1.5,
+            },
+            AlgorithmState::Annealing {
+                config: AnnealingConfig::default(),
+                temp: 12.5,
+                move_idx: 3,
+                current_cost: 2.0,
+                rng: [9, 8, 7, 6],
+            },
+            AlgorithmState::GroupMigration {
+                max_passes: 4,
+                pass: 1,
+                pass_start_cost: 3.0,
+                locked: (0..design.graph().node_count()).map(|i| i % 2 == 0).collect(),
+                trail: vec![(node, home, 2.75)],
+            },
+        ];
+        for state in states {
+            let ckpt = ExplorationCheckpoint {
+                state,
+                ..base.clone()
+            };
+            let bytes = ckpt.to_bytes();
+            let back = ExplorationCheckpoint::from_bytes(&bytes, &design).unwrap();
+            assert_eq!(back, ckpt);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let (design, ckpt) = sample(2);
+        let bytes = ckpt.to_bytes();
+        for len in 0..bytes.len() {
+            let err = ExplorationCheckpoint::from_bytes(&bytes[..len], &design).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated { .. } | CheckpointError::ChecksumMismatch
+                ),
+                "prefix of {len} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_checksum_are_typed() {
+        let (design, ckpt) = sample(3);
+        let good = ckpt.to_bytes();
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            ExplorationCheckpoint::from_bytes(&bad, &design),
+            Err(CheckpointError::BadMagic)
+        );
+
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            ExplorationCheckpoint::from_bytes(&bad, &design),
+            Err(CheckpointError::UnsupportedVersion { found: 99 })
+        );
+
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0x01;
+        assert_eq!(
+            ExplorationCheckpoint::from_bytes(&bad, &design),
+            Err(CheckpointError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn design_mismatch_is_field_specific() {
+        let (design, ckpt) = sample(4);
+        let bytes = ckpt.to_bytes();
+        let (other, _) = DesignGenerator::new(4)
+            .behaviors(6)
+            .variables(4)
+            .processors(3)
+            .memories(1)
+            .buses(2)
+            .build();
+        let err = ExplorationCheckpoint::from_bytes(&bytes, &other).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::DesignMismatch { .. }),
+            "got {err:?}"
+        );
+        let _ = design;
+    }
+
+    #[test]
+    fn save_is_atomic_and_load_round_trips() {
+        let (design, ckpt) = sample(5);
+        let path = std::env::temp_dir().join("slif-ckpt-roundtrip-test.ckpt");
+        ckpt.save(&path).unwrap();
+        // No temp droppings left behind.
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!Path::new(&tmp).exists());
+        let back = ExplorationCheckpoint::load(&path, &design).unwrap();
+        assert_eq!(back, ckpt);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let (design, _) = sample(6);
+        let err = ExplorationCheckpoint::load(
+            Path::new("/nonexistent/slif-never-here.ckpt"),
+            &design,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Io { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let (design, ckpt) = sample(7);
+        let mut payload = ckpt.encode_payload();
+        payload.push(0xaa);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&CHECKPOINT_MAGIC);
+        bytes.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert_eq!(
+            ExplorationCheckpoint::from_bytes(&bytes, &design),
+            Err(CheckpointError::Corrupt {
+                context: "trailing bytes"
+            })
+        );
+    }
+}

@@ -189,8 +189,8 @@ mod tests {
             .unwrap();
         let mut est = IncrementalEstimator::new(&design, part).unwrap();
         let t = est.exec_time(process).unwrap();
-        let loose = Objectives::new().with_deadline(process, t * 2.0);
-        let tight = Objectives::new().with_deadline(process, t / 2.0);
+        let loose = Objectives::new().try_with_deadline(process, t * 2.0).unwrap();
+        let tight = Objectives::new().try_with_deadline(process, t / 2.0).unwrap();
         let c_loose = cost(&design, &mut est, &loose).unwrap();
         let c_tight = cost(&design, &mut est, &tight).unwrap();
         assert!(c_tight > c_loose + 50.0, "{c_tight} vs {c_loose}");

@@ -1,0 +1,60 @@
+//! Error type for supervised exploration.
+//!
+//! Supervised runs can fail for two reasons: the estimation/partition
+//! layer rejects a move (a [`CoreError`]), or a checkpoint cannot be
+//! written or read (a [`CheckpointError`]). [`ExploreError`] keeps the
+//! two apart so callers can retry the right thing — resubmit a run
+//! versus delete a damaged snapshot.
+
+use crate::checkpoint::CheckpointError;
+use slif_core::CoreError;
+use std::fmt;
+
+/// Anything that can go wrong during a supervised exploration run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// The estimation or partition layer rejected an operation.
+    Core(CoreError),
+    /// A checkpoint could not be written, read, or decoded.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "{e}"),
+            Self::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<CoreError> for ExploreError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<CheckpointError> for ExploreError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_routes_through_inner_errors() {
+        let core: ExploreError = CoreError::UnmappedNode {
+            node: slif_core::NodeId::from_raw(3),
+        }
+        .into();
+        assert!(core.to_string().contains("node"));
+        let ckpt: ExploreError = CheckpointError::BadMagic.into();
+        assert!(ckpt.to_string().starts_with("checkpoint:"));
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`Objectives`] / [`cost`] — constraint-violation scoring,
 //! * [`random_search`], [`greedy_improve`], [`simulated_annealing`],
 //!   [`group_migration`] — move-based partitioners,
+//! * [`explore`] / [`resume`] under a [`Supervisor`] — the same four
+//!   algorithms with deadlines, evaluation budgets, cooperative
+//!   cancellation, progress callbacks, and crash-safe
+//!   [`ExplorationCheckpoint`] files,
 //! * [`closeness_clusters`] / [`cluster_partition`] — SpecSyn-style
 //!   traffic clustering,
 //! * [`pareto_sweep`] — multi-objective exploration returning the
@@ -32,18 +36,29 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The checkpoint and supervision paths must degrade to typed errors,
+// never panic, on bad input; `scripts/verify.sh` turns this into a gate.
+#![warn(clippy::expect_used)]
 
 mod algorithms;
 mod alloc;
+mod checkpoint;
 mod cluster;
 mod cost;
+mod error;
 mod pareto;
+mod supervise;
 mod transform;
 
 pub use algorithms::{
-    greedy_improve, group_migration, random_search, simulated_annealing, AnnealingConfig,
-    ExplorationResult,
+    explore, greedy_improve, group_migration, random_search, resume, simulated_annealing,
+    Algorithm, AnnealingConfig, ExplorationResult,
 };
+pub use checkpoint::{
+    CheckpointError, ExplorationCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
+pub use error::ExploreError;
+pub use supervise::{CancelToken, Progress, StopReason, SupervisedResult, Supervisor};
 pub use alloc::{explore_allocations, AllocOption, AllocResult, ProcessorAlloc};
 pub use cluster::{closeness_clusters, cluster_partition};
 pub use cost::{cost, Objectives};

@@ -130,7 +130,10 @@ pub fn pareto_sweep(
         {
             continue;
         }
-        let home = est.partition().node_component(n).expect("complete");
+        let home = est
+            .partition()
+            .node_component(n)
+            .ok_or(CoreError::UnmappedNode { node: n })?;
         est.move_node(n, target)?;
         let c = cost(design, &mut est, &objectives)?;
         // Metropolis-ish bias: always keep improving moves, sometimes

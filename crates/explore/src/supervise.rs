@@ -1,0 +1,346 @@
+//! Run supervision: budgets, deadlines, cancellation, progress, and
+//! checkpoint cadence.
+//!
+//! Long exploration runs ("algorithms that explore thousands of possible
+//! designs", Section 5) need an off switch. A [`Supervisor`] carries the
+//! limits under which a run executes — a wall-clock deadline, an
+//! evaluation budget, a cooperative [`CancelToken`] — plus two periodic
+//! side effects: a progress callback and crash-safe checkpoint writes.
+//! Every partitioner checks the supervisor at deterministic algorithm
+//! boundaries; when a limit trips, the run stops with a typed
+//! [`StopReason`] and still returns the best partition seen so far.
+
+use crate::checkpoint::{CheckpointError, ExplorationCheckpoint};
+use crate::ExplorationResult;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cloneable cooperative cancellation flag.
+///
+/// Clone the token, hand the clone to another thread (or a signal
+/// handler), and call [`cancel`](CancelToken::cancel); the supervised run
+/// notices at its next boundary check and stops with
+/// [`StopReason::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a supervised run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StopReason {
+    /// The algorithm ran to its natural end.
+    Completed,
+    /// The wall-clock deadline expired.
+    DeadlineExpired,
+    /// The evaluation budget was exhausted.
+    BudgetExhausted,
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl StopReason {
+    /// Whether the run ended early (anything but [`Completed`](Self::Completed)).
+    pub fn is_early(self) -> bool {
+        self != Self::Completed
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Completed => "completed",
+            Self::DeadlineExpired => "deadline expired",
+            Self::BudgetExhausted => "budget exhausted",
+            Self::Cancelled => "cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A progress snapshot handed to the supervisor's callback.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct Progress {
+    /// Candidate partitions evaluated so far (including any counted by a
+    /// resumed-from checkpoint).
+    pub evaluations: u64,
+    /// The best cost seen so far.
+    pub best_cost: f64,
+    /// Checkpoints written so far in this run.
+    pub checkpoints_written: u64,
+}
+
+/// The outcome of a supervised exploration run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SupervisedResult {
+    /// The best partition found, its cost, and the evaluation count —
+    /// best-so-far even when the run stopped early.
+    pub result: ExplorationResult,
+    /// Why the run ended.
+    pub stop: StopReason,
+    /// How many checkpoint files were written.
+    pub checkpoints_written: u64,
+}
+
+type ProgressFn = Box<dyn FnMut(&Progress)>;
+
+/// Limits and side effects for one supervised run.
+///
+/// Built with the fluent `with_*` methods; a [`Supervisor::unlimited`]
+/// supervisor imposes nothing and the run behaves exactly like the
+/// unsupervised entry points.
+///
+/// # Examples
+///
+/// ```
+/// use slif_explore::Supervisor;
+/// use std::time::Duration;
+///
+/// let sup = Supervisor::unlimited()
+///     .with_deadline(Duration::from_secs(5))
+///     .with_budget(10_000);
+/// let token = sup.cancel_token();
+/// assert!(!token.is_cancelled());
+/// ```
+#[derive(Default)]
+pub struct Supervisor {
+    timeout: Option<Duration>,
+    deadline: Option<Instant>,
+    budget: Option<u64>,
+    cancel: CancelToken,
+    progress_every: u64,
+    on_progress: Option<ProgressFn>,
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_every: u64,
+    ticks: u64,
+    checkpoints_written: u64,
+}
+
+impl fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("timeout", &self.timeout)
+            .field("budget", &self.budget)
+            .field("cancelled", &self.cancel.is_cancelled())
+            .field("progress_every", &self.progress_every)
+            .field("checkpoint_path", &self.checkpoint_path)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("checkpoints_written", &self.checkpoints_written)
+            .finish()
+    }
+}
+
+impl Supervisor {
+    /// A supervisor that imposes no limits and performs no side effects.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Stops the run once `timeout` of wall-clock time has elapsed
+    /// (measured from when the run starts, not from when the supervisor is
+    /// built).
+    #[must_use]
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Stops the run once `evaluations` cost evaluations have been spent.
+    /// A resumed run counts the evaluations recorded in its checkpoint.
+    #[must_use]
+    pub fn with_budget(mut self, evaluations: u64) -> Self {
+        self.budget = Some(evaluations);
+        self
+    }
+
+    /// Uses `token` for cancellation instead of the supervisor's own.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// A clone of the cancellation token observed by this supervisor.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Invokes `callback` every `every` boundary checks with a
+    /// [`Progress`] snapshot. An `every` of 0 is treated as 1.
+    #[must_use]
+    pub fn with_progress(mut self, every: u64, callback: impl FnMut(&Progress) + 'static) -> Self {
+        self.progress_every = every.max(1);
+        self.on_progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Writes a crash-safe checkpoint to `path` every `every` boundary
+    /// checks, and once more when the run stops early. An `every` of 0 is
+    /// treated as 1.
+    #[must_use]
+    pub fn with_checkpoints(mut self, path: impl Into<PathBuf>, every: u64) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// How many checkpoint files this supervisor has written.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// Arms the deadline and resets per-run counters. Called by the run
+    /// drivers; harmless to call twice.
+    pub(crate) fn begin(&mut self) {
+        self.deadline = self.timeout.map(|t| Instant::now() + t);
+        self.ticks = 0;
+        self.checkpoints_written = 0;
+    }
+
+    /// The stop verdict at a boundary, or `None` to keep going. Checked
+    /// in priority order: cancellation, deadline, budget.
+    pub(crate) fn check(&self, evaluations: u64) -> Option<StopReason> {
+        if self.cancel.is_cancelled() {
+            return Some(StopReason::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::DeadlineExpired);
+            }
+        }
+        if let Some(budget) = self.budget {
+            if evaluations >= budget {
+                return Some(StopReason::BudgetExhausted);
+            }
+        }
+        None
+    }
+
+    /// Counts one boundary tick: fires the progress callback on its
+    /// cadence and reports whether a cadence checkpoint is due.
+    pub(crate) fn tick(&mut self, evaluations: u64, best_cost: f64) -> bool {
+        self.ticks += 1;
+        if let Some(cb) = &mut self.on_progress {
+            if self.ticks.is_multiple_of(self.progress_every) {
+                cb(&Progress {
+                    evaluations,
+                    best_cost,
+                    checkpoints_written: self.checkpoints_written,
+                });
+            }
+        }
+        self.checkpoint_path.is_some() && self.ticks.is_multiple_of(self.checkpoint_every)
+    }
+
+    /// Writes `ckpt` to the configured path (atomically), if any.
+    pub(crate) fn save_checkpoint(
+        &mut self,
+        ckpt: &ExplorationCheckpoint,
+    ) -> Result<(), CheckpointError> {
+        if let Some(path) = &self.checkpoint_path {
+            ckpt.save(path)?;
+            self.checkpoints_written += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether a checkpoint path is configured at all.
+    pub(crate) fn wants_checkpoints(&self) -> bool {
+        self.checkpoint_path.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_stops() {
+        let mut sup = Supervisor::unlimited();
+        sup.begin();
+        assert_eq!(sup.check(u64::MAX), None);
+    }
+
+    #[test]
+    fn budget_trips_at_the_boundary() {
+        let mut sup = Supervisor::unlimited().with_budget(10);
+        sup.begin();
+        assert_eq!(sup.check(9), None);
+        assert_eq!(sup.check(10), Some(StopReason::BudgetExhausted));
+        assert_eq!(sup.check(11), Some(StopReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn cancellation_wins_over_budget() {
+        let mut sup = Supervisor::unlimited().with_budget(0);
+        let token = sup.cancel_token();
+        sup.begin();
+        assert_eq!(sup.check(5), Some(StopReason::BudgetExhausted));
+        token.cancel();
+        assert_eq!(sup.check(5), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let mut sup = Supervisor::unlimited().with_deadline(Duration::ZERO);
+        sup.begin();
+        assert_eq!(sup.check(0), Some(StopReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn progress_fires_on_cadence() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        let mut sup = Supervisor::unlimited().with_progress(3, move |p| {
+            sink.borrow_mut().push(p.evaluations);
+        });
+        sup.begin();
+        for i in 0..9 {
+            sup.tick(i, 1.0);
+        }
+        assert_eq!(*seen.borrow(), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn tick_reports_checkpoint_cadence() {
+        let mut sup = Supervisor::unlimited().with_checkpoints("/tmp/unused.ckpt", 2);
+        sup.begin();
+        let due: Vec<bool> = (0..6).map(|i| sup.tick(i, 0.0)).collect();
+        assert_eq!(due, vec![false, true, false, true, false, true]);
+        // Without a path, cadence never reports due.
+        let mut bare = Supervisor::unlimited();
+        bare.begin();
+        assert!(!bare.tick(0, 0.0));
+    }
+
+    #[test]
+    fn stop_reason_display_and_early() {
+        assert_eq!(StopReason::Completed.to_string(), "completed");
+        assert_eq!(StopReason::DeadlineExpired.to_string(), "deadline expired");
+        assert!(!StopReason::Completed.is_early());
+        assert!(StopReason::Cancelled.is_early());
+    }
+}

@@ -35,6 +35,12 @@ pub enum TransformError {
         /// The recursive node.
         node: NodeId,
     },
+    /// A remapping invariant did not hold while rebuilding the design;
+    /// this indicates an inconsistent input graph.
+    Inconsistent {
+        /// What was being remapped when the invariant failed.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for TransformError {
@@ -45,6 +51,9 @@ impl fmt::Display for TransformError {
             }
             TransformError::Recursive { node } => {
                 write!(f, "cannot inline recursive procedure {node}")
+            }
+            TransformError::Inconsistent { context } => {
+                write!(f, "transformation bookkeeping inconsistent: {context}")
             }
         }
     }
@@ -118,18 +127,22 @@ pub fn inline_procedure(design: &Design, proc: NodeId) -> Result<TransformResult
         if ch.src() == proc || ch.dst() == AccessTarget::Node(proc) {
             continue;
         }
-        copy_channel(design, &mut out, c);
+        copy_channel(design, &mut out, c)?;
     }
     for &(caller, call_freq) in &callers {
-        let new_src = out.node_map[caller.index()].expect("callers survive");
+        let new_src = out.node_map[caller.index()].ok_or(TransformError::Inconsistent {
+            context: "caller node was removed",
+        })?;
         for c in g.channels_of(proc) {
             let ch = g.channel(c);
-            let new_dst = remap_target(ch.dst(), &out.node_map);
+            let new_dst = remap_target(ch.dst(), &out.node_map)?;
             let id = out
                 .design
                 .graph_mut()
                 .add_or_merge_channel(new_src, new_dst, ch.kind())
-                .expect("kinds preserved by remapping");
+                .map_err(|_| TransformError::Inconsistent {
+                    context: "inlined channel kinds conflict",
+                })?;
             let scaled = AccessFreq::new(
                 call_freq.avg * ch.freq().avg,
                 call_freq.min * ch.freq().min,
@@ -189,7 +202,9 @@ pub fn merge_processes(
     let mut out = clone_structure(design, |n| n != b);
     // Fold b's weights into a.
     let b_node = g.node(b).clone();
-    let new_a = out.node_map[a.index()].expect("a survives");
+    let new_a = out.node_map[a.index()].ok_or(TransformError::Inconsistent {
+        context: "merge target was removed",
+    })?;
     {
         let a_mut = out.design.graph_mut().node_mut(new_a);
         for e in b_node.ict().iter() {
@@ -223,17 +238,21 @@ pub fn merge_processes(
         let new_src = if ch.src() == b {
             new_a
         } else {
-            out.node_map[ch.src().index()].expect("non-b nodes survive")
+            out.node_map[ch.src().index()].ok_or(TransformError::Inconsistent {
+                context: "channel source was removed",
+            })?
         };
         let new_dst = match ch.dst() {
             AccessTarget::Node(n) if n == b => AccessTarget::Node(new_a),
-            other => remap_target(other, &out.node_map),
+            other => remap_target(other, &out.node_map)?,
         };
         let id = out
             .design
             .graph_mut()
             .add_or_merge_channel(new_src, new_dst, ch.kind())
-            .expect("kinds preserved by remapping");
+            .map_err(|_| TransformError::Inconsistent {
+                context: "merged channel kinds conflict",
+            })?;
         accumulate_channel(&mut out.design, id, ch.freq(), ch.bits());
     }
     Ok(out)
@@ -283,26 +302,39 @@ fn clone_structure(design: &Design, keep: impl Fn(NodeId) -> bool) -> TransformR
     }
 }
 
-fn remap_target(dst: AccessTarget, map: &[Option<NodeId>]) -> AccessTarget {
+fn remap_target(dst: AccessTarget, map: &[Option<NodeId>]) -> Result<AccessTarget, TransformError> {
     match dst {
-        AccessTarget::Node(n) => AccessTarget::Node(map[n.index()].expect("target survives")),
-        AccessTarget::Port(p) => AccessTarget::Port(p),
+        AccessTarget::Node(n) => map[n.index()]
+            .map(AccessTarget::Node)
+            .ok_or(TransformError::Inconsistent {
+                context: "channel destination was removed",
+            }),
+        AccessTarget::Port(p) => Ok(AccessTarget::Port(p)),
     }
 }
 
 /// Copies channel `c` of `design` into `out`, merging with any existing
 /// same-source/destination edge.
-fn copy_channel(design: &Design, out: &mut TransformResult, c: ChannelId) {
+fn copy_channel(
+    design: &Design,
+    out: &mut TransformResult,
+    c: ChannelId,
+) -> Result<(), TransformError> {
     let ch = design.graph().channel(c);
-    let src = out.node_map[ch.src().index()].expect("source survives");
-    let dst = remap_target(ch.dst(), &out.node_map);
+    let src = out.node_map[ch.src().index()].ok_or(TransformError::Inconsistent {
+        context: "channel source was removed",
+    })?;
+    let dst = remap_target(ch.dst(), &out.node_map)?;
     let id = out
         .design
         .graph_mut()
         .add_or_merge_channel(src, dst, ch.kind())
-        .expect("valid in the source design");
+        .map_err(|_| TransformError::Inconsistent {
+            context: "copied channel kinds conflict",
+        })?;
     accumulate_channel(&mut out.design, id, ch.freq(), ch.bits());
     out.design.graph_mut().channel_mut(id).set_tag(ch.tag());
+    Ok(())
 }
 
 /// Adds `freq` (and the wider `bits`) onto channel `id`, treating a

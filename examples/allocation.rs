@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Deadline: 60 µs per VolMain round (software alone needs more).
     let main = base.graph().node_by_name("VolMain").unwrap();
-    let objectives = Objectives::new().with_deadline(main, 60_000.0);
+    let objectives = Objectives::new().try_with_deadline(main, 60_000.0)?;
 
     let results = explore_allocations(
         &base,

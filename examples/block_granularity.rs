@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let main = design.graph().node_by_name("FuzzyMain").unwrap();
         let t_sw = slif::estimate::ExecTimeEstimator::new(&design, &start).exec_time(main)?;
         // Push hard on the period: a deadline software alone cannot meet.
-        let objectives = Objectives::new().with_deadline(main, t_sw / 4.0);
+        let objectives = Objectives::new().try_with_deadline(main, t_sw / 4.0)?;
         let r = greedy_improve(&design, start, &objectives, 25)?;
         let t_best =
             slif::estimate::ExecTimeEstimator::new(&design, &r.partition).exec_time(main)?;

@@ -44,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ans_main = design.graph().node_by_name("AnsMain").unwrap();
     let panel = design.graph().node_by_name("PanelMain").unwrap();
     let objectives = Objectives::new()
-        .with_deadline(ans_main, 2.0e6)
-        .with_deadline(panel, 5.0e6);
+        .try_with_deadline(ans_main, 2.0e6)?
+        .try_with_deadline(panel, 5.0e6)?;
 
     let mut est = IncrementalEstimator::new(&design, start.clone())?;
     let c0 = cost(&design, &mut est, &objectives)?;

@@ -1,0 +1,91 @@
+//! Interrupt and resume a supervised exploration run.
+//!
+//! Long partitioning runs ("algorithms that explore thousands of possible
+//! designs", Section 5) need to survive budget limits, cancellation, and
+//! crashes. This example runs simulated annealing on the answering
+//! machine under a `Supervisor` with an evaluation budget and crash-safe
+//! checkpoints, then resumes from the checkpoint file and shows that the
+//! resumed run reproduces the uninterrupted run bit for bit.
+//!
+//! Run with: `cargo run --release --example resume_run`
+
+use slif::explore::{
+    explore, resume, Algorithm, AnnealingConfig, ExplorationCheckpoint, Objectives, StopReason,
+    Supervisor,
+};
+use slif::frontend::{all_software_partition, allocate_proc_asic, build_design};
+use slif::speclang::corpus;
+use slif::techlib::TechnologyLibrary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rs = corpus::by_name("ans").expect("ans is in the corpus").load()?;
+    let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+    let arch = allocate_proc_asic(&mut design);
+    let start = all_software_partition(&design, arch);
+    let main = design.graph().node_by_name("AnsMain").expect("AnsMain exists");
+    let objectives = Objectives::new().try_with_deadline(main, 2.0e6)?;
+    let algorithm = Algorithm::SimulatedAnnealing {
+        config: AnnealingConfig {
+            t0: 20.0,
+            alpha: 0.85,
+            moves_per_temp: 48,
+            t_min: 0.2,
+        },
+        seed: 42,
+    };
+
+    // Reference: the same run with no limits.
+    let full = explore(
+        &design,
+        start.clone(),
+        &objectives,
+        &algorithm,
+        &mut Supervisor::unlimited(),
+    )?;
+    println!(
+        "uninterrupted: cost {:.3} after {} evaluations ({})",
+        full.result.cost, full.result.evaluations, full.stop
+    );
+
+    // The same run, killed by an evaluation budget. The supervisor writes
+    // a checkpoint every 100 boundaries and once more at the stop, so the
+    // file always holds the exact stop state.
+    let ckpt_path = std::env::temp_dir().join("slif-resume-run-example.ckpt");
+    let mut sup = Supervisor::unlimited()
+        .with_budget(400)
+        .with_checkpoints(&ckpt_path, 100)
+        .with_progress(200, |p| {
+            println!(
+                "  ... progress: {} evaluations, best {:.3}",
+                p.evaluations, p.best_cost
+            );
+        });
+    let partial = explore(&design, start, &objectives, &algorithm, &mut sup)?;
+    println!(
+        "interrupted:   cost {:.3} after {} evaluations ({}), {} checkpoints",
+        partial.result.cost, partial.result.evaluations, partial.stop, partial.checkpoints_written
+    );
+    assert_eq!(partial.stop, StopReason::BudgetExhausted);
+
+    // Resume from the file: load validates magic, version, checksum, and
+    // the design fingerprint before a single field is trusted.
+    let ckpt = ExplorationCheckpoint::load(&ckpt_path, &design)?;
+    println!(
+        "checkpoint:    {} evaluations banked, best {:.3}",
+        ckpt.evaluations(),
+        ckpt.best_cost()
+    );
+    let resumed = resume(&design, &objectives, ckpt, &mut Supervisor::unlimited())?;
+    println!(
+        "resumed:       cost {:.3} after {} evaluations ({})",
+        resumed.result.cost, resumed.result.evaluations, resumed.stop
+    );
+
+    assert_eq!(resumed.result.partition, full.result.partition);
+    assert_eq!(resumed.result.cost.to_bits(), full.result.cost.to_bits());
+    assert_eq!(resumed.result.evaluations, full.result.evaluations);
+    println!("resume matches the uninterrupted run bit for bit");
+
+    std::fs::remove_file(&ckpt_path)?;
+    Ok(())
+}

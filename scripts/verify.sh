@@ -2,13 +2,27 @@
 # Tier-1 verification gate (see ROADMAP.md).
 #
 # 1. Release build + full test suite — the seed contract.
-# 2. Lint gate: clippy with warnings denied, plus `unwrap_used` on
+# 2. Fault-injection suite, run explicitly: checkpoint corruption
+#    (truncation/bit-flips/header smashing), kill-and-resume exactness
+#    for all four partitioners, and the incremental-estimator self-audit
+#    must hold on every run, not only when the root suite happens to
+#    include them.
+# 3. Checkpoint round-trip smoke: the resume_run example interrupts a
+#    supervised annealing run on a budget, reloads the checkpoint file,
+#    and asserts the resumed run is bit-identical to an uninterrupted
+#    one. It exits nonzero on any mismatch.
+# 4. Lint gate: clippy with warnings denied, plus `unwrap_used` on
 #    non-test code (without --all-targets, #[cfg(test)] code is not
 #    linted, which is exactly the carve-out we want: tests may unwrap,
-#    library paths must return typed errors).
+#    library paths must return typed errors). slif-explore and
+#    slif-estimate carry `#![warn(clippy::expect_used)]` at crate level
+#    — `-D warnings` promotes it, so the checkpoint and self-audit paths
+#    can never panic on bad input.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo test -q --test fault_injection
+cargo run --release --quiet --example resume_run
 cargo clippy --workspace -- -D warnings -W clippy::unwrap_used

@@ -22,7 +22,9 @@ fn partitioners_improve_the_answering_machine() {
     let t_start = ExecTimeEstimator::new(&design, &start)
         .exec_time(main)
         .unwrap();
-    let objectives = Objectives::new().with_deadline(main, t_start / 2.0);
+    let objectives = Objectives::new()
+        .try_with_deadline(main, t_start / 2.0)
+        .unwrap();
 
     let greedy = greedy_improve(&design, start.clone(), &objectives, 30).unwrap();
     let sa = simulated_annealing(

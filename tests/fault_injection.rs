@@ -9,14 +9,19 @@
 //! missing-weight errors into warnings.
 
 use proptest::prelude::*;
-use slif::core::faults::FaultInjector;
+use slif::core::faults::{FaultInjector, ALL_CHECKPOINT_FAULT_KINDS};
 use slif::core::gen::DesignGenerator;
 use slif::core::validate::validate;
-use slif::core::CoreError;
-use slif::estimate::{DesignReport, EstimatorConfig};
+use slif::core::{CoreError, Design, Partition};
+use slif::estimate::{DesignReport, EstimatorConfig, IncrementalEstimator};
+use slif::explore::{
+    explore, resume, Algorithm, AnnealingConfig, CheckpointError, ExplorationCheckpoint,
+    Objectives, StopReason, Supervisor,
+};
 use slif::frontend::{all_software_partition, allocate_proc_asic, build_design};
 use slif::speclang::corpus;
 use slif::techlib::TechnologyLibrary;
+use std::path::PathBuf;
 
 /// Runs every estimator over a (possibly corrupted) design and insists on
 /// a `Result`, never a panic. Returns whether estimation succeeded.
@@ -164,7 +169,7 @@ fn dropped_weights_degrade_gracefully_with_defaults() {
         .with_default_size(80);
     let report = DesignReport::compute_with(&design, &partition, config).unwrap();
     assert!(!report.warnings.is_empty(), "no degradation warnings");
-    let lists: Vec<&str> = report.warnings.iter().map(|w| w.list).collect();
+    let lists: Vec<&str> = report.warnings.iter().filter_map(|w| w.list()).collect();
     assert!(lists.contains(&"ict"), "no ict substitution in {lists:?}");
     assert!(lists.contains(&"size"), "no size substitution in {lists:?}");
     for w in &report.warnings {
@@ -175,8 +180,254 @@ fn dropped_weights_degrade_gracefully_with_defaults() {
     }
 }
 
+/// A small generated design plus its complete starting partition.
+fn small_design(seed: u64) -> (Design, Partition) {
+    DesignGenerator::new(seed)
+        .behaviors(5)
+        .variables(3)
+        .processors(2)
+        .memories(1)
+        .buses(2)
+        .build()
+}
+
+/// A unique scratch path for checkpoint files.
+fn scratch_ckpt(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("slif-fi-{tag}-{}.ckpt", std::process::id()))
+}
+
+/// The four supervised algorithms with small, test-sized parameters.
+fn algorithm(ix: usize, seed: u64) -> Algorithm {
+    match ix % 4 {
+        0 => Algorithm::RandomSearch {
+            iterations: 40,
+            seed,
+        },
+        1 => Algorithm::GreedyImprove { max_passes: 3 },
+        2 => Algorithm::SimulatedAnnealing {
+            config: AnnealingConfig {
+                t0: 5.0,
+                alpha: 0.7,
+                moves_per_temp: 16,
+                t_min: 0.5,
+            },
+            seed,
+        },
+        _ => Algorithm::GroupMigration { max_passes: 2 },
+    }
+}
+
+/// Produces real checkpoint bytes by interrupting a supervised run.
+fn sample_checkpoint_bytes(seed: u64, tag: &str) -> (Design, Vec<u8>) {
+    let (design, start) = small_design(seed);
+    let path = scratch_ckpt(tag);
+    let mut sup = Supervisor::unlimited()
+        .with_budget(5)
+        .with_checkpoints(&path, 1);
+    let r = explore(
+        &design,
+        start,
+        &Objectives::new(),
+        &Algorithm::RandomSearch {
+            iterations: 50,
+            seed,
+        },
+        &mut sup,
+    )
+    .unwrap();
+    assert_eq!(r.stop, StopReason::BudgetExhausted);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    (design, bytes)
+}
+
+#[test]
+fn kill_and_resume_reproduces_every_algorithm_exactly() {
+    let (design, start) = small_design(33);
+    let objectives = Objectives::new();
+    for ix in 0..4 {
+        let alg = algorithm(ix, 17);
+        let full = explore(
+            &design,
+            start.clone(),
+            &objectives,
+            &alg,
+            &mut Supervisor::unlimited(),
+        )
+        .unwrap();
+        assert!(full.result.evaluations > 2, "algorithm {ix} too short");
+
+        let budget = full.result.evaluations / 2;
+        let path = scratch_ckpt(&format!("resume-{ix}"));
+        let mut sup = Supervisor::unlimited()
+            .with_budget(budget)
+            .with_checkpoints(&path, 7);
+        let partial = explore(&design, start.clone(), &objectives, &alg, &mut sup).unwrap();
+        assert_eq!(partial.stop, StopReason::BudgetExhausted, "algorithm {ix}");
+        assert!(partial.checkpoints_written > 0, "algorithm {ix}");
+
+        let ckpt = ExplorationCheckpoint::load(&path, &design).unwrap();
+        let resumed = resume(&design, &objectives, ckpt, &mut Supervisor::unlimited()).unwrap();
+        assert_eq!(resumed.stop, StopReason::Completed, "algorithm {ix}");
+        assert_eq!(
+            resumed.result.partition, full.result.partition,
+            "algorithm {ix} partition diverged after resume"
+        );
+        assert_eq!(
+            resumed.result.cost.to_bits(),
+            full.result.cost.to_bits(),
+            "algorithm {ix} cost diverged after resume"
+        );
+        assert_eq!(
+            resumed.result.evaluations, full.result.evaluations,
+            "algorithm {ix} evaluation count diverged after resume"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn truncated_mid_write_checkpoint_is_rejected_never_half_loaded() {
+    // The atomic-write regression: a file that only holds a prefix of a
+    // checkpoint (what a crash mid-write would leave without the
+    // temp+rename protocol) must be rejected with a typed error at every
+    // possible cut point, and must never panic or yield a checkpoint.
+    let (design, bytes) = sample_checkpoint_bytes(7, "truncate");
+    let path = scratch_ckpt("truncate-partial");
+    for cut in (0..bytes.len()).step_by(3).chain([bytes.len() - 1]) {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = ExplorationCheckpoint::load(&path, &design).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Truncated { .. } | CheckpointError::ChecksumMismatch
+            ),
+            "cut at {cut} gave {err:?}"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn checkpoint_design_and_version_mismatches_are_typed() {
+    let (_, bytes) = sample_checkpoint_bytes(9, "mismatch");
+    // Same generator seed, one extra processor: a different design.
+    let (other, _) = DesignGenerator::new(9)
+        .behaviors(5)
+        .variables(3)
+        .processors(3)
+        .memories(1)
+        .buses(2)
+        .build();
+    let err = ExplorationCheckpoint::from_bytes(&bytes, &other).unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::DesignMismatch { .. }),
+        "got {err:?}"
+    );
+
+    let (design, mut bumped) = sample_checkpoint_bytes(10, "version");
+    bumped[8..12].copy_from_slice(&2u32.to_le_bytes());
+    assert_eq!(
+        ExplorationCheckpoint::from_bytes(&bumped, &design),
+        Err(CheckpointError::UnsupportedVersion { found: 2 })
+    );
+}
+
+#[test]
+fn incremental_self_audit_repairs_a_corrupted_cache_entry() {
+    // The estimator's self-audit contract: an artificially corrupted
+    // cache entry is detected on the audit cadence, repaired, and the
+    // repair is recorded as a CacheDivergence warning.
+    let (design, start) = small_design(21);
+    let mut est = IncrementalEstimator::new(&design, start)
+        .unwrap()
+        .with_audit(1)
+        .unwrap();
+    // Warm the size cache, then poison every component entry so the
+    // round-robin audit must hit a damaged slot on the next move.
+    for pm in design.pm_refs() {
+        let _warm = est.size(pm);
+        est.debug_corrupt_size_cache(pm, 13);
+    }
+    let n = design.graph().node_ids().next().unwrap();
+    let home = est.partition().node_component(n).unwrap();
+    for p in design.processor_ids() {
+        est.move_node(n, p.into()).unwrap();
+    }
+    est.move_node(n, home).unwrap();
+    assert!(
+        est.cache_divergences() > 0,
+        "audit never caught the poisoned cache"
+    );
+    assert!(
+        est.warnings().iter().any(|w| w.is_cache_divergence()),
+        "no CacheDivergence warning recorded"
+    );
+    // After a full sweep the caches agree with from-scratch estimation.
+    est.audit_now();
+    assert_eq!(est.audit_now(), 0, "repair did not converge");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Seeded corruption of real checkpoint bytes — truncation, bit
+    /// flips, zeroed spans, smashed headers — is always rejected with a
+    /// typed error, never a panic, and an untouched blob still loads.
+    #[test]
+    fn any_checkpoint_corruption_is_rejected(seed in 0u64..10_000, kind_ix in 0usize..4) {
+        let (design, original) = sample_checkpoint_bytes(seed % 17, "corrupt");
+        let kind = ALL_CHECKPOINT_FAULT_KINDS[kind_ix];
+        let mut bytes = original.clone();
+        let _damage = FaultInjector::new(seed).corrupt_checkpoint(&mut bytes, kind);
+        let decoded = ExplorationCheckpoint::from_bytes(&bytes, &design);
+        if bytes == original {
+            // A zeroed span can land on already-zero bytes; the blob is
+            // intact and must still decode.
+            prop_assert!(decoded.is_ok());
+        } else {
+            prop_assert!(decoded.is_err(), "{kind}: corrupted checkpoint decoded");
+        }
+    }
+
+    /// Interrupting any algorithm at an arbitrary evaluation budget and
+    /// resuming from the stop checkpoint reproduces the uninterrupted
+    /// run's best partition, cost bits, and evaluation count exactly.
+    #[test]
+    fn kill_and_resume_is_exact_at_any_budget(
+        seed in 0u64..1_000,
+        alg_ix in 0usize..4,
+        budget_pick in 1u64..10_000,
+    ) {
+        let (design, start) = small_design(seed % 23);
+        let objectives = Objectives::new();
+        let alg = algorithm(alg_ix, seed);
+        let full = explore(
+            &design,
+            start.clone(),
+            &objectives,
+            &alg,
+            &mut Supervisor::unlimited(),
+        ).unwrap();
+        if full.result.evaluations <= 1 {
+            return Ok(()); // nothing to interrupt
+        }
+        let budget = 1 + budget_pick % (full.result.evaluations - 1).max(1);
+
+        let path = scratch_ckpt(&format!("prop-resume-{seed}-{alg_ix}"));
+        let mut sup = Supervisor::unlimited()
+            .with_budget(budget)
+            .with_checkpoints(&path, 5);
+        let partial = explore(&design, start, &objectives, &alg, &mut sup).unwrap();
+        prop_assert_eq!(partial.stop, StopReason::BudgetExhausted);
+        let ckpt = ExplorationCheckpoint::load(&path, &design).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let resumed = resume(&design, &objectives, ckpt, &mut Supervisor::unlimited()).unwrap();
+        prop_assert_eq!(resumed.stop, StopReason::Completed);
+        prop_assert_eq!(&resumed.result.partition, &full.result.partition);
+        prop_assert_eq!(resumed.result.cost.to_bits(), full.result.cost.to_bits());
+        prop_assert_eq!(resumed.result.evaluations, full.result.evaluations);
+    }
 
     /// Arbitrary seed, arbitrary damage intensity: validation and
     /// estimation stay panic-free and agree (clean implies estimable).
