@@ -1,0 +1,104 @@
+//! Compiled-view speedup: baseline design walks vs `CompiledDesign`.
+//!
+//! The PR 3 refactor moved estimation onto an immutable compiled query
+//! layer (CSR adjacency, dense weight tables, slab caches). This bench
+//! compares candidate-evaluation cost (move one node + recompute the full
+//! cost function) between the preserved pre-refactor estimator
+//! (`slif_bench::baseline`) and the compiled incremental and full
+//! estimators, on generated designs at ~100, ~1k, and ~10k nodes.
+//! The machine-readable twin of this target is `src/bin/pr3_bench.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use slif_bench::baseline::{baseline_cost, BaselineIncremental};
+use slif_core::gen::DesignGenerator;
+use slif_core::{CompiledDesign, Design, NodeId, Partition, PmRef};
+use slif_estimate::{FullEstimator, IncrementalEstimator};
+use slif_explore::{cost, Objectives};
+use std::hint::black_box;
+
+const MOVES: usize = 64;
+
+fn baseline_rounds(design: &Design, part: &Partition, objectives: &Objectives) -> f64 {
+    let mut est = BaselineIncremental::new(design, part.clone()).expect("valid start");
+    let procs: Vec<_> = design.processor_ids().collect();
+    let n_nodes = design.graph().node_count();
+    let mut acc = 0.0;
+    for k in 0..MOVES {
+        let n = NodeId::from_raw((k % n_nodes) as u32);
+        let target: PmRef = procs[k % procs.len()].into();
+        est.move_node(n, target).expect("legal move");
+        acc += baseline_cost(design, &mut est, objectives).expect("estimable");
+    }
+    acc
+}
+
+fn incremental_rounds(
+    design: &Design,
+    cd: &CompiledDesign,
+    part: &Partition,
+    objectives: &Objectives,
+) -> f64 {
+    let mut est = IncrementalEstimator::from_compiled(cd, part.clone()).expect("valid start");
+    let procs: Vec<_> = design.processor_ids().collect();
+    let n_nodes = design.graph().node_count();
+    let mut acc = 0.0;
+    for k in 0..MOVES {
+        let n = NodeId::from_raw((k % n_nodes) as u32);
+        let target: PmRef = procs[k % procs.len()].into();
+        est.move_node(n, target).expect("legal move");
+        acc += cost(&mut est, objectives).expect("estimable");
+    }
+    acc
+}
+
+fn full_rounds(
+    design: &Design,
+    cd: &CompiledDesign,
+    part: &Partition,
+    objectives: &Objectives,
+) -> f64 {
+    let mut est = FullEstimator::from_compiled(cd, part.clone()).expect("valid start");
+    let procs: Vec<_> = design.processor_ids().collect();
+    let n_nodes = design.graph().node_count();
+    let mut acc = 0.0;
+    for k in 0..MOVES {
+        let n = NodeId::from_raw((k % n_nodes) as u32);
+        let target: PmRef = procs[k % procs.len()].into();
+        est.move_node(n, target).expect("legal move");
+        acc += cost(&mut est, objectives).expect("estimable");
+    }
+    acc
+}
+
+fn bench_compiled_speedup(c: &mut Criterion) {
+    slif_bench::banner("Compiled-view speedup: baseline walks vs CompiledDesign");
+    let objectives = Objectives::new();
+
+    let mut group = c.benchmark_group("compiled_speedup");
+    group.throughput(Throughput::Elements(MOVES as u64));
+
+    for &(behaviors, variables) in &[(50usize, 50usize), (500, 500), (5000, 5000)] {
+        let nodes = behaviors + variables;
+        let (design, part) = DesignGenerator::new(99)
+            .behaviors(behaviors)
+            .variables(variables)
+            .processors(3)
+            .memories(2)
+            .buses(2)
+            .build();
+        let cd = CompiledDesign::compile(&design);
+        group.bench_function(format!("{nodes}_nodes/baseline_incremental"), |b| {
+            b.iter(|| black_box(baseline_rounds(&design, &part, &objectives)))
+        });
+        group.bench_function(format!("{nodes}_nodes/compiled_incremental"), |b| {
+            b.iter(|| black_box(incremental_rounds(&design, &cd, &part, &objectives)))
+        });
+        group.bench_function(format!("{nodes}_nodes/compiled_full"), |b| {
+            b.iter(|| black_box(full_rounds(&design, &cd, &part, &objectives)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiled_speedup);
+criterion_main!(benches);

@@ -32,7 +32,7 @@ fn incremental_rounds(
         let n = NodeId::from_raw((k % n_nodes) as u32);
         let target: PmRef = procs[k % procs.len()].into();
         est.move_node(n, target).expect("legal move");
-        acc += cost(design, &mut est, objectives).expect("estimable");
+        acc += cost(&mut est, objectives).expect("estimable");
     }
     acc
 }

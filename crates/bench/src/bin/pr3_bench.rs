@@ -1,0 +1,168 @@
+//! PR 3 bench smoke: baseline vs compiled cost evaluation, as JSON.
+//!
+//! Measures the median ns per candidate evaluation (move one node +
+//! recompute the full cost) on generated designs at ~100, ~1k, and ~10k
+//! nodes, for three estimators:
+//!
+//! - `baseline_incremental` — the pre-refactor design-walking estimator
+//!   preserved in [`slif_bench::baseline`],
+//! - `compiled_incremental` — today's `IncrementalEstimator` over a
+//!   `CompiledDesign`,
+//! - `compiled_full` — the memo-clearing `FullEstimator`, the floor any
+//!   incremental scheme must beat.
+//!
+//! Writes `BENCH_pr3.json` (or the path given as the first argument).
+//! Unlike the criterion targets this emits machine-readable output, so
+//! `scripts/verify.sh` can seed the repo's benchmark record.
+
+use slif_bench::baseline::{baseline_cost, BaselineIncremental};
+use slif_core::gen::DesignGenerator;
+use slif_core::{CompiledDesign, Design, NodeId, Partition, PmRef};
+use slif_estimate::{FullEstimator, IncrementalEstimator};
+use slif_explore::{cost, Objectives};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const MOVES: usize = 64;
+const ROUNDS: usize = 15;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// One timed round over a pre-built estimator: `MOVES` move+cost
+/// evaluations, target shifted by `shift` so repeated rounds never
+/// degenerate into no-op moves. Construction and design compilation stay
+/// outside the timer — an exploration compiles the design once and then
+/// evaluates thousands of candidates, and the acceptance metric is the
+/// per-candidate cost.
+fn timed_round<E>(
+    design: &Design,
+    est: &mut E,
+    shift: usize,
+    mut mv: impl FnMut(&mut E, NodeId, PmRef),
+    mut score: impl FnMut(&mut E) -> f64,
+) -> f64 {
+    let procs: Vec<_> = design.processor_ids().collect();
+    let n_nodes = design.graph().node_count();
+    let start = Instant::now();
+    let mut acc = 0.0;
+    for k in 0..MOVES {
+        let n = NodeId::from_raw((k % n_nodes) as u32);
+        let target: PmRef = procs[(k + shift) % procs.len()].into();
+        mv(est, n, target);
+        acc += score(est);
+    }
+    black_box(acc);
+    start.elapsed().as_nanos() as f64 / MOVES as f64
+}
+
+fn measure(design: &Design, part: &Partition, objectives: &Objectives) -> (f64, f64, f64) {
+    let cd = CompiledDesign::compile(design);
+    let baseline = {
+        let mut est = BaselineIncremental::new(design, part.clone()).expect("valid start");
+        median(
+            (0..ROUNDS)
+                .map(|r| {
+                    timed_round(
+                        design,
+                        &mut est,
+                        r,
+                        |e, n, t| {
+                            e.move_node(n, t).expect("legal move");
+                        },
+                        |e| baseline_cost(design, e, objectives).expect("estimable"),
+                    )
+                })
+                .collect(),
+        )
+    };
+    let incremental = {
+        let mut est = IncrementalEstimator::from_compiled(&cd, part.clone()).expect("valid start");
+        median(
+            (0..ROUNDS)
+                .map(|r| {
+                    timed_round(
+                        design,
+                        &mut est,
+                        r,
+                        |e, n, t| {
+                            e.move_node(n, t).expect("legal move");
+                        },
+                        |e| cost(e, objectives).expect("estimable"),
+                    )
+                })
+                .collect(),
+        )
+    };
+    let full = {
+        let mut est = FullEstimator::from_compiled(&cd, part.clone()).expect("valid start");
+        median(
+            (0..ROUNDS)
+                .map(|r| {
+                    timed_round(
+                        design,
+                        &mut est,
+                        r,
+                        |e, n, t| {
+                            e.move_node(n, t).expect("legal move");
+                        },
+                        |e| cost(e, objectives).expect("estimable"),
+                    )
+                })
+                .collect(),
+        )
+    };
+    (baseline, incremental, full)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let objectives = Objectives::new();
+
+    let mut entries = String::new();
+    for (i, &(behaviors, variables)) in [(50usize, 50usize), (500, 500), (5000, 5000)]
+        .iter()
+        .enumerate()
+    {
+        let nodes = behaviors + variables;
+        let (design, part) = DesignGenerator::new(99)
+            .behaviors(behaviors)
+            .variables(variables)
+            .processors(3)
+            .memories(2)
+            .buses(2)
+            .build();
+        let (baseline, incremental, full) = measure(&design, &part, &objectives);
+        let speedup = baseline / incremental;
+        println!(
+            "{nodes:>6} nodes: baseline {baseline:>12.1} ns/eval, compiled incremental \
+             {incremental:>12.1} ns/eval, compiled full {full:>12.1} ns/eval \
+             ({speedup:.2}x incremental speedup)"
+        );
+        if i > 0 {
+            entries.push(',');
+        }
+        write!(
+            entries,
+            "\n    {{\"nodes\": {nodes}, \
+             \"baseline_incremental_ns_per_eval\": {baseline:.1}, \
+             \"compiled_incremental_ns_per_eval\": {incremental:.1}, \
+             \"compiled_full_ns_per_eval\": {full:.1}, \
+             \"incremental_speedup\": {speedup:.3}}}"
+        )
+        .expect("write to string");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr3_compiled_speedup\",\n  \"workload\": \
+         \"move one node cyclically then recompute full cost, per evaluation\",\n  \
+         \"moves_per_round\": {MOVES},\n  \"rounds\": {ROUNDS},\n  \"sizes\": [{entries}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

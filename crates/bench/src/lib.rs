@@ -9,6 +9,8 @@ use slif_frontend::{all_software_partition, allocate_proc_asic, build_design};
 use slif_speclang::corpus::CorpusEntry;
 use slif_techlib::TechnologyLibrary;
 
+pub mod baseline;
+
 /// Builds a corpus entry with the paper's processor–ASIC architecture and
 /// its all-software starting partition.
 pub fn built_entry(entry: &CorpusEntry) -> (Design, Partition) {

@@ -1,0 +1,114 @@
+//! Corpus parity: the compiled estimation path is bit-identical to the
+//! pre-refactor design-walking path on every speclang corpus system.
+//!
+//! The refactor's contract is "same floats, same errors, faster" — not
+//! "close enough". Exec times, sizes, pins, and the full cost function
+//! must agree to the last bit between [`slif_bench::baseline`] (the
+//! preserved old path) and the compiled estimators, on the real corpus
+//! designs, before and after a deterministic walk of node moves.
+
+use slif_bench::baseline::{baseline_cost, BaselineIncremental};
+use slif_bench::built_entry;
+use slif_core::{CompiledDesign, NodeId, PmRef};
+use slif_estimate::{Evaluator, FullEstimator, IncrementalEstimator};
+use slif_explore::{cost, Objectives};
+use slif_speclang::corpus;
+
+const ENTRIES: [&str; 4] = ["ans", "ether", "fuzzy", "vol"];
+
+/// Asserts bit-identity of every metric between the baseline and a
+/// compiled evaluator at the current partition state.
+fn assert_metrics_match<E: Evaluator>(
+    name: &str,
+    base: &mut BaselineIncremental<'_>,
+    est: &mut E,
+) {
+    let cd = est.compiled().clone();
+    for n in cd.node_ids() {
+        let a = base.exec_time(n).unwrap();
+        let b = est.exec_time(n).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits(), "{name}: exec_time({n:?})");
+    }
+    for pm in cd.pm_refs() {
+        assert_eq!(base.size(pm), est.size(pm).unwrap(), "{name}: size({pm:?})");
+    }
+    for p in cd.processor_ids() {
+        assert_eq!(
+            base.pins(p).unwrap(),
+            est.pins(p).unwrap(),
+            "{name}: pins({p:?})"
+        );
+    }
+}
+
+#[test]
+fn corpus_estimates_are_bit_identical_between_paths() {
+    let objectives = Objectives::new();
+    for name in ENTRIES {
+        let entry = corpus::by_name(name).expect("corpus entry exists");
+        let (design, part) = built_entry(&entry);
+        let cd = CompiledDesign::compile(&design);
+
+        let mut base = BaselineIncremental::new(&design, part.clone()).unwrap();
+        let mut inc = IncrementalEstimator::from_compiled(&cd, part.clone()).unwrap();
+        let mut full = FullEstimator::from_compiled(&cd, part.clone()).unwrap();
+
+        assert_metrics_match(name, &mut base, &mut inc);
+        assert_metrics_match(name, &mut base, &mut full);
+        let c0 = baseline_cost(&design, &mut base, &objectives).unwrap();
+        assert_eq!(
+            c0.to_bits(),
+            cost(&mut inc, &objectives).unwrap().to_bits(),
+            "{name}: initial cost (incremental)"
+        );
+        assert_eq!(
+            c0.to_bits(),
+            cost(&mut full, &objectives).unwrap().to_bits(),
+            "{name}: initial cost (full)"
+        );
+
+        // Walk every node cyclically across the processors; parity must
+        // survive arbitrary intermediate partitions, not just the
+        // all-software start.
+        let procs: Vec<_> = design.processor_ids().collect();
+        let nodes: Vec<NodeId> = design.graph().node_ids().collect();
+        for (k, &n) in nodes.iter().enumerate() {
+            let target: PmRef = procs[k % procs.len()].into();
+            let rb = base.move_node(n, target);
+            let ri = inc.move_node(n, target);
+            let rf = full.move_node(n, target);
+            assert_eq!(rb.is_ok(), ri.is_ok(), "{name}: move {k} outcome");
+            assert_eq!(rb.is_ok(), rf.is_ok(), "{name}: move {k} outcome (full)");
+            let cb = baseline_cost(&design, &mut base, &objectives).unwrap();
+            let ci = cost(&mut inc, &objectives).unwrap();
+            let cf = cost(&mut full, &objectives).unwrap();
+            assert_eq!(cb.to_bits(), ci.to_bits(), "{name}: cost after move {k}");
+            assert_eq!(cb.to_bits(), cf.to_bits(), "{name}: full cost after move {k}");
+        }
+        assert_metrics_match(name, &mut base, &mut inc);
+        assert_metrics_match(name, &mut base, &mut full);
+    }
+}
+
+#[test]
+fn corpus_reports_unchanged_by_compilation_reuse() {
+    // Compiling once and sharing the view across estimators must not
+    // change anything either.
+    for name in ENTRIES {
+        let entry = corpus::by_name(name).expect("corpus entry exists");
+        let (design, part) = built_entry(&entry);
+        let cd = CompiledDesign::compile(&design);
+        let mut owned = IncrementalEstimator::new(&design, part.clone()).unwrap();
+        let mut shared = IncrementalEstimator::from_compiled(&cd, part).unwrap();
+        for n in design.graph().node_ids() {
+            assert_eq!(
+                owned.exec_time(n).unwrap().to_bits(),
+                shared.exec_time(n).unwrap().to_bits(),
+                "{name}: exec_time({n:?})"
+            );
+        }
+        for p in design.processor_ids() {
+            assert_eq!(owned.pins(p).unwrap(), shared.pins(p).unwrap());
+        }
+    }
+}

@@ -72,40 +72,88 @@ impl AccessGraph {
 
     /// Adds a behavior or variable node and returns its id.
     ///
-    /// # Panics
+    /// Specifications have a single flat namespace of system-level objects,
+    /// and the frontend mangles nested scopes before reaching this point.
     ///
-    /// Panics if another node or port already uses `name`; specifications
-    /// have a single flat namespace of system-level objects, and the
-    /// frontend mangles nested scopes before reaching this point.
-    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] if another node or port already uses
+    /// `name`; the graph is left unchanged.
+    pub fn try_add_node(
+        &mut self,
+        name: impl Into<String>,
+        kind: NodeKind,
+    ) -> Result<NodeId, CoreError> {
         let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(CoreError::DuplicateName { name });
+        }
         let id = NodeId(self.nodes.len() as u32);
-        let prev = self.names.insert(name.clone(), NameEntry::Node(id));
-        assert!(prev.is_none(), "duplicate object name `{name}`");
+        self.names.insert(name.clone(), NameEntry::Node(id));
         self.nodes.push(Node::new(name, kind));
         self.out_channels.push(Vec::new());
         self.in_channels.push(Vec::new());
-        id
+        Ok(id)
+    }
+
+    /// Adds a behavior or variable node and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another node or port already uses `name`; use
+    /// [`try_add_node`](Self::try_add_node) to handle the collision.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        match self.try_add_node(name, kind) {
+            Ok(id) => id,
+            Err(CoreError::DuplicateName { name }) => {
+                panic!("duplicate object name `{name}`")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds an external port and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateName`] if another node or port already uses
+    /// `name`; the graph is left unchanged.
+    pub fn try_add_port(
+        &mut self,
+        name: impl Into<String>,
+        direction: crate::node::PortDirection,
+        bits: u32,
+    ) -> Result<PortId, CoreError> {
+        let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(CoreError::DuplicateName { name });
+        }
+        let id = PortId(self.ports.len() as u32);
+        self.names.insert(name.clone(), NameEntry::Port(id));
+        self.ports.push(Port::new(name, direction, bits));
+        self.port_channels.push(Vec::new());
+        Ok(id)
     }
 
     /// Adds an external port and returns its id.
     ///
     /// # Panics
     ///
-    /// Panics if another node or port already uses `name`.
+    /// Panics if another node or port already uses `name`; use
+    /// [`try_add_port`](Self::try_add_port) to handle the collision.
     pub fn add_port(
         &mut self,
         name: impl Into<String>,
         direction: crate::node::PortDirection,
         bits: u32,
     ) -> PortId {
-        let name = name.into();
-        let id = PortId(self.ports.len() as u32);
-        let prev = self.names.insert(name.clone(), NameEntry::Port(id));
-        assert!(prev.is_none(), "duplicate object name `{name}`");
-        self.ports.push(Port::new(name, direction, bits));
-        self.port_channels.push(Vec::new());
-        id
+        match self.try_add_port(name, direction, bits) {
+            Ok(id) => id,
+            Err(CoreError::DuplicateName { name }) => {
+                panic!("duplicate object name `{name}`")
+            }
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Adds a channel from behavior `src` to `dst` and returns its id.
@@ -552,6 +600,28 @@ mod tests {
         let mut ag = AccessGraph::new();
         ag.add_node("x", NodeKind::scalar(8));
         ag.add_node("x", NodeKind::process());
+    }
+
+    #[test]
+    fn try_add_reports_duplicates_without_mutating() {
+        let mut ag = AccessGraph::new();
+        let x = ag.try_add_node("x", NodeKind::scalar(8)).unwrap();
+        let err = ag.try_add_node("x", NodeKind::process()).unwrap_err();
+        assert_eq!(err, CoreError::DuplicateName { name: "x".into() });
+        // A port colliding with a node name is also rejected, and the
+        // failed insertions leave the graph untouched.
+        let err = ag
+            .try_add_port("x", PortDirection::In, 8)
+            .unwrap_err();
+        assert_eq!(err, CoreError::DuplicateName { name: "x".into() });
+        assert_eq!(ag.node_count(), 1);
+        assert_eq!(ag.port_count(), 0);
+        assert_eq!(ag.node_by_name("x"), Some(x));
+        assert!(ag.node(x).kind().is_variable(), "first insertion wins");
+        let p = ag.try_add_port("in1", PortDirection::In, 8).unwrap();
+        let err = ag.try_add_node("in1", NodeKind::process()).unwrap_err();
+        assert_eq!(err, CoreError::DuplicateName { name: "in1".into() });
+        assert_eq!(ag.port_by_name("in1"), Some(p));
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //!   [`Processor`]/[`Memory`]/[`Bus`] instances,
 //! * [`Partition`] — the mapping of functional objects to components, with
 //!   proper-partition validation,
+//! * [`CompiledDesign`] — an immutable, query-optimized (CSR adjacency,
+//!   dense weight tables) snapshot of a finished design for the
+//!   estimation hot path,
 //! * [`text`] — a round-tripping textual serialization,
 //! * [`dot`] — Graphviz export reproducing the paper's Figures 2 and 3,
 //! * [`gen`] — synthetic design generation for tests and benchmarks.
@@ -74,6 +77,7 @@
 
 mod annotation;
 mod channel;
+mod compiled;
 mod component;
 mod design;
 mod error;
@@ -91,6 +95,7 @@ pub mod validate;
 
 pub use annotation::{AccessFreq, ConcurrencyTag, FreqMode, WeightEntry, WeightList};
 pub use channel::{AccessKind, Channel};
+pub use compiled::CompiledDesign;
 pub use component::{Bus, ClassKind, ComponentClass, Memory, Processor};
 pub use design::Design;
 pub use error::CoreError;
@@ -112,6 +117,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Design>();
         assert_send_sync::<AccessGraph>();
+        assert_send_sync::<CompiledDesign>();
         assert_send_sync::<Partition>();
         assert_send_sync::<Channel>();
         assert_send_sync::<Node>();

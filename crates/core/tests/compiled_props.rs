@@ -1,0 +1,91 @@
+//! Property tests: every `CompiledDesign` CSR query is element-for-element
+//! equal to the `AccessGraph` walk it replaces.
+//!
+//! The compiled view is a pure read-model — if any query can disagree with
+//! the graph it was compiled from, estimation silently diverges between
+//! the compiled and uncompiled paths. These properties pin the exact
+//! contract: same elements, same order, for every node of randomly
+//! generated designs.
+
+use proptest::prelude::*;
+use slif_core::gen::DesignGenerator;
+use slif_core::{ChannelId, CompiledDesign, Design, NodeId};
+
+fn generated(seed: u64) -> Design {
+    // Vary the shape with the seed so the CSR offsets see degenerate
+    // (empty adjacency) and dense rows alike.
+    let behaviors = 3 + (seed % 37) as usize;
+    let variables = 1 + (seed % 23) as usize;
+    DesignGenerator::new(seed)
+        .behaviors(behaviors)
+        .variables(variables)
+        .processors(1 + (seed % 4) as usize)
+        .memories((seed % 3) as usize)
+        .buses(1 + (seed % 3) as usize)
+        .build()
+        .0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `channels_of` (outgoing CSR row) matches the graph's iterator for
+    /// every node.
+    #[test]
+    fn channels_of_matches_graph(seed in 0u64..5000) {
+        let design = generated(seed);
+        let cd = CompiledDesign::compile(&design);
+        for n in design.graph().node_ids() {
+            let graph: Vec<ChannelId> = design.graph().channels_of(n).collect();
+            prop_assert_eq!(cd.channels_of(n), &graph[..], "node {:?}", n);
+        }
+    }
+
+    /// `accessors_of` (incoming CSR row) matches the graph's iterator for
+    /// every node.
+    #[test]
+    fn accessors_of_matches_graph(seed in 0u64..5000) {
+        let design = generated(seed);
+        let cd = CompiledDesign::compile(&design);
+        for n in design.graph().node_ids() {
+            let graph: Vec<ChannelId> = design.graph().accessors_of(n).collect();
+            prop_assert_eq!(cd.accessors_of(n), &graph[..], "node {:?}", n);
+        }
+    }
+
+    /// `dependents_of` (reverse reachability) matches the graph walk for
+    /// every node — same set in the same traversal order.
+    #[test]
+    fn dependents_of_matches_graph(seed in 0u64..5000) {
+        let design = generated(seed);
+        let cd = CompiledDesign::compile(&design);
+        for n in design.graph().node_ids() {
+            let graph: Vec<NodeId> = design.graph().dependents_of(n);
+            prop_assert_eq!(cd.dependents_of(n), graph, "node {:?}", n);
+        }
+    }
+
+    /// The precomputed bottom-up behavior order equals the graph's
+    /// on-demand traversal.
+    #[test]
+    fn behaviors_bottom_up_matches_graph(seed in 0u64..5000) {
+        let design = generated(seed);
+        let cd = CompiledDesign::compile(&design);
+        let graph = design.graph().behaviors_bottom_up().expect("generated designs are acyclic");
+        prop_assert_eq!(cd.behaviors_bottom_up().expect("compiled from acyclic graph"), &graph[..]);
+    }
+
+    /// Default-shape designs (no explicit sizing) compile to equal views
+    /// too — guards the generator's default path.
+    #[test]
+    fn default_designs_compile_faithfully(seed in 0u64..5000) {
+        let design = DesignGenerator::new(seed).build().0;
+        let cd = CompiledDesign::compile(&design);
+        for n in design.graph().node_ids() {
+            let out: Vec<ChannelId> = design.graph().channels_of(n).collect();
+            let inc: Vec<ChannelId> = design.graph().accessors_of(n).collect();
+            prop_assert_eq!(cd.channels_of(n), &out[..]);
+            prop_assert_eq!(cd.accessors_of(n), &inc[..]);
+        }
+    }
+}

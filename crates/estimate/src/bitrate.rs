@@ -13,12 +13,13 @@
 //! capacity, transfers must slow down by the utilization factor.
 
 use crate::exectime::ExecTimeEstimator;
-use slif_core::{BusId, ChannelId, CoreError, Design, Partition};
+use slif_core::{BusId, ChannelId, CompiledDesign, CoreError, Design, Partition};
 
-/// Bitrate estimator layered on the execution-time estimator.
+/// Bitrate estimator layered on the execution-time estimator. Channel
+/// annotations and bus capacities are read off the execution-time
+/// estimator's compiled view.
 #[derive(Debug)]
 pub struct BitrateEstimator<'a> {
-    design: &'a Design,
     partition: &'a Partition,
     exec: ExecTimeEstimator<'a>,
 }
@@ -26,26 +27,25 @@ pub struct BitrateEstimator<'a> {
 impl<'a> BitrateEstimator<'a> {
     /// Creates a bitrate estimator that computes source execution times
     /// with the default configuration.
-    pub fn new(design: &'a Design, partition: &'a Partition) -> Self {
+    pub fn new(design: &Design, partition: &'a Partition) -> Self {
         Self {
-            design,
             partition,
             exec: ExecTimeEstimator::new(design, partition),
         }
     }
 
-    /// Creates a bitrate estimator around an existing execution-time
-    /// estimator (sharing its memo).
-    pub fn with_estimator(
-        design: &'a Design,
-        partition: &'a Partition,
-        exec: ExecTimeEstimator<'a>,
-    ) -> Self {
+    /// Creates a bitrate estimator over a shared pre-compiled view.
+    pub fn from_compiled(cd: &'a CompiledDesign, partition: &'a Partition) -> Self {
         Self {
-            design,
             partition,
-            exec,
+            exec: ExecTimeEstimator::from_compiled(cd, partition),
         }
+    }
+
+    /// Creates a bitrate estimator around an existing execution-time
+    /// estimator (sharing its memo and compiled view).
+    pub fn with_estimator(partition: &'a Partition, exec: ExecTimeEstimator<'a>) -> Self {
+        Self { partition, exec }
     }
 
     /// Equation 2: the average bitrate of channel `c`.
@@ -59,12 +59,13 @@ impl<'a> BitrateEstimator<'a> {
     /// Propagates execution-time estimation errors for the source behavior
     /// (unmapped objects, missing weights, recursion).
     pub fn channel_bitrate(&mut self, c: ChannelId) -> Result<f64, CoreError> {
-        let ch = self.design.graph().channel(c);
-        let traffic = ch.freq().avg * f64::from(ch.bits());
+        let cd = self.exec.compiled();
+        let traffic = cd.chan_freq(c).avg * f64::from(cd.chan_bits(c));
         if traffic == 0.0 {
             return Ok(0.0);
         }
-        let t = self.exec.exec_time(ch.src())?;
+        let src = cd.chan_src(c);
+        let t = self.exec.exec_time(src)?;
         Ok(traffic / t)
     }
 
@@ -91,7 +92,7 @@ impl<'a> BitrateEstimator<'a> {
     ///
     /// Propagates per-channel errors.
     pub fn bus_utilization(&mut self, bus: BusId) -> Result<Option<f64>, CoreError> {
-        let capacity = match self.design.bus(bus).capacity() {
+        let capacity = match self.exec.compiled().bus_capacity(bus) {
             Some(c) if c > 0.0 => c,
             _ => return Ok(None),
         };
@@ -106,7 +107,7 @@ impl<'a> BitrateEstimator<'a> {
     /// Propagates per-channel errors.
     pub fn effective_bus_bitrate(&mut self, bus: BusId) -> Result<f64, CoreError> {
         let demanded = self.bus_bitrate(bus)?;
-        Ok(match self.design.bus(bus).capacity() {
+        Ok(match self.exec.compiled().bus_capacity(bus) {
             Some(cap) if cap > 0.0 => demanded.min(cap),
             _ => demanded,
         })

@@ -1,0 +1,236 @@
+//! One evaluation interface across the full and incremental estimators.
+//!
+//! Exploration algorithms score candidate partitions by moving one object
+//! at a time and re-reading the design metrics. The [`Evaluator`] trait is
+//! the contract they write against: a shared immutable
+//! [`CompiledDesign`] plus an owned, mutable [`Partition`] — the only
+//! mutable state — with Equation 1/4/5/6 queries over the pair.
+//!
+//! Two implementations exist with identical observable results:
+//!
+//! * [`IncrementalEstimator`](crate::IncrementalEstimator) — maintains
+//!   caches across moves (the production choice),
+//! * [`FullEstimator`](crate::FullEstimator) — recomputes from scratch
+//!   (the oracle the incremental caches are property-tested against, and
+//!   the baseline the bench suite measures speedups from).
+
+use crate::warning::EstimateWarning;
+use slif_core::{
+    BusId, ChannelId, CompiledDesign, CoreError, NodeId, Partition, PmRef, ProcessorId,
+};
+
+/// A partition evaluator: a compiled design view plus a working partition,
+/// scored through the paper's estimation equations.
+///
+/// Implementations must agree: for the same compiled design and partition
+/// state, every query returns bit-identical values regardless of the move
+/// history that produced the state.
+pub trait Evaluator {
+    /// The shared compiled design view being evaluated against.
+    fn compiled(&self) -> &CompiledDesign;
+
+    /// The current working partition.
+    fn partition(&self) -> &Partition;
+
+    /// Consumes the evaluator, returning the working partition.
+    fn into_partition(self) -> Partition
+    where
+        Self: Sized;
+
+    /// Moves node `n` to `comp`, returning the previous component. Moving
+    /// a node to its current component is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MissingWeight`] (and the move is not performed) if the
+    /// node has no size weight for the new component's class, or
+    /// [`CoreError::BehaviorInMemory`] if a behavior is moved to a memory.
+    fn move_node(&mut self, n: NodeId, comp: PmRef) -> Result<Option<PmRef>, CoreError>;
+
+    /// Moves channel `c` to `bus`, returning the previous bus.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownBus`] if `bus` is not part of the design.
+    fn move_channel(&mut self, c: ChannelId, bus: BusId) -> Result<Option<BusId>, CoreError>;
+
+    /// Re-applies the difference between the working partition and
+    /// `target` as a sequence of moves, after which
+    /// [`partition`](Self::partition) equals `target`.
+    ///
+    /// # Errors
+    ///
+    /// As for
+    /// [`IncrementalEstimator::sync_to`](crate::IncrementalEstimator::sync_to).
+    fn sync_to(&mut self, target: &Partition) -> Result<(), CoreError>;
+
+    /// Equation 1 execution time of node `n`.
+    ///
+    /// # Errors
+    ///
+    /// As for
+    /// [`ExecTimeEstimator::exec_time`](crate::ExecTimeEstimator::exec_time).
+    fn exec_time(&mut self, n: NodeId) -> Result<f64, CoreError>;
+
+    /// Equation 4/5 size of component `pm`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MissingWeight`] / [`CoreError::UnknownComponent`] /
+    /// [`CoreError::DanglingReference`] from a from-scratch recompute;
+    /// cache-backed implementations never fail here.
+    fn size(&mut self, pm: PmRef) -> Result<u64, CoreError>;
+
+    /// Equation 6 pins of processor `p`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`io_pins`](crate::io_pins).
+    fn pins(&mut self, p: ProcessorId) -> Result<u32, CoreError>;
+
+    /// Warnings accumulated from graceful degradation.
+    fn warnings(&self) -> &[EstimateWarning];
+}
+
+impl Evaluator for crate::IncrementalEstimator<'_> {
+    fn compiled(&self) -> &CompiledDesign {
+        Self::compiled(self)
+    }
+
+    fn partition(&self) -> &Partition {
+        Self::partition(self)
+    }
+
+    fn into_partition(self) -> Partition {
+        Self::into_partition(self)
+    }
+
+    fn move_node(&mut self, n: NodeId, comp: PmRef) -> Result<Option<PmRef>, CoreError> {
+        Self::move_node(self, n, comp)
+    }
+
+    fn move_channel(&mut self, c: ChannelId, bus: BusId) -> Result<Option<BusId>, CoreError> {
+        Self::move_channel(self, c, bus)
+    }
+
+    fn sync_to(&mut self, target: &Partition) -> Result<(), CoreError> {
+        Self::sync_to(self, target)
+    }
+
+    fn exec_time(&mut self, n: NodeId) -> Result<f64, CoreError> {
+        Self::exec_time(self, n)
+    }
+
+    fn size(&mut self, pm: PmRef) -> Result<u64, CoreError> {
+        Ok(Self::size(self, pm))
+    }
+
+    fn pins(&mut self, p: ProcessorId) -> Result<u32, CoreError> {
+        Self::pins(self, p)
+    }
+
+    fn warnings(&self) -> &[EstimateWarning] {
+        Self::warnings(self)
+    }
+}
+
+impl Evaluator for crate::FullEstimator<'_> {
+    fn compiled(&self) -> &CompiledDesign {
+        Self::compiled(self)
+    }
+
+    fn partition(&self) -> &Partition {
+        Self::partition(self)
+    }
+
+    fn into_partition(self) -> Partition {
+        Self::into_partition(self)
+    }
+
+    fn move_node(&mut self, n: NodeId, comp: PmRef) -> Result<Option<PmRef>, CoreError> {
+        Self::move_node(self, n, comp)
+    }
+
+    fn move_channel(&mut self, c: ChannelId, bus: BusId) -> Result<Option<BusId>, CoreError> {
+        Self::move_channel(self, c, bus)
+    }
+
+    fn sync_to(&mut self, target: &Partition) -> Result<(), CoreError> {
+        Self::sync_to(self, target)
+    }
+
+    fn exec_time(&mut self, n: NodeId) -> Result<f64, CoreError> {
+        Self::exec_time(self, n)
+    }
+
+    fn size(&mut self, pm: PmRef) -> Result<u64, CoreError> {
+        Self::size(self, pm)
+    }
+
+    fn pins(&mut self, p: ProcessorId) -> Result<u32, CoreError> {
+        Self::pins(self, p)
+    }
+
+    fn warnings(&self) -> &[EstimateWarning] {
+        Self::warnings(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FullEstimator, IncrementalEstimator};
+    use slif_core::gen::DesignGenerator;
+
+    /// Drives two evaluators through the same move sequence, checking
+    /// every metric stays bit-identical.
+    fn lockstep<A: Evaluator, B: Evaluator>(a: &mut A, b: &mut B) {
+        let cd = a.compiled().clone();
+        for n in cd.node_ids() {
+            assert_eq!(a.exec_time(n).unwrap(), b.exec_time(n).unwrap(), "{n}");
+        }
+        for pm in cd.pm_refs() {
+            assert_eq!(a.size(pm).unwrap(), b.size(pm).unwrap());
+        }
+        for p in cd.processor_ids() {
+            assert_eq!(a.pins(p).unwrap(), b.pins(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn full_and_incremental_agree_through_moves() {
+        let (design, part) = DesignGenerator::new(21)
+            .behaviors(12)
+            .variables(8)
+            .processors(3)
+            .memories(1)
+            .buses(2)
+            .build();
+        let cd = slif_core::CompiledDesign::compile(&design);
+        let mut inc = IncrementalEstimator::from_compiled(&cd, part.clone()).unwrap();
+        let mut full = FullEstimator::from_compiled(&cd, part).unwrap();
+        lockstep(&mut inc, &mut full);
+        let procs: Vec<_> = design.processor_ids().collect();
+        let nodes: Vec<_> = design.graph().node_ids().collect();
+        for (i, &n) in nodes.iter().enumerate() {
+            let target = procs[i % procs.len()];
+            let a = Evaluator::move_node(&mut inc, n, target.into());
+            let b = Evaluator::move_node(&mut full, n, target.into());
+            assert_eq!(a.is_ok(), b.is_ok());
+            lockstep(&mut inc, &mut full);
+        }
+    }
+
+    #[test]
+    fn sync_to_through_the_trait_replays_diffs() {
+        let (design, part) = DesignGenerator::new(22).build();
+        let cd = slif_core::CompiledDesign::compile(&design);
+        let mut inc = IncrementalEstimator::from_compiled(&cd, part.clone()).unwrap();
+        let mut target = part.clone();
+        let n = design.graph().node_ids().next().unwrap();
+        let p = design.processor_ids().last().unwrap();
+        target.assign_node(n, p.into());
+        Evaluator::sync_to(&mut inc, &target).unwrap();
+        assert_eq!(Evaluator::partition(&inc), &target);
+    }
+}

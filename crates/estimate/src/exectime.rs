@@ -13,17 +13,24 @@
 //! "execution time" is its storage access time (its ict on the memory or
 //! processor holding it).
 //!
+//! The evaluation runs against a [`CompiledDesign`]: adjacency is a CSR
+//! slice, weights are dense table loads, and the [`Partition`] is the only
+//! per-candidate state — which is what makes Equation 1 cheap enough to
+//! sit inside a partitioning loop.
+//!
 //! The estimator memoizes per node, so evaluating every behavior of a
 //! design is linear in the size of the access graph. Cycles of
 //! time-contributing accesses represent recursion, for which the equation
 //! has no finite value; they are reported as
 //! [`CoreError::RecursiveAccess`].
 
+use std::borrow::Cow;
+
 use crate::config::{EstimatorConfig, MessagePolicy};
 use crate::warning::EstimateWarning;
 use slif_core::{
-    AccessKind, AccessTarget, ChannelId, ConcurrencyTag, CoreError, Design, NodeId, Partition,
-    PmRef,
+    AccessKind, AccessTarget, ChannelId, CompiledDesign, ConcurrencyTag, CoreError, Design, NodeId,
+    Partition, PmRef,
 };
 
 /// Memoizing execution-time estimator for one (design, partition) pair.
@@ -56,9 +63,24 @@ use slif_core::{
 /// assert_eq!((t_cpu, t_asic), (80.0, 10.0));
 /// # Ok::<(), slif_core::CoreError>(())
 /// ```
+///
+/// When scoring many partitions of one design, compile once and share the
+/// view instead of recompiling per estimator:
+///
+/// ```
+/// use slif_core::{gen::DesignGenerator, CompiledDesign};
+/// use slif_estimate::ExecTimeEstimator;
+///
+/// let (design, partition) = DesignGenerator::new(7).build();
+/// let cd = CompiledDesign::compile(&design);
+/// let mut est = ExecTimeEstimator::from_compiled(&cd, &partition);
+/// let n = design.graph().node_ids().next().unwrap();
+/// est.exec_time(n)?;
+/// # Ok::<(), slif_core::CoreError>(())
+/// ```
 #[derive(Debug)]
 pub struct ExecTimeEstimator<'a> {
-    design: &'a Design,
+    cd: Cow<'a, CompiledDesign>,
     partition: &'a Partition,
     config: EstimatorConfig,
     memo: Vec<MemoState>,
@@ -81,7 +103,7 @@ pub(crate) enum MemoState {
 /// that owners of long-lived memos (the incremental estimator) share the
 /// exact same evaluation as [`ExecTimeEstimator`].
 pub(crate) fn eval_exec_time(
-    design: &Design,
+    cd: &CompiledDesign,
     partition: &Partition,
     config: &EstimatorConfig,
     memo: &mut [MemoState],
@@ -101,7 +123,7 @@ pub(crate) fn eval_exec_time(
         MemoState::InProgress => Err(CoreError::RecursiveAccess { node: n }),
         MemoState::Unvisited => {
             memo[n.index()] = MemoState::InProgress;
-            let result = eval_compute(design, partition, config, memo, warnings, n);
+            let result = eval_compute(cd, partition, config, memo, warnings, n);
             match result {
                 Ok(t) => {
                     memo[n.index()] = MemoState::Done(t);
@@ -117,7 +139,7 @@ pub(crate) fn eval_exec_time(
 }
 
 fn eval_compute(
-    design: &Design,
+    cd: &CompiledDesign,
     partition: &Partition,
     config: &EstimatorConfig,
     memo: &mut [MemoState],
@@ -127,21 +149,17 @@ fn eval_compute(
     let comp = partition
         .node_component(n)
         .ok_or(CoreError::UnmappedNode { node: n })?;
-    let comp_exists = match comp {
-        PmRef::Processor(p) => p.index() < design.processor_count(),
-        PmRef::Memory(m) => m.index() < design.memory_count(),
-    };
-    if !comp_exists {
+    if !cd.pm_exists(comp) {
         return Err(CoreError::UnknownComponent { component: comp });
     }
-    let class = design.component_class(comp);
-    if class.index() >= design.class_count() {
+    let class = cd.component_class(comp);
+    if class.index() >= cd.class_count() {
         return Err(CoreError::DanglingReference {
             what: "class",
             index: class.index(),
         });
     }
-    let ict = match design.graph().node(n).ict().get(class) {
+    let ict = match cd.ict_weight(n, class) {
         Some(v) => v as f64,
         None => match config.default_ict {
             Some(fallback) => {
@@ -162,14 +180,14 @@ fn eval_compute(
             }
         },
     };
-    if design.graph().node(n).kind().is_variable() {
+    if cd.node_kind(n).is_variable() {
         return Ok(ict);
     }
-    Ok(ict + eval_comm_time(design, partition, config, memo, warnings, n, comp)?)
+    Ok(ict + eval_comm_time(cd, partition, config, memo, warnings, n, comp)?)
 }
 
 pub(crate) fn eval_comm_time(
-    design: &Design,
+    cd: &CompiledDesign,
     partition: &Partition,
     config: &EstimatorConfig,
     memo: &mut [MemoState],
@@ -177,25 +195,24 @@ pub(crate) fn eval_comm_time(
     n: NodeId,
     comp: PmRef,
 ) -> Result<f64, CoreError> {
-    if n.index() >= design.graph().node_count() {
+    if n.index() >= cd.node_count() {
         return Err(CoreError::DanglingReference {
             what: "node",
             index: n.index(),
         });
     }
-    let channels: Vec<ChannelId> = design.graph().channels_of(n).collect();
     if !config.concurrency_aware {
         let mut total = 0.0;
-        for c in channels {
-            total += eval_channel_time(design, partition, config, memo, warnings, c, comp)?;
+        for &c in cd.channels_of(n) {
+            total += eval_channel_time(cd, partition, config, memo, warnings, c, comp)?;
         }
         return Ok(total);
     }
     let mut sequential = 0.0;
     let mut groups: Vec<(ConcurrencyTag, f64)> = Vec::new();
-    for c in channels {
-        let t = eval_channel_time(design, partition, config, memo, warnings, c, comp)?;
-        let tag = design.graph().channel(c).tag();
+    for &c in cd.channels_of(n) {
+        let t = eval_channel_time(cd, partition, config, memo, warnings, c, comp)?;
+        let tag = cd.chan_tag(c);
         if !tag.is_concurrent() {
             sequential += t;
         } else if let Some(entry) = groups.iter_mut().find(|(g, _)| *g == tag) {
@@ -208,7 +225,7 @@ pub(crate) fn eval_comm_time(
 }
 
 fn eval_channel_time(
-    design: &Design,
+    cd: &CompiledDesign,
     partition: &Partition,
     config: &EstimatorConfig,
     memo: &mut [MemoState],
@@ -216,23 +233,21 @@ fn eval_channel_time(
     c: ChannelId,
     src_comp: PmRef,
 ) -> Result<f64, CoreError> {
-    let ch = design.graph().channel(c);
-    let freq = ch.freq().for_mode(config.mode);
+    let freq = cd.chan_freq(c).for_mode(config.mode);
     if freq == 0.0 {
         return Ok(0.0);
     }
     let bus_id = partition
         .channel_bus(c)
         .ok_or(CoreError::UnmappedChannel { channel: c })?;
-    if bus_id.index() >= design.bus_count() {
+    if bus_id.index() >= cd.bus_count() {
         return Err(CoreError::UnknownBus { bus: bus_id });
     }
-    let bus = design.bus(bus_id);
-    if bus.bitwidth() == 0 {
+    if cd.bus_bitwidth(bus_id) == 0 {
         // Transfer counts would divide by zero; report, don't panic.
         return Err(CoreError::ZeroBitwidthBus { bus: bus_id });
     }
-    let (same, dst_time) = match ch.dst() {
+    let (same, dst_time) = match cd.chan_dst(c) {
         AccessTarget::Port(_) => (false, 0.0),
         AccessTarget::Node(dst) => {
             if dst.index() >= partition.node_slots() {
@@ -244,41 +259,68 @@ fn eval_channel_time(
             let dst_comp = partition
                 .node_component(dst)
                 .ok_or(CoreError::UnmappedNode { node: dst })?;
-            let include_dst = match ch.kind() {
+            let include_dst = match cd.chan_kind(c) {
                 AccessKind::Message => config.message_policy == MessagePolicy::IncludeReceiver,
                 AccessKind::Call | AccessKind::Read | AccessKind::Write => true,
             };
             let dst_time = if include_dst {
-                eval_exec_time(design, partition, config, memo, warnings, dst)?
+                eval_exec_time(cd, partition, config, memo, warnings, dst)?
             } else {
                 0.0
             };
             (dst_comp == src_comp, dst_time)
         }
     };
-    let transfer = bus.access_time(ch.bits(), same) as f64;
+    let transfer = cd.bus_access_time(bus_id, cd.chan_bits(c), same) as f64;
     Ok(freq * (transfer + dst_time))
 }
 
 impl<'a> ExecTimeEstimator<'a> {
     /// Creates an estimator with the default configuration (average
     /// frequencies, sequential accesses, message transfers do not include
-    /// the receiver's execution time).
-    pub fn new(design: &'a Design, partition: &'a Partition) -> Self {
+    /// the receiver's execution time). Compiles the design internally; use
+    /// [`from_compiled`](Self::from_compiled) to share one
+    /// [`CompiledDesign`] across many estimators.
+    pub fn new(design: &Design, partition: &'a Partition) -> Self {
         Self::with_config(design, partition, EstimatorConfig::default())
     }
 
     /// Creates an estimator with an explicit configuration.
     pub fn with_config(
-        design: &'a Design,
+        design: &Design,
         partition: &'a Partition,
         config: EstimatorConfig,
     ) -> Self {
+        Self::build(Cow::Owned(CompiledDesign::compile(design)), partition, config)
+    }
+
+    /// Creates an estimator over an already-compiled design with the
+    /// default configuration.
+    pub fn from_compiled(cd: &'a CompiledDesign, partition: &'a Partition) -> Self {
+        Self::from_compiled_with_config(cd, partition, EstimatorConfig::default())
+    }
+
+    /// Creates an estimator over an already-compiled design with an
+    /// explicit configuration.
+    pub fn from_compiled_with_config(
+        cd: &'a CompiledDesign,
+        partition: &'a Partition,
+        config: EstimatorConfig,
+    ) -> Self {
+        Self::build(Cow::Borrowed(cd), partition, config)
+    }
+
+    fn build(
+        cd: Cow<'a, CompiledDesign>,
+        partition: &'a Partition,
+        config: EstimatorConfig,
+    ) -> Self {
+        let memo = vec![MemoState::default(); cd.node_count()];
         Self {
-            design,
+            cd,
             partition,
             config,
-            memo: vec![MemoState::default(); design.graph().node_count()],
+            memo,
             warnings: Vec::new(),
         }
     }
@@ -286,6 +328,11 @@ impl<'a> ExecTimeEstimator<'a> {
     /// The configuration in effect.
     pub fn config(&self) -> &EstimatorConfig {
         &self.config
+    }
+
+    /// The compiled design view this estimator evaluates against.
+    pub fn compiled(&self) -> &CompiledDesign {
+        &self.cd
     }
 
     /// Estimated execution time of node `n`: Equation 1 for behaviors, the
@@ -309,7 +356,7 @@ impl<'a> ExecTimeEstimator<'a> {
     ///   recursive.
     pub fn exec_time(&mut self, n: NodeId) -> Result<f64, CoreError> {
         eval_exec_time(
-            self.design,
+            &self.cd,
             self.partition,
             &self.config,
             &mut self.memo,
@@ -336,7 +383,7 @@ impl<'a> ExecTimeEstimator<'a> {
             .node_component(n)
             .ok_or(CoreError::UnmappedNode { node: n })?;
         eval_comm_time(
-            self.design,
+            &self.cd,
             self.partition,
             &self.config,
             &mut self.memo,
@@ -441,6 +488,18 @@ mod tests {
         assert_eq!(est.exec_time(f.sub).unwrap(), 26.0);
         // main on cpu calling sub on asic: 100 + 2 * (1*td + 26) = 160.
         assert_eq!(est.exec_time(f.main).unwrap(), 160.0);
+    }
+
+    #[test]
+    fn from_compiled_matches_internal_compile() {
+        let f = fixture(true);
+        let cd = CompiledDesign::compile(&f.d);
+        let mut shared = ExecTimeEstimator::from_compiled(&cd, &f.part);
+        let mut owned = ExecTimeEstimator::new(&f.d, &f.part);
+        for n in [f.main, f.sub, f.v] {
+            assert_eq!(shared.exec_time(n).unwrap(), owned.exec_time(n).unwrap());
+        }
+        assert_eq!(shared.compiled(), owned.compiled());
     }
 
     #[test]

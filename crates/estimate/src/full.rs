@@ -1,0 +1,336 @@
+//! The from-scratch partition evaluator.
+//!
+//! [`FullEstimator`] implements [`Evaluator`](crate::Evaluator) with no
+//! caching beyond the execution-time memo that Equation 1 itself requires
+//! (and even that is discarded wholesale on every move): each `size` and
+//! `pins` query recomputes from the compiled view and the current
+//! partition. It exists as the oracle the incremental caches are checked
+//! against and as the baseline the bench suite measures speedups from —
+//! exploration hot paths should use
+//! [`IncrementalEstimator`](crate::IncrementalEstimator).
+
+use crate::config::EstimatorConfig;
+use crate::exectime::{eval_exec_time, MemoState};
+use crate::io::io_pins_compiled;
+use crate::size::{node_size_on_compiled, size_with_compiled};
+use crate::warning::EstimateWarning;
+use slif_core::{
+    BusId, ChannelId, CompiledDesign, CoreError, Design, NodeId, Partition, PmRef, ProcessorId,
+};
+use std::borrow::Cow;
+
+/// An uncached evaluator that recomputes every metric from scratch.
+///
+/// Construction, move validation, and every query return exactly what
+/// [`IncrementalEstimator`](crate::IncrementalEstimator) returns for the
+/// same state — the two are interchangeable behind
+/// [`Evaluator`](crate::Evaluator), differing only in speed.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::gen::DesignGenerator;
+/// use slif_estimate::{Evaluator, FullEstimator};
+///
+/// let (design, partition) = DesignGenerator::new(1).build();
+/// let mut full = FullEstimator::new(&design, partition)?;
+/// let some_node = design.graph().node_ids().next().unwrap();
+/// let target = design.processor_ids().next().unwrap();
+/// full.move_node(some_node, target.into())?;
+/// let _size = Evaluator::size(&mut full, target.into())?;
+/// # Ok::<(), slif_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct FullEstimator<'a> {
+    cd: Cow<'a, CompiledDesign>,
+    partition: Partition,
+    config: EstimatorConfig,
+    memo: Vec<MemoState>,
+    warnings: Vec<EstimateWarning>,
+}
+
+impl<'a> FullEstimator<'a> {
+    /// Creates an evaluator over an initial complete partition with the
+    /// default configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnmappedNode`] or [`CoreError::MissingWeight`] if the
+    /// starting partition is not proper.
+    pub fn new(design: &Design, partition: Partition) -> Result<Self, CoreError> {
+        Self::with_config(design, partition, EstimatorConfig::default())
+    }
+
+    /// Creates an evaluator with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn with_config(
+        design: &Design,
+        partition: Partition,
+        config: EstimatorConfig,
+    ) -> Result<Self, CoreError> {
+        Self::build(
+            Cow::Owned(CompiledDesign::compile(design)),
+            partition,
+            config,
+        )
+    }
+
+    /// Creates an evaluator over a shared pre-compiled view.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn from_compiled(cd: &'a CompiledDesign, partition: Partition) -> Result<Self, CoreError> {
+        Self::from_compiled_with_config(cd, partition, EstimatorConfig::default())
+    }
+
+    /// [`from_compiled`](Self::from_compiled) with an explicit
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn from_compiled_with_config(
+        cd: &'a CompiledDesign,
+        partition: Partition,
+        config: EstimatorConfig,
+    ) -> Result<Self, CoreError> {
+        Self::build(Cow::Borrowed(cd), partition, config)
+    }
+
+    fn build(
+        cd: Cow<'a, CompiledDesign>,
+        partition: Partition,
+        config: EstimatorConfig,
+    ) -> Result<Self, CoreError> {
+        // The same validation sweep the incremental constructor performs,
+        // so the two reject exactly the same starting partitions (and
+        // record the same substitution warnings).
+        let mut warnings = Vec::new();
+        for n in cd.node_ids() {
+            let comp = partition
+                .node_component(n)
+                .ok_or(CoreError::UnmappedNode { node: n })?;
+            node_size_on_compiled(&cd, n, comp, &config, &mut warnings)?;
+        }
+        let memo = vec![MemoState::default(); cd.node_count()];
+        Ok(Self {
+            cd,
+            partition,
+            config,
+            memo,
+            warnings,
+        })
+    }
+
+    /// The compiled design view this evaluator reads.
+    pub fn compiled(&self) -> &CompiledDesign {
+        &self.cd
+    }
+
+    /// The current working partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Consumes the evaluator, returning the working partition.
+    pub fn into_partition(self) -> Partition {
+        self.partition
+    }
+
+    /// Warnings accumulated from graceful degradation.
+    pub fn warnings(&self) -> &[EstimateWarning] {
+        &self.warnings
+    }
+
+    /// Moves node `n` to `comp`, discarding the execution-time memo.
+    /// Validation order matches
+    /// [`IncrementalEstimator::move_node`](crate::IncrementalEstimator::move_node)
+    /// exactly, so the two fail identically.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MissingWeight`] (and the move is not performed) if the
+    /// node has no size weight for the new component's class, or
+    /// [`CoreError::BehaviorInMemory`] if a behavior is moved to a memory.
+    pub fn move_node(&mut self, n: NodeId, comp: PmRef) -> Result<Option<PmRef>, CoreError> {
+        let old = self.partition.node_component(n);
+        if old == Some(comp) {
+            return Ok(old);
+        }
+        if let PmRef::Memory(m) = comp {
+            if self.cd.node_kind(n).is_behavior() {
+                return Err(CoreError::BehaviorInMemory { node: n, memory: m });
+            }
+        }
+        node_size_on_compiled(&self.cd, n, comp, &self.config, &mut self.warnings)?;
+        if let Some(old_comp) = old {
+            node_size_on_compiled(&self.cd, n, old_comp, &self.config, &mut self.warnings)?;
+        }
+        self.partition.assign_node(n, comp);
+        self.memo.fill(MemoState::default());
+        Ok(old)
+    }
+
+    /// Moves channel `c` to `bus`, discarding the execution-time memo.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownBus`] if `bus` is not part of the design.
+    pub fn move_channel(&mut self, c: ChannelId, bus: BusId) -> Result<Option<BusId>, CoreError> {
+        if bus.index() >= self.cd.bus_count() {
+            return Err(CoreError::UnknownBus { bus });
+        }
+        let old = self.partition.assign_channel(c, bus);
+        if old == Some(bus) {
+            return Ok(old);
+        }
+        self.memo.fill(MemoState::default());
+        Ok(old)
+    }
+
+    /// Re-applies the difference between the working partition and
+    /// `target` as a sequence of moves; see
+    /// [`IncrementalEstimator::sync_to`](crate::IncrementalEstimator::sync_to).
+    ///
+    /// # Errors
+    ///
+    /// As for
+    /// [`IncrementalEstimator::sync_to`](crate::IncrementalEstimator::sync_to).
+    pub fn sync_to(&mut self, target: &Partition) -> Result<(), CoreError> {
+        if target.node_slots() != self.partition.node_slots()
+            || target.channel_slots() != self.partition.channel_slots()
+        {
+            return Err(CoreError::InvalidInput {
+                message: format!(
+                    "sync target has {}/{} slots, estimator has {}/{}",
+                    target.node_slots(),
+                    target.channel_slots(),
+                    self.partition.node_slots(),
+                    self.partition.channel_slots()
+                ),
+            });
+        }
+        for n in self.cd.node_ids() {
+            let want = target
+                .node_component(n)
+                .ok_or(CoreError::UnmappedNode { node: n })?;
+            if self.partition.node_component(n) != Some(want) {
+                self.move_node(n, want)?;
+            }
+        }
+        for c in self.cd.channel_ids() {
+            let want = target
+                .channel_bus(c)
+                .ok_or(CoreError::UnmappedChannel { channel: c })?;
+            if self.partition.channel_bus(c) != Some(want) {
+                self.move_channel(c, want)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Equation 1 execution time of node `n`, memoized only between moves.
+    ///
+    /// # Errors
+    ///
+    /// As for
+    /// [`ExecTimeEstimator::exec_time`](crate::ExecTimeEstimator::exec_time).
+    pub fn exec_time(&mut self, n: NodeId) -> Result<f64, CoreError> {
+        eval_exec_time(
+            &self.cd,
+            &self.partition,
+            &self.config,
+            &mut self.memo,
+            &mut self.warnings,
+            n,
+        )
+    }
+
+    /// Equation 4/5 size of component `pm`, recomputed from scratch.
+    /// Substitution warnings were already recorded at construction and
+    /// move time, so the recompute uses a scratch buffer instead of
+    /// duplicating them per query.
+    ///
+    /// # Errors
+    ///
+    /// As for [`size`](crate::size).
+    pub fn size(&mut self, pm: PmRef) -> Result<u64, CoreError> {
+        size_with_compiled(&self.cd, &self.partition, pm, &self.config, &mut Vec::new())
+    }
+
+    /// Equation 6 pins of processor `p`, recomputed from scratch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`io_pins`](crate::io_pins).
+    pub fn pins(&mut self, p: ProcessorId) -> Result<u32, CoreError> {
+        io_pins_compiled(&self.cd, &self.partition, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IncrementalEstimator;
+    use slif_core::gen::DesignGenerator;
+
+    #[test]
+    fn rejects_the_same_bad_inputs_as_incremental() {
+        let (design, _) = DesignGenerator::new(4).build();
+        let empty = Partition::new(&design);
+        assert!(matches!(
+            FullEstimator::new(&design, empty),
+            Err(CoreError::UnmappedNode { .. })
+        ));
+
+        let (design, part) = DesignGenerator::new(2).memories(1).build();
+        let mut full = FullEstimator::new(&design, part.clone()).unwrap();
+        let mut inc = IncrementalEstimator::new(&design, part).unwrap();
+        let b = design.graph().behavior_ids().next().unwrap();
+        let mem = design.memory_ids().next().unwrap();
+        let fa = full.move_node(b, mem.into());
+        let ia = inc.move_node(b, mem.into());
+        assert!(matches!(fa, Err(CoreError::BehaviorInMemory { .. })));
+        assert!(matches!(ia, Err(CoreError::BehaviorInMemory { .. })));
+
+        let c = design.graph().channel_ids().next().unwrap();
+        assert!(matches!(
+            full.move_channel(c, BusId::from_raw(99)),
+            Err(CoreError::UnknownBus { .. })
+        ));
+    }
+
+    #[test]
+    fn moves_invalidate_the_exec_memo() {
+        let (design, part) = DesignGenerator::new(5)
+            .behaviors(8)
+            .variables(4)
+            .processors(2)
+            .buses(1)
+            .build();
+        let mut full = FullEstimator::new(&design, part).unwrap();
+        let n = design.graph().behavior_ids().next().unwrap();
+        let before = full.exec_time(n).unwrap();
+        // Move the node to the other processor and back: the memo must be
+        // dropped both times, and the round trip restores the value.
+        let procs: Vec<_> = design.processor_ids().collect();
+        let old = full.move_node(n, procs[1].into()).unwrap().unwrap();
+        let _mid = full.exec_time(n).unwrap();
+        full.move_node(n, old).unwrap();
+        assert_eq!(full.exec_time(n).unwrap(), before);
+    }
+
+    #[test]
+    fn into_partition_returns_working_state() {
+        let (design, part) = DesignGenerator::new(6).build();
+        let mut full = FullEstimator::new(&design, part).unwrap();
+        let n = design.graph().node_ids().next().unwrap();
+        let target: PmRef = design.processor_ids().last().unwrap().into();
+        full.move_node(n, target).unwrap();
+        assert_eq!(full.into_partition().node_component(n), Some(target));
+    }
+}

@@ -19,12 +19,14 @@
 
 use crate::config::EstimatorConfig;
 use crate::exectime::{eval_exec_time, MemoState};
-use crate::io::io_pins;
-use crate::size::node_size_on_with;
+use crate::io::io_pins_compiled;
+use crate::size::node_size_on_compiled;
 use crate::warning::EstimateWarning;
 use slif_core::{
-    AccessTarget, BusId, ChannelId, CoreError, Design, NodeId, Partition, PmRef, ProcessorId,
+    AccessTarget, BusId, ChannelId, CompiledDesign, CoreError, Design, NodeId, Partition, PmRef,
+    ProcessorId,
 };
+use std::borrow::Cow;
 
 /// A caching estimator that tracks a mutating partition.
 ///
@@ -44,7 +46,7 @@ use slif_core::{
 /// ```
 #[derive(Debug)]
 pub struct IncrementalEstimator<'a> {
-    design: &'a Design,
+    cd: Cow<'a, CompiledDesign>,
     partition: Partition,
     config: EstimatorConfig,
     /// Per-component size sums, indexed processors-then-memories.
@@ -52,6 +54,12 @@ pub struct IncrementalEstimator<'a> {
     exec_memo: Vec<MemoState>,
     pins_cache: Vec<Option<u32>>,
     warnings: Vec<EstimateWarning>,
+    /// Reusable reverse-reachability scratch for memo invalidation: a node
+    /// is "seen" when its stamp equals the current epoch, so clearing the
+    /// buffer between moves is a single counter increment.
+    dep_seen: Vec<u32>,
+    dep_epoch: u32,
+    dep_stack: Vec<NodeId>,
     /// Self-audit cadence: every N successful moves, one entry of each
     /// cache is re-derived from scratch. `None` disables auditing.
     audit_every: Option<u64>,
@@ -69,7 +77,7 @@ impl<'a> IncrementalEstimator<'a> {
     ///
     /// [`CoreError::UnmappedNode`] or [`CoreError::MissingWeight`] if the
     /// starting partition is not proper.
-    pub fn new(design: &'a Design, partition: Partition) -> Result<Self, CoreError> {
+    pub fn new(design: &Design, partition: Partition) -> Result<Self, CoreError> {
         Self::with_config(design, partition, EstimatorConfig::default())
     }
 
@@ -79,32 +87,79 @@ impl<'a> IncrementalEstimator<'a> {
     ///
     /// As for [`new`](Self::new).
     pub fn with_config(
-        design: &'a Design,
+        design: &Design,
         partition: Partition,
         config: EstimatorConfig,
     ) -> Result<Self, CoreError> {
-        let slots = design.processor_count() + design.memory_count();
-        let mut comp_size = vec![0u64; slots];
+        Self::build(
+            Cow::Owned(CompiledDesign::compile(design)),
+            partition,
+            config,
+        )
+    }
+
+    /// Creates an estimator over a shared pre-compiled view, avoiding the
+    /// per-estimator compile. This is the constructor exploration hot
+    /// paths should use.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn from_compiled(cd: &'a CompiledDesign, partition: Partition) -> Result<Self, CoreError> {
+        Self::from_compiled_with_config(cd, partition, EstimatorConfig::default())
+    }
+
+    /// [`from_compiled`](Self::from_compiled) with an explicit
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn from_compiled_with_config(
+        cd: &'a CompiledDesign,
+        partition: Partition,
+        config: EstimatorConfig,
+    ) -> Result<Self, CoreError> {
+        Self::build(Cow::Borrowed(cd), partition, config)
+    }
+
+    fn build(
+        cd: Cow<'a, CompiledDesign>,
+        partition: Partition,
+        config: EstimatorConfig,
+    ) -> Result<Self, CoreError> {
+        let mut comp_size = vec![0u64; cd.pm_count()];
         let mut warnings = Vec::new();
-        for n in design.graph().node_ids() {
+        for n in cd.node_ids() {
             let comp = partition
                 .node_component(n)
                 .ok_or(CoreError::UnmappedNode { node: n })?;
-            comp_size[pm_index(design, comp)] +=
-                node_size_on_with(design, n, comp, &config, &mut warnings)?;
+            comp_size[cd.pm_index(comp)] +=
+                node_size_on_compiled(&cd, n, comp, &config, &mut warnings)?;
         }
+        let node_count = cd.node_count();
+        let exec_memo = vec![MemoState::default(); node_count];
+        let pins_cache = vec![None; cd.processor_count()];
         Ok(Self {
-            design,
+            cd,
             partition,
             config,
             comp_size,
-            exec_memo: vec![MemoState::default(); design.graph().node_count()],
-            pins_cache: vec![None; design.processor_count()],
+            exec_memo,
+            pins_cache,
             warnings,
+            dep_seen: vec![0; node_count],
+            dep_epoch: 0,
+            dep_stack: Vec::new(),
             audit_every: None,
             moves: 0,
             divergences: 0,
         })
+    }
+
+    /// The compiled design view this estimator reads.
+    pub fn compiled(&self) -> &CompiledDesign {
+        &self.cd
     }
 
     /// Enables self-audit mode: every `every` successful moves, one entry
@@ -156,17 +211,17 @@ impl<'a> IncrementalEstimator<'a> {
             return Ok(old);
         }
         if let PmRef::Memory(m) = comp {
-            if self.design.graph().node(n).kind().is_behavior() {
+            if self.cd.node_kind(n).is_behavior() {
                 return Err(CoreError::BehaviorInMemory { node: n, memory: m });
             }
         }
-        let new_w = node_size_on_with(self.design, n, comp, &self.config, &mut self.warnings)?;
+        let new_w = node_size_on_compiled(&self.cd, n, comp, &self.config, &mut self.warnings)?;
         if let Some(old_comp) = old {
             let old_w =
-                node_size_on_with(self.design, n, old_comp, &self.config, &mut self.warnings)?;
-            self.comp_size[pm_index(self.design, old_comp)] -= old_w;
+                node_size_on_compiled(&self.cd, n, old_comp, &self.config, &mut self.warnings)?;
+            self.comp_size[self.cd.pm_index(old_comp)] -= old_w;
         }
-        self.comp_size[pm_index(self.design, comp)] += new_w;
+        self.comp_size[self.cd.pm_index(comp)] += new_w;
         self.partition.assign_node(n, comp);
         self.invalidate_exec_through(n);
         self.invalidate_pins_around_node(n, old, Some(comp));
@@ -181,7 +236,7 @@ impl<'a> IncrementalEstimator<'a> {
     ///
     /// [`CoreError::UnknownBus`] if `bus` is not part of the design.
     pub fn move_channel(&mut self, c: ChannelId, bus: BusId) -> Result<Option<BusId>, CoreError> {
-        if bus.index() >= self.design.bus_count() {
+        if bus.index() >= self.cd.bus_count() {
             return Err(CoreError::UnknownBus { bus });
         }
         let old = self.partition.assign_channel(c, bus);
@@ -189,11 +244,11 @@ impl<'a> IncrementalEstimator<'a> {
             return Ok(old);
         }
         // Transfer times of the channel's source (and its initiators) change.
-        self.invalidate_exec_through(self.design.graph().channel(c).src());
+        let src = self.cd.chan_src(c);
+        self.invalidate_exec_through(src);
         // Cut-bus sets of both endpoint components may change.
-        let ch = self.design.graph().channel(c);
-        self.invalidate_pins_of_comp(self.partition.node_component(ch.src()));
-        if let AccessTarget::Node(dst) = ch.dst() {
+        self.invalidate_pins_of_comp(self.partition.node_component(src));
+        if let AccessTarget::Node(dst) = self.cd.chan_dst(c) {
             self.invalidate_pins_of_comp(self.partition.node_component(dst));
         }
         self.tick_audit();
@@ -228,7 +283,7 @@ impl<'a> IncrementalEstimator<'a> {
                 ),
             });
         }
-        for n in self.design.graph().node_ids() {
+        for n in self.cd.node_ids() {
             let want = target
                 .node_component(n)
                 .ok_or(CoreError::UnmappedNode { node: n })?;
@@ -236,7 +291,7 @@ impl<'a> IncrementalEstimator<'a> {
                 self.move_node(n, want)?;
             }
         }
-        for c in self.design.graph().channel_ids() {
+        for c in self.cd.channel_ids() {
             let want = target
                 .channel_bus(c)
                 .ok_or(CoreError::UnmappedChannel { channel: c })?;
@@ -254,7 +309,7 @@ impl<'a> IncrementalEstimator<'a> {
     /// As for [`ExecTimeEstimator::exec_time`](crate::ExecTimeEstimator::exec_time).
     pub fn exec_time(&mut self, n: NodeId) -> Result<f64, CoreError> {
         eval_exec_time(
-            self.design,
+            &self.cd,
             &self.partition,
             &self.config,
             &mut self.exec_memo,
@@ -276,7 +331,7 @@ impl<'a> IncrementalEstimator<'a> {
     ///
     /// Panics if `pm` does not come from this design.
     pub fn size(&self, pm: PmRef) -> u64 {
-        self.comp_size[pm_index(self.design, pm)]
+        self.comp_size[self.cd.pm_index(pm)]
     }
 
     /// Equation 6 pins of processor `p`, from cache where valid.
@@ -288,16 +343,38 @@ impl<'a> IncrementalEstimator<'a> {
         if let Some(pins) = self.pins_cache[p.index()] {
             return Ok(pins);
         }
-        let pins = io_pins(self.design, &self.partition, p)?;
+        let pins = io_pins_compiled(&self.cd, &self.partition, p)?;
         self.pins_cache[p.index()] = Some(pins);
         Ok(pins)
     }
 
     /// Invalidates exec-time memo entries for `n` and every node that can
     /// reach it through channels.
+    /// Resets the execution-time memo of `n` and every node that can
+    /// reach it through channels (the same set as
+    /// [`CompiledDesign::dependents_of`], walked in place over the
+    /// reverse CSR with reusable epoch-stamped scratch — no allocation on
+    /// the per-move hot path).
     fn invalidate_exec_through(&mut self, n: NodeId) {
-        for dep in self.design.graph().dependents_of(n) {
-            self.exec_memo[dep.index()] = MemoState::default();
+        self.dep_epoch = self.dep_epoch.wrapping_add(1);
+        if self.dep_epoch == 0 {
+            // Stamp wrap-around: stale stamps could alias the new epoch.
+            self.dep_seen.fill(0);
+            self.dep_epoch = 1;
+        }
+        let epoch = self.dep_epoch;
+        self.dep_stack.clear();
+        self.dep_stack.push(n);
+        self.dep_seen[n.index()] = epoch;
+        while let Some(cur) = self.dep_stack.pop() {
+            self.exec_memo[cur.index()] = MemoState::default();
+            for &c in self.cd.accessors_of(cur) {
+                let src = self.cd.chan_src(c);
+                if src.index() < self.dep_seen.len() && self.dep_seen[src.index()] != epoch {
+                    self.dep_seen[src.index()] = epoch;
+                    self.dep_stack.push(src);
+                }
+            }
         }
     }
 
@@ -313,18 +390,16 @@ impl<'a> IncrementalEstimator<'a> {
     fn invalidate_pins_around_node(&mut self, n: NodeId, old: Option<PmRef>, new: Option<PmRef>) {
         self.invalidate_pins_of_comp(old);
         self.invalidate_pins_of_comp(new);
-        let g = self.design.graph();
-        let mut neighbours: Vec<Option<PmRef>> = Vec::new();
-        for c in g.channels_of(n) {
-            if let AccessTarget::Node(dst) = g.channel(c).dst() {
-                neighbours.push(self.partition.node_component(dst));
+        for i in 0..self.cd.channels_of(n).len() {
+            let c = self.cd.channels_of(n)[i];
+            if let AccessTarget::Node(dst) = self.cd.chan_dst(c) {
+                self.invalidate_pins_of_comp(self.partition.node_component(dst));
             }
         }
-        for c in g.accessors_of(n) {
-            neighbours.push(self.partition.node_component(g.channel(c).src()));
-        }
-        for comp in neighbours {
-            self.invalidate_pins_of_comp(comp);
+        for i in 0..self.cd.accessors_of(n).len() {
+            let c = self.cd.accessors_of(n)[i];
+            let src = self.cd.chan_src(c);
+            self.invalidate_pins_of_comp(self.partition.node_component(src));
         }
     }
 
@@ -376,11 +451,11 @@ impl<'a> IncrementalEstimator<'a> {
     /// divergence. Scratch warnings are discarded so an audit never
     /// duplicates the missing-weight warnings the original sum recorded.
     fn audit_size_slot(&mut self, i: usize) {
-        let pm = pm_of_index(self.design, i);
+        let pm = self.cd.pm_of_index(i);
         let mut scratch = Vec::new();
         let mut total = 0u64;
         for n in self.partition.nodes_on(pm) {
-            match node_size_on_with(self.design, n, pm, &self.config, &mut scratch) {
+            match node_size_on_compiled(&self.cd, n, pm, &self.config, &mut scratch) {
                 Ok(w) => total = total.saturating_add(w),
                 Err(_) => return,
             }
@@ -401,7 +476,7 @@ impl<'a> IncrementalEstimator<'a> {
         let mut scratch_memo = vec![MemoState::default(); self.exec_memo.len()];
         let mut scratch_warnings = Vec::new();
         let Ok(recomputed) = eval_exec_time(
-            self.design,
+            &self.cd,
             &self.partition,
             &self.config,
             &mut scratch_memo,
@@ -422,8 +497,8 @@ impl<'a> IncrementalEstimator<'a> {
         let Some(cached) = self.pins_cache[i] else {
             return;
         };
-        let Ok(recomputed) = io_pins(
-            self.design,
+        let Ok(recomputed) = io_pins_compiled(
+            &self.cd,
             &self.partition,
             ProcessorId::from_raw(i as u32),
         ) else {
@@ -450,7 +525,7 @@ impl<'a> IncrementalEstimator<'a> {
     /// catch. Not part of the stable API.
     #[doc(hidden)]
     pub fn debug_corrupt_size_cache(&mut self, pm: PmRef, delta: u64) {
-        let i = pm_index(self.design, pm);
+        let i = self.cd.pm_index(pm);
         self.comp_size[i] = self.comp_size[i].wrapping_add(delta);
     }
 
@@ -473,28 +548,11 @@ impl<'a> IncrementalEstimator<'a> {
     }
 }
 
-fn pm_index(design: &Design, pm: PmRef) -> usize {
-    match pm {
-        PmRef::Processor(p) => p.index(),
-        PmRef::Memory(m) => design.processor_count() + m.index(),
-    }
-}
-
-/// Inverse of [`pm_index`]: the component a cache slot belongs to.
-fn pm_of_index(design: &Design, i: usize) -> PmRef {
-    if i < design.processor_count() {
-        PmRef::Processor(ProcessorId::from_raw(i as u32))
-    } else {
-        PmRef::Memory(slif_core::MemoryId::from_raw(
-            (i - design.processor_count()) as u32,
-        ))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exectime::ExecTimeEstimator;
+    use crate::io::io_pins;
     use crate::size::size;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -747,6 +805,33 @@ mod tests {
             inc.sync_to(&foreign),
             Err(CoreError::InvalidInput { .. })
         ));
+    }
+
+    #[test]
+    fn from_compiled_matches_internal_compile() {
+        let (design, part) = DesignGenerator::new(11)
+            .behaviors(10)
+            .variables(6)
+            .processors(2)
+            .memories(1)
+            .buses(2)
+            .build();
+        let cd = CompiledDesign::compile(&design);
+        let mut a = IncrementalEstimator::new(&design, part.clone()).unwrap();
+        let mut b = IncrementalEstimator::from_compiled(&cd, part).unwrap();
+        let n = design.graph().node_ids().next().unwrap();
+        let target: PmRef = design.processor_ids().last().unwrap().into();
+        a.move_node(n, target).unwrap();
+        b.move_node(n, target).unwrap();
+        for n in design.graph().node_ids() {
+            assert_eq!(a.exec_time(n).unwrap(), b.exec_time(n).unwrap());
+        }
+        for pm in design.pm_refs() {
+            assert_eq!(a.size(pm), b.size(pm));
+        }
+        for p in design.processor_ids() {
+            assert_eq!(a.pins(p).unwrap(), b.pins(p).unwrap());
+        }
     }
 
     #[test]

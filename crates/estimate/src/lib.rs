@@ -16,6 +16,12 @@
 //! | Eq. 4/5 (sw/hw/memory size) | [`size`] |
 //! | Eq. 6 (I/O pins) | [`io_pins`] |
 //!
+//! Estimators read a [`CompiledDesign`](slif_core::CompiledDesign) — built
+//! internally by the `new` constructors, or shared across estimators via
+//! the `from_compiled` constructors. Exploration algorithms drive either
+//! the cached [`IncrementalEstimator`] or the from-scratch
+//! [`FullEstimator`] through the one [`Evaluator`] interface.
+//!
 //! Extensions the paper names but defers:
 //!
 //! * min/max performance ([`EstimatorConfig::with_mode`]),
@@ -48,7 +54,9 @@
 
 mod bitrate;
 mod config;
+mod evaluator;
 mod exectime;
+mod full;
 mod incremental;
 mod io;
 mod report;
@@ -58,7 +66,9 @@ mod warning;
 
 pub use bitrate::BitrateEstimator;
 pub use config::{EstimatorConfig, MessagePolicy};
+pub use evaluator::Evaluator;
 pub use exectime::ExecTimeEstimator;
+pub use full::FullEstimator;
 pub use incremental::IncrementalEstimator;
 pub use io::{io_pins, pin_violation};
 pub use report::{BusReport, ComponentReport, DesignReport, ProcessReport};

@@ -143,7 +143,7 @@ impl DesignReport {
         }
 
         let exec = ExecTimeEstimator::with_config(design, partition, config);
-        let mut bitrate = BitrateEstimator::with_estimator(design, partition, exec);
+        let mut bitrate = BitrateEstimator::with_estimator(partition, exec);
         let mut buses = Vec::new();
         for b in design.bus_ids() {
             buses.push(BusReport {

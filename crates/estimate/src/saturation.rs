@@ -70,7 +70,7 @@ pub fn saturation_analysis(
         iterations += 1;
         let scaled = scaled_design(design, &slowdown);
         let exec = ExecTimeEstimator::with_config(&scaled, partition, config);
-        let mut bitrate = BitrateEstimator::with_estimator(&scaled, partition, exec);
+        let mut bitrate = BitrateEstimator::with_estimator(partition, exec);
         let mut next = vec![1.0f64; bus_count];
         for b in scaled.bus_ids() {
             if let Some(util) = bitrate.bus_utilization(b)? {

@@ -19,7 +19,7 @@
 
 use crate::config::EstimatorConfig;
 use crate::warning::EstimateWarning;
-use slif_core::{ClassId, CoreError, Design, NodeId, Partition, PmRef};
+use slif_core::{ClassId, CompiledDesign, CoreError, Design, NodeId, Partition, PmRef};
 
 /// Verifies `pm` names a component the design actually has and that its
 /// class exists, returning the class.
@@ -163,6 +163,77 @@ pub fn node_size_on_with(
             }),
         },
     }
+}
+
+/// [`checked_class`] against a compiled view.
+pub(crate) fn checked_class_compiled(
+    cd: &CompiledDesign,
+    pm: PmRef,
+) -> Result<ClassId, CoreError> {
+    if !cd.pm_exists(pm) {
+        return Err(CoreError::UnknownComponent { component: pm });
+    }
+    let class = cd.component_class(pm);
+    if class.index() >= cd.class_count() {
+        return Err(CoreError::DanglingReference {
+            what: "class",
+            index: class.index(),
+        });
+    }
+    Ok(class)
+}
+
+/// [`node_size_on_with`] against a compiled view: one dense-table load
+/// instead of a weight-list binary search.
+pub(crate) fn node_size_on_compiled(
+    cd: &CompiledDesign,
+    node: NodeId,
+    pm: PmRef,
+    config: &EstimatorConfig,
+    warnings: &mut Vec<EstimateWarning>,
+) -> Result<u64, CoreError> {
+    if node.index() >= cd.node_count() {
+        return Err(CoreError::DanglingReference {
+            what: "node",
+            index: node.index(),
+        });
+    }
+    let class = checked_class_compiled(cd, pm)?;
+    match cd.size_weight(node, class) {
+        Some(w) => Ok(w),
+        None => match config.default_size {
+            Some(fallback) => {
+                warnings.push(EstimateWarning::MissingWeight {
+                    node,
+                    list: "size",
+                    component: pm,
+                    substituted: fallback,
+                });
+                Ok(fallback)
+            }
+            None => Err(CoreError::MissingWeight {
+                node,
+                list: "size",
+                component: pm,
+            }),
+        },
+    }
+}
+
+/// [`size_with`] against a compiled view.
+pub(crate) fn size_with_compiled(
+    cd: &CompiledDesign,
+    partition: &Partition,
+    pm: PmRef,
+    config: &EstimatorConfig,
+    warnings: &mut Vec<EstimateWarning>,
+) -> Result<u64, CoreError> {
+    checked_class_compiled(cd, pm)?;
+    let mut total = 0u64;
+    for n in partition.nodes_on(pm) {
+        total = total.saturating_add(node_size_on_compiled(cd, n, pm, config, warnings)?);
+    }
+    Ok(total)
 }
 
 /// Sharing-aware hardware-size extension (the paper's reference \[1\]).

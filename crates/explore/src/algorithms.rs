@@ -161,7 +161,7 @@ pub fn explore(
     supervisor: &mut Supervisor,
 ) -> Result<SupervisedResult, ExploreError> {
     let mut est = IncrementalEstimator::new(design, start)?;
-    let c0 = cost(design, &mut est, objectives)?;
+    let c0 = cost(&mut est, objectives)?;
     let run = Run {
         evaluations: 1,
         best: est.partition().clone(),
@@ -364,7 +364,7 @@ fn run_random(
         if !targets.is_empty() {
             let target = targets[rng.gen_range(0..targets.len())];
             est.move_node(n, target)?;
-            let c = cost(design, est, objectives)?;
+            let c = cost(est, objectives)?;
             run.evaluations += 1;
             if c < run.best_cost {
                 run.best_cost = c;
@@ -455,7 +455,7 @@ fn run_greedy(
                     return Ok(stop);
                 }
                 est.move_node(n, target)?;
-                let c = cost(design, est, objectives)?;
+                let c = cost(est, objectives)?;
                 run.evaluations += 1;
                 est.move_node(n, home)?;
                 if c < current_cost && best_move.is_none_or(|(_, _, bc)| c < bc) {
@@ -576,7 +576,7 @@ fn run_annealing(
                 est.move_node(n, target)?;
                 Undo::Node(n, home)
             };
-            let c = cost(design, est, objectives)?;
+            let c = cost(est, objectives)?;
             run.evaluations += 1;
             let accept = c <= current || rng.gen::<f64>() < ((current - c) / temp).exp();
             if accept {
@@ -758,7 +758,7 @@ fn run_group_migration(
                         return Ok(stop);
                     }
                     est.move_node(n, target)?;
-                    let c = cost(design, est, objectives)?;
+                    let c = cost(est, objectives)?;
                     run.evaluations += 1;
                     est.move_node(n, home)?;
                     if best.is_none_or(|(_, _, _, bc)| c < bc) {
@@ -915,7 +915,7 @@ mod tests {
 
     fn start_cost(design: &Design, part: &Partition) -> f64 {
         let mut est = IncrementalEstimator::new(design, part.clone()).unwrap();
-        cost(design, &mut est, &Objectives::new()).unwrap()
+        cost(&mut est, &Objectives::new()).unwrap()
     }
 
     #[test]

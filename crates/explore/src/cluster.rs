@@ -131,7 +131,7 @@ pub fn cluster_partition(
             for &n in cluster {
                 est.move_node(n, pm)?;
             }
-            let c = cost(design, &mut est, objectives)?;
+            let c = cost(&mut est, objectives)?;
             evaluations += 1;
             if best.is_none_or(|(_, bc)| c < bc) {
                 best = Some((pm, c));
@@ -149,7 +149,7 @@ pub fn cluster_partition(
             }
         }
     }
-    let final_cost = cost(design, &mut est, objectives)?;
+    let final_cost = cost(&mut est, objectives)?;
     Ok(ExplorationResult {
         partition: est.into_partition(),
         cost: final_cost,
@@ -223,7 +223,7 @@ mod tests {
             .memories(1)
             .build();
         let mut est = IncrementalEstimator::new(&design, part.clone()).unwrap();
-        let c0 = cost(&design, &mut est, &Objectives::new()).unwrap();
+        let c0 = cost(&mut est, &Objectives::new()).unwrap();
         let r = cluster_partition(&design, part, &Objectives::new(), 4).unwrap();
         r.partition.validate(&design).unwrap();
         // Binding is greedy per cluster; it should not end up wildly worse

@@ -8,8 +8,8 @@
 //! pressure term on total execution time so that search keeps improving
 //! performance once feasible.
 
-use slif_core::{CoreError, Design, NodeId, PmRef};
-use slif_estimate::IncrementalEstimator;
+use slif_core::{CoreError, NodeId};
+use slif_estimate::Evaluator;
 
 /// Objectives and weights for partition scoring.
 ///
@@ -35,9 +35,23 @@ pub struct Objectives {
     pub wt_pins: f64,
     /// Weight of the total-execution-time pressure term.
     pub wt_perf: f64,
+    /// Divisor applied to the summed process execution times when **no
+    /// deadlines** are set, bringing the pressure term into the same
+    /// order of magnitude as a normalized deadline ratio. With deadlines,
+    /// the sum is normalized by the deadline budget instead and this
+    /// field is unused. Raise it to make exploration care less about raw
+    /// performance on undeadlined designs; lower it to care more.
+    pub perf_scale: f64,
 }
 
 impl Objectives {
+    /// Default [`perf_scale`](Self::perf_scale): execution times are in
+    /// technology-library time units (the corpus uses nanosecond-scale
+    /// units), so a billion units — one second of work — contributes a
+    /// pressure of `wt_perf × 1.0`, comparable to a 100% deadline
+    /// overshoot contribution under default weights.
+    pub const DEFAULT_PERF_SCALE: f64 = 1.0e9;
+
     /// Creates objectives with default weights (violations dominate the
     /// performance pressure term by orders of magnitude).
     pub fn new() -> Self {
@@ -47,6 +61,7 @@ impl Objectives {
             wt_size: 100.0,
             wt_pins: 100.0,
             wt_perf: 1.0,
+            perf_scale: Self::DEFAULT_PERF_SCALE,
         }
     }
 
@@ -95,19 +110,22 @@ impl Default for Objectives {
     }
 }
 
-/// Evaluates the cost of the estimator's current partition. Lower is
+/// Evaluates the cost of the evaluator's current partition. Lower is
 /// better; a cost below `objectives.wt_time.min(wt_size).min(wt_pins)`
 /// generally means no constraint is violated.
+///
+/// Works over any [`Evaluator`] — the cached
+/// [`IncrementalEstimator`](slif_estimate::IncrementalEstimator) in
+/// exploration loops, or the from-scratch
+/// [`FullEstimator`](slif_estimate::FullEstimator) when an uncached
+/// oracle is wanted. Everything it needs beyond the metrics (process
+/// list, constraints) comes off the evaluator's compiled view.
 ///
 /// # Errors
 ///
 /// Propagates estimation errors (unmapped objects, missing weights,
 /// recursion).
-pub fn cost(
-    design: &Design,
-    est: &mut IncrementalEstimator<'_>,
-    objectives: &Objectives,
-) -> Result<f64, CoreError> {
+pub fn cost<E: Evaluator>(est: &mut E, objectives: &Objectives) -> Result<f64, CoreError> {
     let mut total = 0.0;
 
     // Deadline violations, normalized by the deadline.
@@ -127,22 +145,18 @@ pub fn cost(
         total += objectives.wt_perf * perf_sum / perf_norm;
     } else {
         let mut sum = 0.0;
-        for n in design.graph().node_ids() {
-            if design.graph().node(n).kind().is_process() {
-                sum += est.exec_time(n)?;
-            }
+        for i in 0..est.compiled().process_nodes().len() {
+            let n = est.compiled().process_nodes()[i];
+            sum += est.exec_time(n)?;
         }
-        total += objectives.wt_perf * sum / 1.0e9;
+        total += objectives.wt_perf * sum / objectives.perf_scale;
     }
 
     // Size violations, normalized by the constraint.
-    for pm in design.pm_refs() {
-        let constraint = match pm {
-            PmRef::Processor(p) => design.processor(p).size_constraint(),
-            PmRef::Memory(m) => design.memory(m).size_constraint(),
-        };
-        if let Some(max) = constraint {
-            let used = est.size(pm);
+    for i in 0..est.compiled().pm_count() {
+        let pm = est.compiled().pm_of_index(i);
+        if let Some(max) = est.compiled().size_constraint(pm) {
+            let used = est.size(pm)?;
             if used > max {
                 total += objectives.wt_size * (used - max) as f64 / max.max(1) as f64;
             }
@@ -150,8 +164,8 @@ pub fn cost(
     }
 
     // Pin violations, normalized by the constraint.
-    for p in design.processor_ids() {
-        if let Some(max) = design.processor(p).pin_constraint() {
+    for p in est.compiled().processor_ids() {
+        if let Some(max) = est.compiled().pin_constraint(p) {
             let pins = est.pins(p)?;
             if pins > max {
                 total += objectives.wt_pins * f64::from(pins - max) / f64::from(max.max(1));
@@ -166,13 +180,14 @@ pub fn cost(
 mod tests {
     use super::*;
     use slif_core::gen::DesignGenerator;
-    use slif_core::{Bus, ClassKind, NodeKind, Partition, Processor};
+    use slif_core::{Bus, ClassKind, Design, NodeKind, Partition, Processor};
+    use slif_estimate::IncrementalEstimator;
 
     #[test]
     fn feasible_partition_costs_little() {
         let (design, part) = DesignGenerator::new(1).build();
         let mut est = IncrementalEstimator::new(&design, part).unwrap();
-        let c = cost(&design, &mut est, &Objectives::new()).unwrap();
+        let c = cost(&mut est, &Objectives::new()).unwrap();
         // No constraints in the generated design: only the pressure term.
         assert!(c >= 0.0);
         assert!(c.is_finite());
@@ -191,8 +206,8 @@ mod tests {
         let t = est.exec_time(process).unwrap();
         let loose = Objectives::new().try_with_deadline(process, t * 2.0).unwrap();
         let tight = Objectives::new().try_with_deadline(process, t / 2.0).unwrap();
-        let c_loose = cost(&design, &mut est, &loose).unwrap();
-        let c_tight = cost(&design, &mut est, &tight).unwrap();
+        let c_loose = cost(&mut est, &loose).unwrap();
+        let c_tight = cost(&mut est, &tight).unwrap();
         assert!(c_tight > c_loose + 50.0, "{c_tight} vs {c_loose}");
     }
 
@@ -208,7 +223,7 @@ mod tests {
         let mut part = Partition::new(&d);
         part.assign_node(a, tight.into());
         let mut est = IncrementalEstimator::new(&d, part).unwrap();
-        let c = cost(&d, &mut est, &Objectives::new()).unwrap();
+        let c = cost(&mut est, &Objectives::new()).unwrap();
         // 900/100 * 100 = 900 from the size violation.
         assert!(c >= 900.0, "cost {c}");
     }

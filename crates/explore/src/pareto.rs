@@ -102,7 +102,7 @@ pub fn pareto_sweep(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut est = IncrementalEstimator::new(design, start)?;
     let objectives = Objectives::new();
-    let mut current_cost = cost(design, &mut est, &objectives)?;
+    let mut current_cost = cost(&mut est, &objectives)?;
     let mut front: Vec<ParetoPoint> = Vec::new();
     let (t, g, p) = measure(design, &mut est)?;
     insert_nondominated(
@@ -135,7 +135,7 @@ pub fn pareto_sweep(
             .node_component(n)
             .ok_or(CoreError::UnmappedNode { node: n })?;
         est.move_node(n, target)?;
-        let c = cost(design, &mut est, &objectives)?;
+        let c = cost(&mut est, &objectives)?;
         // Metropolis-ish bias: always keep improving moves, sometimes
         // keep worsening ones so the sweep explores the cost surface.
         let keep = c <= current_cost || rng.gen::<f64>() < 0.3;

@@ -77,14 +77,18 @@ pub fn build_design_with(rs: &ResolvedSpec, lib: &TechnologyLibrary, options: &B
         .map(|m| d.add_class(&m.name, ClassKind::Memory))
         .collect();
 
-    // Functional objects.
+    // Functional objects. Resolution guarantees unique names on
+    // well-formed specs; after parser error recovery a duplicate can
+    // survive, in which case the first object wins and the rest are
+    // skipped — the same degrade-don't-abort policy build_channels
+    // applies to unresolvable access targets.
     for p in &spec.ports {
         let dir = match p.direction {
             Direction::In => PortDirection::In,
             Direction::Out => PortDirection::Out,
             Direction::Inout => PortDirection::InOut,
         };
-        d.graph_mut().add_port(&p.name, dir, p.ty.access_bits());
+        let _ = d.graph_mut().try_add_port(&p.name, dir, p.ty.access_bits());
     }
     for b in &spec.behaviors {
         let kind = if b.kind == BehaviorKind::Process {
@@ -92,12 +96,13 @@ pub fn build_design_with(rs: &ResolvedSpec, lib: &TechnologyLibrary, options: &B
         } else {
             NodeKind::procedure()
         };
-        d.graph_mut().add_node(&b.name, kind);
+        let _ = d.graph_mut().try_add_node(&b.name, kind);
     }
     for v in &spec.vars {
         let (words, word_bits) = v.ty.storage();
-        d.graph_mut()
-            .add_node(&v.name, NodeKind::array(words, word_bits));
+        let _ = d
+            .graph_mut()
+            .try_add_node(&v.name, NodeKind::array(words, word_bits));
     }
 
     // Per-behavior CDFGs drive both profiling and weight preprocessing.
@@ -132,7 +137,9 @@ fn tag_schedule_concurrency(
         .max()
         .map_or(0, |t| t + 1);
     for g in cdfgs {
-        let src = d.graph().node_by_name(g.name()).expect("behavior node");
+        let Some(src) = d.graph().node_by_name(g.name()) else {
+            continue;
+        };
         let result = slif_techlib::synthesize_behavior(g, model);
         for (block, sched) in g.block_ids().zip(&result.schedules) {
             let _ = block;
@@ -203,10 +210,11 @@ fn annotate_behavior_weights(
     asic_classes: &[ClassId],
 ) {
     for g in cdfgs {
-        let node = d
-            .graph()
-            .node_by_name(g.name())
-            .expect("behavior node was just added");
+        // A behavior skipped as a duplicate (or shadowed by a port of the
+        // same name) has no node of its own: skip its weights too.
+        let Some(node) = d.graph().node_by_name(g.name()) else {
+            continue;
+        };
         for (model, &class) in lib.processors.iter().zip(proc_classes) {
             let w = compile_behavior(g, model);
             d.graph_mut().node_mut(node).ict_mut().set(class, w.ict);
@@ -236,10 +244,9 @@ fn annotate_variable_weights(
     mem_classes: &[ClassId],
 ) {
     for v in &rs.spec().vars {
-        let node = d
-            .graph()
-            .node_by_name(&v.name)
-            .expect("variable node was just added");
+        let Some(node) = d.graph().node_by_name(&v.name) else {
+            continue;
+        };
         let (words, word_bits) = v.ty.storage();
         for (model, &class) in lib.processors.iter().zip(proc_classes) {
             let w = model.variable(words, word_bits);
@@ -270,10 +277,9 @@ fn annotate_variable_weights(
 
 fn build_channels(d: &mut Design, rs: &ResolvedSpec, cdfgs: &[Cdfg]) {
     for (bi, g) in cdfgs.iter().enumerate() {
-        let src = d
-            .graph()
-            .node_by_name(g.name())
-            .expect("behavior node exists");
+        let Some(src) = d.graph().node_by_name(g.name()) else {
+            continue;
+        };
         for summary in access_frequencies(g) {
             let dst: AccessTarget = if let Some(n) = d.graph().node_by_name(&summary.target) {
                 n.into()
@@ -348,7 +354,9 @@ pub(crate) fn message_bits(rs: &ResolvedSpec, behavior: usize, target: &str) -> 
 fn tag_fork_concurrency(d: &mut Design, rs: &ResolvedSpec) {
     let mut next_tag = 0u32;
     for b in &rs.spec().behaviors {
-        let src = d.graph().node_by_name(&b.name).expect("behavior node");
+        let Some(src) = d.graph().node_by_name(&b.name) else {
+            continue;
+        };
         let mut stack: Vec<&Stmt> = b.body.iter().collect();
         while let Some(stmt) = stack.pop() {
             match stmt {

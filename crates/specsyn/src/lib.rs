@@ -317,7 +317,7 @@ fn cmd_partition(args: &[String]) -> Result<String, CliError> {
     let objectives = Objectives::new();
 
     let mut est = slif_estimate::IncrementalEstimator::new(&design, start.clone())?;
-    let start_cost = slif_explore::cost(&design, &mut est, &objectives)?;
+    let start_cost = slif_explore::cost(&mut est, &objectives)?;
 
     let started = Instant::now();
     let result = match algo {

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .try_with_deadline(panel, 5.0e6)?;
 
     let mut est = IncrementalEstimator::new(&design, start.clone())?;
-    let c0 = cost(&design, &mut est, &objectives)?;
+    let c0 = cost(&mut est, &objectives)?;
     println!("answering machine, all-software start: cost {c0:.3}\n");
     println!(
         "{:<22} {:>10} {:>12} {:>12} {:>14}",

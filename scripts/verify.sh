@@ -11,7 +11,10 @@
 #    supervised annealing run on a budget, reloads the checkpoint file,
 #    and asserts the resumed run is bit-identical to an uninterrupted
 #    one. It exits nonzero on any mismatch.
-# 4. Lint gate: clippy with warnings denied, plus `unwrap_used` on
+# 4. Bench smoke: the pr3_bench binary re-measures baseline vs
+#    compiled candidate evaluation and rewrites BENCH_pr3.json, so the
+#    committed speedup record always matches the code being verified.
+# 5. Lint gate: clippy with warnings denied, plus `unwrap_used` on
 #    non-test code (without --all-targets, #[cfg(test)] code is not
 #    linted, which is exactly the carve-out we want: tests may unwrap,
 #    library paths must return typed errors). slif-explore and
@@ -25,4 +28,5 @@ cargo build --release
 cargo test -q
 cargo test -q --test fault_injection
 cargo run --release --quiet --example resume_run
+cargo run --release --quiet -p slif-bench --bin pr3_bench BENCH_pr3.json
 cargo clippy --workspace -- -D warnings -W clippy::unwrap_used

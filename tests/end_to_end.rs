@@ -60,7 +60,7 @@ fn hardware_offload_speeds_up_every_corpus_system() {
         let start = all_software_partition(&design, arch);
         let r = greedy_improve(&design, start.clone(), &Objectives::new(), 15).unwrap();
         let mut est0 = slif::estimate::IncrementalEstimator::new(&design, start).unwrap();
-        let c0 = slif::explore::cost(&design, &mut est0, &Objectives::new()).unwrap();
+        let c0 = slif::explore::cost(&mut est0, &Objectives::new()).unwrap();
         assert!(
             r.cost <= c0 + 1e-12,
             "{}: greedy worsened cost {c0} -> {}",
