@@ -269,6 +269,35 @@ impl CompiledDesign {
         }
     }
 
+    /// [`compile`](Self::compile) guarded by [`GraphLimits`]: the graph's
+    /// node/port/channel counts are audited first, and the dense
+    /// weight-table product (`nodes × classes`, the allocation a hostile
+    /// class-heavy design can blow up) is checked against
+    /// `limits.max_weight_cells` — so an over-limit design costs a typed
+    /// error, not gigabytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::LimitExceeded`] naming the violated cap.
+    pub fn compile_bounded(
+        design: &Design,
+        limits: &crate::limits::GraphLimits,
+    ) -> Result<Self, CoreError> {
+        design.graph().check_limits(limits)?;
+        let cells = design
+            .graph()
+            .node_count()
+            .saturating_mul(design.class_count());
+        if cells > limits.max_weight_cells {
+            return Err(CoreError::LimitExceeded {
+                what: "weight cell",
+                limit: limits.max_weight_cells,
+                actual: cells,
+            });
+        }
+        Ok(Self::compile(design))
+    }
+
     // ---- counts -------------------------------------------------------
 
     /// Number of behavior + variable nodes (`|BV_all|`).

@@ -106,6 +106,19 @@ pub enum CoreError {
         /// What was wrong with the input.
         message: String,
     },
+    /// A [`GraphLimits`](crate::GraphLimits) resource cap was exceeded: a
+    /// design asked for more nodes, ports, channels, or weight-table cells
+    /// than the configured guard allows. The typed refusal replaces an
+    /// unbounded allocation (or an OOM kill) on hostile input.
+    LimitExceeded {
+        /// Which cap tripped (`"node"`, `"port"`, `"channel"`,
+        /// `"weight cell"`).
+        what: &'static str,
+        /// The configured cap.
+        limit: usize,
+        /// The count that tripped it.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -165,6 +178,13 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidInput { message } => {
                 write!(f, "invalid input: {message}")
+            }
+            CoreError::LimitExceeded {
+                what,
+                limit,
+                actual,
+            } => {
+                write!(f, "{what} count {actual} exceeds the limit of {limit}")
             }
         }
     }
@@ -294,6 +314,14 @@ mod tests {
                     message: "k must be positive".into(),
                 },
                 "k must be positive",
+            ),
+            (
+                CoreError::LimitExceeded {
+                    what: "node",
+                    limit: 100,
+                    actual: 101,
+                },
+                "exceeds the limit of 100",
             ),
         ];
         for (err, needle) in all {

@@ -132,6 +132,33 @@ impl fmt::Display for CheckpointFaultKind {
     }
 }
 
+/// The operational fault classes a job-service harness can inject:
+/// failures of the *serving* machinery rather than of the data it serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RuntimeFaultKind {
+    /// A worker thread panics mid-job (the service must isolate it).
+    WorkerPanic,
+    /// The admission queue is saturated (the service must shed load
+    /// with a typed rejection, not block or drop silently).
+    QueueFull,
+}
+
+/// All runtime fault classes, in a fixed order.
+pub const ALL_RUNTIME_FAULT_KINDS: [RuntimeFaultKind; 2] = [
+    RuntimeFaultKind::WorkerPanic,
+    RuntimeFaultKind::QueueFull,
+];
+
+impl fmt::Display for RuntimeFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RuntimeFaultKind::WorkerPanic => "worker-panic",
+            RuntimeFaultKind::QueueFull => "queue-full",
+        })
+    }
+}
+
 /// A record of one applied mutation, for failure-reproduction messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppliedFault {
@@ -362,6 +389,27 @@ impl FaultInjector {
         }
     }
 
+    /// Plans a reproducible schedule of runtime faults for a `count`-job
+    /// stream: each slot is `Some(kind)` with probability `ratio` (drawn
+    /// uniformly over [`ALL_RUNTIME_FAULT_KINDS`]), else `None`. A soak
+    /// harness walks the plan as it submits jobs, so the same seed replays
+    /// the same panic/saturation pattern.
+    pub fn plan_runtime_faults(
+        &mut self,
+        count: usize,
+        ratio: f64,
+    ) -> Vec<Option<RuntimeFaultKind>> {
+        let ratio = ratio.clamp(0.0, 1.0);
+        (0..count)
+            .map(|_| {
+                self.rng.gen_bool(ratio).then(|| {
+                    ALL_RUNTIME_FAULT_KINDS
+                        [self.rng.gen_range(0usize..ALL_RUNTIME_FAULT_KINDS.len())]
+                })
+            })
+            .collect()
+    }
+
     fn pick_node(&mut self, count: usize) -> Option<NodeId> {
         (count > 0).then(|| NodeId::from_raw(self.rng.gen_range(0u32..count as u32)))
     }
@@ -459,6 +507,43 @@ mod tests {
     #[test]
     fn checkpoint_fault_kinds_display_kebab_case() {
         for kind in ALL_CHECKPOINT_FAULT_KINDS {
+            let s = kind.to_string();
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{kind:?} renders `{s}`"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_fault_plans_are_seeded_and_ratio_bounded() {
+        let a = FaultInjector::new(42).plan_runtime_faults(500, 0.3);
+        let b = FaultInjector::new(42).plan_runtime_faults(500, 0.3);
+        assert_eq!(a, b, "plans are not reproducible");
+        assert_eq!(a.len(), 500);
+        let faulted = a.iter().filter(|s| s.is_some()).count();
+        // 0.3 of 500 = 150 expected; allow a wide statistical band.
+        assert!((75..=225).contains(&faulted), "{faulted} faults of 500");
+        // Both kinds appear in a long enough plan.
+        for kind in ALL_RUNTIME_FAULT_KINDS {
+            assert!(
+                a.iter().any(|s| *s == Some(kind)),
+                "{kind} never planned"
+            );
+        }
+        assert!(FaultInjector::new(0)
+            .plan_runtime_faults(100, 0.0)
+            .iter()
+            .all(|s| s.is_none()));
+        assert!(FaultInjector::new(0)
+            .plan_runtime_faults(100, 2.0)
+            .iter()
+            .all(|s| s.is_some()));
+    }
+
+    #[test]
+    fn runtime_fault_kinds_display_kebab_case() {
+        for kind in ALL_RUNTIME_FAULT_KINDS {
             let s = kind.to_string();
             assert!(
                 s.chars().all(|c| c.is_ascii_lowercase() || c == '-'),

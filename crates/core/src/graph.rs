@@ -187,6 +187,110 @@ impl AccessGraph {
         Ok(id)
     }
 
+    /// [`try_add_node`](Self::try_add_node), refusing growth past
+    /// `limits.max_nodes` with a typed error instead of allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::LimitExceeded`] at the node cap, or any
+    /// [`try_add_node`](Self::try_add_node) error.
+    pub fn try_add_node_bounded(
+        &mut self,
+        name: impl Into<String>,
+        kind: NodeKind,
+        limits: &crate::limits::GraphLimits,
+    ) -> Result<NodeId, CoreError> {
+        if self.nodes.len() >= limits.max_nodes {
+            return Err(CoreError::LimitExceeded {
+                what: "node",
+                limit: limits.max_nodes,
+                actual: self.nodes.len() + 1,
+            });
+        }
+        self.try_add_node(name, kind)
+    }
+
+    /// [`try_add_port`](Self::try_add_port), refusing growth past
+    /// `limits.max_ports` with a typed error instead of allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::LimitExceeded`] at the port cap, or any
+    /// [`try_add_port`](Self::try_add_port) error.
+    pub fn try_add_port_bounded(
+        &mut self,
+        name: impl Into<String>,
+        direction: crate::node::PortDirection,
+        bits: u32,
+        limits: &crate::limits::GraphLimits,
+    ) -> Result<PortId, CoreError> {
+        if self.ports.len() >= limits.max_ports {
+            return Err(CoreError::LimitExceeded {
+                what: "port",
+                limit: limits.max_ports,
+                actual: self.ports.len() + 1,
+            });
+        }
+        self.try_add_port(name, direction, bits)
+    }
+
+    /// [`add_channel`](Self::add_channel), refusing growth past
+    /// `limits.max_channels` with a typed error instead of allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::LimitExceeded`] at the channel cap, or any
+    /// [`add_channel`](Self::add_channel) error.
+    pub fn try_add_channel_bounded(
+        &mut self,
+        src: NodeId,
+        dst: AccessTarget,
+        kind: AccessKind,
+        limits: &crate::limits::GraphLimits,
+    ) -> Result<ChannelId, CoreError> {
+        if self.channels.len() >= limits.max_channels {
+            return Err(CoreError::LimitExceeded {
+                what: "channel",
+                limit: limits.max_channels,
+                actual: self.channels.len() + 1,
+            });
+        }
+        self.add_channel(src, dst, kind)
+    }
+
+    /// Audits a finished graph against `limits`, reporting the first cap
+    /// exceeded. The check a consumer runs on a graph it did not build
+    /// itself (say, one deserialized from [`text`](crate::text) or built
+    /// by an unbounded frontend) before compiling or estimating it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::LimitExceeded`] naming the violated cap.
+    pub fn check_limits(&self, limits: &crate::limits::GraphLimits) -> Result<(), CoreError> {
+        if self.nodes.len() > limits.max_nodes {
+            return Err(CoreError::LimitExceeded {
+                what: "node",
+                limit: limits.max_nodes,
+                actual: self.nodes.len(),
+            });
+        }
+        if self.ports.len() > limits.max_ports {
+            return Err(CoreError::LimitExceeded {
+                what: "port",
+                limit: limits.max_ports,
+                actual: self.ports.len(),
+            });
+        }
+        if self.channels.len() > limits.max_channels {
+            return Err(CoreError::LimitExceeded {
+                what: "channel",
+                limit: limits.max_channels,
+                actual: self.channels.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// Returns the existing channel `src → dst` of the same kind, or adds
     /// one. Merging repeated accesses into one edge is how SLIF stays
     /// coarse: the frontend accumulates access frequencies on the single

@@ -83,6 +83,7 @@ mod design;
 mod error;
 mod graph;
 mod ids;
+mod limits;
 mod node;
 mod partition;
 mod txn;
@@ -103,6 +104,7 @@ pub use graph::AccessGraph;
 pub use ids::{
     AccessTarget, BusId, ChannelId, ClassId, MemoryId, NodeId, PmRef, PortId, ProcessorId,
 };
+pub use limits::GraphLimits;
 pub use node::{Node, NodeKind, Port, PortDirection};
 pub use partition::Partition;
 pub use txn::{PartitionTxn, Savepoint};

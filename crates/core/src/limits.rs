@@ -1,0 +1,123 @@
+//! Resource caps for graph construction and compilation.
+//!
+//! A design built from an untrusted specification can ask for an
+//! arbitrary number of nodes, ports, and channels — and the dense weight
+//! tables of [`CompiledDesign`](crate::CompiledDesign) multiply the node
+//! count by the class count, so a hostile input can turn a modest graph
+//! into a gigabyte allocation. [`GraphLimits`] makes every such hazard a
+//! typed [`CoreError::LimitExceeded`] instead of an OOM or a hang:
+//!
+//! * [`AccessGraph::check_limits`](crate::AccessGraph::check_limits)
+//!   audits a finished graph,
+//! * the `try_add_*_bounded` adders on
+//!   [`AccessGraph`](crate::AccessGraph) refuse growth past a cap,
+//! * [`CompiledDesign::compile_bounded`](crate::CompiledDesign::compile_bounded)
+//!   guards the compilation allocations (including the `nodes × classes`
+//!   weight-table product).
+//!
+//! The defaults are far above anything the paper's benchmarks need while
+//! still bounding worst-case memory.
+
+/// Hard caps on the size of one access graph / design.
+///
+/// # Examples
+///
+/// ```
+/// use slif_core::{AccessGraph, CoreError, GraphLimits, NodeKind};
+///
+/// let limits = GraphLimits::default().with_max_nodes(1);
+/// let mut ag = AccessGraph::new();
+/// ag.try_add_node_bounded("a", NodeKind::process(), &limits)?;
+/// let err = ag
+///     .try_add_node_bounded("b", NodeKind::process(), &limits)
+///     .unwrap_err();
+/// assert!(matches!(err, CoreError::LimitExceeded { what: "node", .. }));
+/// # Ok::<(), slif_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct GraphLimits {
+    /// Maximum behavior/variable node count (default 1 048 576).
+    pub max_nodes: usize,
+    /// Maximum external port count (default 65 536).
+    pub max_ports: usize,
+    /// Maximum channel (access) count (default 4 194 304).
+    pub max_channels: usize,
+    /// Maximum `nodes × classes` dense weight-table cells a compilation
+    /// may allocate (default 16 777 216).
+    pub max_weight_cells: usize,
+}
+
+impl Default for GraphLimits {
+    fn default() -> Self {
+        Self {
+            max_nodes: 1 << 20,
+            max_ports: 1 << 16,
+            max_channels: 1 << 22,
+            max_weight_cells: 1 << 24,
+        }
+    }
+}
+
+impl GraphLimits {
+    /// The default caps.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the node count.
+    #[must_use]
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Caps the port count.
+    #[must_use]
+    pub fn with_max_ports(mut self, max_ports: usize) -> Self {
+        self.max_ports = max_ports;
+        self
+    }
+
+    /// Caps the channel count.
+    #[must_use]
+    pub fn with_max_channels(mut self, max_channels: usize) -> Self {
+        self.max_channels = max_channels;
+        self
+    }
+
+    /// Caps the compiled weight-table size (`nodes × classes` cells).
+    #[must_use]
+    pub fn with_max_weight_cells(mut self, max_weight_cells: usize) -> Self {
+        self.max_weight_cells = max_weight_cells;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_generous() {
+        let l = GraphLimits::default();
+        assert_eq!(l.max_nodes, 1048576);
+        assert_eq!(l.max_ports, 65536);
+        assert_eq!(l.max_channels, 4194304);
+        assert_eq!(l.max_weight_cells, 16777216);
+        assert_eq!(GraphLimits::new(), l);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let l = GraphLimits::new()
+            .with_max_nodes(10)
+            .with_max_ports(5)
+            .with_max_channels(20)
+            .with_max_weight_cells(100);
+        assert_eq!(
+            (l.max_nodes, l.max_ports, l.max_channels, l.max_weight_cells),
+            (10, 5, 20, 100)
+        );
+    }
+}

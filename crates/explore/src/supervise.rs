@@ -126,6 +126,7 @@ type ProgressFn = Box<dyn FnMut(&Progress)>;
 #[derive(Default)]
 pub struct Supervisor {
     timeout: Option<Duration>,
+    absolute_deadline: Option<Instant>,
     deadline: Option<Instant>,
     budget: Option<u64>,
     cancel: CancelToken,
@@ -163,6 +164,18 @@ impl Supervisor {
     #[must_use]
     pub fn with_deadline(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Stops the run at the absolute instant `deadline`, regardless of
+    /// when the run starts. A serving layer uses this to push a per-job
+    /// deadline into the exploration it runs: the job's clock starts at
+    /// admission, not at the moment a worker thread finally picks the job
+    /// up. Combines with [`with_deadline`](Self::with_deadline) — whichever
+    /// expires first stops the run.
+    #[must_use]
+    pub fn with_deadline_at(mut self, deadline: Instant) -> Self {
+        self.absolute_deadline = Some(deadline);
         self
     }
 
@@ -213,7 +226,11 @@ impl Supervisor {
     /// Arms the deadline and resets per-run counters. Called by the run
     /// drivers; harmless to call twice.
     pub(crate) fn begin(&mut self) {
-        self.deadline = self.timeout.map(|t| Instant::now() + t);
+        let relative = self.timeout.map(|t| Instant::now() + t);
+        self.deadline = match (relative, self.absolute_deadline) {
+            (Some(r), Some(a)) => Some(r.min(a)),
+            (r, a) => r.or(a),
+        };
         self.ticks = 0;
         self.checkpoints_written = 0;
     }
@@ -306,6 +323,32 @@ mod tests {
         let mut sup = Supervisor::unlimited().with_deadline(Duration::ZERO);
         sup.begin();
         assert_eq!(sup.check(0), Some(StopReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn absolute_deadline_trips_and_combines_with_timeout() {
+        // An already-past absolute deadline trips immediately.
+        let mut sup = Supervisor::unlimited().with_deadline_at(Instant::now());
+        sup.begin();
+        assert_eq!(sup.check(0), Some(StopReason::DeadlineExpired));
+        // The earlier of the absolute deadline and the relative timeout
+        // wins: a generous timeout does not extend a past deadline...
+        let mut sup = Supervisor::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .with_deadline_at(Instant::now());
+        sup.begin();
+        assert_eq!(sup.check(0), Some(StopReason::DeadlineExpired));
+        // ...and a zero timeout is not extended by a far-off deadline.
+        let mut sup = Supervisor::unlimited()
+            .with_deadline(Duration::ZERO)
+            .with_deadline_at(Instant::now() + Duration::from_secs(3600));
+        sup.begin();
+        assert_eq!(sup.check(0), Some(StopReason::DeadlineExpired));
+        // A far-off absolute deadline alone does not stop the run.
+        let mut sup =
+            Supervisor::unlimited().with_deadline_at(Instant::now() + Duration::from_secs(3600));
+        sup.begin();
+        assert_eq!(sup.check(0), None);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Circuit breaker: trading estimate fidelity for service availability.
+//!
+//! When estimation jobs fail repeatedly (a burst of annotation-poor
+//! designs, a corrupted technology library upstream), re-running every
+//! one at full strictness keeps the whole service erroring. After
+//! [`BreakerConfig::failure_threshold`] consecutive estimator failures
+//! the breaker *opens*: estimation jobs run with the degraded
+//! configuration
+//! ([`EstimatorConfig::degraded`](slif_estimate::EstimatorConfig::degraded)),
+//! which substitutes missing weights and flags the result approximate
+//! instead of failing it. After [`BreakerConfig::cooldown`] the breaker
+//! *half-opens* and the next estimation probes at full strictness:
+//! success re-closes the breaker, failure re-opens it for another
+//! cooldown.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation: estimation runs at full strictness.
+    Closed,
+    /// Tripped: estimation runs degraded until the cooldown passes.
+    Open,
+    /// Cooldown passed: probing at full strictness.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct BreakerConfig {
+    /// Consecutive estimator failures that trip the breaker (default 5).
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before half-opening (default 1 s).
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// The default tuning.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the consecutive-failure trip threshold (minimum 1).
+    #[must_use]
+    pub fn with_failure_threshold(mut self, failure_threshold: u32) -> Self {
+        self.failure_threshold = failure_threshold.max(1);
+        self
+    }
+
+    /// Sets the open-state cooldown.
+    #[must_use]
+    pub fn with_cooldown(mut self, cooldown: Duration) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+    trips: u64,
+}
+
+/// A thread-safe consecutive-failure circuit breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                open_until: None,
+                trips: 0,
+            }),
+        }
+    }
+
+    /// The current state. Reading it performs the open → half-open
+    /// transition once the cooldown has passed.
+    pub fn state(&self) -> BreakerState {
+        let mut inner = crate::lock(&self.inner);
+        if inner.state == BreakerState::Open
+            && inner.open_until.is_none_or(|t| Instant::now() >= t)
+        {
+            inner.state = BreakerState::HalfOpen;
+        }
+        inner.state
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        crate::lock(&self.inner).trips
+    }
+
+    /// Records a full-strictness estimator success: resets the failure
+    /// streak and re-closes a half-open breaker.
+    pub fn on_success(&self) {
+        let mut inner = crate::lock(&self.inner);
+        inner.consecutive_failures = 0;
+        if inner.state == BreakerState::HalfOpen {
+            inner.state = BreakerState::Closed;
+            inner.open_until = None;
+        }
+    }
+
+    /// Records a full-strictness estimator failure: extends the streak,
+    /// trips the breaker at the threshold, and re-opens a half-open
+    /// breaker immediately (the probe failed).
+    pub fn on_failure(&self) {
+        let mut inner = crate::lock(&self.inner);
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let failed_probe = inner.state == BreakerState::HalfOpen;
+        if failed_probe || inner.consecutive_failures >= self.config.failure_threshold {
+            if inner.state != BreakerState::Open {
+                inner.trips += 1;
+            }
+            inner.state = BreakerState::Open;
+            inner.open_until = Some(Instant::now() + self.config.cooldown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_recovers_via_probe() {
+        let b = CircuitBreaker::new(
+            BreakerConfig::new()
+                .with_failure_threshold(3)
+                .with_cooldown(Duration::from_millis(10)),
+        );
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.state(), BreakerState::HalfOpen, "cooldown passed");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let b = CircuitBreaker::new(
+            BreakerConfig::new()
+                .with_failure_threshold(2)
+                .with_cooldown(Duration::from_millis(5)),
+        );
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(8));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open, "one probe failure re-opens");
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn successes_reset_the_streak() {
+        let b = CircuitBreaker::new(BreakerConfig::new().with_failure_threshold(2));
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn config_floors_and_display() {
+        let c = BreakerConfig::new().with_failure_threshold(0);
+        assert_eq!(c.failure_threshold, 1);
+        assert_eq!(BreakerState::HalfOpen.to_string(), "half-open");
+        assert_eq!(BreakerState::Closed.to_string(), "closed");
+        assert_eq!(BreakerState::Open.to_string(), "open");
+    }
+}

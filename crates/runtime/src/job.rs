@@ -1,0 +1,313 @@
+//! The unit of work a [`JobService`](crate::JobService) executes.
+//!
+//! A [`Job`] is one self-contained request against the SLIF pipeline:
+//! parse a specification, compile a design, run the full estimator
+//! report, or run a supervised exploration. Jobs own their inputs (no
+//! borrowed data crosses the queue) and produce a [`JobOutput`] or a
+//! typed [`JobError`] — never a panic, except for the documented
+//! [`Job::InjectedPanic`] fault-injection hook.
+//!
+//! [`Job::run_inline`] executes a job on the caller's thread with no
+//! service, no retries, and no deadline. It is the reference semantics:
+//! the soak suite asserts that a clean job processed by the service
+//! yields a result identical to its inline execution.
+
+use slif_core::{CompiledDesign, CoreError, Design, GraphLimits, Partition};
+use slif_estimate::{DesignReport, EstimatorConfig};
+use slif_explore::{
+    explore, Algorithm, ExploreError, Objectives, SupervisedResult, Supervisor,
+};
+use slif_speclang::{parse_with_limits, pretty, resolve, ParseLimits};
+use std::fmt;
+
+/// Resource caps under which every job runs: parser limits for
+/// specification inputs, graph limits for design inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct RunLimits {
+    /// Caps on specification source (bytes, tokens, nesting depth).
+    pub parse: ParseLimits,
+    /// Caps on design size (nodes, ports, channels, weight cells).
+    pub graph: GraphLimits,
+}
+
+impl RunLimits {
+    /// Replaces the parser limits.
+    #[must_use]
+    pub fn with_parse(mut self, parse: ParseLimits) -> Self {
+        self.parse = parse;
+        self
+    }
+
+    /// Replaces the design-graph limits.
+    #[must_use]
+    pub fn with_graph(mut self, graph: GraphLimits) -> Self {
+        self.graph = graph;
+        self
+    }
+}
+
+/// One request against the SLIF pipeline.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Job {
+    /// Parse and resolve specification source, returning its canonical
+    /// pretty-printed form.
+    ParseSpec {
+        /// The specification source text.
+        source: String,
+    },
+    /// Compile a design into its query-optimized snapshot and report its
+    /// size.
+    CompileDesign {
+        /// The design to compile.
+        design: Design,
+    },
+    /// Run the full estimator report (Equations 1–6) for a partition.
+    Estimate {
+        /// The design to estimate.
+        design: Design,
+        /// The partition to estimate it under.
+        partition: Partition,
+        /// The estimator configuration. A service may substitute a
+        /// degraded configuration while its circuit breaker is open.
+        config: EstimatorConfig,
+    },
+    /// Run a supervised exploration from a starting partition.
+    Explore {
+        /// The design to explore.
+        design: Design,
+        /// The starting partition.
+        start: Partition,
+        /// The cost objectives.
+        objectives: Objectives,
+        /// The partitioning algorithm (seeds included, so runs are
+        /// reproducible).
+        algorithm: Algorithm,
+    },
+    /// Panics on execution. The fault-injection hook for exercising the
+    /// service's panic isolation: a well-behaved service converts it into
+    /// a retried-then-failed outcome, never a process abort.
+    InjectedPanic {
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl Job {
+    /// A stable kebab-case name for the job's kind, for logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Job::ParseSpec { .. } => "parse-spec",
+            Job::CompileDesign { .. } => "compile-design",
+            Job::Estimate { .. } => "estimate",
+            Job::Explore { .. } => "explore",
+            Job::InjectedPanic { .. } => "injected-panic",
+        }
+    }
+
+    /// Executes the job on the calling thread with no supervision: default
+    /// estimator configuration handling, an unlimited supervisor, no
+    /// retries, no deadline. This is the reference semantics the service
+    /// must reproduce for clean jobs.
+    ///
+    /// # Errors
+    ///
+    /// Any typed failure of the underlying pipeline stage.
+    ///
+    /// # Panics
+    ///
+    /// Only for [`Job::InjectedPanic`], by design.
+    pub fn run_inline(&self, limits: &RunLimits) -> Result<JobOutput, JobError> {
+        self.run(limits, None, Supervisor::unlimited())
+    }
+
+    /// Executes the job under explicit control: an optional estimator
+    /// configuration override (the degraded path while a breaker is open)
+    /// and a caller-built supervisor (deadline and cancellation wiring)
+    /// for exploration jobs.
+    pub(crate) fn run(
+        &self,
+        limits: &RunLimits,
+        estimate_override: Option<EstimatorConfig>,
+        mut supervisor: Supervisor,
+    ) -> Result<JobOutput, JobError> {
+        match self {
+            Job::ParseSpec { source } => {
+                let spec = parse_with_limits(source, &limits.parse)
+                    .map_err(|e| JobError::Spec(e.to_string()))?;
+                let canonical = pretty(&spec);
+                let behaviors = spec.behaviors.len();
+                resolve(spec).map_err(|e| JobError::Spec(e.to_string()))?;
+                Ok(JobOutput::Parsed {
+                    canonical,
+                    behaviors,
+                })
+            }
+            Job::CompileDesign { design } => {
+                let cd = CompiledDesign::compile_bounded(design, &limits.graph)?;
+                Ok(JobOutput::Compiled {
+                    nodes: cd.node_count(),
+                    ports: cd.port_count(),
+                    channels: cd.channel_count(),
+                    classes: cd.class_count(),
+                })
+            }
+            Job::Estimate {
+                design,
+                partition,
+                config,
+            } => {
+                design.graph().check_limits(&limits.graph)?;
+                let cfg = estimate_override.unwrap_or(*config);
+                let report = DesignReport::compute_with(design, partition, cfg)?;
+                Ok(JobOutput::Estimated(report))
+            }
+            Job::Explore {
+                design,
+                start,
+                objectives,
+                algorithm,
+            } => {
+                design.graph().check_limits(&limits.graph)?;
+                let result =
+                    explore(design, start.clone(), objectives, algorithm, &mut supervisor)?;
+                Ok(JobOutput::Explored(result))
+            }
+            Job::InjectedPanic { message } => panic!("{message}"),
+        }
+    }
+}
+
+/// The successful result of a job.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JobOutput {
+    /// A parsed and resolved specification.
+    Parsed {
+        /// The canonical pretty-printed form of the parsed spec.
+        canonical: String,
+        /// How many behaviors (processes and procedures) it declares.
+        behaviors: usize,
+    },
+    /// A compiled design's size summary.
+    Compiled {
+        /// Node count of the compiled snapshot.
+        nodes: usize,
+        /// Port count.
+        ports: usize,
+        /// Channel count.
+        channels: usize,
+        /// Component-class count.
+        classes: usize,
+    },
+    /// A full estimator report.
+    Estimated(DesignReport),
+    /// A supervised exploration outcome (best partition seen, stop
+    /// reason, checkpoints written).
+    Explored(SupervisedResult),
+}
+
+/// A typed job failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JobError {
+    /// The specification failed to parse or resolve; the message carries
+    /// every rendered diagnostic.
+    Spec(String),
+    /// The core/estimation layer rejected the input.
+    Core(CoreError),
+    /// The exploration layer failed.
+    Explore(ExploreError),
+    /// The job panicked (possibly repeatedly, through every retry).
+    Panicked {
+        /// The final panic's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Spec(msg) => write!(f, "specification rejected: {msg}"),
+            JobError::Core(e) => write!(f, "{e}"),
+            JobError::Explore(e) => write!(f, "{e}"),
+            JobError::Panicked { message } => write!(f, "job panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<CoreError> for JobError {
+    fn from(e: CoreError) -> Self {
+        JobError::Core(e)
+    }
+}
+
+impl From<ExploreError> for JobError {
+    fn from(e: ExploreError) -> Self {
+        JobError::Explore(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_SPEC: &str = "system T;\nvar x : int<8>;\nprocess Main { x = x + 1; }\n";
+
+    #[test]
+    fn parse_job_runs_inline() {
+        let job = Job::ParseSpec {
+            source: GOOD_SPEC.to_owned(),
+        };
+        let out = job.run_inline(&RunLimits::default()).unwrap();
+        match out {
+            JobOutput::Parsed { behaviors, .. } => assert_eq!(behaviors, 1),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_spec_is_a_typed_error() {
+        let job = Job::ParseSpec {
+            source: "system ; process {".to_owned(),
+        };
+        let err = job.run_inline(&RunLimits::default()).unwrap_err();
+        assert!(matches!(err, JobError::Spec(_)));
+        assert!(err.to_string().starts_with("specification rejected"));
+    }
+
+    #[test]
+    fn over_limit_spec_is_a_typed_error() {
+        let limits = RunLimits {
+            parse: ParseLimits::default().with_max_bytes(8),
+            ..RunLimits::default()
+        };
+        let job = Job::ParseSpec {
+            source: GOOD_SPEC.to_owned(),
+        };
+        let err = job.run_inline(&limits).unwrap_err();
+        assert!(err.to_string().contains("P004"), "{err}");
+    }
+
+    #[test]
+    fn job_kinds_are_kebab_case() {
+        let job = Job::InjectedPanic {
+            message: "boom".to_owned(),
+        };
+        assert_eq!(job.kind(), "injected-panic");
+    }
+
+    #[test]
+    fn injected_panic_panics() {
+        let job = Job::InjectedPanic {
+            message: "seeded fault".to_owned(),
+        };
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = job.run_inline(&RunLimits::default());
+        }));
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! The bounded admission queue and its typed rejections.
+//!
+//! Backpressure is explicit: a full queue rejects new work with
+//! [`Rejected::QueueFull`] instead of blocking the submitter or growing
+//! without bound. Retried tasks re-enter past the capacity check — they
+//! were already admitted once, and shedding them would turn a transient
+//! fault into a lost job.
+
+use crate::handle::HandleState;
+use crate::job::Job;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Why the service refused to admit a job. Returned synchronously by
+/// `submit`; a rejected job never gets a handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Rejected {
+    /// The queue is at capacity; retry later (backpressure).
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The job's input exceeds an admission size guard.
+    TooLarge {
+        /// Which measure tripped (`"spec bytes"`, `"node"`, `"channel"`).
+        what: &'static str,
+        /// The configured cap.
+        limit: usize,
+        /// The measured size.
+        actual: usize,
+    },
+    /// The service is shutting down and admits nothing.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity}); retry later")
+            }
+            Rejected::TooLarge {
+                what,
+                limit,
+                actual,
+            } => write!(f, "{what} count {actual} exceeds the admission limit of {limit}"),
+            Rejected::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// One queued unit of work: a job plus its bookkeeping.
+#[derive(Debug)]
+pub(crate) struct Task {
+    /// Service-assigned id.
+    pub id: u64,
+    /// The work itself.
+    pub job: Job,
+    /// Execution attempts made so far (0 before the first run).
+    pub attempts: u32,
+    /// Earliest instant a worker may run this task (retry backoff).
+    pub not_before: Option<Instant>,
+    /// Absolute deadline; expired tasks resolve as timed out.
+    pub deadline: Option<Instant>,
+    /// The submitter's completion slot.
+    pub handle: Arc<HandleState>,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    items: VecDeque<Task>,
+    closed: bool,
+    discarding: bool,
+}
+
+/// A bounded MPMC task queue with backoff-aware popping.
+#[derive(Debug)]
+pub(crate) struct TaskQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl TaskQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                discarding: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits a new task if there is room. On a full or closed queue the
+    /// task is handed back so the caller can resolve or reject it.
+    // A rejected task must travel back whole (it owns the job and the
+    // caller's handle); it was moved in by value, so the large Err is a
+    // return of ownership, not an extra copy.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn try_push(&self, task: Task) -> Result<(), (Task, Rejected)> {
+        let mut st = crate::lock(&self.state);
+        if st.closed {
+            return Err((task, Rejected::ShuttingDown));
+        }
+        if st.items.len() >= self.capacity {
+            return Err((
+                task,
+                Rejected::QueueFull {
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        st.items.push_back(task);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Re-enqueues an already-admitted task (a retry). Bypasses the
+    /// capacity check — shedding an admitted job would lose it. A
+    /// graceful (draining) close still accepts retries so they reach a
+    /// real terminal state; a discarding close refuses them so the
+    /// caller can cancel the job instead of stranding it.
+    #[allow(clippy::result_large_err)] // ownership handed back, as in try_push
+    pub(crate) fn requeue(&self, task: Task) -> Result<(), Task> {
+        let mut st = crate::lock(&self.state);
+        if st.discarding {
+            return Err(task);
+        }
+        st.items.push_back(task);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next runnable task — the oldest one whose backoff
+    /// window has passed. Returns `None` once the queue is closed *and*
+    /// drained, which is each worker's signal to exit.
+    pub(crate) fn pop(&self) -> Option<Task> {
+        let mut st = crate::lock(&self.state);
+        loop {
+            let now = Instant::now();
+            if let Some(i) = st
+                .items
+                .iter()
+                .position(|t| t.not_before.is_none_or(|nb| nb <= now))
+            {
+                return st.items.remove(i);
+            }
+            if st.closed && st.items.is_empty() {
+                return None;
+            }
+            // Everything queued is in a backoff window (or the queue is
+            // empty): sleep until the earliest window opens, or until a
+            // push/close notifies us.
+            let earliest = st
+                .items
+                .iter()
+                .filter_map(|t| t.not_before)
+                .min()
+                .map(|nb| nb.saturating_duration_since(now));
+            st = match earliest {
+                Some(wait) if !wait.is_zero() => {
+                    self.cv
+                        .wait_timeout(st, wait)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .0
+                }
+                Some(_) => continue,
+                None => self
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            };
+        }
+    }
+
+    /// Closes the queue. With `discard`, drains and returns every queued
+    /// task (for cancellation); without, workers keep draining the
+    /// remainder before exiting.
+    pub(crate) fn close(&self, discard: bool) -> Vec<Task> {
+        let mut st = crate::lock(&self.state);
+        st.closed = true;
+        st.discarding = st.discarding || discard;
+        let leftovers = if discard {
+            st.items.drain(..).collect()
+        } else {
+            Vec::new()
+        };
+        self.cv.notify_all();
+        leftovers
+    }
+
+    /// Current queue depth (admitted, not yet running).
+    pub(crate) fn depth(&self) -> usize {
+        crate::lock(&self.state).items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::JobHandle;
+    use std::time::Duration;
+
+    fn task(id: u64, not_before: Option<Instant>) -> Task {
+        let (_, handle) = JobHandle::new(id);
+        Task {
+            id,
+            job: Job::ParseSpec {
+                source: String::new(),
+            },
+            attempts: 0,
+            not_before,
+            deadline: None,
+            handle,
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced_for_new_work_only() {
+        let q = TaskQueue::new(1);
+        q.try_push(task(0, None)).unwrap();
+        let (_, why) = q.try_push(task(1, None)).unwrap_err();
+        assert_eq!(why, Rejected::QueueFull { capacity: 1 });
+        // A retry re-enters past the cap.
+        q.requeue(task(2, None)).unwrap();
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn pop_skips_backoff_windows() {
+        let q = TaskQueue::new(8);
+        let later = Instant::now() + Duration::from_secs(60);
+        q.try_push(task(0, Some(later))).unwrap();
+        q.try_push(task(1, None)).unwrap();
+        // The runnable task is picked over the older backed-off one.
+        let got = q.pop().map(|t| t.id);
+        assert_eq!(got, Some(1));
+    }
+
+    #[test]
+    fn pop_waits_out_a_short_backoff() {
+        let q = TaskQueue::new(8);
+        let soon = Instant::now() + Duration::from_millis(20);
+        q.try_push(task(0, Some(soon))).unwrap();
+        let start = Instant::now();
+        let got = q.pop().map(|t| t.id);
+        assert_eq!(got, Some(0));
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn close_drained_queue_ends_workers() {
+        let q = TaskQueue::new(8);
+        q.close(false);
+        assert!(q.pop().is_none());
+        // New work is refused after close.
+        let (_, why) = q.try_push(task(0, None)).unwrap_err();
+        assert_eq!(why, Rejected::ShuttingDown);
+    }
+
+    #[test]
+    fn close_with_discard_returns_leftovers() {
+        let q = TaskQueue::new(8);
+        q.try_push(task(0, None)).unwrap();
+        q.try_push(task(1, None)).unwrap();
+        let leftovers = q.close(true);
+        assert_eq!(leftovers.len(), 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn rejections_display() {
+        assert!(Rejected::QueueFull { capacity: 4 }
+            .to_string()
+            .contains("capacity 4"));
+        assert!(Rejected::TooLarge {
+            what: "node",
+            limit: 10,
+            actual: 11
+        }
+        .to_string()
+        .contains("admission limit"));
+        assert!(Rejected::ShuttingDown.to_string().contains("shutting down"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Retry policy: exponential backoff with seeded jitter.
+//!
+//! The retryable failure class is the *transient* one — a worker panic —
+//! not typed pipeline errors, which are deterministic: a spec that fails
+//! to parse will fail identically on every attempt, so retrying it only
+//! burns queue time. Backoff doubles per attempt up to a cap, and jitter
+//! (drawn from the service's seeded RNG, so soak runs are reproducible)
+//! spreads concurrent retries so they do not stampede.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Duration;
+
+/// How (and how often) a transient failure is retried.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct RetryPolicy {
+    /// Total execution attempts, the first included (default 3). A value
+    /// of 1 disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry (default 10 ms); doubles each
+    /// further retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff (default 1 s).
+    pub max_delay: Duration,
+    /// Jitter fraction in `[0, 1]` (default 0.5): each backoff is scaled
+    /// by a factor drawn uniformly from `[1 - jitter/2, 1 + jitter/2]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the total attempt count (minimum 1).
+    #[must_use]
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Sets the first backoff delay.
+    #[must_use]
+    pub fn with_base_delay(mut self, base_delay: Duration) -> Self {
+        self.base_delay = base_delay;
+        self
+    }
+
+    /// Sets the backoff cap.
+    #[must_use]
+    pub fn with_max_delay(mut self, max_delay: Duration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the jitter fraction (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Whether another attempt is allowed after `attempts` have failed.
+    pub fn should_retry(&self, attempts: u32) -> bool {
+        attempts < self.max_attempts
+    }
+
+    /// The backoff to wait before retry number `attempts` (1-based count
+    /// of failures so far): `base · 2^(attempts-1)`, capped at
+    /// [`max_delay`](Self::max_delay), scaled by the jitter factor.
+    pub fn backoff(&self, attempts: u32, rng: &mut StdRng) -> Duration {
+        let doublings = attempts.saturating_sub(1).min(32);
+        let raw = self.base_delay.as_secs_f64() * f64::from(1u32 << doublings.min(31));
+        let capped = raw.min(self.max_delay.as_secs_f64());
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let factor = if jitter > 0.0 {
+            1.0 - jitter / 2.0 + rng.gen_range(0.0..jitter)
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn defaults_and_builders() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.base_delay, Duration::from_millis(10));
+        let p = RetryPolicy::new()
+            .with_max_attempts(0)
+            .with_jitter(7.0)
+            .with_base_delay(Duration::from_millis(1))
+            .with_max_delay(Duration::from_millis(8));
+        assert_eq!(p.max_attempts, 1, "attempt floor");
+        assert!((p.jitter - 1.0).abs() < f64::EPSILON, "jitter clamp");
+    }
+
+    #[test]
+    fn retry_budget_counts_total_attempts() {
+        let p = RetryPolicy::new().with_max_attempts(3);
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(2));
+        assert!(!p.should_retry(3));
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy::new()
+            .with_base_delay(Duration::from_millis(10))
+            .with_max_delay(Duration::from_millis(40))
+            .with_jitter(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.backoff(1, &mut rng), Duration::from_millis(10));
+        assert_eq!(p.backoff(2, &mut rng), Duration::from_millis(20));
+        assert_eq!(p.backoff(3, &mut rng), Duration::from_millis(40));
+        assert_eq!(p.backoff(4, &mut rng), Duration::from_millis(40), "cap");
+        assert_eq!(p.backoff(64, &mut rng), Duration::from_millis(40), "no overflow");
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_seeded() {
+        let p = RetryPolicy::new()
+            .with_base_delay(Duration::from_millis(100))
+            .with_max_delay(Duration::from_secs(10))
+            .with_jitter(0.5);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for attempt in 1..=4 {
+            let da = p.backoff(attempt, &mut a);
+            let db = p.backoff(attempt, &mut b);
+            assert_eq!(da, db, "same seed, same backoff");
+            let nominal = 100.0 * f64::from(1u32 << (attempt - 1));
+            let ms = da.as_secs_f64() * 1000.0;
+            assert!(
+                ms >= nominal * 0.75 - 1e-6 && ms <= nominal * 1.25 + 1e-6,
+                "attempt {attempt}: {ms} ms outside ±25% of {nominal}"
+            );
+        }
+    }
+}

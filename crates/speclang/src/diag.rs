@@ -50,6 +50,11 @@ pub mod codes {
     pub const PARSE_CONSTRAINT: &str = "P002";
     /// Error recovery gave up (diagnostic limit reached).
     pub const PARSE_TOO_MANY_ERRORS: &str = "P003";
+    /// A [`ParseLimits`](crate::ParseLimits) resource cap was exceeded:
+    /// the input is too many bytes or tokens, or nests too deeply. The
+    /// parser refuses (or truncates) instead of grinding on pathological
+    /// input.
+    pub const PARSE_LIMIT: &str = "P004";
     /// A name is not defined, or used in the wrong role.
     pub const RESOLVE_NAME: &str = "R001";
     /// A constant expression could not be evaluated.

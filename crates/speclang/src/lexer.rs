@@ -8,6 +8,12 @@ use crate::diag::{codes, Diagnostic};
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
+/// The lexer stops recording diagnostics past this count; scanning keeps
+/// going (the token stream still covers the whole source), but a `P003`
+/// marker replaces the overflow. Bounds the memory a pathological input
+/// (say, a megabyte of `@`s) can claim through error reporting.
+const MAX_LEX_DIAGNOSTICS: usize = 64;
+
 /// Tokenizes `source`, returning the tokens followed by an `Eof` token.
 ///
 /// # Errors
@@ -52,6 +58,22 @@ impl<'s> Lexer<'s> {
     fn run(mut self) -> (Vec<Token>, Vec<Diagnostic>) {
         let mut out = Vec::new();
         let mut diags = Vec::new();
+        // Records a diagnostic up to the cap; the first overflow becomes a
+        // single `P003` marker and the rest are dropped (scanning continues).
+        let record = |diags: &mut Vec<Diagnostic>, diag: Diagnostic| {
+            if diags.len() < MAX_LEX_DIAGNOSTICS {
+                diags.push(diag);
+            } else if diags.len() == MAX_LEX_DIAGNOSTICS {
+                let span = diag.span();
+                diags.push(Diagnostic::error(
+                    span,
+                    codes::PARSE_TOO_MANY_ERRORS,
+                    format!(
+                        "too many lexical diagnostics; reporting the first {MAX_LEX_DIAGNOSTICS}"
+                    ),
+                ));
+            }
+        };
         loop {
             self.skip_trivia();
             let start = self.pos;
@@ -67,7 +89,7 @@ impl<'s> Lexer<'s> {
                 b'0'..=b'9' => match self.number() {
                     Ok(kind) => kind,
                     Err(diag) => {
-                        diags.push(diag);
+                        record(&mut diags, diag);
                         continue; // the malformed literal was consumed
                     }
                 },
@@ -94,9 +116,11 @@ impl<'s> Lexer<'s> {
                         self.bump();
                         TokenKind::Ne
                     } else {
-                        diags.push(self.error_at(start, line, col, "expected `!=`").with_code(
-                            codes::LEX_BAD_OPERATOR,
-                        ));
+                        record(
+                            &mut diags,
+                            self.error_at(start, line, col, "expected `!=`")
+                                .with_code(codes::LEX_BAD_OPERATOR),
+                        );
                         continue;
                     }
                 }
@@ -115,7 +139,8 @@ impl<'s> Lexer<'s> {
                         self.bump();
                         TokenKind::DotDot
                     } else {
-                        diags.push(
+                        record(
+                            &mut diags,
                             self.error_at(start, line, col, "expected `..`")
                                 .with_code(codes::LEX_BAD_OPERATOR),
                         );
@@ -124,7 +149,8 @@ impl<'s> Lexer<'s> {
                 }
                 other => {
                     self.bump();
-                    diags.push(
+                    record(
+                        &mut diags,
                         self.error_at(
                             start,
                             line,

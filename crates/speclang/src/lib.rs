@@ -39,6 +39,7 @@ pub mod ast;
 pub mod corpus;
 mod diag;
 mod lexer;
+mod limits;
 mod parser;
 mod pretty;
 mod resolver;
@@ -48,7 +49,8 @@ mod token;
 pub use ast::Spec;
 pub use diag::{codes, Diagnostic, Severity, SpecError};
 pub use lexer::{lex, lex_recovering};
-pub use parser::{parse, parse_partial};
+pub use limits::ParseLimits;
+pub use parser::{parse, parse_partial, parse_partial_with_limits, parse_with_limits};
 pub use pretty::{expr_str, pretty};
 pub use resolver::{resolve, GlobalSymbol, LocalSymbol, ResolvedSpec, Symbol, BUILTINS};
 pub use span::Span;

@@ -1,0 +1,104 @@
+//! Resource caps for parsing hostile or pathological specifications.
+//!
+//! A specification that arrives over a network boundary (or from a fault
+//! injector) can be arbitrarily large, arbitrarily token-dense, or nested
+//! arbitrarily deep. Left unchecked, each of those is a denial of service
+//! on the parser: memory for the token vector, stack for the recursive
+//! descent, and time for all of it. [`ParseLimits`] turns each hazard
+//! into a typed [`Diagnostic`](crate::Diagnostic) with the dedicated
+//! [`codes::PARSE_LIMIT`](crate::codes::PARSE_LIMIT) code instead.
+//!
+//! The defaults are far above anything a legitimate specification needs
+//! (the paper's largest benchmark is under 4 KiB of source) while still
+//! small enough to bound worst-case work; the strict entry points
+//! [`parse`](crate::parse) and [`parse_partial`](crate::parse_partial)
+//! apply them implicitly.
+
+/// Hard caps applied while parsing one specification.
+///
+/// # Examples
+///
+/// ```
+/// use slif_speclang::{codes, parse_with_limits, ParseLimits};
+///
+/// let limits = ParseLimits::default().with_max_bytes(16);
+/// let err = parse_with_limits("system WayTooLong;", &limits).unwrap_err();
+/// assert_eq!(err.diagnostics()[0].code(), codes::PARSE_LIMIT);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ParseLimits {
+    /// Maximum source length in bytes; longer inputs are rejected before
+    /// lexing (default 1 MiB).
+    pub max_bytes: usize,
+    /// Maximum token count; the stream is truncated at the cap and the
+    /// truncation diagnosed (default 262 144).
+    pub max_tokens: usize,
+    /// Maximum nesting depth of blocks, `if` chains, and expressions
+    /// (default 64).
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        Self {
+            max_bytes: 1 << 20,
+            max_tokens: 1 << 18,
+            max_depth: 64,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// The default caps (1 MiB, 262 144 tokens, depth 64).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the source length in bytes.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Caps the token count.
+    #[must_use]
+    pub fn with_max_tokens(mut self, max_tokens: usize) -> Self {
+        self.max_tokens = max_tokens;
+        self
+    }
+
+    /// Caps the nesting depth. A depth of 0 is treated as 1 (a flat
+    /// behavior body is always parsable).
+    #[must_use]
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_generous() {
+        let l = ParseLimits::default();
+        assert_eq!(l.max_bytes, 1048576);
+        assert_eq!(l.max_tokens, 262144);
+        assert_eq!(l.max_depth, 64);
+        assert_eq!(ParseLimits::new(), l);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let l = ParseLimits::new()
+            .with_max_bytes(100)
+            .with_max_tokens(50)
+            .with_max_depth(4);
+        assert_eq!(l.max_bytes, 100);
+        assert_eq!(l.max_tokens, 50);
+        assert_eq!(l.max_depth, 4);
+    }
+}

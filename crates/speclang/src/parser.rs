@@ -6,6 +6,7 @@ use crate::ast::{
 };
 use crate::diag::{codes, Diagnostic, SpecError};
 use crate::lexer::lex_recovering;
+use crate::limits::ParseLimits;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
@@ -38,7 +39,17 @@ const MAX_DIAGNOSTICS: usize = 64;
 /// # Ok::<(), slif_speclang::SpecError>(())
 /// ```
 pub fn parse(source: &str) -> Result<Spec, SpecError> {
-    let (spec, diags) = parse_partial(source);
+    parse_with_limits(source, &ParseLimits::default())
+}
+
+/// [`parse`] under explicit [`ParseLimits`] resource caps.
+///
+/// # Errors
+///
+/// A [`SpecError`] aggregating every [`Diagnostic`] found; an exceeded
+/// cap is reported with the dedicated [`codes::PARSE_LIMIT`] code.
+pub fn parse_with_limits(source: &str, limits: &ParseLimits) -> Result<Spec, SpecError> {
+    let (spec, diags) = parse_partial_with_limits(source, limits);
     if diags.iter().any(Diagnostic::is_error) {
         Err(SpecError::batch(diags))
     } else {
@@ -52,12 +63,62 @@ pub fn parse(source: &str) -> Result<Spec, SpecError> {
 /// Declarations and statements that fail to parse are dropped from the
 /// AST; everything before and after a synchronization point survives.
 pub fn parse_partial(source: &str) -> (Spec, Vec<Diagnostic>) {
-    let (tokens, lex_diags) = lex_recovering(source);
+    parse_partial_with_limits(source, &ParseLimits::default())
+}
+
+/// [`parse_partial`] under explicit [`ParseLimits`] resource caps.
+///
+/// An input over `max_bytes` is not lexed at all (the returned [`Spec`]
+/// is empty); an input over `max_tokens` is truncated at the cap and
+/// parsed up to there; nesting past `max_depth` is reported and recovered
+/// from like any other statement-level error. Every cap violation is a
+/// [`codes::PARSE_LIMIT`] diagnostic.
+pub fn parse_partial_with_limits(source: &str, limits: &ParseLimits) -> (Spec, Vec<Diagnostic>) {
+    let empty_spec = || Spec {
+        name: String::new(),
+        ports: Vec::new(),
+        consts: Vec::new(),
+        vars: Vec::new(),
+        behaviors: Vec::new(),
+    };
+    if source.len() > limits.max_bytes {
+        let diag = Diagnostic::error(
+            Span::new(0, 0, 1, 1),
+            codes::PARSE_LIMIT,
+            format!(
+                "specification is {} bytes; the limit is {}",
+                source.len(),
+                limits.max_bytes
+            ),
+        );
+        return (empty_spec(), vec![diag]);
+    }
+    let (mut tokens, mut lex_diags) = lex_recovering(source);
+    // `tokens` always ends with Eof; the cap counts real tokens only.
+    if tokens.len() - 1 > limits.max_tokens {
+        let cut_span = tokens[limits.max_tokens].span;
+        lex_diags.push(Diagnostic::error(
+            cut_span,
+            codes::PARSE_LIMIT,
+            format!(
+                "specification has {} tokens; the limit is {} (input truncated there)",
+                tokens.len() - 1,
+                limits.max_tokens
+            ),
+        ));
+        tokens.truncate(limits.max_tokens);
+        tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: cut_span,
+        });
+    }
     let mut parser = Parser {
         tokens,
         pos: 0,
         hoisted_locals: Vec::new(),
         diags: lex_diags,
+        depth: 0,
+        max_depth: limits.max_depth.max(1),
     };
     let spec = parser.spec_recovering();
     let mut diags = parser.diags;
@@ -80,6 +141,10 @@ struct Parser {
     hoisted_locals: Vec<VarDecl>,
     /// Diagnostics accumulated across recovery points.
     diags: Vec<Diagnostic>,
+    /// Current nesting depth of blocks, `if` chains, and expressions.
+    depth: usize,
+    /// The [`ParseLimits::max_depth`] cap (at least 1).
+    max_depth: usize,
 }
 
 impl Parser {
@@ -372,6 +437,13 @@ impl Parser {
     /// A malformed statement is reported and skipped (synchronizing at the
     /// next `;` or the closing `}`), so the rest of the block still parses.
     fn block(&mut self) -> Result<Vec<Stmt>, Diagnostic> {
+        self.descend()?;
+        let result = self.block_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn block_inner(&mut self) -> Result<Vec<Stmt>, Diagnostic> {
         self.expect(TokenKind::LBrace)?;
         let mut body = Vec::new();
         loop {
@@ -488,6 +560,13 @@ impl Parser {
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        self.descend()?;
+        let result = self.if_stmt_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn if_stmt_inner(&mut self) -> Result<Stmt, Diagnostic> {
         let span = self.span();
         self.expect(TokenKind::If)?;
         let cond = self.expr()?;
@@ -555,7 +634,10 @@ impl Parser {
 
     // Expression precedence: or < and < comparison < add < mul < unary.
     fn expr(&mut self) -> Result<Expr, Diagnostic> {
-        self.or_expr()
+        self.descend()?;
+        let result = self.or_expr();
+        self.depth -= 1;
+        result
     }
 
     fn or_expr(&mut self) -> Result<Expr, Diagnostic> {
@@ -629,6 +711,13 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.descend()?;
+        let result = self.unary_expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, Diagnostic> {
         let span = self.span();
         match self.peek() {
             TokenKind::Minus => {
@@ -705,6 +794,22 @@ impl Parser {
     }
 
     // --- token plumbing ---
+
+    /// Enters one nesting level (block, `if` chain, or expression),
+    /// refusing with a [`codes::PARSE_LIMIT`] diagnostic at the cap. The
+    /// caller decrements `depth` when the level is done — on both the Ok
+    /// and the Err path, so recovery never leaks depth.
+    fn descend(&mut self) -> Result<(), Diagnostic> {
+        if self.depth >= self.max_depth {
+            return Err(Diagnostic::error(
+                self.span(),
+                codes::PARSE_LIMIT,
+                format!("nesting exceeds the depth limit of {}", self.max_depth),
+            ));
+        }
+        self.depth += 1;
+        Ok(())
+    }
 
     fn peek(&self) -> &TokenKind {
         &self.tokens[self.pos].kind
@@ -1076,6 +1181,101 @@ mod tests {
             diags.last().unwrap().code(),
             super::codes::PARSE_TOO_MANY_ERRORS
         );
+    }
+
+    #[test]
+    fn oversized_input_is_refused_before_lexing() {
+        let limits = ParseLimits::default().with_max_bytes(32);
+        let src = "system T;\n".repeat(16);
+        let (spec, diags) = parse_partial_with_limits(&src, &limits);
+        assert!(spec.name.is_empty() && spec.behaviors.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), codes::PARSE_LIMIT);
+        assert!(diags[0].message().contains("bytes"));
+        assert!(parse_with_limits(&src, &limits).is_err());
+    }
+
+    #[test]
+    fn token_flood_is_truncated_at_the_cap() {
+        let mut src = String::from("system T;\nvar x : int<8>;\n");
+        for _ in 0..100 {
+            src.push_str("proc p() { x = 1; }\n"); // overwhelm the token cap
+        }
+        let limits = ParseLimits::default().with_max_tokens(40);
+        let (spec, diags) = parse_partial_with_limits(&src, &limits);
+        assert!(
+            diags.iter().any(|d| d.code() == codes::PARSE_LIMIT),
+            "no limit diagnostic in {diags:?}"
+        );
+        // The prefix before the cut still parsed.
+        assert_eq!(spec.name, "T");
+        assert!(spec.vars.iter().any(|v| v.name == "x"));
+    }
+
+    #[test]
+    fn deep_expression_nesting_is_capped_not_overflowed() {
+        // 500 nested parens would overflow the stack of an unguarded
+        // recursive-descent parser; the cap reports P004 instead.
+        let mut src = String::from("system T;\nvar x : int<8>;\nproc P() { x = ");
+        src.push_str(&"(".repeat(500));
+        src.push('1');
+        src.push_str(&")".repeat(500));
+        src.push_str("; }\n");
+        let (_, diags) = parse_partial(&src);
+        assert!(
+            diags.iter().any(|d| d.code() == codes::PARSE_LIMIT),
+            "no depth diagnostic in {} diags",
+            diags.len()
+        );
+    }
+
+    #[test]
+    fn deep_block_nesting_is_capped_not_overflowed() {
+        let mut src = String::from("system T;\nvar x : int<8>;\nprocess P { ");
+        src.push_str(&"if x > 0 { ".repeat(400));
+        src.push_str("x = 1; ");
+        src.push_str(&"} ".repeat(400));
+        src.push_str("}\n");
+        let (_, diags) = parse_partial(&src);
+        assert!(
+            diags.iter().any(|d| d.code() == codes::PARSE_LIMIT),
+            "no depth diagnostic"
+        );
+    }
+
+    #[test]
+    fn unary_chains_are_depth_capped() {
+        // (`--` would lex as a VHDL comment, so chain `not` instead.)
+        let mut src = String::from("system T;\nvar x : int<8>;\nproc P() { x = ");
+        src.push_str(&"not ".repeat(500));
+        src.push_str("1; }\n");
+        let (_, diags) = parse_partial(&src);
+        assert!(diags.iter().any(|d| d.code() == codes::PARSE_LIMIT));
+    }
+
+    #[test]
+    fn corpus_parses_within_default_limits() {
+        for entry in crate::corpus::all() {
+            let (_, diags) = parse_partial_with_limits(entry.source, &ParseLimits::default());
+            assert!(
+                diags.iter().all(|d| d.code() != codes::PARSE_LIMIT),
+                "{} trips the default limits",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_continues_after_a_depth_trip() {
+        // A pathologically deep behavior must not take down its siblings.
+        let mut src = String::from("system T;\nvar x : int<8>;\nproc Bad() { x = ");
+        src.push_str(&"(".repeat(200));
+        src.push('1');
+        src.push_str(&")".repeat(200));
+        src.push_str("; }\nproc Good() { x = 2; }\n");
+        let (spec, diags) = parse_partial(&src);
+        assert!(diags.iter().any(|d| d.code() == codes::PARSE_LIMIT));
+        assert!(spec.behavior("Good").is_some(), "recovery lost proc Good");
     }
 
     #[test]

@@ -11,22 +11,30 @@
 #    supervised annealing run on a budget, reloads the checkpoint file,
 #    and asserts the resumed run is bit-identical to an uninterrupted
 #    one. It exits nonzero on any mismatch.
-# 4. Bench smoke: the pr3_bench binary re-measures baseline vs
+# 4. Runtime soak: 500 mixed jobs (>30% injected faults — worker
+#    panics, malformed/corrupted/oversized inputs) through a 4-worker
+#    JobService; asserts exactly-one-terminal-state per job, bit-identity
+#    with inline execution for clean jobs, and balanced health books.
+#    The serve_batch example smoke-tests the same service end to end.
+# 5. Bench smoke: the pr3_bench binary re-measures baseline vs
 #    compiled candidate evaluation and rewrites BENCH_pr3.json, so the
 #    committed speedup record always matches the code being verified.
-# 5. Lint gate: clippy with warnings denied, plus `unwrap_used` on
+# 6. Lint gate: clippy with warnings denied, plus `unwrap_used` on
 #    non-test code (without --all-targets, #[cfg(test)] code is not
 #    linted, which is exactly the carve-out we want: tests may unwrap,
 #    library paths must return typed errors). slif-explore and
 #    slif-estimate carry `#![warn(clippy::expect_used)]` at crate level
 #    — `-D warnings` promotes it, so the checkpoint and self-audit paths
-#    can never panic on bad input.
+#    can never panic on bad input. slif-runtime warns on expect_used too:
+#    serving code must degrade, not die.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo test -q --test fault_injection
+cargo test -q --test runtime_soak
 cargo run --release --quiet --example resume_run
+cargo run --release --quiet --example serve_batch
 cargo run --release --quiet -p slif-bench --bin pr3_bench BENCH_pr3.json
 cargo clippy --workspace -- -D warnings -W clippy::unwrap_used

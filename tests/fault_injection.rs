@@ -9,7 +9,7 @@
 //! missing-weight errors into warnings.
 
 use proptest::prelude::*;
-use slif::core::faults::{FaultInjector, ALL_CHECKPOINT_FAULT_KINDS};
+use slif::core::faults::{FaultInjector, RuntimeFaultKind, ALL_CHECKPOINT_FAULT_KINDS};
 use slif::core::gen::DesignGenerator;
 use slif::core::validate::validate;
 use slif::core::{CoreError, Design, Partition};
@@ -19,6 +19,7 @@ use slif::explore::{
     Objectives, StopReason, Supervisor,
 };
 use slif::frontend::{all_software_partition, allocate_proc_asic, build_design};
+use slif::runtime::{Job, JobOutcome, JobService, RetryPolicy, ServiceConfig};
 use slif::speclang::corpus;
 use slif::techlib::TechnologyLibrary;
 use std::path::PathBuf;
@@ -366,6 +367,122 @@ fn incremental_self_audit_repairs_a_corrupted_cache_entry() {
     // After a full sweep the caches agree with from-scratch estimation.
     est.audit_now();
     assert_eq!(est.audit_now(), 0, "repair did not converge");
+}
+
+#[test]
+fn corrupted_designs_submitted_as_jobs_resolve_typed_never_abort() {
+    // The service-level half of the corruption contract: a corrupted
+    // design submitted as an estimation job must resolve to exactly one
+    // typed outcome that agrees with inline execution — the service
+    // neither hides an error nor invents one, and never aborts. The
+    // breaker is disabled here: a failure burst would legitimately flip
+    // later jobs into degraded estimation, which is a different contract
+    // (covered by the service's own breaker tests).
+    let svc = JobService::start(
+        ServiceConfig::new().with_workers(2).with_breaker(
+            slif::runtime::BreakerConfig::new().with_failure_threshold(u32::MAX),
+        ),
+    );
+    let limits = slif::runtime::RunLimits::default();
+    let mut outcomes = Vec::new();
+    for seed in 200..240u64 {
+        let (mut design, mut partition) = small_design(seed);
+        let count = 1 + (seed % 3) as usize;
+        let _applied = FaultInjector::new(seed).corrupt(&mut design, &mut partition, count);
+        let job = Job::Estimate {
+            design,
+            partition,
+            config: EstimatorConfig::default(),
+        };
+        let handle = svc.submit(job.clone()).unwrap();
+        outcomes.push((handle, job));
+    }
+    let mut failures = 0usize;
+    for (handle, job) in outcomes {
+        let inline = job.run_inline(&limits);
+        match handle.wait() {
+            JobOutcome::Completed { output, .. } => {
+                assert_eq!(Ok(output), inline, "service diverged from inline");
+            }
+            JobOutcome::Failed { error, attempts } => {
+                failures += 1;
+                assert_eq!(attempts, 1, "typed errors must not be retried");
+                assert_eq!(Err(error), inline, "service diverged from inline");
+            }
+            other => panic!("unexpected terminal state {other:?}"),
+        }
+    }
+    assert!(failures > 0, "no corruption reached the estimator");
+    svc.shutdown();
+}
+
+#[test]
+fn service_survives_a_planned_runtime_fault_storm() {
+    // Runtime fault plan driving a live service: every WorkerPanic slot
+    // becomes an injected panic, every QueueFull slot lands in a burst
+    // against a tiny queue. The service must absorb all of it — panics
+    // isolated and retried to a typed failure, overload shed with a
+    // typed rejection — and keep its books balanced.
+    let svc = JobService::start(
+        ServiceConfig::new()
+            .with_workers(2)
+            .with_queue_capacity(4)
+            .with_retry(
+                RetryPolicy::new()
+                    .with_max_attempts(2)
+                    .with_base_delay(std::time::Duration::from_micros(100)),
+            )
+            .with_watchdog_interval(std::time::Duration::from_millis(2))
+            .with_seed(7),
+    );
+    let plan = FaultInjector::new(0xFA17).plan_runtime_faults(120, 0.5);
+    let mut handles = Vec::new();
+    let mut shed = 0usize;
+    for (i, slot) in plan.iter().enumerate() {
+        let job = match slot {
+            Some(RuntimeFaultKind::WorkerPanic) => Job::InjectedPanic {
+                message: format!("storm #{i}"),
+            },
+            // QueueFull slots submit real work into the burst; the tiny
+            // queue turns some of them into typed rejections.
+            _ => {
+                let (design, partition) = small_design(i as u64);
+                Job::Estimate {
+                    design,
+                    partition,
+                    config: EstimatorConfig::default(),
+                }
+            }
+        };
+        match svc.submit(job) {
+            Ok(h) => handles.push((h, matches!(slot, Some(RuntimeFaultKind::WorkerPanic)))),
+            Err(slif::runtime::Rejected::QueueFull { .. }) => shed += 1,
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    for (handle, is_panic) in &handles {
+        match handle.wait() {
+            JobOutcome::Failed { error, attempts } if *is_panic => {
+                assert!(
+                    matches!(error, slif::runtime::JobError::Panicked { .. }),
+                    "panic slot failed with {error}"
+                );
+                assert_eq!(attempts, 2, "panic slots exhaust both attempts");
+            }
+            JobOutcome::Completed { .. } | JobOutcome::Failed { .. } => {}
+            other => panic!("unexpected terminal state {other:?}"),
+        }
+    }
+    let health = svc.health();
+    assert_eq!(health.submitted as usize, handles.len());
+    assert_eq!(health.shed as usize, shed);
+    assert_eq!(
+        (health.completed + health.failed) as usize,
+        handles.len(),
+        "every admitted job reached a terminal state"
+    );
+    assert!(health.worker_panics > 0, "the storm never hit a worker");
+    svc.shutdown();
 }
 
 proptest! {
