@@ -1,0 +1,210 @@
+//! The analyzer driver: compiles (or borrows) the design view, runs
+//! every pass in lint order, and aggregates the findings.
+
+use crate::lint::{AnalysisConfig, LintId, LintLevel};
+use crate::report::{AnalysisReport, Finding};
+use crate::{annotation, bitwidth, cycle, race, reach};
+use slif_core::{ChannelId, CompiledDesign, Design, NodeId, Partition};
+use slif_speclang::{Span, Spec};
+use std::collections::HashMap;
+
+/// Specification-source locations for the graph's named objects, used to
+/// attach [`Span`]s to findings.
+///
+/// The frontend names behavior nodes after their `BehaviorDecl` and
+/// variable nodes after their `VarDecl`, so a name-keyed map recovers
+/// the source location of most nodes; nodes without a mapped name (e.g.
+/// synthesized helpers) simply get no span.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    spans: HashMap<String, Span>,
+}
+
+impl SourceMap {
+    /// Builds the map from a parsed specification: every behavior,
+    /// system-level variable, and behavior-local variable by name.
+    pub fn from_spec(spec: &Spec) -> Self {
+        let mut spans = HashMap::new();
+        for v in &spec.vars {
+            spans.insert(v.name.clone(), v.span);
+        }
+        for b in &spec.behaviors {
+            spans.insert(b.name.clone(), b.span);
+            for local in &b.locals {
+                spans.entry(local.name.clone()).or_insert(local.span);
+            }
+        }
+        Self { spans }
+    }
+
+    /// Records (or replaces) one name's location.
+    pub fn insert(&mut self, name: impl Into<String>, span: Span) {
+        self.spans.insert(name.into(), span);
+    }
+
+    /// The recorded location of `name`, if any.
+    pub fn span_of(&self, name: &str) -> Option<Span> {
+        self.spans.get(name).copied()
+    }
+
+    /// Number of recorded names.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Returns `true` when no names are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+/// Everything a pass reads. The partition is pre-filtered: when its
+/// slot shape does not match the compiled design (a stale or corrupted
+/// pairing the validator reports separately), passes see `None` instead
+/// of indexing it out of range.
+pub(crate) struct Ctx<'a> {
+    pub cd: &'a CompiledDesign,
+    pub partition: Option<&'a Partition>,
+    pub config: &'a AnalysisConfig,
+}
+
+/// Where passes put findings. Applies the configured level: `Allow`ed
+/// findings are counted, not kept.
+pub(crate) struct Sink<'a> {
+    config: &'a AnalysisConfig,
+    findings: Vec<Finding>,
+    suppressed: usize,
+}
+
+impl Sink<'_> {
+    pub(crate) fn emit(
+        &mut self,
+        lint: LintId,
+        node: Option<NodeId>,
+        channel: Option<ChannelId>,
+        message: String,
+    ) {
+        match self.config.effective_level(lint) {
+            LintLevel::Allow => self.suppressed += 1,
+            level => self.findings.push(Finding {
+                lint,
+                level,
+                message,
+                node,
+                channel,
+                span: None,
+            }),
+        }
+    }
+}
+
+/// Analyzes a design, compiling the query view first. Equivalent to
+/// [`CompiledDesign::compile`] followed by [`analyze_compiled`]; callers
+/// that already hold a compiled view should use the latter.
+pub fn analyze(
+    design: &Design,
+    partition: Option<&Partition>,
+    config: &AnalysisConfig,
+) -> AnalysisReport {
+    let cd = CompiledDesign::compile(design);
+    analyze_compiled(&cd, partition, config)
+}
+
+/// Runs every lint pass over a compiled design view.
+///
+/// The analysis is *total* and *pure*: it never fails, never panics
+/// (every index is range-checked, so fault-injected designs are fair
+/// inputs), and the same inputs produce an `==` report with
+/// byte-identical rendering.
+pub fn analyze_compiled(
+    cd: &CompiledDesign,
+    partition: Option<&Partition>,
+    config: &AnalysisConfig,
+) -> AnalysisReport {
+    analyze_inner(cd, partition, config, None)
+}
+
+/// [`analyze`] plus span attachment: findings anchored to a node whose
+/// name the [`SourceMap`] knows get that source location.
+pub fn analyze_with_sources(
+    design: &Design,
+    partition: Option<&Partition>,
+    config: &AnalysisConfig,
+    sources: &SourceMap,
+) -> AnalysisReport {
+    let cd = CompiledDesign::compile(design);
+    analyze_inner(&cd, partition, config, Some(sources))
+}
+
+fn analyze_inner(
+    cd: &CompiledDesign,
+    partition: Option<&Partition>,
+    config: &AnalysisConfig,
+    sources: Option<&SourceMap>,
+) -> AnalysisReport {
+    let partition = partition.filter(|p| {
+        p.node_slots() == cd.node_count() && p.channel_slots() == cd.channel_count()
+    });
+    let ctx = Ctx {
+        cd,
+        partition,
+        config,
+    };
+    let mut sink = Sink {
+        config,
+        findings: Vec::new(),
+        suppressed: 0,
+    };
+    race::run(&ctx, &mut sink);
+    reach::run(&ctx, &mut sink);
+    cycle::run(&ctx, &mut sink);
+    bitwidth::run(&ctx, &mut sink);
+    annotation::run(&ctx, &mut sink);
+
+    let mut findings = sink.findings;
+    if let Some(map) = sources {
+        for f in &mut findings {
+            if let Some(n) = f.node {
+                if n.index() < cd.node_count() {
+                    f.span = map.span_of(cd.node_name(n));
+                }
+            }
+        }
+    }
+    AnalysisReport::new(findings, sink.suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_speclang::parse;
+
+    #[test]
+    fn source_map_covers_vars_and_behaviors() {
+        let spec = parse(
+            "system T;\nvar g : int<8>;\nprocess Main { var l : int<4>; l = g; }\n",
+        )
+        .expect("fixture parses");
+        let map = SourceMap::from_spec(&spec);
+        assert!(!map.is_empty());
+        assert_eq!(map.len(), 3);
+        let g = map.span_of("g").expect("g recorded");
+        assert_eq!(g.line, 2);
+        assert!(map.span_of("Main").is_some());
+        assert!(map.span_of("l").is_some());
+        assert!(map.span_of("nope").is_none());
+    }
+
+    #[test]
+    fn source_map_insert_overrides() {
+        let mut map = SourceMap::default();
+        let span = Span {
+            start: 1,
+            end: 2,
+            line: 9,
+            col: 4,
+        };
+        map.insert("x", span);
+        assert_eq!(map.span_of("x"), Some(span));
+    }
+}

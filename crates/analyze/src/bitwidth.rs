@@ -1,0 +1,199 @@
+//! `A004 bitwidth-mismatch`: channel bits vs. scalar width and bus width.
+//!
+//! Three inconsistencies, all of which the estimators silently absorb
+//! today:
+//!
+//! * a read/write channel carries more bits per access than the scalar
+//!   variable it targets can hold — the extra bits are truncated with no
+//!   diagnostic anywhere;
+//! * a channel is mapped to a bus so much narrower than its transfer
+//!   that one access splits into more than
+//!   [`max_transfer_cycles`](crate::AnalysisConfig::max_transfer_cycles)
+//!   bus cycles (the Section 3 `bus_access_time` model charges
+//!   `ceil(bits/bitwidth)` data cycles, so this is a quiet performance
+//!   cliff, not an error);
+//! * a channel is mapped to a bus that does not exist, so no width check
+//!   is possible at all.
+//!
+//! Arrays are exempt from the truncation check: the frontend legitimately
+//! packs address and data bits into one channel transfer, so
+//! `bits > word_bits` is expected there.
+
+use crate::analyzer::{Ctx, Sink};
+use crate::lint::LintId;
+use slif_core::{AccessKind, AccessTarget, NodeKind};
+
+pub(crate) fn run(ctx: &Ctx<'_>, sink: &mut Sink<'_>) {
+    let cd = ctx.cd;
+    for c in cd.channel_ids() {
+        let bits = cd.chan_bits(c);
+
+        // Silent truncation into a scalar variable.
+        if let AccessTarget::Node(d) = cd.chan_dst(c) {
+            if d.index() < cd.node_count()
+                && matches!(cd.chan_kind(c), AccessKind::Read | AccessKind::Write)
+            {
+                if let NodeKind::Variable {
+                    words: 1,
+                    word_bits,
+                } = cd.node_kind(d)
+                {
+                    if bits > word_bits {
+                        sink.emit(
+                            LintId::BitwidthMismatch,
+                            Some(d),
+                            Some(c),
+                            format!(
+                                "channel {c} transfers {bits} bits per access but \
+                                 scalar variable {d} ({}) holds only {word_bits}; \
+                                 the excess is silently truncated",
+                                cd.node_name(d)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Bus-side consistency, when a valid partition maps the channel.
+        let Some(p) = ctx.partition else {
+            continue;
+        };
+        let Some(bus) = p.channel_bus(c) else {
+            continue; // unmapped: the validator's UnmappedChannel finding
+        };
+        if bus.index() >= cd.bus_count() {
+            sink.emit(
+                LintId::BitwidthMismatch,
+                None,
+                Some(c),
+                format!(
+                    "channel {c} is mapped to bus {bus}, which does not exist; \
+                     bitwidth consistency cannot be checked"
+                ),
+            );
+            continue;
+        }
+        let bw = cd.bus_bitwidth(bus);
+        if bw == 0 {
+            continue; // the validator's ZeroBitwidthBus error
+        }
+        let cycles = bits.div_ceil(bw);
+        if cycles > ctx.config.max_transfer_cycles {
+            sink.emit(
+                LintId::BitwidthMismatch,
+                None,
+                Some(c),
+                format!(
+                    "channel {c} ({bits} bits per access) needs {cycles} transfers \
+                     on {bw}-bit bus {bus}, over the configured limit of {}",
+                    ctx.config.max_transfer_cycles
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint::{AnalysisConfig, LintId};
+    use crate::analyze;
+    use slif_core::{AccessKind, Bus, ClassKind, Design, NodeKind, Partition};
+
+    fn fixture(var_bits: u32, chan_bits: u32, bus_bits: u32) -> (Design, Partition) {
+        let mut d = Design::new("bw");
+        let pc = d.add_class("proc", ClassKind::StdProcessor);
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(var_bits));
+        let c = d
+            .graph_mut()
+            .add_channel(main, v.into(), AccessKind::Write)
+            .expect("fixture channel");
+        d.graph_mut().channel_mut(c).set_bits(chan_bits);
+        let cpu = d.add_processor("cpu", pc);
+        let bus = d.add_bus(Bus::new("b", bus_bits, 1, 2));
+        let mut p = Partition::new(&d);
+        p.assign_node(main, cpu.into());
+        p.assign_node(v, cpu.into());
+        p.assign_channel(c, bus);
+        (d, p)
+    }
+
+    #[test]
+    fn scalar_truncation_fires() {
+        let (d, p) = fixture(8, 16, 16);
+        let report = analyze(&d, Some(&p), &AnalysisConfig::new());
+        let hits: Vec<_> = report.of(LintId::BitwidthMismatch).collect();
+        assert_eq!(hits.len(), 1, "{report}");
+        assert!(hits[0].message.contains("truncated"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn matching_widths_are_clean() {
+        let (d, p) = fixture(16, 16, 16);
+        let report = analyze(&d, Some(&p), &AnalysisConfig::new());
+        assert_eq!(report.of(LintId::BitwidthMismatch).count(), 0, "{report}");
+    }
+
+    #[test]
+    fn array_address_packing_is_exempt() {
+        let mut d = Design::new("arr");
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let v = d.graph_mut().add_node("tab", NodeKind::array(128, 8));
+        let c = d
+            .graph_mut()
+            .add_channel(main, v.into(), AccessKind::Read)
+            .expect("fixture channel");
+        d.graph_mut().channel_mut(c).set_bits(15); // 7 addr + 8 data
+        let report = analyze(&d, None, &AnalysisConfig::new());
+        assert_eq!(report.of(LintId::BitwidthMismatch).count(), 0, "{report}");
+    }
+
+    #[test]
+    fn excessive_bus_splitting_fires() {
+        // 64 bits over a 4-bit bus = 16 transfers, over the default 4.
+        let (d, p) = fixture(64, 64, 4);
+        let report = analyze(&d, Some(&p), &AnalysisConfig::new());
+        let hits: Vec<_> = report.of(LintId::BitwidthMismatch).collect();
+        assert_eq!(hits.len(), 1, "{report}");
+        assert!(hits[0].message.contains("16 transfers"), "{}", hits[0].message);
+        // A looser threshold accepts it.
+        let cfg = AnalysisConfig::new().with_max_transfer_cycles(16);
+        assert_eq!(
+            analyze(&d, Some(&p), &cfg)
+                .of(LintId::BitwidthMismatch)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn dangling_bus_mapping_fires() {
+        let (d, mut p) = fixture(16, 16, 16);
+        let c = d.graph().channel_ids().next().expect("fixture channel");
+        p.assign_channel(c, slif_core::BusId::from_raw(9));
+        let report = analyze(&d, Some(&p), &AnalysisConfig::new());
+        let hits: Vec<_> = report.of(LintId::BitwidthMismatch).collect();
+        assert_eq!(hits.len(), 1, "{report}");
+        assert!(
+            hits[0].message.contains("does not exist"),
+            "{}",
+            hits[0].message
+        );
+    }
+
+    #[test]
+    fn zero_width_bus_is_left_to_the_validator() {
+        let (mut d, mut p) = fixture(16, 16, 16);
+        // Only the fault injector can produce a zero-width bus; with a
+        // single bus in the design the hit is deterministic.
+        let applied = slif_core::faults::FaultInjector::new(0).apply(
+            slif_core::faults::FaultKind::ZeroBusBitwidth,
+            &mut d,
+            &mut p,
+        );
+        assert!(applied.is_some());
+        let report = analyze(&d, Some(&p), &AnalysisConfig::new());
+        assert_eq!(report.of(LintId::BitwidthMismatch).count(), 0, "{report}");
+    }
+}

@@ -1,0 +1,173 @@
+//! `A003 recursion-cycle`: cycles in the behavior access graph.
+//!
+//! The Equation 1 execution-time estimate is a recurrence over the
+//! behaviors a behavior accesses; a cycle (direct or mutual recursion,
+//! or a message loop between processes) makes that recurrence
+//! non-terminating, which is why
+//! [`behaviors_bottom_up`](slif_core::CompiledDesign::behaviors_bottom_up)
+//! fails on such graphs. This pass mirrors the semantics of
+//! [`AccessGraph::find_recursion`](slif_core::AccessGraph::find_recursion)
+//! — an iterative colour DFS over behavior→behavior edges of every
+//! access kind — but reports *all* back edges, not just the first, so a
+//! designer fixes every loop in one round.
+
+use crate::analyzer::{Ctx, Sink};
+use crate::lint::LintId;
+use slif_core::{AccessTarget, NodeId};
+
+const WHITE: u8 = 0;
+const GREY: u8 = 1;
+const BLACK: u8 = 2;
+
+pub(crate) fn run(ctx: &Ctx<'_>, sink: &mut Sink<'_>) {
+    let cd = ctx.cd;
+    let n = cd.node_count();
+    let mut color = vec![WHITE; n];
+    let mut emitted: Vec<NodeId> = Vec::new();
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in cd.node_ids() {
+        if color[root.index()] != WHITE || !cd.node_kind(root).is_behavior() {
+            continue;
+        }
+        color[root.index()] = GREY;
+        stack.push((root, 0));
+        // `(node, cursor)` are copied out so the `stack` borrow is released
+        // before the body pushes or pops.
+        while let Some(&mut (node, cursor)) = stack.last_mut() {
+            let chans = cd.channels_of(node);
+            if cursor >= chans.len() {
+                color[node.index()] = BLACK;
+                stack.pop();
+                continue;
+            }
+            if let Some(top) = stack.last_mut() {
+                top.1 += 1;
+            }
+            let c = chans[cursor];
+            let AccessTarget::Node(d) = cd.chan_dst(c) else {
+                continue;
+            };
+            if d.index() >= n || !cd.node_kind(d).is_behavior() {
+                continue;
+            }
+            match color[d.index()] {
+                WHITE => {
+                    color[d.index()] = GREY;
+                    stack.push((d, 0));
+                }
+                GREY if !emitted.contains(&d) => {
+                    emitted.push(d);
+                    sink.emit(
+                        LintId::RecursionCycle,
+                        Some(d),
+                        Some(c),
+                        format!(
+                            "behavior {d} ({}) is on an access cycle: channel {c} \
+                             from {node} ({}) closes the loop, so Eq. 1 \
+                             execution-time estimation cannot terminate",
+                            cd.node_name(d),
+                            cd.node_name(node),
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint::{AnalysisConfig, LintId};
+    use crate::{analyze, LintLevel};
+    use slif_core::{AccessKind, Design, NodeKind};
+
+    #[test]
+    fn mutual_recursion_fires() {
+        let mut d = Design::new("rec");
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let f = d.graph_mut().add_node("f", NodeKind::procedure());
+        let g = d.graph_mut().add_node("g", NodeKind::procedure());
+        d.graph_mut()
+            .add_channel(main, f.into(), AccessKind::Call)
+            .expect("fixture channel");
+        d.graph_mut()
+            .add_channel(f, g.into(), AccessKind::Call)
+            .expect("fixture channel");
+        d.graph_mut()
+            .add_channel(g, f.into(), AccessKind::Call)
+            .expect("fixture channel");
+        let report = analyze(&d, None, &AnalysisConfig::new());
+        let cycles: Vec<_> = report.of(LintId::RecursionCycle).collect();
+        assert_eq!(cycles.len(), 1, "{report}");
+        assert_eq!(cycles[0].level, LintLevel::Deny);
+        assert!(cycles[0].message.contains("cycle"), "{}", cycles[0].message);
+        // The core detector agrees.
+        assert!(d.graph().find_recursion().is_some());
+    }
+
+    #[test]
+    fn self_call_fires() {
+        let mut d = Design::new("self");
+        let f = d.graph_mut().add_node("f", NodeKind::process());
+        d.graph_mut()
+            .add_channel(f, f.into(), AccessKind::Call)
+            .expect("fixture channel");
+        let report = analyze(&d, None, &AnalysisConfig::new());
+        assert_eq!(report.of(LintId::RecursionCycle).count(), 1, "{report}");
+    }
+
+    #[test]
+    fn message_loop_between_processes_fires() {
+        let mut d = Design::new("msgloop");
+        let a = d.graph_mut().add_node("A", NodeKind::process());
+        let b = d.graph_mut().add_node("B", NodeKind::process());
+        d.graph_mut()
+            .add_channel(a, b.into(), AccessKind::Message)
+            .expect("fixture channel");
+        d.graph_mut()
+            .add_channel(b, a.into(), AccessKind::Message)
+            .expect("fixture channel");
+        let report = analyze(&d, None, &AnalysisConfig::new());
+        assert_eq!(report.of(LintId::RecursionCycle).count(), 1, "{report}");
+        assert!(d.graph().find_recursion().is_some());
+    }
+
+    #[test]
+    fn dag_of_calls_is_clean() {
+        let mut d = Design::new("dag");
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let f = d.graph_mut().add_node("f", NodeKind::procedure());
+        let g = d.graph_mut().add_node("g", NodeKind::procedure());
+        // Diamond: Main→f, Main→g, f→g. Shared callee, no cycle.
+        d.graph_mut()
+            .add_channel(main, f.into(), AccessKind::Call)
+            .expect("fixture channel");
+        d.graph_mut()
+            .add_channel(main, g.into(), AccessKind::Call)
+            .expect("fixture channel");
+        d.graph_mut()
+            .add_channel(f, g.into(), AccessKind::Call)
+            .expect("fixture channel");
+        let report = analyze(&d, None, &AnalysisConfig::new());
+        assert_eq!(report.of(LintId::RecursionCycle).count(), 0, "{report}");
+        assert!(d.graph().find_recursion().is_none());
+    }
+
+    #[test]
+    fn two_disjoint_cycles_both_reported() {
+        let mut d = Design::new("two");
+        let a = d.graph_mut().add_node("a", NodeKind::process());
+        let b = d.graph_mut().add_node("b", NodeKind::procedure());
+        let x = d.graph_mut().add_node("x", NodeKind::process());
+        let y = d.graph_mut().add_node("y", NodeKind::procedure());
+        for (s, t) in [(a, b), (b, a), (x, y), (y, x)] {
+            d.graph_mut()
+                .add_channel(s, t.into(), AccessKind::Call)
+                .expect("fixture channel");
+        }
+        let report = analyze(&d, None, &AnalysisConfig::new());
+        assert_eq!(report.of(LintId::RecursionCycle).count(), 2, "{report}");
+    }
+}

@@ -1,0 +1,57 @@
+//! # slif-analyze — specification-level lint & dataflow engine
+//!
+//! The SLIF premise is that the access graph plus annotations makes
+//! design questions answerable by cheap graph traversals. The estimators
+//! exploit that for *numbers*; this crate exploits it for *checks*: a
+//! lint framework and five dataflow analyses that catch broken
+//! specifications before they flow into estimation and exploration —
+//! the analysis-before-estimation stage of the pipeline.
+//!
+//! | lint | default | what it catches |
+//! |---|---|---|
+//! | `A001 shared-variable-race` | deny | concurrent unserialized writes to a shared variable |
+//! | `A002 dead-code` | warn | behaviors/variables unreachable from any process root |
+//! | `A003 recursion-cycle` | deny | access-graph cycles that make Eq. 1 non-terminating |
+//! | `A004 bitwidth-mismatch` | warn | channel bits vs. scalar width / mapped bus bitwidth |
+//! | `A005 missing-annotation` | warn | ict/size gaps on classes the allocation instantiates |
+//!
+//! The engine is *total* (it never fails — corrupted designs produce
+//! findings, not panics) and *pure* (same inputs, `==` report with
+//! byte-identical rendering). Findings carry node/channel locations and,
+//! through a [`SourceMap`], specification source spans.
+//!
+//! # Examples
+//!
+//! ```
+//! use slif_analyze::{analyze, AnalysisConfig, LintId};
+//! use slif_core::{AccessKind, Design, NodeKind};
+//!
+//! let mut d = Design::new("demo");
+//! let a = d.graph_mut().add_node("A", NodeKind::process());
+//! let b = d.graph_mut().add_node("B", NodeKind::process());
+//! let v = d.graph_mut().add_node("shared", NodeKind::scalar(8));
+//! d.graph_mut().add_channel(a, v.into(), AccessKind::Write)?;
+//! d.graph_mut().add_channel(b, v.into(), AccessKind::Write)?;
+//!
+//! let report = analyze(&d, None, &AnalysisConfig::new());
+//! assert_eq!(report.of(LintId::SharedVariableRace).count(), 1);
+//! assert!(report.has_denials());
+//! # Ok::<(), slif_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(clippy::expect_used)]
+
+mod analyzer;
+mod annotation;
+mod bitwidth;
+mod cycle;
+mod lint;
+mod race;
+mod reach;
+mod report;
+
+pub use analyzer::{analyze, analyze_compiled, analyze_with_sources, SourceMap};
+pub use lint::{AnalysisConfig, LintId, LintLevel, LINT_COUNT};
+pub use report::{AnalysisReport, Finding};

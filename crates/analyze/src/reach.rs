@@ -1,0 +1,166 @@
+//! `A002 dead-code`: nodes unreachable from every process root.
+//!
+//! Processes are the access graph's entry points; anything no process
+//! can reach through call/message/read/write edges is dead — it will
+//! never execute or be accessed, yet it still consumes estimation time
+//! and, once mapped, component area. Spec slicing work (Oda & Chang)
+//! makes the same observation for VDM-SL: the reachable sub-spec is the
+//! spec. This pass is one BFS over the PR-3 CSR adjacency.
+
+use crate::analyzer::{Ctx, Sink};
+use crate::lint::LintId;
+use slif_core::{AccessTarget, NodeId};
+
+pub(crate) fn run(ctx: &Ctx<'_>, sink: &mut Sink<'_>) {
+    let cd = ctx.cd;
+    if cd.node_count() == 0 {
+        return;
+    }
+    let roots: Vec<NodeId> = cd
+        .process_nodes()
+        .iter()
+        .copied()
+        .filter(|p| p.index() < cd.node_count())
+        .collect();
+    if roots.is_empty() {
+        sink.emit(
+            LintId::DeadCode,
+            None,
+            None,
+            format!(
+                "design has no process roots: all {} nodes are unreachable",
+                cd.node_count()
+            ),
+        );
+        return;
+    }
+
+    let mut reachable = vec![false; cd.node_count()];
+    let mut stack = roots;
+    while let Some(n) = stack.pop() {
+        if reachable[n.index()] {
+            continue;
+        }
+        reachable[n.index()] = true;
+        for &c in cd.channels_of(n) {
+            if let AccessTarget::Node(d) = cd.chan_dst(c) {
+                if d.index() < cd.node_count() && !reachable[d.index()] {
+                    stack.push(d);
+                }
+            }
+        }
+    }
+
+    for n in cd.node_ids() {
+        if reachable[n.index()] {
+            continue;
+        }
+        let what = if cd.node_kind(n).is_behavior() {
+            "behavior"
+        } else {
+            // A variable with no access channels at all is a plain unused
+            // declaration — the access graph gives it no behavior to lose,
+            // and the shipped corpus intentionally declares such registers.
+            // Dataflow only has something to say when accesses *exist* but
+            // cannot execute (their sources are dead or dangling).
+            if cd.accessors_of(n).is_empty() {
+                continue;
+            }
+            "variable"
+        };
+        sink.emit(
+            LintId::DeadCode,
+            Some(n),
+            None,
+            format!(
+                "{what} {n} ({}) is unreachable from every process root",
+                cd.node_name(n)
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint::{AnalysisConfig, LintId};
+    use crate::analyze;
+    use slif_core::{AccessKind, Design, NodeKind};
+
+    #[test]
+    fn orphan_behavior_and_its_variable_are_dead() {
+        let mut d = Design::new("dead");
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let used = d.graph_mut().add_node("used", NodeKind::scalar(8));
+        let orphan_b = d.graph_mut().add_node("orphan_proc", NodeKind::procedure());
+        let orphan_v = d.graph_mut().add_node("orphan_var", NodeKind::scalar(8));
+        d.graph_mut()
+            .add_channel(main, used.into(), AccessKind::Write)
+            .expect("fixture channel");
+        // The dead procedure accesses the variable, so the variable's
+        // accesses can never execute either.
+        d.graph_mut()
+            .add_channel(orphan_b, orphan_v.into(), AccessKind::Write)
+            .expect("fixture channel");
+        let report = analyze(&d, None, &AnalysisConfig::new());
+        let dead: Vec<_> = report.of(LintId::DeadCode).collect();
+        assert_eq!(dead.len(), 2, "{report}");
+        assert!(dead
+            .iter()
+            .any(|f| f.message.contains("behavior") && f.message.contains("orphan_proc")));
+        assert!(dead
+            .iter()
+            .any(|f| f.message.contains("variable") && f.message.contains("orphan_var")));
+    }
+
+    #[test]
+    fn unused_declaration_is_not_dead_code() {
+        // A variable nothing accesses has no dataflow to lose; the lint
+        // leaves plain unused declarations alone.
+        let mut d = Design::new("unused");
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let used = d.graph_mut().add_node("used", NodeKind::scalar(8));
+        d.graph_mut()
+            .add_channel(main, used.into(), AccessKind::Write)
+            .expect("fixture channel");
+        d.graph_mut().add_node("spare_reg", NodeKind::scalar(8));
+        let report = analyze(&d, None, &AnalysisConfig::new());
+        assert_eq!(report.of(LintId::DeadCode).count(), 0, "{report}");
+    }
+
+    #[test]
+    fn transitively_reached_nodes_are_live() {
+        let mut d = Design::new("live");
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let helper = d.graph_mut().add_node("helper", NodeKind::procedure());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+        d.graph_mut()
+            .add_channel(main, helper.into(), AccessKind::Call)
+            .expect("fixture channel");
+        d.graph_mut()
+            .add_channel(helper, v.into(), AccessKind::Read)
+            .expect("fixture channel");
+        let report = analyze(&d, None, &AnalysisConfig::new());
+        assert_eq!(report.of(LintId::DeadCode).count(), 0, "{report}");
+    }
+
+    #[test]
+    fn rootless_design_is_one_finding() {
+        let mut d = Design::new("rootless");
+        let a = d.graph_mut().add_node("a", NodeKind::procedure());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+        d.graph_mut()
+            .add_channel(a, v.into(), AccessKind::Read)
+            .expect("fixture channel");
+        let report = analyze(&d, None, &AnalysisConfig::new());
+        let dead: Vec<_> = report.of(LintId::DeadCode).collect();
+        assert_eq!(dead.len(), 1, "{report}");
+        assert!(dead[0].message.contains("no process roots"));
+    }
+
+    #[test]
+    fn empty_design_is_clean() {
+        let d = Design::new("empty");
+        let report = analyze(&d, None, &AnalysisConfig::new());
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Structured findings and the aggregated analysis report.
+
+use crate::lint::{LintId, LintLevel};
+use slif_core::{ChannelId, NodeId, ValidationIssue, ValidationReport};
+use slif_speclang::Span;
+use std::fmt;
+
+/// One structured finding of an analysis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which lint produced the finding.
+    pub lint: LintId,
+    /// The effective level it was reported at (`Warn` or `Deny`; `Allow`ed
+    /// findings are suppressed before they reach the report).
+    pub level: LintLevel,
+    /// The human-readable description, naming every object involved.
+    pub message: String,
+    /// The primary node involved, when the finding is anchored to one.
+    pub node: Option<NodeId>,
+    /// The primary channel involved, when the finding is anchored to one.
+    pub channel: Option<ChannelId>,
+    /// The specification-source location of the primary node, when the
+    /// caller supplied a [`SourceMap`](crate::SourceMap).
+    pub span: Option<Span>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.level, self.lint, self.message)?;
+        if let Some(span) = self.span {
+            write!(f, " (spec {span})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Every finding of one analyzer run, in pass order, plus a count of the
+/// findings `Allow`-level configuration suppressed.
+///
+/// The report is plain data: running the analyzer twice on the same
+/// design yields `==` reports with byte-identical `Display` output — the
+/// property suite holds the engine to that.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnalysisReport {
+    findings: Vec<Finding>,
+    suppressed: usize,
+}
+
+impl AnalysisReport {
+    pub(crate) fn new(findings: Vec<Finding>, suppressed: usize) -> Self {
+        Self {
+            findings,
+            suppressed,
+        }
+    }
+
+    /// All findings, grouped by lint in `A001`… pass order.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// The findings of one lint.
+    pub fn of(&self, lint: LintId) -> impl Iterator<Item = &Finding> + '_ {
+        self.findings.iter().filter(move |f| f.lint == lint)
+    }
+
+    /// How many findings `Allow`-level configuration dropped.
+    pub fn suppressed(&self) -> usize {
+        self.suppressed
+    }
+
+    /// Number of `Deny`-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == LintLevel::Deny)
+            .count()
+    }
+
+    /// Number of `Warn`-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.level == LintLevel::Warn)
+            .count()
+    }
+
+    /// Returns `true` when no findings were reported (suppressed ones
+    /// do not count against cleanliness).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Returns `true` when at least one finding is `Deny`-level — the
+    /// run should fail.
+    pub fn has_denials(&self) -> bool {
+        self.findings.iter().any(|f| f.level == LintLevel::Deny)
+    }
+
+    /// Number of reported findings.
+    pub fn len(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Returns `true` when no findings were reported.
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Bridges the report into the core validation vocabulary:
+    /// `Deny` findings become error issues, `Warn` findings become
+    /// warnings, each message prefixed with the lint's stable code. The
+    /// result merges cleanly into a
+    /// [`validate`](slif_core::validate::validate) sweep via
+    /// [`ValidationReport::merge`].
+    pub fn to_validation_report(&self) -> ValidationReport {
+        self.findings
+            .iter()
+            .map(|f| {
+                let message = format!("{}: {}", f.lint, f.message);
+                match f.level {
+                    LintLevel::Deny => ValidationIssue::error(message),
+                    _ => ValidationIssue::warning(message),
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "analysis: {} deny, {} warn ({} suppressed)",
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressed
+        )?;
+        for finding in &self.findings {
+            write!(f, "\n  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: LintId, level: LintLevel, msg: &str) -> Finding {
+        Finding {
+            lint,
+            level,
+            message: msg.to_owned(),
+            node: Some(NodeId::from_raw(3)),
+            channel: None,
+            span: None,
+        }
+    }
+
+    #[test]
+    fn report_counts_and_display() {
+        let report = AnalysisReport::new(
+            vec![
+                finding(LintId::SharedVariableRace, LintLevel::Deny, "racy"),
+                finding(LintId::DeadCode, LintLevel::Warn, "dead"),
+            ],
+            1,
+        );
+        assert_eq!(report.deny_count(), 1);
+        assert_eq!(report.warn_count(), 1);
+        assert_eq!(report.suppressed(), 1);
+        assert_eq!(report.len(), 2);
+        assert!(!report.is_empty());
+        assert!(!report.is_clean());
+        assert!(report.has_denials());
+        assert_eq!(report.of(LintId::DeadCode).count(), 1);
+        let s = report.to_string();
+        assert!(s.contains("1 deny, 1 warn (1 suppressed)"), "{s}");
+        assert!(s.contains("deny A001 shared-variable-race: racy"), "{s}");
+        assert!(s.contains("warn A002 dead-code: dead"), "{s}");
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let report = AnalysisReport::default();
+        assert!(report.is_clean());
+        assert!(report.is_empty());
+        assert!(!report.has_denials());
+        assert!(report.to_validation_report().is_clean());
+    }
+
+    #[test]
+    fn finding_display_includes_span() {
+        let mut f = finding(LintId::BitwidthMismatch, LintLevel::Warn, "narrow");
+        f.span = Some(Span {
+            start: 0,
+            end: 4,
+            line: 7,
+            col: 3,
+        });
+        let s = f.to_string();
+        assert!(s.contains("A004"), "{s}");
+        assert!(s.contains("7:3"), "{s}");
+    }
+
+    #[test]
+    fn validation_bridge_maps_levels() {
+        let report = AnalysisReport::new(
+            vec![
+                finding(LintId::RecursionCycle, LintLevel::Deny, "loop"),
+                finding(LintId::MissingAnnotation, LintLevel::Warn, "gap"),
+            ],
+            0,
+        );
+        let vr = report.to_validation_report();
+        assert!(vr.has_errors());
+        assert_eq!(vr.errors().count(), 1);
+        assert_eq!(vr.warnings().count(), 1);
+        assert!(vr.errors().any(|i| i.message().contains("A003")), "{vr}");
+        assert!(vr.warnings().any(|i| i.message().contains("A005")), "{vr}");
+    }
+}

@@ -171,6 +171,14 @@ impl Channel {
         self.dst = dst;
     }
 
+    /// Overwrites the access kind without endpoint revalidation (fault
+    /// injection only; see [`set_src_unchecked`](Self::set_src_unchecked)).
+    /// A variable-directed channel forced to `Write` is how the injector
+    /// manufactures shared-variable races for the analyzer to find.
+    pub(crate) fn set_kind_unchecked(&mut self, kind: AccessKind) {
+        self.kind = kind;
+    }
+
     /// Average bits transferred per source execution
     /// (`freq.avg * bits`) — the numerator of the paper's Equation 2.
     pub fn avg_traffic(&self) -> f64 {

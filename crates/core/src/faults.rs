@@ -28,9 +28,10 @@
 //! let _report = validate(&design, Some(&partition));
 //! ```
 
-use crate::annotation::AccessFreq;
+use crate::annotation::{AccessFreq, ConcurrencyTag};
+use crate::channel::AccessKind;
 use crate::design::Design;
-use crate::ids::{AccessTarget, BusId, MemoryId, NodeId, PmRef, ProcessorId};
+use crate::ids::{AccessTarget, BusId, ChannelId, MemoryId, NodeId, PmRef, ProcessorId};
 use crate::partition::Partition;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -159,6 +160,46 @@ impl fmt::Display for RuntimeFaultKind {
     }
 }
 
+/// Defect classes the `slif-analyze` lint engine is built to catch.
+/// Where [`FaultKind`] breaks designs so *error paths* can be exercised,
+/// these plant the subtler bugs a static analyzer exists for: dataflow
+/// that silently stopped flowing, mappings onto hardware that is not
+/// there, concurrency annotations that contradict the access pattern.
+/// The orphan and tag-conflict defects pass validation entirely; all
+/// three are reported with stable lint IDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AnalyzableFaultKind {
+    /// Map a channel to a bus index past the architecture's last bus
+    /// (`A004 bitwidth-mismatch` reports the mapping as nonexistent).
+    DanglingBusMapping,
+    /// Redirect every access of one variable to a sibling, leaving the
+    /// original still declared and still carrying its (now stale) access
+    /// lists (`A002 dead-code` reports the orphan).
+    OrphanVariable,
+    /// Force two accesses of one variable to writes in the same declared
+    /// concurrency group (`A001 shared-variable-race` reports the pair
+    /// when their processes land on different components).
+    ConcurrencyTagConflict,
+}
+
+/// All analyzer-detectable defect classes, in a fixed order.
+pub const ALL_ANALYZABLE_FAULT_KINDS: [AnalyzableFaultKind; 3] = [
+    AnalyzableFaultKind::DanglingBusMapping,
+    AnalyzableFaultKind::OrphanVariable,
+    AnalyzableFaultKind::ConcurrencyTagConflict,
+];
+
+impl fmt::Display for AnalyzableFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AnalyzableFaultKind::DanglingBusMapping => "dangling-bus-mapping",
+            AnalyzableFaultKind::OrphanVariable => "orphan-variable",
+            AnalyzableFaultKind::ConcurrencyTagConflict => "concurrency-tag-conflict",
+        })
+    }
+}
+
 /// A record of one applied mutation, for failure-reproduction messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppliedFault {
@@ -169,6 +210,22 @@ pub struct AppliedFault {
 }
 
 impl fmt::Display for AppliedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}", self.kind, self.target)
+    }
+}
+
+/// A record of one applied analyzer-detectable defect. Kept separate from
+/// [`AppliedFault`] because the two record different kind enums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedAnalyzableFault {
+    /// Which defect class was planted.
+    pub kind: AnalyzableFaultKind,
+    /// Which object it hit, rendered (`"bv3"`, `"c7"`, ...).
+    pub target: String,
+}
+
+impl fmt::Display for AppliedAnalyzableFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} on {}", self.kind, self.target)
     }
@@ -410,6 +467,109 @@ impl FaultInjector {
             .collect()
     }
 
+    /// Plants one analyzer-detectable defect, if the design has a target
+    /// for it. Returns what was hit, or `None` when nothing qualifies
+    /// (e.g. [`OrphanVariable`](AnalyzableFaultKind::OrphanVariable) on a
+    /// design with fewer than two variables). Detecting the damage is
+    /// `slif-analyze`'s job; validation stays clean for every kind except
+    /// the dangling bus mapping.
+    pub fn apply_analyzable(
+        &mut self,
+        kind: AnalyzableFaultKind,
+        design: &mut Design,
+        partition: &mut Partition,
+    ) -> Option<AppliedAnalyzableFault> {
+        let target = match kind {
+            AnalyzableFaultKind::DanglingBusMapping => {
+                let channel_count = design.graph().channel_count();
+                let c = self.pick_channel(channel_count.min(partition.channel_slots()))?;
+                let bogus = BusId::from_raw(
+                    (design.bus_count() + 1 + self.rng.gen_range(0u32..4) as usize) as u32,
+                );
+                partition.assign_channel(c, bogus);
+                c.to_string()
+            }
+            AnalyzableFaultKind::OrphanVariable => {
+                // Pick a variable something accesses, plus a sibling to
+                // absorb the redirected accesses. The victim keeps its
+                // declaration and its (now stale) access lists — exactly
+                // the state a frontend refactoring bug leaves behind.
+                let graph = design.graph();
+                let accessed: Vec<NodeId> = graph
+                    .variable_ids()
+                    .filter(|&v| {
+                        graph
+                            .channel_ids()
+                            .any(|c| graph.channel(c).dst() == AccessTarget::Node(v))
+                    })
+                    .collect();
+                if accessed.is_empty() {
+                    return None;
+                }
+                let victim = accessed[self.rng.gen_range(0usize..accessed.len())];
+                let sibling = graph.variable_ids().find(|&w| w != victim)?;
+                let redirect: Vec<ChannelId> = graph
+                    .channel_ids()
+                    .filter(|&c| graph.channel(c).dst() == AccessTarget::Node(victim))
+                    .collect();
+                for c in redirect {
+                    design
+                        .graph_mut()
+                        .channel_mut(c)
+                        .set_dst_unchecked(AccessTarget::Node(sibling));
+                }
+                victim.to_string()
+            }
+            AnalyzableFaultKind::ConcurrencyTagConflict => {
+                // Two accesses of one variable become writes that both
+                // claim membership of the same concurrency group — the
+                // annotation asserts parallelism the accesses contradict.
+                let graph = design.graph();
+                let mut hit = None;
+                for v in graph.variable_ids() {
+                    let ins: Vec<ChannelId> = graph
+                        .channel_ids()
+                        .filter(|&c| graph.channel(c).dst() == AccessTarget::Node(v))
+                        .collect();
+                    if ins.len() >= 2 {
+                        hit = Some((v, ins[0], ins[1]));
+                        break;
+                    }
+                }
+                let (v, c1, c2) = hit?;
+                let group = ConcurrencyTag::group(self.rng.gen_range(0u32..4));
+                for c in [c1, c2] {
+                    let ch = design.graph_mut().channel_mut(c);
+                    ch.set_kind_unchecked(AccessKind::Write);
+                    ch.set_tag(group);
+                }
+                v.to_string()
+            }
+        };
+        Some(AppliedAnalyzableFault { kind, target })
+    }
+
+    /// Plants `count` random analyzer-detectable defects, redrawing kinds
+    /// that find no target (mirrors [`corrupt`](Self::corrupt)).
+    pub fn corrupt_analyzable(
+        &mut self,
+        design: &mut Design,
+        partition: &mut Partition,
+        count: usize,
+    ) -> Vec<AppliedAnalyzableFault> {
+        let mut applied = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        while applied.len() < count && attempts < count * 32 {
+            attempts += 1;
+            let kind = ALL_ANALYZABLE_FAULT_KINDS
+                [self.rng.gen_range(0usize..ALL_ANALYZABLE_FAULT_KINDS.len())];
+            if let Some(fault) = self.apply_analyzable(kind, design, partition) {
+                applied.push(fault);
+            }
+        }
+        applied
+    }
+
     fn pick_node(&mut self, count: usize) -> Option<NodeId> {
         (count > 0).then(|| NodeId::from_raw(self.rng.gen_range(0u32..count as u32)))
     }
@@ -550,6 +710,69 @@ mod tests {
                 "{kind:?} renders `{s}`"
             );
         }
+    }
+
+    #[test]
+    fn analyzable_faults_are_seeded_and_apply() {
+        let (d0, p0) = DesignGenerator::new(5)
+            .behaviors(8)
+            .variables(5)
+            .processors(2)
+            .buses(2)
+            .build();
+        let (mut d1, mut p1) = (d0.clone(), p0.clone());
+        let (mut d2, mut p2) = (d0.clone(), p0.clone());
+        let a1 = FaultInjector::new(31).corrupt_analyzable(&mut d1, &mut p1, 3);
+        let a2 = FaultInjector::new(31).corrupt_analyzable(&mut d2, &mut p2, 3);
+        assert_eq!(a1, a2);
+        assert_eq!(d1, d2);
+        assert_eq!(p1, p2);
+        assert_eq!(a1.len(), 3);
+
+        for (i, kind) in ALL_ANALYZABLE_FAULT_KINDS.iter().enumerate() {
+            let (mut d, mut p) = (d0.clone(), p0.clone());
+            let applied = FaultInjector::new(i as u64).apply_analyzable(*kind, &mut d, &mut p);
+            assert!(applied.is_some(), "{kind} found no target");
+            assert!(d != d0 || p != p0, "{kind} changed nothing");
+        }
+    }
+
+    #[test]
+    fn orphan_and_tag_conflict_pass_validation() {
+        // The whole point of these two defects: structurally legal designs
+        // that only dataflow analysis objects to.
+        for kind in [
+            AnalyzableFaultKind::OrphanVariable,
+            AnalyzableFaultKind::ConcurrencyTagConflict,
+        ] {
+            let (mut d, mut p) = DesignGenerator::new(5)
+                .behaviors(8)
+                .variables(5)
+                .processors(2)
+                .buses(2)
+                .build();
+            FaultInjector::new(9)
+                .apply_analyzable(kind, &mut d, &mut p)
+                .unwrap_or_else(|| panic!("{kind} found no target"));
+            let report = validate(&d, Some(&p));
+            assert!(report.is_clean(), "{kind} tripped validation: {report}");
+        }
+    }
+
+    #[test]
+    fn analyzable_fault_kinds_display_kebab_case() {
+        for kind in ALL_ANALYZABLE_FAULT_KINDS {
+            let s = kind.to_string();
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{kind:?} renders `{s}`"
+            );
+        }
+        let fault = AppliedAnalyzableFault {
+            kind: AnalyzableFaultKind::OrphanVariable,
+            target: "bv2".to_owned(),
+        };
+        assert_eq!(fault.to_string(), "orphan-variable on bv2");
     }
 
     #[test]

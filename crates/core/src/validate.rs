@@ -172,6 +172,13 @@ impl ValidationReport {
         self.issues.is_empty()
     }
 
+    /// Appends every finding of `other`, preserving both sweep orders.
+    /// This is how secondary analyzers (e.g. `slif-analyze`) fold their
+    /// findings into one designer-facing report.
+    pub fn merge(&mut self, other: ValidationReport) {
+        self.issues.extend(other.issues);
+    }
+
     /// Converts the report into a fail-fast result: `Ok` when error-free
     /// (warnings allowed), otherwise the first error — preferring its typed
     /// [`CoreError`] when one exists.
@@ -189,6 +196,20 @@ impl ValidationReport {
             }
         }
         Ok(())
+    }
+}
+
+impl Extend<ValidationIssue> for ValidationReport {
+    fn extend<T: IntoIterator<Item = ValidationIssue>>(&mut self, iter: T) {
+        self.issues.extend(iter);
+    }
+}
+
+impl FromIterator<ValidationIssue> for ValidationReport {
+    fn from_iter<T: IntoIterator<Item = ValidationIssue>>(iter: T) -> Self {
+        Self {
+            issues: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -671,6 +692,32 @@ mod tests {
             free.into_result(),
             Err(CoreError::InvalidInput { .. })
         ));
+    }
+
+    #[test]
+    fn merge_extend_and_collect_preserve_order() {
+        let mut a = ValidationReport::new();
+        a.push(ValidationIssue::error("one"));
+        let mut b = ValidationReport::new();
+        b.push(ValidationIssue::warning("two"));
+        b.push(ValidationIssue::error("three"));
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+        let messages: Vec<&str> = a.issues().iter().map(|i| i.message()).collect();
+        assert_eq!(messages, ["one", "two", "three"]);
+
+        a.extend(std::iter::once(ValidationIssue::warning("four")));
+        assert_eq!(a.len(), 4);
+
+        let collected: ValidationReport = vec![
+            ValidationIssue::warning("w"),
+            ValidationIssue::error("e"),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(collected.len(), 2);
+        assert!(collected.has_errors());
+        assert_eq!(collected.warnings().count(), 1);
     }
 
     #[test]

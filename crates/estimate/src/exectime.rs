@@ -163,12 +163,15 @@ fn eval_compute(
         Some(v) => v as f64,
         None => match config.default_ict {
             Some(fallback) => {
-                warnings.push(EstimateWarning::MissingWeight {
-                    node: n,
-                    list: "ict",
-                    component: comp,
-                    substituted: fallback,
-                });
+                EstimateWarning::push_deduped(
+                    warnings,
+                    EstimateWarning::MissingWeight {
+                        node: n,
+                        list: "ict",
+                        component: comp,
+                        substituted: fallback,
+                    },
+                );
                 fallback as f64
             }
             None => {

@@ -844,4 +844,46 @@ mod tests {
         let out = inc.into_partition();
         assert_eq!(out.node_component(n), Some(target));
     }
+
+    #[test]
+    fn repeated_lookups_record_missing_weight_once() {
+        let (mut design, part) = DesignGenerator::new(7)
+            .behaviors(6)
+            .variables(4)
+            .processors(2)
+            .buses(1)
+            .build();
+        let victim = design.graph().behavior_ids().next().unwrap();
+        design.graph_mut().node_mut(victim).ict_mut().clear();
+        design.graph_mut().node_mut(victim).size_mut().clear();
+
+        let config = EstimatorConfig::default()
+            .with_default_ict(7)
+            .with_default_size(9);
+        let mut inc = IncrementalEstimator::with_config(&design, part, config).unwrap();
+        let procs: Vec<_> = design.processor_ids().collect();
+        for i in 0..8u64 {
+            inc.move_node(victim, procs[(i % 2) as usize].into())
+                .unwrap();
+            inc.exec_time(victim).unwrap();
+        }
+
+        // Every re-evaluation consults the same incomplete lists; the
+        // report must still hold one entry per distinct (node, list,
+        // component) gap, not one per lookup.
+        let warnings = inc.warnings();
+        assert!(!warnings.is_empty(), "gap went unreported");
+        for (i, w) in warnings.iter().enumerate() {
+            assert!(
+                !warnings[..i].contains(w),
+                "duplicate warning recorded: {w}"
+            );
+        }
+        let missing = warnings.iter().filter(|w| !w.is_cache_divergence()).count();
+        assert!(
+            missing <= procs.len() * 2,
+            "{missing} MissingWeight entries for {} distinct gaps",
+            procs.len() * 2
+        );
+    }
 }

@@ -148,12 +148,15 @@ pub fn node_size_on_with(
         Some(w) => Ok(w),
         None => match config.default_size {
             Some(fallback) => {
-                warnings.push(EstimateWarning::MissingWeight {
-                    node,
-                    list: "size",
-                    component: pm,
-                    substituted: fallback,
-                });
+                EstimateWarning::push_deduped(
+                    warnings,
+                    EstimateWarning::MissingWeight {
+                        node,
+                        list: "size",
+                        component: pm,
+                        substituted: fallback,
+                    },
+                );
                 Ok(fallback)
             }
             None => Err(CoreError::MissingWeight {
@@ -203,12 +206,15 @@ pub(crate) fn node_size_on_compiled(
         Some(w) => Ok(w),
         None => match config.default_size {
             Some(fallback) => {
-                warnings.push(EstimateWarning::MissingWeight {
-                    node,
-                    list: "size",
-                    component: pm,
-                    substituted: fallback,
-                });
+                EstimateWarning::push_deduped(
+                    warnings,
+                    EstimateWarning::MissingWeight {
+                        node,
+                        list: "size",
+                        component: pm,
+                        substituted: fallback,
+                    },
+                );
                 Ok(fallback)
             }
             None => Err(CoreError::MissingWeight {

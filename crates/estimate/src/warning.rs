@@ -79,6 +79,24 @@ impl EstimateWarning {
     pub fn is_cache_divergence(&self) -> bool {
         matches!(self, Self::CacheDivergence { .. })
     }
+
+    /// Records `warning` unless an identical entry is already present.
+    ///
+    /// Weight lookups repeat — every re-evaluation of a node (and every
+    /// incremental move that touches it) consults the same list — so
+    /// without deduplication one annotation gap floods a large design's
+    /// report with copies of the same `MissingWeight`. One entry per
+    /// distinct degradation event is the contract; the `A005` lint in
+    /// `slif-analyze` points at the same gaps statically.
+    ///
+    /// The scan is linear, which is fine at the realistic scale of
+    /// *distinct* warnings (bounded by nodes × allocated classes, and in
+    /// practice tiny); the flood this prevents was the problem.
+    pub fn push_deduped(warnings: &mut Vec<EstimateWarning>, warning: EstimateWarning) {
+        if !warnings.contains(&warning) {
+            warnings.push(warning);
+        }
+    }
 }
 
 impl fmt::Display for EstimateWarning {
@@ -130,6 +148,23 @@ mod tests {
         assert_eq!(w.list(), Some("ict"));
         assert_eq!(w.substituted(), Some(100));
         assert!(!w.is_cache_divergence());
+    }
+
+    #[test]
+    fn push_deduped_keeps_one_copy_per_distinct_warning() {
+        let gap = |node: u32| EstimateWarning::MissingWeight {
+            node: NodeId::from_raw(node),
+            list: "size",
+            component: PmRef::Processor(ProcessorId::from_raw(0)),
+            substituted: 1,
+        };
+        let mut warnings = Vec::new();
+        for _ in 0..5 {
+            EstimateWarning::push_deduped(&mut warnings, gap(0));
+        }
+        EstimateWarning::push_deduped(&mut warnings, gap(1));
+        EstimateWarning::push_deduped(&mut warnings, gap(0));
+        assert_eq!(warnings, vec![gap(0), gap(1)]);
     }
 
     #[test]

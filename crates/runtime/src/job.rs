@@ -12,6 +12,7 @@
 //! the soak suite asserts that a clean job processed by the service
 //! yields a result identical to its inline execution.
 
+use slif_analyze::{analyze_compiled, AnalysisConfig, AnalysisReport};
 use slif_core::{CompiledDesign, CoreError, Design, GraphLimits, Partition};
 use slif_estimate::{DesignReport, EstimatorConfig};
 use slif_explore::{
@@ -85,6 +86,18 @@ pub enum Job {
         /// reproducible).
         algorithm: Algorithm,
     },
+    /// Run the `slif-analyze` lint engine (races, dead code, recursion
+    /// cycles, bitwidth hazards, annotation gaps) over a design.
+    Analyze {
+        /// The design to lint.
+        design: Design,
+        /// An optional partition; with one, the mapping-sensitive lints
+        /// (race serialization, bus existence and transfer splitting)
+        /// see the mapping too.
+        partition: Option<Partition>,
+        /// Per-lint levels and thresholds.
+        config: AnalysisConfig,
+    },
     /// Panics on execution. The fault-injection hook for exercising the
     /// service's panic isolation: a well-behaved service converts it into
     /// a retried-then-failed outcome, never a process abort.
@@ -102,6 +115,7 @@ impl Job {
             Job::CompileDesign { .. } => "compile-design",
             Job::Estimate { .. } => "estimate",
             Job::Explore { .. } => "explore",
+            Job::Analyze { .. } => "analyze",
             Job::InjectedPanic { .. } => "injected-panic",
         }
     }
@@ -174,6 +188,15 @@ impl Job {
                     explore(design, start.clone(), objectives, algorithm, &mut supervisor)?;
                 Ok(JobOutput::Explored(result))
             }
+            Job::Analyze {
+                design,
+                partition,
+                config,
+            } => {
+                let cd = CompiledDesign::compile_bounded(design, &limits.graph)?;
+                let report = analyze_compiled(&cd, partition.as_ref(), config);
+                Ok(JobOutput::Analyzed(report))
+            }
             Job::InjectedPanic { message } => panic!("{message}"),
         }
     }
@@ -206,6 +229,9 @@ pub enum JobOutput {
     /// A supervised exploration outcome (best partition seen, stop
     /// reason, checkpoints written).
     Explored(SupervisedResult),
+    /// A lint report. Findings are data, not failures: a report full of
+    /// denials is still a *successful* analysis job.
+    Analyzed(AnalysisReport),
 }
 
 /// A typed job failure.
@@ -290,6 +316,77 @@ mod tests {
         };
         let err = job.run_inline(&limits).unwrap_err();
         assert!(err.to_string().contains("P004"), "{err}");
+    }
+
+    #[test]
+    fn analyze_job_reports_findings_inline() {
+        use slif_analyze::LintId;
+        use slif_core::{AccessKind, NodeKind};
+
+        let mut d = Design::new("cyclic");
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let a = d.graph_mut().add_node("a", NodeKind::procedure());
+        let b = d.graph_mut().add_node("b", NodeKind::procedure());
+        d.graph_mut()
+            .add_channel(main, a.into(), AccessKind::Call)
+            .unwrap();
+        d.graph_mut().add_channel(a, b.into(), AccessKind::Call).unwrap();
+        d.graph_mut().add_channel(b, a.into(), AccessKind::Call).unwrap();
+
+        let job = Job::Analyze {
+            design: d,
+            partition: None,
+            config: AnalysisConfig::new(),
+        };
+        assert_eq!(job.kind(), "analyze");
+        match job.run_inline(&RunLimits::default()).unwrap() {
+            JobOutput::Analyzed(report) => {
+                assert!(report.has_denials(), "{report}");
+                assert_eq!(report.of(LintId::RecursionCycle).count(), 1, "{report}");
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_job_on_clean_design_is_clean() {
+        use slif_core::{AccessKind, NodeKind};
+
+        let mut d = Design::new("clean");
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+        d.graph_mut()
+            .add_channel(main, v.into(), AccessKind::Write)
+            .unwrap();
+        let job = Job::Analyze {
+            design: d,
+            partition: None,
+            config: AnalysisConfig::new(),
+        };
+        match job.run_inline(&RunLimits::default()).unwrap() {
+            JobOutput::Analyzed(report) => assert!(report.is_clean(), "{report}"),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn over_limit_analyze_job_is_a_typed_error() {
+        use slif_core::NodeKind;
+
+        let mut d = Design::new("big");
+        d.graph_mut().add_node("Main", NodeKind::process());
+        d.graph_mut().add_node("v", NodeKind::scalar(8));
+        let limits = RunLimits {
+            graph: GraphLimits::default().with_max_nodes(1),
+            ..RunLimits::default()
+        };
+        let job = Job::Analyze {
+            design: d,
+            partition: None,
+            config: AnalysisConfig::new(),
+        };
+        let err = job.run_inline(&limits).unwrap_err();
+        assert!(matches!(err, JobError::Core(_)), "{err}");
     }
 
     #[test]

@@ -386,7 +386,8 @@ fn admission_size_check(job: &Job, limits: &RunLimits) -> Option<Rejected> {
         }
         Job::CompileDesign { design }
         | Job::Estimate { design, .. }
-        | Job::Explore { design, .. } => {
+        | Job::Explore { design, .. }
+        | Job::Analyze { design, .. } => {
             let graph = design.graph();
             if graph.node_count() > limits.graph.max_nodes {
                 Some(Rejected::TooLarge {
@@ -616,13 +617,18 @@ mod tests {
                 config: EstimatorConfig::default(),
             },
             Job::Explore {
-                design,
-                start: partition,
+                design: design.clone(),
+                start: partition.clone(),
                 objectives: Objectives::default(),
                 algorithm: Algorithm::RandomSearch {
                     iterations: 50,
                     seed: 7,
                 },
+            },
+            Job::Analyze {
+                design,
+                partition: Some(partition),
+                config: slif_analyze::AnalysisConfig::new(),
             },
         ];
         for job in jobs {
@@ -644,6 +650,41 @@ mod tests {
                 (outcome, inline) => {
                     panic!("{}: outcome {outcome:?} vs inline {inline:?}", job.kind())
                 }
+            }
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn analyze_jobs_on_injected_defects_complete_with_findings() {
+        use slif_core::faults::FaultInjector;
+        use slif_core::gen::DesignGenerator;
+
+        let svc = JobService::start(ServiceConfig::new().with_workers(2));
+        for seed in 0..4u64 {
+            let (mut design, mut partition) = DesignGenerator::new(seed)
+                .behaviors(8)
+                .variables(5)
+                .processors(2)
+                .buses(2)
+                .build();
+            let planted = FaultInjector::new(seed).corrupt_analyzable(&mut design, &mut partition, 2);
+            assert!(!planted.is_empty(), "seed {seed} planted nothing");
+            let job = Job::Analyze {
+                design,
+                partition: Some(partition),
+                config: slif_analyze::AnalysisConfig::new(),
+            };
+            let inline = job.run_inline(&RunLimits::default()).unwrap();
+            let handle = svc.submit(job).unwrap();
+            match handle.wait() {
+                JobOutcome::Completed { output, .. } => {
+                    // Analysis is total: a defective design is a report,
+                    // not a failure, and the service reproduces inline
+                    // semantics bit for bit.
+                    assert_eq!(output, inline, "seed {seed} diverged from inline");
+                }
+                other => panic!("seed {seed}: unexpected outcome {other:?}"),
             }
         }
         svc.shutdown();

@@ -1,0 +1,53 @@
+//! Lint the specification corpus before estimating anything.
+//!
+//! For each corpus spec this driver builds the annotated design, runs
+//! the proc+ASIC allocation with the all-software starting partition —
+//! the same front half as every estimation example — and then runs the
+//! `slif-analyze` lint engine over it, with spec spans attached so
+//! findings point back into the source text.
+//!
+//! Run with: `cargo run --release --example analyze_spec`
+//!
+//! Pass `--deny-warnings` (the CI mode `scripts/verify.sh` uses) to
+//! promote every warning to a denial and exit nonzero on any finding:
+//! the shipped corpus must lint clean.
+
+use slif::analyze::{analyze_with_sources, AnalysisConfig, LintId, SourceMap};
+use slif::frontend::{all_software_partition, allocate_proc_asic, build_design};
+use slif::speclang::corpus;
+use slif::techlib::TechnologyLibrary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deny_warnings = std::env::args().any(|a| a == "--deny-warnings");
+    let config = AnalysisConfig::new().with_deny_warnings(deny_warnings);
+
+    println!("registered lints:");
+    for lint in LintId::ALL {
+        println!(
+            "  {:26} {:5}  {}",
+            lint.to_string(),
+            lint.default_level().to_string(),
+            lint.summary()
+        );
+    }
+
+    let mut denials = 0usize;
+    for entry in corpus::all() {
+        let rs = entry.load()?;
+        let sources = SourceMap::from_spec(rs.spec());
+        let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+        let arch = allocate_proc_asic(&mut design);
+        let partition = all_software_partition(&design, arch);
+
+        let report = analyze_with_sources(&design, Some(&partition), &config, &sources);
+        println!("\n{:8} {}", entry.name, report);
+        denials += report.deny_count();
+    }
+
+    if denials > 0 {
+        eprintln!("\n{denials} denial(s); failing");
+        std::process::exit(1);
+    }
+    println!("\ncorpus lints clean (deny-warnings: {deny_warnings})");
+    Ok(())
+}

@@ -16,10 +16,17 @@
 #    JobService; asserts exactly-one-terminal-state per job, bit-identity
 #    with inline execution for clean jobs, and balanced health books.
 #    The serve_batch example smoke-tests the same service end to end.
-# 5. Bench smoke: the pr3_bench binary re-measures baseline vs
+# 5. Spec-level lint gate: the analyze_spec example runs the
+#    slif-analyze engine (races, dead code, recursion cycles, bitwidth
+#    hazards, annotation gaps) over every corpus spec in deny-warnings
+#    mode and exits nonzero on any finding — the shipped corpus must
+#    lint clean. The analyzer's own property suite (determinism,
+#    per-lint firing fixtures) runs with it.
+# 6. Bench smoke: the pr3_bench binary re-measures baseline vs
 #    compiled candidate evaluation and rewrites BENCH_pr3.json, so the
 #    committed speedup record always matches the code being verified.
-# 6. Lint gate: clippy with warnings denied, plus `unwrap_used` on
+# 7. Lint gate: clippy with warnings denied (the workspace sweep covers
+#    crates/analyze like every other crate), plus `unwrap_used` on
 #    non-test code (without --all-targets, #[cfg(test)] code is not
 #    linted, which is exactly the carve-out we want: tests may unwrap,
 #    library paths must return typed errors). slif-explore and
@@ -36,5 +43,7 @@ cargo test -q --test fault_injection
 cargo test -q --test runtime_soak
 cargo run --release --quiet --example resume_run
 cargo run --release --quiet --example serve_batch
+cargo test -q --test analyze_props
+cargo run --release --quiet --example analyze_spec -- --deny-warnings
 cargo run --release --quiet -p slif-bench --bin pr3_bench BENCH_pr3.json
 cargo clippy --workspace -- -D warnings -W clippy::unwrap_used

@@ -23,6 +23,7 @@
 //! | [`techlib`] | technology models; pseudo-compiler and pseudo-synthesizer |
 //! | [`frontend`] | spec → annotated SLIF construction |
 //! | [`estimate`] | the paper's Equations 1–6 (+ extensions, incremental) |
+//! | [`analyze`] | specification-level lints: race, dead-code, bitwidth, annotation |
 //! | [`explore`] | partitioning algorithms and transformations |
 //! | [`formats`] | ADD baseline + the Section 5 format-size comparison |
 //! | [`sim`] | functional simulator (the profiler behind `accfreq`) |
@@ -58,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+pub use slif_analyze as analyze;
 pub use slif_cdfg as cdfg;
 pub use slif_core as core;
 pub use slif_estimate as estimate;

@@ -597,3 +597,129 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn analyzer_is_total_and_deterministic_on_corrupted_designs() {
+    use slif::analyze::{analyze, AnalysisConfig};
+    // Lint analysis has no error path at all: any design, however
+    // damaged, produces a report — and the same design produces the same
+    // report, byte for byte.
+    for seed in 0..60u64 {
+        let (mut design, mut partition) = DesignGenerator::new(seed)
+            .behaviors(4 + (seed % 6) as usize)
+            .variables(2 + (seed % 4) as usize)
+            .processors(1 + (seed % 3) as usize)
+            .buses(1 + (seed % 2) as usize)
+            .build();
+        let mut inj = FaultInjector::new(seed);
+        let _ = inj.corrupt(&mut design, &mut partition, 1 + (seed % 3) as usize);
+        let _ = inj.corrupt_analyzable(&mut design, &mut partition, 1 + (seed % 2) as usize);
+        let config = AnalysisConfig::new();
+        let a = analyze(&design, Some(&partition), &config);
+        let b = analyze(&design, Some(&partition), &config);
+        assert_eq!(a, b, "seed {seed}: report not deterministic");
+        assert_eq!(
+            a.to_string(),
+            b.to_string(),
+            "seed {seed}: rendering not deterministic"
+        );
+        let c = analyze(&design, None, &config);
+        assert_eq!(c, analyze(&design, None, &config), "seed {seed}: no-partition run");
+    }
+}
+
+#[test]
+fn orphaned_variables_are_reported_as_dead_code() {
+    use slif::analyze::{analyze, AnalysisConfig, LintId};
+    use slif::core::faults::AnalyzableFaultKind;
+    let mut hits = 0usize;
+    for seed in 0..40u64 {
+        let (mut design, mut partition) = DesignGenerator::new(seed)
+            .behaviors(6)
+            .variables(4)
+            .processors(2)
+            .buses(2)
+            .build();
+        let Some(fault) = FaultInjector::new(seed).apply_analyzable(
+            AnalyzableFaultKind::OrphanVariable,
+            &mut design,
+            &mut partition,
+        ) else {
+            continue;
+        };
+        let report = analyze(&design, Some(&partition), &AnalysisConfig::new());
+        assert!(
+            report
+                .of(LintId::DeadCode)
+                .any(|f| f.message.contains(&format!("variable {} (", fault.target))),
+            "seed {seed}: {fault} not reported\n{report}"
+        );
+        hits += 1;
+    }
+    assert!(hits >= 30, "only {hits}/40 seeds had an orphan target");
+}
+
+#[test]
+fn dangling_bus_mappings_are_reported_by_the_bitwidth_lint() {
+    use slif::analyze::{analyze, AnalysisConfig, LintId};
+    use slif::core::faults::AnalyzableFaultKind;
+    for seed in 0..40u64 {
+        let (mut design, mut partition) = DesignGenerator::new(seed)
+            .behaviors(5)
+            .variables(3)
+            .processors(2)
+            .buses(2)
+            .build();
+        let fault = FaultInjector::new(seed)
+            .apply_analyzable(
+                AnalyzableFaultKind::DanglingBusMapping,
+                &mut design,
+                &mut partition,
+            )
+            .expect("generator designs always carry channels");
+        let report = analyze(&design, Some(&partition), &AnalysisConfig::new());
+        assert!(
+            report.of(LintId::BitwidthMismatch).any(|f| {
+                f.message.contains("does not exist")
+                    && f.message.contains(&format!("channel {} ", fault.target))
+            }),
+            "seed {seed}: {fault} not reported\n{report}"
+        );
+    }
+}
+
+#[test]
+fn injected_concurrency_tag_conflicts_race() {
+    use slif::analyze::{analyze, AnalysisConfig, LintId};
+    use slif::core::faults::AnalyzableFaultKind;
+    use slif::core::{AccessKind, NodeKind};
+
+    // Two processes reading one variable: clean. The injected conflict
+    // turns both accesses into writes claiming the same concurrency
+    // group, which is exactly what the race lint exists to catch.
+    let mut d = Design::new("tag-conflict");
+    let m1 = d.graph_mut().add_node("Main1", NodeKind::process());
+    let m2 = d.graph_mut().add_node("Main2", NodeKind::process());
+    let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+    d.graph_mut()
+        .add_channel(m1, v.into(), AccessKind::Read)
+        .expect("fixture channel");
+    d.graph_mut()
+        .add_channel(m2, v.into(), AccessKind::Read)
+        .expect("fixture channel");
+    let mut p = Partition::new(&d);
+
+    let config = AnalysisConfig::new();
+    let baseline = analyze(&d, None, &config);
+    assert_eq!(
+        baseline.of(LintId::SharedVariableRace).count(),
+        0,
+        "{baseline}"
+    );
+
+    FaultInjector::new(5)
+        .apply_analyzable(AnalyzableFaultKind::ConcurrencyTagConflict, &mut d, &mut p)
+        .expect("fixture has a doubly-accessed variable");
+    let report = analyze(&d, None, &config);
+    assert_eq!(report.of(LintId::SharedVariableRace).count(), 1, "{report}");
+}

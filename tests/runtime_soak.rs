@@ -1,9 +1,11 @@
 //! Soak test for the `slif-runtime` job service.
 //!
 //! The contract under test, end to end: a multi-worker service fed a
-//! 500-job mixed stream — clean parse/compile/estimate/explore jobs
-//! interleaved with malformed specs, corrupted specs, over-limit inputs,
-//! and seeded worker panics (over 30% of the stream faulted) — must
+//! 500-job mixed stream — clean parse/compile/estimate/explore/analyze
+//! jobs (including lint analyses of deliberately defect-injected
+//! designs) interleaved with malformed specs, corrupted specs,
+//! over-limit inputs, and seeded worker panics (over 30% of the stream
+//! faulted) — must
 //!
 //! * never abort the process (every panic is caught and isolated),
 //! * give **every** job exactly one terminal state: a typed rejection at
@@ -14,7 +16,9 @@
 //! * keep its books: terminal-state counters must sum to the admitted
 //!   job count, and the health snapshot must reflect the carnage.
 
+use slif::analyze::AnalysisConfig;
 use slif::core::faults::{FaultInjector, RuntimeFaultKind};
+use slif::core::gen::DesignGenerator;
 use slif::core::{ClassKind, Design, NodeKind, Partition};
 use slif::estimate::EstimatorConfig;
 use slif::explore::{Algorithm, Objectives};
@@ -79,6 +83,7 @@ fn job_stream(limits: &RunLimits) -> Vec<(Job, Expectation)> {
     // by the bounded-retry submit loop in the test body.
     let plan = FaultInjector::new(0x50A).plan_runtime_faults(JOBS, 0.3);
     let mut spec_corruptor = FaultInjector::new(99);
+    let mut defect_injector = FaultInjector::new(0xA11);
     let oversized = "-- padding\n".repeat(limits.parse.max_bytes / 8);
     (0..JOBS)
         .map(|i| {
@@ -130,6 +135,34 @@ fn job_stream(limits: &RunLimits) -> Vec<(Job, Expectation)> {
                     },
                     Expectation::Clean,
                 ),
+                4 => (
+                    Job::Analyze {
+                        design: design.clone(),
+                        partition: Some(partition.clone()),
+                        config: AnalysisConfig::new(),
+                    },
+                    Expectation::Clean,
+                ),
+                6 => {
+                    // Analysis is total: planted defects come back as
+                    // findings, not failures, so these jobs still complete
+                    // (bit-identical to inline, like every clean job).
+                    let (mut dd, mut dp) = DesignGenerator::new(i as u64)
+                        .behaviors(6)
+                        .variables(4)
+                        .processors(2)
+                        .buses(2)
+                        .build();
+                    let _ = defect_injector.corrupt_analyzable(&mut dd, &mut dp, 2);
+                    (
+                        Job::Analyze {
+                            design: dd,
+                            partition: Some(dp),
+                            config: AnalysisConfig::new(),
+                        },
+                        Expectation::Clean,
+                    )
+                }
                 2 => (
                     Job::Explore {
                         design: design.clone(),
