@@ -47,6 +47,23 @@ impl LatencyHistogram {
         self.buckets.iter().sum()
     }
 
+    /// The median latency upper bound in µs (see
+    /// [`quantile_upper_bound_micros`](Self::quantile_upper_bound_micros)).
+    pub fn p50_micros(&self) -> Option<u64> {
+        self.quantile_upper_bound_micros(0.50)
+    }
+
+    /// The 90th-percentile latency upper bound in µs.
+    pub fn p90_micros(&self) -> Option<u64> {
+        self.quantile_upper_bound_micros(0.90)
+    }
+
+    /// The 99th-percentile latency upper bound in µs — the tail the wire
+    /// `/metrics` endpoint exports and `BENCH_serve.json` records.
+    pub fn p99_micros(&self) -> Option<u64> {
+        self.quantile_upper_bound_micros(0.99)
+    }
+
     /// An upper bound (in µs) under which at least fraction `q` of
     /// recorded latencies fall, or `None` while empty. Quantiles from a
     /// log histogram are bucket-upper-bound approximations, good to a
@@ -203,5 +220,38 @@ mod tests {
         assert_eq!(h.quantile_upper_bound_micros(1.0), Some(1 << 16));
         let display = h.to_string();
         assert!(display.contains("100 jobs"), "{display}");
+    }
+
+    /// Pins the percentile math exactly at bucket boundaries: with the
+    /// population split across two buckets, each accessor must land on
+    /// the bucket whose cumulative count first reaches `ceil(q·total)`.
+    #[test]
+    fn percentile_accessors_at_bucket_boundaries() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.p50_micros(), None);
+        assert_eq!(h.p90_micros(), None);
+        assert_eq!(h.p99_micros(), None);
+        // 50 records in bucket 1 (bound 2 µs), 50 in bucket 4 (bound 16 µs).
+        for _ in 0..50 {
+            h.record(Duration::from_micros(1)); // bucket 1, bound 2
+        }
+        for _ in 0..50 {
+            h.record(Duration::from_micros(10)); // bucket 4, bound 16
+        }
+        assert_eq!(h.buckets()[1], 50);
+        assert_eq!(h.buckets()[4], 50);
+        // p50 target = ceil(0.5 · 100) = 50 — reached exactly at the end
+        // of bucket 1, so the boundary case stays in the lower bucket.
+        assert_eq!(h.p50_micros(), Some(2));
+        // p90 target = 90 and p99 target = 99 both fall in bucket 4.
+        assert_eq!(h.p90_micros(), Some(16));
+        assert_eq!(h.p99_micros(), Some(16));
+        // A single straggler in the top bucket owns exactly the p100 tail.
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.p99_micros(), Some(16), "99th of 101 is still bucket 4");
+        assert_eq!(
+            h.quantile_upper_bound_micros(1.0),
+            Some(1 << (LATENCY_BUCKETS - 1))
+        );
     }
 }

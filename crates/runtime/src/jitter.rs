@@ -1,0 +1,70 @@
+//! Seeded jitter: the one place randomized spreading is derived.
+//!
+//! Both the service's retry backoff ([`RetryPolicy`](crate::RetryPolicy))
+//! and the wire load generator (`slif-serve`'s `loadgen`) need the same
+//! two ingredients: a per-stream RNG derived deterministically from one
+//! master seed, and a bounded multiplicative jitter factor that spreads
+//! concurrent timers so they do not stampede. Keeping both here means a
+//! fault run replayed with the same seed produces the same backoff
+//! schedule *and* the same client pacing — reproducibility across the
+//! wire, not just inside the process.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The 64-bit golden-ratio increment used to decorrelate streams drawn
+/// from one master seed (Weyl-sequence style).
+pub const STREAM_INCREMENT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the RNG for stream `stream` of master seed `seed`.
+///
+/// Streams of the same seed are decorrelated from each other; equal
+/// `(seed, stream)` pairs always produce identical sequences. Worker
+/// threads, load-generator clients, and fault planners each take their
+/// own stream index.
+pub fn seeded_rng(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_add(stream.wrapping_mul(STREAM_INCREMENT)))
+}
+
+/// Draws one multiplicative jitter factor from `[1 - jitter/2, 1 + jitter/2)`.
+///
+/// `jitter` is clamped to `[0, 1]`; a clamped value of 0 always yields
+/// exactly 1.0 (no randomness consumed is *not* guaranteed — callers that
+/// need byte-stable replay must keep the jitter setting itself stable).
+pub fn jitter_factor(jitter: f64, rng: &mut StdRng) -> f64 {
+    let jitter = jitter.clamp(0.0, 1.0);
+    if jitter > 0.0 {
+        1.0 - jitter / 2.0 + rng.gen_range(0.0..jitter)
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_decorrelated() {
+        let mut a1 = seeded_rng(7, 0);
+        let mut a2 = seeded_rng(7, 0);
+        let mut b = seeded_rng(7, 1);
+        let xs: Vec<u64> = (0..4).map(|_| a1.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| a2.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..4).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(xs, ys, "same (seed, stream) replays identically");
+        assert_ne!(xs, zs, "different streams diverge");
+    }
+
+    #[test]
+    fn factor_stays_in_band_and_clamps() {
+        let mut rng = seeded_rng(3, 9);
+        for _ in 0..100 {
+            let f = jitter_factor(0.5, &mut rng);
+            assert!((0.75..1.25).contains(&f), "{f} outside ±25%");
+        }
+        assert!((jitter_factor(0.0, &mut rng) - 1.0).abs() < f64::EPSILON);
+        let f = jitter_factor(9.0, &mut rng);
+        assert!((0.5..1.5).contains(&f), "clamped to jitter 1.0");
+    }
+}

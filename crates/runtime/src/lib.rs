@@ -61,6 +61,7 @@
 mod breaker;
 mod handle;
 mod health;
+pub mod jitter;
 mod job;
 mod queue;
 mod retry;

@@ -5,13 +5,29 @@
 //! without bound. Retried tasks re-enter past the capacity check — they
 //! were already admitted once, and shedding them would turn a transient
 //! fault into a lost job.
+//!
+//! Dequeueing is **weighted fair-share** across tenants: every pop
+//! charges the task's tenant `VTIME_SCALE / weight` virtual time, and
+//! the next pop serves the runnable task whose tenant has the least
+//! virtual time so far (ties go to the oldest task). A tenant that
+//! floods the queue therefore cannot starve a light tenant: the light
+//! tenant's next job jumps ahead of the flood. Untagged tasks share one
+//! anonymous tenant of weight 1.
 
 use crate::handle::HandleState;
 use crate::job::Job;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+/// Virtual-time charged to a weight-1 tenant per dequeued job. Higher
+/// weights are charged proportionally less, so they are served
+/// proportionally more often under contention.
+const VTIME_SCALE: u64 = 1 << 20;
+
+/// The map key for tasks submitted without a tenant tag.
+const ANON_TENANT: u64 = u64::MAX;
 
 /// Why the service refused to admit a job. Returned synchronously by
 /// `submit`; a rejected job never gets a handle.
@@ -67,8 +83,19 @@ pub(crate) struct Task {
     pub not_before: Option<Instant>,
     /// Absolute deadline; expired tasks resolve as timed out.
     pub deadline: Option<Instant>,
+    /// The fair-share tenant this task is billed to (`None` = anonymous).
+    pub tenant: Option<u32>,
+    /// The tenant's fair-share weight (floor 1); higher weights receive
+    /// proportionally more service under contention.
+    pub weight: u32,
     /// The submitter's completion slot.
     pub handle: Arc<HandleState>,
+}
+
+impl Task {
+    fn tenant_key(&self) -> u64 {
+        self.tenant.map_or(ANON_TENANT, u64::from)
+    }
 }
 
 #[derive(Debug)]
@@ -76,6 +103,25 @@ struct QueueState {
     items: VecDeque<Task>,
     closed: bool,
     discarding: bool,
+    /// Per-tenant virtual service time for weighted fair-share popping.
+    vtime: HashMap<u64, u64>,
+}
+
+impl QueueState {
+    /// Seeds (or refreshes) the tenant's virtual clock on admission: a
+    /// tenant joining — or rejoining after idling — starts at the floor
+    /// of the tenants currently queued, so it neither inherits a stale
+    /// advantage nor waits behind everyone's history.
+    fn note_tenant(&mut self, key: u64) {
+        let active_floor = self
+            .items
+            .iter()
+            .filter_map(|t| self.vtime.get(&t.tenant_key()).copied())
+            .min()
+            .unwrap_or(0);
+        let entry = self.vtime.entry(key).or_insert(active_floor);
+        *entry = (*entry).max(active_floor);
+    }
 }
 
 /// A bounded MPMC task queue with backoff-aware popping.
@@ -93,6 +139,7 @@ impl TaskQueue {
                 items: VecDeque::new(),
                 closed: false,
                 discarding: false,
+                vtime: HashMap::new(),
             }),
             cv: Condvar::new(),
             capacity: capacity.max(1),
@@ -118,6 +165,7 @@ impl TaskQueue {
                 },
             ));
         }
+        st.note_tenant(task.tenant_key());
         st.items.push_back(task);
         self.cv.notify_one();
         Ok(())
@@ -134,24 +182,36 @@ impl TaskQueue {
         if st.discarding {
             return Err(task);
         }
+        st.note_tenant(task.tenant_key());
         st.items.push_back(task);
         self.cv.notify_one();
         Ok(())
     }
 
-    /// Blocks for the next runnable task — the oldest one whose backoff
-    /// window has passed. Returns `None` once the queue is closed *and*
-    /// drained, which is each worker's signal to exit.
+    /// Blocks for the next runnable task — among tasks whose backoff
+    /// window has passed, the one whose tenant has received the least
+    /// weighted service (ties go to the oldest). Returns `None` once the
+    /// queue is closed *and* drained, which is each worker's signal to
+    /// exit.
     pub(crate) fn pop(&self) -> Option<Task> {
         let mut st = crate::lock(&self.state);
         loop {
             let now = Instant::now();
-            if let Some(i) = st
-                .items
-                .iter()
-                .position(|t| t.not_before.is_none_or(|nb| nb <= now))
-            {
-                return st.items.remove(i);
+            let mut best: Option<(usize, u64)> = None;
+            for (i, t) in st.items.iter().enumerate() {
+                if t.not_before.is_none_or(|nb| nb <= now) {
+                    let v = st.vtime.get(&t.tenant_key()).copied().unwrap_or(0);
+                    // Strictly-smaller keeps the earliest index on ties.
+                    if best.is_none_or(|(_, bv)| v < bv) {
+                        best = Some((i, v));
+                    }
+                }
+            }
+            if let Some((i, v)) = best {
+                let task = st.items.remove(i)?;
+                let charge = VTIME_SCALE / u64::from(task.weight.max(1));
+                st.vtime.insert(task.tenant_key(), v.saturating_add(charge));
+                return Some(task);
             }
             if st.closed && st.items.is_empty() {
                 return None;
@@ -197,6 +257,17 @@ impl TaskQueue {
         leftovers
     }
 
+    /// Empties the queue unconditionally, returning whatever is left.
+    ///
+    /// The drain-ordering backstop: after a graceful close has joined
+    /// every worker, any task still queued (admitted in the race window
+    /// while the last workers were retiring) would otherwise be stranded
+    /// without a terminal state. The service sweeps them here and
+    /// resolves them cancelled.
+    pub(crate) fn drain_remaining(&self) -> Vec<Task> {
+        crate::lock(&self.state).items.drain(..).collect()
+    }
+
     /// Current queue depth (admitted, not yet running).
     pub(crate) fn depth(&self) -> usize {
         crate::lock(&self.state).items.len()
@@ -210,6 +281,15 @@ mod tests {
     use std::time::Duration;
 
     fn task(id: u64, not_before: Option<Instant>) -> Task {
+        tenant_task(id, not_before, None, 1)
+    }
+
+    fn tenant_task(
+        id: u64,
+        not_before: Option<Instant>,
+        tenant: Option<u32>,
+        weight: u32,
+    ) -> Task {
         let (_, handle) = JobHandle::new(id);
         Task {
             id,
@@ -219,6 +299,8 @@ mod tests {
             attempts: 0,
             not_before,
             deadline: None,
+            tenant,
+            weight,
             handle,
         }
     }
@@ -273,6 +355,68 @@ mod tests {
         q.try_push(task(1, None)).unwrap();
         let leftovers = q.close(true);
         assert_eq!(leftovers.len(), 2);
+        assert!(q.pop().is_none());
+    }
+
+    /// With tenants A (weight 3) and B (weight 1) both saturating the
+    /// queue, pops interleave ~3:1 in A's favour — and B is never starved.
+    #[test]
+    fn pop_is_weighted_fair_share() {
+        let q = TaskQueue::new(16);
+        for i in 0..6 {
+            q.try_push(tenant_task(i, None, Some(0), 3)).unwrap();
+        }
+        for i in 6..12 {
+            q.try_push(tenant_task(i, None, Some(1), 1)).unwrap();
+        }
+        let order: Vec<u32> = (0..12)
+            .map(|_| q.pop().and_then(|t| t.tenant).unwrap())
+            .collect();
+        // Deterministic deficit schedule: A pops charge 1/3 as much as B
+        // pops, so A gets three slots for each of B's.
+        let a_first_8 = order.iter().take(8).filter(|&&t| t == 0).count();
+        assert_eq!(a_first_8, 6, "heavy tenant fills early slots 3:1: {order:?}");
+        assert_eq!(order[0], 0, "ties go to the oldest task");
+        assert!(order.ends_with(&[1, 1, 1, 1]), "light tenant drains last: {order:?}");
+        // Within one tenant, order stays FIFO.
+        let q2 = TaskQueue::new(4);
+        q2.try_push(tenant_task(0, None, Some(7), 2)).unwrap();
+        q2.try_push(tenant_task(1, None, Some(7), 2)).unwrap();
+        assert_eq!(q2.pop().map(|t| t.id), Some(0));
+        assert_eq!(q2.pop().map(|t| t.id), Some(1));
+    }
+
+    /// A light tenant submitting into a heavy tenant's flood is served
+    /// next, not behind the whole backlog.
+    #[test]
+    fn light_tenant_jumps_a_flood() {
+        let q = TaskQueue::new(64);
+        for i in 0..20 {
+            q.try_push(tenant_task(i, None, Some(9), 1)).unwrap();
+        }
+        // Two flood pops advance tenant 9's clock...
+        assert_eq!(q.pop().map(|t| t.id), Some(0));
+        assert_eq!(q.pop().map(|t| t.id), Some(1));
+        // ...so the late-arriving light tenant (seeded at the active
+        // floor, which is tenant 9's advanced clock) is NOT unfairly
+        // ahead, but competes evenly from here.
+        q.try_push(tenant_task(100, None, Some(5), 1)).unwrap();
+        let next_two: Vec<u64> = (0..2).map(|_| q.pop().map(|t| t.id).unwrap()).collect();
+        assert!(
+            next_two.contains(&100),
+            "light tenant served within two pops of arriving: {next_two:?}"
+        );
+    }
+
+    #[test]
+    fn drain_remaining_empties_the_queue() {
+        let q = TaskQueue::new(8);
+        q.try_push(task(0, None)).unwrap();
+        q.try_push(task(1, None)).unwrap();
+        q.close(false); // graceful: items stay queued for workers
+        let stranded = q.drain_remaining();
+        assert_eq!(stranded.len(), 2);
+        assert_eq!(q.depth(), 0);
         assert!(q.pop().is_none());
     }
 

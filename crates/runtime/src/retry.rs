@@ -4,11 +4,13 @@
 //! not typed pipeline errors, which are deterministic: a spec that fails
 //! to parse will fail identically on every attempt, so retrying it only
 //! burns queue time. Backoff doubles per attempt up to a cap, and jitter
-//! (drawn from the service's seeded RNG, so soak runs are reproducible)
-//! spreads concurrent retries so they do not stampede.
+//! (drawn via [`crate::jitter`] from the service's seeded RNG, so soak
+//! runs are reproducible) spreads concurrent retries so they do not
+//! stampede. The wire load generator paces with the same helper, so a
+//! replayed fault run matches on both sides of the socket.
 
+use crate::jitter::jitter_factor;
 use rand::rngs::StdRng;
-use rand::Rng;
 use std::time::Duration;
 
 /// How (and how often) a transient failure is retried.
@@ -85,12 +87,7 @@ impl RetryPolicy {
         let doublings = attempts.saturating_sub(1).min(32);
         let raw = self.base_delay.as_secs_f64() * f64::from(1u32 << doublings.min(31));
         let capped = raw.min(self.max_delay.as_secs_f64());
-        let jitter = self.jitter.clamp(0.0, 1.0);
-        let factor = if jitter > 0.0 {
-            1.0 - jitter / 2.0 + rng.gen_range(0.0..jitter)
-        } else {
-            1.0
-        };
+        let factor = jitter_factor(self.jitter, rng);
         Duration::from_secs_f64((capped * factor).max(0.0))
     }
 }

@@ -268,6 +268,36 @@ impl JobService {
         job: Job,
         deadline: Option<Duration>,
     ) -> Result<JobHandle, Rejected> {
+        self.submit_inner(job, deadline, None)
+    }
+
+    /// Submits a job billed to a fair-share tenant.
+    ///
+    /// Tasks of the same `tenant` id share one virtual-time clock in the
+    /// queue; under contention, tenants are dequeued in proportion to
+    /// `weight` (floor 1) instead of strict FIFO, so one tenant's flood
+    /// cannot starve another's trickle. This is the admission hook the
+    /// wire server (`slif-serve`) layers its API-key tenancy onto.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit).
+    pub fn submit_for_tenant(
+        &self,
+        job: Job,
+        deadline: Option<Duration>,
+        tenant: u32,
+        weight: u32,
+    ) -> Result<JobHandle, Rejected> {
+        self.submit_inner(job, deadline, Some((tenant, weight)))
+    }
+
+    fn submit_inner(
+        &self,
+        job: Job,
+        deadline: Option<Duration>,
+        tenant: Option<(u32, u32)>,
+    ) -> Result<JobHandle, Rejected> {
         if self.shared.shutting_down.load(Ordering::Relaxed) {
             Metrics::bump(&self.shared.metrics.shed);
             return Err(Rejected::ShuttingDown);
@@ -284,6 +314,8 @@ impl JobService {
             attempts: 0,
             not_before: None,
             deadline: deadline.map(|d| Instant::now() + d),
+            tenant: tenant.map(|(t, _)| t),
+            weight: tenant.map_or(1, |(_, w)| w.max(1)),
             handle: state,
         };
         match self.shared.queue.try_push(task) {
@@ -335,7 +367,16 @@ impl JobService {
     }
 
     fn stop(&self, discard: bool) {
-        self.shared.shutting_down.store(true, Ordering::Relaxed);
+        // Close the respawn gate and the admission gate as one step: the
+        // flag is flipped under the same lock the watchdog holds while
+        // respawning, so once this store is visible no worker can be
+        // (re)spawned for jobs admitted after drain began — the watchdog
+        // is either finished respawning or has not yet re-checked the
+        // flag it is about to see set.
+        {
+            let _respawn_gate = crate::lock(&self.shared.worker_handles);
+            self.shared.shutting_down.store(true, Ordering::SeqCst);
+        }
         let leftovers = self.shared.queue.close(discard);
         for task in leftovers {
             Metrics::bump(&self.shared.metrics.cancelled);
@@ -363,6 +404,14 @@ impl JobService {
             for handle in handles {
                 drop(handle.join());
             }
+        }
+        // Drain-race backstop: if every worker quarantined (and the
+        // respawn gate rightly stayed shut) while late-admitted jobs were
+        // still queued, those jobs have no worker left to run them. They
+        // still get exactly one terminal state.
+        for task in self.shared.queue.drain_remaining() {
+            Metrics::bump(&self.shared.metrics.cancelled);
+            task.handle.resolve(JobOutcome::Cancelled);
         }
     }
 }
@@ -410,13 +459,21 @@ fn admission_size_check(job: &Job, limits: &RunLimits) -> Option<Rejected> {
 }
 
 fn spawn_worker(shared: &Arc<Shared>) {
+    let mut handles = crate::lock(&shared.worker_handles);
+    spawn_worker_locked(shared, &mut handles);
+}
+
+/// Spawns a worker while the caller already holds the `worker_handles`
+/// lock — the same lock `stop` takes to flip the shutdown flag, which is
+/// what makes "check the flag, then spawn" atomic against a drain.
+fn spawn_worker_locked(shared: &Arc<Shared>, handles: &mut Vec<JoinHandle<()>>) {
     shared.workers_alive.fetch_add(1, Ordering::Relaxed);
     let s = Arc::clone(shared);
     let spawned = std::thread::Builder::new()
         .name("slif-worker".to_owned())
         .spawn(move || worker_loop(&s));
     match spawned {
-        Ok(handle) => crate::lock(&shared.worker_handles).push(handle),
+        Ok(handle) => handles.push(handle),
         Err(_) => {
             shared.workers_alive.fetch_sub(1, Ordering::Relaxed);
         }
@@ -552,10 +609,18 @@ fn watchdog_loop(shared: &Arc<Shared>) {
                 entry.cancel.cancel();
             }
         }
-        // Replace quarantined workers to hold the pool at strength.
-        if !shared.shutting_down.load(Ordering::Relaxed) {
-            while shared.workers_alive.load(Ordering::Relaxed) < shared.config.workers {
-                spawn_worker(shared);
+        // Replace quarantined workers to hold the pool at strength. The
+        // shutdown re-check happens *under* the handles lock so it cannot
+        // race a beginning drain: `stop` flips the flag under this same
+        // lock, so either we respawn before drain begins (and the worker
+        // is drained normally) or we observe the flag and stand down —
+        // never a fresh worker spawned into a draining service.
+        {
+            let mut handles = crate::lock(&shared.worker_handles);
+            if !shared.shutting_down.load(Ordering::SeqCst) {
+                while shared.workers_alive.load(Ordering::Relaxed) < shared.config.workers {
+                    spawn_worker_locked(shared, &mut handles);
+                }
             }
         }
         std::thread::sleep(shared.config.watchdog_interval);
@@ -748,6 +813,75 @@ mod tests {
         svc.shutdown();
     }
 
+    /// Regression for the drain-ordering race: with the pool quarantined
+    /// and the watchdog mid-respawn-cycle, a drain racing a stream of
+    /// admissions must neither let the watchdog respawn workers after the
+    /// drain began nor strand a late-admitted job without a terminal
+    /// state.
+    #[test]
+    fn drain_races_admission_without_respawn_or_stranding() {
+        use std::sync::atomic::AtomicBool;
+        for round in 0..10u64 {
+            let svc = Arc::new(JobService::start(
+                ServiceConfig::new()
+                    .with_workers(1)
+                    .with_max_worker_panics(1)
+                    .with_retry(fast_retry().with_max_attempts(1))
+                    .with_watchdog_interval(Duration::from_millis(1))
+                    .with_seed(round),
+            ));
+            // Quarantine the only worker so respawning is in play.
+            let boom = svc
+                .submit(Job::InjectedPanic {
+                    message: "quarantine".to_owned(),
+                })
+                .unwrap();
+            assert!(matches!(boom.wait(), JobOutcome::Failed { .. }));
+            let stop_flag = Arc::new(AtomicBool::new(false));
+            let submitter = {
+                let svc = Arc::clone(&svc);
+                let stop_flag = Arc::clone(&stop_flag);
+                std::thread::spawn(move || {
+                    let mut admitted = Vec::new();
+                    loop {
+                        match svc.submit(Job::ParseSpec {
+                            source: GOOD_SPEC.to_owned(),
+                        }) {
+                            Ok(handle) => admitted.push(handle),
+                            Err(Rejected::ShuttingDown) => break,
+                            Err(_) => {}
+                        }
+                        if stop_flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    admitted
+                })
+            };
+            // Vary the interleaving across rounds so the race window
+            // lands on different sides of the respawn check.
+            std::thread::sleep(Duration::from_micros(100 * round));
+            svc.shutdown();
+            stop_flag.store(true, Ordering::Relaxed);
+            let admitted = submitter.join().unwrap();
+            for handle in admitted {
+                let outcome = handle
+                    .wait_timeout(Duration::from_secs(10))
+                    .expect("admitted job stranded without a terminal state");
+                assert!(
+                    matches!(outcome, JobOutcome::Completed { .. } | JobOutcome::Cancelled),
+                    "round {round}: unexpected terminal state {outcome:?}"
+                );
+            }
+            assert_eq!(
+                svc.health().workers_alive,
+                0,
+                "round {round}: a worker was respawned for a draining service"
+            );
+            assert_eq!(svc.health().queue_depth, 0, "round {round}: queue not swept");
+        }
+    }
+
     #[test]
     fn oversized_jobs_are_shed_at_admission() {
         let limits = RunLimits {
@@ -919,6 +1053,24 @@ mod tests {
             slow.wait(),
             JobOutcome::Completed { .. } | JobOutcome::Cancelled
         ));
+    }
+
+    #[test]
+    fn tenant_submissions_complete_like_anonymous_ones() {
+        let svc = JobService::start(ServiceConfig::new().with_workers(1));
+        let job = Job::ParseSpec {
+            source: GOOD_SPEC.to_owned(),
+        };
+        let inline = job.run_inline(&RunLimits::default()).unwrap();
+        let tenant = svc.submit_for_tenant(job.clone(), None, 3, 5).unwrap();
+        let anon = svc.submit(job).unwrap();
+        for handle in [tenant, anon] {
+            match handle.wait() {
+                JobOutcome::Completed { output, .. } => assert_eq!(output, inline),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        svc.shutdown();
     }
 
     #[test]

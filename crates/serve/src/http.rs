@@ -1,0 +1,489 @@
+//! A hand-rolled HTTP/1.1 subset hardened for hostile clients.
+//!
+//! This is deliberately not a general HTTP implementation: it parses
+//! exactly the shape of request the SLIF wire protocol uses (a request
+//! line, headers, an optional `Content-Length` body) and turns every
+//! hostile input into a *typed* refusal instead of unbounded work:
+//!
+//! * **Slow loris** — the socket carries a read deadline; a client that
+//!   dribbles bytes slower than the deadline gets [`RecvError::Timeout`]
+//!   (wire status 408) and the connection back. A deadline that expires
+//!   *before any byte arrives* is an idle keep-alive connection, not an
+//!   attack, and closes silently ([`RecvError::Closed`]).
+//! * **Oversized requests** — header bytes are capped at
+//!   [`MAX_HEAD_BYTES`]; a declared `Content-Length` beyond the
+//!   configured body cap is refused ([`RecvError::TooLarge`], wire 413)
+//!   *without reading the body at all*.
+//! * **Truncated or malformed framing** — anything else
+//!   ([`RecvError::Malformed`], wire 400).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line plus all header bytes (8 KiB, nginx's
+/// default large-header budget).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target path (query strings are not split off; the
+    /// SLIF protocol does not use them).
+    pub path: String,
+    /// Header name/value pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read off the socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// The peer closed (or went idle past the deadline) before sending
+    /// any byte of a request — the clean end of a keep-alive connection.
+    Closed,
+    /// The read deadline expired mid-request: a slow-loris writer.
+    Timeout,
+    /// The request head or declared body exceeds a size cap.
+    TooLarge {
+        /// Which measure tripped (`"head bytes"` or `"body bytes"`).
+        what: &'static str,
+        /// The configured cap.
+        limit: usize,
+        /// The size seen or declared.
+        actual: usize,
+    },
+    /// The bytes do not frame a request this protocol accepts.
+    Malformed(&'static str),
+    /// Any other socket error; the connection is unusable.
+    Io,
+}
+
+/// One response, written by [`write_response`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The reason phrase.
+    pub reason: &'static str,
+    /// The body (always `text/plain; charset=utf-8`).
+    pub body: Vec<u8>,
+    /// An optional `Retry-After` header value in seconds (429/503).
+    pub retry_after: Option<u64>,
+    /// Whether the server will close the connection after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A response with the given status line and body, keep-alive.
+    pub fn new(status: u16, reason: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            reason,
+            body: body.into(),
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    /// Adds a `Retry-After` header.
+    #[must_use]
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
+    }
+
+    /// Marks the connection for closing after this response.
+    #[must_use]
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// A small buffered byte reader that never reads past what it needs, so
+/// a pipelined next request stays in the kernel buffer for the next
+/// [`read_request`] call.
+struct HeadReader<'a> {
+    stream: &'a mut TcpStream,
+    buf: [u8; 1024],
+    pos: usize,
+    len: usize,
+}
+
+impl<'a> HeadReader<'a> {
+    fn new(stream: &'a mut TcpStream) -> Self {
+        Self {
+            stream,
+            buf: [0; 1024],
+            pos: 0,
+            len: 0,
+        }
+    }
+
+    /// The next byte, `Ok(None)` on EOF.
+    fn next_byte(&mut self) -> Result<Option<u8>, io::Error> {
+        if self.pos == self.len {
+            self.len = self.stream.read(&mut self.buf)?;
+            self.pos = 0;
+            if self.len == 0 {
+                return Ok(None);
+            }
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(Some(b))
+    }
+
+    /// Bytes buffered but not yet consumed (the head of the body).
+    fn leftover(&self) -> &[u8] {
+        &self.buf[self.pos..self.len]
+    }
+}
+
+/// Reads one request, honouring the stream's read deadline and the
+/// `max_body` cap.
+///
+/// # Errors
+///
+/// A typed [`RecvError`]; see the module docs for the taxonomy.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RecvError> {
+    // Read the head byte-wise up to MAX_HEAD_BYTES, splitting CRLF lines.
+    let mut reader = HeadReader::new(stream);
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    loop {
+        match reader.next_byte() {
+            Ok(Some(b)) => {
+                head.push(b);
+                if head.len() > MAX_HEAD_BYTES {
+                    return Err(RecvError::TooLarge {
+                        what: "head bytes",
+                        limit: MAX_HEAD_BYTES,
+                        actual: head.len(),
+                    });
+                }
+                if head.ends_with(b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Ok(None) => {
+                return if head.is_empty() {
+                    Err(RecvError::Closed)
+                } else {
+                    Err(RecvError::Malformed("connection closed mid-head"))
+                };
+            }
+            Err(e) if is_timeout(&e) => {
+                return if head.is_empty() {
+                    // Idle keep-alive connection, not a slow writer.
+                    Err(RecvError::Closed)
+                } else {
+                    Err(RecvError::Timeout)
+                };
+            }
+            Err(_) => return Err(RecvError::Io),
+        }
+    }
+    let head_str = std::str::from_utf8(&head).map_err(|_| RecvError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head_str.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(RecvError::Malformed("empty request line"))?;
+    let path = parts
+        .next()
+        .ok_or(RecvError::Malformed("request line lacks a path"))?;
+    let version = parts
+        .next()
+        .ok_or(RecvError::Malformed("request line lacks a version"))?;
+    if parts.next().is_some() {
+        return Err(RecvError::Malformed("request line has trailing fields"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(RecvError::Malformed("unsupported HTTP version"));
+    }
+    let mut headers = Vec::new();
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(RecvError::Malformed("header line lacks a colon"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_owned();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| RecvError::Malformed("unparsable content-length"))?;
+        }
+        if name == "transfer-encoding" {
+            // Chunked bodies are an attack surface this protocol does
+            // not need; refuse them outright.
+            return Err(RecvError::Malformed("transfer-encoding unsupported"));
+        }
+        headers.push((name, value));
+    }
+    if content_length > max_body {
+        // Refuse by declaration — the body is never read, so an
+        // attacker cannot make the server swallow it before the 413.
+        return Err(RecvError::TooLarge {
+            what: "body bytes",
+            limit: max_body,
+            actual: content_length,
+        });
+    }
+    let mut body = Vec::with_capacity(content_length);
+    let leftover = reader.leftover();
+    let take = leftover.len().min(content_length);
+    body.extend_from_slice(&leftover[..take]);
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let want = (content_length - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => return Err(RecvError::Malformed("connection closed mid-body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(RecvError::Timeout),
+            Err(_) => return Err(RecvError::Io),
+        }
+    }
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    })
+}
+
+/// Writes `response`, honouring the stream's write deadline.
+///
+/// # Errors
+///
+/// Any socket error (including a write deadline expiring against a
+/// non-reading client); the caller should drop the connection.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: text/plain; charset=utf-8\r\ncontent-length: {}\r\n",
+        response.status,
+        response.reason,
+        response.body.len()
+    );
+    if let Some(secs) = response.retry_after {
+        head.push_str(&format!("retry-after: {secs}\r\n"));
+    }
+    head.push_str(if response.close {
+        "connection: close\r\n\r\n"
+    } else {
+        "connection: keep-alive\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// A client-side view of one response: status code, headers (names
+/// lowercased), body.
+pub type ClientResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Reads one response off `stream`. The client half of the protocol,
+/// used by the load generator and tests.
+///
+/// # Errors
+///
+/// [`RecvError::Closed`] when the peer closed before a status line,
+/// otherwise the same taxonomy as [`read_request`].
+pub fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, RecvError> {
+    let mut reader = HeadReader::new(stream);
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    loop {
+        match reader.next_byte() {
+            Ok(Some(b)) => {
+                head.push(b);
+                if head.len() > MAX_HEAD_BYTES {
+                    return Err(RecvError::TooLarge {
+                        what: "head bytes",
+                        limit: MAX_HEAD_BYTES,
+                        actual: head.len(),
+                    });
+                }
+                if head.ends_with(b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Ok(None) if head.is_empty() => return Err(RecvError::Closed),
+            Ok(None) => return Err(RecvError::Malformed("closed mid-head")),
+            Err(e) if is_timeout(&e) => return Err(RecvError::Timeout),
+            Err(_) => return Err(RecvError::Io),
+        }
+    }
+    let head_str = std::str::from_utf8(&head).map_err(|_| RecvError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head_str.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(RecvError::Malformed("bad status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| RecvError::Malformed("bad content-length"))?;
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = Vec::with_capacity(content_length);
+    let leftover = reader.leftover();
+    let take = leftover.len().min(content_length);
+    body.extend_from_slice(&leftover[..take]);
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let want = (content_length - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => return Err(RecvError::Malformed("closed mid-body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(RecvError::Timeout),
+            Err(_) => return Err(RecvError::Io),
+        }
+    }
+    Ok((status, headers, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn round_trips_a_request() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /v1/parse HTTP/1.1\r\nX-Api-Key: k1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        let req = read_request(&mut server, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/parse");
+        assert_eq!(req.header("x-api-key"), Some("k1"));
+        assert_eq!(req.body, b"hello");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn oversized_declared_body_refused_without_reading() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /v1/parse HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
+            .unwrap();
+        let err = read_request(&mut server, 1024).unwrap_err();
+        assert_eq!(
+            err,
+            RecvError::TooLarge {
+                what: "body bytes",
+                limit: 1024,
+                actual: 999999
+            }
+        );
+    }
+
+    #[test]
+    fn slow_loris_times_out_mid_head() {
+        let (mut client, mut server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(30)))
+            .unwrap();
+        client.write_all(b"POST /v1/par").unwrap(); // ...and stall
+        let err = read_request(&mut server, 1024).unwrap_err();
+        assert_eq!(err, RecvError::Timeout);
+    }
+
+    #[test]
+    fn idle_keep_alive_deadline_is_a_clean_close() {
+        let (_client, mut server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(read_request(&mut server, 1024).unwrap_err(), RecvError::Closed);
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /v1/parse HTTP/1.1\r\nContent-Length: 64\r\n\r\nshort")
+            .unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let err = read_request(&mut server, 1024).unwrap_err();
+        assert_eq!(err, RecvError::Malformed("connection closed mid-body"));
+    }
+
+    #[test]
+    fn chunked_encoding_is_refused() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /v1/parse HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .unwrap();
+        let err = read_request(&mut server, 1024).unwrap_err();
+        assert!(matches!(err, RecvError::Malformed(_)));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let (mut client, mut server) = pair();
+        let resp = Response::new(429, "Too Many Requests", "slow down")
+            .with_retry_after(7)
+            .closing();
+        write_response(&mut server, &resp).unwrap();
+        let (status, headers, body) = read_response(&mut client).unwrap();
+        assert_eq!(status, 429);
+        assert_eq!(body, b"slow down");
+        assert!(headers.iter().any(|(n, v)| n == "retry-after" && v == "7"));
+        assert!(headers.iter().any(|(n, v)| n == "connection" && v == "close"));
+    }
+}

@@ -1,0 +1,663 @@
+//! The accept/dispatch loop: a fixed acceptor + connection-worker pool
+//! over `std::net::TcpListener`.
+//!
+//! Topology: one **acceptor** thread polls a non-blocking listener and
+//! pushes accepted sockets onto a bounded connection queue; when that
+//! queue is full the acceptor *sheds* the connection with a canned 503
+//! instead of letting the backlog grow. A fixed pool of **connection
+//! workers** pops sockets and runs keep-alive request loops, so a
+//! stalled or hostile connection can pin at most one worker for at most
+//! one read-deadline.
+//!
+//! Shutdown is a graceful drain: [`Server::begin_drain`] flips a flag
+//! that turns every job-submitting endpoint into a 410 while `/health`
+//! and `/metrics` keep answering (so an orchestrator can watch the
+//! drain); [`Server::shutdown`] then stops the acceptor, lets workers
+//! finish their current connections, and drains the underlying
+//! [`JobService`] — in-flight jobs finish, nothing is dropped.
+
+use crate::http::{read_request, write_response, RecvError, Request, Response};
+use crate::tenant::{AdmitError, TenantRegistry, TenantSpec};
+use crate::wire::{
+    job_for, render_output, response_for_error, response_for_rejection, Endpoint, WireParams,
+    HDR_API_KEY,
+};
+use slif_runtime::{JobOutcome, JobService, RunLimits, ServiceConfig};
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (default `127.0.0.1:0` — an ephemeral port).
+    pub addr: String,
+    /// Connection-worker threads (default 4, floor 1).
+    pub conn_workers: usize,
+    /// Bounded accepted-connection queue; beyond it the acceptor sheds
+    /// with a canned 503 (default 64, floor 1).
+    pub pending_conns: usize,
+    /// Per-connection read deadline — the slow-loris bound (default 2 s).
+    pub read_timeout: Duration,
+    /// Per-connection write deadline (default 2 s).
+    pub write_timeout: Duration,
+    /// Cap on a request's declared body size (default 256 KiB).
+    pub max_request_bytes: usize,
+    /// Deadline submitted with every job (default 10 s).
+    pub request_deadline: Duration,
+    /// Cap on requested exploration iterations (default 10 000).
+    pub max_explore_iterations: u64,
+    /// Tenants; empty = open server (no keys required).
+    pub tenants: Vec<TenantSpec>,
+    /// Tuning for the underlying job service.
+    pub runtime: ServiceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            conn_workers: 4,
+            pending_conns: 64,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            max_request_bytes: 256 * 1024,
+            request_deadline: Duration::from_secs(10),
+            max_explore_iterations: 10_000,
+            tenants: Vec::new(),
+            runtime: ServiceConfig::new(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The default tuning.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the bind address.
+    #[must_use]
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the connection-worker count (floor 1).
+    #[must_use]
+    pub fn with_conn_workers(mut self, n: usize) -> Self {
+        self.conn_workers = n.max(1);
+        self
+    }
+
+    /// Sets the read/write deadlines.
+    #[must_use]
+    pub fn with_io_timeouts(mut self, read: Duration, write: Duration) -> Self {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+
+    /// Sets the request body cap.
+    #[must_use]
+    pub fn with_max_request_bytes(mut self, n: usize) -> Self {
+        self.max_request_bytes = n;
+        self
+    }
+
+    /// Sets the per-job deadline.
+    #[must_use]
+    pub fn with_request_deadline(mut self, d: Duration) -> Self {
+        self.request_deadline = d;
+        self
+    }
+
+    /// Sets the exploration-iteration cap (floor 1).
+    #[must_use]
+    pub fn with_max_explore_iterations(mut self, n: u64) -> Self {
+        self.max_explore_iterations = n.max(1);
+        self
+    }
+
+    /// Adds a tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Sets the job-service tuning.
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: ServiceConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+}
+
+/// Wire-level counters, additional to the job service's own metrics.
+#[derive(Debug, Default)]
+pub(crate) struct WireStats {
+    requests: AtomicU64,
+    shed_conns: AtomicU64,
+    statuses: Mutex<BTreeMap<u16, u64>>,
+}
+
+impl WireStats {
+    fn note(&self, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        *crate::lock(&self.statuses).entry(status).or_insert(0) += 1;
+    }
+}
+
+/// The accepted-connection queue: bounded, closeable.
+#[derive(Debug, Default)]
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    /// Pushes unless full; `Err` returns the stream for shedding.
+    fn push(&self, stream: TcpStream, cap: usize) -> Result<(), TcpStream> {
+        let mut st = crate::lock(&self.state);
+        if st.1 || st.0.len() >= cap {
+            return Err(stream);
+        }
+        st.0.push_back(stream);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops a connection; `None` once closed and empty.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut st = crate::lock(&self.state);
+        loop {
+            if let Some(s) = st.0.pop_front() {
+                return Some(s);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self
+                .ready
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        crate::lock(&self.state).1 = true;
+        self.ready.notify_all();
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    service: JobService,
+    registry: TenantRegistry,
+    conns: ConnQueue,
+    stats: WireStats,
+    draining: AtomicBool,
+    stop_accepting: AtomicBool,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    max_request_bytes: usize,
+    request_deadline: Duration,
+    max_explore_iterations: u64,
+    limits: RunLimits,
+}
+
+/// A running server. Dropping it without [`shutdown`](Server::shutdown)
+/// leaks the threads; call `shutdown` for a clean drain.
+#[derive(Debug)]
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, starts the job service, the acceptor, and the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from binding or configuring the listener.
+    pub fn bind(config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let limits = config.runtime.limits;
+        let inner = Arc::new(Inner {
+            service: JobService::start(config.runtime),
+            registry: TenantRegistry::new(config.tenants),
+            conns: ConnQueue::default(),
+            stats: WireStats::default(),
+            draining: AtomicBool::new(false),
+            stop_accepting: AtomicBool::new(false),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            max_request_bytes: config.max_request_bytes,
+            request_deadline: config.request_deadline,
+            max_explore_iterations: config.max_explore_iterations,
+            limits,
+        });
+        let pending = config.pending_conns.max(1);
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("slif-serve-acceptor".into())
+                .spawn(move || acceptor_loop(&inner, &listener, pending))?
+        };
+        let mut workers = Vec::with_capacity(config.conn_workers.max(1));
+        for i in 0..config.conn_workers.max(1) {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("slif-serve-conn-{i}"))
+                    .spawn(move || worker_loop(&inner))?,
+            );
+        }
+        Ok(Self {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins draining: job endpoints answer 410 from now on, while
+    /// `/health` and `/metrics` keep serving. Idempotent.
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: drain, stop accepting, finish current
+    /// connections, then drain the job service (in-flight jobs finish).
+    pub fn shutdown(mut self) {
+        self.begin_drain();
+        self.inner.stop_accepting.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            drop(a.join());
+        }
+        self.inner.conns.close();
+        for w in self.workers.drain(..) {
+            drop(w.join());
+        }
+        self.inner.service.shutdown();
+    }
+
+    /// A point-in-time health snapshot of the underlying job service.
+    pub fn health(&self) -> slif_runtime::HealthSnapshot {
+        self.inner.service.health()
+    }
+}
+
+fn acceptor_loop(inner: &Inner, listener: &TcpListener, pending: usize) {
+    while !inner.stop_accepting.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Err(mut refused) = inner.conns.push(stream, pending) {
+                    // Shed: a canned close-response, best-effort.
+                    inner.stats.shed_conns.fetch_add(1, Ordering::Relaxed);
+                    drop(refused.set_write_timeout(Some(Duration::from_millis(200))));
+                    let resp = Response::new(
+                        503,
+                        "Service Unavailable",
+                        "connection backlog full; retry later\n",
+                    )
+                    .with_retry_after(1)
+                    .closing();
+                    drop(write_response(&mut refused, &resp));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(stream) = inner.conns.pop() {
+        serve_connection(inner, stream);
+    }
+}
+
+/// Runs one keep-alive connection to completion. Never panics: every
+/// refusal is a typed response, every socket error a drop.
+fn serve_connection(inner: &Inner, mut stream: TcpStream) {
+    if stream
+        .set_read_timeout(Some(inner.read_timeout))
+        .and_then(|()| stream.set_write_timeout(Some(inner.write_timeout)))
+        .and_then(|()| stream.set_nodelay(true))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        let response = match read_request(&mut stream, inner.max_request_bytes) {
+            Ok(request) => {
+                let close = request.wants_close();
+                let mut resp = handle_request(inner, &request);
+                resp.close = resp.close || close;
+                resp
+            }
+            // Clean end of the connection: peer closed or went idle.
+            Err(RecvError::Closed) => return,
+            // Slow loris: the deadline fired mid-request.
+            Err(RecvError::Timeout) => {
+                Response::new(408, "Request Timeout", "read deadline expired\n").closing()
+            }
+            Err(RecvError::TooLarge {
+                what,
+                limit,
+                actual,
+            }) => Response::new(
+                413,
+                "Payload Too Large",
+                format!("too large: {what} {actual} exceeds limit {limit}\n"),
+            )
+            .closing(),
+            Err(RecvError::Malformed(why)) => {
+                Response::new(400, "Bad Request", format!("malformed request: {why}\n")).closing()
+            }
+            Err(RecvError::Io) => return,
+        };
+        inner.stats.note(response.status);
+        if write_response(&mut stream, &response).is_err() || response.close {
+            return;
+        }
+    }
+}
+
+fn handle_request(inner: &Inner, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => Response::new(200, "OK", format!("{}\n", inner.service.health())),
+        ("GET", "/metrics") => Response::new(200, "OK", render_metrics(inner)),
+        (_, "/health" | "/metrics") => method_not_allowed("GET"),
+        (method, path) => match Endpoint::from_path(path) {
+            None => Response::new(404, "Not Found", format!("no such endpoint: {path}\n")),
+            Some(_) if method != "POST" => method_not_allowed("POST"),
+            Some(endpoint) => run_job(inner, endpoint, request),
+        },
+    }
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    Response::new(
+        405,
+        "Method Not Allowed",
+        format!("method not allowed; use {allowed}\n"),
+    )
+}
+
+fn run_job(inner: &Inner, endpoint: Endpoint, request: &Request) -> Response {
+    // Drain gate first: during drain nothing new is admitted, matching
+    // the runtime's own ShuttingDown refusal.
+    if inner.draining.load(Ordering::Relaxed) {
+        return Response::new(410, "Gone", "server is draining; resubmit elsewhere\n").closing();
+    }
+    // Tenancy gate before any parsing: a quota flood costs one bucket
+    // check, not a parse.
+    let admission = match inner.registry.admit(request.header(HDR_API_KEY)) {
+        Ok(a) => a,
+        Err(AdmitError::UnknownKey) => {
+            return Response::new(401, "Unauthorized", "missing or unknown API key\n");
+        }
+        Err(AdmitError::QuotaExhausted { retry_after_secs }) => {
+            return Response::new(429, "Too Many Requests", "tenant quota exhausted\n")
+                .with_retry_after(retry_after_secs);
+        }
+    };
+    let Ok(source) = std::str::from_utf8(&request.body) else {
+        return Response::new(400, "Bad Request", "body is not UTF-8\n");
+    };
+    let params = WireParams::from_headers(|name| request.header(name));
+    let job = match job_for(
+        endpoint,
+        source,
+        &params,
+        &inner.limits,
+        inner.max_explore_iterations,
+    ) {
+        Ok(job) => job,
+        Err(diag) => {
+            return Response::new(
+                422,
+                "Unprocessable Entity",
+                format!("specification rejected: {diag}\n"),
+            );
+        }
+    };
+    let handle = match inner.service.submit_for_tenant(
+        job,
+        Some(inner.request_deadline),
+        admission.tenant,
+        admission.weight,
+    ) {
+        Ok(handle) => handle,
+        Err(rejection) => return response_for_rejection(&rejection),
+    };
+    // The job carries its own deadline; the extra grace covers queue
+    // wait + scheduling so the service's typed TimedOut (not this
+    // fallback) is the normal timeout path.
+    let grace = inner.request_deadline + Duration::from_secs(5);
+    match handle.wait_timeout(grace) {
+        Some(JobOutcome::Completed { output, .. }) => {
+            Response::new(200, "OK", render_output(&output))
+        }
+        Some(JobOutcome::Failed { error, .. }) => response_for_error(&error),
+        Some(JobOutcome::TimedOut) => Response::new(
+            504,
+            "Gateway Timeout",
+            "job deadline expired before execution finished\n",
+        ),
+        Some(JobOutcome::Cancelled) => {
+            Response::new(410, "Gone", "job cancelled by shutdown\n").closing()
+        }
+        // Wildcard covers both the non_exhaustive outcome enum and the
+        // wait itself timing out.
+        _ => Response::new(
+            504,
+            "Gateway Timeout",
+            "gave up waiting for the job's terminal state\n",
+        ),
+    }
+}
+
+fn render_metrics(inner: &Inner) -> String {
+    use std::fmt::Write as _;
+    let h = inner.service.health();
+    let mut out = String::with_capacity(1024);
+    let mut w = |name: &str, v: u64| {
+        let _ = writeln!(out, "slif_{name} {v}");
+    };
+    w("requests_total", inner.stats.requests.load(Ordering::Relaxed));
+    w(
+        "connections_shed_total",
+        inner.stats.shed_conns.load(Ordering::Relaxed),
+    );
+    w("queue_depth", h.queue_depth as u64);
+    w("in_flight", h.in_flight);
+    w("workers_alive", h.workers_alive as u64);
+    w("jobs_submitted_total", h.submitted);
+    w("jobs_completed_total", h.completed);
+    w("jobs_failed_total", h.failed);
+    w("jobs_shed_total", h.shed);
+    w("jobs_retried_total", h.retried);
+    w("jobs_timed_out_total", h.timed_out);
+    w("jobs_cancelled_total", h.cancelled);
+    w("worker_panics_total", h.worker_panics);
+    w("degraded_runs_total", h.degraded_runs);
+    w("latency_p50_us", h.latency.p50_micros().unwrap_or(0));
+    w("latency_p90_us", h.latency.p90_micros().unwrap_or(0));
+    w("latency_p99_us", h.latency.p99_micros().unwrap_or(0));
+    for (status, count) in crate::lock(&inner.stats.statuses).iter() {
+        let _ = writeln!(out, "slif_http_responses_total{{code=\"{status}\"}} {count}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::read_response;
+    use std::io::Write as _;
+
+    fn tiny_server(tenants: Vec<TenantSpec>) -> Server {
+        Server::bind(
+            ServerConfig::new()
+                .with_conn_workers(2)
+                .with_io_timeouts(Duration::from_millis(200), Duration::from_millis(500))
+                .with_runtime(ServiceConfig::new().with_workers(2))
+                .with_tenant_list(tenants),
+        )
+        .unwrap()
+    }
+
+    impl ServerConfig {
+        fn with_tenant_list(mut self, tenants: Vec<TenantSpec>) -> Self {
+            self.tenants = tenants;
+            self
+        }
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, Vec<u8>) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(raw).unwrap();
+        let (status, _, body) = read_response(&mut s).unwrap();
+        (status, body)
+    }
+
+    const GOOD_SPEC: &str = "system T;\nvar x : int<8>;\nprocess Main { x = x + 1; }\n";
+
+    fn post(path: &str, body: &str) -> Vec<u8> {
+        format!(
+            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    }
+
+    #[test]
+    fn serves_health_metrics_and_a_parse() {
+        let server = tiny_server(Vec::new());
+        let addr = server.addr();
+        let (status, body) = roundtrip(addr, b"GET /health HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(String::from_utf8_lossy(&body).contains("workers"));
+        let (status, body) = roundtrip(addr, &post("/v1/parse", GOOD_SPEC));
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        assert!(String::from_utf8_lossy(&body).contains("parsed: 1 behaviors"));
+        let (status, body) = roundtrip(addr, b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        let text = String::from_utf8_lossy(&body).into_owned();
+        assert!(text.contains("slif_requests_total"), "{text}");
+        assert!(text.contains("slif_latency_p99_us"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn refuses_unknown_paths_and_methods() {
+        let server = tiny_server(Vec::new());
+        let addr = server.addr();
+        assert_eq!(roundtrip(addr, &post("/v1/nope", "x")).0, 404);
+        assert_eq!(
+            roundtrip(addr, b"GET /v1/parse HTTP/1.1\r\n\r\n").0,
+            405
+        );
+        assert_eq!(
+            roundtrip(addr, b"DELETE /health HTTP/1.1\r\n\r\n").0,
+            405
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_gates_jobs_but_not_observability() {
+        let server = tiny_server(Vec::new());
+        let addr = server.addr();
+        server.begin_drain();
+        assert_eq!(roundtrip(addr, &post("/v1/parse", GOOD_SPEC)).0, 410);
+        assert_eq!(roundtrip(addr, b"GET /health HTTP/1.1\r\n\r\n").0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tenancy_rejects_bad_keys_and_quota_floods() {
+        let server = tiny_server(vec![
+            TenantSpec::new("solid", "ks").with_weight(2),
+            TenantSpec::new("capped", "kc").with_quota(0.1, 1.0),
+        ]);
+        let addr = server.addr();
+        // No key and wrong key → 401.
+        assert_eq!(roundtrip(addr, &post("/v1/parse", GOOD_SPEC)).0, 401);
+        let mut with_key = format!(
+            "POST /v1/parse HTTP/1.1\r\nx-api-key: bogus\r\ncontent-length: {}\r\n\r\n{GOOD_SPEC}",
+            GOOD_SPEC.len()
+        )
+        .into_bytes();
+        assert_eq!(roundtrip(addr, &with_key).0, 401);
+        // Good key → 200.
+        with_key = format!(
+            "POST /v1/parse HTTP/1.1\r\nx-api-key: ks\r\ncontent-length: {}\r\n\r\n{GOOD_SPEC}",
+            GOOD_SPEC.len()
+        )
+        .into_bytes();
+        assert_eq!(roundtrip(addr, &with_key).0, 200);
+        // Capped tenant: first passes, second 429s with Retry-After.
+        let capped = format!(
+            "POST /v1/parse HTTP/1.1\r\nx-api-key: kc\r\ncontent-length: {}\r\n\r\n{GOOD_SPEC}",
+            GOOD_SPEC.len()
+        )
+        .into_bytes();
+        assert_eq!(roundtrip(addr, &capped).0, 200);
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(&capped).unwrap();
+        let (status, headers, _) = read_response(&mut s).unwrap();
+        assert_eq!(status, 429);
+        assert!(
+            headers.iter().any(|(n, _)| n == "retry-after"),
+            "{headers:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_spec_is_422_and_panic_is_isolated() {
+        let server = tiny_server(Vec::new());
+        let addr = server.addr();
+        let (status, body) = roundtrip(addr, &post("/v1/estimate", "system ; process {"));
+        assert_eq!(status, 422, "{}", String::from_utf8_lossy(&body));
+        // The server survives to serve the next request.
+        assert_eq!(roundtrip(addr, &post("/v1/parse", GOOD_SPEC)).0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_carries_multiple_requests() {
+        let server = tiny_server(Vec::new());
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        for _ in 0..3 {
+            s.write_all(&post("/v1/parse", GOOD_SPEC)).unwrap();
+            let (status, _, _) = read_response(&mut s).unwrap();
+            assert_eq!(status, 200);
+        }
+        server.shutdown();
+    }
+}

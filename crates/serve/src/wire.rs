@@ -1,0 +1,387 @@
+//! The SLIF wire protocol: endpoints, job construction, output
+//! rendering, and the status-code taxonomy.
+//!
+//! Everything here is **pure** and shared by the server, the load
+//! generator, and the soak test — that sharing is what makes the
+//! bit-identity guarantee checkable: the test computes the expected body
+//! with [`job_for`] + [`Job::run_inline`] + [`render_output`] and
+//! compares it byte-for-byte against what came over the socket.
+//!
+//! ## Endpoints
+//!
+//! | Method/path        | Job                         |
+//! |--------------------|-----------------------------|
+//! | `POST /v1/parse`   | [`Job::ParseSpec`]          |
+//! | `POST /v1/estimate`| [`Job::Estimate`]           |
+//! | `POST /v1/explore` | [`Job::Explore`] (random search, seeded) |
+//! | `POST /v1/analyze` | [`Job::Analyze`]            |
+//! | `GET /health`      | health snapshot             |
+//! | `GET /metrics`     | counters + latency percentiles |
+//!
+//! The body is specification source; `x-slif-seed` and
+//! `x-slif-iterations` tune exploration.
+//!
+//! ## Status taxonomy
+//!
+//! Every refusal is distinct, so a client (or the soak test) can tell
+//! *which* guard fired from the status alone:
+//!
+//! | Status | Meaning |
+//! |--------|---------|
+//! | 400    | malformed framing or truncated body |
+//! | 401    | missing/unknown API key |
+//! | 404    | unknown path |
+//! | 405    | wrong method for a known path |
+//! | 408    | read deadline expired mid-request (slow loris) |
+//! | 410    | draining — [`Rejected::ShuttingDown`] |
+//! | 413    | oversized (HTTP body guard or [`Rejected::TooLarge`]) |
+//! | 422    | spec/core/explore error — the job ran and refused |
+//! | 429    | tenant quota exhausted (`Retry-After`) |
+//! | 500    | job panicked (isolated; the server stays up) |
+//! | 503    | [`Rejected::QueueFull`] (`Retry-After`) |
+//! | 504    | job deadline expired in the service |
+//!
+//! 410 (not 503) for drain keeps every [`Rejected`] variant on its own
+//! code: `QueueFull` is "retry this same server soon", `ShuttingDown`
+//! is "this instance is gone, go elsewhere".
+
+use crate::http::Response;
+use slif_analyze::AnalysisConfig;
+use slif_estimate::EstimatorConfig;
+use slif_explore::{Algorithm, Objectives};
+use slif_frontend::{all_software_partition, build_design, try_allocate_proc_asic};
+use slif_runtime::{Job, JobError, JobOutput, Rejected, RunLimits};
+use slif_speclang::{parse_with_limits, resolve};
+use slif_techlib::TechnologyLibrary;
+
+/// Header carrying the API key.
+pub const HDR_API_KEY: &str = "x-api-key";
+/// Header carrying the exploration RNG seed (u64, default 0).
+pub const HDR_SEED: &str = "x-slif-seed";
+/// Header carrying the requested exploration iterations (u64).
+pub const HDR_ITERATIONS: &str = "x-slif-iterations";
+
+/// A job-running endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/parse`
+    Parse,
+    /// `POST /v1/estimate`
+    Estimate,
+    /// `POST /v1/explore`
+    Explore,
+    /// `POST /v1/analyze`
+    Analyze,
+}
+
+impl Endpoint {
+    /// Maps a request path to its endpoint.
+    pub fn from_path(path: &str) -> Option<Self> {
+        match path {
+            "/v1/parse" => Some(Self::Parse),
+            "/v1/estimate" => Some(Self::Estimate),
+            "/v1/explore" => Some(Self::Explore),
+            "/v1/analyze" => Some(Self::Analyze),
+            _ => None,
+        }
+    }
+
+    /// The kebab-case kind name, matching [`Job::kind`] for the job this
+    /// endpoint submits.
+    pub fn kind(self) -> &'static str {
+        match self {
+            Self::Parse => "parse-spec",
+            Self::Estimate => "estimate",
+            Self::Explore => "explore",
+            Self::Analyze => "analyze",
+        }
+    }
+
+    /// All endpoints, for iteration in the load generator.
+    pub const ALL: [Endpoint; 4] = [
+        Endpoint::Parse,
+        Endpoint::Estimate,
+        Endpoint::Explore,
+        Endpoint::Analyze,
+    ];
+}
+
+/// Per-request tuning knobs, parsed from headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireParams {
+    /// Exploration RNG seed.
+    pub seed: u64,
+    /// Requested exploration iterations (the server caps this).
+    pub iterations: u64,
+}
+
+impl Default for WireParams {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            iterations: 64,
+        }
+    }
+}
+
+impl WireParams {
+    /// Parses params from header lookups; absent or unparsable headers
+    /// keep their defaults (hostile headers must not 500).
+    pub fn from_headers<'a>(mut header: impl FnMut(&str) -> Option<&'a str>) -> Self {
+        let mut p = Self::default();
+        if let Some(v) = header(HDR_SEED).and_then(|v| v.parse().ok()) {
+            p.seed = v;
+        }
+        if let Some(v) = header(HDR_ITERATIONS).and_then(|v| v.parse().ok()) {
+            p.iterations = v;
+        }
+        p
+    }
+}
+
+/// Builds the job an endpoint runs over specification `source`.
+///
+/// This is the *entire* request semantics: the server submits exactly
+/// this job, and the soak test runs exactly this job inline. Estimate,
+/// explore, and analyze all operate on the proc+ASIC design compiled
+/// from the source, starting from the all-software partition.
+///
+/// # Errors
+///
+/// A rendered diagnostic when the source fails to parse, resolve, or
+/// allocate — refused before queueing (wire 422).
+pub fn job_for(
+    endpoint: Endpoint,
+    source: &str,
+    params: &WireParams,
+    limits: &RunLimits,
+    max_iterations: u64,
+) -> Result<Job, String> {
+    if endpoint == Endpoint::Parse {
+        return Ok(Job::ParseSpec {
+            source: source.to_owned(),
+        });
+    }
+    let spec = parse_with_limits(source, &limits.parse).map_err(|e| e.to_string())?;
+    let rs = resolve(spec).map_err(|e| e.to_string())?;
+    let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+    let arch = try_allocate_proc_asic(&mut design).map_err(|e| e.to_string())?;
+    let partition = all_software_partition(&design, arch);
+    Ok(match endpoint {
+        Endpoint::Parse => unreachable!("handled above"),
+        Endpoint::Estimate => Job::Estimate {
+            design,
+            partition,
+            config: EstimatorConfig::new(),
+        },
+        Endpoint::Explore => Job::Explore {
+            design,
+            start: partition,
+            objectives: Objectives::new(),
+            algorithm: Algorithm::RandomSearch {
+                iterations: params.iterations.min(max_iterations),
+                seed: params.seed,
+            },
+        },
+        Endpoint::Analyze => Job::Analyze {
+            design,
+            partition: Some(partition),
+            config: AnalysisConfig::new(),
+        },
+    })
+}
+
+/// Renders a successful job output as the deterministic response body.
+///
+/// Determinism is load-bearing: the soak test compares these bytes
+/// across the wire against an inline run. Never panics — an
+/// unrecognized (future) output variant renders as a placeholder.
+pub fn render_output(output: &JobOutput) -> String {
+    match output {
+        JobOutput::Parsed {
+            canonical,
+            behaviors,
+        } => format!("parsed: {behaviors} behaviors\n\n{canonical}"),
+        JobOutput::Compiled {
+            nodes,
+            ports,
+            channels,
+            classes,
+        } => format!(
+            "compiled: {nodes} nodes, {ports} ports, {channels} channels, {classes} classes\n"
+        ),
+        JobOutput::Estimated(report) => format!("{report}"),
+        JobOutput::Explored(sr) => format!(
+            "explored: stop {}, cost {}, evaluations {}, checkpoints {}\n",
+            sr.stop, sr.result.cost, sr.result.evaluations, sr.checkpoints_written
+        ),
+        JobOutput::Analyzed(report) => format!("{report}"),
+        _ => "ok (unrenderable output kind)\n".to_owned(),
+    }
+}
+
+/// Maps a runtime admission refusal to its (distinct) wire response.
+pub fn response_for_rejection(rejection: &Rejected) -> Response {
+    match rejection {
+        Rejected::QueueFull { capacity } => Response::new(
+            503,
+            "Service Unavailable",
+            format!("queue full (capacity {capacity}); retry later\n"),
+        )
+        .with_retry_after(1),
+        Rejected::TooLarge {
+            what,
+            limit,
+            actual,
+        } => Response::new(
+            413,
+            "Payload Too Large",
+            format!("too large: {what} {actual} exceeds limit {limit}\n"),
+        ),
+        Rejected::ShuttingDown => Response::new(
+            410,
+            "Gone",
+            "server is draining; resubmit elsewhere\n",
+        ),
+        // `Rejected` is non_exhaustive upstream-compatible: refuse
+        // conservatively rather than panic on a future variant.
+        #[allow(unreachable_patterns)]
+        _ => Response::new(503, "Service Unavailable", "rejected\n"),
+    }
+}
+
+/// Maps a typed job failure to its wire response: the job *ran* and
+/// refused (422), or it panicked and was isolated (500).
+pub fn response_for_error(error: &JobError) -> Response {
+    match error {
+        JobError::Spec(_) | JobError::Core(_) | JobError::Explore(_) => Response::new(
+            422,
+            "Unprocessable Entity",
+            format!("{error}\n"),
+        ),
+        JobError::Panicked { .. } => Response::new(
+            500,
+            "Internal Server Error",
+            format!("{error}\n"),
+        ),
+        #[allow(unreachable_patterns)]
+        _ => Response::new(500, "Internal Server Error", format!("{error}\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_SPEC: &str = "system T;\nvar x : int<8>;\nprocess Main { x = x + 1; }\n";
+
+    #[test]
+    fn endpoints_round_trip_paths() {
+        for ep in Endpoint::ALL {
+            let path = match ep {
+                Endpoint::Parse => "/v1/parse",
+                Endpoint::Estimate => "/v1/estimate",
+                Endpoint::Explore => "/v1/explore",
+                Endpoint::Analyze => "/v1/analyze",
+            };
+            assert_eq!(Endpoint::from_path(path), Some(ep));
+        }
+        assert_eq!(Endpoint::from_path("/v1/nope"), None);
+    }
+
+    #[test]
+    fn params_parse_from_headers_with_hostile_fallbacks() {
+        let headers = [(HDR_SEED, "17"), (HDR_ITERATIONS, "not-a-number")];
+        let p = WireParams::from_headers(|name| {
+            headers.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+        });
+        assert_eq!(p.seed, 17);
+        assert_eq!(p.iterations, WireParams::default().iterations);
+    }
+
+    #[test]
+    fn every_endpoint_builds_a_runnable_job() {
+        let limits = RunLimits::default();
+        for ep in Endpoint::ALL {
+            let job = job_for(ep, GOOD_SPEC, &WireParams::default(), &limits, 16)
+                .unwrap_or_else(|e| panic!("{}: {e}", ep.kind()));
+            assert_eq!(job.kind(), ep.kind());
+            let out = job
+                .run_inline(&limits)
+                .unwrap_or_else(|e| panic!("{}: {e}", ep.kind()));
+            let body = render_output(&out);
+            assert!(!body.is_empty());
+            // Rendering is deterministic for identical jobs.
+            let out2 = job_for(ep, GOOD_SPEC, &WireParams::default(), &limits, 16)
+                .and_then(|j| j.run_inline(&limits).map_err(|e| e.to_string()))
+                .unwrap_or_else(|e| panic!("{}: {e}", ep.kind()));
+            assert_eq!(body, render_output(&out2), "{}", ep.kind());
+        }
+    }
+
+    #[test]
+    fn explore_iterations_are_capped() {
+        let limits = RunLimits::default();
+        let params = WireParams {
+            seed: 1,
+            iterations: 1_000_000,
+        };
+        match job_for(Endpoint::Explore, GOOD_SPEC, &params, &limits, 8) {
+            Ok(Job::Explore {
+                algorithm: Algorithm::RandomSearch { iterations, seed },
+                ..
+            }) => {
+                assert_eq!(iterations, 8);
+                assert_eq!(seed, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_spec_is_refused_before_queueing() {
+        let err = job_for(
+            Endpoint::Estimate,
+            "system ; process {",
+            &WireParams::default(),
+            &RunLimits::default(),
+            16,
+        )
+        .unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn rejections_map_to_distinct_statuses() {
+        let full = response_for_rejection(&Rejected::QueueFull { capacity: 4 });
+        let large = response_for_rejection(&Rejected::TooLarge {
+            what: "spec bytes",
+            limit: 10,
+            actual: 99,
+        });
+        let drain = response_for_rejection(&Rejected::ShuttingDown);
+        assert_eq!(full.status, 503);
+        assert_eq!(full.retry_after, Some(1));
+        assert_eq!(large.status, 413);
+        assert_eq!(drain.status, 410);
+        let statuses = [full.status, large.status, drain.status];
+        let mut unique = statuses.to_vec();
+        unique.dedup();
+        assert_eq!(unique.len(), statuses.len(), "statuses must be distinct");
+    }
+
+    #[test]
+    fn errors_map_panics_to_500_and_refusals_to_422() {
+        assert_eq!(
+            response_for_error(&JobError::Spec("bad".into())).status,
+            422
+        );
+        assert_eq!(
+            response_for_error(&JobError::Panicked {
+                message: "boom".into()
+            })
+            .status,
+            500
+        );
+    }
+}

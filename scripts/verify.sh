@@ -25,7 +25,16 @@
 # 6. Bench smoke: the pr3_bench binary re-measures baseline vs
 #    compiled candidate evaluation and rewrites BENCH_pr3.json, so the
 #    committed speedup record always matches the code being verified.
-# 7. Lint gate: clippy with warnings denied (the workspace sweep covers
+# 7. Wire smoke: loadgen binds a slif-serve instance in-process on an
+#    ephemeral port (--self-serve, so no port coordination) and drives
+#    500 mixed requests with >30% injected client faults — slow
+#    writers, truncated bodies, bad API keys, oversized declarations,
+#    tenant floods. It exits nonzero on any contract violation (wrong
+#    status, clean body not byte-identical to the inline run, a caught
+#    worker panic) and rewrites BENCH_serve.json so the committed
+#    throughput/p99 record always matches the code being verified. The
+#    full 10k-request soak runs as tests/wire_soak.rs in step 1.
+# 8. Lint gate: clippy with warnings denied (the workspace sweep covers
 #    crates/analyze like every other crate), plus `unwrap_used` on
 #    non-test code (without --all-targets, #[cfg(test)] code is not
 #    linted, which is exactly the carve-out we want: tests may unwrap,
@@ -46,4 +55,5 @@ cargo run --release --quiet --example serve_batch
 cargo test -q --test analyze_props
 cargo run --release --quiet --example analyze_spec -- --deny-warnings
 cargo run --release --quiet -p slif-bench --bin pr3_bench BENCH_pr3.json
+cargo run --release --quiet -p slif-serve --bin loadgen -- --self-serve --requests 500 --out BENCH_serve.json
 cargo clippy --workspace -- -D warnings -W clippy::unwrap_used

@@ -28,6 +28,7 @@
 //! | [`formats`] | ADD baseline + the Section 5 format-size comparison |
 //! | [`sim`] | functional simulator (the profiler behind `accfreq`) |
 //! | [`runtime`] | fault-isolated concurrent job service over the pipeline |
+//! | [`serve`] | wire-facing HTTP front door: tenancy, overload shedding, loadgen |
 //!
 //! # Examples
 //!
@@ -67,6 +68,7 @@ pub use slif_explore as explore;
 pub use slif_formats as formats;
 pub use slif_frontend as frontend;
 pub use slif_runtime as runtime;
+pub use slif_serve as serve;
 pub use slif_sim as sim;
 pub use slif_speclang as speclang;
 pub use slif_techlib as techlib;

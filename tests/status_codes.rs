@@ -1,0 +1,237 @@
+//! Every refusal the serving stack can issue maps to its own wire
+//! status code — exercised end to end over real sockets.
+//!
+//! The `Rejected` admission taxonomy in particular must stay distinct
+//! on the wire:
+//!
+//! * `Rejected::QueueFull`    → 503 + `Retry-After`
+//! * `Rejected::TooLarge`     → 413
+//! * `Rejected::ShuttingDown` / server drain → 410
+//! * tenant quota exhaustion  → 429 + `Retry-After` (mid-burst)
+//!
+//! plus the HTTP-layer refusals (400/401/404/405/408/413) and the job
+//! failure codes (422/500 → here 422).
+
+use slif::runtime::{RunLimits, ServiceConfig};
+use slif::serve::http::read_response;
+use slif::serve::server::{Server, ServerConfig};
+use slif::serve::tenant::TenantSpec;
+use slif::speclang::ParseLimits;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+const GOOD_SPEC: &str = "system T;\nvar x : int<8>;\nprocess Main { x = x + 1; }\n";
+
+fn post(path: &str, body: &str, headers: &[(&str, &str)]) -> Vec<u8> {
+    let mut head = format!("POST {path} HTTP/1.1\r\ncontent-length: {}\r\n", body.len());
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    let mut raw = head.into_bytes();
+    raw.extend_from_slice(body.as_bytes());
+    raw
+}
+
+fn roundtrip(server: &Server, raw: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+    s.write_all(raw).expect("send");
+    read_response(&mut s).expect("response")
+}
+
+/// `Rejected::QueueFull` over the wire: a single runtime worker pinned
+/// by a long exploration, a queue of capacity 1 holding another, and a
+/// third submission refused with 503 + `Retry-After`.
+#[test]
+fn queue_full_is_503_with_retry_after() {
+    let server = Server::bind(
+        ServerConfig::new()
+            .with_conn_workers(6)
+            .with_request_deadline(Duration::from_secs(2))
+            .with_max_explore_iterations(1_000_000)
+            .with_runtime(ServiceConfig::new().with_workers(1).with_queue_capacity(1)),
+    )
+    .expect("bind");
+
+    // Two long explorations: the first occupies the only runtime worker,
+    // the second occupies the whole queue. Their connections are held
+    // open (each pins one connection worker in its wait) but never read.
+    let explore = post(
+        "/v1/explore",
+        GOOD_SPEC,
+        &[("x-slif-iterations", "500000"), ("x-slif-seed", "9")],
+    );
+    let mut pinned = Vec::new();
+    for _ in 0..2 {
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        s.write_all(&explore).expect("send explore");
+        pinned.push(s);
+        std::thread::sleep(Duration::from_millis(200));
+    }
+
+    // Third submission: the queue has no room. Retry with patience in
+    // case a scheduling hiccup delayed the first two.
+    let mut saw_503 = false;
+    for _ in 0..10 {
+        let (status, headers, _body) = roundtrip(&server, &post("/v1/parse", GOOD_SPEC, &[]));
+        if status == 503 {
+            assert!(
+                headers.iter().any(|(n, _)| n == "retry-after"),
+                "503 must carry Retry-After: {headers:?}"
+            );
+            saw_503 = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(saw_503, "never saw Rejected::QueueFull surface as 503");
+    drop(pinned);
+    server.shutdown();
+}
+
+/// `Rejected::TooLarge` over the wire: a spec under the HTTP body cap
+/// but over the runtime's parse byte guard is refused at admission with
+/// 413, and the body names the guard.
+#[test]
+fn runtime_size_guard_is_413() {
+    let server = Server::bind(
+        ServerConfig::new()
+            .with_runtime(
+                ServiceConfig::new().with_workers(1).with_limits(
+                    RunLimits::default()
+                        .with_parse(ParseLimits::default().with_max_bytes(64)),
+                ),
+            ),
+    )
+    .expect("bind");
+    let big = format!("system T;\n// {}\n", "x".repeat(200));
+    let (status, _, body) = roundtrip(&server, &post("/v1/parse", &big, &[]));
+    assert_eq!(status, 413, "{}", String::from_utf8_lossy(&body));
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("spec bytes"), "{text}");
+
+    // The HTTP-layer guard answers 413 too, from a declared length the
+    // server never reads.
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+    s.write_all(b"POST /v1/parse HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n")
+        .expect("send");
+    let (status, _, _) = read_response(&mut s).expect("response");
+    assert_eq!(status, 413);
+    server.shutdown();
+}
+
+/// Drain (the wire face of `Rejected::ShuttingDown`): once a drain
+/// begins, job endpoints answer 410 while `/health` and `/metrics`
+/// still serve — and requests admitted before the drain still complete.
+#[test]
+fn shutting_down_during_drain_is_410() {
+    let server = Server::bind(
+        ServerConfig::new().with_runtime(ServiceConfig::new().with_workers(2)),
+    )
+    .expect("bind");
+    // A request before the drain completes normally.
+    let (status, _, _) = roundtrip(&server, &post("/v1/parse", GOOD_SPEC, &[]));
+    assert_eq!(status, 200);
+
+    server.begin_drain();
+    let (status, _, body) = roundtrip(&server, &post("/v1/parse", GOOD_SPEC, &[]));
+    assert_eq!(status, 410, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8_lossy(&body).contains("draining"));
+    // Observability stays up through the drain.
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+    s.write_all(b"GET /health HTTP/1.1\r\n\r\n").expect("send");
+    let (status, _, _) = read_response(&mut s).expect("response");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+/// Quota exhaustion mid-burst: a burst-of-3 tenant gets three 200s and
+/// then a 429 with `Retry-After`, all on one keep-alive connection.
+#[test]
+fn quota_exhaustion_mid_burst_is_429() {
+    let server = Server::bind(
+        ServerConfig::new()
+            .with_runtime(ServiceConfig::new().with_workers(2))
+            .with_tenant(TenantSpec::new("bursty", "kb").with_quota(0.1, 3.0)),
+    )
+    .expect("bind");
+    let raw = post("/v1/parse", GOOD_SPEC, &[("x-api-key", "kb")]);
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+    for i in 0..3 {
+        s.write_all(&raw).expect("send");
+        let (status, _, body) = read_response(&mut s).expect("response");
+        assert_eq!(status, 200, "burst request {i}: {}", String::from_utf8_lossy(&body));
+    }
+    s.write_all(&raw).expect("send");
+    let (status, headers, _) = read_response(&mut s).expect("response");
+    assert_eq!(status, 429);
+    let retry_after: u64 = headers
+        .iter()
+        .find(|(n, _)| n == "retry-after")
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("429 must carry a numeric Retry-After");
+    assert!(retry_after >= 1, "retry_after {retry_after}");
+    server.shutdown();
+}
+
+/// The full refusal taxonomy stays distinct over one server: each guard
+/// answers its own code.
+#[test]
+fn refusal_codes_are_distinct() {
+    let server = Server::bind(
+        ServerConfig::new()
+            .with_io_timeouts(Duration::from_millis(300), Duration::from_secs(2))
+            .with_runtime(ServiceConfig::new().with_workers(2))
+            .with_tenant(TenantSpec::new("only", "ko")),
+    )
+    .expect("bind");
+    let key = [("x-api-key", "ko")];
+
+    let mut seen = Vec::new();
+    // 400: truncated body.
+    {
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+        s.write_all(b"POST /v1/parse HTTP/1.1\r\ncontent-length: 64\r\n\r\nshort")
+            .expect("send");
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let (status, _, _) = read_response(&mut s).expect("response");
+        seen.push(("truncated body", status, 400));
+    }
+    // 401: no key.
+    let (status, _, _) = roundtrip(&server, &post("/v1/parse", GOOD_SPEC, &[]));
+    seen.push(("missing key", status, 401));
+    // 404 / 405.
+    let (status, _, _) = roundtrip(&server, &post("/v1/unknown", GOOD_SPEC, &key));
+    seen.push(("unknown path", status, 404));
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+    s.write_all(b"GET /v1/parse HTTP/1.1\r\n\r\n").expect("send");
+    let (status, _, _) = read_response(&mut s).expect("response");
+    seen.push(("wrong method", status, 405));
+    // 408: slow loris.
+    {
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(20))).expect("timeout");
+        s.write_all(b"POST /v1/par").expect("send");
+        let (status, _, _) = read_response(&mut s).expect("response");
+        seen.push(("slow loris", status, 408));
+    }
+    // 422: a spec the pipeline refuses.
+    let (status, _, _) = roundtrip(&server, &post("/v1/parse", "system ; nope", &key));
+    seen.push(("malformed spec", status, 422));
+
+    for (what, got, want) in &seen {
+        assert_eq!(got, want, "{what}");
+    }
+    let mut codes: Vec<u16> = seen.iter().map(|(_, got, _)| *got).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    assert_eq!(codes.len(), seen.len(), "refusal codes must be distinct");
+    server.shutdown();
+}

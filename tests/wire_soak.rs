@@ -1,0 +1,140 @@
+//! Wire-level soak: a hostile mixed request stream against a live
+//! `slif-serve` instance over real sockets.
+//!
+//! The contract under test, end to end: a server fed **10 000+** mixed
+//! parse/estimate/explore/analyze requests — over 30 % of them injected
+//! client faults (slow writers, truncated bodies, bad API keys,
+//! oversized declarations, tenant floods against a quota-capped key) —
+//! must
+//!
+//! * never panic or abort (health reports zero worker panics, and the
+//!   server keeps answering to the end),
+//! * give **every** request exactly one well-formed response or typed
+//!   refusal (the load generator records anything else as a violation;
+//!   there must be none),
+//! * return clean-response bodies **byte-identical** to running the
+//!   same job inline with `Job::run_inline` (the load generator
+//!   precomputes each oracle body with the same pure wire functions the
+//!   server uses),
+//! * keep tenancy honest: the quota-capped flood tenant sees 429s while
+//!   healthy tenants' clean traffic still completes.
+
+use slif::runtime::{RunLimits, ServiceConfig};
+use slif::serve::loadgen::{run, LoadgenConfig};
+use slif::serve::server::{Server, ServerConfig};
+use slif::serve::tenant::TenantSpec;
+use std::time::Duration;
+
+const REQUESTS: usize = 10_000;
+const FAULT_RATE: f64 = 0.35;
+const EXPLORE_CAP: u64 = 48;
+/// Short read deadline so the plan's slow-writer faults cost little
+/// wall-clock while still proving the 408 path.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+#[test]
+fn ten_thousand_mixed_requests_with_faults_leave_the_server_clean() {
+    let limits = RunLimits::default();
+    let config = ServerConfig::new()
+        .with_conn_workers(8)
+        .with_io_timeouts(READ_TIMEOUT, Duration::from_secs(2))
+        .with_max_explore_iterations(EXPLORE_CAP)
+        .with_runtime(
+            ServiceConfig::new()
+                .with_workers(4)
+                .with_queue_capacity(256)
+                .with_limits(limits),
+        )
+        .with_tenant(TenantSpec::new("alpha", "key-alpha").with_weight(3))
+        .with_tenant(TenantSpec::new("beta", "key-beta"))
+        .with_tenant(
+            TenantSpec::new("flood", "key-flood")
+                .with_weight(1)
+                .with_quota(2.0, 4.0),
+        );
+    let server = Server::bind(config).expect("bind soak server");
+
+    let mut lg = LoadgenConfig::new(server.addr());
+    lg.requests = REQUESTS;
+    lg.clients = 10;
+    lg.fault_rate = FAULT_RATE;
+    lg.seed = 20260807;
+    lg.keys = vec!["key-alpha".to_owned(), "key-beta".to_owned()];
+    lg.flood_key = Some("key-flood".to_owned());
+    lg.limits = limits;
+    lg.explore_cap = EXPLORE_CAP;
+    lg.server_read_timeout = READ_TIMEOUT;
+
+    let report = run(&lg);
+
+    // Every request was sent, and every response honoured the contract:
+    // expected status, and for clean 200s/422s a body byte-identical to
+    // the inline run of the same job.
+    assert_eq!(report.total, REQUESTS as u64);
+    assert!(
+        report.violations.is_empty(),
+        "wire contract violations ({} total), first few:\n{}",
+        report.violations.len(),
+        report.violations[..report.violations.len().min(5)].join("\n")
+    );
+
+    // The stream really was hostile: >30 % faults, all kinds present.
+    let fault_count: u64 = report
+        .kinds
+        .iter()
+        .filter(|(kind, _)| {
+            matches!(
+                kind.as_str(),
+                "bad-key" | "oversized" | "truncated" | "slow-writer" | "flood"
+            )
+        })
+        .map(|(_, stats)| stats.count)
+        .sum();
+    assert!(
+        fault_count as f64 >= 0.30 * REQUESTS as f64,
+        "fault share too low: {fault_count}/{REQUESTS}"
+    );
+    for kind in ["bad-key", "oversized", "truncated", "slow-writer", "flood"] {
+        assert!(
+            report.kinds.get(kind).is_some_and(|s| s.count > 0),
+            "fault kind {kind} never ran"
+        );
+    }
+
+    // Each fault class surfaced as its typed refusal at least once.
+    for (status, why) in [
+        (200u16, "clean traffic must succeed"),
+        (400, "truncated bodies must be refused as malformed"),
+        (401, "bad keys must be refused as unauthorized"),
+        (408, "slow writers must hit the read deadline"),
+        (413, "oversized declarations must be refused by size"),
+        (422, "the malformed spec must be refused by the pipeline"),
+        (429, "the flood tenant must exhaust its quota"),
+    ] {
+        assert!(report.status(status) > 0, "{why} (no {status} seen)");
+    }
+
+    // The server survived untouched: no worker panics, nothing stranded,
+    // and it still answers.
+    let health = server.health();
+    assert_eq!(health.worker_panics, 0, "{health}");
+    assert_eq!(health.queue_depth, 0, "{health}");
+    assert_eq!(health.in_flight, 0, "{health}");
+    assert!(health.workers_alive > 0, "{health}");
+    assert!(
+        health.completed > 0 && health.submitted >= health.completed,
+        "{health}"
+    );
+
+    // Latency accounting is live for every job kind that ran cleanly.
+    for kind in ["parse-spec", "estimate", "explore", "analyze"] {
+        let stats = report.kinds.get(kind).unwrap_or_else(|| panic!("no {kind} stats"));
+        assert!(stats.count > 0, "{kind} never ran");
+        assert!(
+            stats.latency.p99_micros().is_some(),
+            "{kind} recorded no latency"
+        );
+    }
+
+    server.shutdown();
+}
