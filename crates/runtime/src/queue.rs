@@ -105,22 +105,26 @@ struct QueueState {
     discarding: bool,
     /// Per-tenant virtual service time for weighted fair-share popping.
     vtime: HashMap<u64, u64>,
+    /// The system virtual clock: the vtime of the most recently served
+    /// tenant at the moment it was served. Advanced on every pop, never
+    /// rewound — in particular it survives the queue draining empty, so
+    /// a tenant joining at a quiet moment cannot seed at zero and then
+    /// monopolize the queue until its clock catches up with everyone
+    /// else's accumulated history.
+    global_vtime: u64,
 }
 
 impl QueueState {
     /// Seeds (or refreshes) the tenant's virtual clock on admission: a
-    /// tenant joining — or rejoining after idling — starts at the floor
-    /// of the tenants currently queued, so it neither inherits a stale
-    /// advantage nor waits behind everyone's history.
+    /// tenant joining — or rejoining after idling — starts no earlier
+    /// than the system clock, so it neither inherits a stale advantage
+    /// (its own old clock is kept if higher) nor waits behind everyone's
+    /// history (it is lifted to "now", not to the busiest tenant's
+    /// total).
     fn note_tenant(&mut self, key: u64) {
-        let active_floor = self
-            .items
-            .iter()
-            .filter_map(|t| self.vtime.get(&t.tenant_key()).copied())
-            .min()
-            .unwrap_or(0);
-        let entry = self.vtime.entry(key).or_insert(active_floor);
-        *entry = (*entry).max(active_floor);
+        let floor = self.global_vtime;
+        let entry = self.vtime.entry(key).or_insert(floor);
+        *entry = (*entry).max(floor);
     }
 }
 
@@ -140,6 +144,7 @@ impl TaskQueue {
                 closed: false,
                 discarding: false,
                 vtime: HashMap::new(),
+                global_vtime: 0,
             }),
             cv: Condvar::new(),
             capacity: capacity.max(1),
@@ -210,6 +215,9 @@ impl TaskQueue {
             if let Some((i, v)) = best {
                 let task = st.items.remove(i)?;
                 let charge = VTIME_SCALE / u64::from(task.weight.max(1));
+                // The served tenant had the least vtime among runnable
+                // tasks, so `v` is the system virtual time "now".
+                st.global_vtime = st.global_vtime.max(v);
                 st.vtime.insert(task.tenant_key(), v.saturating_add(charge));
                 return Some(task);
             }
@@ -405,6 +413,38 @@ mod tests {
         assert!(
             next_two.contains(&100),
             "light tenant served within two pops of arriving: {next_two:?}"
+        );
+    }
+
+    /// A tenant that seeds its clock while the queue is momentarily
+    /// empty must not restart at zero virtual time: that would buy it
+    /// exclusive service until it caught up with a returning tenant's
+    /// accumulated history. The system clock survives the drain, so
+    /// service interleaves from the first pops.
+    #[test]
+    fn empty_queue_join_cannot_starve_a_returning_tenant() {
+        let q = TaskQueue::new(16);
+        // Tenant 1 works through a burst; the queue drains empty.
+        for i in 0..4 {
+            q.try_push(tenant_task(i, None, Some(1), 1)).unwrap();
+        }
+        for _ in 0..4 {
+            assert!(q.pop().is_some());
+        }
+        assert_eq!(q.depth(), 0);
+        // Tenant 2 joins at the quiet moment, then tenant 1 returns.
+        for i in 0..4 {
+            q.try_push(tenant_task(10 + i, None, Some(2), 1)).unwrap();
+        }
+        for i in 0..4 {
+            q.try_push(tenant_task(20 + i, None, Some(1), 1)).unwrap();
+        }
+        let first_four: Vec<u32> = (0..4)
+            .map(|_| q.pop().and_then(|t| t.tenant).unwrap())
+            .collect();
+        assert!(
+            first_four.contains(&1),
+            "returning tenant starved behind a fresh-seeded one: {first_four:?}"
         );
     }
 

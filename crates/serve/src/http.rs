@@ -5,11 +5,16 @@
 //! line, headers, an optional `Content-Length` body) and turns every
 //! hostile input into a *typed* refusal instead of unbounded work:
 //!
-//! * **Slow loris** — the socket carries a read deadline; a client that
-//!   dribbles bytes slower than the deadline gets [`RecvError::Timeout`]
-//!   (wire status 408) and the connection back. A deadline that expires
-//!   *before any byte arrives* is an idle keep-alive connection, not an
-//!   attack, and closes silently ([`RecvError::Closed`]).
+//! * **Slow loris** — every request carries an *absolute* read budget:
+//!   [`read_request`] records a deadline on entry and shrinks the socket
+//!   timeout to the remaining budget before each read, so a client that
+//!   dribbles one byte per read cannot extend its welcome — the whole
+//!   head-plus-body read is bounded by one budget, after which it gets
+//!   [`RecvError::Timeout`] (wire status 408) and the connection back.
+//!   A budget that expires *before any byte arrives* is an idle
+//!   keep-alive connection, not an attack, and closes silently
+//!   ([`RecvError::Closed`]). [`write_response`] bounds the write side
+//!   the same way against a non-reading client.
 //! * **Oversized requests** — header bytes are capped at
 //!   [`MAX_HEAD_BYTES`]; a declared `Content-Length` beyond the
 //!   configured body cap is refused ([`RecvError::TooLarge`], wire 413)
@@ -19,6 +24,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Cap on the request line plus all header bytes (8 KiB, nginx's
 /// default large-header budget).
@@ -127,55 +133,96 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
-/// A small buffered byte reader that never reads past what it needs, so
-/// a pipelined next request stays in the kernel buffer for the next
-/// [`read_request`] call.
+/// Reads into `buf` with the socket timeout shrunk to whatever remains
+/// of the absolute `deadline`. SO_RCVTIMEO alone bounds only a single
+/// quiet gap — a client dripping one byte per interval resets it forever
+/// — so an exhausted budget is reported as a timeout *without touching
+/// the socket*. With no deadline the stream's own timeout (set by the
+/// caller) applies per read; the server side always passes a deadline.
+fn read_within(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Option<Instant>,
+) -> io::Result<usize> {
+    if let Some(deadline) = deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::ErrorKind::TimedOut.into());
+        }
+        stream.set_read_timeout(Some(remaining))?;
+    }
+    stream.read(buf)
+}
+
+/// A small buffered byte reader for the request head. It may read past
+/// the head (up to 1024 bytes per syscall), so whatever it over-read —
+/// body bytes and any pipelined next request — is handed back via
+/// [`HeadReader::leftover`] for the caller to consume or carry over.
 struct HeadReader<'a> {
     stream: &'a mut TcpStream,
-    buf: [u8; 1024],
+    deadline: Option<Instant>,
+    buf: Vec<u8>,
     pos: usize,
-    len: usize,
 }
 
 impl<'a> HeadReader<'a> {
-    fn new(stream: &'a mut TcpStream) -> Self {
+    /// `carry` seeds the buffer with bytes a previous request over-read
+    /// (the start of a pipelined request); they are consumed before the
+    /// socket is touched again.
+    fn new(stream: &'a mut TcpStream, deadline: Option<Instant>, carry: Vec<u8>) -> Self {
         Self {
             stream,
-            buf: [0; 1024],
+            deadline,
+            buf: carry,
             pos: 0,
-            len: 0,
         }
     }
 
     /// The next byte, `Ok(None)` on EOF.
     fn next_byte(&mut self) -> Result<Option<u8>, io::Error> {
-        if self.pos == self.len {
-            self.len = self.stream.read(&mut self.buf)?;
-            self.pos = 0;
-            if self.len == 0 {
+        if self.pos == self.buf.len() {
+            let mut chunk = [0u8; 1024];
+            let n = read_within(self.stream, &mut chunk, self.deadline)?;
+            if n == 0 {
                 return Ok(None);
             }
+            self.buf.clear();
+            self.buf.extend_from_slice(&chunk[..n]);
+            self.pos = 0;
         }
         let b = self.buf[self.pos];
         self.pos += 1;
         Ok(Some(b))
     }
 
-    /// Bytes buffered but not yet consumed (the head of the body).
+    /// Bytes buffered but not yet consumed (the head of the body, and
+    /// possibly the start of a pipelined next request).
     fn leftover(&self) -> &[u8] {
-        &self.buf[self.pos..self.len]
+        &self.buf[self.pos..]
     }
 }
 
-/// Reads one request, honouring the stream's read deadline and the
+/// Reads one request within an absolute time `budget`, honouring the
 /// `max_body` cap.
+///
+/// `carry` holds bytes over-read past the previous request on this
+/// connection (a pipelined next request). It is consumed first and
+/// refilled on success with whatever this request over-read; on error
+/// the caller must drop the connection (every error response closes),
+/// so a stale carry is never replayed.
 ///
 /// # Errors
 ///
 /// A typed [`RecvError`]; see the module docs for the taxonomy.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RecvError> {
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    budget: Duration,
+    carry: &mut Vec<u8>,
+) -> Result<Request, RecvError> {
+    let deadline = Some(Instant::now() + budget);
     // Read the head byte-wise up to MAX_HEAD_BYTES, splitting CRLF lines.
-    let mut reader = HeadReader::new(stream);
+    let mut reader = HeadReader::new(stream, deadline, std::mem::take(carry));
     let mut head: Vec<u8> = Vec::with_capacity(256);
     loop {
         match reader.next_byte() {
@@ -231,7 +278,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         return Err(RecvError::Malformed("unsupported HTTP version"));
     }
     let mut headers = Vec::new();
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         if line.is_empty() {
             continue; // the terminating blank line
@@ -242,9 +289,18 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim().to_owned();
         if name == "content-length" {
-            content_length = value
-                .parse()
-                .map_err(|_| RecvError::Malformed("unparsable content-length"))?;
+            // RFC 7230 §3.3.2: conflicting (or repeated) Content-Length
+            // values are a request-smuggling vector; refuse outright
+            // rather than letting any value win. A comma-joined list
+            // ("5, 5") already fails the integer parse below.
+            if content_length.is_some() {
+                return Err(RecvError::Malformed("duplicate content-length"));
+            }
+            content_length = Some(
+                value
+                    .parse()
+                    .map_err(|_| RecvError::Malformed("unparsable content-length"))?,
+            );
         }
         if name == "transfer-encoding" {
             // Chunked bodies are an attack surface this protocol does
@@ -253,6 +309,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         }
         headers.push((name, value));
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         // Refuse by declaration — the body is never read, so an
         // attacker cannot make the server swallow it before the 413.
@@ -266,10 +323,13 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     let leftover = reader.leftover();
     let take = leftover.len().min(content_length);
     body.extend_from_slice(&leftover[..take]);
+    // Anything past the body is the start of a pipelined next request;
+    // hand it back so the next read_request call consumes it.
+    *carry = leftover[take..].to_vec();
     while body.len() < content_length {
         let mut chunk = [0u8; 4096];
         let want = (content_length - body.len()).min(chunk.len());
-        match stream.read(&mut chunk[..want]) {
+        match read_within(stream, &mut chunk[..want], deadline) {
             Ok(0) => return Err(RecvError::Malformed("connection closed mid-body")),
             Ok(n) => body.extend_from_slice(&chunk[..n]),
             Err(e) if is_timeout(&e) => return Err(RecvError::Timeout),
@@ -284,13 +344,23 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     })
 }
 
-/// Writes `response`, honouring the stream's write deadline.
+/// Writes `response` within an absolute time `budget`.
+///
+/// As on the read side, SO_SNDTIMEO alone bounds only a single blocked
+/// `write()`; a client draining one byte at a time would reset it
+/// indefinitely. The socket timeout is shrunk to the remaining budget
+/// before each write, so the whole response is bounded by one budget.
 ///
 /// # Errors
 ///
-/// Any socket error (including a write deadline expiring against a
+/// Any socket error (including the budget expiring against a
 /// non-reading client); the caller should drop the connection.
-pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    budget: Duration,
+) -> io::Result<()> {
+    let deadline = Instant::now() + budget;
     let mut head = format!(
         "HTTP/1.1 {} {}\r\ncontent-type: text/plain; charset=utf-8\r\ncontent-length: {}\r\n",
         response.status,
@@ -305,8 +375,22 @@ pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result
     } else {
         "connection: keep-alive\r\n\r\n"
     });
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(&response.body);
+    let mut written = 0;
+    while written < bytes.len() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::ErrorKind::TimedOut.into());
+        }
+        stream.set_write_timeout(Some(remaining))?;
+        match stream.write(&bytes[written..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     stream.flush()
 }
 
@@ -315,19 +399,28 @@ pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result
 pub type ClientResponse = (u16, Vec<(String, String)>, Vec<u8>);
 
 /// Reads one response off `stream`. The client half of the protocol,
-/// used by the load generator and tests.
+/// used by the load generator and tests. The server is trusted, so the
+/// stream's own read timeout applies per read (no absolute budget).
+///
+/// The head is read one byte per syscall and the body exact-length, so
+/// the reader never consumes past this response — a pipelined client
+/// that sent several requests back-to-back reads each response cleanly
+/// even when the server's responses coalesce into one TCP segment.
+/// Throughput is irrelevant here; never losing bytes is not.
 ///
 /// # Errors
 ///
 /// [`RecvError::Closed`] when the peer closed before a status line,
 /// otherwise the same taxonomy as [`read_request`].
 pub fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, RecvError> {
-    let mut reader = HeadReader::new(stream);
     let mut head: Vec<u8> = Vec::with_capacity(256);
     loop {
-        match reader.next_byte() {
-            Ok(Some(b)) => {
-                head.push(b);
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) if head.is_empty() => return Err(RecvError::Closed),
+            Ok(0) => return Err(RecvError::Malformed("closed mid-head")),
+            Ok(_) => {
+                head.push(byte[0]);
                 if head.len() > MAX_HEAD_BYTES {
                     return Err(RecvError::TooLarge {
                         what: "head bytes",
@@ -339,8 +432,7 @@ pub fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, RecvError
                     break;
                 }
             }
-            Ok(None) if head.is_empty() => return Err(RecvError::Closed),
-            Ok(None) => return Err(RecvError::Malformed("closed mid-head")),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) if is_timeout(&e) => return Err(RecvError::Timeout),
             Err(_) => return Err(RecvError::Io),
         }
@@ -371,15 +463,13 @@ pub fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, RecvError
         }
     }
     let mut body = Vec::with_capacity(content_length);
-    let leftover = reader.leftover();
-    let take = leftover.len().min(content_length);
-    body.extend_from_slice(&leftover[..take]);
     while body.len() < content_length {
         let mut chunk = [0u8; 4096];
         let want = (content_length - body.len()).min(chunk.len());
         match stream.read(&mut chunk[..want]) {
             Ok(0) => return Err(RecvError::Malformed("closed mid-body")),
             Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) if is_timeout(&e) => return Err(RecvError::Timeout),
             Err(_) => return Err(RecvError::Io),
         }
@@ -391,7 +481,8 @@ pub fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, RecvError
 mod tests {
     use super::*;
     use std::net::TcpListener;
-    use std::time::Duration;
+
+    const BUDGET: Duration = Duration::from_secs(5);
 
     fn pair() -> (TcpStream, TcpStream) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -401,13 +492,17 @@ mod tests {
         (client, server)
     }
 
+    fn read_one(server: &mut TcpStream, max_body: usize, budget: Duration) -> Result<Request, RecvError> {
+        read_request(server, max_body, budget, &mut Vec::new())
+    }
+
     #[test]
     fn round_trips_a_request() {
         let (mut client, mut server) = pair();
         client
             .write_all(b"POST /v1/parse HTTP/1.1\r\nX-Api-Key: k1\r\nContent-Length: 5\r\n\r\nhello")
             .unwrap();
-        let req = read_request(&mut server, 1024).unwrap();
+        let req = read_one(&mut server, 1024, BUDGET).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/parse");
         assert_eq!(req.header("x-api-key"), Some("k1"));
@@ -421,7 +516,7 @@ mod tests {
         client
             .write_all(b"POST /v1/parse HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
             .unwrap();
-        let err = read_request(&mut server, 1024).unwrap_err();
+        let err = read_one(&mut server, 1024, BUDGET).unwrap_err();
         assert_eq!(
             err,
             RecvError::TooLarge {
@@ -435,21 +530,46 @@ mod tests {
     #[test]
     fn slow_loris_times_out_mid_head() {
         let (mut client, mut server) = pair();
-        server
-            .set_read_timeout(Some(Duration::from_millis(30)))
-            .unwrap();
         client.write_all(b"POST /v1/par").unwrap(); // ...and stall
-        let err = read_request(&mut server, 1024).unwrap_err();
+        let err = read_one(&mut server, 1024, Duration::from_millis(30)).unwrap_err();
         assert_eq!(err, RecvError::Timeout);
+    }
+
+    /// The regression for the real slow-loris shape: a client dripping
+    /// bytes fast enough that no single read ever times out must still
+    /// be cut off by the absolute budget.
+    #[test]
+    fn dripped_bytes_cannot_extend_the_budget() {
+        let (mut client, mut server) = pair();
+        let dripper = std::thread::spawn(move || {
+            // One byte every 25 ms: each arrives well inside any
+            // per-read timeout, but the request never completes.
+            for _ in 0..40 {
+                if client.write_all(b"A").is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
+        let start = Instant::now();
+        let err = read_one(&mut server, 1024, Duration::from_millis(150)).unwrap_err();
+        let elapsed = start.elapsed();
+        assert_eq!(err, RecvError::Timeout);
+        assert!(
+            elapsed < Duration::from_millis(600),
+            "budget must bound the whole read, took {elapsed:?}"
+        );
+        drop(server);
+        dripper.join().unwrap();
     }
 
     #[test]
     fn idle_keep_alive_deadline_is_a_clean_close() {
         let (_client, mut server) = pair();
-        server
-            .set_read_timeout(Some(Duration::from_millis(30)))
-            .unwrap();
-        assert_eq!(read_request(&mut server, 1024).unwrap_err(), RecvError::Closed);
+        assert_eq!(
+            read_one(&mut server, 1024, Duration::from_millis(30)).unwrap_err(),
+            RecvError::Closed
+        );
     }
 
     #[test]
@@ -459,7 +579,7 @@ mod tests {
             .write_all(b"POST /v1/parse HTTP/1.1\r\nContent-Length: 64\r\n\r\nshort")
             .unwrap();
         client.shutdown(std::net::Shutdown::Write).unwrap();
-        let err = read_request(&mut server, 1024).unwrap_err();
+        let err = read_one(&mut server, 1024, BUDGET).unwrap_err();
         assert_eq!(err, RecvError::Malformed("connection closed mid-body"));
     }
 
@@ -469,8 +589,56 @@ mod tests {
         client
             .write_all(b"POST /v1/parse HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
             .unwrap();
-        let err = read_request(&mut server, 1024).unwrap_err();
+        let err = read_one(&mut server, 1024, BUDGET).unwrap_err();
         assert!(matches!(err, RecvError::Malformed(_)));
+    }
+
+    #[test]
+    fn duplicate_content_length_is_malformed() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(
+                b"POST /v1/parse HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
+            )
+            .unwrap();
+        let err = read_one(&mut server, 1024, BUDGET).unwrap_err();
+        assert_eq!(err, RecvError::Malformed("duplicate content-length"));
+        // A comma-joined value is equally refused (unparsable).
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /v1/parse HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\nhello")
+            .unwrap();
+        let err = read_one(&mut server, 1024, BUDGET).unwrap_err();
+        assert_eq!(err, RecvError::Malformed("unparsable content-length"));
+    }
+
+    /// Two requests written in one burst: the bytes the head reader
+    /// over-reads past the first body must be carried into the second
+    /// [`read_request`] call, not dropped.
+    #[test]
+    fn pipelined_requests_are_carried_over() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(
+                b"POST /v1/parse HTTP/1.1\r\nContent-Length: 5\r\n\r\nfirst\
+                  POST /v1/estimate HTTP/1.1\r\nContent-Length: 6\r\n\r\nsecond",
+            )
+            .unwrap();
+        // Prove the second request is served from the carry, not the
+        // socket: nothing further will ever arrive.
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut carry = Vec::new();
+        let first = read_request(&mut server, 1024, BUDGET, &mut carry).unwrap();
+        assert_eq!(first.path, "/v1/parse");
+        assert_eq!(first.body, b"first");
+        assert!(!carry.is_empty(), "pipelined bytes must be carried over");
+        let second = read_request(&mut server, 1024, BUDGET, &mut carry).unwrap();
+        assert_eq!(second.path, "/v1/estimate");
+        assert_eq!(second.body, b"second");
+        assert_eq!(
+            read_request(&mut server, 1024, BUDGET, &mut carry).unwrap_err(),
+            RecvError::Closed
+        );
     }
 
     #[test]
@@ -479,11 +647,30 @@ mod tests {
         let resp = Response::new(429, "Too Many Requests", "slow down")
             .with_retry_after(7)
             .closing();
-        write_response(&mut server, &resp).unwrap();
+        write_response(&mut server, &resp, BUDGET).unwrap();
         let (status, headers, body) = read_response(&mut client).unwrap();
         assert_eq!(status, 429);
         assert_eq!(body, b"slow down");
         assert!(headers.iter().any(|(n, v)| n == "retry-after" && v == "7"));
         assert!(headers.iter().any(|(n, v)| n == "connection" && v == "close"));
+    }
+
+    /// A client that never reads cannot pin the writer past the write
+    /// budget, no matter how large the response.
+    #[test]
+    fn write_budget_bounds_a_non_reading_client() {
+        let (client, mut server) = pair();
+        let resp = Response::new(200, "OK", vec![0u8; 32 * 1024 * 1024]);
+        let start = Instant::now();
+        let err = write_response(&mut server, &resp, Duration::from_millis(150)).unwrap_err();
+        assert!(
+            matches!(err.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock),
+            "expected a timeout, got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "write budget must bound the whole response"
+        );
+        drop(client);
     }
 }

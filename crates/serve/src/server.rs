@@ -5,9 +5,12 @@
 //! pushes accepted sockets onto a bounded connection queue; when that
 //! queue is full the acceptor *sheds* the connection with a canned 503
 //! instead of letting the backlog grow. A fixed pool of **connection
-//! workers** pops sockets and runs keep-alive request loops, so a
-//! stalled or hostile connection can pin at most one worker for at most
-//! one read-deadline.
+//! workers** pops sockets and runs keep-alive request loops. Each
+//! request is read under an *absolute* deadline and each response
+//! written under another ([`crate::http`]), so a stalled or hostile
+//! connection — including one dripping a byte at a time — can pin a
+//! worker for at most one read budget plus one write budget before it
+//! is cut off.
 //!
 //! Shutdown is a graceful drain: [`Server::begin_drain`] flips a flag
 //! that turns every job-submitting endpoint into a 410 while `/health`
@@ -41,9 +44,10 @@ pub struct ServerConfig {
     /// Bounded accepted-connection queue; beyond it the acceptor sheds
     /// with a canned 503 (default 64, floor 1).
     pub pending_conns: usize,
-    /// Per-connection read deadline — the slow-loris bound (default 2 s).
+    /// Absolute per-request read budget — the slow-loris bound: one
+    /// whole request (head + body) must arrive within it (default 2 s).
     pub read_timeout: Duration,
-    /// Per-connection write deadline (default 2 s).
+    /// Absolute per-response write budget (default 2 s).
     pub write_timeout: Duration,
     /// Cap on a request's declared body size (default 256 KiB).
     pub max_request_bytes: usize,
@@ -308,9 +312,10 @@ fn acceptor_loop(inner: &Inner, listener: &TcpListener, pending: usize) {
         match listener.accept() {
             Ok((stream, _)) => {
                 if let Err(mut refused) = inner.conns.push(stream, pending) {
-                    // Shed: a canned close-response, best-effort.
+                    // Shed: a canned close-response, best-effort, under
+                    // a tight budget so shedding itself cannot stall
+                    // the acceptor.
                     inner.stats.shed_conns.fetch_add(1, Ordering::Relaxed);
-                    drop(refused.set_write_timeout(Some(Duration::from_millis(200))));
                     let resp = Response::new(
                         503,
                         "Service Unavailable",
@@ -318,7 +323,11 @@ fn acceptor_loop(inner: &Inner, listener: &TcpListener, pending: usize) {
                     )
                     .with_retry_after(1)
                     .closing();
-                    drop(write_response(&mut refused, &resp));
+                    drop(write_response(
+                        &mut refused,
+                        &resp,
+                        Duration::from_millis(200),
+                    ));
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -338,16 +347,19 @@ fn worker_loop(inner: &Inner) {
 /// Runs one keep-alive connection to completion. Never panics: every
 /// refusal is a typed response, every socket error a drop.
 fn serve_connection(inner: &Inner, mut stream: TcpStream) {
-    if stream
-        .set_read_timeout(Some(inner.read_timeout))
-        .and_then(|()| stream.set_write_timeout(Some(inner.write_timeout)))
-        .and_then(|()| stream.set_nodelay(true))
-        .is_err()
-    {
+    if stream.set_nodelay(true).is_err() {
         return;
     }
+    // Bytes over-read past one request (a pipelined next request) carry
+    // into the next read_request call on this connection.
+    let mut carry = Vec::new();
     loop {
-        let response = match read_request(&mut stream, inner.max_request_bytes) {
+        let response = match read_request(
+            &mut stream,
+            inner.max_request_bytes,
+            inner.read_timeout,
+            &mut carry,
+        ) {
             Ok(request) => {
                 let close = request.wants_close();
                 let mut resp = handle_request(inner, &request);
@@ -376,7 +388,7 @@ fn serve_connection(inner: &Inner, mut stream: TcpStream) {
             Err(RecvError::Io) => return,
         };
         inner.stats.note(response.status);
-        if write_response(&mut stream, &response).is_err() || response.close {
+        if write_response(&mut stream, &response, inner.write_timeout).is_err() || response.close {
             return;
         }
     }
@@ -645,6 +657,24 @@ mod tests {
         assert_eq!(status, 422, "{}", String::from_utf8_lossy(&body));
         // The server survives to serve the next request.
         assert_eq!(roundtrip(addr, &post("/v1/parse", GOOD_SPEC)).0, 200);
+        server.shutdown();
+    }
+
+    /// Two requests sent back-to-back in one burst (HTTP/1.1
+    /// pipelining): the second must not be truncated by bytes the
+    /// server over-read while framing the first.
+    #[test]
+    fn pipelined_requests_both_get_responses() {
+        let server = tiny_server(Vec::new());
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut burst = post("/v1/parse", GOOD_SPEC);
+        burst.extend_from_slice(&post("/v1/parse", GOOD_SPEC));
+        s.write_all(&burst).unwrap();
+        for _ in 0..2 {
+            let (status, _, body) = read_response(&mut s).unwrap();
+            assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        }
         server.shutdown();
     }
 

@@ -78,6 +78,17 @@ pub enum AdmitError {
     },
 }
 
+/// Constant-time byte equality: for equal-length inputs the cost and
+/// memory-access pattern are independent of *where* the inputs differ,
+/// so response timing cannot be used to guess an API key byte by byte.
+/// (The length itself is not secret — it is visible on the wire.)
+fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
 #[derive(Debug)]
 struct Bucket {
     tokens: f64,
@@ -137,12 +148,17 @@ impl TenantRegistry {
             return Ok(Admission { tenant: 0, weight: 1 });
         }
         let key = key.ok_or(AdmitError::UnknownKey)?;
-        let (idx, state) = self
-            .tenants
-            .iter()
-            .enumerate()
-            .find(|(_, t)| t.spec.key == key)
-            .ok_or(AdmitError::UnknownKey)?;
+        // Compare against every tenant, constant-time per candidate and
+        // without early exit, so timing reveals neither a matching
+        // key's registry position nor how much of a guess matched.
+        let mut found: Option<usize> = None;
+        for (i, t) in self.tenants.iter().enumerate() {
+            if ct_eq(t.spec.key.as_bytes(), key.as_bytes()) && found.is_none() {
+                found = Some(i);
+            }
+        }
+        let idx = found.ok_or(AdmitError::UnknownKey)?;
+        let state = &self.tenants[idx];
         let mut bucket = crate::lock(&state.bucket);
         let now = Instant::now();
         let dt = now.duration_since(bucket.last).as_secs_f64();
@@ -200,6 +216,16 @@ mod tests {
             reg.admit(Some("kb")),
             Ok(Admission { tenant: 1, weight: 1 })
         );
+    }
+
+    #[test]
+    fn ct_eq_matches_exact_keys_only() {
+        assert!(ct_eq(b"secret-key", b"secret-key"));
+        assert!(!ct_eq(b"secret-key", b"secret-kez"));
+        assert!(!ct_eq(b"Xecret-key", b"secret-key"));
+        assert!(!ct_eq(b"secret-ke", b"secret-key"));
+        assert!(!ct_eq(b"", b"x"));
+        assert!(ct_eq(b"", b""));
     }
 
     #[test]

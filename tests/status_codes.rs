@@ -50,7 +50,7 @@ fn queue_full_is_503_with_retry_after() {
         ServerConfig::new()
             .with_conn_workers(6)
             .with_request_deadline(Duration::from_secs(2))
-            .with_max_explore_iterations(1_000_000)
+            .with_max_explore_iterations(2_000_000_000)
             .with_runtime(ServiceConfig::new().with_workers(1).with_queue_capacity(1)),
     )
     .expect("bind");
@@ -58,10 +58,14 @@ fn queue_full_is_503_with_retry_after() {
     // Two long explorations: the first occupies the only runtime worker,
     // the second occupies the whole queue. Their connections are held
     // open (each pins one connection worker in its wait) but never read.
+    // The iteration budget is far beyond what either build profile can
+    // finish inside the 2 s job deadline, so the worker stays pinned
+    // until the deadline cuts the job — an optimized build cannot race
+    // through the exploration before the 503 probe below runs.
     let explore = post(
         "/v1/explore",
         GOOD_SPEC,
-        &[("x-slif-iterations", "500000"), ("x-slif-seed", "9")],
+        &[("x-slif-iterations", "2000000000"), ("x-slif-seed", "9")],
     );
     let mut pinned = Vec::new();
     for _ in 0..2 {
