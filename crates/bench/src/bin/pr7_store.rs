@@ -1,0 +1,159 @@
+//! PR 7 bench smoke: durable-store overhead and payoff, as JSON.
+//!
+//! Three numbers decide whether crash-safe persistence is affordable:
+//!
+//! - `cold_compile_ns` — the full spec→allocated-design pipeline
+//!   (parse, resolve, build, allocate) the cache lets repeat requests
+//!   skip,
+//! - `warm_hit_ns` — a verified content-addressed cache read (frame
+//!   checksum, content rehash, strict canonical decode) for the same
+//!   spec,
+//! - `journal_append_ns` — one accepted+completed record pair, each
+//!   fsynced, i.e. the write-ahead tax every durable job pays.
+//!
+//! Writes `BENCH_store.json` (or the path given as the first argument).
+//! Like `pr3_bench` this emits machine-readable output so
+//! `scripts/verify.sh` can extend the repo's benchmark record.
+
+use slif_frontend::{build_design, try_allocate_proc_asic};
+use slif_speclang::{parse, resolve};
+use slif_store::{DesignCache, JobRecord, Journal};
+use slif_techlib::TechnologyLibrary;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+const ROUNDS: usize = 25;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// A well-formed spec with `vars` variables and one process touching
+/// each, so source size (and the compiled design) scales linearly.
+fn spec_source(vars: usize) -> String {
+    let mut s = String::from("system Bench;\n");
+    for i in 0..vars {
+        let _ = writeln!(s, "var v{i} : int<16>;");
+    }
+    s.push_str("process Main {\n");
+    for i in 0..vars {
+        let _ = writeln!(s, "  v{i} = v{i} + 1;");
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn cold_compile(source: &str) -> slif_core::Design {
+    let spec = parse(source).expect("bench spec parses");
+    let rs = resolve(spec).expect("bench spec resolves");
+    let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+    try_allocate_proc_asic(&mut design).expect("bench spec allocates");
+    design
+}
+
+fn bench_compile(source: &str) -> f64 {
+    median(
+        (0..ROUNDS)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(cold_compile(source));
+                start.elapsed().as_nanos() as f64
+            })
+            .collect(),
+    )
+}
+
+fn bench_warm_hit(dir: &Path, source: &str) -> f64 {
+    let cache = DesignCache::open(dir).expect("open cache");
+    let design = cold_compile(source);
+    cache.put(source.as_bytes(), &design).expect("cache put");
+    median(
+        (0..ROUNDS)
+            .map(|_| {
+                let start = Instant::now();
+                let hit = cache.get(source.as_bytes());
+                let ns = start.elapsed().as_nanos() as f64;
+                assert!(black_box(hit).is_some(), "warm read must hit");
+                ns
+            })
+            .collect(),
+    )
+}
+
+fn bench_journal_append(path: &Path, payload_len: usize) -> f64 {
+    let (mut journal, _) = Journal::open(path).expect("open journal");
+    let payload = vec![0x5a; payload_len];
+    let body = vec![0x6b; 256];
+    median(
+        (0..ROUNDS)
+            .map(|i| {
+                let id = i as u64 + 1;
+                let start = Instant::now();
+                journal
+                    .append(&JobRecord::Accepted {
+                        id,
+                        payload: payload.clone(),
+                    })
+                    .expect("append accepted");
+                journal
+                    .append(&JobRecord::Completed {
+                        id,
+                        status: 200,
+                        body: body.clone(),
+                    })
+                    .expect("append completed");
+                start.elapsed().as_nanos() as f64
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_store.json".to_string());
+    let scratch = std::env::temp_dir().join(format!("slif-pr7-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    let mut entries = String::new();
+    for (i, &vars) in [8usize, 64, 256].iter().enumerate() {
+        let source = spec_source(vars);
+        let cache_dir = scratch.join(format!("cache-{vars}"));
+        let cold = bench_compile(&source);
+        let warm = bench_warm_hit(&cache_dir, &source);
+        let speedup = cold / warm;
+        println!(
+            "{vars:>4} vars ({:>6} B spec): cold compile {cold:>12.0} ns, warm cache hit \
+             {warm:>12.0} ns ({speedup:.2}x)",
+            source.len()
+        );
+        if i > 0 {
+            entries.push(',');
+        }
+        write!(
+            entries,
+            "\n    {{\"vars\": {vars}, \"spec_bytes\": {}, \
+             \"cold_compile_ns\": {cold:.0}, \"warm_hit_ns\": {warm:.0}, \
+             \"warm_speedup\": {speedup:.3}}}",
+            source.len()
+        )
+        .expect("write to string");
+    }
+
+    let journal = bench_journal_append(&scratch.join("journal.wal"), 128);
+    println!("journal accepted+completed (fsynced): {journal:>12.0} ns/job");
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr7_store_durability\",\n  \"workload\": \
+         \"cold spec compile vs verified warm cache read; fsynced journal append pair\",\n  \
+         \"rounds\": {ROUNDS},\n  \"journal_append_pair_ns\": {journal:.0},\n  \
+         \"sizes\": [{entries}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!("wrote {out_path}");
+}

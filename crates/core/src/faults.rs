@@ -160,6 +160,48 @@ impl fmt::Display for RuntimeFaultKind {
     }
 }
 
+/// The byte-level mutation classes for durable-store files (journal
+/// segments and cache objects). Where [`CheckpointFaultKind`] models
+/// generic blob rot, these model the specific crash shapes a
+/// write-ahead store must recover from with a *documented* outcome:
+/// a torn final record must cost at most the unacknowledged tail, a
+/// flipped bit must be caught by a record CRC, a truncated segment must
+/// recover the intact prefix, and a stale header must quarantine the
+/// whole file rather than misdecode it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StoreFaultKind {
+    /// Shave a few trailing bytes off the file, as a crash in the middle
+    /// of the final (not yet fsync-acknowledged) append would.
+    TornFinalRecord,
+    /// Flip one bit somewhere past the header (storage rot in the body).
+    MidFileBitFlip,
+    /// Cut the file at an arbitrary byte offset (lost tail of a segment).
+    TruncatedSegment,
+    /// Rewrite the header's version field with a version this build does
+    /// not read (downgrade after an upgrade wrote the file).
+    StaleVersionHeader,
+}
+
+/// All store mutation classes, in a fixed order.
+pub const ALL_STORE_FAULT_KINDS: [StoreFaultKind; 4] = [
+    StoreFaultKind::TornFinalRecord,
+    StoreFaultKind::MidFileBitFlip,
+    StoreFaultKind::TruncatedSegment,
+    StoreFaultKind::StaleVersionHeader,
+];
+
+impl fmt::Display for StoreFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StoreFaultKind::TornFinalRecord => "torn-final-record",
+            StoreFaultKind::MidFileBitFlip => "mid-file-bit-flip",
+            StoreFaultKind::TruncatedSegment => "truncated-segment",
+            StoreFaultKind::StaleVersionHeader => "stale-version-header",
+        })
+    }
+}
+
 /// Defect classes the `slif-analyze` lint engine is built to catch.
 /// Where [`FaultKind`] breaks designs so *error paths* can be exercised,
 /// these plant the subtler bugs a static analyzer exists for: dataflow
@@ -467,6 +509,67 @@ impl FaultInjector {
             .collect()
     }
 
+    /// Plans a reproducible schedule of store faults for a `count`-cycle
+    /// crash-restart soak: each slot is `Some(kind)` with probability
+    /// `ratio` (drawn uniformly over [`ALL_STORE_FAULT_KINDS`]), else
+    /// `None`. The soak applies the planned damage to on-disk store files
+    /// between kill and restart, so the same seed replays the same
+    /// corruption pattern.
+    pub fn plan_store_faults(&mut self, count: usize, ratio: f64) -> Vec<Option<StoreFaultKind>> {
+        let ratio = ratio.clamp(0.0, 1.0);
+        (0..count)
+            .map(|_| {
+                self.rng.gen_bool(ratio).then(|| {
+                    ALL_STORE_FAULT_KINDS[self.rng.gen_range(0usize..ALL_STORE_FAULT_KINDS.len())]
+                })
+            })
+            .collect()
+    }
+
+    /// Corrupts a durable-store file image in place, returning a
+    /// description of the damage. The version-header kind assumes the
+    /// shared frame/journal layout (8-byte magic, then a `u32` LE
+    /// version at offset 8); the others are layout-agnostic.
+    pub fn corrupt_store_file(&mut self, bytes: &mut Vec<u8>, kind: StoreFaultKind) -> String {
+        if bytes.is_empty() {
+            return "empty blob left as-is".to_owned();
+        }
+        match kind {
+            StoreFaultKind::TornFinalRecord => {
+                let cut = self.rng.gen_range(1usize..=16).min(bytes.len());
+                let keep = bytes.len() - cut;
+                bytes.truncate(keep);
+                format!("tore {cut} trailing bytes (kept {keep})")
+            }
+            StoreFaultKind::MidFileBitFlip => {
+                // Skip the first 12 header bytes when the file is long
+                // enough, so the flip lands in a record body.
+                let lo = if bytes.len() > 12 { 12 } else { 0 };
+                let pos = self.rng.gen_range(lo..bytes.len());
+                let bit = self.rng.gen_range(0u32..8);
+                bytes[pos] ^= 1 << bit;
+                format!("flipped bit {bit} of byte {pos}")
+            }
+            StoreFaultKind::TruncatedSegment => {
+                let keep = self.rng.gen_range(0usize..bytes.len());
+                bytes.truncate(keep);
+                format!("truncated to {keep} bytes")
+            }
+            StoreFaultKind::StaleVersionHeader => {
+                let stale = self.rng.gen_range(2u32..=99);
+                if bytes.len() >= 12 {
+                    bytes[8..12].copy_from_slice(&stale.to_le_bytes());
+                    format!("rewrote header version to {stale}")
+                } else {
+                    for b in bytes.iter_mut() {
+                        *b = 0xff;
+                    }
+                    "smashed a short header".to_owned()
+                }
+            }
+        }
+    }
+
     /// Plants one analyzer-detectable defect, if the design has a target
     /// for it. Returns what was hit, or `None` when nothing qualifies
     /// (e.g. [`OrphanVariable`](AnalyzableFaultKind::OrphanVariable) on a
@@ -704,6 +807,65 @@ mod tests {
     #[test]
     fn runtime_fault_kinds_display_kebab_case() {
         for kind in ALL_RUNTIME_FAULT_KINDS {
+            let s = kind.to_string();
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{kind:?} renders `{s}`"
+            );
+        }
+    }
+
+    #[test]
+    fn store_fault_plans_are_seeded_and_ratio_bounded() {
+        let a = FaultInjector::new(17).plan_store_faults(400, 0.35);
+        let b = FaultInjector::new(17).plan_store_faults(400, 0.35);
+        assert_eq!(a, b, "plans are not reproducible");
+        assert_eq!(a.len(), 400);
+        let faulted = a.iter().filter(|s| s.is_some()).count();
+        // 0.35 of 400 = 140 expected; allow a wide statistical band.
+        assert!((70..=210).contains(&faulted), "{faulted} faults of 400");
+        for kind in ALL_STORE_FAULT_KINDS {
+            assert!(a.iter().any(|s| *s == Some(kind)), "{kind} never planned");
+        }
+        assert!(FaultInjector::new(0)
+            .plan_store_faults(50, 0.0)
+            .iter()
+            .all(|s| s.is_none()));
+    }
+
+    #[test]
+    fn store_corruption_is_seeded_and_always_damages() {
+        // No zero bytes and no 0xff bytes, so every kind changes content
+        // or length.
+        let blob: Vec<u8> = (0u16..256).map(|i| (i % 200 + 1) as u8).collect();
+        for kind in ALL_STORE_FAULT_KINDS {
+            for seed in 0..16u64 {
+                let mut a = blob.clone();
+                let mut b = blob.clone();
+                let why_a = FaultInjector::new(seed).corrupt_store_file(&mut a, kind);
+                let why_b = FaultInjector::new(seed).corrupt_store_file(&mut b, kind);
+                assert_eq!(a, b, "{kind}/{seed} not reproducible");
+                assert_eq!(why_a, why_b);
+                assert!(
+                    a != blob || a.len() != blob.len(),
+                    "{kind}/{seed} ({why_a}) left the blob intact"
+                );
+            }
+        }
+        // A torn final record loses at most 16 bytes.
+        let mut torn = blob.clone();
+        FaultInjector::new(3).corrupt_store_file(&mut torn, StoreFaultKind::TornFinalRecord);
+        assert!(blob.len() - torn.len() <= 16);
+        let mut empty = Vec::new();
+        let why =
+            FaultInjector::new(0).corrupt_store_file(&mut empty, StoreFaultKind::MidFileBitFlip);
+        assert!(empty.is_empty());
+        assert!(why.contains("empty"));
+    }
+
+    #[test]
+    fn store_fault_kinds_display_kebab_case() {
+        for kind in ALL_STORE_FAULT_KINDS {
             let s = kind.to_string();
             assert!(
                 s.chars().all(|c| c.is_ascii_lowercase() || c == '-'),

@@ -88,6 +88,7 @@ mod node;
 mod partition;
 mod txn;
 
+pub mod atomic_io;
 pub mod dot;
 pub mod faults;
 pub mod gen;

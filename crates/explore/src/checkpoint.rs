@@ -23,17 +23,16 @@
 //! any kind surfaces as a typed [`CheckpointError`], never a panic.
 
 use crate::algorithms::AnnealingConfig;
+use slif_core::atomic_io::{self, fnv1a, le_u32, le_u64, FrameError};
 use slif_core::{BusId, ChannelId, Design, MemoryId, NodeId, Partition, PmRef, ProcessorId};
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
 use std::path::Path;
 
 /// The 8-byte file magic.
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"SLIFCKPT";
 /// The current (and only) format version.
 pub const CHECKPOINT_VERSION: u32 = 1;
-const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
 /// Why a checkpoint could not be written, read, or decoded.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,26 +93,6 @@ impl fmt::Display for CheckpointError {
 }
 
 impl std::error::Error for CheckpointError {}
-
-/// Reads a little-endian `u32` from a 4-byte slice.
-fn le_u32(b: &[u8]) -> u32 {
-    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
-}
-
-/// Reads a little-endian `u64` from an 8-byte slice.
-fn le_u64(b: &[u8]) -> u64 {
-    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
-}
-
-/// FNV-1a 64-bit hash.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// A cheap structural identity for a design, embedded in every
 /// checkpoint so a snapshot cannot be resumed against the wrong design.
@@ -233,14 +212,7 @@ impl ExplorationCheckpoint {
 
     /// Serializes the checkpoint (header + payload).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let payload = self.encode_payload();
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-        out.extend_from_slice(&CHECKPOINT_MAGIC);
-        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        atomic_io::frame(&CHECKPOINT_MAGIC, CHECKPOINT_VERSION, &self.encode_payload())
     }
 
     /// Decodes a checkpoint, verifying header, checksum, and every index
@@ -252,25 +224,16 @@ impl ExplorationCheckpoint {
     /// bad magic, unsupported version, truncation, checksum mismatch,
     /// design mismatch, or out-of-range fields.
     pub fn from_bytes(bytes: &[u8], design: &Design) -> Result<Self, CheckpointError> {
-        if bytes.len() < HEADER_LEN {
-            return Err(CheckpointError::Truncated { context: "header" });
-        }
-        if bytes[..8] != CHECKPOINT_MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let version = le_u32(&bytes[8..12]);
-        if version != CHECKPOINT_VERSION {
-            return Err(CheckpointError::UnsupportedVersion { found: version });
-        }
-        let length = le_u64(&bytes[12..20]);
-        let checksum = le_u64(&bytes[20..28]);
-        let payload = &bytes[HEADER_LEN..];
-        if (payload.len() as u64) != length {
-            return Err(CheckpointError::Truncated { context: "payload" });
-        }
-        if fnv1a(payload) != checksum {
-            return Err(CheckpointError::ChecksumMismatch);
-        }
+        let payload = atomic_io::unframe(&CHECKPOINT_MAGIC, CHECKPOINT_VERSION, bytes).map_err(
+            |e| match e {
+                FrameError::BadMagic => CheckpointError::BadMagic,
+                FrameError::UnsupportedVersion { found } => {
+                    CheckpointError::UnsupportedVersion { found }
+                }
+                FrameError::Truncated => CheckpointError::Truncated { context: "frame" },
+                _ => CheckpointError::ChecksumMismatch,
+            },
+        )?;
         Self::decode_payload(payload, design)
     }
 
@@ -281,31 +244,10 @@ impl ExplorationCheckpoint {
     /// [`CheckpointError::Io`] if any filesystem step fails; the
     /// destination is never left half-written.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let io = |p: &Path| {
-            let path = p.display().to_string();
-            move |e: std::io::Error| CheckpointError::Io {
-                path: path.clone(),
-                message: e.to_string(),
-            }
-        };
-        let mut tmp_name = path.as_os_str().to_os_string();
-        tmp_name.push(".tmp");
-        let tmp = Path::new(&tmp_name);
-        let bytes = self.to_bytes();
-        let mut file = fs::File::create(tmp).map_err(io(tmp))?;
-        file.write_all(&bytes).map_err(io(tmp))?;
-        // fsync before rename: the rename must never make visible a file
-        // whose data is still in the page cache only.
-        file.sync_all().map_err(io(tmp))?;
-        drop(file);
-        fs::rename(tmp, path).map_err(io(path))?;
-        // Best effort: persist the rename itself.
-        if let Some(dir) = path.parent() {
-            if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
-        Ok(())
+        atomic_io::write_atomic(path, &self.to_bytes()).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
     }
 
     /// Reads and decodes a checkpoint file.

@@ -5,8 +5,14 @@
 //! wait on from any thread.
 
 use crate::job::{JobError, JobOutput};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// An observer invoked exactly once, with the terminal outcome, *before*
+/// any waiter can observe it. This is the durability hook: a journal can
+/// fsync the outcome before the submitter is able to acknowledge it.
+pub(crate) type TerminalHook = Box<dyn FnOnce(&JobOutcome) + Send>;
 
 /// The terminal state of an admitted job. Every admitted job reaches
 /// exactly one of these; a rejected job never gets a handle at all.
@@ -45,17 +51,42 @@ impl JobOutcome {
 }
 
 /// The shared slot a worker fills and a submitter waits on.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub(crate) struct HandleState {
     slot: Mutex<Option<JobOutcome>>,
     cv: Condvar,
+    hook: Mutex<Option<TerminalHook>>,
+}
+
+impl std::fmt::Debug for HandleState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HandleState")
+            .field("slot", &crate::lock(&self.slot))
+            .field("hooked", &crate::lock(&self.hook).is_some())
+            .finish()
+    }
 }
 
 impl HandleState {
+    /// Attaches the terminal observer. Called at most once, by the
+    /// submit path, before the task can reach any resolve site.
+    pub(crate) fn set_hook(&self, hook: TerminalHook) {
+        *crate::lock(&self.hook) = Some(hook);
+    }
+
     /// Resolves the handle. Must be called exactly once; a second call is
     /// a service bug and is ignored (first outcome wins), so a submitter
     /// can never observe two terminal states.
+    ///
+    /// The terminal hook (if any) runs first — a waiter can only observe
+    /// an outcome the hook has already seen (and, for a durability hook,
+    /// already persisted). A panicking hook is absorbed: resolution must
+    /// still happen on every path.
     pub(crate) fn resolve(&self, outcome: JobOutcome) {
+        let hook = crate::lock(&self.hook).take();
+        if let Some(hook) = hook {
+            drop(catch_unwind(AssertUnwindSafe(|| hook(&outcome))));
+        }
         let mut slot = crate::lock(&self.slot);
         if slot.is_none() {
             *slot = Some(outcome);
@@ -145,6 +176,33 @@ mod tests {
         state.resolve(JobOutcome::TimedOut);
         assert_eq!(handle.wait(), JobOutcome::TimedOut);
         assert_eq!(handle.try_outcome(), Some(JobOutcome::TimedOut));
+    }
+
+    #[test]
+    fn hook_fires_once_before_any_waiter_observes_the_outcome() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let (handle, state) = JobHandle::new(1);
+        let fired = Arc::new(AtomicU32::new(0));
+        // While the hook runs, the slot must still be empty: the hook
+        // sees the outcome strictly before any waiter can.
+        let probe = handle.clone();
+        let fired_in_hook = Arc::clone(&fired);
+        state.set_hook(Box::new(move |outcome| {
+            assert!(matches!(outcome, JobOutcome::TimedOut));
+            assert!(probe.try_outcome().is_none(), "waiter could see outcome before hook");
+            fired_in_hook.fetch_add(1, Ordering::SeqCst);
+        }));
+        state.resolve(JobOutcome::TimedOut);
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "hook fires exactly once");
+        assert_eq!(handle.wait(), JobOutcome::TimedOut);
+    }
+
+    #[test]
+    fn panicking_hook_does_not_lose_the_outcome() {
+        let (handle, state) = JobHandle::new(2);
+        state.set_hook(Box::new(|_| panic!("journal exploded")));
+        state.resolve(JobOutcome::Cancelled);
+        assert_eq!(handle.wait(), JobOutcome::Cancelled);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //!   in-flight explorations.
 
 use crate::breaker::{BreakerState, CircuitBreaker};
-use crate::handle::{JobHandle, JobOutcome};
+use crate::handle::{JobHandle, JobOutcome, TerminalHook};
 use crate::health::{HealthSnapshot, Metrics};
 use crate::job::{Job, JobError, RunLimits};
 use crate::queue::{Rejected, Task, TaskQueue};
@@ -268,7 +268,7 @@ impl JobService {
         job: Job,
         deadline: Option<Duration>,
     ) -> Result<JobHandle, Rejected> {
-        self.submit_inner(job, deadline, None)
+        self.submit_inner(job, deadline, None, None)
     }
 
     /// Submits a job billed to a fair-share tenant.
@@ -289,7 +289,34 @@ impl JobService {
         tenant: u32,
         weight: u32,
     ) -> Result<JobHandle, Rejected> {
-        self.submit_inner(job, deadline, Some((tenant, weight)))
+        self.submit_inner(job, deadline, Some((tenant, weight)), None)
+    }
+
+    /// Submits a job with a terminal observer: `hook` is invoked exactly
+    /// once with the job's terminal outcome, on whichever path resolves
+    /// it (completion, failure, timeout, or cancellation during
+    /// shutdown), and strictly *before* any waiter on the returned
+    /// handle can observe that outcome.
+    ///
+    /// This ordering is what makes a write-ahead journal correct: the
+    /// hook can fsync the outcome to disk, so by the time a client is
+    /// told "done" the result is already durable. A panicking hook is
+    /// absorbed — the job still resolves.
+    ///
+    /// If admission rejects the job the hook is dropped unfired; the
+    /// caller still holds the error and can record the rejection itself.
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit).
+    pub fn submit_observed(
+        &self,
+        job: Job,
+        deadline: Option<Duration>,
+        tenant: Option<(u32, u32)>,
+        hook: impl FnOnce(&JobOutcome) + Send + 'static,
+    ) -> Result<JobHandle, Rejected> {
+        self.submit_inner(job, deadline, tenant, Some(Box::new(hook)))
     }
 
     fn submit_inner(
@@ -297,6 +324,7 @@ impl JobService {
         job: Job,
         deadline: Option<Duration>,
         tenant: Option<(u32, u32)>,
+        hook: Option<TerminalHook>,
     ) -> Result<JobHandle, Rejected> {
         if self.shared.shutting_down.load(Ordering::Relaxed) {
             Metrics::bump(&self.shared.metrics.shed);
@@ -308,6 +336,9 @@ impl JobService {
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (handle, state) = JobHandle::new(id);
+        if let Some(hook) = hook {
+            state.set_hook(hook);
+        }
         let task = Task {
             id,
             job,
@@ -1053,6 +1084,74 @@ mod tests {
             slow.wait(),
             JobOutcome::Completed { .. } | JobOutcome::Cancelled
         ));
+    }
+
+    #[test]
+    fn observed_submissions_fire_the_hook_before_the_waiter_returns() {
+        use std::sync::atomic::AtomicU64;
+        let svc = JobService::start(ServiceConfig::new().with_workers(1));
+        let observed = Arc::new(Mutex::new(None::<JobOutcome>));
+        let seq = Arc::new(AtomicU64::new(0));
+        let slot = Arc::clone(&observed);
+        let hook_seq = Arc::clone(&seq);
+        let handle = svc
+            .submit_observed(
+                Job::ParseSpec {
+                    source: GOOD_SPEC.to_owned(),
+                },
+                None,
+                Some((1, 1)),
+                move |outcome| {
+                    *crate::lock(&slot) = Some(outcome.clone());
+                    hook_seq.store(1, Ordering::SeqCst);
+                },
+            )
+            .unwrap();
+        let outcome = handle.wait();
+        // The hook ran (and finished) before wait() could return.
+        assert_eq!(seq.load(Ordering::SeqCst), 1);
+        assert_eq!(crate::lock(&observed).clone(), Some(outcome));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn hook_fires_on_cancellation_paths_too() {
+        let svc = JobService::start(ServiceConfig::new().with_workers(1));
+        // Occupy the worker so observed jobs die in the queue.
+        let slow = svc
+            .submit(Job::Explore {
+                design: healthy_design().0,
+                start: healthy_design().1,
+                objectives: Objectives::default(),
+                algorithm: Algorithm::RandomSearch {
+                    iterations: 100_000,
+                    seed: 4,
+                },
+            })
+            .unwrap();
+        let observed = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<JobHandle> = (0..5)
+            .map(|_| {
+                let sink = Arc::clone(&observed);
+                svc.submit_observed(
+                    Job::ParseSpec {
+                        source: GOOD_SPEC.to_owned(),
+                    },
+                    None,
+                    None,
+                    move |outcome| crate::lock(&sink).push(outcome.clone()),
+                )
+                .unwrap()
+            })
+            .collect();
+        svc.shutdown_now();
+        for h in handles {
+            h.wait();
+        }
+        // Every observed job's terminal state reached its hook, even the
+        // cancelled ones swept during the discarding shutdown.
+        assert_eq!(crate::lock(&observed).len(), 5);
+        drop(slow);
     }
 
     #[test]

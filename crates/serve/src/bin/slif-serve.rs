@@ -3,13 +3,18 @@
 //!
 //! ```text
 //! slif-serve [--addr HOST:PORT] [--workers N] [--conn-workers N]
-//!            [--read-timeout-ms N] [--max-body BYTES]
+//!            [--read-timeout-ms N] [--max-body BYTES] [--store-dir PATH]
 //!            [--tenant NAME:KEY:WEIGHT:RATE:BURST]...
 //! ```
 //!
 //! With no `--tenant` flags the server runs open (no API keys). Each
 //! `--tenant` adds a key with a fair-share weight and a token-bucket
-//! quota (requests/second steady state, burst ceiling).
+//! quota (requests/second steady state, burst ceiling). `--store-dir`
+//! enables crash-safe persistence: every job is journalled before it
+//! runs and its result fsynced before the acknowledgement, so
+//! `GET /jobs/{id}` (the id is in every `x-slif-job-id` response
+//! header) survives even a SIGKILL restart; repeat specs are served
+//! from a content-addressed compiled-design cache.
 
 use slif_runtime::ServiceConfig;
 use slif_serve::server::{Server, ServerConfig};
@@ -75,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                         .map_err(|_| "bad --max-body value".to_owned())?,
                 );
             }
+            "--store-dir" => config = config.with_store_dir(value("--store-dir")?.clone()),
             "--tenant" => config = config.with_tenant(parse_tenant(value("--tenant")?)?),
             other => return Err(format!("unknown argument {other:?}")),
         }

@@ -95,6 +95,10 @@ pub struct Response {
     pub body: Vec<u8>,
     /// An optional `Retry-After` header value in seconds (429/503).
     pub retry_after: Option<u64>,
+    /// An optional durable job id, echoed as `x-slif-job-id` so a client
+    /// can retrieve the result later via `GET /jobs/{id}` — including
+    /// after a server restart.
+    pub job_id: Option<u64>,
     /// Whether the server will close the connection after this response.
     pub close: bool,
 }
@@ -107,6 +111,7 @@ impl Response {
             reason,
             body: body.into(),
             retry_after: None,
+            job_id: None,
             close: false,
         }
     }
@@ -115,6 +120,13 @@ impl Response {
     #[must_use]
     pub fn with_retry_after(mut self, secs: u64) -> Self {
         self.retry_after = Some(secs);
+        self
+    }
+
+    /// Attaches the durable job id (`x-slif-job-id` header).
+    #[must_use]
+    pub fn with_job_id(mut self, id: u64) -> Self {
+        self.job_id = Some(id);
         self
     }
 
@@ -369,6 +381,9 @@ pub fn write_response(
     );
     if let Some(secs) = response.retry_after {
         head.push_str(&format!("retry-after: {secs}\r\n"));
+    }
+    if let Some(id) = response.job_id {
+        head.push_str(&format!("x-slif-job-id: {id}\r\n"));
     }
     head.push_str(if response.close {
         "connection: close\r\n\r\n"
@@ -646,12 +661,14 @@ mod tests {
         let (mut client, mut server) = pair();
         let resp = Response::new(429, "Too Many Requests", "slow down")
             .with_retry_after(7)
+            .with_job_id(42)
             .closing();
         write_response(&mut server, &resp, BUDGET).unwrap();
         let (status, headers, body) = read_response(&mut client).unwrap();
         assert_eq!(status, 429);
         assert_eq!(body, b"slow down");
         assert!(headers.iter().any(|(n, v)| n == "retry-after" && v == "7"));
+        assert!(headers.iter().any(|(n, v)| n == "x-slif-job-id" && v == "42"));
         assert!(headers.iter().any(|(n, v)| n == "connection" && v == "close"));
     }
 

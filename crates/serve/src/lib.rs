@@ -27,6 +27,11 @@
 //!   the single mapping from every [`Rejected`](slif_runtime::Rejected)
 //!   variant and [`JobError`](slif_runtime::JobError) to a distinct
 //!   status code.
+//! * [`durable`] — optional crash-safe persistence: a write-ahead job
+//!   journal (accept-before-run, persist-before-acknowledge, replay on
+//!   restart) and a content-addressed compiled-design cache, both built
+//!   on [`slif_store`]. Enables durable job ids (`x-slif-job-id`) and
+//!   `GET /jobs/{id}` result retrieval across restarts.
 //! * [`server`] — the accept/dispatch loop, `/health` and `/metrics`,
 //!   and graceful drain (in-flight jobs finish; new work gets 410).
 //! * [`loadgen`] — a deterministic, fault-injecting load generator that
@@ -39,6 +44,7 @@
 // (promoted to an error by the verify gate's `-D warnings`).
 #![warn(clippy::expect_used)]
 
+pub mod durable;
 pub mod http;
 pub mod loadgen;
 pub mod server;

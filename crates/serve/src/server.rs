@@ -19,16 +19,18 @@
 //! finish their current connections, and drains the underlying
 //! [`JobService`] — in-flight jobs finish, nothing is dropped.
 
+use crate::durable::{DurableRequest, DurableStore, JobState};
 use crate::http::{read_request, write_response, RecvError, Request, Response};
 use crate::tenant::{AdmitError, TenantRegistry, TenantSpec};
 use crate::wire::{
-    job_for, render_output, response_for_error, response_for_rejection, Endpoint, WireParams,
-    HDR_API_KEY,
+    job_for_with_cache, render_output, response_for_error, response_for_rejection, Endpoint,
+    WireParams, HDR_API_KEY,
 };
 use slif_runtime::{JobOutcome, JobService, RunLimits, ServiceConfig};
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -57,6 +59,9 @@ pub struct ServerConfig {
     pub max_explore_iterations: u64,
     /// Tenants; empty = open server (no keys required).
     pub tenants: Vec<TenantSpec>,
+    /// Durable-store directory (job journal + compiled-design cache).
+    /// `None` (the default) serves statelessly, exactly as before.
+    pub store_dir: Option<PathBuf>,
     /// Tuning for the underlying job service.
     pub runtime: ServiceConfig,
 }
@@ -73,6 +78,7 @@ impl Default for ServerConfig {
             request_deadline: Duration::from_secs(10),
             max_explore_iterations: 10_000,
             tenants: Vec::new(),
+            store_dir: None,
             runtime: ServiceConfig::new(),
         }
     }
@@ -131,6 +137,15 @@ impl ServerConfig {
     #[must_use]
     pub fn with_tenant(mut self, spec: TenantSpec) -> Self {
         self.tenants.push(spec);
+        self
+    }
+
+    /// Enables crash-safe persistence rooted at `dir`: jobs get durable
+    /// ids, results survive restarts (`GET /jobs/{id}`), and repeat
+    /// specs hit the compiled-design cache.
+    #[must_use]
+    pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
         self
     }
 
@@ -214,6 +229,7 @@ struct Inner {
     request_deadline: Duration,
     max_explore_iterations: u64,
     limits: RunLimits,
+    durable: Option<Arc<DurableStore>>,
 }
 
 /// A running server. Dropping it without [`shutdown`](Server::shutdown)
@@ -237,7 +253,19 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let limits = config.runtime.limits;
+        // Open (and recover) the durable store before anything can be
+        // admitted, so replayed jobs re-enter the queue ahead of new
+        // traffic.
+        let (durable, recovered) = match &config.store_dir {
+            Some(dir) => {
+                let (store, recovered) = DurableStore::open(dir)
+                    .map_err(|e| io::Error::other(e.to_string()))?;
+                (Some(Arc::new(store)), recovered)
+            }
+            None => (None, Vec::new()),
+        };
         let inner = Arc::new(Inner {
+            durable: durable.clone(),
             service: JobService::start(config.runtime),
             registry: TenantRegistry::new(config.tenants),
             conns: ConnQueue::default(),
@@ -251,6 +279,9 @@ impl Server {
             max_explore_iterations: config.max_explore_iterations,
             limits,
         });
+        if let Some(store) = &durable {
+            resubmit_recovered(&inner, store, recovered);
+        }
         let pending = config.pending_conns.max(1);
         let acceptor = {
             let inner = Arc::clone(&inner);
@@ -304,6 +335,49 @@ impl Server {
     /// A point-in-time health snapshot of the underlying job service.
     pub fn health(&self) -> slif_runtime::HealthSnapshot {
         self.inner.service.health()
+    }
+}
+
+/// Resubmits jobs the journal accepted but never saw finish: each is
+/// rebuilt from its journalled request (warm cache hits skip the
+/// compile) and re-enters the queue with its original durable id and
+/// tenant identity. A request that no longer builds is closed with a
+/// journalled 422; one the fresh queue refuses is journalled cancelled —
+/// either way `GET /jobs/{id}` has an answer, never a dangling id.
+fn resubmit_recovered(
+    inner: &Arc<Inner>,
+    store: &Arc<DurableStore>,
+    recovered: Vec<(u64, DurableRequest)>,
+) {
+    for (id, request) in recovered {
+        let job = match job_for_with_cache(
+            request.endpoint,
+            &request.source,
+            &request.params,
+            &inner.limits,
+            inner.max_explore_iterations,
+            Some(store.cache()),
+        ) {
+            Ok(job) => job,
+            Err(diag) => {
+                store.finish(
+                    id,
+                    422,
+                    format!("specification rejected on replay: {diag}\n").into_bytes(),
+                );
+                continue;
+            }
+        };
+        let hook_store = Arc::clone(store);
+        let submitted = inner.service.submit_observed(
+            job,
+            Some(inner.request_deadline),
+            Some((request.tenant, request.weight.max(1))),
+            move |outcome| hook_store.record_outcome(id, outcome),
+        );
+        if submitted.is_err() {
+            store.cancel(id);
+        }
     }
 }
 
@@ -399,6 +473,10 @@ fn handle_request(inner: &Inner, request: &Request) -> Response {
         ("GET", "/health") => Response::new(200, "OK", format!("{}\n", inner.service.health())),
         ("GET", "/metrics") => Response::new(200, "OK", render_metrics(inner)),
         (_, "/health" | "/metrics") => method_not_allowed("GET"),
+        // Result retrieval is a read — it stays up during drain, like
+        // the other observability endpoints.
+        ("GET", path) if path.starts_with("/jobs/") => job_status(inner, path),
+        (_, path) if path.starts_with("/jobs/") => method_not_allowed("GET"),
         (method, path) => match Endpoint::from_path(path) {
             None => Response::new(404, "Not Found", format!("no such endpoint: {path}\n")),
             Some(_) if method != "POST" => method_not_allowed("POST"),
@@ -437,12 +515,13 @@ fn run_job(inner: &Inner, endpoint: Endpoint, request: &Request) -> Response {
         return Response::new(400, "Bad Request", "body is not UTF-8\n");
     };
     let params = WireParams::from_headers(|name| request.header(name));
-    let job = match job_for(
+    let job = match job_for_with_cache(
         endpoint,
         source,
         &params,
         &inner.limits,
         inner.max_explore_iterations,
+        inner.durable.as_deref().map(DurableStore::cache),
     ) {
         Ok(job) => job,
         Err(diag) => {
@@ -453,20 +532,66 @@ fn run_job(inner: &Inner, endpoint: Endpoint, request: &Request) -> Response {
             );
         }
     };
-    let handle = match inner.service.submit_for_tenant(
-        job,
-        Some(inner.request_deadline),
-        admission.tenant,
-        admission.weight,
-    ) {
+    // Write-ahead: the acceptance is journalled (and fsynced) before the
+    // job can enter the queue. If the journal cannot take the record,
+    // the request is refused — no unjournalled work runs on a durable
+    // server.
+    let durable_id = match &inner.durable {
+        None => None,
+        Some(store) => {
+            let journalled = store.accept(&DurableRequest {
+                endpoint,
+                params,
+                tenant: admission.tenant,
+                weight: admission.weight,
+                source: source.to_owned(),
+            });
+            match journalled {
+                Ok(id) => Some(id),
+                Err(_) => {
+                    return Response::new(
+                        503,
+                        "Service Unavailable",
+                        "durability journal unavailable; retry later\n",
+                    )
+                    .with_retry_after(1);
+                }
+            }
+        }
+    };
+    let submitted = match (&inner.durable, durable_id) {
+        (Some(store), Some(id)) => {
+            let hook_store = Arc::clone(store);
+            inner.service.submit_observed(
+                job,
+                Some(inner.request_deadline),
+                Some((admission.tenant, admission.weight)),
+                move |outcome| hook_store.record_outcome(id, outcome),
+            )
+        }
+        _ => inner.service.submit_for_tenant(
+            job,
+            Some(inner.request_deadline),
+            admission.tenant,
+            admission.weight,
+        ),
+    };
+    let handle = match submitted {
         Ok(handle) => handle,
-        Err(rejection) => return response_for_rejection(&rejection),
+        Err(rejection) => {
+            // Journalled but never queued: close the id out so a later
+            // GET /jobs/{id} reports the cancellation, not a hang.
+            if let (Some(store), Some(id)) = (&inner.durable, durable_id) {
+                store.cancel(id);
+            }
+            return tag_job_id(response_for_rejection(&rejection), durable_id);
+        }
     };
     // The job carries its own deadline; the extra grace covers queue
     // wait + scheduling so the service's typed TimedOut (not this
     // fallback) is the normal timeout path.
     let grace = inner.request_deadline + Duration::from_secs(5);
-    match handle.wait_timeout(grace) {
+    let response = match handle.wait_timeout(grace) {
         Some(JobOutcome::Completed { output, .. }) => {
             Response::new(200, "OK", render_output(&output))
         }
@@ -479,13 +604,75 @@ fn run_job(inner: &Inner, endpoint: Endpoint, request: &Request) -> Response {
         Some(JobOutcome::Cancelled) => {
             Response::new(410, "Gone", "job cancelled by shutdown\n").closing()
         }
-        // Wildcard covers both the non_exhaustive outcome enum and the
-        // wait itself timing out.
-        _ => Response::new(
-            504,
-            "Gateway Timeout",
-            "gave up waiting for the job's terminal state\n",
-        ),
+        // The wait itself gave up (or a future outcome variant). On a
+        // durable server the job id stays valid: the client can poll
+        // GET /jobs/{id} for the terminal state.
+        _ => match durable_id {
+            Some(id) => Response::new(
+                202,
+                "Accepted",
+                format!("job {id} is still running; GET /jobs/{id} for the result\n"),
+            ),
+            None => Response::new(
+                504,
+                "Gateway Timeout",
+                "gave up waiting for the job's terminal state\n",
+            ),
+        },
+    };
+    tag_job_id(response, durable_id)
+}
+
+fn tag_job_id(response: Response, id: Option<u64>) -> Response {
+    match id {
+        Some(id) => response.with_job_id(id),
+        None => response,
+    }
+}
+
+/// Serves `GET /jobs/{id}` from the durable store: a finished job
+/// replays its journalled status and body (bit-identical across
+/// restarts), a pending one answers 202, a cancelled one 410.
+fn job_status(inner: &Inner, path: &str) -> Response {
+    let Some(store) = &inner.durable else {
+        return Response::new(
+            404,
+            "Not Found",
+            "durable job store not enabled on this server\n",
+        );
+    };
+    let Some(id) = path.strip_prefix("/jobs/").and_then(|s| s.parse::<u64>().ok()) else {
+        return Response::new(400, "Bad Request", "job id must be a decimal integer\n");
+    };
+    match store.lookup(id) {
+        None => Response::new(404, "Not Found", format!("no such job: {id}\n")),
+        Some(JobState::Pending) => Response::new(
+            202,
+            "Accepted",
+            format!("job {id} is still running; poll again\n"),
+        )
+        .with_job_id(id),
+        Some(JobState::Cancelled) => {
+            Response::new(410, "Gone", format!("job {id} was cancelled\n")).with_job_id(id)
+        }
+        Some(JobState::Done { status, body }) => {
+            Response::new(status, reason_for(status), body).with_job_id(id)
+        }
+    }
+}
+
+/// The reason phrase for a journalled status (the stored record carries
+/// only the code).
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        410 => "Gone",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Done",
     }
 }
 
@@ -516,6 +703,23 @@ fn render_metrics(inner: &Inner) -> String {
     w("latency_p50_us", h.latency.p50_micros().unwrap_or(0));
     w("latency_p90_us", h.latency.p90_micros().unwrap_or(0));
     w("latency_p99_us", h.latency.p99_micros().unwrap_or(0));
+    if let Some(store) = &inner.durable {
+        let c = store.cache_stats();
+        w("store_cache_hits_total", c.hits);
+        w("store_cache_misses_total", c.misses);
+        w("store_cache_quarantined_total", c.quarantined);
+        w("store_cache_puts_total", c.puts);
+        let sh = store.health();
+        w("store_journal_records_replayed", sh.records_replayed);
+        w("store_journal_pending_recovered", sh.pending_recovered);
+        w("store_journal_truncated", u64::from(sh.truncated));
+        w(
+            "store_journal_header_quarantined",
+            u64::from(sh.header_quarantined),
+        );
+        w("store_journal_quarantined_bytes", sh.quarantined_bytes);
+        w("store_journal_append_failures_total", sh.append_failures);
+    }
     for (status, count) in crate::lock(&inner.stats.statuses).iter() {
         let _ = writeln!(out, "slif_http_responses_total{{code=\"{status}\"}} {count}");
     }
@@ -676,6 +880,107 @@ mod tests {
             assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
         }
         server.shutdown();
+    }
+
+    fn durable_server(dir: &std::path::Path) -> Server {
+        Server::bind(
+            ServerConfig::new()
+                .with_conn_workers(2)
+                .with_io_timeouts(Duration::from_millis(200), Duration::from_millis(500))
+                .with_runtime(ServiceConfig::new().with_workers(2))
+                .with_store_dir(dir),
+        )
+        .unwrap()
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+            .unwrap();
+        read_response(&mut s).unwrap()
+    }
+
+    fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn durable_jobs_survive_a_restart_with_identical_bodies() {
+        let dir = std::env::temp_dir().join(format!("slif-serve-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = durable_server(&dir);
+        let addr = server.addr();
+        // Submit synchronously; the response carries the durable id.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(&post("/v1/estimate", GOOD_SPEC)).unwrap();
+        let (status, headers, body) = read_response(&mut s).unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        let id: u64 = header(&headers, "x-slif-job-id").unwrap().parse().unwrap();
+        // Retrieval before the restart...
+        let (status, _, stored) = get(addr, &format!("/jobs/{id}"));
+        assert_eq!(status, 200);
+        assert_eq!(stored, body);
+        // ...and after: a brand-new server over the same store replays
+        // the journalled result bit for bit.
+        server.shutdown();
+        let server = durable_server(&dir);
+        let (status, headers2, replayed) = get(server.addr(), &format!("/jobs/{id}"));
+        assert_eq!(status, 200);
+        assert_eq!(replayed, body, "restart changed the stored body");
+        assert_eq!(header(&headers2, "x-slif-job-id"), Some(&*id.to_string()));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn repeat_specs_hit_the_design_cache() {
+        let dir = std::env::temp_dir().join(format!("slif-serve-cachehit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = durable_server(&dir);
+        let addr = server.addr();
+        let (first, first_body) = roundtrip(addr, &post("/v1/analyze", GOOD_SPEC));
+        let (second, second_body) = roundtrip(addr, &post("/v1/analyze", GOOD_SPEC));
+        assert_eq!((first, second), (200, 200));
+        assert_eq!(first_body, second_body, "warm response diverged from cold");
+        let (_, _, metrics) = get(addr, "/metrics");
+        let text = String::from_utf8_lossy(&metrics).into_owned();
+        assert!(text.contains("slif_store_cache_puts_total 1"), "{text}");
+        let hits: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("slif_store_cache_hits_total "))
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(hits >= 1, "{text}");
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn jobs_endpoint_refuses_bad_ids_and_unknown_jobs() {
+        let dir = std::env::temp_dir().join(format!("slif-serve-jobs404-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = durable_server(&dir);
+        let addr = server.addr();
+        assert_eq!(get(addr, "/jobs/not-a-number").0, 400);
+        assert_eq!(get(addr, "/jobs/999").0, 404);
+        let (status, _, _) = {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            s.write_all(b"DELETE /jobs/1 HTTP/1.1\r\n\r\n").unwrap();
+            read_response(&mut s).unwrap()
+        };
+        assert_eq!(status, 405);
+        server.shutdown();
+        // A stateless server has no /jobs surface at all.
+        let server = tiny_server(Vec::new());
+        assert_eq!(get(server.addr(), "/jobs/0").0, 404);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -47,11 +47,15 @@
 
 use crate::http::Response;
 use slif_analyze::AnalysisConfig;
+use slif_core::Design;
 use slif_estimate::EstimatorConfig;
 use slif_explore::{Algorithm, Objectives};
-use slif_frontend::{all_software_partition, build_design, try_allocate_proc_asic};
+use slif_frontend::{
+    all_software_partition, build_design, try_allocate_proc_asic, ProcAsicArchitecture,
+};
 use slif_runtime::{Job, JobError, JobOutput, Rejected, RunLimits};
 use slif_speclang::{parse_with_limits, resolve};
+use slif_store::DesignCache;
 use slif_techlib::TechnologyLibrary;
 
 /// Header carrying the API key.
@@ -104,6 +108,27 @@ impl Endpoint {
         Endpoint::Explore,
         Endpoint::Analyze,
     ];
+
+    /// A stable one-byte code for journal payloads.
+    pub fn code(self) -> u8 {
+        match self {
+            Self::Parse => 0,
+            Self::Estimate => 1,
+            Self::Explore => 2,
+            Self::Analyze => 3,
+        }
+    }
+
+    /// The endpoint for a journal code, `None` for an unknown byte.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::Parse),
+            1 => Some(Self::Estimate),
+            2 => Some(Self::Explore),
+            3 => Some(Self::Analyze),
+            _ => None,
+        }
+    }
 }
 
 /// Per-request tuning knobs, parsed from headers.
@@ -157,18 +182,91 @@ pub fn job_for(
     limits: &RunLimits,
     max_iterations: u64,
 ) -> Result<Job, String> {
+    job_for_with_cache(endpoint, source, params, limits, max_iterations, None)
+}
+
+/// [`job_for`] with an optional compiled-design cache.
+///
+/// For the compiling endpoints (estimate/explore/analyze) a verified
+/// cache hit skips the parse→resolve→build→allocate pipeline entirely:
+/// the cached canonical design already contains the allocated proc+ASIC
+/// architecture, which is reconstructed by component-name lookup (the
+/// allocator is not idempotent, so it must not run again). Because the
+/// canonical codec round-trips designs exactly, a warm job is equal to
+/// the cold-compiled one and produces bit-identical output.
+///
+/// A miss falls back to the cold pipeline and populates the cache;
+/// cache write failures are swallowed — caching is an optimization, not
+/// a correctness dependency.
+///
+/// # Errors
+///
+/// Same as [`job_for`]: a rendered diagnostic for a source that fails
+/// the cold pipeline. A damaged cache never produces an error here.
+pub fn job_for_with_cache(
+    endpoint: Endpoint,
+    source: &str,
+    params: &WireParams,
+    limits: &RunLimits,
+    max_iterations: u64,
+    cache: Option<&DesignCache>,
+) -> Result<Job, String> {
     if endpoint == Endpoint::Parse {
         return Ok(Job::ParseSpec {
             source: source.to_owned(),
         });
     }
+    if let Some(cache) = cache {
+        if let Some(design) = cache.get(source.as_bytes()) {
+            // A cached design that somehow lacks the architecture
+            // components is useless; treat it as a miss.
+            if let Some(arch) = arch_from_design(&design) {
+                return Ok(job_from_parts(endpoint, design, arch, params, max_iterations));
+            }
+        }
+    }
+    let (design, arch) = compile_allocated(source, limits)?;
+    if let Some(cache) = cache {
+        drop(cache.put(source.as_bytes(), &design));
+    }
+    Ok(job_from_parts(endpoint, design, arch, params, max_iterations))
+}
+
+/// The cold pipeline: parse → resolve → build → allocate the proc+ASIC
+/// architecture.
+fn compile_allocated(
+    source: &str,
+    limits: &RunLimits,
+) -> Result<(Design, ProcAsicArchitecture), String> {
     let spec = parse_with_limits(source, &limits.parse).map_err(|e| e.to_string())?;
     let rs = resolve(spec).map_err(|e| e.to_string())?;
     let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
     let arch = try_allocate_proc_asic(&mut design).map_err(|e| e.to_string())?;
+    Ok((design, arch))
+}
+
+/// Reconstructs the allocated architecture from the component names
+/// [`try_allocate_proc_asic`] assigns. `None` if any component is
+/// missing (the design did not come through that allocator).
+fn arch_from_design(design: &Design) -> Option<ProcAsicArchitecture> {
+    Some(ProcAsicArchitecture {
+        cpu: design.processor_by_name("cpu0")?,
+        asic: design.processor_by_name("asic0")?,
+        mem: design.memory_by_name("mem0")?,
+        bus: design.bus_by_name("sysbus")?,
+    })
+}
+
+fn job_from_parts(
+    endpoint: Endpoint,
+    design: Design,
+    arch: ProcAsicArchitecture,
+    params: &WireParams,
+    max_iterations: u64,
+) -> Job {
     let partition = all_software_partition(&design, arch);
-    Ok(match endpoint {
-        Endpoint::Parse => unreachable!("handled above"),
+    match endpoint {
+        Endpoint::Parse => unreachable!("parse never compiles a design"),
         Endpoint::Estimate => Job::Estimate {
             design,
             partition,
@@ -188,7 +286,7 @@ pub fn job_for(
             partition: Some(partition),
             config: AnalysisConfig::new(),
         },
-    })
+    }
 }
 
 /// Renders a successful job output as the deterministic response body.
@@ -317,6 +415,69 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", ep.kind()));
             assert_eq!(body, render_output(&out2), "{}", ep.kind());
         }
+    }
+
+    #[test]
+    fn endpoint_codes_round_trip() {
+        for ep in Endpoint::ALL {
+            assert_eq!(Endpoint::from_code(ep.code()), Some(ep));
+        }
+        assert_eq!(Endpoint::from_code(200), None);
+    }
+
+    /// The tentpole guarantee at the wire layer: a job built from a
+    /// verified cache hit is *equal* to the cold-compiled job, so warm
+    /// responses are bit-identical to cold ones.
+    #[test]
+    fn cache_hit_builds_a_job_identical_to_cold_compile() {
+        let dir = std::env::temp_dir().join(format!("slif-wire-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DesignCache::open(&dir).unwrap();
+        let limits = RunLimits::default();
+        for ep in [Endpoint::Estimate, Endpoint::Explore, Endpoint::Analyze] {
+            let cold = job_for(ep, GOOD_SPEC, &WireParams::default(), &limits, 16).unwrap();
+            // First cached call: a miss that populates.
+            let populate = job_for_with_cache(
+                ep,
+                GOOD_SPEC,
+                &WireParams::default(),
+                &limits,
+                16,
+                Some(&cache),
+            )
+            .unwrap();
+            // Second: a verified hit that skips the pipeline.
+            let warm = job_for_with_cache(
+                ep,
+                GOOD_SPEC,
+                &WireParams::default(),
+                &limits,
+                16,
+                Some(&cache),
+            )
+            .unwrap();
+            let design_of = |job: &Job| -> Design {
+                match job {
+                    Job::Estimate { design, .. }
+                    | Job::Explore { design, .. }
+                    | Job::Analyze { design, .. } => design.clone(),
+                    other => panic!("job without a design: {other:?}"),
+                }
+            };
+            assert_eq!(design_of(&cold), design_of(&populate), "{}", ep.kind());
+            assert_eq!(design_of(&cold), design_of(&warm), "{}", ep.kind());
+            assert_eq!(
+                slif_store::encode_design(&design_of(&cold)),
+                slif_store::encode_design(&design_of(&warm)),
+                "{}: warm design not canonically identical",
+                ep.kind()
+            );
+            let cold_body = render_output(&cold.run_inline(&limits).unwrap());
+            let warm_body = render_output(&warm.run_inline(&limits).unwrap());
+            assert_eq!(cold_body, warm_body, "{}: warm output diverged", ep.kind());
+        }
+        assert!(cache.stats().hits >= 2, "{:?}", cache.stats());
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! The content-addressed compiled-design cache.
+//!
+//! Layout under the cache directory:
+//!
+//! ```text
+//! objects/<sha256-of-canonical-bytes>   framed canonical Design
+//! refs/<sha256-of-spec-source>          framed 32-byte content key
+//! ```
+//!
+//! A spec's *source bytes* hash to a ref, the ref names the canonical
+//! object, and the object's file name **is** the SHA-256 of its payload
+//! — so re-hashing the payload on every read verifies, for free, that a
+//! hit is bit-identical to what was cached. The chain a hit walks is
+//! verified end to end: ref frame checksum → object frame checksum →
+//! content hash → strict canonical decode.
+//!
+//! Failures never reach a client: any unreadable, misframed, or
+//! hash-mismatched file is renamed to a `.corrupt` sidecar, counted in
+//! [`CacheStats::quarantined`], and reported as a plain miss. The next
+//! cold compile re-populates the slot through an atomic write.
+
+use crate::canonical::{decode_design, encode_design};
+use crate::error::StoreError;
+use crate::sha256::ContentKey;
+use slif_core::atomic_io;
+use slif_core::Design;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The 8-byte magic of an object file (a framed canonical design).
+pub const OBJECT_MAGIC: [u8; 8] = *b"SLIFCOBJ";
+/// The 8-byte magic of a ref file (a framed content key).
+pub const REF_MAGIC: [u8; 8] = *b"SLIFCREF";
+/// The current (and only) cache container version.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Counter snapshot for `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Verified hits served.
+    pub hits: u64,
+    /// Lookups that found nothing usable (including quarantines).
+    pub misses: u64,
+    /// Files renamed to `.corrupt` after failing verification.
+    pub quarantined: u64,
+    /// Designs written.
+    pub puts: u64,
+}
+
+/// An open cache directory. Cheap to share behind an `Arc`; all methods
+/// take `&self`.
+#[derive(Debug)]
+pub struct DesignCache {
+    objects: PathBuf,
+    refs: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    quarantined: AtomicU64,
+    puts: AtomicU64,
+}
+
+impl DesignCache {
+    /// Opens (creating if absent) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the subdirectories cannot be created.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let objects = dir.join("objects");
+        let refs = dir.join("refs");
+        fs::create_dir_all(&objects).map_err(|e| StoreError::io(&objects, &e))?;
+        fs::create_dir_all(&refs).map_err(|e| StoreError::io(&refs, &e))?;
+        Ok(Self {
+            objects,
+            refs,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+        })
+    }
+
+    /// Caches `design` under the given spec source, returning the
+    /// design's content key.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if either file cannot be written atomically.
+    pub fn put(&self, source: &[u8], design: &Design) -> Result<ContentKey, StoreError> {
+        let canonical = encode_design(design);
+        let key = ContentKey::of(&canonical);
+        let object = self.objects.join(key.to_hex());
+        if !object.exists() {
+            atomic_io::write_atomic(&object, &atomic_io::frame(&OBJECT_MAGIC, CACHE_VERSION, &canonical))
+                .map_err(|e| StoreError::io(&object, &e))?;
+        }
+        let reference = self.refs.join(ContentKey::of(source).to_hex());
+        atomic_io::write_atomic(&reference, &atomic_io::frame(&REF_MAGIC, CACHE_VERSION, &key.0))
+            .map_err(|e| StoreError::io(&reference, &e))?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(key)
+    }
+
+    /// Looks up the design cached for a spec source. Returns a design
+    /// only after the full verification chain passes; everything else —
+    /// absent files, frame damage, hash mismatch, decode failure — is a
+    /// counted miss (with quarantine where there was a file to blame).
+    pub fn get(&self, source: &[u8]) -> Option<Design> {
+        let reference = self.refs.join(ContentKey::of(source).to_hex());
+        let key = match self.read_framed(&reference, &REF_MAGIC) {
+            Lookup::Absent => return self.miss(),
+            Lookup::Damaged => return self.miss(),
+            Lookup::Payload(p) => {
+                if p.len() != 32 {
+                    self.quarantine(&reference);
+                    return self.miss();
+                }
+                let mut k = [0u8; 32];
+                k.copy_from_slice(&p);
+                ContentKey(k)
+            }
+        };
+        let object = self.objects.join(key.to_hex());
+        let canonical = match self.read_framed(&object, &OBJECT_MAGIC) {
+            Lookup::Absent | Lookup::Damaged => return self.miss(),
+            Lookup::Payload(p) => p,
+        };
+        // The file name is the hash of the payload: re-hashing proves
+        // the bytes are identical to what was cached.
+        if ContentKey::of(&canonical) != key {
+            self.quarantine(&object);
+            return self.miss();
+        }
+        match decode_design(&canonical) {
+            Ok(design) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(design)
+            }
+            Err(_) => {
+                self.quarantine(&object);
+                self.miss()
+            }
+        }
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn miss(&self) -> Option<Design> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Reads and unframes a cache file, quarantining it on any damage.
+    fn read_framed(&self, path: &Path, magic: &[u8; 8]) -> Lookup {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Lookup::Absent,
+            Err(_) => {
+                self.quarantine(path);
+                return Lookup::Damaged;
+            }
+        };
+        match atomic_io::unframe(magic, CACHE_VERSION, &bytes) {
+            Ok(payload) => Lookup::Payload(payload.to_vec()),
+            Err(_) => {
+                self.quarantine(path);
+                Lookup::Damaged
+            }
+        }
+    }
+
+    fn quarantine(&self, path: &Path) {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".corrupt");
+        if fs::rename(path, &name).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+enum Lookup {
+    Absent,
+    Damaged,
+    Payload(Vec<u8>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_core::gen::DesignGenerator;
+
+    fn temp_cache(tag: &str) -> (PathBuf, DesignCache) {
+        let dir = std::env::temp_dir().join(format!("slif-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = DesignCache::open(&dir).unwrap();
+        (dir, cache)
+    }
+
+    #[test]
+    fn hit_is_bit_identical_to_what_was_put() {
+        let (dir, cache) = temp_cache("roundtrip");
+        let (design, _) = DesignGenerator::new(4).build();
+        let source = b"spec source text";
+        assert!(cache.get(source).is_none());
+        cache.put(source, &design).unwrap();
+        let back = cache.get(source).unwrap();
+        assert_eq!(back, design);
+        assert_eq!(encode_design(&back), encode_design(&design));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.puts), (1, 1, 1));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cache_survives_reopen() {
+        let (dir, cache) = temp_cache("reopen");
+        let (design, _) = DesignGenerator::new(5).build();
+        cache.put(b"src", &design).unwrap();
+        drop(cache);
+        let cache = DesignCache::open(&dir).unwrap();
+        assert_eq!(cache.get(b"src").unwrap(), design);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_object_is_a_quarantined_miss_then_repopulates() {
+        let (dir, cache) = temp_cache("corrupt-object");
+        let (design, _) = DesignGenerator::new(6).build();
+        let key = cache.put(b"src", &design).unwrap();
+        let object = dir.join("objects").join(key.to_hex());
+        let mut bytes = fs::read(&object).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&object, &bytes).unwrap();
+
+        assert!(cache.get(b"src").is_none(), "corrupt object served");
+        assert!(!object.exists(), "corrupt object not quarantined");
+        assert!(dir
+            .join("objects")
+            .join(format!("{}.corrupt", key.to_hex()))
+            .exists());
+        assert_eq!(cache.stats().quarantined, 1);
+
+        cache.put(b"src", &design).unwrap();
+        assert_eq!(cache.get(b"src").unwrap(), design);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn hash_mismatch_with_valid_frame_is_caught() {
+        // A frame that checksums fine but whose payload is not what the
+        // file name promises — e.g. after a botched manual copy.
+        let (dir, cache) = temp_cache("hash-mismatch");
+        let (design, _) = DesignGenerator::new(7).build();
+        let (other, _) = DesignGenerator::new(8).build();
+        let key = cache.put(b"src", &design).unwrap();
+        let object = dir.join("objects").join(key.to_hex());
+        let forged = atomic_io::frame(&OBJECT_MAGIC, CACHE_VERSION, &encode_design(&other));
+        fs::write(&object, forged).unwrap();
+        assert!(cache.get(b"src").is_none());
+        assert_eq!(cache.stats().quarantined, 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_ref_is_a_quarantined_miss() {
+        let (dir, cache) = temp_cache("corrupt-ref");
+        let (design, _) = DesignGenerator::new(9).build();
+        cache.put(b"src", &design).unwrap();
+        let reference = dir.join("refs").join(ContentKey::of(b"src").to_hex());
+        let mut bytes = fs::read(&reference).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        fs::write(&reference, &bytes).unwrap();
+        assert!(cache.get(b"src").is_none());
+        assert!(!reference.exists());
+        assert_eq!(cache.stats().quarantined, 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stale_container_version_is_a_miss_not_an_error() {
+        let (dir, cache) = temp_cache("stale-version");
+        let (design, _) = DesignGenerator::new(10).build();
+        let key = cache.put(b"src", &design).unwrap();
+        let object = dir.join("objects").join(key.to_hex());
+        let mut bytes = fs::read(&object).unwrap();
+        bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
+        fs::write(&object, &bytes).unwrap();
+        assert!(cache.get(b"src").is_none());
+        assert_eq!(cache.stats().quarantined, 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn distinct_sources_share_one_object_for_equal_designs() {
+        let (dir, cache) = temp_cache("dedup");
+        let (design, _) = DesignGenerator::new(11).build();
+        let k1 = cache.put(b"source one", &design).unwrap();
+        let k2 = cache.put(b"source two", &design).unwrap();
+        assert_eq!(k1, k2);
+        assert_eq!(fs::read_dir(dir.join("objects")).unwrap().count(), 1);
+        assert_eq!(fs::read_dir(dir.join("refs")).unwrap().count(), 2);
+        assert_eq!(cache.get(b"source one").unwrap(), design);
+        assert_eq!(cache.get(b"source two").unwrap(), design);
+        let _ = fs::remove_dir_all(dir);
+    }
+}

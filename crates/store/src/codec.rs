@@ -1,0 +1,101 @@
+//! Bounds-checked little-endian payload codec shared by the canonical
+//! design encoding and the journal record payloads.
+//!
+//! The decoder never trusts a decoded count: callers loop-and-push
+//! rather than pre-allocating from untrusted lengths, and [`Dec::take`]
+//! guarantees termination because every read advances or errors.
+
+use crate::error::StoreError;
+use slif_core::atomic_io::{le_u32, le_u64};
+
+/// Little-endian payload writer.
+#[derive(Debug, Default)]
+pub(crate) struct Enc {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    /// A length-prefixed byte string.
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+#[derive(Debug)]
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(StoreError::Corrupt { context })?;
+        if end > self.buf.len() {
+            return Err(StoreError::Corrupt { context });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+        Ok(le_u32(self.take(4, context)?))
+    }
+
+    pub(crate) fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+        Ok(le_u64(self.take(8, context)?))
+    }
+
+    pub(crate) fn f64(&mut self, context: &'static str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// A length-prefixed byte string; the length is bounds-checked
+    /// against the remaining buffer before any allocation.
+    pub(crate) fn bytes(&mut self, context: &'static str) -> Result<&'a [u8], StoreError> {
+        let len = self.u32(context)? as usize;
+        self.take(len, context)
+    }
+
+    pub(crate) fn finish(self) -> Result<(), StoreError> {
+        if self.pos != self.buf.len() {
+            return Err(StoreError::Corrupt {
+                context: "trailing bytes",
+            });
+        }
+        Ok(())
+    }
+}

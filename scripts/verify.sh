@@ -34,7 +34,20 @@
 #    worker panic) and rewrites BENCH_serve.json so the committed
 #    throughput/p99 record always matches the code being verified. The
 #    full 10k-request soak runs as tests/wire_soak.rs in step 1.
-# 8. Lint gate: clippy with warnings denied (the workspace sweep covers
+# 8. Durability soak: tests/store_soak.rs drives 24 restart cycles of a
+#    durable slif-serve over one store directory, corrupting the journal
+#    and the design cache between cycles (>30% of cycles, all four
+#    StoreFaultKind classes) — every acknowledged job must keep
+#    replaying its exact status and body, and every served body (cold or
+#    warm-cache) must stay byte-identical to the inline run. The
+#    restart_smoke binary then proves the same contract cross-process:
+#    it SIGKILLs a real slif-serve child mid-flight and requires the
+#    journalled result and a warm cache hit from its successor.
+# 9. Store bench smoke: pr7_store re-measures the durability ledger —
+#    cold spec-compile vs verified warm cache read, and the fsynced
+#    journal append pair every durable job pays — and rewrites
+#    BENCH_store.json so the committed record matches the code.
+# 10. Lint gate: clippy with warnings denied (the workspace sweep covers
 #    crates/analyze like every other crate), plus `unwrap_used` on
 #    non-test code (without --all-targets, #[cfg(test)] code is not
 #    linted, which is exactly the carve-out we want: tests may unwrap,
@@ -56,4 +69,7 @@ cargo test -q --test analyze_props
 cargo run --release --quiet --example analyze_spec -- --deny-warnings
 cargo run --release --quiet -p slif-bench --bin pr3_bench BENCH_pr3.json
 cargo run --release --quiet -p slif-serve --bin loadgen -- --self-serve --requests 500 --out BENCH_serve.json
+cargo test -q --test store_soak
+cargo run --release --quiet -p slif-serve --bin restart_smoke
+cargo run --release --quiet -p slif-bench --bin pr7_store BENCH_store.json
 cargo clippy --workspace -- -D warnings -W clippy::unwrap_used

@@ -71,4 +71,5 @@ pub use slif_runtime as runtime;
 pub use slif_serve as serve;
 pub use slif_sim as sim;
 pub use slif_speclang as speclang;
+pub use slif_store as store;
 pub use slif_techlib as techlib;

@@ -723,3 +723,192 @@ fn injected_concurrency_tag_conflicts_race() {
     let report = analyze(&d, None, &config);
     assert_eq!(report.of(LintId::SharedVariableRace).count(), 1, "{report}");
 }
+
+// ---------------------------------------------------------------------
+// Durable-store fault suites: each `StoreFaultKind` must land on its
+// documented recovery outcome — never a panic, never a replayed or
+// served corrupt record.
+// ---------------------------------------------------------------------
+
+/// Builds a journal fixture with a known record mix and returns its
+/// clean on-disk bytes: 3 accepted, 2 completed, 1 cancelled.
+fn journal_fixture(path: &std::path::Path) -> Vec<u8> {
+    use slif::store::{JobRecord, Journal};
+    let _ = std::fs::remove_file(path);
+    let (mut journal, report) = Journal::open(path).expect("fresh journal");
+    assert_eq!(report.records_replayed, 0);
+    for id in 1u64..=3 {
+        journal
+            .append(&JobRecord::Accepted {
+                id,
+                payload: vec![0x41; 40 + id as usize],
+            })
+            .expect("append accepted");
+    }
+    for id in 1u64..=2 {
+        journal
+            .append(&JobRecord::Completed {
+                id,
+                status: 200,
+                body: vec![0x42; 64],
+            })
+            .expect("append completed");
+    }
+    journal
+        .append(&JobRecord::Cancelled { id: 3 })
+        .expect("append cancelled");
+    drop(journal);
+    std::fs::read(path).expect("read fixture bytes")
+}
+
+#[test]
+fn every_journal_store_fault_recovers_to_its_documented_outcome() {
+    use slif::core::faults::{StoreFaultKind, ALL_STORE_FAULT_KINDS};
+    use slif::store::{JobRecord, Journal};
+
+    let dir = std::env::temp_dir().join(format!("slif-fi-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("journal.wal");
+    let clean = journal_fixture(&path);
+    const RECORDS: u64 = 6;
+
+    for &kind in &ALL_STORE_FAULT_KINDS {
+        for seed in 0..40u64 {
+            let mut bytes = clean.clone();
+            let desc = FaultInjector::new(seed ^ 0x51F0)
+                .corrupt_store_file(&mut bytes, kind);
+            std::fs::write(&path, &bytes).expect("write corrupted image");
+            let sidecar = dir.join("journal.wal.corrupt");
+            let _ = std::fs::remove_file(&sidecar);
+
+            // Recovery is total: typed report, no panic.
+            let (mut journal, report) =
+                Journal::open(&path).unwrap_or_else(|e| panic!("{kind}/{seed} ({desc}): {e}"));
+            let ctx = format!("{kind}/{seed} ({desc}): {report:?}");
+
+            match kind {
+                StoreFaultKind::StaleVersionHeader => {
+                    // A header this build cannot read poisons the whole
+                    // file: quarantined wholesale, zero records trusted.
+                    assert!(report.header_quarantined, "{ctx}");
+                    assert_eq!(report.records_replayed, 0, "{ctx}");
+                    assert_eq!(report.quarantined_bytes, clean.len() as u64, "{ctx}");
+                    assert!(sidecar.exists(), "{ctx}");
+                }
+                StoreFaultKind::TornFinalRecord => {
+                    // A tear of <=16 bytes can only damage the final
+                    // (21-byte) record: everything acknowledged before
+                    // it replays, the tail is quarantined.
+                    assert_eq!(report.records_replayed, RECORDS - 1, "{ctx}");
+                    assert!(report.truncated_at.is_some(), "{ctx}");
+                    assert!(report.quarantined_bytes > 0, "{ctx}");
+                    assert!(sidecar.exists(), "{ctx}");
+                }
+                StoreFaultKind::MidFileBitFlip => {
+                    // The CRC catches the flip at some record: a clean
+                    // prefix replays, nothing at or past the damage does.
+                    assert!(report.truncated_at.is_some(), "{ctx}");
+                    assert!(report.records_replayed < RECORDS, "{ctx}");
+                    assert!(report.quarantined_bytes > 0, "{ctx}");
+                }
+                StoreFaultKind::TruncatedSegment => {
+                    // An arbitrary cut never panics and never invents
+                    // records; a cut inside the header quarantines the
+                    // file, a cut on a record boundary is a clean short
+                    // journal, anything else truncates at the damage.
+                    assert!(report.records_replayed < RECORDS, "{ctx}");
+                    if !report.header_quarantined && report.truncated_at.is_none() {
+                        assert_eq!(report.quarantined_bytes, 0, "{ctx}");
+                    }
+                }
+                _ => unreachable!("unknown store fault kind"),
+            }
+            // Replayed terminal records are intact, never half-decoded.
+            for (id, status, body) in &report.done {
+                assert!((1..=2).contains(id), "{ctx}");
+                assert_eq!(*status, 200, "{ctx}");
+                assert_eq!(body.len(), 64, "{ctx}");
+            }
+
+            // Whatever was lost, the recovered journal must still be a
+            // working journal: append, reopen, replay.
+            journal
+                .append(&JobRecord::Accepted {
+                    id: 99,
+                    payload: vec![0x43; 8],
+                })
+                .expect("post-recovery append");
+            drop(journal);
+            let (_, after) = Journal::open(&path).expect("post-recovery reopen");
+            assert!(
+                after.pending.iter().any(|p| p.id == 99),
+                "{ctx}: post-recovery record lost"
+            );
+            // Restore the clean fixture for the next iteration.
+            std::fs::write(&path, &clean).expect("restore fixture");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_cache_store_fault_is_a_quarantined_miss_never_a_corrupt_hit() {
+    use slif::core::faults::ALL_STORE_FAULT_KINDS;
+    use slif::store::DesignCache;
+
+    let (design, _) = DesignGenerator::new(7)
+        .behaviors(6)
+        .variables(4)
+        .processors(2)
+        .memories(1)
+        .buses(1)
+        .build();
+    let source = b"spec bytes keyed by content, not by name";
+
+    for &kind in &ALL_STORE_FAULT_KINDS {
+        for seed in 0..25u64 {
+            let dir = std::env::temp_dir().join(format!(
+                "slif-fi-cache-{kind}-{seed}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let cache = DesignCache::open(&dir).expect("open cache");
+            cache.put(source, &design).expect("seed the cache");
+            assert_eq!(cache.get(source).as_ref(), Some(&design), "clean hit");
+
+            // Corrupt one of the two files backing the entry — the ref
+            // on even seeds, the object on odd ones.
+            let sub = if seed % 2 == 0 { "refs" } else { "objects" };
+            let file = std::fs::read_dir(dir.join(sub))
+                .expect("cache subdir")
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .find(|p| p.extension().is_none())
+                .expect("one cache file");
+            let mut bytes = std::fs::read(&file).expect("read cache file");
+            let desc = FaultInjector::new(seed ^ 0xCACE).corrupt_store_file(&mut bytes, kind);
+            std::fs::write(&file, &bytes).expect("write corrupted file");
+
+            // Never a corrupt design, never a panic: a verified miss.
+            let got = cache.get(source);
+            let stats = cache.stats();
+            let ctx = format!("{kind}/{seed} on {sub} ({desc}): {stats:?}");
+            match got {
+                None => assert!(stats.quarantined > 0 || stats.misses > 0, "{ctx}"),
+                // A truncation that keeps the whole file is a no-op;
+                // any served hit must still verify bit-identical.
+                Some(back) => assert_eq!(back, design, "{ctx}"),
+            }
+
+            // The miss is self-healing: re-put, then a verified hit.
+            cache.put(source, &design).expect("re-put after quarantine");
+            assert_eq!(
+                cache.get(source).as_ref(),
+                Some(&design),
+                "{ctx}: cache did not heal"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

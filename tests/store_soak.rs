@@ -1,0 +1,248 @@
+//! Crash-restart soak for the durable store: kill/restart cycles with
+//! seeded on-disk corruption between them.
+//!
+//! The durability contract under test, end to end over real sockets:
+//!
+//! * **Zero acknowledged jobs lost.** Every response the server ever
+//!   acknowledged with a durable id must keep answering
+//!   `GET /jobs/{id}` — across *every* later restart — with the same
+//!   status and a byte-identical body, even when the store files were
+//!   corrupted in between. (A torn journal tail may cost the Completed
+//!   record, but never the fsynced Accepted record before it: the job
+//!   re-runs deterministically and converges on the identical body.)
+//! * **Zero corrupt cache entries served.** Every clean 200 body must
+//!   be byte-identical to running the same job inline, whether it was
+//!   compiled cold or served from the content-addressed cache — and the
+//!   cache is under seeded bit-flip/truncation/stale-header attack, so
+//!   a served corruption would show up as a body mismatch.
+//! * The fault plan injects store corruption into **well over 30 %** of
+//!   the restart cycles, and the run performs at least 20 cycles.
+
+use slif::core::faults::{FaultInjector, StoreFaultKind};
+use slif::runtime::{RunLimits, ServiceConfig};
+use slif::serve::http::read_response;
+use slif::serve::server::{Server, ServerConfig};
+use slif::serve::wire::{job_for, render_output, Endpoint, WireParams};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const CYCLES: usize = 24;
+const FAULT_RATIO: f64 = 0.6;
+const JOBS_PER_CYCLE: usize = 4;
+
+const SPEC_A: &str = "system A;\nvar x : int<8>;\nprocess Main { x = x + 1; }\n";
+const SPEC_B: &str = "system B;\nvar a : int<16>;\nvar b : int<16>;\n\
+                      process P { a = a + b; }\nprocess Q { b = b + 1; }\n";
+
+/// The per-cycle request mix: repeat specs across cycles so later
+/// cycles exercise the warm cache path.
+const MIX: [(Endpoint, &str); JOBS_PER_CYCLE] = [
+    (Endpoint::Estimate, SPEC_A),
+    (Endpoint::Analyze, SPEC_A),
+    (Endpoint::Estimate, SPEC_B),
+    (Endpoint::Analyze, SPEC_B),
+];
+
+fn durable_server(dir: &Path) -> Server {
+    Server::bind(
+        ServerConfig::new()
+            .with_conn_workers(2)
+            .with_io_timeouts(Duration::from_millis(500), Duration::from_secs(2))
+            .with_runtime(ServiceConfig::new().with_workers(2))
+            .with_store_dir(dir),
+    )
+    .expect("bind durable soak server")
+}
+
+fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(raw).expect("write request");
+    read_response(&mut s).expect("read response")
+}
+
+fn post(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    roundtrip(addr, format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Polls `GET /jobs/{id}` until it leaves 202 (a recovered job may
+/// still be re-running just after a restart).
+fn settled_job(addr: SocketAddr, id: u64) -> (u16, Vec<u8>) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (status, _, body) = get(addr, &format!("/jobs/{id}"));
+        if status != 202 {
+            return (status, body);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} still pending 20 s after restart"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The oracle body: the same job the server builds, run inline.
+fn oracle_body(endpoint: Endpoint, source: &str) -> String {
+    let limits = RunLimits::default();
+    let job = job_for(endpoint, source, &WireParams::default(), &limits, 10_000)
+        .expect("soak specs compile");
+    render_output(&job.run_inline(&limits).expect("soak jobs run"))
+}
+
+/// Applies one planned fault to the store directory, returning a
+/// description. Torn tails go to the journal (the crash shape a WAL
+/// must absorb); rot-shaped faults go to cache files, where the
+/// documented outcome is a quarantined miss.
+fn apply_fault(
+    injector: &mut FaultInjector,
+    dir: &Path,
+    kind: StoreFaultKind,
+    cycle: usize,
+) -> Option<String> {
+    let target: PathBuf = if kind == StoreFaultKind::TornFinalRecord {
+        dir.join("journal.wal")
+    } else {
+        let mut files: Vec<PathBuf> = ["objects", "refs"]
+            .iter()
+            .filter_map(|sub| std::fs::read_dir(dir.join("cache").join(sub)).ok())
+            .flatten()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_none())
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return None;
+        }
+        files.swap_remove(cycle % files.len())
+    };
+    let mut bytes = std::fs::read(&target).ok()?;
+    let desc = injector.corrupt_store_file(&mut bytes, kind);
+    std::fs::write(&target, &bytes).ok()?;
+    Some(format!("{kind} on {}: {desc}", target.display()))
+}
+
+#[test]
+fn kill_restart_cycles_with_store_corruption_lose_nothing_acknowledged() {
+    let dir = std::env::temp_dir().join(format!("slif-store-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Precompute the bit-identity oracle per (endpoint, spec).
+    let oracles: Vec<String> = MIX
+        .iter()
+        .map(|&(ep, src)| oracle_body(ep, src))
+        .collect();
+
+    let mut injector = FaultInjector::new(20260807);
+    let plan = injector.plan_store_faults(CYCLES, FAULT_RATIO);
+    let injected_cycles = plan.iter().flatten().count();
+    assert!(
+        injected_cycles * 10 > CYCLES * 3,
+        "fault plan too tame: {injected_cycles}/{CYCLES} cycles"
+    );
+
+    // Everything the servers ever acknowledged: (id, status, body).
+    let mut acked: Vec<(u64, u16, Vec<u8>)> = Vec::new();
+    let mut faults_applied = Vec::new();
+
+    for (cycle, fault) in plan.iter().enumerate() {
+        let server = durable_server(&dir);
+        let addr = server.addr();
+
+        // Every previously acknowledged job must still replay exactly —
+        // this is the zero-loss assertion, re-checked after every
+        // restart (and every corruption).
+        for (id, status, body) in &acked {
+            let (got_status, got_body) = settled_job(addr, *id);
+            assert_eq!(
+                (got_status, &got_body),
+                (*status, body),
+                "cycle {cycle}: job {id} diverged after restart (faults so far: {faults_applied:?})"
+            );
+        }
+
+        // New load, with repeat specs so later cycles hit the cache.
+        for (slot, &(ep, src)) in MIX.iter().enumerate() {
+            let path = match ep {
+                Endpoint::Estimate => "/v1/estimate",
+                Endpoint::Analyze => "/v1/analyze",
+                _ => unreachable!("soak mix uses compiling endpoints"),
+            };
+            let (status, headers, body) = roundtrip(addr, &post(path, src));
+            assert_eq!(
+                status,
+                200,
+                "cycle {cycle} slot {slot}: {}",
+                String::from_utf8_lossy(&body)
+            );
+            // Warm or cold, the body must match the inline oracle.
+            assert_eq!(
+                String::from_utf8_lossy(&body),
+                oracles[slot],
+                "cycle {cycle} slot {slot}: served body diverged from inline run"
+            );
+            let id: u64 = header(&headers, "x-slif-job-id")
+                .expect("durable server tags responses")
+                .parse()
+                .expect("numeric job id");
+            acked.push((id, status, body));
+        }
+
+        if cycle == CYCLES - 1 {
+            // Keep the last server up a moment longer for the metrics
+            // assertions below.
+            let (status, _, metrics) = get(addr, "/metrics");
+            assert_eq!(status, 200);
+            let text = String::from_utf8_lossy(&metrics).into_owned();
+            let metric = |name: &str| -> u64 {
+                text.lines()
+                    .find_map(|l| l.strip_prefix(name))
+                    .and_then(|v| v.trim().parse().ok())
+                    .unwrap_or_else(|| panic!("metrics lack {name}:\n{text}"))
+            };
+            assert!(
+                metric("slif_store_cache_hits_total ") > 0,
+                "repeat specs never hit the cache:\n{text}"
+            );
+            assert!(
+                metric("slif_store_journal_records_replayed ") > 0,
+                "final restart replayed nothing:\n{text}"
+            );
+        }
+
+        server.shutdown();
+
+        // Corrupt the store between cycles, per the seeded plan.
+        if let Some(kind) = fault {
+            if let Some(desc) = apply_fault(&mut injector, &dir, *kind, cycle) {
+                faults_applied.push(desc);
+            }
+        }
+    }
+
+    assert!(acked.len() >= CYCLES * JOBS_PER_CYCLE - JOBS_PER_CYCLE);
+    assert!(
+        faults_applied.len() * 10 > CYCLES * 3,
+        "too few faults actually applied: {}/{CYCLES}",
+        faults_applied.len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
