@@ -5,58 +5,10 @@ use crate::lint::{AnalysisConfig, LintId, LintLevel};
 use crate::report::{AnalysisReport, Finding};
 use crate::{annotation, bitwidth, cycle, race, reach};
 use slif_core::{ChannelId, CompiledDesign, Design, NodeId, Partition};
-use slif_speclang::{Span, Spec};
-use std::collections::HashMap;
 
-/// Specification-source locations for the graph's named objects, used to
-/// attach [`Span`]s to findings.
-///
-/// The frontend names behavior nodes after their `BehaviorDecl` and
-/// variable nodes after their `VarDecl`, so a name-keyed map recovers
-/// the source location of most nodes; nodes without a mapped name (e.g.
-/// synthesized helpers) simply get no span.
-#[derive(Debug, Clone, Default)]
-pub struct SourceMap {
-    spans: HashMap<String, Span>,
-}
-
-impl SourceMap {
-    /// Builds the map from a parsed specification: every behavior,
-    /// system-level variable, and behavior-local variable by name.
-    pub fn from_spec(spec: &Spec) -> Self {
-        let mut spans = HashMap::new();
-        for v in &spec.vars {
-            spans.insert(v.name.clone(), v.span);
-        }
-        for b in &spec.behaviors {
-            spans.insert(b.name.clone(), b.span);
-            for local in &b.locals {
-                spans.entry(local.name.clone()).or_insert(local.span);
-            }
-        }
-        Self { spans }
-    }
-
-    /// Records (or replaces) one name's location.
-    pub fn insert(&mut self, name: impl Into<String>, span: Span) {
-        self.spans.insert(name.into(), span);
-    }
-
-    /// The recorded location of `name`, if any.
-    pub fn span_of(&self, name: &str) -> Option<Span> {
-        self.spans.get(name).copied()
-    }
-
-    /// Number of recorded names.
-    pub fn len(&self) -> usize {
-        self.spans.len()
-    }
-
-    /// Returns `true` when no names are recorded.
-    pub fn is_empty(&self) -> bool {
-        self.spans.is_empty()
-    }
-}
+// `SourceMap` moved to `slif-speclang` (spans originate there); this
+// re-export keeps the historical `slif_analyze::SourceMap` path working.
+pub use slif_speclang::SourceMap;
 
 /// Everything a pass reads. The partition is pre-filtered: when its
 /// slot shape does not match the compiled design (a stale or corrupted
@@ -76,7 +28,19 @@ pub(crate) struct Sink<'a> {
     suppressed: usize,
 }
 
-impl Sink<'_> {
+impl<'a> Sink<'a> {
+    pub(crate) fn new(config: &'a AnalysisConfig) -> Self {
+        Self {
+            config,
+            findings: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<Finding>, usize) {
+        (self.findings, self.suppressed)
+    }
+
     pub(crate) fn emit(
         &mut self,
         lint: LintId,
@@ -136,75 +100,67 @@ pub fn analyze_with_sources(
     analyze_inner(&cd, partition, config, Some(sources))
 }
 
+/// [`analyze_compiled`] plus span attachment, for callers that already
+/// hold a compiled view (edit sessions patch theirs in place instead of
+/// recompiling).
+pub fn analyze_compiled_with_sources(
+    cd: &CompiledDesign,
+    partition: Option<&Partition>,
+    config: &AnalysisConfig,
+    sources: &SourceMap,
+) -> AnalysisReport {
+    analyze_inner(cd, partition, config, Some(sources))
+}
+
+/// Drops a partition whose slot shape does not match the compiled view
+/// (a stale or corrupted pairing the validator reports separately), so
+/// passes never index it out of range.
+pub(crate) fn shape_checked<'a>(
+    cd: &CompiledDesign,
+    partition: Option<&'a Partition>,
+) -> Option<&'a Partition> {
+    partition
+        .filter(|p| p.node_slots() == cd.node_count() && p.channel_slots() == cd.channel_count())
+}
+
+/// Attaches source spans to node-anchored findings. Spans are a
+/// per-revision property of the *source text*, not of the analysis, so
+/// memoized reruns re-attach them from the current map every time.
+pub(crate) fn attach_spans(cd: &CompiledDesign, map: &SourceMap, findings: &mut [Finding]) {
+    for f in findings {
+        if let Some(n) = f.node {
+            if n.index() < cd.node_count() {
+                f.span = map.span_of(cd.node_name(n));
+            }
+        }
+    }
+}
+
 fn analyze_inner(
     cd: &CompiledDesign,
     partition: Option<&Partition>,
     config: &AnalysisConfig,
     sources: Option<&SourceMap>,
 ) -> AnalysisReport {
-    let partition = partition.filter(|p| {
-        p.node_slots() == cd.node_count() && p.channel_slots() == cd.channel_count()
-    });
+    let partition = shape_checked(cd, partition);
     let ctx = Ctx {
         cd,
         partition,
         config,
     };
-    let mut sink = Sink {
-        config,
-        findings: Vec::new(),
-        suppressed: 0,
-    };
+    let mut sink = Sink::new(config);
     race::run(&ctx, &mut sink);
     reach::run(&ctx, &mut sink);
     cycle::run(&ctx, &mut sink);
     bitwidth::run(&ctx, &mut sink);
     annotation::run(&ctx, &mut sink);
 
-    let mut findings = sink.findings;
+    let (mut findings, suppressed) = sink.into_parts();
     if let Some(map) = sources {
-        for f in &mut findings {
-            if let Some(n) = f.node {
-                if n.index() < cd.node_count() {
-                    f.span = map.span_of(cd.node_name(n));
-                }
-            }
-        }
+        attach_spans(cd, map, &mut findings);
     }
-    AnalysisReport::new(findings, sink.suppressed)
+    AnalysisReport::new(findings, suppressed)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use slif_speclang::parse;
-
-    #[test]
-    fn source_map_covers_vars_and_behaviors() {
-        let spec = parse(
-            "system T;\nvar g : int<8>;\nprocess Main { var l : int<4>; l = g; }\n",
-        )
-        .expect("fixture parses");
-        let map = SourceMap::from_spec(&spec);
-        assert!(!map.is_empty());
-        assert_eq!(map.len(), 3);
-        let g = map.span_of("g").expect("g recorded");
-        assert_eq!(g.line, 2);
-        assert!(map.span_of("Main").is_some());
-        assert!(map.span_of("l").is_some());
-        assert!(map.span_of("nope").is_none());
-    }
-
-    #[test]
-    fn source_map_insert_overrides() {
-        let mut map = SourceMap::default();
-        let span = Span {
-            start: 1,
-            end: 2,
-            line: 9,
-            col: 4,
-        };
-        map.insert("x", span);
-        assert_eq!(map.span_of("x"), Some(span));
-    }
-}
+// The `SourceMap` unit tests moved with the type to
+// `slif_speclang::sourcemap`.

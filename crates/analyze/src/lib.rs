@@ -48,10 +48,14 @@ mod annotation;
 mod bitwidth;
 mod cycle;
 mod lint;
+mod memo;
 mod race;
 mod reach;
 mod report;
 
-pub use analyzer::{analyze, analyze_compiled, analyze_with_sources, SourceMap};
+pub use analyzer::{
+    analyze, analyze_compiled, analyze_compiled_with_sources, analyze_with_sources, SourceMap,
+};
 pub use lint::{AnalysisConfig, LintId, LintLevel, LINT_COUNT};
+pub use memo::{analyze_compiled_memoized, AnalysisDirt, AnalysisMemo};
 pub use report::{AnalysisReport, Finding};

@@ -1,0 +1,331 @@
+//! Sliced re-linting for edit sessions.
+//!
+//! The analyzer is pure: each pass is a function of the compiled view,
+//! the partition, and the configuration. When an incremental edit patched
+//! annotations in place — topology and partition untouched — most passes
+//! read nothing the edit changed:
+//!
+//! | pass         | reads                                             |
+//! |--------------|---------------------------------------------------|
+//! | `race`       | topology, channel tags, partition                 |
+//! | `reach`      | topology only                                     |
+//! | `cycle`      | topology only                                     |
+//! | `bitwidth`   | channel bits, bus widths, partition, config       |
+//! | `annotation` | weight tables, class kinds                        |
+//!
+//! No pass reads channel *frequencies* at all: a frequency-only edit
+//! (the common "tweak a loop bound" case) re-lints for free.
+//!
+//! [`AnalysisMemo`] caches each pass's findings between runs;
+//! [`analyze_compiled_memoized`] re-runs only the passes an
+//! [`AnalysisDirt`] marks stale and splices the rest from the cache.
+//! Findings are cached span-less and spans re-attached from the current
+//! [`SourceMap`] on every call, because an edit moves spans even when it
+//! changes no finding.
+
+use crate::analyzer::{attach_spans, shape_checked, Ctx, Sink, SourceMap};
+use crate::lint::AnalysisConfig;
+use crate::report::{AnalysisReport, Finding};
+use crate::{annotation, bitwidth, cycle, race, reach};
+use slif_core::{AnnotationDelta, CompiledDesign, Partition};
+
+/// Number of lint passes, in execution order.
+const PASSES: usize = 5;
+
+/// Which analyzer inputs changed since the memo was last valid.
+///
+/// The contract mirrors
+/// [`patch_annotations_delta`](CompiledDesign::patch_annotations_delta):
+/// the flags describe *annotation* changes on an otherwise identical
+/// compiled view. Any change the flags cannot express — topology,
+/// partition contents, thresholds — must use [`AnalysisDirt::all`],
+/// which re-runs every pass (and is what an empty memo does anyway).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct AnalysisDirt {
+    /// Re-run every pass regardless of the other flags.
+    pub everything: bool,
+    /// Some channel's bit width or concurrency tag changed
+    /// (`race` and `bitwidth` re-run).
+    pub chan_bits_or_tags: bool,
+    /// Some node's weight row changed (`annotation` re-runs).
+    pub weights: bool,
+}
+
+impl AnalysisDirt {
+    /// Nothing changed: every cached pass result is still valid.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Everything may have changed: re-run all passes.
+    pub fn all() -> Self {
+        Self {
+            everything: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether pass `i` (execution order) must re-run.
+    fn stale(&self, i: usize) -> bool {
+        if self.everything {
+            return true;
+        }
+        match i {
+            0 => self.chan_bits_or_tags,          // race: channel tags
+            1 | 2 => false,                       // reach, cycle: topology only
+            3 => self.chan_bits_or_tags,          // bitwidth: channel bits
+            _ => self.weights,                    // annotation: weight tables
+        }
+    }
+}
+
+impl From<&AnnotationDelta> for AnalysisDirt {
+    /// The dirt an in-place annotation patch implies. Frequency-only
+    /// deltas map to [`AnalysisDirt::none`]: no lint reads frequencies.
+    fn from(delta: &AnnotationDelta) -> Self {
+        Self {
+            everything: false,
+            chan_bits_or_tags: delta.chan_bits_or_tags,
+            weights: delta.weights,
+        }
+    }
+}
+
+/// One pass's cached result: its span-less findings and how many it
+/// suppressed under `Allow` levels.
+#[derive(Debug, Clone, Default)]
+struct PassCache {
+    findings: Vec<Finding>,
+    suppressed: usize,
+}
+
+/// Cached per-pass lint results for one (compiled view, partition,
+/// config) lineage. See [`analyze_compiled_memoized`].
+#[derive(Debug, Default)]
+pub struct AnalysisMemo {
+    /// The configuration the cached results were produced under; a
+    /// mismatch invalidates everything (levels decide suppression).
+    config: Option<AnalysisConfig>,
+    passes: Option<[PassCache; PASSES]>,
+    /// Passes served from cache across all runs (operational metric).
+    reused: u64,
+    /// Passes actually executed across all runs.
+    ran: u64,
+}
+
+impl AnalysisMemo {
+    /// Creates an empty memo; the first run seeds every pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lint passes served from cache across all runs.
+    pub fn passes_reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Lint passes actually executed across all runs (including seeding).
+    pub fn passes_run(&self) -> u64 {
+        self.ran
+    }
+}
+
+/// [`analyze_compiled_with_sources`](crate::analyze_compiled_with_sources)
+/// with per-pass memoization: passes whose inputs `dirt` leaves clean are
+/// spliced from `memo` instead of re-running. With a warm memo and any
+/// `dirt`, the report is `==` (and renders byte-identical) to the
+/// unmemoized analyzer — provided the caller upholds the [`AnalysisDirt`]
+/// contract that topology and partition are unchanged since the memo was
+/// seeded. When in doubt, pass [`AnalysisDirt::all`].
+pub fn analyze_compiled_memoized(
+    cd: &CompiledDesign,
+    partition: Option<&Partition>,
+    config: &AnalysisConfig,
+    sources: &SourceMap,
+    memo: &mut AnalysisMemo,
+    dirt: &AnalysisDirt,
+) -> AnalysisReport {
+    let partition = shape_checked(cd, partition);
+    let ctx = Ctx {
+        cd,
+        partition,
+        config,
+    };
+    let seeded = memo.passes.is_some() && memo.config.as_ref() == Some(config);
+    if !seeded {
+        memo.passes = Some(Default::default());
+        memo.config = Some(*config);
+    }
+    // The borrow is re-taken after the reset above.
+    let passes = match memo.passes.as_mut() {
+        Some(p) => p,
+        None => unreachable!("memo.passes seeded just above"),
+    };
+    let runners: [fn(&Ctx<'_>, &mut Sink<'_>); PASSES] = [
+        race::run,
+        reach::run,
+        cycle::run,
+        bitwidth::run,
+        annotation::run,
+    ];
+    for (i, run) in runners.iter().enumerate() {
+        if seeded && !dirt.stale(i) {
+            memo.reused += 1;
+            continue;
+        }
+        let mut sink = Sink::new(config);
+        run(&ctx, &mut sink);
+        let (findings, suppressed) = sink.into_parts();
+        passes[i] = PassCache {
+            findings,
+            suppressed,
+        };
+        memo.ran += 1;
+    }
+
+    let mut findings: Vec<Finding> = passes
+        .iter()
+        .flat_map(|p| p.findings.iter().cloned())
+        .collect();
+    let suppressed = passes.iter().map(|p| p.suppressed).sum();
+    attach_spans(cd, sources, &mut findings);
+    AnalysisReport::new(findings, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_compiled_with_sources;
+    use crate::lint::{LintId, LintLevel};
+    use slif_core::gen::DesignGenerator;
+
+    fn fixture() -> (CompiledDesign, Partition) {
+        let (design, partition) = DesignGenerator::new(41)
+            .behaviors(10)
+            .variables(8)
+            .processors(2)
+            .memories(1)
+            .buses(1)
+            .build();
+        (CompiledDesign::compile(&design), partition)
+    }
+
+    #[test]
+    fn memoized_equals_unmemoized_for_every_dirt() {
+        let (cd, part) = fixture();
+        let config = AnalysisConfig::new();
+        let sources = SourceMap::default();
+        let plain = analyze_compiled_with_sources(&cd, Some(&part), &config, &sources);
+
+        let mut memo = AnalysisMemo::new();
+        let dirts = [
+            AnalysisDirt::all(),
+            AnalysisDirt::none(),
+            AnalysisDirt {
+                everything: false,
+                chan_bits_or_tags: true,
+                weights: false,
+            },
+            AnalysisDirt {
+                everything: false,
+                chan_bits_or_tags: false,
+                weights: true,
+            },
+            AnalysisDirt::none(),
+        ];
+        for dirt in dirts {
+            let memoized =
+                analyze_compiled_memoized(&cd, Some(&part), &config, &sources, &mut memo, &dirt);
+            assert_eq!(memoized, plain, "dirt {dirt:?}");
+            assert_eq!(memoized.to_string(), plain.to_string(), "dirt {dirt:?}");
+        }
+        // Seeding ran 5 passes; the later runs re-ran only stale ones:
+        // none=0, bits=race+bitwidth=2, weights=annotation=1, none=0.
+        assert_eq!(memo.passes_run(), 8);
+        assert!(memo.passes_reused() > 0);
+    }
+
+    #[test]
+    fn annotation_dirt_tracks_a_real_weight_change() {
+        let (mut design, partition) = DesignGenerator::new(17)
+            .behaviors(6)
+            .variables(4)
+            .processors(2)
+            .buses(1)
+            .build();
+        let config = AnalysisConfig::new();
+        let sources = SourceMap::default();
+        let mut cd = CompiledDesign::compile(&design);
+        let mut memo = AnalysisMemo::new();
+        let first = analyze_compiled_memoized(
+            &cd,
+            Some(&partition),
+            &config,
+            &sources,
+            &mut memo,
+            &AnalysisDirt::all(),
+        );
+        assert_eq!(
+            first,
+            analyze_compiled_with_sources(&cd, Some(&partition), &config, &sources)
+        );
+
+        // Clearing a node's weights trips the annotation lint; the memo
+        // must pick it up from a weights-only dirt.
+        let victim = design.graph().behavior_ids().next().unwrap();
+        design.graph_mut().node_mut(victim).ict_mut().clear();
+        design.graph_mut().node_mut(victim).size_mut().clear();
+        let delta = cd.patch_annotations_delta(&design).unwrap();
+        assert!(delta.weights);
+        let sliced = analyze_compiled_memoized(
+            &cd,
+            Some(&partition),
+            &config,
+            &sources,
+            &mut memo,
+            &AnalysisDirt::from(&delta),
+        );
+        assert_eq!(
+            sliced,
+            analyze_compiled_with_sources(&cd, Some(&partition), &config, &sources),
+            "sliced re-lint missed the weight change"
+        );
+        assert_ne!(sliced, first, "weight wipe must surface new findings");
+    }
+
+    #[test]
+    fn config_change_invalidates_the_memo() {
+        let (cd, part) = fixture();
+        let sources = SourceMap::default();
+        let mut memo = AnalysisMemo::new();
+        let loud = AnalysisConfig::new();
+        let _ = analyze_compiled_memoized(
+            &cd,
+            Some(&part),
+            &loud,
+            &sources,
+            &mut memo,
+            &AnalysisDirt::all(),
+        );
+        // Silence every lint: with AnalysisDirt::none, a stale memo would
+        // happily return the loud findings. The config check must reseed.
+        let mut quiet = AnalysisConfig::new();
+        for lint in LintId::ALL {
+            quiet = quiet.with_level(lint, LintLevel::Allow);
+        }
+        let report = analyze_compiled_memoized(
+            &cd,
+            Some(&part),
+            &quiet,
+            &sources,
+            &mut memo,
+            &AnalysisDirt::none(),
+        );
+        assert_eq!(
+            report,
+            analyze_compiled_with_sources(&cd, Some(&part), &quiet, &sources)
+        );
+        assert!(report.findings().is_empty());
+    }
+}

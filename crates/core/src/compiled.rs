@@ -23,7 +23,11 @@
 //! no interior mutability. Estimators share one compiled view and keep the
 //! [`Partition`](crate::Partition) as the only mutable state, which is the
 //! prerequisite for parallel multi-start exploration. There is no
-//! invalidation story by design — mutate the [`Design`], compile again.
+//! general invalidation story by design — mutate the [`Design`], compile
+//! again. The one bounded exception is
+//! [`patch_annotations_from`](CompiledDesign::patch_annotations_from),
+//! which refreshes the annotation slabs in place when the topology is
+//! provably unchanged (the edit-session fast path).
 
 use crate::annotation::{AccessFreq, ConcurrencyTag};
 use crate::channel::AccessKind;
@@ -113,6 +117,40 @@ pub struct CompiledDesign {
     // Precomputed traversals.
     bottom_up: Result<Vec<NodeId>, CoreError>,
     process_nodes: Vec<NodeId>,
+}
+
+/// What changed when a compiled view was re-annotated in place by
+/// [`CompiledDesign::patch_annotations_delta`].
+///
+/// The booleans classify the change by *which annotation slab* it hit,
+/// which is exactly the granularity downstream slicers need: the lint
+/// passes partition into "reads channel bits/tags", "reads weights",
+/// and "reads topology only", so a patch that only moved access
+/// frequencies can skip every lint pass, while the estimator's memo
+/// invalidation keys off the per-node dirty set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct AnnotationDelta {
+    /// Nodes whose estimates may have changed: every node with a changed
+    /// weight row, plus the source node of every changed channel.
+    pub dirty_nodes: Vec<NodeId>,
+    /// Some channel's bit width or concurrency tag changed.
+    pub chan_bits_or_tags: bool,
+    /// Some channel's access frequency changed.
+    pub chan_freqs: bool,
+    /// Some node's dense `ict`/`size` weight row changed.
+    pub weights: bool,
+}
+
+impl AnnotationDelta {
+    /// True when the patch found nothing to change — the compiled view
+    /// is byte-identical to before and every downstream cache is valid.
+    pub fn is_empty(&self) -> bool {
+        self.dirty_nodes.is_empty()
+            && !self.chan_bits_or_tags
+            && !self.chan_freqs
+            && !self.weights
+    }
 }
 
 impl CompiledDesign {
@@ -296,6 +334,178 @@ impl CompiledDesign {
             });
         }
         Ok(Self::compile(design))
+    }
+
+    /// Re-copies every *annotation* — channel bits/frequencies/tags and
+    /// the dense per-class `ict`/`size` weight tables — from `design`
+    /// into this compiled view, leaving the topology (CSR adjacency,
+    /// node kinds, names, precomputed orders) untouched. The fast path
+    /// for edit sessions whose edit changed only weights and access
+    /// frequencies.
+    ///
+    /// Returns the nodes whose estimates may have changed: every node
+    /// with a changed weight row, plus the source node of every changed
+    /// channel (a channel's frequency and bits feed its source's
+    /// execution time and traffic).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] when `design` is not
+    /// topology-identical to the design this view was compiled from
+    /// (counts, node names/kinds, channel endpoints/kinds,
+    /// component/bus structure). The view is unchanged on error;
+    /// callers fall back to a full [`compile`](Self::compile).
+    pub fn patch_annotations_from(&mut self, design: &Design) -> Result<Vec<NodeId>, CoreError> {
+        self.patch_annotations_delta(design).map(|d| d.dirty_nodes)
+    }
+
+    /// [`patch_annotations_from`](Self::patch_annotations_from), but
+    /// reporting *which kinds* of annotation changed alongside the dirty
+    /// nodes — the classification downstream slicers (incremental lint,
+    /// memoized estimation) key their invalidation on.
+    ///
+    /// # Errors
+    ///
+    /// As for [`patch_annotations_from`](Self::patch_annotations_from).
+    pub fn patch_annotations_delta(
+        &mut self,
+        design: &Design,
+    ) -> Result<AnnotationDelta, CoreError> {
+        fn mismatch(what: &str) -> CoreError {
+            CoreError::InvalidInput {
+                message: format!("patch_annotations_from: {what} differs from the compiled view"),
+            }
+        }
+        let g = design.graph();
+        if g.node_count() != self.node_count
+            || g.port_count() != self.port_count
+            || g.channel_count() != self.channel_count
+            || design.class_count() != self.class_count
+            || design.processor_count() != self.processor_count
+            || design.memory_count() != self.memory_count
+            || design.bus_count() != self.bus_count
+        {
+            return Err(mismatch("an object count"));
+        }
+        for n in g.node_ids() {
+            let node = g.node(n);
+            if node.name() != self.names[n.index()] {
+                return Err(mismatch("a node name"));
+            }
+            if node.kind() != self.node_kind[n.index()] {
+                return Err(mismatch("a node kind"));
+            }
+        }
+        for (i, p) in g.port_ids().enumerate() {
+            if g.port(p).name() != self.names[self.node_count + i] {
+                return Err(mismatch("a port name"));
+            }
+        }
+        for c in g.channel_ids() {
+            let ch = g.channel(c);
+            let i = c.index();
+            if ch.src() != self.chan_src[i]
+                || ch.dst() != self.chan_dst[i]
+                || ch.kind() != self.chan_kind[i]
+            {
+                return Err(mismatch("a channel endpoint or kind"));
+            }
+        }
+        let classes_match = design
+            .class_ids()
+            .map(|k| design.class(k).kind())
+            .eq(self.class_kind.iter().copied());
+        if !classes_match {
+            return Err(mismatch("a class kind"));
+        }
+        let pm: Vec<ClassId> = design
+            .processor_ids()
+            .map(|p| design.processor(p).class())
+            .chain(design.memory_ids().map(|m| design.memory(m).class()))
+            .collect();
+        if pm != self.pm_class {
+            return Err(mismatch("a component class"));
+        }
+        let alloc_matches = design
+            .processor_ids()
+            .map(|p| design.processor(p))
+            .enumerate()
+            .all(|(i, proc)| {
+                proc.size_constraint() == self.proc_size_constraint[i]
+                    && proc.pin_constraint() == self.proc_pin_constraint[i]
+            })
+            && design
+                .memory_ids()
+                .map(|m| design.memory(m))
+                .enumerate()
+                .all(|(i, mem)| mem.size_constraint() == self.mem_size_constraint[i])
+            && design.bus_ids().map(|b| design.bus(b)).enumerate().all(|(i, bus)| {
+                bus.bitwidth() == self.bus_bitwidth[i]
+                    && bus.ts() == self.bus_ts[i]
+                    && bus.td() == self.bus_td[i]
+                    && bus.capacity() == self.bus_capacity[i]
+            });
+        if !alloc_matches {
+            return Err(mismatch("a component or bus constraint"));
+        }
+
+        // Topology verified; copy the annotation slabs, tracking what
+        // actually changed.
+        let mut delta = AnnotationDelta::default();
+        let mut dirty = vec![false; self.node_count];
+        for c in g.channel_ids() {
+            let ch = g.channel(c);
+            let i = c.index();
+            let bits_or_tag =
+                self.chan_bits[i] != ch.bits() || self.chan_tag[i] != ch.tag();
+            let freq = self.chan_freq[i] != ch.freq();
+            if bits_or_tag || freq {
+                self.chan_bits[i] = ch.bits();
+                self.chan_freq[i] = ch.freq();
+                self.chan_tag[i] = ch.tag();
+                delta.chan_bits_or_tags |= bits_or_tag;
+                delta.chan_freqs |= freq;
+                if ch.src().index() < dirty.len() {
+                    dirty[ch.src().index()] = true;
+                }
+            }
+        }
+        // Rebuild each node's dense rows with exactly `compile`'s fill
+        // semantics (range-checked class, later entries win).
+        let mut new_ict = vec![None; self.class_count];
+        let mut new_size = vec![None; self.class_count];
+        let mut new_datapath = vec![None; self.class_count];
+        for n in g.node_ids() {
+            let node = g.node(n);
+            new_ict.fill(None);
+            new_size.fill(None);
+            new_datapath.fill(None);
+            for e in node.ict().iter() {
+                if e.class.index() < self.class_count {
+                    new_ict[e.class.index()] = Some(e.val);
+                }
+            }
+            for e in node.size().iter() {
+                if e.class.index() < self.class_count {
+                    new_size[e.class.index()] = Some(e.val);
+                    new_datapath[e.class.index()] = e.datapath;
+                }
+            }
+            let row = n.index() * self.class_count;
+            let range = row..row + self.class_count;
+            if self.ict[range.clone()] != new_ict[..]
+                || self.size_val[range.clone()] != new_size[..]
+                || self.size_datapath[range.clone()] != new_datapath[..]
+            {
+                self.ict[range.clone()].copy_from_slice(&new_ict);
+                self.size_val[range.clone()].copy_from_slice(&new_size);
+                self.size_datapath[range].copy_from_slice(&new_datapath);
+                delta.weights = true;
+                dirty[n.index()] = true;
+            }
+        }
+        delta.dirty_nodes = g.node_ids().filter(|n| dirty[n.index()]).collect();
+        Ok(delta)
     }
 
     // ---- counts -------------------------------------------------------
@@ -762,6 +972,55 @@ mod tests {
             assert_eq!(cd.chan_freq(c), ch.freq());
             assert_eq!(cd.chan_tag(c), ch.tag());
         }
+    }
+
+    /// After any annotation-only mutation, the patched view must be
+    /// `==` a fresh compile, and the returned dirty set must name
+    /// exactly the affected nodes.
+    #[test]
+    fn patch_annotations_matches_fresh_compile() {
+        for seed in [5u64, 6, 7, 8] {
+            let (mut d, mut cd) = compiled(seed);
+            // Mutate one channel's frequency+bits and one node's
+            // weights.
+            let c = d.graph().channel_ids().next().expect("has channels");
+            let src = d.graph().channel(c).src();
+            d.graph_mut().channel_mut(c).set_bits(77);
+            d.graph_mut().channel_mut(c).freq_mut().avg += 3.0;
+            let n = d
+                .graph()
+                .node_ids()
+                .last()
+                .expect("has nodes");
+            let class = d.class_ids().next().expect("has classes");
+            d.graph_mut().node_mut(n).ict_mut().set(class, 4242);
+            let dirty = cd.patch_annotations_from(&d).expect("topology unchanged");
+            assert_eq!(cd, CompiledDesign::compile(&d), "seed {seed}");
+            assert!(dirty.contains(&src), "channel source dirty (seed {seed})");
+            assert!(
+                dirty.contains(&n) || n == src,
+                "reweighted node dirty (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn patch_annotations_noop_reports_nothing_dirty() {
+        let (d, mut cd) = compiled(9);
+        let before = cd.clone();
+        let dirty = cd.patch_annotations_from(&d).expect("identical design");
+        assert!(dirty.is_empty());
+        assert_eq!(cd, before);
+    }
+
+    #[test]
+    fn patch_annotations_rejects_topology_changes() {
+        let (mut d, mut cd) = compiled(10);
+        let before = cd.clone();
+        d.graph_mut().add_node("late_arrival", NodeKind::process());
+        let err = cd.patch_annotations_from(&d).expect_err("extra node");
+        assert!(matches!(err, CoreError::InvalidInput { .. }));
+        assert_eq!(cd, before, "view untouched on error");
     }
 
     #[test]

@@ -23,8 +23,8 @@ use crate::io::io_pins_compiled;
 use crate::size::node_size_on_compiled;
 use crate::warning::EstimateWarning;
 use slif_core::{
-    AccessTarget, BusId, ChannelId, CompiledDesign, CoreError, Design, NodeId, Partition, PmRef,
-    ProcessorId,
+    AccessTarget, AnnotationDelta, BusId, ChannelId, CompiledDesign, CoreError, Design, NodeId,
+    Partition, PmRef, ProcessorId,
 };
 use std::borrow::Cow;
 
@@ -121,6 +121,79 @@ impl<'a> IncrementalEstimator<'a> {
         config: EstimatorConfig,
     ) -> Result<Self, CoreError> {
         Self::build(Cow::Borrowed(cd), partition, config)
+    }
+
+    /// Creates an estimator that *owns* its compiled view, so it can
+    /// outlive any borrow and patch the view in place. Edit sessions use
+    /// this: they hold one `IncrementalEstimator<'static>` per session
+    /// and refresh it through
+    /// [`rebase_annotations`](Self::rebase_annotations).
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn from_owned_compiled(
+        cd: CompiledDesign,
+        partition: Partition,
+        config: EstimatorConfig,
+    ) -> Result<IncrementalEstimator<'static>, CoreError> {
+        IncrementalEstimator::build(Cow::Owned(cd), partition, config)
+    }
+
+    /// Re-copies annotations (channel bits/frequencies/tags, weight
+    /// tables) from `design` into the owned compiled view via
+    /// [`CompiledDesign::patch_annotations_from`], then invalidates
+    /// exactly the dependent cached state: component-size sums are
+    /// reseeded with the constructor's own loop (bit-identical to a cold
+    /// build), the pin cache is cleared, and the execution-time memo is
+    /// invalidated through the reverse-CSR walk from every changed node —
+    /// memo entries of untouched subtrees stay warm. Returns the changed
+    /// nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] if `design` is not topology-identical
+    /// to the compiled view (the caches are untouched); any
+    /// [`node_size_on_compiled`] error during the reseed, after which the
+    /// size cache is inconsistent and the estimator must be discarded.
+    pub fn rebase_annotations(&mut self, design: &Design) -> Result<Vec<NodeId>, CoreError> {
+        self.rebase_annotations_delta(design).map(|d| d.dirty_nodes)
+    }
+
+    /// [`rebase_annotations`](Self::rebase_annotations), but surfacing the
+    /// full [`AnnotationDelta`] so callers (edit sessions) can slice
+    /// *their* downstream work — e.g. skip lint passes whose inputs the
+    /// patch never touched. Cache invalidation is also delta-driven here:
+    /// the component-size reseed (which reads only size weights) runs only
+    /// when a weight row changed, and the pin cache (which reads only
+    /// channel bits) is cleared only when channel bits or tags changed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`rebase_annotations`](Self::rebase_annotations).
+    pub fn rebase_annotations_delta(
+        &mut self,
+        design: &Design,
+    ) -> Result<AnnotationDelta, CoreError> {
+        let delta = self.cd.to_mut().patch_annotations_delta(design)?;
+        if delta.weights {
+            self.comp_size.fill(0);
+            for n in self.cd.node_ids() {
+                let comp = self
+                    .partition
+                    .node_component(n)
+                    .ok_or(CoreError::UnmappedNode { node: n })?;
+                self.comp_size[self.cd.pm_index(comp)] +=
+                    node_size_on_compiled(&self.cd, n, comp, &self.config, &mut self.warnings)?;
+            }
+        }
+        if delta.chan_bits_or_tags {
+            self.pins_cache.fill(None);
+        }
+        for &n in &delta.dirty_nodes {
+            self.invalidate_exec_through(n);
+        }
+        Ok(delta)
     }
 
     fn build(
@@ -885,5 +958,111 @@ mod tests {
             "{missing} MissingWeight entries for {} distinct gaps",
             procs.len() * 2
         );
+    }
+
+    /// Randomly perturbs annotations on a design, rebases a warm
+    /// estimator after each perturbation, and checks that both the
+    /// compiled view and the full report are bit-identical to a cold
+    /// rebuild of the mutated design.
+    fn rebase_walk_agrees(seed: u64, rounds: usize) {
+        let (mut design, part) = DesignGenerator::new(seed)
+            .behaviors(12)
+            .variables(10)
+            .processors(3)
+            .memories(2)
+            .buses(2)
+            .build();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let mut inc = IncrementalEstimator::from_owned_compiled(
+            CompiledDesign::compile(&design),
+            part.clone(),
+            EstimatorConfig::default(),
+        )
+        .unwrap();
+        // Warm every memo so staleness after the rebase would show up.
+        for n in design.graph().node_ids() {
+            let _ = inc.exec_time(n);
+        }
+        let classes: Vec<_> = design.class_ids().collect();
+        for _ in 0..rounds {
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    let c = ChannelId::from_raw(
+                        rng.gen_range(0..design.graph().channel_count()) as u32
+                    );
+                    let ch = design.graph_mut().channel_mut(c);
+                    ch.set_bits(rng.gen_range(1..64));
+                    ch.freq_mut().avg = f64::from(rng.gen_range(0..100u32));
+                }
+                1 => {
+                    let n =
+                        NodeId::from_raw(rng.gen_range(0..design.graph().node_count()) as u32);
+                    let class = classes[rng.gen_range(0..classes.len())];
+                    design
+                        .graph_mut()
+                        .node_mut(n)
+                        .ict_mut()
+                        .set(class, rng.gen_range(1..500));
+                }
+                _ => {
+                    let n =
+                        NodeId::from_raw(rng.gen_range(0..design.graph().node_count()) as u32);
+                    let class = classes[rng.gen_range(0..classes.len())];
+                    design
+                        .graph_mut()
+                        .node_mut(n)
+                        .size_mut()
+                        .set(class, rng.gen_range(1..500));
+                }
+            }
+            inc.rebase_annotations(&design).unwrap();
+            assert_eq!(
+                *inc.compiled(),
+                CompiledDesign::compile(&design),
+                "patched view diverged from cold compile (seed {seed})"
+            );
+            let warm = crate::DesignReport::compute_from_incremental(&design, &mut inc).unwrap();
+            let cold = crate::DesignReport::compute(&design, &part).unwrap();
+            assert_eq!(warm, cold, "warm report diverged from cold (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn rebase_annotations_matches_cold_rebuild_across_random_edits() {
+        for seed in [3, 11, 42, 77] {
+            rebase_walk_agrees(seed, 10);
+        }
+    }
+
+    #[test]
+    fn rebase_annotations_noop_keeps_memos_warm() {
+        let (design, part) = DesignGenerator::new(9).build();
+        let mut inc = IncrementalEstimator::from_owned_compiled(
+            CompiledDesign::compile(&design),
+            part.clone(),
+            EstimatorConfig::default(),
+        )
+        .unwrap();
+        let dirty = inc.rebase_annotations(&design).unwrap();
+        assert!(dirty.is_empty(), "no-op rebase reported {dirty:?} dirty");
+        let warm = crate::DesignReport::compute_from_incremental(&design, &mut inc).unwrap();
+        let cold = crate::DesignReport::compute(&design, &part).unwrap();
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn rebase_annotations_rejects_topology_changes() {
+        let (mut design, part) = DesignGenerator::new(5).build();
+        let mut inc = IncrementalEstimator::from_owned_compiled(
+            CompiledDesign::compile(&design),
+            part,
+            EstimatorConfig::default(),
+        )
+        .unwrap();
+        design.graph_mut().add_node("late", slif_core::NodeKind::process());
+        assert!(matches!(
+            inc.rebase_annotations(&design),
+            Err(CoreError::InvalidInput { .. })
+        ));
     }
 }

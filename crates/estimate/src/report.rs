@@ -5,10 +5,11 @@
 use crate::bitrate::BitrateEstimator;
 use crate::config::EstimatorConfig;
 use crate::exectime::ExecTimeEstimator;
+use crate::incremental::IncrementalEstimator;
 use crate::io::io_pins;
 use crate::size::size_with;
 use crate::warning::EstimateWarning;
-use slif_core::{BusId, CoreError, Design, NodeId, Partition, PmRef};
+use slif_core::{BusId, ChannelId, CoreError, Design, NodeId, Partition, PmRef};
 use std::fmt;
 
 /// Estimated metrics for one component.
@@ -179,6 +180,118 @@ impl DesignReport {
             .iter()
             .all(ComponentReport::satisfies_constraints)
     }
+
+    /// Builds the full report from a warm [`IncrementalEstimator`],
+    /// mirroring [`compute_with`](Self::compute_with) loop-for-loop
+    /// (same iteration orders, same floating-point summation order) so
+    /// the result is bit-identical to a cold compute over the same
+    /// design, partition, and configuration. Component sizes are O(1)
+    /// cache reads and execution times come from the memo, so after a
+    /// small edit only the invalidated slice is actually recomputed.
+    ///
+    /// `design` supplies what the compiled view does not intern —
+    /// component/bus names and constraints — and must be the design the
+    /// estimator's view was compiled (or patched) from.
+    ///
+    /// The report's `warnings` are always empty: warning collection is
+    /// not replicated here because the estimator accumulates warnings
+    /// across its whole lifetime, not per compute. Under a strict
+    /// configuration (the default, which edit sessions pin) a cold
+    /// report's warnings are empty too, so bit-identity holds.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compute_with`](Self::compute_with).
+    pub fn compute_from_incremental(
+        design: &Design,
+        inc: &mut IncrementalEstimator<'_>,
+    ) -> Result<Self, CoreError> {
+        let mut components = Vec::new();
+        for pm in design.pm_refs() {
+            let (name, size_constraint, pins, pin_constraint) = match pm {
+                PmRef::Processor(p) => {
+                    let proc = design.processor(p);
+                    (
+                        proc.name().to_owned(),
+                        proc.size_constraint(),
+                        Some(inc.pins(p)?),
+                        proc.pin_constraint(),
+                    )
+                }
+                PmRef::Memory(m) => {
+                    let mem = design.memory(m);
+                    (mem.name().to_owned(), mem.size_constraint(), None, None)
+                }
+            };
+            components.push(ComponentReport {
+                component: pm,
+                name,
+                size: inc.size(pm),
+                size_constraint,
+                pins,
+                pin_constraint,
+            });
+        }
+        let mut buses = Vec::new();
+        for b in design.bus_ids() {
+            let name = design.bus(b).name().to_owned();
+            let bitrate = bus_bitrate_incremental(inc, b)?;
+            let utilization = match inc.compiled().bus_capacity(b) {
+                Some(cap) if cap > 0.0 => Some(bus_bitrate_incremental(inc, b)? / cap),
+                _ => None,
+            };
+            buses.push(BusReport {
+                bus: b,
+                name,
+                bitrate,
+                utilization,
+            });
+        }
+        let mut processes = Vec::new();
+        for n in design.graph().node_ids() {
+            if design.graph().node(n).kind().is_process() {
+                processes.push(ProcessReport {
+                    node: n,
+                    name: design.graph().node(n).name().to_owned(),
+                    exec_time: inc.exec_time(n)?,
+                });
+            }
+        }
+        Ok(Self {
+            components,
+            buses,
+            processes,
+            warnings: Vec::new(),
+        })
+    }
+}
+
+/// Equation 3 over the incremental estimator, replicating
+/// [`BitrateEstimator::bus_bitrate`]'s arithmetic exactly: same channel
+/// order ([`Partition::channels_on`]), same zero-traffic contribution,
+/// same left-to-right `f64` summation.
+fn bus_bitrate_incremental(
+    inc: &mut IncrementalEstimator<'_>,
+    bus: BusId,
+) -> Result<f64, CoreError> {
+    let channels: Vec<ChannelId> = inc.partition().channels_on(bus).collect();
+    let mut total = 0.0;
+    for c in channels {
+        let (traffic, src) = {
+            let cd = inc.compiled();
+            (
+                cd.chan_freq(c).avg * f64::from(cd.chan_bits(c)),
+                cd.chan_src(c),
+            )
+        };
+        let rate = if traffic == 0.0 {
+            0.0
+        } else {
+            traffic / inc.exec_time(src)?
+        };
+        total += rate;
+    }
+    Ok(total)
 }
 
 impl fmt::Display for DesignReport {

@@ -57,6 +57,69 @@ pub struct BuildOptions {
 
 /// Builds a design with explicit [`BuildOptions`].
 pub fn build_design_with(rs: &ResolvedSpec, lib: &TechnologyLibrary, options: &BuildOptions) -> Design {
+    // Per-behavior CDFGs drive both profiling and weight preprocessing.
+    let cdfgs = lower_spec(rs);
+    let artifacts: Vec<BehaviorArtifacts> = cdfgs
+        .iter()
+        .map(|g| compute_artifacts(g, lib))
+        .collect();
+    build_design_core(rs, lib, options, &artifacts, Some(&cdfgs))
+}
+
+/// Everything SLIF construction derives from one behavior's CDFG: the
+/// pre-compiled / pre-synthesized weights per library model, and the
+/// profiled access summary. This is the expensive per-behavior slice of
+/// the build — [`BuildCache`](crate::BuildCache) keeps it warm across
+/// incremental rebuilds so an edit to one behavior recomputes one entry.
+///
+/// Weights are positional: `proc_weights[i]` pairs with
+/// `lib.processors[i]`, `asic_weights[i]` with `lib.asics[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BehaviorArtifacts {
+    /// `(ict, size)` per processor model.
+    pub proc_weights: Vec<(u64, u64)>,
+    /// `(ict, size, datapath)` per ASIC model.
+    pub asic_weights: Vec<(u64, u64, Option<u64>)>,
+    /// Profiled system accesses, in [`access_frequencies`] order.
+    pub accesses: Vec<slif_cdfg::AccessSummary>,
+}
+
+/// Runs the paper's per-behavior preprocessing: compile against every
+/// processor model, synthesize against every ASIC model, profile access
+/// frequencies.
+pub(crate) fn compute_artifacts(g: &Cdfg, lib: &TechnologyLibrary) -> BehaviorArtifacts {
+    BehaviorArtifacts {
+        proc_weights: lib
+            .processors
+            .iter()
+            .map(|m| {
+                let w = compile_behavior(g, m);
+                (w.ict, w.size)
+            })
+            .collect(),
+        asic_weights: lib
+            .asics
+            .iter()
+            .map(|m| {
+                let r = synthesize_behavior(g, m);
+                (r.weights.ict, r.weights.size, r.weights.datapath)
+            })
+            .collect(),
+        accesses: access_frequencies(g),
+    }
+}
+
+/// The shared tail of [`build_design_with`] and the cached rebuild path:
+/// everything downstream of the per-behavior artifacts. `artifacts` is
+/// positional with `rs.spec().behaviors`; `cdfgs` is only consulted when
+/// `options.schedule_tags` asks for schedule-derived concurrency tags.
+pub(crate) fn build_design_core(
+    rs: &ResolvedSpec,
+    lib: &TechnologyLibrary,
+    options: &BuildOptions,
+    artifacts: &[BehaviorArtifacts],
+    cdfgs: Option<&[Cdfg]>,
+) -> Design {
     let spec = rs.spec();
     let mut d = Design::new(spec.name.clone());
 
@@ -105,16 +168,15 @@ pub fn build_design_with(rs: &ResolvedSpec, lib: &TechnologyLibrary, options: &B
             .try_add_node(&v.name, NodeKind::array(words, word_bits));
     }
 
-    // Per-behavior CDFGs drive both profiling and weight preprocessing.
-    let cdfgs = lower_spec(rs);
-
-    annotate_behavior_weights(&mut d, &cdfgs, lib, &proc_classes, &asic_classes);
+    annotate_behavior_weights(&mut d, rs, artifacts, &proc_classes, &asic_classes);
     annotate_variable_weights(&mut d, rs, lib, &proc_classes, &asic_classes, &mem_classes);
-    build_channels(&mut d, rs, &cdfgs);
+    build_channels(&mut d, rs, artifacts);
     tag_fork_concurrency(&mut d, rs);
     if options.schedule_tags {
         if let Some(model) = lib.asics.first() {
-            tag_schedule_concurrency(&mut d, &cdfgs, model);
+            if let Some(cdfgs) = cdfgs {
+                tag_schedule_concurrency(&mut d, cdfgs, model);
+            }
         }
     }
 
@@ -204,31 +266,26 @@ pub fn build_from_source(source: &str, lib: &TechnologyLibrary) -> Result<Design
 
 fn annotate_behavior_weights(
     d: &mut Design,
-    cdfgs: &[Cdfg],
-    lib: &TechnologyLibrary,
+    rs: &ResolvedSpec,
+    artifacts: &[BehaviorArtifacts],
     proc_classes: &[ClassId],
     asic_classes: &[ClassId],
 ) {
-    for g in cdfgs {
+    for (b, art) in rs.spec().behaviors.iter().zip(artifacts) {
         // A behavior skipped as a duplicate (or shadowed by a port of the
         // same name) has no node of its own: skip its weights too.
-        let Some(node) = d.graph().node_by_name(g.name()) else {
+        let Some(node) = d.graph().node_by_name(&b.name) else {
             continue;
         };
-        for (model, &class) in lib.processors.iter().zip(proc_classes) {
-            let w = compile_behavior(g, model);
-            d.graph_mut().node_mut(node).ict_mut().set(class, w.ict);
-            d.graph_mut().node_mut(node).size_mut().set(class, w.size);
+        for (&(ict, size), &class) in art.proc_weights.iter().zip(proc_classes) {
+            d.graph_mut().node_mut(node).ict_mut().set(class, ict);
+            d.graph_mut().node_mut(node).size_mut().set(class, size);
         }
-        for (model, &class) in lib.asics.iter().zip(asic_classes) {
-            let r = synthesize_behavior(g, model);
-            d.graph_mut()
-                .node_mut(node)
-                .ict_mut()
-                .set(class, r.weights.ict);
-            let entry = match r.weights.datapath {
-                Some(dp) => WeightEntry::with_datapath(class, r.weights.size, dp),
-                None => WeightEntry::new(class, r.weights.size),
+        for (&(ict, size, datapath), &class) in art.asic_weights.iter().zip(asic_classes) {
+            d.graph_mut().node_mut(node).ict_mut().set(class, ict);
+            let entry = match datapath {
+                Some(dp) => WeightEntry::with_datapath(class, size, dp),
+                None => WeightEntry::new(class, size),
             };
             d.graph_mut().node_mut(node).size_mut().insert(entry);
         }
@@ -275,12 +332,12 @@ fn annotate_variable_weights(
     }
 }
 
-fn build_channels(d: &mut Design, rs: &ResolvedSpec, cdfgs: &[Cdfg]) {
-    for (bi, g) in cdfgs.iter().enumerate() {
-        let Some(src) = d.graph().node_by_name(g.name()) else {
+fn build_channels(d: &mut Design, rs: &ResolvedSpec, artifacts: &[BehaviorArtifacts]) {
+    for (bi, (b, art)) in rs.spec().behaviors.iter().zip(artifacts).enumerate() {
+        let Some(src) = d.graph().node_by_name(&b.name) else {
             continue;
         };
-        for summary in access_frequencies(g) {
+        for summary in &art.accesses {
             let dst: AccessTarget = if let Some(n) = d.graph().node_by_name(&summary.target) {
                 n.into()
             } else if let Some(p) = d.graph().port_by_name(&summary.target) {

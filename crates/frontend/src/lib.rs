@@ -37,6 +37,7 @@
 
 mod bits;
 mod build;
+mod cache;
 mod granularity;
 mod profile;
 
@@ -46,5 +47,6 @@ pub use build::{
     build_from_source, try_allocate_proc_asic, BuildOptions, MissingClassError,
     ProcAsicArchitecture,
 };
+pub use cache::{build_design_cached, try_patch_design, BuildCache};
 pub use granularity::{block_node_name, build_design_at, Granularity};
 pub use profile::{ParseProfileError, Profile, ProfileValueError};

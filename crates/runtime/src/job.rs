@@ -18,6 +18,7 @@ use slif_estimate::{DesignReport, EstimatorConfig};
 use slif_explore::{
     explore, Algorithm, ExploreError, Objectives, SupervisedResult, Supervisor,
 };
+use slif_session::{EditSession, SessionConfig, SessionHandle, SessionUpdate};
 use slif_speclang::{parse_with_limits, pretty, resolve, ParseLimits};
 use std::fmt;
 
@@ -98,6 +99,16 @@ pub enum Job {
         /// Per-lint levels and thresholds.
         config: AnalysisConfig,
     },
+    /// Open an incremental edit session over specification source. The
+    /// output carries a shared [`SessionHandle`]; subsequent edits go
+    /// straight to the handle (cheap, slice-based) rather than through
+    /// the job queue. Broken source still opens — the session reports
+    /// its diagnostics and recovers on the first fixing edit — so this
+    /// job only fails on infrastructure errors, never on content.
+    EditSession {
+        /// The initial specification source text.
+        source: String,
+    },
     /// Panics on execution. The fault-injection hook for exercising the
     /// service's panic isolation: a well-behaved service converts it into
     /// a retried-then-failed outcome, never a process abort.
@@ -116,6 +127,7 @@ impl Job {
             Job::Estimate { .. } => "estimate",
             Job::Explore { .. } => "explore",
             Job::Analyze { .. } => "analyze",
+            Job::EditSession { .. } => "edit-session",
             Job::InjectedPanic { .. } => "injected-panic",
         }
     }
@@ -197,6 +209,17 @@ impl Job {
                 let report = analyze_compiled(&cd, partition.as_ref(), config);
                 Ok(JobOutput::Analyzed(report))
             }
+            Job::EditSession { source } => {
+                let config = SessionConfig {
+                    parse_limits: limits.parse,
+                    ..SessionConfig::default()
+                };
+                let (session, update) = EditSession::open(source, config);
+                Ok(JobOutput::Session {
+                    session: SessionHandle::new(session),
+                    update,
+                })
+            }
             Job::InjectedPanic { message } => panic!("{message}"),
         }
     }
@@ -232,6 +255,14 @@ pub enum JobOutput {
     /// A lint report. Findings are data, not failures: a report full of
     /// denials is still a *successful* analysis job.
     Analyzed(AnalysisReport),
+    /// An opened edit session: the shared handle plus the opening
+    /// update (revision 0 state, diagnostics if the source was broken).
+    Session {
+        /// The live session, shared with whoever holds the output.
+        session: SessionHandle,
+        /// What opening computed: tier, cleanliness, initial reports.
+        update: SessionUpdate,
+    },
 }
 
 /// A typed job failure.
@@ -387,6 +418,55 @@ mod tests {
         };
         let err = job.run_inline(&limits).unwrap_err();
         assert!(matches!(err, JobError::Core(_)), "{err}");
+    }
+
+    #[test]
+    fn edit_session_job_opens_and_accepts_edits() {
+        let job = Job::EditSession {
+            source: GOOD_SPEC.to_owned(),
+        };
+        assert_eq!(job.kind(), "edit-session");
+        let (session, update) = match job.run_inline(&RunLimits::default()).unwrap() {
+            JobOutput::Session { session, update } => (session, update),
+            other => panic!("unexpected output {other:?}"),
+        };
+        assert!(update.clean, "{:?}", update.diagnostics);
+        assert!(update.estimate.is_some());
+        // Edits flow through the shared handle, not the job queue.
+        let end = GOOD_SPEC.len();
+        let edited = session
+            .lock()
+            .apply_edit(&slif_session::EditDelta::new(end, end, "// note\n"))
+            .unwrap();
+        assert!(edited.clean);
+        assert_eq!(edited.revision, 1);
+    }
+
+    #[test]
+    fn edit_session_job_on_broken_source_still_opens() {
+        let job = Job::EditSession {
+            source: "system ; process {".to_owned(),
+        };
+        match job.run_inline(&RunLimits::default()).unwrap() {
+            JobOutput::Session { update, .. } => {
+                assert!(!update.clean);
+                assert!(!update.diagnostics.is_empty());
+                assert!(update.estimate.is_none());
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_outputs_compare_by_state() {
+        let job = Job::EditSession {
+            source: GOOD_SPEC.to_owned(),
+        };
+        let a = job.run_inline(&RunLimits::default()).unwrap();
+        let b = job.run_inline(&RunLimits::default()).unwrap();
+        // Distinct handles over identical state: equal, as the service
+        // soak's inline-equivalence check requires.
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -32,6 +32,10 @@
 //!   restart) and a content-addressed compiled-design cache, both built
 //!   on [`slif_store`]. Enables durable job ids (`x-slif-job-id`) and
 //!   `GET /jobs/{id}` result retrieval across restarts.
+//! * [`session`] — long-lived incremental edit sessions
+//!   (`POST /sessions`, `POST /sessions/{id}/edit`,
+//!   `GET /sessions/{id}`): one [`slif_session::EditSession`] per id,
+//!   per-tenant caps, lazy idle eviction, tenant-isolated lookups.
 //! * [`server`] — the accept/dispatch loop, `/health` and `/metrics`,
 //!   and graceful drain (in-flight jobs finish; new work gets 410).
 //! * [`loadgen`] — a deterministic, fault-injecting load generator that
@@ -48,6 +52,7 @@ pub mod durable;
 pub mod http;
 pub mod loadgen;
 pub mod server;
+pub mod session;
 pub mod tenant;
 pub mod wire;
 

@@ -21,12 +21,14 @@
 
 use crate::durable::{DurableRequest, DurableStore, JobState};
 use crate::http::{read_request, write_response, RecvError, Request, Response};
+use crate::session::{render_update, SessionLimits, SessionRefusal, SessionRegistry};
 use crate::tenant::{AdmitError, TenantRegistry, TenantSpec};
 use crate::wire::{
     job_for_with_cache, render_output, response_for_error, response_for_rejection, Endpoint,
-    WireParams, HDR_API_KEY,
+    WireParams, HDR_API_KEY, HDR_EDIT_END, HDR_EDIT_START,
 };
-use slif_runtime::{JobOutcome, JobService, RunLimits, ServiceConfig};
+use slif_runtime::{Job, JobOutcome, JobOutput, JobService, RunLimits, ServiceConfig};
+use slif_session::EditDelta;
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,6 +64,8 @@ pub struct ServerConfig {
     /// Durable-store directory (job journal + compiled-design cache).
     /// `None` (the default) serves statelessly, exactly as before.
     pub store_dir: Option<PathBuf>,
+    /// Edit-session bounds: per-tenant cap and idle TTL.
+    pub sessions: SessionLimits,
     /// Tuning for the underlying job service.
     pub runtime: ServiceConfig,
 }
@@ -79,6 +83,7 @@ impl Default for ServerConfig {
             max_explore_iterations: 10_000,
             tenants: Vec::new(),
             store_dir: None,
+            sessions: SessionLimits::default(),
             runtime: ServiceConfig::new(),
         }
     }
@@ -146,6 +151,13 @@ impl ServerConfig {
     #[must_use]
     pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the edit-session bounds.
+    #[must_use]
+    pub fn with_session_limits(mut self, sessions: SessionLimits) -> Self {
+        self.sessions = sessions;
         self
     }
 
@@ -230,6 +242,7 @@ struct Inner {
     max_explore_iterations: u64,
     limits: RunLimits,
     durable: Option<Arc<DurableStore>>,
+    sessions: SessionRegistry,
 }
 
 /// A running server. Dropping it without [`shutdown`](Server::shutdown)
@@ -278,6 +291,7 @@ impl Server {
             request_deadline: config.request_deadline,
             max_explore_iterations: config.max_explore_iterations,
             limits,
+            sessions: SessionRegistry::new(config.sessions),
         });
         if let Some(store) = &durable {
             resubmit_recovered(&inner, store, recovered);
@@ -477,6 +491,11 @@ fn handle_request(inner: &Inner, request: &Request) -> Response {
         // the other observability endpoints.
         ("GET", path) if path.starts_with("/jobs/") => job_status(inner, path),
         (_, path) if path.starts_with("/jobs/") => method_not_allowed("GET"),
+        ("POST", "/sessions") => open_session(inner, request),
+        (_, "/sessions") => method_not_allowed("POST"),
+        (method, path) if path.starts_with("/sessions/") => {
+            session_request(inner, method, path, request)
+        }
         (method, path) => match Endpoint::from_path(path) {
             None => Response::new(404, "Not Found", format!("no such endpoint: {path}\n")),
             Some(_) if method != "POST" => method_not_allowed("POST"),
@@ -623,6 +642,190 @@ fn run_job(inner: &Inner, endpoint: Endpoint, request: &Request) -> Response {
     tag_job_id(response, durable_id)
 }
 
+/// `POST /sessions`: opens an incremental edit session over the body's
+/// specification source. The opening compile goes through the job
+/// service — admission, fair-share weighting, and the drain gate apply
+/// exactly as for one-shot jobs — but the resulting session lives in
+/// the server's registry, bounded by the per-tenant cap and idle TTL.
+fn open_session(inner: &Inner, request: &Request) -> Response {
+    if inner.draining.load(Ordering::Relaxed) {
+        return Response::new(410, "Gone", "server is draining; resubmit elsewhere\n").closing();
+    }
+    let admission = match inner.registry.admit(request.header(HDR_API_KEY)) {
+        Ok(a) => a,
+        Err(e) => return response_for_admit_error(e),
+    };
+    // Cap gate before the compile: a session flood costs a map lookup.
+    if let Err(SessionRefusal::CapExceeded { cap }) = inner.sessions.admit_new(admission.tenant) {
+        return session_cap_response(cap);
+    }
+    let Ok(source) = std::str::from_utf8(&request.body) else {
+        return Response::new(400, "Bad Request", "body is not UTF-8\n");
+    };
+    let job = Job::EditSession {
+        source: source.to_owned(),
+    };
+    let submitted = inner.service.submit_for_tenant(
+        job,
+        Some(inner.request_deadline),
+        admission.tenant,
+        admission.weight,
+    );
+    let handle = match submitted {
+        Ok(handle) => handle,
+        Err(rejection) => return response_for_rejection(&rejection),
+    };
+    let grace = inner.request_deadline + Duration::from_secs(5);
+    match handle.wait_timeout(grace) {
+        Some(JobOutcome::Completed {
+            output: JobOutput::Session { session, update },
+            ..
+        }) => match inner.sessions.insert(admission.tenant, session, &update) {
+            Ok(id) => Response::new(201, "Created", render_update(id, &update)),
+            Err(SessionRefusal::CapExceeded { cap }) => session_cap_response(cap),
+            // insert only refuses on the cap; refuse conservatively on
+            // a future variant rather than panic.
+            Err(_) => Response::new(503, "Service Unavailable", "session refused\n"),
+        },
+        Some(JobOutcome::Failed { error, .. }) => response_for_error(&error),
+        Some(JobOutcome::TimedOut) => Response::new(
+            504,
+            "Gateway Timeout",
+            "session open deadline expired\n",
+        ),
+        Some(JobOutcome::Cancelled) => {
+            Response::new(410, "Gone", "job cancelled by shutdown\n").closing()
+        }
+        _ => Response::new(
+            504,
+            "Gateway Timeout",
+            "gave up waiting for the session to open\n",
+        ),
+    }
+}
+
+/// Routes `/sessions/{id}` (GET status) and `/sessions/{id}/edit`
+/// (POST one edit).
+fn session_request(inner: &Inner, method: &str, path: &str, request: &Request) -> Response {
+    let rest = &path["/sessions/".len()..];
+    let (id_part, action) = match rest.split_once('/') {
+        None => (rest, None),
+        Some((id, action)) => (id, Some(action)),
+    };
+    let Ok(id) = id_part.parse::<u64>() else {
+        return Response::new(400, "Bad Request", "session id must be a decimal integer\n");
+    };
+    match (method, action) {
+        ("GET", None) => session_status(inner, id, request),
+        (_, None) => method_not_allowed("GET"),
+        ("POST", Some("edit")) => session_edit(inner, id, request),
+        (_, Some("edit")) => method_not_allowed("POST"),
+        _ => Response::new(404, "Not Found", format!("no such endpoint: {path}\n")),
+    }
+}
+
+/// `POST /sessions/{id}/edit`: applies one splice — replace bytes
+/// `[x-slif-edit-start, x-slif-edit-end)` of the session's source with
+/// the request body — and answers with what the recompute did. The edit
+/// runs inline on the connection worker: the incremental path is
+/// cheaper than a queue round-trip.
+fn session_edit(inner: &Inner, id: u64, request: &Request) -> Response {
+    if inner.draining.load(Ordering::Relaxed) {
+        return Response::new(410, "Gone", "server is draining; resubmit elsewhere\n").closing();
+    }
+    let admission = match inner.registry.admit(request.header(HDR_API_KEY)) {
+        Ok(a) => a,
+        Err(e) => return response_for_admit_error(e),
+    };
+    let (Some(start), Some(end)) = (
+        request.header(HDR_EDIT_START).and_then(|v| v.parse::<usize>().ok()),
+        request.header(HDR_EDIT_END).and_then(|v| v.parse::<usize>().ok()),
+    ) else {
+        return Response::new(
+            400,
+            "Bad Request",
+            format!("{HDR_EDIT_START} and {HDR_EDIT_END} must be byte offsets\n"),
+        );
+    };
+    let Ok(replacement) = std::str::from_utf8(&request.body) else {
+        return Response::new(400, "Bad Request", "body is not UTF-8\n");
+    };
+    let delta = EditDelta::new(start, end, replacement);
+    match inner.sessions.edit(id, admission.tenant, &delta) {
+        Ok(update) => Response::new(200, "OK", render_update(id, &update)),
+        Err(refusal) => session_refusal_response(id, &refusal),
+    }
+}
+
+/// `GET /sessions/{id}`: the session's current state — revision,
+/// cleanliness, diagnostics, and the full estimate and lint reports
+/// (stale-but-labelled while the text is broken). Polling refreshes the
+/// idle clock. Stays up during drain, like the other reads.
+fn session_status(inner: &Inner, id: u64, request: &Request) -> Response {
+    let admission = match inner.registry.admit(request.header(HDR_API_KEY)) {
+        Ok(a) => a,
+        Err(e) => return response_for_admit_error(e),
+    };
+    let handle = match inner.sessions.get(id, admission.tenant) {
+        Ok(handle) => handle,
+        Err(refusal) => return session_refusal_response(id, &refusal),
+    };
+    let session = handle.lock();
+    let mut body = format!(
+        "session {id}: revision {}, {}, {} full rebuilds\n",
+        session.revision(),
+        if session.is_clean() { "clean" } else { "broken" },
+        session.full_rebuilds(),
+    );
+    for d in session.diagnostics() {
+        body.push_str(&format!("diagnostic: {d}\n"));
+    }
+    if let Some(report) = session.estimate() {
+        if !session.is_clean() {
+            body.push_str("(reports below are from the last clean revision)\n");
+        }
+        body.push_str(&format!("\n{report}"));
+    }
+    if let Some(report) = session.analysis() {
+        body.push_str(&format!("\n{report}"));
+    }
+    Response::new(200, "OK", body)
+}
+
+fn response_for_admit_error(e: AdmitError) -> Response {
+    match e {
+        AdmitError::UnknownKey => {
+            Response::new(401, "Unauthorized", "missing or unknown API key\n")
+        }
+        AdmitError::QuotaExhausted { retry_after_secs } => {
+            Response::new(429, "Too Many Requests", "tenant quota exhausted\n")
+                .with_retry_after(retry_after_secs)
+        }
+    }
+}
+
+fn session_cap_response(cap: usize) -> Response {
+    Response::new(
+        409,
+        "Conflict",
+        format!("session cap reached ({cap} per tenant); close or let idle sessions expire\n"),
+    )
+}
+
+fn session_refusal_response(id: u64, refusal: &SessionRefusal) -> Response {
+    match refusal {
+        SessionRefusal::NotFound => {
+            Response::new(404, "Not Found", format!("no such session: {id}\n"))
+        }
+        SessionRefusal::BadDelta(e) => Response::new(
+            422,
+            "Unprocessable Entity",
+            format!("edit rejected: {e}\n"),
+        ),
+        SessionRefusal::CapExceeded { cap } => session_cap_response(*cap),
+    }
+}
+
 fn tag_job_id(response: Response, id: Option<u64>) -> Response {
     match id {
         Some(id) => response.with_job_id(id),
@@ -700,6 +903,12 @@ fn render_metrics(inner: &Inner) -> String {
     w("jobs_cancelled_total", h.cancelled);
     w("worker_panics_total", h.worker_panics);
     w("degraded_runs_total", h.degraded_runs);
+    let s = inner.sessions.stats();
+    w("session_created_total", s.created);
+    w("session_edits_total", s.edits);
+    w("session_full_rebuilds_total", s.full_rebuilds);
+    w("session_evicted_total", s.evicted);
+    w("session_active", s.active);
     w("latency_p50_us", h.latency.p50_micros().unwrap_or(0));
     w("latency_p90_us", h.latency.p90_micros().unwrap_or(0));
     w("latency_p99_us", h.latency.p99_micros().unwrap_or(0));
@@ -981,6 +1190,123 @@ mod tests {
         assert_eq!(get(server.addr(), "/jobs/0").0, 404);
         server.shutdown();
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    fn post_edit(id: u64, start: usize, end: usize, body: &str) -> Vec<u8> {
+        format!(
+            "POST /sessions/{id}/edit HTTP/1.1\r\nx-slif-edit-start: {start}\r\nx-slif-edit-end: {end}\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    }
+
+    #[test]
+    fn edit_sessions_open_edit_and_report_over_the_wire() {
+        let server = tiny_server(Vec::new());
+        let addr = server.addr();
+        // Open: 201 with the session id and a clean recompiled update.
+        let (status, body) = roundtrip(addr, &post("/sessions", GOOD_SPEC));
+        let text = String::from_utf8_lossy(&body).into_owned();
+        assert_eq!(status, 201, "{text}");
+        assert!(text.contains("\"session\":1"), "{text}");
+        assert!(text.contains("\"clean\":true"), "{text}");
+        assert!(text.contains("\"tier\":\"recompiled\""), "{text}");
+        // A comment append is the cheap tier.
+        let end = GOOD_SPEC.len();
+        let (status, body) = roundtrip(addr, &post_edit(1, end, end, "// note\n"));
+        let text = String::from_utf8_lossy(&body).into_owned();
+        assert_eq!(status, 200, "{text}");
+        assert!(text.contains("\"revision\":1"), "{text}");
+        assert!(text.contains("\"tier\":\"patched\""), "{text}");
+        // A breaking edit defers; the status page labels stale reports.
+        let (status, body) = roundtrip(addr, &post_edit(1, 0, 0, "{"));
+        let text = String::from_utf8_lossy(&body).into_owned();
+        assert_eq!(status, 200, "{text}");
+        assert!(text.contains("\"clean\":false"), "{text}");
+        assert!(text.contains("\"tier\":\"deferred\""), "{text}");
+        let (status, _, body) = get(addr, "/sessions/1");
+        let text = String::from_utf8_lossy(&body).into_owned();
+        assert_eq!(status, 200, "{text}");
+        assert!(text.contains("revision 2, broken"), "{text}");
+        assert!(text.contains("last clean revision"), "{text}");
+        // Fix it back and the status page goes clean again.
+        let (status, _) = roundtrip(addr, &post_edit(1, 0, 1, ""));
+        assert_eq!(status, 200);
+        let (_, _, body) = get(addr, "/sessions/1");
+        let text = String::from_utf8_lossy(&body).into_owned();
+        assert!(text.contains("revision 3, clean"), "{text}");
+        // Metrics carry the session counters.
+        let (_, _, metrics) = get(addr, "/metrics");
+        let text = String::from_utf8_lossy(&metrics).into_owned();
+        assert!(text.contains("slif_session_created_total 1"), "{text}");
+        assert!(text.contains("slif_session_edits_total 3"), "{text}");
+        assert!(text.contains("slif_session_active 1"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn session_refusals_are_distinct_statuses() {
+        let server = Server::bind(
+            ServerConfig::new()
+                .with_conn_workers(2)
+                .with_io_timeouts(Duration::from_millis(200), Duration::from_millis(500))
+                .with_runtime(ServiceConfig::new().with_workers(2))
+                .with_session_limits(SessionLimits {
+                    max_per_tenant: 1,
+                    idle_ttl: Duration::from_secs(300),
+                }),
+        )
+        .unwrap();
+        let addr = server.addr();
+        assert_eq!(roundtrip(addr, &post("/sessions", GOOD_SPEC)).0, 201);
+        // At the cap: 409, not a compile.
+        assert_eq!(roundtrip(addr, &post("/sessions", GOOD_SPEC)).0, 409);
+        // Unknown session: 404. Bad id: 400. Bad range header: 400.
+        assert_eq!(roundtrip(addr, &post_edit(99, 0, 0, "x")).0, 404);
+        assert_eq!(get(addr, "/sessions/not-a-number").0, 400);
+        let raw = b"POST /sessions/1/edit HTTP/1.1\r\ncontent-length: 1\r\n\r\nx";
+        assert_eq!(roundtrip(addr, raw).0, 400);
+        // Out-of-bounds delta: 422, and the session survives it.
+        assert_eq!(roundtrip(addr, &post_edit(1, 0, 1_000_000, "")).0, 422);
+        assert_eq!(get(addr, "/sessions/1").0, 200);
+        // Wrong method on both session paths.
+        assert_eq!(
+            roundtrip(addr, b"DELETE /sessions/1 HTTP/1.1\r\n\r\n").0,
+            405
+        );
+        assert_eq!(roundtrip(addr, b"GET /sessions HTTP/1.1\r\n\r\n").0, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sessions_respect_tenancy_and_drain() {
+        let server = tiny_server(vec![
+            TenantSpec::new("alpha", "ka"),
+            TenantSpec::new("beta", "kb"),
+        ]);
+        let addr = server.addr();
+        let open_as = |key: &str| {
+            format!(
+                "POST /sessions HTTP/1.1\r\nx-api-key: {key}\r\ncontent-length: {}\r\n\r\n{GOOD_SPEC}",
+                GOOD_SPEC.len()
+            )
+            .into_bytes()
+        };
+        assert_eq!(roundtrip(addr, &post("/sessions", GOOD_SPEC)).0, 401);
+        assert_eq!(roundtrip(addr, &open_as("ka")).0, 201);
+        // Tenant isolation: beta cannot see alpha's session 1.
+        let status_as = |key: &str, id: u64| {
+            format!("GET /sessions/{id} HTTP/1.1\r\nx-api-key: {key}\r\n\r\n").into_bytes()
+        };
+        assert_eq!(roundtrip(addr, &status_as("kb", 1)).0, 404);
+        assert_eq!(roundtrip(addr, &status_as("ka", 1)).0, 200);
+        // Drain: no new sessions, no edits — but status stays readable.
+        server.begin_drain();
+        assert_eq!(roundtrip(addr, &open_as("ka")).0, 410);
+        let edit = b"POST /sessions/1/edit HTTP/1.1\r\nx-api-key: ka\r\nx-slif-edit-start: 0\r\nx-slif-edit-end: 0\r\ncontent-length: 0\r\n\r\n";
+        assert_eq!(roundtrip(addr, edit).0, 410);
+        assert_eq!(roundtrip(addr, &status_as("ka", 1)).0, 200);
+        server.shutdown();
     }
 
     #[test]

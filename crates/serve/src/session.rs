@@ -1,0 +1,381 @@
+//! Server-side incremental edit sessions.
+//!
+//! A [`SessionRegistry`] holds live [`slif_session::EditSession`]s keyed
+//! by id. Opening a session goes through the job service (so admission,
+//! fair-share weighting, and drain apply exactly as for one-shot jobs);
+//! subsequent edits are applied *inline* on the connection worker — an
+//! incremental edit is the cheap path by construction, and routing it
+//! through the queue would cost more than the recompute itself.
+//!
+//! Resource bounds, hostile-client first:
+//!
+//! * **Per-tenant cap** — a tenant can hold at most
+//!   [`SessionLimits::max_per_tenant`] sessions; the cap is enforced
+//!   before the opening job is built, so a session flood costs one map
+//!   lookup, not a compile.
+//! * **Idle eviction** — a session untouched for
+//!   [`SessionLimits::idle_ttl`] is evicted lazily on the next registry
+//!   operation. No background thread: an idle *server* holds idle
+//!   sessions, but the first request sweeps them.
+//! * **Tenant isolation** — a session id belonging to another tenant
+//!   answers *not found*, never *forbidden*: ids are not probeable.
+
+use crate::lock;
+use slif_session::{EditDelta, EditError, RecomputeTier, SessionHandle, SessionUpdate};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Resource bounds for the registry.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionLimits {
+    /// Live sessions one tenant may hold (floor 1, default 8).
+    pub max_per_tenant: usize,
+    /// Idle time after which a session is evictable (default 5 min).
+    pub idle_ttl: Duration,
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        Self {
+            max_per_tenant: 8,
+            idle_ttl: Duration::from_secs(300),
+        }
+    }
+}
+
+/// Why a session operation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionRefusal {
+    /// The tenant is at its session cap (wire 409).
+    CapExceeded {
+        /// The configured cap.
+        cap: usize,
+    },
+    /// No such session for this tenant (wire 404) — unknown, evicted,
+    /// or owned by someone else; the three are indistinguishable on
+    /// purpose.
+    NotFound,
+    /// The edit delta itself was invalid (wire 422); the session is
+    /// untouched.
+    BadDelta(EditError),
+}
+
+#[derive(Debug)]
+struct Entry {
+    tenant: u32,
+    handle: SessionHandle,
+    last_used: Instant,
+}
+
+/// A point-in-time snapshot of the `session_*` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions opened over the server's lifetime.
+    pub created: u64,
+    /// Edits applied over the server's lifetime.
+    pub edits: u64,
+    /// Updates (opens or edits) that took the cold-recompile tier.
+    pub full_rebuilds: u64,
+    /// Sessions evicted for idleness.
+    pub evicted: u64,
+    /// Sessions currently live.
+    pub active: u64,
+}
+
+/// The live session table plus its counters.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    limits: SessionLimits,
+    entries: Mutex<HashMap<u64, Entry>>,
+    next_id: AtomicU64,
+    created: AtomicU64,
+    edits: AtomicU64,
+    full_rebuilds: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl SessionRegistry {
+    /// An empty registry under `limits`.
+    pub fn new(limits: SessionLimits) -> Self {
+        Self {
+            limits: SessionLimits {
+                max_per_tenant: limits.max_per_tenant.max(1),
+                idle_ttl: limits.idle_ttl,
+            },
+            entries: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            created: AtomicU64::new(0),
+            edits: AtomicU64::new(0),
+            full_rebuilds: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Sweeps idle sessions. Called with the map lock held.
+    fn sweep(&self, map: &mut HashMap<u64, Entry>) {
+        let now = Instant::now();
+        let before = map.len();
+        map.retain(|_, e| now.duration_since(e.last_used) < self.limits.idle_ttl);
+        let swept = (before - map.len()) as u64;
+        if swept > 0 {
+            self.evicted.fetch_add(swept, Ordering::Relaxed);
+        }
+    }
+
+    /// The cheap pre-gate for `POST /sessions`: refuses a tenant at its
+    /// cap *before* any parsing or compiling happens.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionRefusal::CapExceeded`] at the cap.
+    pub fn admit_new(&self, tenant: u32) -> Result<(), SessionRefusal> {
+        let mut map = lock(&self.entries);
+        self.sweep(&mut map);
+        let held = map.values().filter(|e| e.tenant == tenant).count();
+        if held >= self.limits.max_per_tenant {
+            return Err(SessionRefusal::CapExceeded {
+                cap: self.limits.max_per_tenant,
+            });
+        }
+        Ok(())
+    }
+
+    /// Registers an opened session and returns its id. Re-checks the
+    /// cap (the open job ran between [`admit_new`](Self::admit_new) and
+    /// now, and other requests may have landed).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionRefusal::CapExceeded`] if the tenant filled up in the
+    /// meantime.
+    pub fn insert(
+        &self,
+        tenant: u32,
+        handle: SessionHandle,
+        update: &SessionUpdate,
+    ) -> Result<u64, SessionRefusal> {
+        let mut map = lock(&self.entries);
+        self.sweep(&mut map);
+        let held = map.values().filter(|e| e.tenant == tenant).count();
+        if held >= self.limits.max_per_tenant {
+            return Err(SessionRefusal::CapExceeded {
+                cap: self.limits.max_per_tenant,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        map.insert(
+            id,
+            Entry {
+                tenant,
+                handle,
+                last_used: Instant::now(),
+            },
+        );
+        self.created.fetch_add(1, Ordering::Relaxed);
+        if update.tier == RecomputeTier::Recompiled {
+            self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(id)
+    }
+
+    /// Applies one edit to session `id` as `tenant`.
+    ///
+    /// The registry lock is *not* held while the edit recomputes: the
+    /// handle is cloned out, the session locked on its own mutex, and
+    /// `last_used` refreshed afterwards — so one tenant's slow edit
+    /// never blocks another tenant's session table operations.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionRefusal::NotFound`] for an unknown/foreign/evicted id,
+    /// [`SessionRefusal::BadDelta`] for an out-of-bounds or
+    /// boundary-splitting delta (session untouched).
+    pub fn edit(
+        &self,
+        id: u64,
+        tenant: u32,
+        delta: &EditDelta,
+    ) -> Result<SessionUpdate, SessionRefusal> {
+        let handle = {
+            let mut map = lock(&self.entries);
+            self.sweep(&mut map);
+            match map.get(&id) {
+                Some(e) if e.tenant == tenant => e.handle.clone(),
+                _ => return Err(SessionRefusal::NotFound),
+            }
+        };
+        let update = handle
+            .lock()
+            .apply_edit(delta)
+            .map_err(SessionRefusal::BadDelta)?;
+        self.edits.fetch_add(1, Ordering::Relaxed);
+        if update.tier == RecomputeTier::Recompiled {
+            self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(e) = lock(&self.entries).get_mut(&id) {
+            e.last_used = Instant::now();
+        }
+        Ok(update)
+    }
+
+    /// Clones out the handle for a status read (refreshing
+    /// `last_used`: polling keeps a session alive).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionRefusal::NotFound`] as for [`edit`](Self::edit).
+    pub fn get(&self, id: u64, tenant: u32) -> Result<SessionHandle, SessionRefusal> {
+        let mut map = lock(&self.entries);
+        self.sweep(&mut map);
+        match map.get_mut(&id) {
+            Some(e) if e.tenant == tenant => {
+                e.last_used = Instant::now();
+                Ok(e.handle.clone())
+            }
+            _ => Err(SessionRefusal::NotFound),
+        }
+    }
+
+    /// The current counter values.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            created: self.created.load(Ordering::Relaxed),
+            edits: self.edits.load(Ordering::Relaxed),
+            full_rebuilds: self.full_rebuilds.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            active: lock(&self.entries).len() as u64,
+        }
+    }
+}
+
+/// Renders a [`SessionUpdate`] as the deterministic JSON body the
+/// session endpoints answer with.
+pub fn render_update(id: u64, update: &SessionUpdate) -> String {
+    use std::fmt::Write as _;
+    let tier = match update.tier {
+        RecomputeTier::Deferred => "deferred",
+        RecomputeTier::Patched => "patched",
+        RecomputeTier::Recompiled => "recompiled",
+    };
+    let mut out = format!(
+        "{{\"session\":{id},\"revision\":{},\"clean\":{},\"tier\":\"{tier}\",\"dirty_nodes\":{},\"diagnostics\":[",
+        update.revision, update.clean, update.dirty_nodes
+    );
+    for (i, d) in update.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", json_escape(d));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_session::{EditSession, SessionConfig};
+
+    const SPEC: &str = "system T;\nvar x : int<8>;\nprocess Main { x = x + 1; }\n";
+
+    fn opened() -> (SessionHandle, SessionUpdate) {
+        let (session, update) = EditSession::open(SPEC, SessionConfig::default());
+        (SessionHandle::new(session), update)
+    }
+
+    #[test]
+    fn caps_are_per_tenant_and_eviction_frees_slots() {
+        let reg = SessionRegistry::new(SessionLimits {
+            max_per_tenant: 1,
+            idle_ttl: Duration::from_millis(20),
+        });
+        let (h, u) = opened();
+        let id = reg.insert(0, h, &u).unwrap();
+        assert_eq!(
+            reg.admit_new(0),
+            Err(SessionRefusal::CapExceeded { cap: 1 })
+        );
+        // A different tenant has its own budget.
+        assert_eq!(reg.admit_new(1), Ok(()));
+        // After the TTL the slot frees up and the old id is gone.
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(reg.admit_new(0), Ok(()));
+        assert_eq!(reg.get(id, 0), Err(SessionRefusal::NotFound));
+        let stats = reg.stats();
+        assert_eq!(stats.created, 1);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.active, 0);
+    }
+
+    #[test]
+    fn foreign_sessions_answer_not_found() {
+        let reg = SessionRegistry::new(SessionLimits::default());
+        let (h, u) = opened();
+        let id = reg.insert(3, h, &u).unwrap();
+        assert_eq!(reg.get(id, 4), Err(SessionRefusal::NotFound));
+        assert!(reg.get(id, 3).is_ok());
+        let delta = EditDelta::new(0, 0, "// note\n");
+        assert_eq!(reg.edit(id, 4, &delta), Err(SessionRefusal::NotFound));
+    }
+
+    #[test]
+    fn edits_flow_and_counters_track_tiers() {
+        let reg = SessionRegistry::new(SessionLimits::default());
+        let (h, u) = opened();
+        let id = reg.insert(0, h, &u).unwrap();
+        let end = SPEC.len();
+        let update = reg.edit(id, 0, &EditDelta::new(end, end, "// note\n")).unwrap();
+        assert!(update.clean);
+        assert_eq!(update.tier, RecomputeTier::Patched);
+        let update = reg
+            .edit(
+                id,
+                0,
+                &EditDelta::new(end, end, "process P2 { x = 0; }\n"),
+            )
+            .unwrap();
+        assert_eq!(update.tier, RecomputeTier::Recompiled);
+        let bad = reg.edit(id, 0, &EditDelta::new(0, 1_000_000, ""));
+        assert!(matches!(bad, Err(SessionRefusal::BadDelta(_))));
+        let stats = reg.stats();
+        assert_eq!(stats.edits, 2, "refused deltas are not edits");
+        // One from the open, one from the structural edit.
+        assert_eq!(stats.full_rebuilds, 2);
+        assert_eq!(stats.active, 1);
+    }
+
+    #[test]
+    fn updates_render_as_json_with_escaped_diagnostics() {
+        let (session, update) = EditSession::open("system ; broken", SessionConfig::default());
+        drop(session);
+        let body = render_update(7, &update);
+        assert!(body.starts_with("{\"session\":7,"), "{body}");
+        assert!(body.contains("\"clean\":false"), "{body}");
+        assert!(body.contains("\"tier\":\"deferred\""), "{body}");
+        assert!(body.contains("\"diagnostics\":[\""), "{body}");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -15,6 +15,9 @@
 //! | `POST /v1/estimate`| [`Job::Estimate`]           |
 //! | `POST /v1/explore` | [`Job::Explore`] (random search, seeded) |
 //! | `POST /v1/analyze` | [`Job::Analyze`]            |
+//! | `POST /sessions`   | [`Job::EditSession`] → a live edit session |
+//! | `POST /sessions/{id}/edit` | inline incremental edit (see [`crate::session`]) |
+//! | `GET /sessions/{id}` | session status + current reports |
 //! | `GET /health`      | health snapshot             |
 //! | `GET /metrics`     | counters + latency percentiles |
 //!
@@ -33,6 +36,7 @@
 //! | 404    | unknown path |
 //! | 405    | wrong method for a known path |
 //! | 408    | read deadline expired mid-request (slow loris) |
+//! | 409    | tenant at its edit-session cap |
 //! | 410    | draining — [`Rejected::ShuttingDown`] |
 //! | 413    | oversized (HTTP body guard or [`Rejected::TooLarge`]) |
 //! | 422    | spec/core/explore error — the job ran and refused |
@@ -64,6 +68,10 @@ pub const HDR_API_KEY: &str = "x-api-key";
 pub const HDR_SEED: &str = "x-slif-seed";
 /// Header carrying the requested exploration iterations (u64).
 pub const HDR_ITERATIONS: &str = "x-slif-iterations";
+/// Header carrying an edit's start byte offset (`POST /sessions/{id}/edit`).
+pub const HDR_EDIT_START: &str = "x-slif-edit-start";
+/// Header carrying an edit's end byte offset (exclusive).
+pub const HDR_EDIT_END: &str = "x-slif-edit-end";
 
 /// A job-running endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -498,6 +498,200 @@ pub struct Spec {
     pub behaviors: Vec<BehaviorDecl>,
 }
 
+/// Applies `f` to every [`Span`] in a subtree, in a fixed preorder walk.
+/// This is the one traversal behind span rebasing (dirty-region reparse)
+/// and span stripping (structural AST comparison).
+pub trait ForEachSpan {
+    /// Visits every span in the subtree.
+    fn for_each_span(&mut self, f: &mut dyn FnMut(&mut Span));
+
+    /// Sets every span in the subtree to [`Span::dummy`].
+    fn strip_spans(&mut self) {
+        self.for_each_span(&mut |s| *s = Span::dummy());
+    }
+
+    /// Rebases every span in the subtree by a byte and line delta (columns
+    /// untouched), saturating via [`Span::rebased`].
+    fn rebase_spans(&mut self, byte_delta: isize, line_delta: i64) {
+        self.for_each_span(&mut |s| *s = s.rebased(byte_delta, line_delta));
+    }
+}
+
+impl ForEachSpan for PortDecl {
+    fn for_each_span(&mut self, f: &mut dyn FnMut(&mut Span)) {
+        f(&mut self.span);
+    }
+}
+
+impl ForEachSpan for VarDecl {
+    fn for_each_span(&mut self, f: &mut dyn FnMut(&mut Span)) {
+        f(&mut self.span);
+    }
+}
+
+impl ForEachSpan for ConstDecl {
+    fn for_each_span(&mut self, f: &mut dyn FnMut(&mut Span)) {
+        f(&mut self.span);
+        self.value.for_each_span(f);
+    }
+}
+
+impl ForEachSpan for BehaviorDecl {
+    fn for_each_span(&mut self, f: &mut dyn FnMut(&mut Span)) {
+        f(&mut self.span);
+        for p in &mut self.params {
+            f(&mut p.span);
+        }
+        for l in &mut self.locals {
+            l.for_each_span(f);
+        }
+        for s in &mut self.body {
+            s.for_each_span(f);
+        }
+    }
+}
+
+impl ForEachSpan for LValue {
+    fn for_each_span(&mut self, f: &mut dyn FnMut(&mut Span)) {
+        match self {
+            LValue::Name { span, .. } => f(span),
+            LValue::Index { span, index, .. } => {
+                f(span);
+                index.for_each_span(f);
+            }
+        }
+    }
+}
+
+impl ForEachSpan for Expr {
+    fn for_each_span(&mut self, f: &mut dyn FnMut(&mut Span)) {
+        match self {
+            Expr::Int { span, .. } | Expr::Bool { span, .. } | Expr::Name { span, .. } => f(span),
+            Expr::Index { span, index, .. } => {
+                f(span);
+                index.for_each_span(f);
+            }
+            Expr::Call { span, args, .. } => {
+                f(span);
+                for a in args {
+                    a.for_each_span(f);
+                }
+            }
+            Expr::Binary { span, lhs, rhs, .. } => {
+                f(span);
+                lhs.for_each_span(f);
+                rhs.for_each_span(f);
+            }
+            Expr::Unary { span, operand, .. } => {
+                f(span);
+                operand.for_each_span(f);
+            }
+        }
+    }
+}
+
+impl ForEachSpan for Stmt {
+    fn for_each_span(&mut self, f: &mut dyn FnMut(&mut Span)) {
+        match self {
+            Stmt::Assign { lhs, value, span } => {
+                f(span);
+                lhs.for_each_span(f);
+                value.for_each_span(f);
+            }
+            Stmt::Call { args, span, .. } => {
+                f(span);
+                for a in args {
+                    a.for_each_span(f);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+                ..
+            } => {
+                f(span);
+                cond.for_each_span(f);
+                for s in then_body {
+                    s.for_each_span(f);
+                }
+                for s in else_body {
+                    s.for_each_span(f);
+                }
+            }
+            Stmt::For {
+                lo, hi, body, span, ..
+            } => {
+                f(span);
+                lo.for_each_span(f);
+                hi.for_each_span(f);
+                for s in body {
+                    s.for_each_span(f);
+                }
+            }
+            Stmt::While {
+                cond, body, span, ..
+            } => {
+                f(span);
+                cond.for_each_span(f);
+                for s in body {
+                    s.for_each_span(f);
+                }
+            }
+            Stmt::Fork { body, span } => {
+                f(span);
+                for s in body {
+                    s.for_each_span(f);
+                }
+            }
+            Stmt::Send { value, span, .. } => {
+                f(span);
+                value.for_each_span(f);
+            }
+            Stmt::Receive { lhs, span } => {
+                f(span);
+                lhs.for_each_span(f);
+            }
+            Stmt::Return { value, span } => {
+                f(span);
+                if let Some(v) = value {
+                    v.for_each_span(f);
+                }
+            }
+            Stmt::Wait { span, .. } => f(span),
+        }
+    }
+}
+
+impl ForEachSpan for Spec {
+    fn for_each_span(&mut self, f: &mut dyn FnMut(&mut Span)) {
+        for p in &mut self.ports {
+            p.for_each_span(f);
+        }
+        for c in &mut self.consts {
+            c.for_each_span(f);
+        }
+        for v in &mut self.vars {
+            v.for_each_span(f);
+        }
+        for b in &mut self.behaviors {
+            b.for_each_span(f);
+        }
+    }
+}
+
+/// Structural equality ignoring source locations: both sides are cloned,
+/// span-stripped, and compared. Two parses of the same text at different
+/// offsets are `eq_modulo_spans` but not `==`.
+pub fn eq_modulo_spans<T: ForEachSpan + Clone + PartialEq>(a: &T, b: &T) -> bool {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    a.strip_spans();
+    b.strip_spans();
+    a == b
+}
+
 impl Spec {
     /// Finds a behavior by name.
     pub fn behavior(&self, name: &str) -> Option<&BehaviorDecl> {

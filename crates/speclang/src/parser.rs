@@ -133,6 +133,59 @@ pub fn parse_partial_with_limits(source: &str, limits: &ParseLimits) -> (Spec, V
     (spec, diags)
 }
 
+/// Top-level items parsed out of a dirty region, per category and in
+/// source order within each category — exactly the shape needed to splice
+/// them back into an existing [`Spec`].
+#[derive(Debug, Default)]
+pub(crate) struct RegionItems {
+    pub ports: Vec<PortDecl>,
+    pub consts: Vec<ConstDecl>,
+    pub vars: Vec<VarDecl>,
+    pub behaviors: Vec<BehaviorDecl>,
+}
+
+/// Parses a standalone run of top-level declarations (no `system` header)
+/// from an already-lexed token stream whose spans have been offset to the
+/// region's position in the full source. Used by dirty-region reparsing;
+/// callers treat *any* returned diagnostic as "fall back to a full parse",
+/// so this path never needs to recover cleverly.
+pub(crate) fn parse_items_region(
+    tokens: Vec<Token>,
+    lex_diags: Vec<Diagnostic>,
+    limits: &ParseLimits,
+) -> (RegionItems, Vec<Diagnostic>) {
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        hoisted_locals: Vec::new(),
+        diags: lex_diags,
+        depth: 0,
+        max_depth: limits.max_depth.max(1),
+    };
+    let mut items = RegionItems::default();
+    loop {
+        let result = match parser.peek() {
+            TokenKind::Eof => break,
+            TokenKind::Port => parser.port_decl().map(|p| items.ports.push(p)),
+            TokenKind::Const => parser.const_decl().map(|c| items.consts.push(c)),
+            TokenKind::Var => parser.var_decl().map(|v| items.vars.push(v)),
+            TokenKind::Process | TokenKind::Proc | TokenKind::Func => {
+                parser.behavior_decl().map(|b| items.behaviors.push(b))
+            }
+            _ => {
+                let diag = parser.error(format!("expected a declaration, found {}", parser.peek()));
+                parser.bump();
+                Err(diag)
+            }
+        };
+        if let Err(diag) = result {
+            parser.report(diag);
+            parser.sync_decl();
+        }
+    }
+    (items, parser.diags)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,

@@ -195,8 +195,9 @@ mod tests {
     use super::*;
     use crate::parser::parse;
 
-    /// Strips spans by re-rendering: two ASTs are structurally equal when
-    /// their pretty forms match.
+    /// `pretty(parse(s))` must reparse to an AST equal to the original
+    /// modulo spans (the property dirty-region splicing relies on), and
+    /// pretty output must be a fixed point of pretty∘parse.
     fn roundtrip(src: &str) {
         let ast1 = parse(src).expect("first parse");
         let printed = pretty(&ast1);
@@ -206,8 +207,17 @@ mod tests {
             printed,
             "pretty output must be a fixed point"
         );
-        assert_eq!(ast1.name, ast2.name);
-        assert_eq!(ast1.behaviors.len(), ast2.behaviors.len());
+        assert!(
+            crate::ast::eq_modulo_spans(&ast1, &ast2),
+            "reparse of pretty output must equal the original AST modulo spans:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn corpus_roundtrips_ast_equal_modulo_spans() {
+        for entry in crate::corpus::all() {
+            roundtrip(entry.source);
+        }
     }
 
     #[test]

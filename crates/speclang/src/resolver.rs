@@ -132,6 +132,19 @@ pub enum Symbol {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn resolve(spec: Spec) -> Result<ResolvedSpec, SpecError> {
+    try_resolve(spec).map_err(|(_, e)| e)
+}
+
+/// [`resolve`], but hands the AST back alongside the error so callers
+/// that keep the parse tree across failed resolutions (edit sessions
+/// reparse against it) need not clone the spec up front.
+///
+/// # Errors
+///
+/// The unconsumed [`Spec`] paired with the [`SpecError`] that
+/// [`resolve`] would have returned.
+#[allow(clippy::result_large_err)]
+pub fn try_resolve(spec: Spec) -> Result<ResolvedSpec, (Spec, SpecError)> {
     let mut diags = Vec::new();
     let mut globals: HashMap<String, GlobalSymbol> = HashMap::new();
 
@@ -260,7 +273,7 @@ pub fn resolve(spec: Spec) -> Result<ResolvedSpec, SpecError> {
         Ok(resolved)
     } else {
         diags.sort_by_key(|d| (d.span().line, d.span().col));
-        Err(SpecError::batch(diags))
+        Err((resolved.spec, SpecError::batch(diags)))
     }
 }
 

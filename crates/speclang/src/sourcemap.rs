@@ -1,0 +1,94 @@
+//! Name → source-location mapping, built from a parsed specification.
+//!
+//! This lives in `slif-speclang` (not above it) because spans originate
+//! here: the frontend names behavior nodes after their `BehaviorDecl` and
+//! variable nodes after their `VarDecl`, so any layer holding a graph
+//! node name can recover its source location without depending on the
+//! analyzer. `slif-analyze` re-exports this type for compatibility.
+
+use crate::ast::Spec;
+use crate::span::Span;
+use std::collections::HashMap;
+
+/// Specification-source locations for the graph's named objects, used to
+/// attach [`Span`]s to findings and session updates.
+///
+/// The frontend names behavior nodes after their `BehaviorDecl` and
+/// variable nodes after their `VarDecl`, so a name-keyed map recovers
+/// the source location of most nodes; nodes without a mapped name (e.g.
+/// synthesized helpers) simply get no span.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    spans: HashMap<String, Span>,
+}
+
+impl SourceMap {
+    /// Builds the map from a parsed specification: every behavior,
+    /// system-level variable, and behavior-local variable by name.
+    pub fn from_spec(spec: &Spec) -> Self {
+        let mut spans = HashMap::new();
+        for v in &spec.vars {
+            spans.insert(v.name.clone(), v.span);
+        }
+        for b in &spec.behaviors {
+            spans.insert(b.name.clone(), b.span);
+            for local in &b.locals {
+                spans.entry(local.name.clone()).or_insert(local.span);
+            }
+        }
+        Self { spans }
+    }
+
+    /// Records (or replaces) one name's location.
+    pub fn insert(&mut self, name: impl Into<String>, span: Span) {
+        self.spans.insert(name.into(), span);
+    }
+
+    /// The recorded location of `name`, if any.
+    pub fn span_of(&self, name: &str) -> Option<Span> {
+        self.spans.get(name).copied()
+    }
+
+    /// Number of recorded names.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Returns `true` when no names are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn source_map_covers_vars_and_behaviors() {
+        let spec = parse("system T;\nvar g : int<8>;\nprocess Main { var l : int<4>; l = g; }\n")
+            .expect("fixture parses");
+        let map = SourceMap::from_spec(&spec);
+        assert!(!map.is_empty());
+        assert_eq!(map.len(), 3);
+        let g = map.span_of("g").expect("g recorded");
+        assert_eq!(g.line, 2);
+        assert!(map.span_of("Main").is_some());
+        assert!(map.span_of("l").is_some());
+        assert!(map.span_of("nope").is_none());
+    }
+
+    #[test]
+    fn source_map_insert_overrides() {
+        let mut map = SourceMap::default();
+        let span = Span {
+            start: 1,
+            end: 2,
+            line: 9,
+            col: 4,
+        };
+        map.insert("x", span);
+        assert_eq!(map.span_of("x"), Some(span));
+    }
+}

@@ -42,6 +42,40 @@ impl Span {
             col: self.col,
         }
     }
+
+    /// Rebases the span by a byte delta and a line delta, as dirty-region
+    /// reparsing does when text before the span grows or shrinks. The
+    /// column is untouched: a rebase is only valid when the edit did not
+    /// change the span's own line layout.
+    ///
+    /// Deltas saturate at zero instead of wrapping: deleting more text
+    /// before a span than its offset (which only happens on spans that
+    /// were already stale) pins it to the origin rather than producing a
+    /// huge bogus offset.
+    #[must_use]
+    pub fn rebased(self, byte_delta: isize, line_delta: i64) -> Span {
+        Span {
+            start: saturating_offset(self.start, byte_delta),
+            end: saturating_offset(self.end, byte_delta),
+            line: saturating_offset_u32(self.line, line_delta),
+            col: self.col,
+        }
+    }
+}
+
+/// `base + delta`, saturating at 0 and `usize::MAX` instead of wrapping.
+fn saturating_offset(base: usize, delta: isize) -> usize {
+    if delta >= 0 {
+        base.saturating_add(delta as usize)
+    } else {
+        base.saturating_sub(delta.unsigned_abs())
+    }
+}
+
+/// `base + delta` for 1-based line numbers, saturating at 1.
+fn saturating_offset_u32(base: u32, delta: i64) -> u32 {
+    let shifted = i64::from(base).saturating_add(delta);
+    u32::try_from(shifted.max(1)).unwrap_or(u32::MAX)
 }
 
 impl Default for Span {
@@ -72,5 +106,27 @@ mod tests {
         let j = a.to(b);
         assert_eq!((j.start, j.end), (2, 12));
         assert_eq!((j.line, j.col), (1, 3));
+    }
+
+    #[test]
+    fn rebase_shifts_bytes_and_lines() {
+        let s = Span::new(100, 110, 9, 4).rebased(25, 2);
+        assert_eq!((s.start, s.end, s.line, s.col), (125, 135, 11, 4));
+        let back = s.rebased(-25, -2);
+        assert_eq!((back.start, back.end, back.line, back.col), (100, 110, 9, 4));
+    }
+
+    /// Regression: deleting more text before a span than its own offset
+    /// must saturate to the origin, not wrap around to `usize::MAX - k`.
+    #[test]
+    fn rebase_saturates_on_negative_deltas() {
+        let s = Span::new(10, 14, 2, 3).rebased(-100, -7);
+        assert_eq!((s.start, s.end), (0, 0));
+        assert_eq!(s.line, 1, "line floor is 1, not 0 or a wrapped value");
+        assert_eq!(s.col, 3);
+        // And the positive edge saturates at the type maximum.
+        let top = Span::new(usize::MAX - 1, usize::MAX, u32::MAX, 1).rebased(isize::MAX, i64::MAX);
+        assert_eq!((top.start, top.end), (usize::MAX, usize::MAX));
+        assert_eq!(top.line, u32::MAX);
     }
 }

@@ -1,0 +1,127 @@
+//! Incremental edit sessions: slice-based recompute from parser to wire.
+//!
+//! SLIF's pitch is that specification-level estimation is cheap enough
+//! to be interactive. An [`EditSession`] takes that literally: it holds
+//! one evolving specification plus every derived pipeline product, and
+//! `apply_edit` recomputes only the slice an edit touched — dirty-region
+//! reparse, in-place design patch, epoch-stamped estimator memos, and
+//! per-pass lint slicing. This example walks the three recompute tiers
+//! locally, then drives the same session protocol across the wire
+//! (`POST /sessions`, `POST /sessions/{id}/edit`, `GET /sessions/{id}`).
+//!
+//! Run with: `cargo run --release --example edit_session`
+
+use slif::serve::http::read_response;
+use slif::serve::server::{Server, ServerConfig};
+use slif::session::{EditDelta, EditSession, RecomputeTier, SessionConfig};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const SPEC: &str = concat!(
+    "system Counter;\n",
+    "var total : int<16>;\n",
+    "var step : int<16>;\n",
+    "process Tick {\n  step = step + 1;\n  wait 4;\n}\n",
+    "process Sum {\n  total = total + step;\n  wait 8;\n}\n",
+);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Local: the three recompute tiers ----------------------------
+    let (mut session, open) = EditSession::open(SPEC, SessionConfig::default());
+    assert!(open.clean, "the demo spec must open cleanly");
+    assert_eq!(open.tier, RecomputeTier::Recompiled, "an open is a cold build");
+    println!("open:       revision 0, {} diagnostics", open.diagnostics.len());
+
+    // A body tweak keeps the topology: the design is patched in place
+    // and only memos behind the touched node recompute.
+    let at = session.source().find("wait 4").expect("fixture text");
+    let patched = session.apply_edit(&EditDelta::new(at, at + 6, "wait 6"))?;
+    assert!(patched.clean);
+    assert_eq!(patched.tier, RecomputeTier::Patched, "body edits take the patch tier");
+    println!("body edit:  tier patched, {} estimator nodes dirty", patched.dirty_nodes);
+
+    // A new process changes the access graph: the session rebuilds cold
+    // (still through the behavior-level build cache).
+    let end = session.source().len();
+    let grown = session.apply_edit(&EditDelta::new(
+        end,
+        end,
+        "process Audit {\n  total = 0;\n  wait 16;\n}\n",
+    ))?;
+    assert!(grown.clean);
+    assert_eq!(grown.tier, RecomputeTier::Recompiled, "topology changes rebuild");
+    println!("new proc:   tier recompiled");
+
+    // A breaking edit defers: diagnostics now, stale-but-readable
+    // reports from the last clean revision until a later edit fixes it.
+    let at = session.source().find("wait 8;").expect("fixture text");
+    let broken = session.apply_edit(&EditDelta::new(at, at + 7, "wait ?;"))?;
+    assert!(!broken.clean);
+    assert_eq!(broken.tier, RecomputeTier::Deferred);
+    assert!(broken.estimate.is_some(), "stale reports stay readable");
+    let at = session.source().find("wait ?;").expect("fixture text");
+    let fixed = session.apply_edit(&EditDelta::new(at, at + 7, "wait 8;"))?;
+    assert!(fixed.clean, "fixing the text recovers the session");
+    println!("break+fix:  deferred then {} diagnostics", fixed.diagnostics.len());
+
+    // ---- The same session, across the wire ---------------------------
+    let server = Server::bind(
+        ServerConfig::new()
+            .with_conn_workers(2)
+            .with_io_timeouts(Duration::from_secs(2), Duration::from_secs(2)),
+    )?;
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(
+        addr,
+        format!(
+            "POST /sessions HTTP/1.1\r\ncontent-length: {}\r\n\r\n{SPEC}",
+            SPEC.len()
+        )
+        .as_bytes(),
+    );
+    assert_eq!(status, 201, "open: {body}");
+    assert!(body.contains("\"tier\":\"recompiled\""), "open is cold: {body}");
+    let id = body
+        .split("\"session\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .expect("response carries the session id");
+    println!("wire open:  session {id}");
+
+    let at = SPEC.find("wait 4").expect("fixture text");
+    let (status, body) = roundtrip(
+        addr,
+        format!(
+            "POST /sessions/{id}/edit HTTP/1.1\r\nx-slif-edit-start: {at}\r\nx-slif-edit-end: {}\r\ncontent-length: 6\r\n\r\nwait 7",
+            at + 6
+        )
+        .as_bytes(),
+    );
+    assert_eq!(status, 200, "edit: {body}");
+    assert!(body.contains("\"tier\":\"patched\""), "body edit patches: {body}");
+    println!("wire edit:  {}", body.trim_end());
+
+    let (status, body) = roundtrip(
+        addr,
+        format!("GET /sessions/{id} HTTP/1.1\r\n\r\n").as_bytes(),
+    );
+    assert_eq!(status, 200, "status: {body}");
+    assert!(body.contains("revision 1, clean"), "status reports clean: {body}");
+    assert!(body.contains("exec time"), "status carries the estimate report: {body}");
+    let summary = body.lines().next().unwrap_or_default();
+    println!("wire get:   {summary}");
+
+    server.shutdown();
+    println!("edit-session smoke passed");
+    Ok(())
+}
+
+fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect to in-process server");
+    s.set_read_timeout(Some(Duration::from_secs(5))).expect("socket option");
+    s.write_all(raw).expect("write request");
+    let (status, _, body) = read_response(&mut s).expect("well-formed response");
+    (status, String::from_utf8_lossy(&body).into_owned())
+}

@@ -47,7 +47,16 @@
 #    cold spec-compile vs verified warm cache read, and the fsynced
 #    journal append pair every durable job pays — and rewrites
 #    BENCH_store.json so the committed record matches the code.
-# 10. Lint gate: clippy with warnings denied (the workspace sweep covers
+# 10. Edit-session smoke: the edit_session example opens a session,
+#    walks all three recompute tiers (patched / recompiled / deferred)
+#    locally, then drives the same protocol across the wire (POST
+#    /sessions, POST /sessions/{id}/edit, GET /sessions/{id}) against an
+#    in-process server, asserting tier and cleanliness on each hop. The
+#    pr8_edit bench then re-measures warm-edit vs cold-open latency at
+#    ~120 and ~1200 nodes — asserting every edit stays clean on the
+#    patch tier — and rewrites BENCH_edit.json so the committed speedup
+#    record always matches the code being verified.
+# 11. Lint gate: clippy with warnings denied (the workspace sweep covers
 #    crates/analyze like every other crate), plus `unwrap_used` on
 #    non-test code (without --all-targets, #[cfg(test)] code is not
 #    linted, which is exactly the carve-out we want: tests may unwrap,
@@ -72,4 +81,6 @@ cargo run --release --quiet -p slif-serve --bin loadgen -- --self-serve --reques
 cargo test -q --test store_soak
 cargo run --release --quiet -p slif-serve --bin restart_smoke
 cargo run --release --quiet -p slif-bench --bin pr7_store BENCH_store.json
+cargo run --release --quiet --example edit_session
+cargo run --release --quiet -p slif-bench --bin pr8_edit
 cargo clippy --workspace -- -D warnings -W clippy::unwrap_used

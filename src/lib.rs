@@ -69,6 +69,7 @@ pub use slif_formats as formats;
 pub use slif_frontend as frontend;
 pub use slif_runtime as runtime;
 pub use slif_serve as serve;
+pub use slif_session as session;
 pub use slif_sim as sim;
 pub use slif_speclang as speclang;
 pub use slif_store as store;
