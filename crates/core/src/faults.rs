@@ -202,6 +202,55 @@ impl fmt::Display for StoreFaultKind {
     }
 }
 
+/// The hostile-byte classes for *interchange* files (the `slif-formats`
+/// wire encodings). Where [`StoreFaultKind`] models what a crash does to
+/// files this process wrote itself, these model what a *partner tool* —
+/// buggy, truncating, or actively adversarial — can hand us over the
+/// wire: torn transfers, storage rot, duplicated sections from a bad
+/// concatenation, declared sizes meant to bait an allocation, and
+/// nesting meant to bait a recursion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FormatFaultKind {
+    /// Cut the file at an arbitrary byte offset (interrupted transfer).
+    Truncation,
+    /// Flip one random bit anywhere in the file (rot in transit).
+    BitFlip,
+    /// Duplicate one section (text) or one framed segment (binary), as
+    /// a botched tool-chain concatenation would.
+    DuplicatedSection,
+    /// Declare a size far beyond any cap: a monster record line in
+    /// text, a rewritten frame-length field in binary. A reader that
+    /// trusts the declaration allocates gigabytes before reading a
+    /// single payload byte.
+    HostileDeclaredSize,
+    /// Nest far beyond any cap: an unclosed brace tower in a text
+    /// extension section, frame headers stuffed inside frame headers in
+    /// binary. A reader that recurses per level blows its stack.
+    PathologicalNesting,
+}
+
+/// All interchange-format mutation classes, in a fixed order.
+pub const ALL_FORMAT_FAULT_KINDS: [FormatFaultKind; 5] = [
+    FormatFaultKind::Truncation,
+    FormatFaultKind::BitFlip,
+    FormatFaultKind::DuplicatedSection,
+    FormatFaultKind::HostileDeclaredSize,
+    FormatFaultKind::PathologicalNesting,
+];
+
+impl fmt::Display for FormatFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FormatFaultKind::Truncation => "truncation",
+            FormatFaultKind::BitFlip => "bit-flip",
+            FormatFaultKind::DuplicatedSection => "duplicated-section",
+            FormatFaultKind::HostileDeclaredSize => "hostile-declared-size",
+            FormatFaultKind::PathologicalNesting => "pathological-nesting",
+        })
+    }
+}
+
 /// Defect classes the `slif-analyze` lint engine is built to catch.
 /// Where [`FaultKind`] breaks designs so *error paths* can be exercised,
 /// these plant the subtler bugs a static analyzer exists for: dataflow
@@ -570,6 +619,130 @@ impl FaultInjector {
         }
     }
 
+    /// Plans a reproducible schedule of interchange-format faults for a
+    /// `count`-input soak: each slot is `Some(kind)` with probability
+    /// `ratio` (drawn uniformly over [`ALL_FORMAT_FAULT_KINDS`]), else
+    /// `None`. The soak applies the planned damage to wire-format byte
+    /// images before feeding them to the reader (or a server), so the
+    /// same seed replays the same hostile-input pattern.
+    pub fn plan_format_faults(&mut self, count: usize, ratio: f64) -> Vec<Option<FormatFaultKind>> {
+        let ratio = ratio.clamp(0.0, 1.0);
+        (0..count)
+            .map(|_| {
+                self.rng.gen_bool(ratio).then(|| {
+                    ALL_FORMAT_FAULT_KINDS[self.rng.gen_range(0usize..ALL_FORMAT_FAULT_KINDS.len())]
+                })
+            })
+            .collect()
+    }
+
+    /// Corrupts a wire-format byte image in place, returning a
+    /// description of the damage. Text files are recognized by the
+    /// `slif-wire` header line; anything else is treated as a binary
+    /// segment stream in the shared [`atomic_io`](crate::atomic_io)
+    /// frame layout (8-byte magic, `u32` LE version, `u64` LE payload
+    /// length, `u64` checksum). Truncation and bit flips are
+    /// layout-agnostic; the other kinds pick the text or binary shape
+    /// of their attack accordingly.
+    pub fn corrupt_wire_bytes(&mut self, bytes: &mut Vec<u8>, kind: FormatFaultKind) -> String {
+        if bytes.is_empty() {
+            return "empty blob left as-is".to_owned();
+        }
+        let is_text = bytes.starts_with(b"slif-wire");
+        match kind {
+            FormatFaultKind::Truncation => {
+                let keep = self.rng.gen_range(0usize..bytes.len());
+                bytes.truncate(keep);
+                format!("truncated to {keep} bytes")
+            }
+            FormatFaultKind::BitFlip => {
+                let pos = self.rng.gen_range(0usize..bytes.len());
+                let bit = self.rng.gen_range(0u32..8);
+                bytes[pos] ^= 1 << bit;
+                format!("flipped bit {bit} of byte {pos}")
+            }
+            FormatFaultKind::DuplicatedSection => {
+                let (start, end) = if is_text {
+                    // A text section runs from a `[`-headed line to the
+                    // next one (or EOF).
+                    let heads: Vec<usize> = line_starts(bytes)
+                        .into_iter()
+                        .filter(|&i| bytes.get(i) == Some(&b'['))
+                        .collect();
+                    if heads.is_empty() {
+                        let n = bytes.len();
+                        bytes.extend_from_slice(&bytes.clone());
+                        return format!("no section head; doubled all {n} bytes");
+                    }
+                    let pick = self.rng.gen_range(0usize..heads.len());
+                    let start = heads[pick];
+                    let end = heads.get(pick + 1).copied().unwrap_or(bytes.len());
+                    (start, end)
+                } else {
+                    let segs = frame_spans(bytes);
+                    if segs.is_empty() {
+                        let n = bytes.len();
+                        bytes.extend_from_slice(&bytes.clone());
+                        return format!("no intact frame; doubled all {n} bytes");
+                    }
+                    segs[self.rng.gen_range(0usize..segs.len())]
+                };
+                let dup = bytes[start..end].to_vec();
+                let at = end.min(bytes.len());
+                bytes.splice(at..at, dup);
+                format!("duplicated bytes {start}..{end}")
+            }
+            FormatFaultKind::HostileDeclaredSize => {
+                if is_text {
+                    // A record line far beyond any sane line cap.
+                    let mut monster = Vec::with_capacity(1 << 17);
+                    monster.extend_from_slice(b"\nnode ");
+                    monster.resize((1 << 17) - 1, b'a');
+                    monster.push(b'\n');
+                    let at = self.rng.gen_range(0usize..=bytes.len());
+                    let at = line_boundary(bytes, at);
+                    bytes.splice(at..at, monster);
+                    format!("inserted a {} KiB record line at byte {at}", 1 << 7)
+                } else {
+                    let segs = frame_spans(bytes);
+                    let at = if segs.is_empty() {
+                        0
+                    } else {
+                        segs[self.rng.gen_range(0usize..segs.len())].0
+                    };
+                    let huge = u64::MAX / 2 + self.rng.gen_range(0u64..1024);
+                    if bytes.len() >= at + 20 {
+                        bytes[at + 12..at + 20].copy_from_slice(&huge.to_le_bytes());
+                        format!("declared a {huge}-byte payload at frame offset {at}")
+                    } else {
+                        bytes.extend_from_slice(&huge.to_le_bytes());
+                        "appended a hostile length tail".to_owned()
+                    }
+                }
+            }
+            FormatFaultKind::PathologicalNesting => {
+                if is_text {
+                    let mut tower = Vec::new();
+                    tower.extend_from_slice(b"\n[x-hostile-nest]\n");
+                    for _ in 0..64 {
+                        tower.extend_from_slice(b"block {\n");
+                    }
+                    let at = line_boundary(bytes, bytes.len());
+                    bytes.splice(at..at, tower);
+                    "appended a 64-deep unclosed brace tower".to_owned()
+                } else {
+                    // Frame headers stuffed inside frame headers: every
+                    // level looks like the start of a valid segment.
+                    let header: Vec<u8> = bytes.iter().copied().take(28).collect();
+                    for _ in 0..64 {
+                        bytes.splice(0..0, header.iter().copied());
+                    }
+                    "stacked 64 frame headers".to_owned()
+                }
+            }
+        }
+    }
+
     /// Plants one analyzer-detectable defect, if the design has a target
     /// for it. Returns what was hit, or `None` when nothing qualifies
     /// (e.g. [`OrphanVariable`](AnalyzableFaultKind::OrphanVariable) on a
@@ -680,6 +853,53 @@ impl FaultInjector {
     fn pick_channel(&mut self, count: usize) -> Option<crate::ids::ChannelId> {
         (count > 0).then(|| crate::ids::ChannelId::from_raw(self.rng.gen_range(0u32..count as u32)))
     }
+}
+
+/// Byte offsets at which lines start: 0, plus one past every newline
+/// that is not the final byte.
+fn line_starts(bytes: &[u8]) -> Vec<usize> {
+    let mut starts = vec![0];
+    starts.extend(
+        bytes
+            .iter()
+            .enumerate()
+            .filter(|&(i, &b)| b == b'\n' && i + 1 < bytes.len())
+            .map(|(i, _)| i + 1),
+    );
+    starts
+}
+
+/// Snaps `at` back to the nearest line start at or before it.
+fn line_boundary(bytes: &[u8], at: usize) -> usize {
+    let at = at.min(bytes.len());
+    bytes[..at]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1)
+}
+
+/// The `(start, end)` spans of plausibly-framed segments in an
+/// `atomic_io`-style stream, found by walking declared payload lengths
+/// from the top. Stops at the first span that does not fit; checksums
+/// are not verified (the caller is about to corrupt the bytes anyway).
+fn frame_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut at = 0usize;
+    while bytes.len().saturating_sub(at) >= 28 {
+        let mut len_bytes = [0u8; 8];
+        len_bytes.copy_from_slice(&bytes[at + 12..at + 20]);
+        let len = u64::from_le_bytes(len_bytes);
+        let Ok(len) = usize::try_from(len) else { break };
+        let Some(end) = at.checked_add(28).and_then(|h| h.checked_add(len)) else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        spans.push((at, end));
+        at = end;
+    }
+    spans
 }
 
 #[cfg(test)]
@@ -951,5 +1171,58 @@ mod tests {
         let (empty, why) = FaultInjector::new(0).corrupt_spec("");
         assert!(empty.is_empty());
         assert!(why.contains("empty"));
+    }
+
+    #[test]
+    fn format_fault_plans_are_seeded_and_ratio_bounded() {
+        let a = FaultInjector::new(23).plan_format_faults(600, 0.4);
+        let b = FaultInjector::new(23).plan_format_faults(600, 0.4);
+        assert_eq!(a, b, "plans are not reproducible");
+        assert_eq!(a.len(), 600);
+        let faulted = a.iter().filter(|s| s.is_some()).count();
+        assert!(faulted > 120 && faulted < 360, "ratio off: {faulted}/600");
+        assert!(FaultInjector::new(1)
+            .plan_format_faults(50, 0.0)
+            .iter()
+            .all(Option::is_none));
+    }
+
+    #[test]
+    fn format_corruption_is_seeded_and_always_damages() {
+        let text = b"slif-wire 1\n[design]\ndesign t\nclass p std-processor\n[end]\ncheck 00\n"
+            .to_vec();
+        let mut bin = crate::atomic_io::frame(b"TESTMAGC", 1, b"hello segment one");
+        bin.extend_from_slice(&crate::atomic_io::frame(b"TESTMAGC", 1, b"and segment two"));
+        for blob in [text, bin] {
+            for kind in ALL_FORMAT_FAULT_KINDS {
+                for seed in 0..8u64 {
+                    let mut a = blob.clone();
+                    let mut b = blob.clone();
+                    let why_a = FaultInjector::new(seed).corrupt_wire_bytes(&mut a, kind);
+                    let why_b = FaultInjector::new(seed).corrupt_wire_bytes(&mut b, kind);
+                    assert_eq!(a, b, "{kind}/{seed} not reproducible");
+                    assert_eq!(why_a, why_b);
+                    assert!(
+                        a != blob || a.len() != blob.len(),
+                        "{kind}/{seed} ({why_a}) left the image intact"
+                    );
+                }
+            }
+        }
+        let mut empty = Vec::new();
+        let why = FaultInjector::new(0).corrupt_wire_bytes(&mut empty, FormatFaultKind::Truncation);
+        assert!(empty.is_empty());
+        assert!(why.contains("empty"));
+    }
+
+    #[test]
+    fn format_fault_kinds_display_kebab_case() {
+        for kind in ALL_FORMAT_FAULT_KINDS {
+            let s = kind.to_string();
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{kind:?} renders `{s}`"
+            );
+        }
     }
 }

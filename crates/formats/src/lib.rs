@@ -8,7 +8,10 @@
 //! * [`AddGraph`] / [`build_add`] / [`build_spec_add`] — the ADD-style
 //!   baseline,
 //! * [`FormatComparison`] — the three-format node/edge/`n²` table the
-//!   paper reports for the fuzzy example.
+//!   paper reports for the fuzzy example,
+//! * [`wirefmt`] — the streaming `.slif` (text) and `.slifb` (binary)
+//!   interchange encodings: hostile-byte-hardened pull parsers with
+//!   bounded memory, typed refusals, and corruption resync.
 //!
 //! # Examples
 //!
@@ -28,6 +31,11 @@
 
 mod add;
 mod report;
+pub mod wirefmt;
 
 pub use add::{build_add, build_spec_add, AddGraph, AddNode};
 pub use report::{FormatComparison, FormatRow};
+pub use wirefmt::{
+    detect_encoding, read_bytes, write_bytes, Encoding, FormatError, FormatLimits, ReadOutcome,
+    Strictness,
+};

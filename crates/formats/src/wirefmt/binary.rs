@@ -1,0 +1,1410 @@
+//! The length-prefixed, checksum-framed `.slifb` binary encoding.
+//!
+//! A `.slifb` file is a flat sequence of segments, each wrapped in the
+//! [`slif_core::atomic_io`] frame container (8-byte magic
+//! [`SEGMENT_MAGIC`], `u32` version, `u64` payload length, `u64`
+//! FNV-1a checksum, payload) — the exact framing the store already
+//! trusts on disk, so the whole stack shares one checksum discipline.
+//! The first payload byte is the segment kind; the rest is a
+//! little-endian body in the store's [`slif_store::codec`] encoding:
+//!
+//! | kind | segment | body |
+//! |-----:|---------|------|
+//! | 1 | header | design name |
+//! | 2 | classes | count, then name + kind byte each |
+//! | 3 | ports | count, then name + direction + bits each |
+//! | 4 | nodes (chunked) | count, then name + kind + ict/size weights each |
+//! | 5 | channels (chunked) | count, then src/dst ordinals + kind + freq + bits + tag each |
+//! | 6 | components | processors, memories, buses |
+//! | 7 | partition (chunked) | node→component and channel→bus assignments |
+//! | 8 | group (extension) | nested frames, validated and skipped |
+//! | 9 | end | 32-byte content key of the design's canonical bytes |
+//!
+//! Unknown kinds are skipped with a warning. The reader checks each
+//! frame's *declared* length against
+//! [`FormatLimits::max_segment_bytes`] before reading the payload, so
+//! a hostile length cannot force an allocation; the checksum is
+//! verified before a single body byte is decoded, and each segment is
+//! decoded to scratch before being applied, so a damaged segment is a
+//! quarantined miss, never a half-applied mutation that could decode
+//! to a wrong design. In [`Strictness::Lenient`] mode the reader
+//! resyncs after damage by scanning (at most
+//! [`FormatLimits::max_resync_bytes`]) for the next segment magic.
+
+use std::io::{Read, Write};
+
+use slif_core::atomic_io::{frame, le_u32, le_u64, unframe, FrameError, FRAME_HEADER_LEN};
+use slif_core::{
+    AccessFreq, AccessKind, AccessTarget, Bus, ChannelId, ClassId, ClassKind, ConcurrencyTag,
+    Design, Memory, NodeId, NodeKind, Partition, PmRef, PortDirection, PortId, Processor,
+    WeightEntry,
+};
+use slif_speclang::{codes, Diagnostic, Span};
+use slif_store::codec::{Dec, Enc};
+use slif_store::{ContentKey, StoreError};
+
+use super::{
+    io_err, FormatError, FormatLimits, ReadOutcome, Strictness, SEGMENT_MAGIC, SEGMENT_VERSION,
+};
+
+/// Segment kind: design name.
+pub const SEG_HEADER: u8 = 1;
+/// Segment kind: component classes.
+pub const SEG_CLASSES: u8 = 2;
+/// Segment kind: external ports.
+pub const SEG_PORTS: u8 = 3;
+/// Segment kind: a chunk of nodes with their weight annotations.
+pub const SEG_NODES: u8 = 4;
+/// Segment kind: a chunk of channels.
+pub const SEG_CHANNELS: u8 = 5;
+/// Segment kind: processor, memory, and bus instances.
+pub const SEG_COMPONENTS: u8 = 6;
+/// Segment kind: a chunk of partition assignments.
+pub const SEG_PARTITION: u8 = 7;
+/// Segment kind: extension container of nested frames (skipped).
+pub const SEG_GROUP: u8 = 8;
+/// Segment kind: trailer carrying the design's content key.
+pub const SEG_END: u8 = 9;
+
+const NODES_PER_SEGMENT: usize = 1024;
+const CHANNELS_PER_SEGMENT: usize = 4096;
+const PARTITION_PER_SEGMENT: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn emit<W: Write>(w: &mut W, kind: u8, body: Enc) -> Result<(), FormatError> {
+    let mut payload = Vec::with_capacity(1 + body.buf.len());
+    payload.push(kind);
+    payload.extend_from_slice(&body.buf);
+    w.write_all(&frame(&SEGMENT_MAGIC, SEGMENT_VERSION, &payload))
+        .map_err(|e| io_err("binary write", &e))
+}
+
+/// Writes `design` (and `partition`, when given) as `.slifb` segments.
+///
+/// Large object families are split into bounded chunks
+/// (1024 nodes / 4096 channels / 4096 assignments per segment), so the
+/// writer never holds more than one segment's payload in memory and a
+/// reader can impose a modest segment cap.
+///
+/// # Errors
+///
+/// [`FormatError::Io`] when the sink fails.
+pub fn write_binary<W: Write>(
+    design: &Design,
+    partition: Option<&Partition>,
+    w: &mut W,
+) -> Result<(), FormatError> {
+    let g = design.graph();
+
+    let mut body = Enc::default();
+    body.bytes(design.name().as_bytes());
+    emit(w, SEG_HEADER, body)?;
+
+    let mut body = Enc::default();
+    body.u32(design.class_count() as u32);
+    for k in design.class_ids() {
+        let c = design.class(k);
+        body.bytes(c.name().as_bytes());
+        body.u8(match c.kind() {
+            ClassKind::StdProcessor => 0,
+            ClassKind::CustomHw => 1,
+            ClassKind::Memory => 2,
+        });
+    }
+    emit(w, SEG_CLASSES, body)?;
+
+    let mut body = Enc::default();
+    body.u32(g.port_count() as u32);
+    for p in g.port_ids() {
+        let port = g.port(p);
+        body.bytes(port.name().as_bytes());
+        body.u8(match port.direction() {
+            PortDirection::In => 0,
+            PortDirection::Out => 1,
+            PortDirection::InOut => 2,
+        });
+        body.u32(port.bits());
+    }
+    emit(w, SEG_PORTS, body)?;
+
+    let nodes: Vec<_> = g.node_ids().collect();
+    for chunk in nodes.chunks(NODES_PER_SEGMENT) {
+        let mut body = Enc::default();
+        body.u32(chunk.len() as u32);
+        for &n in chunk {
+            let node = g.node(n);
+            body.bytes(node.name().as_bytes());
+            match node.kind() {
+                NodeKind::Behavior { process } => body.u8(u8::from(!process)),
+                NodeKind::Variable { words, word_bits } => {
+                    body.u8(2);
+                    body.u64(words);
+                    body.u32(word_bits);
+                }
+            }
+            let icts: Vec<_> = node.ict().iter().collect();
+            body.u32(icts.len() as u32);
+            for e in icts {
+                body.u32(e.class.index() as u32);
+                body.u64(e.val);
+            }
+            let sizes: Vec<_> = node.size().iter().collect();
+            body.u32(sizes.len() as u32);
+            for e in sizes {
+                body.u32(e.class.index() as u32);
+                body.u64(e.val);
+                match e.datapath {
+                    Some(dp) => {
+                        body.u8(1);
+                        body.u64(dp);
+                    }
+                    None => body.u8(0),
+                }
+            }
+        }
+        emit(w, SEG_NODES, body)?;
+    }
+
+    let channels: Vec<_> = g.channel_ids().collect();
+    for chunk in channels.chunks(CHANNELS_PER_SEGMENT) {
+        let mut body = Enc::default();
+        body.u32(chunk.len() as u32);
+        for &c in chunk {
+            let ch = g.channel(c);
+            body.u32(ch.src().index() as u32);
+            match ch.dst() {
+                AccessTarget::Node(n) => {
+                    body.u8(0);
+                    body.u32(n.index() as u32);
+                }
+                AccessTarget::Port(p) => {
+                    body.u8(1);
+                    body.u32(p.index() as u32);
+                }
+            }
+            body.u8(match ch.kind() {
+                AccessKind::Call => 0,
+                AccessKind::Read => 1,
+                AccessKind::Write => 2,
+                AccessKind::Message => 3,
+            });
+            let f = ch.freq();
+            body.f64(f.avg);
+            body.u64(f.min);
+            body.u64(f.max);
+            body.u32(ch.bits());
+            match ch.tag().id() {
+                None => body.u8(0),
+                Some(grp) => {
+                    body.u8(1);
+                    body.u32(grp);
+                }
+            }
+        }
+        emit(w, SEG_CHANNELS, body)?;
+    }
+
+    let mut body = Enc::default();
+    body.u32(design.processor_count() as u32);
+    for p in design.processor_ids() {
+        let proc = design.processor(p);
+        body.bytes(proc.name().as_bytes());
+        body.u32(proc.class().index() as u32);
+        let flags = u8::from(proc.size_constraint().is_some())
+            | (u8::from(proc.pin_constraint().is_some()) << 1);
+        body.u8(flags);
+        if let Some(s) = proc.size_constraint() {
+            body.u64(s);
+        }
+        if let Some(pins) = proc.pin_constraint() {
+            body.u32(pins);
+        }
+    }
+    body.u32(design.memory_count() as u32);
+    for m in design.memory_ids() {
+        let mem = design.memory(m);
+        body.bytes(mem.name().as_bytes());
+        body.u32(mem.class().index() as u32);
+        match mem.size_constraint() {
+            Some(s) => {
+                body.u8(1);
+                body.u64(s);
+            }
+            None => body.u8(0),
+        }
+    }
+    body.u32(design.bus_count() as u32);
+    for b in design.bus_ids() {
+        let bus = design.bus(b);
+        body.bytes(bus.name().as_bytes());
+        body.u32(bus.bitwidth());
+        body.u64(bus.ts());
+        body.u64(bus.td());
+        match bus.capacity() {
+            Some(cap) => {
+                body.u8(1);
+                body.f64(cap);
+            }
+            None => body.u8(0),
+        }
+    }
+    emit(w, SEG_COMPONENTS, body)?;
+
+    if let Some(part) = partition {
+        let maps: Vec<_> = g
+            .node_ids()
+            .filter_map(|n| part.node_component(n).map(|c| (n, c)))
+            .collect();
+        for chunk in maps.chunks(PARTITION_PER_SEGMENT) {
+            let mut body = Enc::default();
+            body.u32(chunk.len() as u32);
+            for (n, comp) in chunk {
+                body.u32(n.index() as u32);
+                match comp {
+                    PmRef::Processor(p) => {
+                        body.u8(0);
+                        body.u32(p.index() as u32);
+                    }
+                    PmRef::Memory(m) => {
+                        body.u8(1);
+                        body.u32(m.index() as u32);
+                    }
+                }
+            }
+            body.u32(0);
+            emit(w, SEG_PARTITION, body)?;
+        }
+        let chans: Vec<_> = g
+            .channel_ids()
+            .filter_map(|c| part.channel_bus(c).map(|b| (c, b)))
+            .collect();
+        for chunk in chans.chunks(PARTITION_PER_SEGMENT) {
+            let mut body = Enc::default();
+            body.u32(0);
+            body.u32(chunk.len() as u32);
+            for (c, b) in chunk {
+                body.u32(c.index() as u32);
+                body.u32(b.index() as u32);
+            }
+            emit(w, SEG_PARTITION, body)?;
+        }
+        if maps.is_empty() && chans.is_empty() {
+            let mut body = Enc::default();
+            body.u32(0);
+            body.u32(0);
+            emit(w, SEG_PARTITION, body)?;
+        }
+    }
+
+    let key = ContentKey::of(&slif_store::encode_design(design));
+    let mut body = Enc::default();
+    body.buf.extend_from_slice(&key.0);
+    emit(w, SEG_END, body)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Pull parser
+// ---------------------------------------------------------------------------
+
+/// One verified segment pulled from a `.slifb` byte stream: magic,
+/// version, declared length, and checksum have all been checked; the
+/// body has not yet been decoded.
+#[derive(Debug)]
+pub struct Segment {
+    /// The segment kind byte.
+    pub kind: u8,
+    /// The body (after the kind byte).
+    pub payload: Vec<u8>,
+    /// File offset of the segment's frame header.
+    pub offset: usize,
+}
+
+/// A bounded, incremental segment stream over `.slifb` bytes.
+///
+/// Holds at most one frame in memory; the declared payload length is
+/// checked against [`FormatLimits::max_segment_bytes`] *before* the
+/// payload is buffered, so peak allocation is O(segment), not O(file).
+#[derive(Debug)]
+pub struct Segments<R> {
+    src: R,
+    buf: Vec<u8>,
+    offset: usize,
+    eof: bool,
+    peak: usize,
+    records: usize,
+    max_segment: usize,
+    max_records: usize,
+    max_resync: usize,
+}
+
+const READ_CHUNK: usize = 8 << 10;
+
+impl<R: Read> Segments<R> {
+    /// Starts pulling segments from `src` under `limits`.
+    pub fn new(src: R, limits: &FormatLimits) -> Self {
+        Self {
+            src,
+            buf: Vec::new(),
+            offset: 0,
+            eof: false,
+            peak: 0,
+            records: 0,
+            max_segment: limits.max_segment_bytes,
+            max_records: limits.max_records,
+            max_resync: limits.max_resync_bytes,
+        }
+    }
+
+    /// High-water mark of the internal buffer, in bytes.
+    pub fn peak_alloc_bytes(&self) -> usize {
+        self.peak
+    }
+
+    fn fill(&mut self, want: usize) -> Result<(), FormatError> {
+        while self.buf.len() < want && !self.eof {
+            let old = self.buf.len();
+            self.buf.resize(old + READ_CHUNK.max(want - old), 0);
+            let n = self
+                .src
+                .read(&mut self.buf[old..])
+                .map_err(|e| io_err("binary read", &e))?;
+            self.buf.truncate(old + n);
+            if n == 0 {
+                self.eof = true;
+            }
+            self.peak = self.peak.max(self.buf.capacity());
+        }
+        Ok(())
+    }
+
+    fn advance(&mut self, n: usize) {
+        let n = n.min(self.buf.len());
+        self.buf.drain(..n);
+        self.offset += n;
+    }
+
+    /// Pulls and verifies the next segment.
+    ///
+    /// On error the stream does *not* advance past the damage:
+    /// [`resync`](Self::resync) can scan onward from it.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::BadMagic`], [`FormatError::UnsupportedVersion`],
+    /// [`FormatError::Truncated`], [`FormatError::ChecksumMismatch`]
+    /// for frame damage; [`FormatError::LimitExceeded`] when the
+    /// declared length or segment count passes its cap;
+    /// [`FormatError::Io`] when the source fails.
+    pub fn next_segment(&mut self) -> Result<Option<Segment>, FormatError> {
+        self.fill(FRAME_HEADER_LEN)?;
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        if self.buf.len() < FRAME_HEADER_LEN {
+            return Err(FormatError::Truncated {
+                context: "segment frame header",
+            });
+        }
+        if self.buf[..8] != SEGMENT_MAGIC {
+            return Err(FormatError::BadMagic {
+                offset: self.offset,
+            });
+        }
+        let version = le_u32(&self.buf[8..12]);
+        if version != SEGMENT_VERSION {
+            return Err(FormatError::UnsupportedVersion { found: version });
+        }
+        let declared = le_u64(&self.buf[12..20]);
+        let declared = usize::try_from(declared)
+            .ok()
+            .filter(|&d| d <= self.max_segment)
+            .ok_or(FormatError::LimitExceeded {
+                what: "segment bytes",
+                limit: self.max_segment,
+                actual: usize::try_from(declared).unwrap_or(usize::MAX),
+            })?;
+        self.records += 1;
+        if self.records > self.max_records {
+            return Err(FormatError::LimitExceeded {
+                what: "segment count",
+                limit: self.max_records,
+                actual: self.records,
+            });
+        }
+        let total = FRAME_HEADER_LEN + declared;
+        self.fill(total)?;
+        if self.buf.len() < total {
+            return Err(FormatError::Truncated {
+                context: "segment payload",
+            });
+        }
+        let payload = unframe(&SEGMENT_MAGIC, SEGMENT_VERSION, &self.buf[..total]).map_err(
+            |e| match e {
+                FrameError::BadMagic => FormatError::BadMagic {
+                    offset: self.offset,
+                },
+                FrameError::UnsupportedVersion { found } => {
+                    FormatError::UnsupportedVersion { found }
+                }
+                FrameError::Truncated => FormatError::Truncated {
+                    context: "segment payload",
+                },
+                FrameError::ChecksumMismatch => FormatError::ChecksumMismatch {
+                    offset: self.offset,
+                },
+                _ => FormatError::Malformed {
+                    line: 0,
+                    offset: self.offset,
+                    message: format!("frame refused: {e}"),
+                },
+            },
+        )?;
+        let Some((&kind, body)) = payload.split_first() else {
+            return Err(FormatError::Malformed {
+                line: 0,
+                offset: self.offset,
+                message: "segment payload missing its kind byte".into(),
+            });
+        };
+        let seg = Segment {
+            kind,
+            payload: body.to_vec(),
+            offset: self.offset,
+        };
+        self.advance(total);
+        Ok(Some(seg))
+    }
+
+    /// Scans forward (at most `max_resync_bytes`) for the next segment
+    /// magic after damage. Returns whether a candidate frame start was
+    /// found; `false` means the tail of the stream is lost.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::Io`] when the source fails.
+    pub fn resync(&mut self) -> Result<bool, FormatError> {
+        self.advance(1);
+        let mut scanned = 0usize;
+        loop {
+            self.fill(SEGMENT_MAGIC.len().max(READ_CHUNK.min(self.max_segment)))?;
+            if self.buf.len() < SEGMENT_MAGIC.len() {
+                return Ok(false);
+            }
+            if let Some(pos) = self
+                .buf
+                .windows(SEGMENT_MAGIC.len())
+                .position(|w| w == SEGMENT_MAGIC)
+            {
+                if scanned + pos > self.max_resync {
+                    return Ok(false);
+                }
+                self.advance(pos);
+                return Ok(true);
+            }
+            let keep = SEGMENT_MAGIC.len() - 1;
+            let drop = self.buf.len() - keep;
+            scanned += drop;
+            if scanned > self.max_resync {
+                return Ok(false);
+            }
+            self.advance(drop);
+            if self.eof {
+                return Ok(false);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fold: stream of segments -> ReadOutcome
+// ---------------------------------------------------------------------------
+
+/// Reads a `.slifb` document from a byte slice.
+///
+/// # Errors
+///
+/// See [`read_binary_from`].
+pub fn read_binary(
+    bytes: &[u8],
+    strictness: Strictness,
+    limits: &FormatLimits,
+) -> Result<ReadOutcome, FormatError> {
+    read_binary_from(bytes, strictness, limits)
+}
+
+/// Reads a `.slifb` document from any [`Read`] source without ever
+/// buffering more than one segment.
+///
+/// # Errors
+///
+/// In [`Strictness::Strict`] mode any frame damage, malformed body,
+/// missing or mismatched end-key trailer is a typed [`FormatError`].
+/// In [`Strictness::Lenient`] mode a damaged segment is quarantined (a
+/// deny-level diagnostic, contents dropped whole) and the reader
+/// resyncs at the next segment magic; only resource caps, I/O
+/// failures, and graph-limit refusals stay hard errors.
+pub fn read_binary_from<R: Read>(
+    src: R,
+    strictness: Strictness,
+    limits: &FormatLimits,
+) -> Result<ReadOutcome, FormatError> {
+    let lenient = strictness == Strictness::Lenient;
+    let mut stream = Segments::new(src, limits);
+    let mut fold = BinFold::new(limits);
+
+    loop {
+        match stream.next_segment() {
+            Ok(None) => break,
+            Ok(Some(seg)) => {
+                if fold.done {
+                    let e = FormatError::Malformed {
+                        line: 0,
+                        offset: seg.offset,
+                        message: "segment after the end trailer".into(),
+                    };
+                    if !lenient {
+                        return Err(e);
+                    }
+                    fold.deny(seg.offset, &e)?;
+                    break;
+                }
+                match fold.apply(&seg) {
+                    Ok(()) => {}
+                    Err(e) if lenient && body_resyncable(&e) => fold.deny(seg.offset, &e)?,
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(e) if lenient && frame_resyncable(&e) => {
+                fold.deny(stream.offset, &e)?;
+                if !stream.resync()? {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    fold.finish(strictness, stream.peak_alloc_bytes())
+}
+
+/// Body-level errors a lenient reader may quarantine: the frame was
+/// intact (checksum passed) but the contents refuse to decode or apply.
+fn body_resyncable(e: &FormatError) -> bool {
+    match e {
+        FormatError::Malformed { .. } | FormatError::DuplicateSection { .. } => true,
+        FormatError::Graph(slif_core::CoreError::LimitExceeded { .. }) => false,
+        FormatError::Graph(_) => true,
+        _ => false,
+    }
+}
+
+/// Frame-level errors a lenient reader may scan past: damaged or
+/// hostile framing, where the payload never entered memory.
+fn frame_resyncable(e: &FormatError) -> bool {
+    matches!(
+        e,
+        FormatError::BadMagic { .. }
+            | FormatError::ChecksumMismatch { .. }
+            | FormatError::Truncated { .. }
+            | FormatError::UnsupportedVersion { .. }
+            | FormatError::Malformed { .. }
+            | FormatError::LimitExceeded {
+                what: "segment bytes",
+                ..
+            }
+    )
+}
+
+struct BinFold<'l> {
+    limits: &'l FormatLimits,
+    design: Option<Design>,
+    partition: Option<Partition>,
+    diagnostics: Vec<Diagnostic>,
+    seen_classes: bool,
+    seen_ports: bool,
+    seen_components: bool,
+    declared_key: Option<[u8; 32]>,
+    done: bool,
+}
+
+impl<'l> BinFold<'l> {
+    fn new(limits: &'l FormatLimits) -> Self {
+        Self {
+            limits,
+            design: None,
+            partition: None,
+            diagnostics: Vec::new(),
+            seen_classes: false,
+            seen_ports: false,
+            seen_components: false,
+            declared_key: None,
+            done: false,
+        }
+    }
+
+    fn push_diag(&mut self, d: Diagnostic) -> Result<(), FormatError> {
+        if self.diagnostics.len() >= self.limits.max_diagnostics {
+            return Err(FormatError::LimitExceeded {
+                what: "diagnostic count",
+                limit: self.limits.max_diagnostics,
+                actual: self.diagnostics.len() + 1,
+            });
+        }
+        self.diagnostics.push(d);
+        Ok(())
+    }
+
+    fn deny(&mut self, offset: usize, e: &FormatError) -> Result<(), FormatError> {
+        self.push_diag(Diagnostic::error(
+            Span::new(offset, offset, 0, 0),
+            codes::WIRE_MALFORMED,
+            format!("segment quarantined: {e}"),
+        ))
+    }
+
+    fn warn(&mut self, offset: usize, message: String) -> Result<(), FormatError> {
+        self.push_diag(Diagnostic::warning(
+            Span::new(offset, offset, 0, 0),
+            codes::WIRE_UNKNOWN_SECTION,
+            message,
+        ))
+    }
+
+    fn apply(&mut self, seg: &Segment) -> Result<(), FormatError> {
+        let offset = seg.offset;
+        let mal = |message: String| FormatError::Malformed {
+            line: 0,
+            offset,
+            message,
+        };
+        let store = |e: StoreError| {
+            FormatError::Malformed {
+                line: 0,
+                offset,
+                message: match e {
+                    StoreError::Corrupt { context } => format!("segment body: {context}"),
+                    other => other.to_string(),
+                },
+            }
+        };
+        let mut d = Dec::new(&seg.payload);
+
+        match seg.kind {
+            SEG_HEADER => {
+                if self.design.is_some() {
+                    return Err(FormatError::DuplicateSection {
+                        section: "header",
+                        line: 0,
+                    });
+                }
+                let name = std::str::from_utf8(d.bytes("design name").map_err(store)?)
+                    .map_err(|_| mal("design name utf-8".into()))?
+                    .to_owned();
+                d.finish().map_err(store)?;
+                self.design = Some(Design::new(name));
+                Ok(())
+            }
+            SEG_END => {
+                if self.declared_key.is_some() {
+                    return Err(FormatError::DuplicateSection {
+                        section: "end",
+                        line: 0,
+                    });
+                }
+                let raw = d.take(32, "end key").map_err(store)?;
+                let mut key = [0u8; 32];
+                key.copy_from_slice(raw);
+                d.finish().map_err(store)?;
+                self.declared_key = Some(key);
+                self.done = true;
+                Ok(())
+            }
+            SEG_GROUP => {
+                validate_group(&seg.payload, 1, self.limits.max_nesting_depth)
+                    .map_err(mal)?;
+                self.warn(offset, "extension group segment skipped".into())
+            }
+            SEG_CLASSES | SEG_PORTS | SEG_NODES | SEG_CHANNELS | SEG_COMPONENTS
+            | SEG_PARTITION => {
+                let Some(mut design) = self.design.take() else {
+                    return Err(mal("content segment before the header segment".into()));
+                };
+                let r = self.apply_content(&mut design, seg.kind, &mut d, offset);
+                self.design = Some(design);
+                r.and_then(|()| d.finish().map_err(store))
+            }
+            other => self.warn(offset, format!("unknown segment kind {other} skipped")),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn apply_content(
+        &mut self,
+        design: &mut Design,
+        kind: u8,
+        d: &mut Dec<'_>,
+        offset: usize,
+    ) -> Result<(), FormatError> {
+        let mal = |message: String| FormatError::Malformed {
+            line: 0,
+            offset,
+            message,
+        };
+        let store = |e: StoreError| {
+            FormatError::Malformed {
+                line: 0,
+                offset,
+                message: match e {
+                    StoreError::Corrupt { context } => format!("segment body: {context}"),
+                    other => other.to_string(),
+                },
+            }
+        };
+        let limits = &self.limits.graph;
+        match kind {
+            SEG_CLASSES => {
+                if self.seen_classes {
+                    return Err(FormatError::DuplicateSection {
+                        section: "classes",
+                        line: 0,
+                    });
+                }
+                let count = d.u32("class count").map_err(store)?;
+                let mut scratch = Vec::new();
+                for _ in 0..count {
+                    let name = utf8(d.bytes("class name").map_err(store)?, "class name", &mal)?;
+                    let kind = match d.u8("class kind").map_err(store)? {
+                        0 => ClassKind::StdProcessor,
+                        1 => ClassKind::CustomHw,
+                        2 => ClassKind::Memory,
+                        _ => return Err(mal("class kind".into())),
+                    };
+                    scratch.push((name, kind));
+                }
+                for (name, kind) in scratch {
+                    if design.class_by_name(&name).is_some() {
+                        return Err(mal(format!("duplicate class `{name}`")));
+                    }
+                    design.add_class(name, kind);
+                }
+                self.seen_classes = true;
+                Ok(())
+            }
+            SEG_PORTS => {
+                if self.seen_ports {
+                    return Err(FormatError::DuplicateSection {
+                        section: "ports",
+                        line: 0,
+                    });
+                }
+                let count = d.u32("port count").map_err(store)?;
+                let mut scratch = Vec::new();
+                for _ in 0..count {
+                    let name = utf8(d.bytes("port name").map_err(store)?, "port name", &mal)?;
+                    let dir = match d.u8("port direction").map_err(store)? {
+                        0 => PortDirection::In,
+                        1 => PortDirection::Out,
+                        2 => PortDirection::InOut,
+                        _ => return Err(mal("port direction".into())),
+                    };
+                    let bits = d.u32("port bits").map_err(store)?;
+                    scratch.push((name, dir, bits));
+                }
+                for (name, dir, bits) in scratch {
+                    design
+                        .graph_mut()
+                        .try_add_port_bounded(name, dir, bits, limits)?;
+                }
+                self.seen_ports = true;
+                Ok(())
+            }
+            SEG_NODES => {
+                let count = d.u32("node count").map_err(store)?;
+                let mut scratch = Vec::new();
+                for _ in 0..count {
+                    let name = utf8(d.bytes("node name").map_err(store)?, "node name", &mal)?;
+                    let kind = match d.u8("node kind").map_err(store)? {
+                        0 => NodeKind::process(),
+                        1 => NodeKind::procedure(),
+                        2 => {
+                            let words = d.u64("variable words").map_err(store)?;
+                            let bits = d.u32("variable word bits").map_err(store)?;
+                            NodeKind::array(words, bits)
+                        }
+                        _ => return Err(mal("node kind".into())),
+                    };
+                    let ict_count = d.u32("ict count").map_err(store)?;
+                    let mut icts = Vec::new();
+                    for _ in 0..ict_count {
+                        let k = class_ord(design, d.u32("ict class").map_err(store)?, &mal)?;
+                        icts.push((k, d.u64("ict value").map_err(store)?));
+                    }
+                    let size_count = d.u32("size count").map_err(store)?;
+                    let mut sizes = Vec::new();
+                    for _ in 0..size_count {
+                        let k = class_ord(design, d.u32("size class").map_err(store)?, &mal)?;
+                        let val = d.u64("size value").map_err(store)?;
+                        let entry = match d.u8("size datapath flag").map_err(store)? {
+                            0 => WeightEntry::new(k, val),
+                            1 => {
+                                let dp = d.u64("size datapath").map_err(store)?;
+                                if dp > val {
+                                    return Err(mal(format!(
+                                        "datapath {dp} exceeds total weight {val}"
+                                    )));
+                                }
+                                WeightEntry::with_datapath(k, val, dp)
+                            }
+                            _ => return Err(mal("size datapath flag".into())),
+                        };
+                        sizes.push(entry);
+                    }
+                    scratch.push((name, kind, icts, sizes));
+                }
+                for (name, kind, icts, sizes) in scratch {
+                    let id = design.graph_mut().try_add_node_bounded(name, kind, limits)?;
+                    let node = design.graph_mut().node_mut(id);
+                    for (k, v) in icts {
+                        node.ict_mut().set(k, v);
+                    }
+                    for e in sizes {
+                        node.size_mut().insert(e);
+                    }
+                }
+                Ok(())
+            }
+            SEG_CHANNELS => {
+                let count = d.u32("channel count").map_err(store)?;
+                let mut scratch = Vec::new();
+                for _ in 0..count {
+                    let src_ord = d.u32("channel src").map_err(store)? as usize;
+                    if src_ord >= design.graph().node_count() {
+                        return Err(mal("channel src ordinal".into()));
+                    }
+                    let src = NodeId::from_raw(src_ord as u32);
+                    let dst = match d.u8("channel dst tag").map_err(store)? {
+                        0 => {
+                            let o = d.u32("channel dst node").map_err(store)? as usize;
+                            if o >= design.graph().node_count() {
+                                return Err(mal("channel dst node ordinal".into()));
+                            }
+                            AccessTarget::Node(NodeId::from_raw(o as u32))
+                        }
+                        1 => {
+                            let o = d.u32("channel dst port").map_err(store)? as usize;
+                            if o >= design.graph().port_count() {
+                                return Err(mal("channel dst port ordinal".into()));
+                            }
+                            AccessTarget::Port(PortId::from_raw(o as u32))
+                        }
+                        _ => return Err(mal("channel dst tag".into())),
+                    };
+                    let kind = match d.u8("channel kind").map_err(store)? {
+                        0 => AccessKind::Call,
+                        1 => AccessKind::Read,
+                        2 => AccessKind::Write,
+                        3 => AccessKind::Message,
+                        _ => return Err(mal("channel kind".into())),
+                    };
+                    let avg = d.f64("channel freq avg").map_err(store)?;
+                    let min = d.u64("channel freq min").map_err(store)?;
+                    let max = d.u64("channel freq max").map_err(store)?;
+                    let bits = d.u32("channel bits").map_err(store)?;
+                    let tag = match d.u8("channel tag flag").map_err(store)? {
+                        0 => ConcurrencyTag::SEQUENTIAL,
+                        1 => ConcurrencyTag::group(d.u32("channel tag group").map_err(store)?),
+                        _ => return Err(mal("channel tag flag".into())),
+                    };
+                    scratch.push((src, dst, kind, AccessFreq::new(avg, min, max), bits, tag));
+                }
+                for (src, dst, kind, freq, bits, tag) in scratch {
+                    let id = design
+                        .graph_mut()
+                        .try_add_channel_bounded(src, dst, kind, limits)?;
+                    let ch = design.graph_mut().channel_mut(id);
+                    *ch.freq_mut() = freq;
+                    ch.set_bits(bits);
+                    ch.set_tag(tag);
+                }
+                Ok(())
+            }
+            SEG_COMPONENTS => {
+                if self.seen_components {
+                    return Err(FormatError::DuplicateSection {
+                        section: "components",
+                        line: 0,
+                    });
+                }
+                let pcount = d.u32("processor count").map_err(store)?;
+                let mut procs = Vec::new();
+                for _ in 0..pcount {
+                    let name =
+                        utf8(d.bytes("processor name").map_err(store)?, "processor name", &mal)?;
+                    let k = class_ord(design, d.u32("processor class").map_err(store)?, &mal)?;
+                    if !design.class(k).kind().holds_behaviors() {
+                        return Err(mal(format!("class of processor `{name}` is a memory class")));
+                    }
+                    let flags = d.u8("processor flags").map_err(store)?;
+                    if flags > 3 {
+                        return Err(mal("processor flags".into()));
+                    }
+                    let mut proc = Processor::new(name, k);
+                    if flags & 1 != 0 {
+                        proc = proc.with_size_constraint(d.u64("processor size").map_err(store)?);
+                    }
+                    if flags & 2 != 0 {
+                        proc = proc.with_pin_constraint(d.u32("processor pins").map_err(store)?);
+                    }
+                    procs.push(proc);
+                }
+                let mcount = d.u32("memory count").map_err(store)?;
+                let mut mems = Vec::new();
+                for _ in 0..mcount {
+                    let name = utf8(d.bytes("memory name").map_err(store)?, "memory name", &mal)?;
+                    let k = class_ord(design, d.u32("memory class").map_err(store)?, &mal)?;
+                    if design.class(k).kind() != ClassKind::Memory {
+                        return Err(mal(format!("class of memory `{name}` is not a memory class")));
+                    }
+                    let mut mem = Memory::new(name, k);
+                    match d.u8("memory size flag").map_err(store)? {
+                        0 => {}
+                        1 => mem = mem.with_size_constraint(d.u64("memory size").map_err(store)?),
+                        _ => return Err(mal("memory size flag".into())),
+                    }
+                    mems.push(mem);
+                }
+                let bcount = d.u32("bus count").map_err(store)?;
+                let mut buses = Vec::new();
+                for _ in 0..bcount {
+                    let name = utf8(d.bytes("bus name").map_err(store)?, "bus name", &mal)?;
+                    let width = d.u32("bus width").map_err(store)?;
+                    if width == 0 {
+                        return Err(mal(format!("bus `{name}` has zero width")));
+                    }
+                    let ts = d.u64("bus ts").map_err(store)?;
+                    let td = d.u64("bus td").map_err(store)?;
+                    let mut bus = Bus::new(name, width, ts, td);
+                    match d.u8("bus capacity flag").map_err(store)? {
+                        0 => {}
+                        1 => bus = bus.with_capacity(d.f64("bus capacity").map_err(store)?),
+                        _ => return Err(mal("bus capacity flag".into())),
+                    }
+                    buses.push(bus);
+                }
+                for p in procs {
+                    if design.processor_by_name(p.name()).is_some() {
+                        return Err(mal(format!("duplicate processor `{}`", p.name())));
+                    }
+                    design.add_processor_instance(p);
+                }
+                for m in mems {
+                    if design.memory_by_name(m.name()).is_some() {
+                        return Err(mal(format!("duplicate memory `{}`", m.name())));
+                    }
+                    design.add_memory_instance(m);
+                }
+                for b in buses {
+                    if design.bus_by_name(b.name()).is_some() {
+                        return Err(mal(format!("duplicate bus `{}`", b.name())));
+                    }
+                    design.add_bus(b);
+                }
+                self.seen_components = true;
+                Ok(())
+            }
+            SEG_PARTITION => {
+                let mut part = match self.partition.take() {
+                    Some(p) => p,
+                    None => Partition::new(design),
+                };
+                let mcount = d.u32("partition map count").map_err(store)?;
+                let mut maps = Vec::new();
+                for _ in 0..mcount {
+                    let n = d.u32("partition node").map_err(store)? as usize;
+                    if n >= design.graph().node_count() {
+                        self.partition = Some(part);
+                        return Err(mal("partition node ordinal".into()));
+                    }
+                    let pm = match d.u8("partition component tag").map_err(store)? {
+                        0 => {
+                            let o = d.u32("partition processor").map_err(store)? as usize;
+                            if o >= design.processor_count() {
+                                self.partition = Some(part);
+                                return Err(mal("partition processor ordinal".into()));
+                            }
+                            PmRef::Processor(slif_core::ProcessorId::from_raw(o as u32))
+                        }
+                        1 => {
+                            let o = d.u32("partition memory").map_err(store)? as usize;
+                            if o >= design.memory_count() {
+                                self.partition = Some(part);
+                                return Err(mal("partition memory ordinal".into()));
+                            }
+                            PmRef::Memory(slif_core::MemoryId::from_raw(o as u32))
+                        }
+                        _ => {
+                            self.partition = Some(part);
+                            return Err(mal("partition component tag".into()));
+                        }
+                    };
+                    maps.push((NodeId::from_raw(n as u32), pm));
+                }
+                let ccount = d.u32("partition channel count").map_err(store)?;
+                let mut chans = Vec::new();
+                for _ in 0..ccount {
+                    let c = d.u32("partition channel").map_err(store)? as usize;
+                    let b = d.u32("partition bus").map_err(store)? as usize;
+                    if c >= design.graph().channel_count() || b >= design.bus_count() {
+                        self.partition = Some(part);
+                        return Err(mal("partition channel assignment".into()));
+                    }
+                    chans.push((
+                        ChannelId::from_raw(c as u32),
+                        slif_core::BusId::from_raw(b as u32),
+                    ));
+                }
+                for (n, pm) in maps {
+                    part.assign_node(n, pm);
+                }
+                for (c, b) in chans {
+                    part.assign_channel(c, b);
+                }
+                self.partition = Some(part);
+                Ok(())
+            }
+            _ => unreachable!("apply_content called for non-content kind"),
+        }
+    }
+
+    fn finish(
+        mut self,
+        strictness: Strictness,
+        peak_alloc_bytes: usize,
+    ) -> Result<ReadOutcome, FormatError> {
+        let lenient = strictness == Strictness::Lenient;
+        if !self.done {
+            if !lenient {
+                return Err(FormatError::Truncated {
+                    context: "end trailer segment",
+                });
+            }
+            self.push_diag(Diagnostic::error(
+                Span::dummy(),
+                codes::WIRE_MALFORMED,
+                "input ended without an end trailer segment",
+            ))?;
+        }
+        let Some(design) = self.design.take() else {
+            return Err(FormatError::MissingSection { section: "design" });
+        };
+        design.graph().check_limits(&self.limits.graph)?;
+
+        let actual = ContentKey::of(&slif_store::encode_design(&design));
+        let verified = match self.declared_key {
+            Some(declared) if declared == actual.0 => true,
+            Some(declared) => {
+                let e = FormatError::ContentMismatch {
+                    declared: ContentKey(declared).to_hex(),
+                    actual: actual.to_hex(),
+                };
+                if !lenient {
+                    return Err(e);
+                }
+                self.push_diag(Diagnostic::error(
+                    Span::dummy(),
+                    codes::WIRE_CONTENT_MISMATCH,
+                    e.to_string(),
+                ))?;
+                false
+            }
+            None => false,
+        };
+
+        Ok(ReadOutcome {
+            design,
+            partition: self.partition,
+            diagnostics: self.diagnostics,
+            verified,
+            peak_alloc_bytes,
+        })
+    }
+}
+
+fn utf8(
+    raw: &[u8],
+    what: &'static str,
+    mal: &dyn Fn(String) -> FormatError,
+) -> Result<String, FormatError> {
+    std::str::from_utf8(raw)
+        .map(str::to_owned)
+        .map_err(|_| mal(format!("{what} utf-8")))
+}
+
+fn class_ord(
+    design: &Design,
+    ord: u32,
+    mal: &dyn Fn(String) -> FormatError,
+) -> Result<ClassId, FormatError> {
+    if (ord as usize) < design.class_count() {
+        Ok(ClassId::from_raw(ord))
+    } else {
+        Err(mal("class ordinal out of range".into()))
+    }
+}
+
+/// Checks that a group segment's payload is a well-formed sequence of
+/// nested frames, recursing into nested groups up to `max_depth`.
+fn validate_group(payload: &[u8], depth: usize, max_depth: usize) -> Result<(), String> {
+    if depth > max_depth {
+        return Err(format!("group nesting deeper than {max_depth}"));
+    }
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        let rest = &payload[pos..];
+        if rest.len() < FRAME_HEADER_LEN {
+            return Err("truncated nested frame header".into());
+        }
+        if rest[..8] != SEGMENT_MAGIC {
+            return Err("nested frame magic".into());
+        }
+        let declared = le_u64(&rest[12..20]);
+        let declared = usize::try_from(declared).map_err(|_| "nested frame length".to_string())?;
+        let total = FRAME_HEADER_LEN
+            .checked_add(declared)
+            .ok_or_else(|| "nested frame length".to_string())?;
+        if total > rest.len() {
+            return Err("nested frame overruns its group".into());
+        }
+        let inner = &rest[FRAME_HEADER_LEN..total];
+        if let Some((&kind, body)) = inner.split_first() {
+            if kind == SEG_GROUP {
+                validate_group(body, depth + 1, max_depth)?;
+            }
+        }
+        pos += total;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::sample_design;
+    use super::*;
+
+    fn write(d: &Design, p: Option<&Partition>) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_binary(d, p, &mut out).expect("write");
+        out
+    }
+
+    /// Byte offsets of every frame in `bytes`.
+    fn frames(bytes: &[u8]) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut pos = 0;
+        while pos + FRAME_HEADER_LEN <= bytes.len() {
+            let len = le_u64(&bytes[pos + 12..pos + 20]) as usize;
+            let total = FRAME_HEADER_LEN + len;
+            spans.push((pos, total));
+            pos += total;
+        }
+        spans
+    }
+
+    #[test]
+    fn round_trip_is_identity_and_byte_stable() {
+        let (d, p) = sample_design();
+        let bytes = write(&d, Some(&p));
+        let out =
+            read_binary(&bytes, Strictness::Strict, &FormatLimits::default()).expect("read");
+        assert_eq!(out.design, d);
+        assert_eq!(out.partition.as_ref(), Some(&p));
+        assert!(out.verified);
+        assert!(out.diagnostics.is_empty());
+        let second = write(&out.design, out.partition.as_ref());
+        assert_eq!(second, bytes, "second write must be byte-identical");
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_the_frame_checksum() {
+        let (d, p) = sample_design();
+        let clean = write(&d, Some(&p));
+        // Flip one bit in every payload byte position of the 2nd frame.
+        let (start, total) = frames(&clean)[1];
+        let mut hit = 0;
+        for i in start + FRAME_HEADER_LEN..start + total {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x10;
+            let err = read_binary(&bytes, Strictness::Strict, &FormatLimits::default())
+                .expect_err("strict must refuse");
+            assert!(
+                matches!(err, FormatError::ChecksumMismatch { .. }),
+                "{err:?}"
+            );
+            hit += 1;
+        }
+        assert!(hit > 0);
+    }
+
+    #[test]
+    fn lenient_mode_quarantines_a_damaged_segment_and_resyncs() {
+        let (d, p) = sample_design();
+        let mut bytes = write(&d, Some(&p));
+        let (start, total) = frames(&bytes)[3]; // a nodes chunk
+        bytes[start + total - 1] ^= 0x01;
+        let out =
+            read_binary(&bytes, Strictness::Lenient, &FormatLimits::default()).expect("salvage");
+        assert!(!out.verified, "damaged input must not verify");
+        assert!(out.has_denials());
+        assert_eq!(out.design.name(), d.name());
+    }
+
+    #[test]
+    fn truncation_is_refused() {
+        let (d, _) = sample_design();
+        let bytes = write(&d, None);
+        for cut in [bytes.len() - 1, bytes.len() - 40, 40, 10] {
+            let err = read_binary(&bytes[..cut], Strictness::Strict, &FormatLimits::default())
+                .expect_err("must refuse");
+            assert!(
+                matches!(
+                    err,
+                    FormatError::Truncated { .. } | FormatError::ChecksumMismatch { .. }
+                ),
+                "cut={cut}: {err:?}"
+            );
+            // Lenient: salvages or reports, never panics or verifies.
+            match read_binary(&bytes[..cut], Strictness::Lenient, &FormatLimits::default()) {
+                Ok(out) => assert!(!out.verified),
+                Err(e) => assert!(
+                    matches!(e, FormatError::MissingSection { .. }),
+                    "cut={cut}: {e:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_declared_length_is_refused_before_allocation() {
+        let (d, _) = sample_design();
+        let mut bytes = write(&d, None);
+        let (start, _) = frames(&bytes)[2];
+        bytes[start + 12..start + 20].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = read_binary(&bytes, Strictness::Strict, &FormatLimits::default())
+            .expect_err("must refuse");
+        assert!(
+            matches!(err, FormatError::LimitExceeded { what: "segment bytes", .. }),
+            "{err:?}"
+        );
+        // Lenient resyncs past the hostile frame; the design loses that
+        // segment so it cannot verify, but nothing allocates or panics.
+        let out =
+            read_binary(&bytes, Strictness::Lenient, &FormatLimits::default()).expect("salvage");
+        assert!(!out.verified);
+    }
+
+    #[test]
+    fn unknown_segment_kinds_are_skipped_with_a_warning() {
+        let (d, _) = sample_design();
+        let bytes = write(&d, None);
+        let spans = frames(&bytes);
+        let (end_start, _) = spans[spans.len() - 1];
+        let mut with_ext = bytes[..end_start].to_vec();
+        with_ext.extend_from_slice(&frame(&SEGMENT_MAGIC, SEGMENT_VERSION, &[200u8, 1, 2, 3]));
+        with_ext.extend_from_slice(&bytes[end_start..]);
+        let out =
+            read_binary(&with_ext, Strictness::Strict, &FormatLimits::default()).expect("read");
+        assert_eq!(out.design, d);
+        assert!(out.verified);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].code(), codes::WIRE_UNKNOWN_SECTION);
+    }
+
+    #[test]
+    fn group_segments_validate_nesting_depth() {
+        let (d, _) = sample_design();
+        let bytes = write(&d, None);
+        let spans = frames(&bytes);
+        let (end_start, _) = spans[spans.len() - 1];
+        // A tower of nested group frames deeper than the cap.
+        let mut inner = frame(&SEGMENT_MAGIC, SEGMENT_VERSION, &[SEG_GROUP]);
+        for _ in 0..32 {
+            let mut payload = vec![SEG_GROUP];
+            payload.extend_from_slice(&inner);
+            inner = frame(&SEGMENT_MAGIC, SEGMENT_VERSION, &payload);
+        }
+        let mut hostile = bytes[..end_start].to_vec();
+        hostile.extend_from_slice(&inner);
+        hostile.extend_from_slice(&bytes[end_start..]);
+        let err = read_binary(&hostile, Strictness::Strict, &FormatLimits::default())
+            .expect_err("must refuse");
+        assert!(matches!(err, FormatError::Malformed { .. }), "{err:?}");
+        // A shallow group is fine: validated, warned about, skipped.
+        let shallow = frame(
+            &SEGMENT_MAGIC,
+            SEGMENT_VERSION,
+            &{
+                let mut p = vec![SEG_GROUP];
+                p.extend_from_slice(&frame(&SEGMENT_MAGIC, SEGMENT_VERSION, &[200u8]));
+                p
+            },
+        );
+        let mut ok = bytes[..end_start].to_vec();
+        ok.extend_from_slice(&shallow);
+        ok.extend_from_slice(&bytes[end_start..]);
+        let out = read_binary(&ok, Strictness::Strict, &FormatLimits::default()).expect("read");
+        assert!(out.verified);
+    }
+
+    #[test]
+    fn duplicated_segments_cannot_smuggle_a_wrong_answer() {
+        let (d, _) = sample_design();
+        let bytes = write(&d, None);
+        // Duplicate each frame in turn; strict must refuse every time
+        // (duplicate section, duplicate name, or content mismatch) and
+        // lenient must never return a verified wrong design.
+        for (i, &(start, total)) in frames(&bytes).iter().enumerate() {
+            let mut dup = bytes[..start + total].to_vec();
+            dup.extend_from_slice(&bytes[start..start + total]);
+            dup.extend_from_slice(&bytes[start + total..]);
+            let strict = read_binary(&dup, Strictness::Strict, &FormatLimits::default());
+            assert!(strict.is_err(), "frame {i}: duplicate must not verify");
+            if let Ok(out) = read_binary(&dup, Strictness::Lenient, &FormatLimits::default()) {
+                if out.verified {
+                    assert_eq!(out.design, d, "frame {i}: verified implies identical");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reader_buffers_segments_not_files() {
+        let (d, p) = sample_design();
+        let bytes = write(&d, Some(&p));
+        let out =
+            read_binary(&bytes, Strictness::Strict, &FormatLimits::default()).expect("read");
+        assert!(
+            out.peak_alloc_bytes < 1 << 20,
+            "peak {} should be O(segment)",
+            out.peak_alloc_bytes
+        );
+    }
+
+    #[test]
+    fn garbage_prefix_is_bad_magic_then_resyncable() {
+        let (d, _) = sample_design();
+        let bytes = write(&d, None);
+        let mut noisy = b"not a slif file".to_vec();
+        noisy.extend_from_slice(&bytes);
+        let err = read_binary(&noisy, Strictness::Strict, &FormatLimits::default())
+            .expect_err("must refuse");
+        assert!(matches!(err, FormatError::BadMagic { .. }), "{err:?}");
+        let out =
+            read_binary(&noisy, Strictness::Lenient, &FormatLimits::default()).expect("salvage");
+        assert_eq!(out.design, d);
+        assert!(out.verified, "resync recovers the whole intact stream");
+    }
+}

@@ -15,6 +15,9 @@
 use slif_analyze::{analyze_compiled, AnalysisConfig, AnalysisReport};
 use slif_core::{CompiledDesign, CoreError, Design, GraphLimits, Partition};
 use slif_estimate::{DesignReport, EstimatorConfig};
+use slif_formats::wirefmt::{
+    read_bytes, write_bytes, Encoding, FormatError, FormatLimits, Strictness,
+};
 use slif_explore::{
     explore, Algorithm, ExploreError, Objectives, SupervisedResult, Supervisor,
 };
@@ -109,6 +112,25 @@ pub enum Job {
         /// The initial specification source text.
         source: String,
     },
+    /// Read a design (and optional partition) from `.slif` text or
+    /// `.slifb` binary interchange bytes. The encoding is sniffed from
+    /// the leading bytes; the read is strict — damage, caps, and
+    /// content-key mismatches are typed [`JobError::Format`] failures,
+    /// never a silently wrong design.
+    Import {
+        /// The raw interchange bytes, either encoding.
+        bytes: Vec<u8>,
+    },
+    /// Write a design (and optional partition) as `.slif` text or
+    /// `.slifb` binary interchange bytes.
+    Export {
+        /// The design to encode.
+        design: Design,
+        /// An optional partition to carry alongside it.
+        partition: Option<Partition>,
+        /// Which wire encoding to emit.
+        encoding: Encoding,
+    },
     /// Panics on execution. The fault-injection hook for exercising the
     /// service's panic isolation: a well-behaved service converts it into
     /// a retried-then-failed outcome, never a process abort.
@@ -128,6 +150,8 @@ impl Job {
             Job::Explore { .. } => "explore",
             Job::Analyze { .. } => "analyze",
             Job::EditSession { .. } => "edit-session",
+            Job::Import { .. } => "import",
+            Job::Export { .. } => "export",
             Job::InjectedPanic { .. } => "injected-panic",
         }
     }
@@ -220,6 +244,31 @@ impl Job {
                     update,
                 })
             }
+            Job::Import { bytes } => {
+                let fmt_limits = FormatLimits::default().with_graph(limits.graph);
+                let encoding = slif_formats::detect_encoding(bytes)
+                    .ok_or(FormatError::BadMagic { offset: 0 })?;
+                let outcome = read_bytes(bytes, Strictness::Strict, &fmt_limits)?;
+                Ok(JobOutput::Imported {
+                    encoding,
+                    design: Box::new(outcome.design),
+                    partition: outcome.partition,
+                    warnings: outcome.diagnostics.len(),
+                    verified: outcome.verified,
+                })
+            }
+            Job::Export {
+                design,
+                partition,
+                encoding,
+            } => {
+                design.graph().check_limits(&limits.graph)?;
+                let bytes = write_bytes(design, partition.as_ref(), *encoding)?;
+                Ok(JobOutput::Exported {
+                    encoding: *encoding,
+                    bytes,
+                })
+            }
             Job::InjectedPanic { message } => panic!("{message}"),
         }
     }
@@ -255,6 +304,28 @@ pub enum JobOutput {
     /// A lint report. Findings are data, not failures: a report full of
     /// denials is still a *successful* analysis job.
     Analyzed(AnalysisReport),
+    /// A design read from interchange bytes.
+    Imported {
+        /// Which encoding the bytes carried.
+        encoding: Encoding,
+        /// The decoded design. Boxed so the common outputs do not pay
+        /// this variant's size in every `JobOutcome`.
+        design: Box<Design>,
+        /// The decoded partition, when the bytes carried one.
+        partition: Option<Partition>,
+        /// How many non-fatal diagnostics the reader noted (for example
+        /// skipped unknown extension sections).
+        warnings: usize,
+        /// Whether the embedded content key matched the decoded design.
+        verified: bool,
+    },
+    /// A design encoded as interchange bytes.
+    Exported {
+        /// Which encoding was emitted.
+        encoding: Encoding,
+        /// The encoded bytes.
+        bytes: Vec<u8>,
+    },
     /// An opened edit session: the shared handle plus the opening
     /// update (revision 0 state, diagnostics if the source was broken).
     Session {
@@ -276,6 +347,9 @@ pub enum JobError {
     Core(CoreError),
     /// The exploration layer failed.
     Explore(ExploreError),
+    /// Interchange bytes were refused: damage, a cap, or a content-key
+    /// mismatch.
+    Format(FormatError),
     /// The job panicked (possibly repeatedly, through every retry).
     Panicked {
         /// The final panic's message.
@@ -289,6 +363,7 @@ impl fmt::Display for JobError {
             JobError::Spec(msg) => write!(f, "specification rejected: {msg}"),
             JobError::Core(e) => write!(f, "{e}"),
             JobError::Explore(e) => write!(f, "{e}"),
+            JobError::Format(e) => write!(f, "interchange bytes rejected: {e}"),
             JobError::Panicked { message } => write!(f, "job panicked: {message}"),
         }
     }
@@ -305,6 +380,12 @@ impl From<CoreError> for JobError {
 impl From<ExploreError> for JobError {
     fn from(e: ExploreError) -> Self {
         JobError::Explore(e)
+    }
+}
+
+impl From<FormatError> for JobError {
+    fn from(e: FormatError) -> Self {
+        JobError::Format(e)
     }
 }
 
@@ -467,6 +548,87 @@ mod tests {
         // Distinct handles over identical state: equal, as the service
         // soak's inline-equivalence check requires.
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn export_then_import_round_trips_both_encodings() {
+        use slif_core::NodeKind;
+
+        let mut d = Design::new("wire");
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+        d.graph_mut()
+            .add_channel(main, v.into(), slif_core::AccessKind::Write)
+            .unwrap();
+
+        for encoding in [Encoding::Text, Encoding::Binary] {
+            let job = Job::Export {
+                design: d.clone(),
+                partition: None,
+                encoding,
+            };
+            assert_eq!(job.kind(), "export");
+            let bytes = match job.run_inline(&RunLimits::default()).unwrap() {
+                JobOutput::Exported { encoding: e, bytes } => {
+                    assert_eq!(e, encoding);
+                    bytes
+                }
+                other => panic!("unexpected output {other:?}"),
+            };
+            let job = Job::Import { bytes };
+            assert_eq!(job.kind(), "import");
+            match job.run_inline(&RunLimits::default()).unwrap() {
+                JobOutput::Imported {
+                    encoding: e,
+                    design,
+                    partition,
+                    verified,
+                    ..
+                } => {
+                    assert_eq!(e, encoding);
+                    assert_eq!(*design, d);
+                    assert_eq!(partition, None);
+                    assert!(verified);
+                }
+                other => panic!("unexpected output {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_import_is_a_typed_format_error() {
+        let job = Job::Import {
+            bytes: b"definitely not slif".to_vec(),
+        };
+        let err = job.run_inline(&RunLimits::default()).unwrap_err();
+        assert!(matches!(err, JobError::Format(_)), "{err}");
+        assert!(err.to_string().starts_with("interchange bytes rejected"));
+    }
+
+    #[test]
+    fn over_limit_import_is_a_typed_format_error() {
+        use slif_core::NodeKind;
+
+        let mut d = Design::new("big");
+        d.graph_mut().add_node("Main", NodeKind::process());
+        d.graph_mut().add_node("v", NodeKind::scalar(8));
+        let bytes = match (Job::Export {
+            design: d,
+            partition: None,
+            encoding: Encoding::Text,
+        })
+        .run_inline(&RunLimits::default())
+        .unwrap()
+        {
+            JobOutput::Exported { bytes, .. } => bytes,
+            other => panic!("unexpected output {other:?}"),
+        };
+        let limits = RunLimits {
+            graph: GraphLimits::default().with_max_nodes(1),
+            ..RunLimits::default()
+        };
+        let err = Job::Import { bytes }.run_inline(&limits).unwrap_err();
+        assert!(matches!(err, JobError::Format(_)), "{err}");
     }
 
     #[test]

@@ -91,8 +91,11 @@ pub struct Response {
     pub status: u16,
     /// The reason phrase.
     pub reason: &'static str,
-    /// The body (always `text/plain; charset=utf-8`).
+    /// The body (`text/plain; charset=utf-8` unless overridden).
     pub body: Vec<u8>,
+    /// The `Content-Type` header; `None` means the text/plain default.
+    /// Binary design exports set `application/octet-stream`.
+    pub content_type: Option<&'static str>,
     /// An optional `Retry-After` header value in seconds (429/503).
     pub retry_after: Option<u64>,
     /// An optional durable job id, echoed as `x-slif-job-id` so a client
@@ -110,10 +113,18 @@ impl Response {
             status,
             reason,
             body: body.into(),
+            content_type: None,
             retry_after: None,
             job_id: None,
             close: false,
         }
+    }
+
+    /// Overrides the `Content-Type` header.
+    #[must_use]
+    pub fn with_content_type(mut self, ct: &'static str) -> Self {
+        self.content_type = Some(ct);
+        self
     }
 
     /// Adds a `Retry-After` header.
@@ -374,9 +385,12 @@ pub fn write_response(
 ) -> io::Result<()> {
     let deadline = Instant::now() + budget;
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: text/plain; charset=utf-8\r\ncontent-length: {}\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
         response.status,
         response.reason,
+        response
+            .content_type
+            .unwrap_or("text/plain; charset=utf-8"),
         response.body.len()
     );
     if let Some(secs) = response.retry_after {

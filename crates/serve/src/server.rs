@@ -493,6 +493,10 @@ fn handle_request(inner: &Inner, request: &Request) -> Response {
         (_, path) if path.starts_with("/jobs/") => method_not_allowed("GET"),
         ("POST", "/sessions") => open_session(inner, request),
         (_, "/sessions") => method_not_allowed("POST"),
+        ("POST", "/designs") => post_design(inner, request),
+        (_, "/designs") => method_not_allowed("POST"),
+        ("GET", path) if path.starts_with("/designs/") => get_design(inner, path, request),
+        (_, path) if path.starts_with("/designs/") => method_not_allowed("GET"),
         (method, path) if path.starts_with("/sessions/") => {
             session_request(inner, method, path, request)
         }
@@ -640,6 +644,147 @@ fn run_job(inner: &Inner, endpoint: Endpoint, request: &Request) -> Response {
         },
     };
     tag_job_id(response, durable_id)
+}
+
+/// `POST /designs`: imports `.slif` (text) or `.slifb` (binary)
+/// interchange bytes — the encoding is sniffed from the body's leading
+/// bytes. The body was already streamed in under the connection's read
+/// budget and body cap (413 before a byte of an oversized body is
+/// read); the strict parse runs as a [`Job::Import`] on the job service,
+/// so format refusals are typed 422s and a parser bug cannot take down
+/// the connection worker. On a durable server the decoded design (with
+/// its compiled view) is filed in the content-addressed cache, and the
+/// response carries the content hash for `GET /designs/{hash}`.
+fn post_design(inner: &Inner, request: &Request) -> Response {
+    if inner.draining.load(Ordering::Relaxed) {
+        return Response::new(410, "Gone", "server is draining; resubmit elsewhere\n").closing();
+    }
+    let admission = match inner.registry.admit(request.header(HDR_API_KEY)) {
+        Ok(a) => a,
+        Err(e) => return response_for_admit_error(e),
+    };
+    // The body is raw interchange bytes — no UTF-8 gate here; the
+    // binary encoding is legitimately non-textual and the text parser
+    // does its own validation.
+    let job = Job::Import {
+        bytes: request.body.clone(),
+    };
+    let submitted = inner.service.submit_for_tenant(
+        job,
+        Some(inner.request_deadline),
+        admission.tenant,
+        admission.weight,
+    );
+    let handle = match submitted {
+        Ok(handle) => handle,
+        Err(rejection) => return response_for_rejection(&rejection),
+    };
+    let grace = inner.request_deadline + Duration::from_secs(5);
+    match handle.wait_timeout(grace) {
+        Some(JobOutcome::Completed { output, .. }) => {
+            let JobOutput::Imported { design, .. } = &output else {
+                return Response::new(500, "Internal Server Error", "unexpected job output\n");
+            };
+            let key = slif_store::ContentKey::of(&slif_store::encode_design(design));
+            let mut body = format!("design {}\n{}", key.to_hex(), render_output(&output));
+            let status = match &inner.durable {
+                Some(store) => {
+                    // Cache design + compiled view so a warm GET (or a
+                    // later compile of the same design) skips work.
+                    // Cache writes are an optimization: failures are
+                    // swallowed, the import already succeeded.
+                    match slif_core::CompiledDesign::compile_bounded(design, &inner.limits.graph) {
+                        Ok(cd) => drop(store.cache().put_with_compiled(&request.body, design, &cd)),
+                        Err(_) => drop(store.cache().put(&request.body, design)),
+                    }
+                    201
+                }
+                None => {
+                    body.push_str("(stateless server: design not persisted)\n");
+                    200
+                }
+            };
+            Response::new(status, if status == 201 { "Created" } else { "OK" }, body)
+        }
+        Some(JobOutcome::Failed { error, .. }) => response_for_error(&error),
+        Some(JobOutcome::TimedOut) => Response::new(
+            504,
+            "Gateway Timeout",
+            "import deadline expired before the parse finished\n",
+        ),
+        Some(JobOutcome::Cancelled) => {
+            Response::new(410, "Gone", "job cancelled by shutdown\n").closing()
+        }
+        _ => Response::new(
+            504,
+            "Gateway Timeout",
+            "gave up waiting for the import's terminal state\n",
+        ),
+    }
+}
+
+/// `GET /designs/{hash}`: exports a cached design as interchange bytes.
+/// The `Accept` header negotiates the encoding: a value mentioning
+/// `octet-stream` or `x-slifb` gets the binary framing
+/// (`application/octet-stream`), anything else the text form. Like the
+/// other content-addressed reads this needs no API key and stays up
+/// during drain; a damaged cache object is a quarantined 404, never a
+/// wrong answer (the cache re-hashes and strictly decodes on read).
+fn get_design(inner: &Inner, path: &str, request: &Request) -> Response {
+    let Some(store) = &inner.durable else {
+        return Response::new(
+            404,
+            "Not Found",
+            "durable design store not enabled on this server\n",
+        );
+    };
+    let Some(key) = path.strip_prefix("/designs/").and_then(parse_content_key) else {
+        return Response::new(
+            400,
+            "Bad Request",
+            "design hash must be 64 hex digits\n",
+        );
+    };
+    let Some(design) = store.cache().get_by_key(&key) else {
+        return Response::new(404, "Not Found", format!("no such design: {}\n", key.to_hex()));
+    };
+    let binary = request
+        .header("accept")
+        .is_some_and(|v| v.contains("octet-stream") || v.contains("x-slifb"));
+    let encoding = if binary {
+        slif_formats::Encoding::Binary
+    } else {
+        slif_formats::Encoding::Text
+    };
+    match slif_formats::write_bytes(&design, None, encoding) {
+        Ok(bytes) => {
+            let resp = Response::new(200, "OK", bytes);
+            if binary {
+                resp.with_content_type("application/octet-stream")
+            } else {
+                resp
+            }
+        }
+        // A verified cached design always encodes; refuse without dying
+        // if a future writer grows a failure mode.
+        Err(e) => Response::new(
+            500,
+            "Internal Server Error",
+            format!("export failed: {e}\n"),
+        ),
+    }
+}
+
+/// Parses a 64-hex-digit content key from a path segment.
+fn parse_content_key(s: &str) -> Option<slif_store::ContentKey> {
+    if s.len() != 64 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let mut key = [0u8; 32];
+    for (i, byte) in key.iter_mut().enumerate() {
+        *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()?;
+    }
+    Some(slif_store::ContentKey(key))
 }
 
 /// `POST /sessions`: opens an incremental edit session over the body's
@@ -1306,6 +1451,160 @@ mod tests {
         let edit = b"POST /sessions/1/edit HTTP/1.1\r\nx-api-key: ka\r\nx-slif-edit-start: 0\r\nx-slif-edit-end: 0\r\ncontent-length: 0\r\n\r\n";
         assert_eq!(roundtrip(addr, edit).0, 410);
         assert_eq!(roundtrip(addr, &status_as("ka", 1)).0, 200);
+        server.shutdown();
+    }
+
+    fn sample_wire_bytes(encoding: slif_formats::Encoding) -> (slif_core::Design, Vec<u8>) {
+        use slif_core::{AccessKind, Design, NodeKind};
+        let mut d = Design::new("wire-test");
+        let main = d.graph_mut().add_node("Main", NodeKind::process());
+        let v = d.graph_mut().add_node("v", NodeKind::scalar(8));
+        d.graph_mut()
+            .add_channel(main, v.into(), AccessKind::Write)
+            .unwrap();
+        let bytes = slif_formats::write_bytes(&d, None, encoding).unwrap();
+        (d, bytes)
+    }
+
+    fn post_raw(path: &str, body: &[u8], extra: &str) -> Vec<u8> {
+        let mut raw = format!(
+            "POST {path} HTTP/1.1\r\n{extra}content-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(body);
+        raw
+    }
+
+    #[test]
+    fn design_import_export_round_trips_over_the_wire() {
+        let dir = std::env::temp_dir().join(format!("slif-serve-designs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = durable_server(&dir);
+        let addr = server.addr();
+        for encoding in [slif_formats::Encoding::Text, slif_formats::Encoding::Binary] {
+            let (design, bytes) = sample_wire_bytes(encoding);
+            let (status, body) = roundtrip(addr, &post_raw("/designs", &bytes, ""));
+            let text = String::from_utf8_lossy(&body).into_owned();
+            assert_eq!(status, 201, "{text}");
+            assert!(text.contains("verified"), "{text}");
+            let hash = text
+                .lines()
+                .find_map(|l| l.strip_prefix("design "))
+                .unwrap()
+                .to_owned();
+            assert_eq!(hash.len(), 64, "{text}");
+            // Text export (default Accept) round-trips structurally.
+            let (status, _, exported) = get(addr, &format!("/designs/{hash}"));
+            assert_eq!(status, 200);
+            let out = slif_formats::read_bytes(
+                &exported,
+                slif_formats::Strictness::Strict,
+                &slif_formats::FormatLimits::default(),
+            )
+            .unwrap();
+            assert_eq!(out.design, design);
+            assert!(out.verified);
+            // Binary export via content negotiation.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            s.write_all(
+                format!(
+                    "GET /designs/{hash} HTTP/1.1\r\naccept: application/octet-stream\r\n\r\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+            let (status, headers, exported) = read_response(&mut s).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(
+                header(&headers, "content-type"),
+                Some("application/octet-stream")
+            );
+            assert_eq!(
+                slif_formats::detect_encoding(&exported),
+                Some(slif_formats::Encoding::Binary)
+            );
+            let out = slif_formats::read_bytes(
+                &exported,
+                slif_formats::Strictness::Strict,
+                &slif_formats::FormatLimits::default(),
+            )
+            .unwrap();
+            assert_eq!(out.design, design);
+        }
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn design_routes_refuse_hostile_inputs_with_distinct_statuses() {
+        let dir = std::env::temp_dir().join(format!("slif-serve-designs-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = durable_server(&dir);
+        let addr = server.addr();
+        // Garbage bytes: typed 422, not a panic or a hang.
+        let (status, body) = roundtrip(addr, &post_raw("/designs", b"not slif at all", ""));
+        assert_eq!(status, 422, "{}", String::from_utf8_lossy(&body));
+        // A corrupted text body: strict import refuses.
+        let (_, bytes) = sample_wire_bytes(slif_formats::Encoding::Text);
+        let mut torn = bytes.clone();
+        torn.truncate(bytes.len() / 2);
+        let (status, _) = roundtrip(addr, &post_raw("/designs", &torn, ""));
+        assert_eq!(status, 422);
+        // A bit-flipped binary body: checksum catches it, 422.
+        let (_, mut flipped) = sample_wire_bytes(slif_formats::Encoding::Binary);
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        let (status, _) = roundtrip(addr, &post_raw("/designs", &flipped, ""));
+        assert_eq!(status, 422);
+        // Bad hash shapes: 400. Unknown hash: 404. Wrong methods: 405.
+        assert_eq!(get(addr, "/designs/xyz").0, 400);
+        assert_eq!(get(addr, &format!("/designs/{}", "0".repeat(64))).0, 404);
+        assert_eq!(roundtrip(addr, b"DELETE /designs HTTP/1.1\r\n\r\n").0, 405);
+        assert_eq!(
+            roundtrip(
+                addr,
+                format!("PUT /designs/{} HTTP/1.1\r\n\r\n", "0".repeat(64)).as_bytes()
+            )
+            .0,
+            405
+        );
+        // Oversized body: refused by declaration (413), body never read.
+        let huge = format!(
+            "POST /designs HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            1 << 30
+        );
+        assert_eq!(roundtrip(addr, huge.as_bytes()).0, 413);
+        server.shutdown();
+        // Stateless server: import still parses (200), export has no store.
+        let server = tiny_server(Vec::new());
+        let addr = server.addr();
+        let (_, bytes) = sample_wire_bytes(slif_formats::Encoding::Text);
+        let (status, body) = roundtrip(addr, &post_raw("/designs", &bytes, ""));
+        let text = String::from_utf8_lossy(&body).into_owned();
+        assert_eq!(status, 200, "{text}");
+        assert!(text.contains("not persisted"), "{text}");
+        assert_eq!(get(addr, &format!("/designs/{}", "0".repeat(64))).0, 404);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn design_import_respects_drain_and_tenancy() {
+        let server = tiny_server(vec![TenantSpec::new("alpha", "ka")]);
+        let addr = server.addr();
+        let (_, bytes) = sample_wire_bytes(slif_formats::Encoding::Text);
+        assert_eq!(roundtrip(addr, &post_raw("/designs", &bytes, "")).0, 401);
+        assert_eq!(
+            roundtrip(addr, &post_raw("/designs", &bytes, "x-api-key: ka\r\n")).0,
+            200
+        );
+        server.begin_drain();
+        assert_eq!(
+            roundtrip(addr, &post_raw("/designs", &bytes, "x-api-key: ka\r\n")).0,
+            410
+        );
         server.shutdown();
     }
 

@@ -18,6 +18,8 @@
 //! | `POST /sessions`   | [`Job::EditSession`] → a live edit session |
 //! | `POST /sessions/{id}/edit` | inline incremental edit (see [`crate::session`]) |
 //! | `GET /sessions/{id}` | session status + current reports |
+//! | `POST /designs`    | [`Job::Import`] — `.slif`/`.slifb` interchange bytes in, content hash out |
+//! | `GET /designs/{hash}` | export a stored design (`Accept` picks text or binary) |
 //! | `GET /health`      | health snapshot             |
 //! | `GET /metrics`     | counters + latency percentiles |
 //!
@@ -38,8 +40,8 @@
 //! | 408    | read deadline expired mid-request (slow loris) |
 //! | 409    | tenant at its edit-session cap |
 //! | 410    | draining — [`Rejected::ShuttingDown`] |
-//! | 413    | oversized (HTTP body guard or [`Rejected::TooLarge`]) |
-//! | 422    | spec/core/explore error — the job ran and refused |
+//! | 413    | oversized (HTTP body guard or [`Rejected::TooLarge`]); a `POST /designs` body past the read budget never enters memory |
+//! | 422    | spec/core/explore/format error — the job ran and refused; interchange bytes that are damaged, over a format cap, or fail the content-key check land here |
 //! | 429    | tenant quota exhausted (`Retry-After`) |
 //! | 500    | job panicked (isolated; the server stays up) |
 //! | 503    | [`Rejected::QueueFull`] (`Retry-After`) |
@@ -322,6 +324,27 @@ pub fn render_output(output: &JobOutput) -> String {
             sr.stop, sr.result.cost, sr.result.evaluations, sr.checkpoints_written
         ),
         JobOutput::Analyzed(report) => format!("{report}"),
+        JobOutput::Imported {
+            encoding,
+            design,
+            partition,
+            warnings,
+            verified,
+        } => format!(
+            "imported: {encoding} design \"{}\" ({} nodes, {} channels{}), {warnings} warnings, {}\n",
+            design.name(),
+            design.graph().node_count(),
+            design.graph().channel_count(),
+            if partition.is_some() {
+                ", with partition"
+            } else {
+                ""
+            },
+            if *verified { "verified" } else { "unverified" },
+        ),
+        JobOutput::Exported { encoding, bytes } => {
+            format!("exported: {} bytes of {encoding}\n", bytes.len())
+        }
         _ => "ok (unrenderable output kind)\n".to_owned(),
     }
 }
@@ -360,11 +383,9 @@ pub fn response_for_rejection(rejection: &Rejected) -> Response {
 /// refused (422), or it panicked and was isolated (500).
 pub fn response_for_error(error: &JobError) -> Response {
     match error {
-        JobError::Spec(_) | JobError::Core(_) | JobError::Explore(_) => Response::new(
-            422,
-            "Unprocessable Entity",
-            format!("{error}\n"),
-        ),
+        JobError::Spec(_) | JobError::Core(_) | JobError::Explore(_) | JobError::Format(_) => {
+            Response::new(422, "Unprocessable Entity", format!("{error}\n"))
+        }
         JobError::Panicked { .. } => Response::new(
             500,
             "Internal Server Error",

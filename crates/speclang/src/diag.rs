@@ -62,6 +62,21 @@ pub mod codes {
     /// A semantic rule violation (duplicate name, recursion, bad send
     /// target, ...).
     pub const RESOLVE_SEMANTIC: &str = "R003";
+    /// A malformed wire-format record or segment: unparseable line,
+    /// torn frame, bad magic, checksum mismatch (the `slif-formats`
+    /// interchange reader).
+    pub const WIRE_MALFORMED: &str = "W001";
+    /// An unknown wire-format section or extension segment was
+    /// tolerated and skipped.
+    pub const WIRE_UNKNOWN_SECTION: &str = "W002";
+    /// A wire-format resource cap (line bytes, segment bytes, nesting
+    /// depth, record count) was exceeded; the reader refused instead of
+    /// allocating from a hostile declaration.
+    pub const WIRE_LIMIT: &str = "W003";
+    /// The decoded design does not hash to the content digest the wire
+    /// file declared — corruption survived the per-record checks, so
+    /// the whole result is untrustworthy.
+    pub const WIRE_CONTENT_MISMATCH: &str = "W004";
     /// Catch-all for diagnostics created through [`super::Diagnostic::new`].
     pub const GENERIC: &str = "E000";
 }

@@ -18,12 +18,22 @@
 //! hash-mismatched file is renamed to a `.corrupt` sidecar, counted in
 //! [`CacheStats::quarantined`], and reported as a plain miss. The next
 //! cold compile re-populates the slot through an atomic write.
+//!
+//! Alongside the canonical object, a design's [`CompiledDesign`] can be
+//! cached too (`compiled/<same-key>`), so a warm hit skips the compile
+//! pass as well as the parse. A compiled entry is an *accelerator*, not
+//! a source of truth: it is only served after its frame checksum, its
+//! embedded design key, a strict decode, and the full
+//! [`CompiledDesign::try_from_parts`] invariant audit all pass, and any
+//! failure quarantines the entry and falls back to recompiling from the
+//! verified design.
 
 use crate::canonical::{decode_design, encode_design};
+use crate::compiled::{decode_compiled, encode_compiled};
 use crate::error::StoreError;
 use crate::sha256::ContentKey;
 use slif_core::atomic_io;
-use slif_core::Design;
+use slif_core::{CompiledDesign, Design};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,6 +42,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const OBJECT_MAGIC: [u8; 8] = *b"SLIFCOBJ";
 /// The 8-byte magic of a ref file (a framed content key).
 pub const REF_MAGIC: [u8; 8] = *b"SLIFCREF";
+/// The 8-byte magic of a compiled-design file (a framed compiled
+/// encoding).
+pub const COMPILED_MAGIC: [u8; 8] = *b"SLIFCCMP";
 /// The current (and only) cache container version.
 pub const CACHE_VERSION: u32 = 1;
 
@@ -46,6 +59,11 @@ pub struct CacheStats {
     pub quarantined: u64,
     /// Designs written.
     pub puts: u64,
+    /// Verified compiled-design hits (the compile pass was skipped).
+    pub compiled_hits: u64,
+    /// Design hits that had to recompile: no compiled entry, or one
+    /// that failed verification.
+    pub compiled_misses: u64,
 }
 
 /// An open cache directory. Cheap to share behind an `Arc`; all methods
@@ -54,10 +72,13 @@ pub struct CacheStats {
 pub struct DesignCache {
     objects: PathBuf,
     refs: PathBuf,
+    compiled: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
     quarantined: AtomicU64,
     puts: AtomicU64,
+    compiled_hits: AtomicU64,
+    compiled_misses: AtomicU64,
 }
 
 impl DesignCache {
@@ -69,15 +90,20 @@ impl DesignCache {
     pub fn open(dir: &Path) -> Result<Self, StoreError> {
         let objects = dir.join("objects");
         let refs = dir.join("refs");
+        let compiled = dir.join("compiled");
         fs::create_dir_all(&objects).map_err(|e| StoreError::io(&objects, &e))?;
         fs::create_dir_all(&refs).map_err(|e| StoreError::io(&refs, &e))?;
+        fs::create_dir_all(&compiled).map_err(|e| StoreError::io(&compiled, &e))?;
         Ok(Self {
             objects,
             refs,
+            compiled,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             puts: AtomicU64::new(0),
+            compiled_hits: AtomicU64::new(0),
+            compiled_misses: AtomicU64::new(0),
         })
     }
 
@@ -107,6 +133,14 @@ impl DesignCache {
     /// absent files, frame damage, hash mismatch, decode failure — is a
     /// counted miss (with quarantine where there was a file to blame).
     pub fn get(&self, source: &[u8]) -> Option<Design> {
+        self.get_verified(source).map(|(_, design)| design)
+    }
+
+    /// The verification chain behind [`get`](Self::get), also handing
+    /// back the design's content key so callers that need it (the
+    /// compiled-view lookup) do not re-encode and re-hash a design the
+    /// chain just proved matches that key.
+    fn get_verified(&self, source: &[u8]) -> Option<(ContentKey, Design)> {
         let reference = self.refs.join(ContentKey::of(source).to_hex());
         let key = match self.read_framed(&reference, &REF_MAGIC) {
             Lookup::Absent => return self.miss(),
@@ -135,6 +169,81 @@ impl DesignCache {
         match decode_design(&canonical) {
             Ok(design) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((key, design))
+            }
+            Err(_) => {
+                self.quarantine(&object);
+                self.miss()
+            }
+        }
+    }
+
+    /// [`put`](Self::put), plus the design's compiled view, so a later
+    /// [`get_with_compiled`](Self::get_with_compiled) can skip the
+    /// compile pass entirely. The compiled entry is filed under the
+    /// *design's* content key (not the source's), so equal designs
+    /// reached through different sources share one compiled object.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if a file cannot be written atomically.
+    pub fn put_with_compiled(
+        &self,
+        source: &[u8],
+        design: &Design,
+        compiled: &CompiledDesign,
+    ) -> Result<ContentKey, StoreError> {
+        let key = self.put(source, design)?;
+        let path = self.compiled.join(key.to_hex());
+        if !path.exists() {
+            if let Some(payload) = encode_compiled(&key, compiled) {
+                atomic_io::write_atomic(
+                    &path,
+                    &atomic_io::frame(&COMPILED_MAGIC, CACHE_VERSION, &payload),
+                )
+                .map_err(|e| StoreError::io(&path, &e))?;
+            }
+        }
+        Ok(key)
+    }
+
+    /// Looks up the design cached for a spec source *and*, when a
+    /// verified compiled entry exists for it, the compiled view. The
+    /// second element is `None` when the compiled entry is absent or
+    /// failed any verification step (frame checksum, embedded design
+    /// key, strict decode, structural audit) — the caller recompiles
+    /// from the returned design, which has itself passed the full
+    /// design chain.
+    pub fn get_with_compiled(&self, source: &[u8]) -> Option<(Design, Option<CompiledDesign>)> {
+        let (key, design) = self.get_verified(source)?;
+        let compiled = self.verified_compiled(&key, &design);
+        if compiled.is_some() {
+            self.compiled_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.compiled_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        Some((design, compiled))
+    }
+
+    /// Looks up a design directly by its content key (the hash a
+    /// [`put`](Self::put) returned), bypassing the source-ref layer —
+    /// the `GET /designs/{hash}` path. Verification is the same as for
+    /// [`get`](Self::get) minus the ref hop: frame checksum → content
+    /// re-hash → strict decode; anything damaged is quarantined and
+    /// reported as a counted miss.
+    pub fn get_by_key(&self, key: &ContentKey) -> Option<Design> {
+        let object = self.objects.join(key.to_hex());
+        let canonical = match self.read_framed(&object, &OBJECT_MAGIC) {
+            Lookup::Absent | Lookup::Damaged => return self.miss(),
+            Lookup::Payload(p) => p,
+        };
+        if ContentKey::of(&canonical) != *key {
+            self.quarantine(&object);
+            return self.miss();
+        }
+        match decode_design(&canonical) {
+            Ok(design) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(design)
             }
             Err(_) => {
@@ -144,6 +253,74 @@ impl DesignCache {
         }
     }
 
+    /// Fetches only the compiled view for a design key — the hot path
+    /// for a consumer that runs estimators off the immutable compiled
+    /// layout and never touches the `Design` itself. Skipping the
+    /// design object skips its decode *and* its content re-hash, so
+    /// this is the cheapest warm read the store offers.
+    ///
+    /// Verification: frame checksum, then strict decode (which
+    /// re-audits every structural invariant via `try_from_parts`), then
+    /// the embedded design key must equal `key` — the entry was written
+    /// under the SHA-256 of the design it accelerates, so a key match
+    /// binds it to exactly that design. Anything damaged or misfiled is
+    /// quarantined and reported as a compiled miss; the caller falls
+    /// back to [`get_by_key`](Self::get_by_key) plus a fresh compile.
+    pub fn get_compiled_by_key(&self, key: &ContentKey) -> Option<CompiledDesign> {
+        let path = self.compiled.join(key.to_hex());
+        let payload = match self.read_framed(&path, &COMPILED_MAGIC) {
+            Lookup::Absent | Lookup::Damaged => {
+                self.compiled_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Lookup::Payload(p) => p,
+        };
+        match decode_compiled(&payload) {
+            Ok((embedded, cd)) if embedded == *key => {
+                self.compiled_hits.fetch_add(1, Ordering::Relaxed);
+                Some(cd)
+            }
+            Ok(_) | Err(_) => {
+                self.quarantine(&path);
+                self.compiled_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Reads, verifies, and cross-checks the compiled entry for `key`.
+    fn verified_compiled(&self, key: &ContentKey, design: &Design) -> Option<CompiledDesign> {
+        let path = self.compiled.join(key.to_hex());
+        let payload = match self.read_framed(&path, &COMPILED_MAGIC) {
+            Lookup::Absent | Lookup::Damaged => return None,
+            Lookup::Payload(p) => p,
+        };
+        let (embedded, cd) = match decode_compiled(&payload) {
+            Ok(pair) => pair,
+            Err(_) => {
+                self.quarantine(&path);
+                return None;
+            }
+        };
+        // The entry must claim the design we verified, and its counts
+        // must agree with that design — a cheap final cross-check that
+        // a stale or misfiled accelerator cannot pass.
+        let g = design.graph();
+        let consistent = embedded == *key
+            && cd.node_count() == g.node_count()
+            && cd.port_count() == g.port_count()
+            && cd.channel_count() == g.channel_count()
+            && cd.class_count() == design.class_count()
+            && cd.processor_count() == design.processor_count()
+            && cd.memory_count() == design.memory_count()
+            && cd.bus_count() == design.bus_count();
+        if !consistent {
+            self.quarantine(&path);
+            return None;
+        }
+        Some(cd)
+    }
+
     /// Current counter values.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -151,10 +328,12 @@ impl DesignCache {
             misses: self.misses.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
+            compiled_hits: self.compiled_hits.load(Ordering::Relaxed),
+            compiled_misses: self.compiled_misses.load(Ordering::Relaxed),
         }
     }
 
-    fn miss(&self) -> Option<Design> {
+    fn miss<T>(&self) -> Option<T> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
@@ -297,6 +476,124 @@ mod tests {
         fs::write(&object, &bytes).unwrap();
         assert!(cache.get(b"src").is_none());
         assert_eq!(cache.stats().quarantined, 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compiled_warm_hit_matches_fresh_compile() {
+        let (dir, cache) = temp_cache("compiled-hit");
+        let (design, _) = DesignGenerator::new(14).build();
+        let cd = CompiledDesign::compile(&design);
+        let key = cache.put_with_compiled(b"src", &design, &cd).unwrap();
+        assert!(dir.join("compiled").join(key.to_hex()).exists());
+        let (back, warm) = cache.get_with_compiled(b"src").unwrap();
+        assert_eq!(back, design);
+        assert_eq!(warm.as_ref(), Some(&cd), "warm view differs from fresh compile");
+        let stats = cache.stats();
+        assert_eq!((stats.compiled_hits, stats.compiled_misses), (1, 0));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_compiled_entry_degrades_to_a_design_hit() {
+        let (dir, cache) = temp_cache("compiled-corrupt");
+        let (design, _) = DesignGenerator::new(15).build();
+        let cd = CompiledDesign::compile(&design);
+        let key = cache.put_with_compiled(b"src", &design, &cd).unwrap();
+        let path = dir.join("compiled").join(key.to_hex());
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+
+        let (back, warm) = cache.get_with_compiled(b"src").unwrap();
+        assert_eq!(back, design, "design hit must survive compiled damage");
+        assert!(warm.is_none(), "damaged compiled entry served");
+        assert!(!path.exists(), "damaged compiled entry not quarantined");
+        let stats = cache.stats();
+        assert_eq!(stats.compiled_misses, 1);
+        assert_eq!(stats.quarantined, 1);
+
+        // Re-put repopulates the accelerator slot.
+        cache.put_with_compiled(b"src", &design, &cd).unwrap();
+        let (_, warm) = cache.get_with_compiled(b"src").unwrap();
+        assert_eq!(warm, Some(cd));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn misfiled_compiled_entry_is_refused_by_the_key_cross_check() {
+        // A frame that checksums and decodes fine, but was compiled
+        // from a *different* design (a botched manual copy between
+        // slots). The embedded-key cross-check must refuse it.
+        let (dir, cache) = temp_cache("compiled-misfiled");
+        let (design, _) = DesignGenerator::new(16).build();
+        let (other, _) = DesignGenerator::new(17).build();
+        let cd = CompiledDesign::compile(&design);
+        let other_cd = CompiledDesign::compile(&other);
+        let key = cache.put_with_compiled(b"src", &design, &cd).unwrap();
+        let other_key = ContentKey::of(&encode_design(&other));
+        let forged = encode_compiled(&other_key, &other_cd).unwrap();
+        fs::write(
+            dir.join("compiled").join(key.to_hex()),
+            atomic_io::frame(&COMPILED_MAGIC, CACHE_VERSION, &forged),
+        )
+        .unwrap();
+        let (_, warm) = cache.get_with_compiled(b"src").unwrap();
+        assert!(warm.is_none(), "misfiled compiled entry served");
+        assert_eq!(cache.stats().quarantined, 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn get_compiled_by_key_skips_the_design_object_entirely() {
+        let (dir, cache) = temp_cache("compiled-by-key");
+        let (design, _) = DesignGenerator::new(19).build();
+        let cd = CompiledDesign::compile(&design);
+        let key = cache.put_with_compiled(b"src", &design, &cd).unwrap();
+
+        // The hit equals a fresh compile without touching the design
+        // object — even after the design object is destroyed.
+        fs::remove_file(dir.join("objects").join(key.to_hex())).unwrap();
+        assert_eq!(cache.get_compiled_by_key(&key).unwrap(), cd);
+        assert!(cache.get_compiled_by_key(&ContentKey::of(b"unknown")).is_none());
+
+        // Damage is quarantined, not served.
+        let path = dir.join("compiled").join(key.to_hex());
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.get_compiled_by_key(&key).is_none());
+        assert!(!path.exists(), "damaged compiled entry not quarantined");
+
+        // A well-formed entry filed under the wrong key is refused by
+        // the embedded-key binding.
+        let (other, _) = DesignGenerator::new(20).build();
+        let other_cd = CompiledDesign::compile(&other);
+        let other_key = ContentKey::of(&encode_design(&other));
+        let forged = encode_compiled(&other_key, &other_cd).unwrap();
+        fs::write(&path, atomic_io::frame(&COMPILED_MAGIC, CACHE_VERSION, &forged)).unwrap();
+        assert!(cache.get_compiled_by_key(&key).is_none());
+        assert!(!path.exists(), "misfiled compiled entry not quarantined");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn get_by_key_serves_and_verifies_the_object_directly() {
+        let (dir, cache) = temp_cache("by-key");
+        let (design, _) = DesignGenerator::new(18).build();
+        let key = cache.put(b"src", &design).unwrap();
+        assert_eq!(cache.get_by_key(&key).unwrap(), design);
+        assert!(cache.get_by_key(&ContentKey::of(b"unknown")).is_none());
+
+        let object = dir.join("objects").join(key.to_hex());
+        let mut bytes = fs::read(&object).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&object, &bytes).unwrap();
+        assert!(cache.get_by_key(&key).is_none(), "corrupt object served");
+        assert!(!object.exists(), "corrupt object not quarantined");
         let _ = fs::remove_dir_all(dir);
     }
 

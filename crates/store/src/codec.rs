@@ -1,5 +1,6 @@
 //! Bounds-checked little-endian payload codec shared by the canonical
-//! design encoding and the journal record payloads.
+//! design encoding, the compiled-design encoding, the journal record
+//! payloads, and (downstream) the `slif-formats` wire encodings.
 //!
 //! The decoder never trusts a decoded count: callers loop-and-push
 //! rather than pre-allocating from untrusted lengths, and [`Dec::take`]
@@ -10,28 +11,36 @@ use slif_core::atomic_io::{le_u32, le_u64};
 
 /// Little-endian payload writer.
 #[derive(Debug, Default)]
-pub(crate) struct Enc {
-    pub(crate) buf: Vec<u8>,
+pub struct Enc {
+    /// The bytes written so far. Public so composite encoders can
+    /// splice finished sub-payloads together.
+    pub buf: Vec<u8>,
 }
 
 impl Enc {
-    pub(crate) fn u8(&mut self, v: u8) {
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    pub(crate) fn u16(&mut self, v: u16) {
+    /// Appends a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    pub(crate) fn u32(&mut self, v: u32) {
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    pub(crate) fn u64(&mut self, v: u64) {
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    pub(crate) fn f64(&mut self, v: f64) {
+    /// Appends an `f64` as its raw IEEE-754 bits (exact round trip, no
+    /// decimal detour).
+    pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
-    /// A length-prefixed byte string.
-    pub(crate) fn bytes(&mut self, v: &[u8]) {
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
         self.u32(v.len() as u32);
         self.buf.extend_from_slice(v);
     }
@@ -39,17 +48,20 @@ impl Enc {
 
 /// Bounds-checked little-endian payload reader.
 #[derive(Debug)]
-pub(crate) struct Dec<'a> {
+pub struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// Starts reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    pub(crate) fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+    /// Takes the next `n` raw bytes, or a typed
+    /// [`StoreError::Corrupt`] naming `context` if fewer remain.
+    pub fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
         let end = self
             .pos
             .checked_add(n)
@@ -62,35 +74,76 @@ impl<'a> Dec<'a> {
         Ok(s)
     }
 
-    pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] naming `context` on exhausted input.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
         Ok(self.take(1, context)?[0])
     }
 
-    pub(crate) fn u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] naming `context` on exhausted input.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, StoreError> {
         let b = self.take(2, context)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] naming `context` on exhausted input.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
         Ok(le_u32(self.take(4, context)?))
     }
 
-    pub(crate) fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] naming `context` on exhausted input.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
         Ok(le_u64(self.take(8, context)?))
     }
 
-    pub(crate) fn f64(&mut self, context: &'static str) -> Result<f64, StoreError> {
+    /// Reads an `f64` from its raw IEEE-754 bits.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] naming `context` on exhausted input.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, StoreError> {
         Ok(f64::from_bits(self.u64(context)?))
     }
 
-    /// A length-prefixed byte string; the length is bounds-checked
-    /// against the remaining buffer before any allocation.
-    pub(crate) fn bytes(&mut self, context: &'static str) -> Result<&'a [u8], StoreError> {
+    /// Reads a length-prefixed byte string; the length is
+    /// bounds-checked against the remaining buffer before any
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] naming `context` on exhausted input.
+    pub fn bytes(&mut self, context: &'static str) -> Result<&'a [u8], StoreError> {
         let len = self.u32(context)? as usize;
         self.take(len, context)
     }
 
-    pub(crate) fn finish(self) -> Result<(), StoreError> {
+    /// Bytes not yet consumed — the hostile-safe ceiling for any
+    /// pre-allocation driven by a decoded count.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Requires the input to be fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if trailing bytes remain.
+    pub fn finish(self) -> Result<(), StoreError> {
         if self.pos != self.buf.len() {
             return Err(StoreError::Corrupt {
                 context: "trailing bytes",

@@ -1,0 +1,595 @@
+//! Binary encoding for [`CompiledDesign`] — the cache entry that lets a
+//! warm hit skip *compilation*, not just parsing.
+//!
+//! The canonical [`Design`](slif_core::Design) encoding already spares
+//! repeat traffic the parse and frontend build; this encoding spares it
+//! the [`CompiledDesign::compile`] pass too, by persisting the compiled
+//! view's raw slabs (CSR adjacency, channel/component slabs, dense
+//! weight tables) via [`CompiledDesign::to_parts`].
+//!
+//! Safety model: the payload embeds the content key of the design it
+//! was compiled from, so a cache can cross-check the entry against the
+//! design object it claims to accelerate; decoding is strict
+//! (bounds-checked, trailing bytes rejected); and reassembly goes
+//! through [`CompiledDesign::try_from_parts`], which re-audits every
+//! structural invariant. Anything that fails any of those checks is a
+//! typed [`StoreError`] the cache converts into a quarantined miss —
+//! the caller recompiles from the verified design, so a damaged entry
+//! can cost time but never a wrong answer.
+
+use crate::codec::{Dec, Enc};
+use crate::error::StoreError;
+use crate::sha256::ContentKey;
+use slif_core::atomic_io::{le_u32, le_u64};
+use slif_core::{
+    AccessFreq, AccessKind, AccessTarget, ChannelId, ClassId, ClassKind, CompiledDesign,
+    CompiledParts, ConcurrencyTag, CoreError, NodeId, NodeKind, PortId,
+};
+
+/// The compiled encoding's own version byte (bumped on any layout
+/// change; the cache's frame carries a second, container-level
+/// version).
+pub const COMPILED_VERSION: u8 = 1;
+
+fn opt_u64(e: &mut Enc, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            e.u8(1);
+            e.u64(x);
+        }
+        None => e.u8(0),
+    }
+}
+
+fn dec_opt_u64(d: &mut Dec<'_>, context: &'static str) -> Result<Option<u64>, StoreError> {
+    match d.u8(context)? {
+        0 => Ok(None),
+        1 => Ok(Some(d.u64(context)?)),
+        _ => Err(StoreError::Corrupt { context }),
+    }
+}
+
+/// Encodes a compiled design (with the content key of the design it was
+/// compiled from) to cacheable bytes.
+///
+/// Returns `None` for the rare compiled view this encoding cannot
+/// represent: a stored bottom-up traversal error other than the
+/// recursion cycle [`CompiledDesign::compile`] can actually produce.
+/// Callers simply skip caching such a view.
+pub fn encode_compiled(design_key: &ContentKey, cd: &CompiledDesign) -> Option<Vec<u8>> {
+    let p = cd.to_parts();
+    let bottom_up = match &p.bottom_up {
+        Ok(order) => Ok(order),
+        Err(CoreError::RecursiveAccess { node }) => Err(*node),
+        Err(_) => return None,
+    };
+    let mut e = Enc::default();
+    e.u8(COMPILED_VERSION);
+    e.buf.extend_from_slice(&design_key.0);
+    for count in [
+        p.node_count,
+        p.port_count,
+        p.channel_count,
+        p.class_count,
+        p.processor_count,
+        p.memory_count,
+        p.bus_count,
+    ] {
+        e.u64(count as u64);
+    }
+    for offsets in [&p.out_offsets, &p.in_offsets, &p.port_offsets] {
+        e.u32(offsets.len() as u32);
+        for &o in offsets {
+            e.u32(o);
+        }
+    }
+    for adj in [&p.out_adj, &p.in_adj, &p.port_adj] {
+        e.u32(adj.len() as u32);
+        for &c in adj {
+            e.u32(c.index() as u32);
+        }
+    }
+    for &n in &p.chan_src {
+        e.u32(n.index() as u32);
+    }
+    for &dst in &p.chan_dst {
+        match dst {
+            AccessTarget::Node(n) => {
+                e.u8(0);
+                e.u32(n.index() as u32);
+            }
+            AccessTarget::Port(q) => {
+                e.u8(1);
+                e.u32(q.index() as u32);
+            }
+        }
+    }
+    for &k in &p.chan_kind {
+        e.u8(match k {
+            AccessKind::Call => 0,
+            AccessKind::Read => 1,
+            AccessKind::Write => 2,
+            AccessKind::Message => 3,
+        });
+    }
+    for &b in &p.chan_bits {
+        e.u32(b);
+    }
+    for f in &p.chan_freq {
+        e.f64(f.avg);
+        e.u64(f.min);
+        e.u64(f.max);
+    }
+    for t in &p.chan_tag {
+        match t.id() {
+            None => e.u8(0),
+            Some(group) => {
+                e.u8(1);
+                e.u32(group);
+            }
+        }
+    }
+    for &k in &p.node_kind {
+        match k {
+            NodeKind::Behavior { process } => e.u8(u8::from(!process)),
+            NodeKind::Variable { words, word_bits } => {
+                e.u8(2);
+                e.u64(words);
+                e.u32(word_bits);
+            }
+        }
+    }
+    for name in &p.names {
+        e.bytes(name.as_bytes());
+    }
+    for &i in &p.name_order {
+        e.u32(i);
+    }
+    // The dense weight tables go as a presence bitmap followed by the
+    // populated values only — a tag byte per cell would cost 12% more
+    // space on full tables and a branch per cell on decode.
+    for table in [&p.ict, &p.size_val, &p.size_datapath] {
+        let mut bitmap = vec![0u8; table.len().div_ceil(8)];
+        for (i, cell) in table.iter().enumerate() {
+            if cell.is_some() {
+                bitmap[i / 8] |= 1 << (i % 8);
+            }
+        }
+        e.buf.extend_from_slice(&bitmap);
+        for &cell in table.iter().flatten() {
+            e.u64(cell);
+        }
+    }
+    for &k in &p.class_kind {
+        e.u8(match k {
+            ClassKind::StdProcessor => 0,
+            ClassKind::CustomHw => 1,
+            ClassKind::Memory => 2,
+        });
+    }
+    for &k in &p.pm_class {
+        e.u32(k.index() as u32);
+    }
+    for &s in &p.proc_size_constraint {
+        opt_u64(&mut e, s);
+    }
+    for &pins in &p.proc_pin_constraint {
+        match pins {
+            Some(x) => {
+                e.u8(1);
+                e.u32(x);
+            }
+            None => e.u8(0),
+        }
+    }
+    for &s in &p.mem_size_constraint {
+        opt_u64(&mut e, s);
+    }
+    for &w in &p.bus_bitwidth {
+        e.u32(w);
+    }
+    for &ts in &p.bus_ts {
+        e.u64(ts);
+    }
+    for &td in &p.bus_td {
+        e.u64(td);
+    }
+    for &cap in &p.bus_capacity {
+        match cap {
+            Some(x) => {
+                e.u8(1);
+                e.f64(x);
+            }
+            None => e.u8(0),
+        }
+    }
+    match bottom_up {
+        Ok(order) => {
+            e.u8(0);
+            e.u32(order.len() as u32);
+            for &n in order {
+                e.u32(n.index() as u32);
+            }
+        }
+        Err(node) => {
+            e.u8(1);
+            e.u32(node.index() as u32);
+        }
+    }
+    e.u32(p.process_nodes.len() as u32);
+    for &n in &p.process_nodes {
+        e.u32(n.index() as u32);
+    }
+    Some(e.buf)
+}
+
+/// Decodes cacheable bytes back into a compiled design plus the content
+/// key of the design it was compiled from. Strict: every count is
+/// bounds-checked, trailing bytes are rejected, and the reassembled
+/// parts are re-audited by [`CompiledDesign::try_from_parts`].
+///
+/// # Errors
+///
+/// A typed [`StoreError::Corrupt`] on any malformed input.
+pub fn decode_compiled(bytes: &[u8]) -> Result<(ContentKey, CompiledDesign), StoreError> {
+    let corrupt = |context: &'static str| StoreError::Corrupt { context };
+    let mut d = Dec::new(bytes);
+    if d.u8("compiled version")? != COMPILED_VERSION {
+        return Err(corrupt("compiled version"));
+    }
+    let mut key = [0u8; 32];
+    key.copy_from_slice(d.take(32, "compiled design key")?);
+    let design_key = ContentKey(key);
+
+    let mut counts = [0usize; 7];
+    for c in &mut counts {
+        *c = usize::try_from(d.u64("compiled count")?).map_err(|_| corrupt("compiled count"))?;
+    }
+    let [node_count, port_count, channel_count, class_count, processor_count, memory_count, bus_count] =
+        counts;
+
+    // Bulk slab reads: one bounds check (`take`) per slab, then a
+    // straight little-endian sweep — a decoded count is only trusted
+    // after the take it implies has succeeded, so a hostile length
+    // costs a typed error, not an allocation.
+    let read_u32s = |d: &mut Dec<'_>, context: &'static str| -> Result<Vec<u32>, StoreError> {
+        let n = d.u32(context)? as usize;
+        let raw = d.take(n.checked_mul(4).ok_or(corrupt(context))?, context)?;
+        Ok(raw.chunks_exact(4).map(le_u32).collect())
+    };
+    let out_offsets = read_u32s(&mut d, "out offsets")?;
+    let in_offsets = read_u32s(&mut d, "in offsets")?;
+    let port_offsets = read_u32s(&mut d, "port offsets")?;
+    let to_chan = |v: Vec<u32>| -> Vec<ChannelId> {
+        v.into_iter().map(ChannelId::from_raw).collect()
+    };
+    let out_adj = to_chan(read_u32s(&mut d, "out adjacency")?);
+    let in_adj = to_chan(read_u32s(&mut d, "in adjacency")?);
+    let port_adj = to_chan(read_u32s(&mut d, "port adjacency")?);
+
+    fn take_n<'a>(
+        d: &mut Dec<'a>,
+        count: usize,
+        each: usize,
+        context: &'static str,
+    ) -> Result<&'a [u8], StoreError> {
+        let total = count
+            .checked_mul(each)
+            .ok_or(StoreError::Corrupt { context })?;
+        d.take(total, context)
+    }
+    let chan_src: Vec<NodeId> = take_n(&mut d, channel_count, 4, "channel source")?
+        .chunks_exact(4)
+        .map(|c| NodeId::from_raw(le_u32(c)))
+        .collect();
+    let mut chan_dst = Vec::with_capacity(channel_count.min(d.remaining() / 5));
+    for _ in 0..channel_count {
+        let dst = match d.u8("channel dst tag")? {
+            0 => AccessTarget::Node(NodeId::from_raw(d.u32("channel dst")?)),
+            1 => AccessTarget::Port(PortId::from_raw(d.u32("channel dst")?)),
+            _ => return Err(corrupt("channel dst tag")),
+        };
+        chan_dst.push(dst);
+    }
+    let chan_kind = take_n(&mut d, channel_count, 1, "channel kind")?
+        .iter()
+        .map(|&b| match b {
+            0 => Ok(AccessKind::Call),
+            1 => Ok(AccessKind::Read),
+            2 => Ok(AccessKind::Write),
+            3 => Ok(AccessKind::Message),
+            _ => Err(corrupt("channel kind")),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let chan_bits: Vec<u32> = take_n(&mut d, channel_count, 4, "channel bits")?
+        .chunks_exact(4)
+        .map(le_u32)
+        .collect();
+    let chan_freq: Vec<AccessFreq> = take_n(&mut d, channel_count, 24, "channel freq")?
+        .chunks_exact(24)
+        .map(|c| {
+            AccessFreq::new(
+                f64::from_bits(le_u64(&c[0..8])),
+                le_u64(&c[8..16]),
+                le_u64(&c[16..24]),
+            )
+        })
+        .collect();
+    let mut chan_tag = Vec::with_capacity(channel_count.min(d.remaining()));
+    for _ in 0..channel_count {
+        chan_tag.push(match d.u8("channel tag")? {
+            0 => ConcurrencyTag::SEQUENTIAL,
+            1 => ConcurrencyTag::group(d.u32("channel tag group")?),
+            _ => return Err(corrupt("channel tag")),
+        });
+    }
+    let mut node_kind = Vec::with_capacity(node_count.min(d.remaining()));
+    for _ in 0..node_count {
+        node_kind.push(match d.u8("node kind")? {
+            0 => NodeKind::process(),
+            1 => NodeKind::procedure(),
+            2 => {
+                let words = d.u64("variable words")?;
+                let word_bits = d.u32("variable word bits")?;
+                NodeKind::array(words, word_bits)
+            }
+            _ => return Err(corrupt("node kind")),
+        });
+    }
+    let name_count = node_count.saturating_add(port_count);
+    let mut names = Vec::with_capacity(name_count.min(d.remaining() / 4));
+    for _ in 0..name_count {
+        let raw = d.bytes("compiled name")?;
+        names.push(
+            String::from_utf8(raw.to_vec()).map_err(|_| corrupt("compiled name utf-8"))?,
+        );
+    }
+    let raw = d.take(
+        names.len().checked_mul(4).ok_or(corrupt("name order"))?,
+        "name order",
+    )?;
+    let name_order: Vec<u32> = raw.chunks_exact(4).map(le_u32).collect();
+    let cells = node_count.saturating_mul(class_count);
+    let mut tables = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let bitmap = d.take(cells.div_ceil(8), "weight bitmap")?;
+        // Padding bits past `cells` must be zero: the encoding stays
+        // canonical (one byte stream per table) and a flipped pad bit
+        // is caught here rather than silently ignored.
+        if cells % 8 != 0 {
+            let last = bitmap[bitmap.len() - 1];
+            if last >> (cells % 8) != 0 {
+                return Err(corrupt("weight bitmap padding"));
+            }
+        }
+        let populated: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+        let raw = d.take(
+            populated.checked_mul(8).ok_or(corrupt("weight cells"))?,
+            "weight cells",
+        )?;
+        // The bitmap take above already bounds `cells` by the payload
+        // size, so this allocation cannot outrun the input.
+        let mut values = raw.chunks_exact(8).map(le_u64);
+        let mut t = Vec::with_capacity(cells);
+        for i in 0..cells {
+            let present = bitmap[i / 8] & (1 << (i % 8)) != 0;
+            t.push(if present { values.next() } else { None });
+        }
+        tables.push(t);
+    }
+    let size_datapath = tables.pop().unwrap_or_default();
+    let size_val = tables.pop().unwrap_or_default();
+    let ict = tables.pop().unwrap_or_default();
+
+    let mut class_kind = Vec::new();
+    for _ in 0..class_count {
+        class_kind.push(match d.u8("class kind")? {
+            0 => ClassKind::StdProcessor,
+            1 => ClassKind::CustomHw,
+            2 => ClassKind::Memory,
+            _ => return Err(corrupt("class kind")),
+        });
+    }
+    let mut pm_class = Vec::new();
+    for _ in 0..processor_count.saturating_add(memory_count) {
+        pm_class.push(ClassId::from_raw(d.u32("component class")?));
+    }
+    let mut proc_size_constraint = Vec::new();
+    for _ in 0..processor_count {
+        proc_size_constraint.push(dec_opt_u64(&mut d, "processor size constraint")?);
+    }
+    let mut proc_pin_constraint = Vec::new();
+    for _ in 0..processor_count {
+        proc_pin_constraint.push(match d.u8("processor pin constraint")? {
+            0 => None,
+            1 => Some(d.u32("processor pin constraint")?),
+            _ => return Err(corrupt("processor pin constraint")),
+        });
+    }
+    let mut mem_size_constraint = Vec::new();
+    for _ in 0..memory_count {
+        mem_size_constraint.push(dec_opt_u64(&mut d, "memory size constraint")?);
+    }
+    let mut bus_bitwidth = Vec::new();
+    for _ in 0..bus_count {
+        bus_bitwidth.push(d.u32("bus bitwidth")?);
+    }
+    let mut bus_ts = Vec::new();
+    for _ in 0..bus_count {
+        bus_ts.push(d.u64("bus ts")?);
+    }
+    let mut bus_td = Vec::new();
+    for _ in 0..bus_count {
+        bus_td.push(d.u64("bus td")?);
+    }
+    let mut bus_capacity = Vec::new();
+    for _ in 0..bus_count {
+        bus_capacity.push(match d.u8("bus capacity")? {
+            0 => None,
+            1 => Some(d.f64("bus capacity")?),
+            _ => return Err(corrupt("bus capacity")),
+        });
+    }
+    let read_node_ids = |d: &mut Dec<'_>, context: &'static str| -> Result<Vec<NodeId>, StoreError> {
+        let n = d.u32(context)? as usize;
+        let raw = d.take(n.checked_mul(4).ok_or(corrupt(context))?, context)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| NodeId::from_raw(le_u32(c)))
+            .collect())
+    };
+    let bottom_up = match d.u8("bottom-up tag")? {
+        0 => Ok(read_node_ids(&mut d, "bottom-up order")?),
+        1 => Err(CoreError::RecursiveAccess {
+            node: NodeId::from_raw(d.u32("bottom-up cycle node")?),
+        }),
+        _ => return Err(corrupt("bottom-up tag")),
+    };
+    let process_nodes = read_node_ids(&mut d, "process nodes")?;
+    d.finish()?;
+
+    let parts = CompiledParts {
+        node_count,
+        port_count,
+        channel_count,
+        class_count,
+        processor_count,
+        memory_count,
+        bus_count,
+        out_offsets,
+        out_adj,
+        in_offsets,
+        in_adj,
+        port_offsets,
+        port_adj,
+        chan_src,
+        chan_dst,
+        chan_kind,
+        chan_bits,
+        chan_freq,
+        chan_tag,
+        node_kind,
+        names,
+        name_order,
+        ict,
+        size_val,
+        size_datapath,
+        class_kind,
+        pm_class,
+        proc_size_constraint,
+        proc_pin_constraint,
+        mem_size_constraint,
+        bus_bitwidth,
+        bus_ts,
+        bus_td,
+        bus_capacity,
+        bottom_up,
+        process_nodes,
+    };
+    let cd = CompiledDesign::try_from_parts(parts)
+        .map_err(|_| corrupt("compiled parts invariant"))?;
+    Ok((design_key, cd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::encode_design;
+    use slif_core::gen::DesignGenerator;
+    use slif_core::Design;
+
+    fn compiled(seed: u64) -> (ContentKey, CompiledDesign) {
+        let (design, _) = DesignGenerator::new(seed)
+            .behaviors(10)
+            .variables(6)
+            .processors(2)
+            .memories(1)
+            .buses(2)
+            .build();
+        let key = ContentKey::of(&encode_design(&design));
+        (key, CompiledDesign::compile(&design))
+    }
+
+    #[test]
+    fn decode_encode_is_identity() {
+        for seed in [1u64, 2, 3, 40] {
+            let (key, cd) = compiled(seed);
+            let bytes = encode_compiled(&key, &cd).expect("encodable");
+            let (back_key, back) = decode_compiled(&bytes).expect("decodes");
+            assert_eq!(back_key, key, "seed {seed}");
+            assert_eq!(back, cd, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn recursive_designs_encode_their_stored_cycle() {
+        use slif_core::{AccessKind, ClassKind, NodeKind};
+        let mut d = Design::new("rec");
+        d.add_class("p", ClassKind::StdProcessor);
+        let a = d.graph_mut().add_node("A", NodeKind::process());
+        let b = d.graph_mut().add_node("B", NodeKind::procedure());
+        d.graph_mut()
+            .add_channel(a, b.into(), AccessKind::Call)
+            .unwrap();
+        d.graph_mut()
+            .add_channel(b, a.into(), AccessKind::Call)
+            .unwrap();
+        let cd = CompiledDesign::compile(&d);
+        let key = ContentKey::of(&encode_design(&d));
+        let bytes = encode_compiled(&key, &cd).expect("recursion is representable");
+        let (_, back) = decode_compiled(&bytes).expect("decodes");
+        assert_eq!(back, cd);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_not_panicking() {
+        let (key, cd) = compiled(7);
+        let bytes = encode_compiled(&key, &cd).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_compiled(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn random_mutations_never_panic_and_never_lie() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (key, cd) = compiled(9);
+        let bytes = encode_compiled(&key, &cd).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..400 {
+            let mut m = bytes.clone();
+            let flips = rng.gen_range(1usize..4);
+            for _ in 0..flips {
+                let pos = rng.gen_range(0usize..m.len());
+                let bit = rng.gen_range(0u32..8);
+                m[pos] ^= 1 << bit;
+            }
+            // Either a typed refusal, or a decode whose parts passed the
+            // full invariant audit; both are acceptable — a panic or a
+            // structurally broken view is not.
+            if let Ok((_, back)) = decode_compiled(&m) {
+                let _ = back.node_count();
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let (key, cd) = compiled(11);
+        let mut bytes = encode_compiled(&key, &cd).unwrap();
+        bytes.push(0);
+        assert!(decode_compiled(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let (key, cd) = compiled(12);
+        let mut bytes = encode_compiled(&key, &cd).unwrap();
+        bytes[0] = COMPILED_VERSION + 1;
+        assert!(decode_compiled(&bytes).is_err());
+    }
+}

@@ -37,13 +37,15 @@
 
 pub mod cache;
 pub mod canonical;
-mod codec;
+pub mod codec;
+pub mod compiled;
 mod error;
 pub mod journal;
 pub mod sha256;
 
 pub use cache::{CacheStats, DesignCache};
 pub use canonical::{decode_design, encode_design};
+pub use compiled::{decode_compiled, encode_compiled};
 pub use error::StoreError;
 pub use journal::{Journal, JobRecord, PendingJob, RecoveryReport};
 pub use sha256::ContentKey;

@@ -1,0 +1,152 @@
+//! Convert designs between the `.slif` text and `.slifb` binary
+//! interchange encodings — the command-line face of `slif-formats`.
+//!
+//! Two modes:
+//!
+//! * `cargo run --release --example slif_conv -- <input> <output>`
+//!   reads `<input>` (encoding auto-detected from its first bytes),
+//!   re-encodes it, and writes `<output>` — `.slifb` suffix selects
+//!   binary, anything else selects text. Pass `--lenient` to salvage
+//!   around damaged records instead of refusing; the salvage is still
+//!   audited, and deny-level findings fail the run.
+//!
+//! * `cargo run --release --example slif_conv` (no files; the CI mode
+//!   `scripts/verify.sh` uses) drives every corpus spec through the
+//!   full text → binary → text chain and requires the final text to be
+//!   byte-identical to the first — the converter proves on every
+//!   verify run that neither encoding drops a bit.
+//!
+//! Diagnostics go to stderr; the process exits nonzero on any
+//! deny-level finding or round-trip mismatch, so it can gate CI.
+
+use slif::formats::wirefmt::{
+    detect_encoding, read_bytes, write_bytes, Encoding, FormatLimits, ReadOutcome, Strictness,
+};
+use slif::frontend::{all_software_partition, allocate_proc_asic, build_design};
+use slif::speclang::corpus;
+use slif::techlib::TechnologyLibrary;
+
+/// Read one byte buffer, reporting every diagnostic to stderr, and
+/// count the deny-level ones toward the exit status.
+fn audited_read(
+    label: &str,
+    bytes: &[u8],
+    strictness: Strictness,
+    limits: &FormatLimits,
+    denials: &mut usize,
+) -> Result<ReadOutcome, Box<dyn std::error::Error>> {
+    let out = read_bytes(bytes, strictness, limits)
+        .map_err(|e| format!("{label}: refused: {e}"))?;
+    for diag in &out.diagnostics {
+        eprintln!("{label}: {diag}");
+    }
+    if out.has_denials() {
+        *denials += 1;
+    }
+    Ok(out)
+}
+
+/// File mode: convert `input` to `output`, choosing the output encoding
+/// from the destination's suffix.
+fn convert_file(
+    input: &str,
+    output: &str,
+    strictness: Strictness,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let limits = FormatLimits::default();
+    let bytes = std::fs::read(input)?;
+    let from = detect_encoding(&bytes)
+        .ok_or_else(|| format!("{input}: not a SLIF interchange file (unknown magic)"))?;
+    let to = if output.ends_with(".slifb") {
+        Encoding::Binary
+    } else {
+        Encoding::Text
+    };
+    let mut denials = 0usize;
+    let out = audited_read(input, &bytes, strictness, &limits, &mut denials)?;
+    let rendered = write_bytes(&out.design, out.partition.as_ref(), to)?;
+    std::fs::write(output, &rendered)?;
+    println!(
+        "{input} ({from}, {} bytes{}) -> {output} ({to}, {} bytes)",
+        bytes.len(),
+        if out.verified { ", verified" } else { ", UNVERIFIED" },
+        rendered.len()
+    );
+    if denials > 0 {
+        eprintln!("{denials} deny-level finding(s); failing");
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// Corpus smoke: every shipped spec survives text → binary → text with
+/// the final text byte-identical to the first.
+fn corpus_smoke() -> Result<(), Box<dyn std::error::Error>> {
+    let limits = FormatLimits::default();
+    let mut denials = 0usize;
+    let mut mismatches = 0usize;
+    for entry in corpus::all() {
+        let rs = entry.load()?;
+        let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+        let arch = allocate_proc_asic(&mut design);
+        let partition = all_software_partition(&design, arch);
+
+        let text = write_bytes(&design, Some(&partition), Encoding::Text)?;
+        let from_text = audited_read(entry.name, &text, Strictness::Strict, &limits, &mut denials)?;
+        let binary = write_bytes(
+            &from_text.design,
+            from_text.partition.as_ref(),
+            Encoding::Binary,
+        )?;
+        let from_binary =
+            audited_read(entry.name, &binary, Strictness::Strict, &limits, &mut denials)?;
+        let text_again = write_bytes(
+            &from_binary.design,
+            from_binary.partition.as_ref(),
+            Encoding::Text,
+        )?;
+        let stable = text_again == text;
+        if !stable {
+            mismatches += 1;
+            eprintln!("{}: text -> binary -> text changed the bytes", entry.name);
+        }
+        println!(
+            "{:10} text {:6} B -> binary {:6} B -> text {:6} B  {}",
+            entry.name,
+            text.len(),
+            binary.len(),
+            text_again.len(),
+            if stable && from_binary.verified {
+                "byte-stable, verified"
+            } else {
+                "BROKEN"
+            }
+        );
+    }
+    if denials > 0 || mismatches > 0 {
+        eprintln!("{denials} denial(s), {mismatches} mismatch(es); failing");
+        std::process::exit(1);
+    }
+    println!("\ncorpus converts clean in both directions");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut files = Vec::new();
+    let mut strictness = Strictness::Strict;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--lenient" => strictness = Strictness::Lenient,
+            "--strict" => strictness = Strictness::Strict,
+            _ => files.push(arg),
+        }
+    }
+    match files.as_slice() {
+        [] => corpus_smoke(),
+        [input, output] => convert_file(input, output, strictness),
+        _ => {
+            eprintln!("usage: slif_conv [--lenient] [<input> <output>]");
+            std::process::exit(2);
+        }
+    }
+}

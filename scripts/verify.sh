@@ -56,7 +56,18 @@
 #    ~120 and ~1200 nodes — asserting every edit stays clean on the
 #    patch tier — and rewrites BENCH_edit.json so the committed speedup
 #    record always matches the code being verified.
-# 11. Lint gate: clippy with warnings denied (the workspace sweep covers
+# 11. Interchange-format gate: the format fault soak (tests/format_soak.rs,
+#    also in step 1) drives ≥500 corrupted/truncated/hostile-cap inputs
+#    through the strict parser and POST /designs — zero panics, zero
+#    wrong answers, every rejection typed. The slif_conv example then
+#    proves every corpus spec survives text → binary → text with the
+#    final text byte-identical to the first, and the pr9_wirefmt bench
+#    re-measures interchange write/parse throughput at 1k/10k/100k nodes
+#    plus the compiled-cache ladder — asserting the warm CompiledDesign
+#    hit beats both the cold parse+compile path and the PR 7 design-only
+#    cache — and rewrites BENCH_wirefmt.json so the committed record
+#    matches the code.
+# 12. Lint gate: clippy with warnings denied (the workspace sweep covers
 #    crates/analyze like every other crate), plus `unwrap_used` on
 #    non-test code (without --all-targets, #[cfg(test)] code is not
 #    linted, which is exactly the carve-out we want: tests may unwrap,
@@ -68,7 +79,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+# --workspace: a bare root build covers only the facade package, which
+# can leave member binaries (notably the slif-serve the restart_smoke
+# step spawns from target/release/) stale.
+cargo build --release --workspace
 cargo test -q
 cargo test -q --test fault_injection
 cargo test -q --test runtime_soak
@@ -83,4 +97,7 @@ cargo run --release --quiet -p slif-serve --bin restart_smoke
 cargo run --release --quiet -p slif-bench --bin pr7_store BENCH_store.json
 cargo run --release --quiet --example edit_session
 cargo run --release --quiet -p slif-bench --bin pr8_edit
+cargo test -q --test format_soak
+cargo run --release --quiet --example slif_conv
+cargo run --release --quiet -p slif-bench --bin pr9_wirefmt
 cargo clippy --workspace -- -D warnings -W clippy::unwrap_used

@@ -1,0 +1,211 @@
+//! The interchange-format fault soak (PR 9 acceptance): ≥500 corrupted,
+//! truncated, or hostile-cap inputs through the strict parser AND
+//! `POST /designs`, with zero panics, zero wrong answers (every
+//! accepted design bit-identical to its uncorrupted oracle), and every
+//! rejection a typed [`FormatError`] or a distinct wire status.
+
+use slif::core::faults::FaultInjector;
+use slif::core::gen::DesignGenerator;
+use slif::core::{Design, Partition};
+use slif::formats::wirefmt::{read_bytes, write_bytes, Encoding, FormatLimits, Strictness};
+use slif::serve::http::read_response;
+use slif::serve::server::{Server, ServerConfig};
+use slif::store::{encode_design, ContentKey};
+use slif_runtime::ServiceConfig;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A small corpus of oracle designs with varied shapes, each rendered
+/// in both encodings.
+fn oracle_corpus() -> Vec<(Design, Option<Partition>, Encoding, Vec<u8>)> {
+    let mut corpus = Vec::new();
+    for seed in [3u64, 17, 40] {
+        let (design, partition) = DesignGenerator::new(seed)
+            .behaviors(6 + seed as usize % 5)
+            .variables(4)
+            .ports(3)
+            .processors(2)
+            .memories(1)
+            .buses(1)
+            .build();
+        for encoding in [Encoding::Text, Encoding::Binary] {
+            let bytes = write_bytes(&design, Some(&partition), encoding).unwrap();
+            corpus.push((design.clone(), Some(partition.clone()), encoding, bytes));
+        }
+    }
+    corpus
+}
+
+/// The parser half: every faulted input is parsed strictly and
+/// leniently; acceptance in either mode with `verified` set must be
+/// bit-identical to the oracle, and every refusal is a typed error.
+#[test]
+fn faulted_inputs_never_panic_or_yield_a_wrong_answer() {
+    let corpus = oracle_corpus();
+    let limits = FormatLimits::default();
+    let mut injector = FaultInjector::new(20260807);
+    const INPUTS: usize = 600;
+    let plan = injector.plan_format_faults(INPUTS, 0.85);
+    let mut accepted = 0usize;
+    let mut refused: BTreeMap<String, usize> = BTreeMap::new();
+    let mut salvaged = 0usize;
+    for (i, slot) in plan.iter().enumerate() {
+        let (design, partition, _, clean) = &corpus[i % corpus.len()];
+        let mut bytes = clean.clone();
+        let damage = match slot {
+            Some(kind) => injector.corrupt_wire_bytes(&mut bytes, *kind),
+            None => "clean".to_owned(),
+        };
+        // Strict: accepted ⇒ identical to the oracle, bit for bit.
+        match read_bytes(&bytes, Strictness::Strict, &limits) {
+            Ok(out) => {
+                accepted += 1;
+                assert!(out.verified, "input {i} ({damage}): strict accept unverified");
+                assert_eq!(
+                    encode_design(&out.design),
+                    encode_design(design),
+                    "input {i} ({damage}): accepted design differs from oracle"
+                );
+                assert_eq!(
+                    &out.partition, partition,
+                    "input {i} ({damage}): accepted partition differs"
+                );
+            }
+            Err(e) => {
+                // The refusal is typed: its variant renders a stable
+                // diagnostic. Group by variant for the mix audit below.
+                let variant = format!("{e:?}");
+                let variant = variant.split([' ', '(', '{']).next().unwrap().to_owned();
+                *refused.entry(variant).or_insert(0) += 1;
+            }
+        }
+        // Lenient: never panics; whatever it salvages is only called
+        // verified when it IS the oracle.
+        if let Ok(out) = read_bytes(&bytes, Strictness::Lenient, &limits) {
+            salvaged += 1;
+            assert!(
+                out.peak_alloc_bytes <= limits.max_segment_bytes + (1 << 20),
+                "input {i} ({damage}): parser peak {} escaped the segment bound",
+                out.peak_alloc_bytes
+            );
+            if out.verified {
+                assert_eq!(
+                    encode_design(&out.design),
+                    encode_design(design),
+                    "input {i} ({damage}): verified salvage differs from oracle"
+                );
+            }
+        }
+    }
+    // Mix audit: the plan really exercised both sides.
+    assert!(accepted >= 50, "only {accepted} accepted of {INPUTS}");
+    let total_refused: usize = refused.values().sum();
+    assert!(
+        total_refused >= 300,
+        "only {total_refused} refused of {INPUTS}: {refused:?}"
+    );
+    assert!(
+        refused.len() >= 3,
+        "refusals collapsed into too few variants: {refused:?}"
+    );
+    assert!(salvaged > 0, "lenient mode never salvaged anything");
+}
+
+fn post_design(addr: std::net::SocketAddr, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut raw = format!("POST /designs HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len())
+        .into_bytes();
+    raw.extend_from_slice(body);
+    s.write_all(&raw).unwrap();
+    let (status, _, body) = read_response(&mut s).unwrap();
+    (status, body)
+}
+
+fn get_design(addr: std::net::SocketAddr, hash: &str) -> (u16, Vec<u8>) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(format!("GET /designs/{hash} HTTP/1.1\r\n\r\n").as_bytes())
+        .unwrap();
+    let (status, _, body) = read_response(&mut s).unwrap();
+    (status, body)
+}
+
+/// The wire half: the same fault families hit `POST /designs` on a live
+/// durable server. The server must answer every request with a distinct
+/// wire status (201 stored / 422 refused / 413 oversized), never panic,
+/// and never store a design that differs from the uncorrupted oracle.
+#[test]
+fn design_endpoint_survives_the_format_fault_soak() {
+    let dir = std::env::temp_dir().join(format!("slif-format-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::bind(
+        ServerConfig::new()
+            .with_conn_workers(2)
+            .with_io_timeouts(Duration::from_secs(2), Duration::from_secs(2))
+            .with_runtime(ServiceConfig::new().with_workers(2))
+            .with_store_dir(&dir),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let corpus = oracle_corpus();
+    let mut injector = FaultInjector::new(40951995);
+    const INPUTS: usize = 520;
+    let plan = injector.plan_format_faults(INPUTS, 0.8);
+    let mut stored = 0usize;
+    let mut statuses: BTreeMap<u16, usize> = BTreeMap::new();
+    for (i, slot) in plan.iter().enumerate() {
+        let (design, _, _, clean) = &corpus[i % corpus.len()];
+        let mut bytes = clean.clone();
+        let damage = match slot {
+            Some(kind) => injector.corrupt_wire_bytes(&mut bytes, *kind),
+            None => "clean".to_owned(),
+        };
+        // Hostile-size text faults can outgrow the HTTP body cap; that
+        // refusal (413, by declaration) is part of the taxonomy.
+        let (status, body) = post_design(addr, &bytes);
+        *statuses.entry(status).or_insert(0) += 1;
+        let text = String::from_utf8_lossy(&body).into_owned();
+        assert!(
+            matches!(status, 201 | 413 | 422),
+            "input {i} ({damage}): unexpected status {status}: {text}"
+        );
+        assert!(!body.is_empty(), "input {i}: empty response body");
+        if status == 201 {
+            stored += 1;
+            // Zero wrong answers: the stored hash IS the oracle's hash.
+            let oracle_hex = ContentKey::of(&encode_design(design)).to_hex();
+            let hash = text
+                .lines()
+                .find_map(|l| l.strip_prefix("design "))
+                .unwrap_or_else(|| panic!("input {i}: no hash in {text}"));
+            assert_eq!(
+                hash, oracle_hex,
+                "input {i} ({damage}): stored design differs from oracle"
+            );
+        }
+    }
+    // Mix audit: acceptances and refusals both happened, with the
+    // refusals on their own statuses.
+    assert!(stored >= 50, "only {stored} stored of {INPUTS}: {statuses:?}");
+    assert!(
+        statuses.get(&422).copied().unwrap_or(0) >= 200,
+        "format refusals missing: {statuses:?}"
+    );
+    // One stored design round-trips back out bit-compatibly.
+    let (design, _, _, clean) = &corpus[0];
+    let (status, body) = post_design(addr, clean);
+    assert_eq!(status, 201);
+    let hash = String::from_utf8_lossy(&body)
+        .lines()
+        .find_map(|l| l.strip_prefix("design ").map(str::to_owned))
+        .unwrap();
+    let (status, exported) = get_design(addr, &hash);
+    assert_eq!(status, 200);
+    let out = read_bytes(&exported, Strictness::Strict, &FormatLimits::default()).unwrap();
+    assert_eq!(encode_design(&out.design), encode_design(design));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
