@@ -1,10 +1,13 @@
 //! The analyzer driver: compiles (or borrows) the design view, runs
 //! every pass in lint order, and aggregates the findings.
 
+use crate::dataflow::AnalysisError;
+use crate::flowdrive;
 use crate::lint::{AnalysisConfig, LintId, LintLevel};
 use crate::report::{AnalysisReport, Finding};
 use crate::{annotation, bitwidth, cycle, race, reach};
 use slif_core::{ChannelId, CompiledDesign, Design, NodeId, Partition};
+use slif_speclang::{FlowProgram, Suppressions};
 
 // `SourceMap` moved to `slif-speclang` (spans originate there); this
 // re-export keeps the historical `slif_analyze::SourceMap` path working.
@@ -20,10 +23,13 @@ pub(crate) struct Ctx<'a> {
     pub config: &'a AnalysisConfig,
 }
 
-/// Where passes put findings. Applies the configured level: `Allow`ed
-/// findings are counted, not kept.
+/// Where passes put findings. Applies the configured level (`Allow`ed
+/// findings are counted, not kept) and, when the caller supplied the
+/// spec's `@allow` suppressions, drops findings whose anchor node's name
+/// carries a matching suppression.
 pub(crate) struct Sink<'a> {
     config: &'a AnalysisConfig,
+    suppressions: Option<(&'a Suppressions, &'a CompiledDesign)>,
     findings: Vec<Finding>,
     suppressed: usize,
 }
@@ -32,13 +38,39 @@ impl<'a> Sink<'a> {
     pub(crate) fn new(config: &'a AnalysisConfig) -> Self {
         Self {
             config,
+            suppressions: None,
             findings: Vec::new(),
             suppressed: 0,
         }
     }
 
+    pub(crate) fn with_suppressions(
+        config: &'a AnalysisConfig,
+        suppressions: &'a Suppressions,
+        cd: &'a CompiledDesign,
+    ) -> Self {
+        let mut s = Self::new(config);
+        if !suppressions.is_empty() {
+            s.suppressions = Some((suppressions, cd));
+        }
+        s
+    }
+
     pub(crate) fn into_parts(self) -> (Vec<Finding>, usize) {
         (self.findings, self.suppressed)
+    }
+
+    /// Whether an in-spec `@allow` covers this finding: the anchor node
+    /// is a variable or behavior whose declaration allows the code.
+    fn spec_allows(&self, lint: LintId, node: Option<NodeId>) -> bool {
+        let (Some((sup, cd)), Some(n)) = (self.suppressions, node) else {
+            return false;
+        };
+        if n.index() >= cd.node_count() {
+            return false;
+        }
+        let name = cd.node_name(n);
+        sup.var_allows(name, lint.code()) || sup.behavior_allows(name, lint.code())
     }
 
     pub(crate) fn emit(
@@ -48,6 +80,10 @@ impl<'a> Sink<'a> {
         channel: Option<ChannelId>,
         message: String,
     ) {
+        if self.spec_allows(lint, node) {
+            self.suppressed += 1;
+            return;
+        }
         match self.config.effective_level(lint) {
             LintLevel::Allow => self.suppressed += 1,
             level => self.findings.push(Finding {
@@ -85,7 +121,7 @@ pub fn analyze_compiled(
     partition: Option<&Partition>,
     config: &AnalysisConfig,
 ) -> AnalysisReport {
-    analyze_inner(cd, partition, config, None)
+    analyze_inner(cd, partition, config, None, None)
 }
 
 /// [`analyze`] plus span attachment: findings anchored to a node whose
@@ -97,7 +133,7 @@ pub fn analyze_with_sources(
     sources: &SourceMap,
 ) -> AnalysisReport {
     let cd = CompiledDesign::compile(design);
-    analyze_inner(&cd, partition, config, Some(sources))
+    analyze_inner(&cd, partition, config, Some(sources), None)
 }
 
 /// [`analyze_compiled`] plus span attachment, for callers that already
@@ -109,7 +145,35 @@ pub fn analyze_compiled_with_sources(
     config: &AnalysisConfig,
     sources: &SourceMap,
 ) -> AnalysisReport {
-    analyze_inner(cd, partition, config, Some(sources))
+    analyze_inner(cd, partition, config, Some(sources), None)
+}
+
+/// The full flow-sensitive analysis: everything [`analyze_compiled`]
+/// runs, plus the dataflow lints (`A006`–`A009`) solved over `flow` —
+/// the behavior-level flow program lowered from the same specification
+/// the design was compiled from — and with the spec's `@allow`
+/// suppressions honored. Pass `sources` to attach spans to
+/// design-node-anchored findings; flow findings carry their statement
+/// spans regardless.
+pub fn analyze_compiled_with_flow(
+    cd: &CompiledDesign,
+    partition: Option<&Partition>,
+    config: &AnalysisConfig,
+    flow: &FlowProgram,
+    sources: Option<&SourceMap>,
+) -> AnalysisReport {
+    analyze_inner(cd, partition, config, sources, Some(flow))
+}
+
+/// Verifies every behavior's dataflow fixpoints converge within the
+/// configured visit cap ([`AnalysisConfig::max_fixpoint_visits`]).
+///
+/// The analysis itself is total — a behavior that blows the cap simply
+/// degrades to ⊤ and reports nothing — so this is the *typed* surface
+/// for callers that want the refusal as an error instead:
+/// [`AnalysisError::WideningCapExceeded`] names the behavior and cap.
+pub fn check_flow_bounded(flow: &FlowProgram, config: &AnalysisConfig) -> Result<(), AnalysisError> {
+    flowdrive::check_bounded(flow, config.max_fixpoint_visits)
 }
 
 /// Drops a partition whose slot shape does not match the compiled view
@@ -141,6 +205,7 @@ fn analyze_inner(
     partition: Option<&Partition>,
     config: &AnalysisConfig,
     sources: Option<&SourceMap>,
+    flow: Option<&FlowProgram>,
 ) -> AnalysisReport {
     let partition = shape_checked(cd, partition);
     let ctx = Ctx {
@@ -148,14 +213,35 @@ fn analyze_inner(
         partition,
         config,
     };
-    let mut sink = Sink::new(config);
+    let new_sink = || match flow {
+        Some(f) => Sink::with_suppressions(config, &f.suppressions, cd),
+        None => Sink::new(config),
+    };
+    let mut sink = new_sink();
     race::run(&ctx, &mut sink);
     reach::run(&ctx, &mut sink);
     cycle::run(&ctx, &mut sink);
     bitwidth::run(&ctx, &mut sink);
     annotation::run(&ctx, &mut sink);
+    let (mut findings, mut suppressed) = sink.into_parts();
 
-    let (mut findings, suppressed) = sink.into_parts();
+    if let Some(f) = flow {
+        for (pass_findings, pass_suppressed) in flowdrive::run_flow_passes(f, config, None).passes
+        {
+            findings.extend(pass_findings);
+            suppressed += pass_suppressed;
+        }
+    }
+
+    // A010 closes the pass sequence so memoized and unmemoized runs
+    // order findings identically. It reads only the CSR (frequencies),
+    // so it runs with or without a flow program.
+    let mut tail = new_sink();
+    race::run_unproven(&ctx, &mut tail);
+    let (tail_findings, tail_suppressed) = tail.into_parts();
+    findings.extend(tail_findings);
+    suppressed += tail_suppressed;
+
     if let Some(map) = sources {
         attach_spans(cd, map, &mut findings);
     }

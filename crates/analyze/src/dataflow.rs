@@ -1,0 +1,327 @@
+//! The monotone dataflow framework: a worklist fixpoint solver over
+//! per-behavior control-flow graphs ([`FlowBehavior`]).
+//!
+//! The solver is deliberately small and deterministic:
+//!
+//! * the pending set is a [`BTreeSet`] popped at its minimum node index,
+//!   so the visit order — and therefore every intermediate state — is a
+//!   function of the graph alone, never of seeding order;
+//! * states are `Vec<Option<D>>` with `None` meaning *unreachable*;
+//!   passes skip `None` nodes instead of inventing facts about dead code;
+//! * widening applies only at a behavior's recorded
+//!   [`widen_points`](FlowBehavior::widen_points) (back-edge targets)
+//!   once a node has been merged into more than [`WIDEN_AFTER`] times;
+//! * every node has a visit budget; exceeding it is a *typed refusal*
+//!   ([`AnalysisError::WideningCapExceeded`]), never an unsound answer.
+
+use slif_speclang::FlowBehavior;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Merges applied to one node before the solver switches from join to
+/// widening at widen points. Small enough to converge fast, large enough
+/// that short loop chains still reach their precise fixpoint.
+pub(crate) const WIDEN_AFTER: u32 = 4;
+
+/// A typed analysis refusal. The dataflow engine is *bounded*: rather
+/// than loop forever (or silently return a half-converged state) when a
+/// fixpoint will not settle within the configured visit budget, it
+/// refuses with this error and the affected behavior is reported on by
+/// no flow-sensitive lint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A node's merge count exceeded
+    /// [`max_fixpoint_visits`](crate::AnalysisConfig::max_fixpoint_visits)
+    /// even though widening was already applied.
+    WideningCapExceeded {
+        /// The behavior whose fixpoint did not settle.
+        behavior: String,
+        /// The configured per-node visit cap that was exhausted.
+        cap: u32,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::WideningCapExceeded { behavior, cap } => write!(
+                f,
+                "dataflow fixpoint for behavior `{behavior}` did not settle \
+                 within {cap} visits per node (widening cap exceeded)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// What a transfer function sends along one outgoing edge.
+pub(crate) enum EdgeFlow<D> {
+    /// Propagate the node's ordinary output state.
+    Out,
+    /// Propagate an edge-refined state (e.g. a branch condition assumed
+    /// true on the taken edge).
+    Refined(D),
+    /// The edge is provably never taken; propagate nothing.
+    Dead,
+}
+
+/// One dataflow problem over a [`FlowBehavior`] graph.
+///
+/// `join` and `widen` merge `from` into `into` and report whether `into`
+/// changed; the solver re-queues a node only on change, which (with a
+/// finite-height domain or a widening operator) guarantees termination.
+pub(crate) trait Problem {
+    /// The abstract state attached to each node.
+    type State: Clone;
+
+    /// The state at the analysis boundary (entry node for forward
+    /// problems, exit node for backward ones).
+    fn boundary(&self, b: &FlowBehavior) -> Self::State;
+
+    /// The node's output state given its input state.
+    fn transfer(&self, b: &FlowBehavior, node: u32, input: &Self::State) -> Self::State;
+
+    /// What flows along edge `edge` (index into the node's successor
+    /// list) given the node's output state. Forward problems refine
+    /// branch edges here; the default propagates `out` unchanged.
+    fn edge(&self, _b: &FlowBehavior, _node: u32, _edge: usize, _out: &Self::State) -> EdgeFlow<Self::State> {
+        EdgeFlow::Out
+    }
+
+    /// Merges `from` into `into`; returns whether `into` changed.
+    fn join(&self, into: &mut Self::State, from: &Self::State) -> bool;
+
+    /// Widening merge, applied at back-edge targets once they have been
+    /// merged into more than [`WIDEN_AFTER`] times. Defaults to `join`
+    /// (correct for finite-height domains like bitsets).
+    fn widen(&self, into: &mut Self::State, from: &Self::State) -> bool {
+        self.join(into, from)
+    }
+}
+
+/// Runs `problem` forward over `b` to a fixpoint.
+///
+/// Returns one `Option<State>` per node: the state at the node's *input*
+/// (before its transfer), or `None` when no execution reaches the node.
+pub(crate) fn solve_forward<P: Problem>(
+    b: &FlowBehavior,
+    problem: &P,
+    cap: u32,
+) -> Result<Vec<Option<P::State>>, AnalysisError> {
+    let n = b.nodes.len();
+    let mut states: Vec<Option<P::State>> = vec![None; n];
+    if n == 0 {
+        return Ok(states);
+    }
+    let widen_point: Vec<bool> = {
+        let mut w = vec![false; n];
+        for &p in &b.widen_points {
+            if (p as usize) < n {
+                w[p as usize] = true;
+            }
+        }
+        w
+    };
+    let mut visits = vec![0u32; n];
+    states[0] = Some(problem.boundary(b));
+    let mut pending: BTreeSet<u32> = BTreeSet::new();
+    pending.insert(0);
+    while let Some(node) = pending.pop_first() {
+        let Some(input) = states[node as usize].as_ref() else {
+            continue;
+        };
+        let out = problem.transfer(b, node, input);
+        let succs = b.nodes[node as usize].succs.clone();
+        for (ei, &succ) in succs.iter().enumerate() {
+            if succ as usize >= n {
+                continue;
+            }
+            let flowing = match problem.edge(b, node, ei, &out) {
+                EdgeFlow::Out => out.clone(),
+                EdgeFlow::Refined(s) => s,
+                EdgeFlow::Dead => continue,
+            };
+            if merge::<P>(
+                problem,
+                &mut states[succ as usize],
+                flowing,
+                widen_point[succ as usize],
+                &mut visits[succ as usize],
+            ) {
+                if visits[succ as usize] > cap {
+                    return Err(AnalysisError::WideningCapExceeded {
+                        behavior: b.name.clone(),
+                        cap,
+                    });
+                }
+                pending.insert(succ);
+            }
+        }
+    }
+    Ok(states)
+}
+
+/// Runs `problem` backward over `b` to a fixpoint (the graph is walked
+/// against its edges; `boundary` seeds the exit node).
+///
+/// Returns one `Option<State>` per node: the state at the node's
+/// *output* (after it, i.e. the join over what its successors need), or
+/// `None` when the node cannot reach the exit.
+pub(crate) fn solve_backward<P: Problem>(
+    b: &FlowBehavior,
+    problem: &P,
+    cap: u32,
+) -> Result<Vec<Option<P::State>>, AnalysisError> {
+    let n = b.nodes.len();
+    let mut states: Vec<Option<P::State>> = vec![None; n];
+    if n == 0 || b.exit as usize >= n {
+        return Ok(states);
+    }
+    let preds = b.preds();
+    let mut visits = vec![0u32; n];
+    states[b.exit as usize] = Some(problem.boundary(b));
+    let mut pending: BTreeSet<u32> = BTreeSet::new();
+    pending.insert(b.exit);
+    while let Some(node) = pending.pop_first() {
+        let Some(output) = states[node as usize].as_ref() else {
+            continue;
+        };
+        let before = problem.transfer(b, node, output);
+        for &pred in &preds[node as usize] {
+            if pred as usize >= n {
+                continue;
+            }
+            if merge::<P>(
+                problem,
+                &mut states[pred as usize],
+                before.clone(),
+                false,
+                &mut visits[pred as usize],
+            ) {
+                if visits[pred as usize] > cap {
+                    return Err(AnalysisError::WideningCapExceeded {
+                        behavior: b.name.clone(),
+                        cap,
+                    });
+                }
+                pending.insert(pred);
+            }
+        }
+    }
+    Ok(states)
+}
+
+/// Merges `incoming` into `slot`, counting the merge and switching to
+/// widening at widen points after [`WIDEN_AFTER`] merges. Returns
+/// whether the slot changed.
+fn merge<P: Problem>(
+    problem: &P,
+    slot: &mut Option<P::State>,
+    incoming: P::State,
+    widen_here: bool,
+    visits: &mut u32,
+) -> bool {
+    *visits += 1;
+    match slot {
+        None => {
+            *slot = Some(incoming);
+            true
+        }
+        Some(current) => {
+            if widen_here && *visits > WIDEN_AFTER {
+                problem.widen(current, &incoming)
+            } else {
+                problem.join(current, &incoming)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slif_speclang::{parse, FlowProgram};
+
+    /// "Reached" analysis: unit domain; tests the traversal skeleton.
+    struct Reachable;
+    impl Problem for Reachable {
+        type State = ();
+        fn boundary(&self, _b: &FlowBehavior) {}
+        fn transfer(&self, _b: &FlowBehavior, _node: u32, _input: &()) {}
+        fn join(&self, _into: &mut (), _from: &()) -> bool {
+            false
+        }
+    }
+
+    /// Loop-trip counter with no widening: each join strictly increases,
+    /// so the visit cap must fire on any loop.
+    struct Counter;
+    impl Problem for Counter {
+        type State = u64;
+        fn boundary(&self, _b: &FlowBehavior) -> u64 {
+            0
+        }
+        fn transfer(&self, _b: &FlowBehavior, _node: u32, input: &u64) -> u64 {
+            input + 1
+        }
+        fn join(&self, into: &mut u64, from: &u64) -> bool {
+            if *from > *into {
+                *into = *from;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    fn behavior(src: &str, name: &str) -> FlowBehavior {
+        let p = FlowProgram::from_spec(&parse(src).expect("parse"));
+        p.get(name).expect("behavior").clone()
+    }
+
+    #[test]
+    fn forward_marks_unreachable_nodes_none() {
+        let b = behavior(
+            "system T;\nvar x : int<8>;\n\
+             func F(v : int<8>) -> int<8> { return v; x = 3; }\n",
+            "F",
+        );
+        let states = solve_forward(&b, &Reachable, 64).expect("solve");
+        let assign = b
+            .nodes
+            .iter()
+            .position(|n| matches!(n.op, slif_speclang::FlowOp::Assign { .. }))
+            .expect("assign after return");
+        assert!(states[assign].is_none(), "dead code must stay None");
+        assert!(states[b.exit as usize].is_some());
+    }
+
+    #[test]
+    fn unbounded_growth_hits_the_typed_cap() {
+        let b = behavior(
+            "system T;\nvar x : int<8>;\nprocess Main { x = x + 1; }\n",
+            "Main",
+        );
+        let err = solve_forward(&b, &Counter, 16).expect_err("must refuse");
+        assert!(err.to_string().contains("Main"), "{err}");
+        let AnalysisError::WideningCapExceeded { behavior, cap } = err;
+        assert_eq!(behavior, "Main");
+        assert_eq!(cap, 16);
+    }
+
+    #[test]
+    fn backward_reaches_all_exit_connected_nodes() {
+        let b = behavior(
+            "system T;\nvar x : int<8>;\n\
+             proc P() { if x > 0 { x = 1; } else { x = 2; } }\n",
+            "P",
+        );
+        let states = solve_backward(&b, &Reachable, 64).expect("solve");
+        // Every node in this behavior reaches the exit.
+        for (i, s) in states.iter().enumerate() {
+            assert!(s.is_some(), "node {i} should reach exit");
+        }
+    }
+}

@@ -38,10 +38,31 @@ pub enum LintId {
     ///
     /// [`EstimatorConfig::degraded`]: https://docs.rs/slif-estimate
     MissingAnnotation,
+    /// `A006`: flow-sensitive value-range analysis proves an assignment's
+    /// (or return's) computed interval is *entirely* outside the target's
+    /// representable range — a definite overflow, not a may-truncate
+    /// heuristic like `A004`.
+    ValueRangeOverflow,
+    /// `A007`: a local variable is read at a point no execution path has
+    /// assigned — definite-assignment analysis found zero reaching
+    /// definitions on *any* path.
+    UninitializedRead,
+    /// `A008`: a whole-slot store to a local whose value no later read can
+    /// observe — backward liveness proved the stored value dead.
+    DeadStore,
+    /// `A009`: a branch condition the interval analysis evaluates to a
+    /// constant — one arm is unreachable on every execution.
+    ConstantCondition,
+    /// `A010`: a shared-variable interleaving that satisfies the `A001`
+    /// topology criteria but that the happens-before refinement could not
+    /// *prove* reachable at runtime (a reaching channel has zero observed
+    /// access frequency). Split off from `A001` so proven races stay
+    /// deny-level while unproven ones only warn.
+    UnprovenInterleaving,
 }
 
 /// Number of lints in the registry.
-pub const LINT_COUNT: usize = 5;
+pub const LINT_COUNT: usize = 10;
 
 impl LintId {
     /// Every lint, in `A001`… order.
@@ -51,6 +72,11 @@ impl LintId {
         LintId::RecursionCycle,
         LintId::BitwidthMismatch,
         LintId::MissingAnnotation,
+        LintId::ValueRangeOverflow,
+        LintId::UninitializedRead,
+        LintId::DeadStore,
+        LintId::ConstantCondition,
+        LintId::UnprovenInterleaving,
     ];
 
     /// The stable report code (`"A001"`…). Codes are append-only: a
@@ -62,6 +88,11 @@ impl LintId {
             LintId::RecursionCycle => "A003",
             LintId::BitwidthMismatch => "A004",
             LintId::MissingAnnotation => "A005",
+            LintId::ValueRangeOverflow => "A006",
+            LintId::UninitializedRead => "A007",
+            LintId::DeadStore => "A008",
+            LintId::ConstantCondition => "A009",
+            LintId::UnprovenInterleaving => "A010",
         }
     }
 
@@ -73,6 +104,11 @@ impl LintId {
             LintId::RecursionCycle => "recursion-cycle",
             LintId::BitwidthMismatch => "bitwidth-mismatch",
             LintId::MissingAnnotation => "missing-annotation",
+            LintId::ValueRangeOverflow => "value-range-overflow",
+            LintId::UninitializedRead => "uninitialized-read",
+            LintId::DeadStore => "dead-store",
+            LintId::ConstantCondition => "constant-condition",
+            LintId::UnprovenInterleaving => "unproven-interleaving",
         }
     }
 
@@ -92,19 +128,39 @@ impl LintId {
             LintId::MissingAnnotation => {
                 "missing ict/size weight for an allocated component class"
             }
+            LintId::ValueRangeOverflow => {
+                "assigned value range provably outside the target's representable range"
+            }
+            LintId::UninitializedRead => "local read before any path assigns it",
+            LintId::DeadStore => "store to a local no later read observes",
+            LintId::ConstantCondition => {
+                "branch condition that is constant on every execution"
+            }
+            LintId::UnprovenInterleaving => {
+                "A001-shaped interleaving not proven reachable at runtime"
+            }
         }
     }
 
     /// The level the lint runs at unless configured otherwise.
     ///
-    /// Races and recursion cycles make estimation results meaningless, so
-    /// they deny by default; the rest are fidelity warnings.
+    /// Findings the dataflow engine *proves* (races, recursion cycles,
+    /// definite overflow, definitely-uninitialized reads) make the
+    /// specification's meaning unreliable, so they deny by default; the
+    /// rest — including `A010`'s unproven interleavings — are fidelity
+    /// warnings.
     pub fn default_level(self) -> LintLevel {
         match self {
-            LintId::SharedVariableRace | LintId::RecursionCycle => LintLevel::Deny,
-            LintId::DeadCode | LintId::BitwidthMismatch | LintId::MissingAnnotation => {
-                LintLevel::Warn
-            }
+            LintId::SharedVariableRace
+            | LintId::RecursionCycle
+            | LintId::ValueRangeOverflow
+            | LintId::UninitializedRead => LintLevel::Deny,
+            LintId::DeadCode
+            | LintId::BitwidthMismatch
+            | LintId::MissingAnnotation
+            | LintId::DeadStore
+            | LintId::ConstantCondition
+            | LintId::UnprovenInterleaving => LintLevel::Warn,
         }
     }
 
@@ -122,6 +178,11 @@ impl LintId {
             LintId::RecursionCycle => 2,
             LintId::BitwidthMismatch => 3,
             LintId::MissingAnnotation => 4,
+            LintId::ValueRangeOverflow => 5,
+            LintId::UninitializedRead => 6,
+            LintId::DeadStore => 7,
+            LintId::ConstantCondition => 8,
+            LintId::UnprovenInterleaving => 9,
         }
     }
 }
@@ -166,6 +227,13 @@ pub struct AnalysisConfig {
     /// `A004` flags the channel/bus pairing as mismatched. The default of
     /// 4 tolerates the paper's address+data packing on narrow buses.
     pub max_transfer_cycles: u32,
+    /// How many times the dataflow solver may revisit one control-flow
+    /// node before refusing with
+    /// [`AnalysisError::WideningCapExceeded`](crate::AnalysisError).
+    /// Interval widening converges in a handful of visits per loop
+    /// level; the default of 256 leaves generous headroom for nested
+    /// loops while keeping fixpoint iteration provably bounded.
+    pub max_fixpoint_visits: u32,
 }
 
 impl Default for AnalysisConfig {
@@ -178,6 +246,7 @@ impl Default for AnalysisConfig {
             levels,
             deny_warnings: false,
             max_transfer_cycles: 4,
+            max_fixpoint_visits: 256,
         }
     }
 }
@@ -210,6 +279,13 @@ impl AnalysisConfig {
         self
     }
 
+    /// Replaces the dataflow solver's per-node visit cap.
+    #[must_use]
+    pub fn with_max_fixpoint_visits(mut self, visits: u32) -> Self {
+        self.max_fixpoint_visits = visits;
+        self
+    }
+
     /// The configured level of a lint, before `deny_warnings` promotion.
     pub fn level(&self, lint: LintId) -> LintLevel {
         self.levels[lint.index()]
@@ -233,7 +309,10 @@ mod tests {
     #[test]
     fn codes_are_stable_and_unique() {
         let codes: Vec<&str> = LintId::ALL.iter().map(|l| l.code()).collect();
-        assert_eq!(codes, ["A001", "A002", "A003", "A004", "A005"]);
+        assert_eq!(
+            codes,
+            ["A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008", "A009", "A010"]
+        );
         for lint in LintId::ALL {
             assert_eq!(LintId::from_code(lint.code()), Some(lint));
             assert_eq!(LintId::from_code(lint.name()), Some(lint));

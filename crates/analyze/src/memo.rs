@@ -1,55 +1,78 @@
 //! Sliced re-linting for edit sessions.
 //!
 //! The analyzer is pure: each pass is a function of the compiled view,
-//! the partition, and the configuration. When an incremental edit patched
-//! annotations in place — topology and partition untouched — most passes
-//! read nothing the edit changed:
+//! the partition, the flow program, and the configuration. When an
+//! incremental edit patched annotations in place — topology and
+//! partition untouched — most passes read nothing the edit changed:
 //!
-//! | pass         | reads                                             |
-//! |--------------|---------------------------------------------------|
-//! | `race`       | topology, channel tags, partition                 |
-//! | `reach`      | topology only                                     |
-//! | `cycle`      | topology only                                     |
-//! | `bitwidth`   | channel bits, bus widths, partition, config       |
-//! | `annotation` | weight tables, class kinds                        |
+//! | pass               | reads                                       |
+//! |--------------------|---------------------------------------------|
+//! | `race` (A001)      | topology, channel tags *and frequencies*, partition |
+//! | `reach` (A002)     | topology only                               |
+//! | `cycle` (A003)     | topology only                               |
+//! | `bitwidth` (A004)  | channel bits, bus widths, partition, config |
+//! | `annotation` (A005)| weight tables, class kinds                  |
+//! | flow (A006–A009)   | the behavior flow program only              |
+//! | `race` (A010)      | topology, channel tags and frequencies, partition |
 //!
-//! No pass reads channel *frequencies* at all: a frequency-only edit
-//! (the common "tweak a loop bound" case) re-lints for free.
+//! A frequency-only edit re-runs just the two race passes (the
+//! proven/unproven split is a happens-before judgment over observed
+//! frequencies); a weight tweak re-runs `annotation` alone; a body edit
+//! re-runs the flow passes — and those keep a second, per-behavior cache
+//! keyed by structural hash, so only the edited behavior actually
+//! re-solves.
 //!
 //! [`AnalysisMemo`] caches each pass's findings between runs;
 //! [`analyze_compiled_memoized`] re-runs only the passes an
 //! [`AnalysisDirt`] marks stale and splices the rest from the cache.
-//! Findings are cached span-less and spans re-attached from the current
-//! [`SourceMap`] on every call, because an edit moves spans even when it
-//! changes no finding.
+//! Design-node-anchored findings are cached span-less and spans
+//! re-attached from the current [`SourceMap`] on every call, because an
+//! edit moves spans even when it changes no finding. (Flow findings are
+//! materialized with their statement spans by the flow driver, which
+//! re-runs whenever the flow program changed — span drift included.)
 
 use crate::analyzer::{attach_spans, shape_checked, Ctx, Sink, SourceMap};
+use crate::flowdrive::{self, FlowCache, FLOW_PASSES};
 use crate::lint::AnalysisConfig;
 use crate::report::{AnalysisReport, Finding};
 use crate::{annotation, bitwidth, cycle, race, reach};
 use slif_core::{AnnotationDelta, CompiledDesign, Partition};
+use slif_speclang::FlowProgram;
 
-/// Number of lint passes, in execution order.
-const PASSES: usize = 5;
+/// Number of lint passes, in execution order: the five design-level
+/// passes, the four flow passes, and the trailing `A010` race pass.
+const PASSES: usize = 10;
+
+/// Index of the first flow pass (`A006`) in execution order.
+const FLOW_BASE: usize = 5;
 
 /// Which analyzer inputs changed since the memo was last valid.
 ///
 /// The contract mirrors
 /// [`patch_annotations_delta`](CompiledDesign::patch_annotations_delta):
 /// the flags describe *annotation* changes on an otherwise identical
-/// compiled view. Any change the flags cannot express — topology,
-/// partition contents, thresholds — must use [`AnalysisDirt::all`],
-/// which re-runs every pass (and is what an empty memo does anyway).
+/// compiled view, plus a [`flow`](Self::flow) flag for behavior-body
+/// edits (the flow program was re-lowered). Any change the flags cannot
+/// express — topology, partition contents, thresholds — must use
+/// [`AnalysisDirt::all`], which re-runs every pass (and is what an empty
+/// memo does anyway).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct AnalysisDirt {
     /// Re-run every pass regardless of the other flags.
     pub everything: bool,
     /// Some channel's bit width or concurrency tag changed
-    /// (`race` and `bitwidth` re-run).
+    /// (`race`, `bitwidth`, and the `A010` pass re-run).
     pub chan_bits_or_tags: bool,
+    /// Some channel's access frequency changed (both race passes
+    /// re-run: frequencies decide the proven/unproven split).
+    pub chan_freqs: bool,
     /// Some node's weight row changed (`annotation` re-runs).
     pub weights: bool,
+    /// The flow program was re-lowered — structure, suppressions, or
+    /// just spans may differ (the `A006`–`A009` passes re-run, hitting
+    /// their per-behavior cache for unchanged behaviors).
+    pub flow: bool,
 }
 
 impl AnalysisDirt {
@@ -72,28 +95,32 @@ impl AnalysisDirt {
             return true;
         }
         match i {
-            0 => self.chan_bits_or_tags,          // race: channel tags
-            1 | 2 => false,                       // reach, cycle: topology only
-            3 => self.chan_bits_or_tags,          // bitwidth: channel bits
-            _ => self.weights,                    // annotation: weight tables
+            0 => self.chan_bits_or_tags || self.chan_freqs, // race: tags + freqs
+            1 | 2 => false,                                 // reach, cycle: topology only
+            3 => self.chan_bits_or_tags,                    // bitwidth: channel bits
+            4 => self.weights,                              // annotation: weight tables
+            5..=8 => self.flow,                             // flow passes: flow program
+            _ => self.chan_bits_or_tags || self.chan_freqs, // A010: tags + freqs
         }
     }
 }
 
 impl From<&AnnotationDelta> for AnalysisDirt {
-    /// The dirt an in-place annotation patch implies. Frequency-only
-    /// deltas map to [`AnalysisDirt::none`]: no lint reads frequencies.
+    /// The dirt an in-place annotation patch implies. An annotation
+    /// patch never touches behavior bodies, so `flow` stays clean.
     fn from(delta: &AnnotationDelta) -> Self {
         Self {
             everything: false,
             chan_bits_or_tags: delta.chan_bits_or_tags,
+            chan_freqs: delta.chan_freqs,
             weights: delta.weights,
+            flow: false,
         }
     }
 }
 
-/// One pass's cached result: its span-less findings and how many it
-/// suppressed under `Allow` levels.
+/// One pass's cached result: its findings (span-less for node-anchored
+/// ones) and how many it suppressed under `Allow` levels or `@allow`.
 #[derive(Debug, Clone, Default)]
 struct PassCache {
     findings: Vec<Finding>,
@@ -101,13 +128,20 @@ struct PassCache {
 }
 
 /// Cached per-pass lint results for one (compiled view, partition,
-/// config) lineage. See [`analyze_compiled_memoized`].
+/// config, flow) lineage. See [`analyze_compiled_memoized`].
 #[derive(Debug, Default)]
 pub struct AnalysisMemo {
     /// The configuration the cached results were produced under; a
     /// mismatch invalidates everything (levels decide suppression).
     config: Option<AnalysisConfig>,
+    /// Fingerprint of the spec's `@allow` set the cached results were
+    /// produced under (`None` = no flow program); a mismatch reseeds.
+    sup_fp: Option<u64>,
     passes: Option<[PassCache; PASSES]>,
+    /// Per-behavior flow solves, keyed by structural hash. Survives
+    /// pass-cache reseeds: levels and suppressions are applied at
+    /// materialization, never baked into the cached solves.
+    flow_cache: FlowCache,
     /// Passes served from cache across all runs (operational metric).
     reused: u64,
     /// Passes actually executed across all runs.
@@ -146,23 +180,49 @@ pub fn analyze_compiled_memoized(
     memo: &mut AnalysisMemo,
     dirt: &AnalysisDirt,
 ) -> AnalysisReport {
+    analyze_compiled_memoized_with_flow(cd, partition, config, sources, None, memo, dirt)
+}
+
+/// [`analyze_compiled_with_flow`](crate::analyze_compiled_with_flow)
+/// with per-pass memoization. Equal to the unmemoized flow analysis
+/// under the same [`AnalysisDirt`] contract; additionally, when `dirt`
+/// marks the flow program stale, only behaviors whose structural hash
+/// (or callee summaries) changed actually re-solve — the rest come from
+/// the memo's per-behavior cache, re-materialized with current spans.
+pub fn analyze_compiled_memoized_with_flow(
+    cd: &CompiledDesign,
+    partition: Option<&Partition>,
+    config: &AnalysisConfig,
+    sources: &SourceMap,
+    flow: Option<&FlowProgram>,
+    memo: &mut AnalysisMemo,
+    dirt: &AnalysisDirt,
+) -> AnalysisReport {
     let partition = shape_checked(cd, partition);
     let ctx = Ctx {
         cd,
         partition,
         config,
     };
-    let seeded = memo.passes.is_some() && memo.config.as_ref() == Some(config);
+    let sup_fp = flow.map(|f| f.suppressions.fingerprint());
+    let seeded =
+        memo.passes.is_some() && memo.config.as_ref() == Some(config) && memo.sup_fp == sup_fp;
     if !seeded {
         memo.passes = Some(Default::default());
         memo.config = Some(*config);
+        memo.sup_fp = sup_fp;
     }
     // The borrow is re-taken after the reset above.
     let passes = match memo.passes.as_mut() {
         Some(p) => p,
         None => unreachable!("memo.passes seeded just above"),
     };
-    let runners: [fn(&Ctx<'_>, &mut Sink<'_>); PASSES] = [
+    let new_sink = || match flow {
+        Some(f) => Sink::with_suppressions(config, &f.suppressions, cd),
+        None => Sink::new(config),
+    };
+
+    let runners: [fn(&Ctx<'_>, &mut Sink<'_>); FLOW_BASE] = [
         race::run,
         reach::run,
         cycle::run,
@@ -174,10 +234,43 @@ pub fn analyze_compiled_memoized(
             memo.reused += 1;
             continue;
         }
-        let mut sink = Sink::new(config);
+        let mut sink = new_sink();
         run(&ctx, &mut sink);
         let (findings, suppressed) = sink.into_parts();
         passes[i] = PassCache {
+            findings,
+            suppressed,
+        };
+        memo.ran += 1;
+    }
+
+    // The four flow passes share one solve, so they go stale (and
+    // re-run) together.
+    if seeded && !dirt.stale(FLOW_BASE) {
+        memo.reused += FLOW_PASSES as u64;
+    } else if let Some(f) = flow {
+        let results = flowdrive::run_flow_passes(f, config, Some(&mut memo.flow_cache));
+        for (p, (findings, suppressed)) in results.passes.into_iter().enumerate() {
+            passes[FLOW_BASE + p] = PassCache {
+                findings,
+                suppressed,
+            };
+            memo.ran += 1;
+        }
+    } else {
+        for p in 0..FLOW_PASSES {
+            passes[FLOW_BASE + p] = PassCache::default();
+            memo.ran += 1;
+        }
+    }
+
+    if seeded && !dirt.stale(PASSES - 1) {
+        memo.reused += 1;
+    } else {
+        let mut sink = new_sink();
+        race::run_unproven(&ctx, &mut sink);
+        let (findings, suppressed) = sink.into_parts();
+        passes[PASSES - 1] = PassCache {
             findings,
             suppressed,
         };
@@ -211,6 +304,16 @@ mod tests {
         (CompiledDesign::compile(&design), partition)
     }
 
+    fn dirt(bits: bool, freqs: bool, weights: bool, flow: bool) -> AnalysisDirt {
+        AnalysisDirt {
+            everything: false,
+            chan_bits_or_tags: bits,
+            chan_freqs: freqs,
+            weights,
+            flow,
+        }
+    }
+
     #[test]
     fn memoized_equals_unmemoized_for_every_dirt() {
         let (cd, part) = fixture();
@@ -222,16 +325,10 @@ mod tests {
         let dirts = [
             AnalysisDirt::all(),
             AnalysisDirt::none(),
-            AnalysisDirt {
-                everything: false,
-                chan_bits_or_tags: true,
-                weights: false,
-            },
-            AnalysisDirt {
-                everything: false,
-                chan_bits_or_tags: false,
-                weights: true,
-            },
+            dirt(true, false, false, false),
+            dirt(false, true, false, false),
+            dirt(false, false, true, false),
+            dirt(false, false, false, true),
             AnalysisDirt::none(),
         ];
         for dirt in dirts {
@@ -240,9 +337,10 @@ mod tests {
             assert_eq!(memoized, plain, "dirt {dirt:?}");
             assert_eq!(memoized.to_string(), plain.to_string(), "dirt {dirt:?}");
         }
-        // Seeding ran 5 passes; the later runs re-ran only stale ones:
-        // none=0, bits=race+bitwidth=2, weights=annotation=1, none=0.
-        assert_eq!(memo.passes_run(), 8);
+        // Seeding ran 10 passes; later runs re-ran only stale ones:
+        // none=0, bits=race+bitwidth+A010=3, freqs=race+A010=2,
+        // weights=annotation=1, flow=A006..A009=4, none=0.
+        assert_eq!(memo.passes_run(), 20);
         assert!(memo.passes_reused() > 0);
     }
 
@@ -327,5 +425,43 @@ mod tests {
             analyze_compiled_with_sources(&cd, Some(&part), &quiet, &sources)
         );
         assert!(report.findings().is_empty());
+    }
+
+    #[test]
+    fn flow_memo_equals_unmemoized_flow_analysis() {
+        use crate::analyze_compiled_with_flow;
+        use slif_speclang::{parse, FlowProgram};
+
+        let src = "system T;\nvar g : int<8>;\n\
+                   process Main { g = g + 1; wait 1; }\n\
+                   func F() -> int<8> { var x : int<8>; x = 1; return x; }\n";
+        let spec = parse(src).expect("parse");
+        let flow = FlowProgram::from_spec(&spec);
+        let (cd, part) = fixture();
+        let config = AnalysisConfig::new();
+        let sources = SourceMap::default();
+        let plain = analyze_compiled_with_flow(&cd, Some(&part), &config, &flow, Some(&sources));
+
+        let mut memo = AnalysisMemo::new();
+        for d in [
+            AnalysisDirt::all(),
+            AnalysisDirt::none(),
+            dirt(false, false, false, true),
+        ] {
+            let memoized = analyze_compiled_memoized_with_flow(
+                &cd,
+                Some(&part),
+                &config,
+                &sources,
+                Some(&flow),
+                &mut memo,
+                &d,
+            );
+            assert_eq!(memoized, plain, "dirt {d:?}");
+            assert_eq!(memoized.to_string(), plain.to_string(), "dirt {d:?}");
+        }
+        // The flow-dirty rerun must have served every behavior solve
+        // from the per-behavior cache (structural hashes unchanged).
+        assert!(memo.passes_reused() > 0);
     }
 }

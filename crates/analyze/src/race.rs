@@ -1,4 +1,5 @@
-//! `A001 shared-variable-race`: concurrent unserialized writes.
+//! `A001 shared-variable-race` and `A010 unproven-interleaving`:
+//! concurrent unserialized accesses, split by provability.
 //!
 //! A variable is *raced* when two distinct processes can each reach a
 //! channel accessing it, at least one of those channels writes, the
@@ -8,8 +9,18 @@
 //! contributions as if each is well-ordered; a race makes both the spec's
 //! meaning and the estimate unreliable.
 //!
+//! The happens-before refinement splits that topological criterion by
+//! observed execution: a race is *proven* (stays `A001`, deny) only when
+//! both accesses sit on call/access paths whose every channel has a
+//! positive observed access frequency — some execution actually drives
+//! both sides. An interleaving that exists in the graph but crosses a
+//! channel with zero observed frequency is real enough to mention but
+//! not proven; it reports as `A010` (warn) instead. The two lints
+//! partition the old `A001` finding set: refinement strictly reduces
+//! deny-level findings without losing a single true positive.
+//!
 //! Reachability is computed as one bitset per behavior (which processes
-//! can reach it through call/message edges), so the pass is
+//! can reach it through call/message edges), so each pass is
 //! `O(P·E + C²)` per variable-incident channel pair, with `P` processes
 //! and `E` behavior edges.
 
@@ -17,7 +28,26 @@ use crate::analyzer::{Ctx, Sink};
 use crate::lint::LintId;
 use slif_core::{AccessKind, AccessTarget, ConcurrencyTag, NodeId, Partition};
 
+/// Which half of the refined `A001` split a run reports.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Proven races only (`A001`).
+    Proven,
+    /// Topologically possible but unproven interleavings only (`A010`).
+    Unproven,
+}
+
+/// The `A001` pass: proven races.
 pub(crate) fn run(ctx: &Ctx<'_>, sink: &mut Sink<'_>) {
+    run_mode(ctx, sink, Mode::Proven);
+}
+
+/// The `A010` pass: unproven interleavings.
+pub(crate) fn run_unproven(ctx: &Ctx<'_>, sink: &mut Sink<'_>) {
+    run_mode(ctx, sink, Mode::Unproven);
+}
+
+fn run_mode(ctx: &Ctx<'_>, sink: &mut Sink<'_>, mode: Mode) {
     let cd = ctx.cd;
     let procs = cd.process_nodes();
     if procs.len() < 2 {
@@ -26,14 +56,21 @@ pub(crate) fn run(ctx: &Ctx<'_>, sink: &mut Sink<'_>) {
         return;
     }
     let words = procs.len().div_ceil(64);
-    let reach = process_reachability(cd, procs, words);
+    let reach_any = process_reachability(cd, procs, words, false);
+    let reach_live = process_reachability(cd, procs, words, true);
 
     for v in cd.node_ids() {
         if !cd.node_kind(v).is_variable() {
             continue;
         }
         let incoming = cd.accessors_of(v);
-        let mut reported: Vec<(usize, usize)> = Vec::new();
+        // Keys are (process, process) index pairs; one finding per
+        // (variable, pair). Proven keys are collected in full before
+        // unproven candidates are emitted, so a pair proven through any
+        // channel pair never double-reports as A010.
+        let mut proven_keys: Vec<(usize, usize)> = Vec::new();
+        let mut unproven: Vec<((usize, usize), slif_core::ChannelId, slif_core::ChannelId)> =
+            Vec::new();
         for (i, &c1) in incoming.iter().enumerate() {
             for &c2 in &incoming[i..] {
                 let k1 = cd.chan_kind(c1);
@@ -52,25 +89,71 @@ pub(crate) fn run(ctx: &Ctx<'_>, sink: &mut Sink<'_>) {
                 if s1.index() >= cd.node_count() || s2.index() >= cd.node_count() {
                     continue; // dangling source: the validator's finding
                 }
-                let r1 = &reach[s1.index() * words..(s1.index() + 1) * words];
-                let r2 = &reach[s2.index() * words..(s2.index() + 1) * words];
-                let Some((pa, pb)) = racing_pair(r1, r2, procs, ctx.partition) else {
+                let any1 = &reach_any[s1.index() * words..(s1.index() + 1) * words];
+                let any2 = &reach_any[s2.index() * words..(s2.index() + 1) * words];
+                let Some((pa, pb)) = racing_pair(any1, any2, procs, ctx.partition) else {
                     continue;
                 };
-                let key = (pa.min(pb), pa.max(pb));
-                if reported.contains(&key) {
-                    continue; // one finding per (variable, process pair)
+                // Proven: the accesses themselves were observed executing
+                // and both sides are reachable through observed channels.
+                let live_access = cd.chan_freq(c1).max > 0 && cd.chan_freq(c2).max > 0;
+                let proven_pair = if live_access {
+                    let live1 = &reach_live[s1.index() * words..(s1.index() + 1) * words];
+                    let live2 = &reach_live[s2.index() * words..(s2.index() + 1) * words];
+                    racing_pair(live1, live2, procs, ctx.partition)
+                } else {
+                    None
+                };
+                match proven_pair {
+                    Some((qa, qb)) => {
+                        let key = (qa.min(qb), qa.max(qb));
+                        if proven_keys.contains(&key) {
+                            continue;
+                        }
+                        proven_keys.push(key);
+                        if mode == Mode::Proven {
+                            sink.emit(
+                                LintId::SharedVariableRace,
+                                Some(v),
+                                Some(c1),
+                                format!(
+                                    "variable {v} ({}) can be accessed concurrently with a write: \
+                                     processes {} ({}) and {} ({}) reach channels {c1} and {c2} \
+                                     with overlapping concurrency, and the partition does not \
+                                     serialize them",
+                                    cd.node_name(v),
+                                    procs[key.0],
+                                    cd.node_name(procs[key.0]),
+                                    procs[key.1],
+                                    cd.node_name(procs[key.1]),
+                                ),
+                            );
+                        }
+                    }
+                    None => {
+                        let key = (pa.min(pb), pa.max(pb));
+                        if !unproven.iter().any(|(k, ..)| *k == key) {
+                            unproven.push((key, c1, c2));
+                        }
+                    }
                 }
-                reported.push(key);
+            }
+        }
+        if mode == Mode::Unproven {
+            for (key, c1, c2) in unproven {
+                if proven_keys.contains(&key) {
+                    continue; // already a deny-level A001 for this pair
+                }
                 sink.emit(
-                    LintId::SharedVariableRace,
+                    LintId::UnprovenInterleaving,
                     Some(v),
                     Some(c1),
                     format!(
-                        "variable {v} ({}) can be accessed concurrently with a write: \
-                         processes {} ({}) and {} ({}) reach channels {c1} and {c2} \
-                         with overlapping concurrency, and the partition does not \
-                         serialize them",
+                        "variable {v} ({}) may interleave with a write: processes \
+                         {} ({}) and {} ({}) reach channels {c1} and {c2} with \
+                         overlapping concurrency, but no observed execution proves \
+                         the interleaving (a reaching channel has zero access \
+                         frequency)",
                         cd.node_name(v),
                         procs[key.0],
                         cd.node_name(procs[key.0]),
@@ -84,11 +167,14 @@ pub(crate) fn run(ctx: &Ctx<'_>, sink: &mut Sink<'_>) {
 }
 
 /// One bitset per node: which process indices can reach this behavior
-/// through behavior→behavior edges (a process reaches itself).
+/// through behavior→behavior edges (a process reaches itself). With
+/// `live_only`, only channels with a positive observed access frequency
+/// are followed — the happens-before half of the `A001`/`A010` split.
 fn process_reachability(
     cd: &slif_core::CompiledDesign,
     procs: &[NodeId],
     words: usize,
+    live_only: bool,
 ) -> Vec<u64> {
     let mut reach = vec![0u64; cd.node_count() * words];
     let mut stack: Vec<NodeId> = Vec::new();
@@ -105,6 +191,9 @@ fn process_reachability(
             }
             reach[slot] |= bit;
             for &c in cd.channels_of(n) {
+                if live_only && cd.chan_freq(c).max == 0 {
+                    continue;
+                }
                 if let AccessTarget::Node(d) = cd.chan_dst(c) {
                     if d.index() < cd.node_count() && cd.node_kind(d).is_behavior() {
                         stack.push(d);

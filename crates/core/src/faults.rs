@@ -291,6 +291,58 @@ impl fmt::Display for AnalyzableFaultKind {
     }
 }
 
+/// Behavior-body defect classes the flow-sensitive dataflow lints
+/// (`A006`–`A009`) are built to catch. Where [`AnalyzableFaultKind`]
+/// damages the access graph, these plant bugs *inside* behavior bodies —
+/// the mutated source still parses, resolves, and validates cleanly; only
+/// abstract interpretation over the lowered flow program sees them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DataflowDefectKind {
+    /// A store whose value range can never fit the declared width
+    /// (`A006 value-range-overflow`).
+    OverflowRange,
+    /// A local read with a definition on no path from entry
+    /// (`A007 uninitialized-read`).
+    UninitRead,
+    /// A store to a local nothing ever reads (`A008 dead-store`).
+    DeadStore,
+    /// A guard that is false on every execution
+    /// (`A009 constant-condition`).
+    ConstantFalseGuard,
+}
+
+/// All dataflow defect classes, in lint-code order.
+pub const ALL_DATAFLOW_DEFECT_KINDS: [DataflowDefectKind; 4] = [
+    DataflowDefectKind::OverflowRange,
+    DataflowDefectKind::UninitRead,
+    DataflowDefectKind::DeadStore,
+    DataflowDefectKind::ConstantFalseGuard,
+];
+
+impl DataflowDefectKind {
+    /// Stable code of the lint expected to fire on the planted defect.
+    pub fn lint_code(self) -> &'static str {
+        match self {
+            DataflowDefectKind::OverflowRange => "A006",
+            DataflowDefectKind::UninitRead => "A007",
+            DataflowDefectKind::DeadStore => "A008",
+            DataflowDefectKind::ConstantFalseGuard => "A009",
+        }
+    }
+}
+
+impl fmt::Display for DataflowDefectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataflowDefectKind::OverflowRange => "overflow-range",
+            DataflowDefectKind::UninitRead => "uninit-read",
+            DataflowDefectKind::DeadStore => "dead-store",
+            DataflowDefectKind::ConstantFalseGuard => "constant-false-guard",
+        })
+    }
+}
+
 /// A record of one applied mutation, for failure-reproduction messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppliedFault {
@@ -823,6 +875,57 @@ impl FaultInjector {
             }
         };
         Some(AppliedAnalyzableFault { kind, target })
+    }
+
+    /// Plants behavior-body dataflow defects into specification source
+    /// text: appends one defective behavior per requested kind, each
+    /// under a seeded unique name so repeated planting never collides.
+    /// The defects are *semantic* — the mutated source still parses and
+    /// resolves — and each body is built to trip exactly its kind's lint
+    /// ([`DataflowDefectKind::lint_code`]): the poisoned value is always
+    /// read afterwards (except for the dead store, whose point is that it
+    /// is not), so no kind cross-fires another flow lint. Returns the
+    /// mutated source and the planted behavior names, in `kinds` order.
+    pub fn plant_dataflow_defects(
+        &mut self,
+        source: &str,
+        kinds: &[DataflowDefectKind],
+    ) -> (String, Vec<String>) {
+        let mut out = source.to_owned();
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        let mut names = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            let name = loop {
+                let candidate = format!(
+                    "fz_{}_{:04x}",
+                    self.rng.gen_range(0u32..0x1_0000),
+                    self.rng.gen_range(0u32..0x1_0000)
+                );
+                if !out.contains(&candidate) {
+                    break candidate;
+                }
+            };
+            let body = match kind {
+                DataflowDefectKind::OverflowRange => format!(
+                    "func {name}() -> int<8> {{ var t : int<8>; t = 300; return t; }}\n"
+                ),
+                DataflowDefectKind::UninitRead => {
+                    format!("func {name}() -> int<8> {{ var u : int<8>; return u; }}\n")
+                }
+                DataflowDefectKind::DeadStore => {
+                    format!("proc {name}() {{ var t : int<8>; t = 1; }}\n")
+                }
+                DataflowDefectKind::ConstantFalseGuard => format!(
+                    "func {name}() -> int<8> {{ var t : int<8>; t = 1; \
+                     if t > 5 {{ t = 2; }} else {{ t = 3; }} return t; }}\n"
+                ),
+            };
+            out.push_str(&body);
+            names.push(name);
+        }
+        (out, names)
     }
 
     /// Plants `count` random analyzer-detectable defects, redrawing kinds

@@ -300,6 +300,7 @@ pub fn try_patch_design(
             params: b.params.clone(),
             locals: Vec::new(),
             body: Vec::new(),
+            allows: b.allows.clone(),
             span: b.span,
         };
         sig.strip_spans();

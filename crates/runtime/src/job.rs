@@ -12,7 +12,9 @@
 //! the soak suite asserts that a clean job processed by the service
 //! yields a result identical to its inline execution.
 
-use slif_analyze::{analyze_compiled, AnalysisConfig, AnalysisReport};
+use slif_analyze::{
+    analyze_compiled, analyze_compiled_with_flow, AnalysisConfig, AnalysisReport,
+};
 use slif_core::{CompiledDesign, CoreError, Design, GraphLimits, Partition};
 use slif_estimate::{DesignReport, EstimatorConfig};
 use slif_formats::wirefmt::{
@@ -101,6 +103,13 @@ pub enum Job {
         partition: Option<Partition>,
         /// Per-lint levels and thresholds.
         config: AnalysisConfig,
+        /// The specification source the design was built from, when the
+        /// caller has it. With it, the flow-sensitive dataflow lints
+        /// (`A006`–`A009`) run over the lowered behavior bodies, in-spec
+        /// `@allow` suppressions are honored, and findings carry source
+        /// spans. Source that fails to parse is a typed
+        /// [`JobError::Spec`] failure, never a silently flow-less run.
+        source: Option<String>,
     },
     /// Open an incremental edit session over specification source. The
     /// output carries a shared [`SessionHandle`]; subsequent edits go
@@ -228,9 +237,25 @@ impl Job {
                 design,
                 partition,
                 config,
+                source,
             } => {
                 let cd = CompiledDesign::compile_bounded(design, &limits.graph)?;
-                let report = analyze_compiled(&cd, partition.as_ref(), config);
+                let report = match source {
+                    Some(src) => {
+                        let spec = parse_with_limits(src, &limits.parse)
+                            .map_err(|e| JobError::Spec(e.to_string()))?;
+                        let flow = slif_speclang::FlowProgram::from_spec(&spec);
+                        let sources = slif_speclang::SourceMap::from_spec(&spec);
+                        analyze_compiled_with_flow(
+                            &cd,
+                            partition.as_ref(),
+                            config,
+                            &flow,
+                            Some(&sources),
+                        )
+                    }
+                    None => analyze_compiled(&cd, partition.as_ref(), config),
+                };
                 Ok(JobOutput::Analyzed(report))
             }
             Job::EditSession { source } => {
@@ -449,6 +474,7 @@ mod tests {
             design: d,
             partition: None,
             config: AnalysisConfig::new(),
+            source: None,
         };
         assert_eq!(job.kind(), "analyze");
         match job.run_inline(&RunLimits::default()).unwrap() {
@@ -474,6 +500,7 @@ mod tests {
             design: d,
             partition: None,
             config: AnalysisConfig::new(),
+            source: None,
         };
         match job.run_inline(&RunLimits::default()).unwrap() {
             JobOutput::Analyzed(report) => assert!(report.is_clean(), "{report}"),
@@ -496,9 +523,46 @@ mod tests {
             design: d,
             partition: None,
             config: AnalysisConfig::new(),
+            source: None,
         };
         let err = job.run_inline(&limits).unwrap_err();
         assert!(matches!(err, JobError::Core(_)), "{err}");
+    }
+
+    #[test]
+    fn analyze_job_with_source_runs_flow_passes() {
+        use slif_analyze::LintId;
+        use slif_core::NodeKind;
+
+        // The dead store is only visible to the flow-sensitive passes,
+        // which need the source; the design itself is clean.
+        let spec = "system T;\nprocess Main { wait 1; }\nproc P() { var t : int<8>; t = 1; }\n";
+        let mut d = Design::new("flow");
+        d.graph_mut().add_node("Main", NodeKind::process());
+        let job = Job::Analyze {
+            design: d,
+            partition: None,
+            config: AnalysisConfig::new(),
+            source: Some(spec.to_owned()),
+        };
+        match job.run_inline(&RunLimits::default()).unwrap() {
+            JobOutput::Analyzed(report) => {
+                assert_eq!(report.of(LintId::DeadStore).count(), 1, "{report}");
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_job_with_unparseable_source_is_a_typed_error() {
+        let job = Job::Analyze {
+            design: Design::new("broken-source"),
+            partition: None,
+            config: AnalysisConfig::new(),
+            source: Some("system ???".to_owned()),
+        };
+        let err = job.run_inline(&RunLimits::default()).unwrap_err();
+        assert!(matches!(err, JobError::Spec(_)), "{err}");
     }
 
     #[test]

@@ -726,6 +726,7 @@ mod tests {
                 design,
                 partition: Some(partition),
                 config: slif_analyze::AnalysisConfig::new(),
+                source: None,
             },
         ];
         for job in jobs {
@@ -771,6 +772,7 @@ mod tests {
                 design,
                 partition: Some(partition),
                 config: slif_analyze::AnalysisConfig::new(),
+                source: None,
             };
             let inline = job.run_inline(&RunLimits::default()).unwrap();
             let handle = svc.submit(job).unwrap();

@@ -231,7 +231,14 @@ pub fn job_for_with_cache(
             // A cached design that somehow lacks the architecture
             // components is useless; treat it as a miss.
             if let Some(arch) = arch_from_design(&design) {
-                return Ok(job_from_parts(endpoint, design, arch, params, max_iterations));
+                return Ok(job_from_parts(
+                    endpoint,
+                    source,
+                    design,
+                    arch,
+                    params,
+                    max_iterations,
+                ));
             }
         }
     }
@@ -239,7 +246,14 @@ pub fn job_for_with_cache(
     if let Some(cache) = cache {
         drop(cache.put(source.as_bytes(), &design));
     }
-    Ok(job_from_parts(endpoint, design, arch, params, max_iterations))
+    Ok(job_from_parts(
+        endpoint,
+        source,
+        design,
+        arch,
+        params,
+        max_iterations,
+    ))
 }
 
 /// The cold pipeline: parse → resolve → build → allocate the proc+ASIC
@@ -269,6 +283,7 @@ fn arch_from_design(design: &Design) -> Option<ProcAsicArchitecture> {
 
 fn job_from_parts(
     endpoint: Endpoint,
+    source: &str,
     design: Design,
     arch: ProcAsicArchitecture,
     params: &WireParams,
@@ -295,6 +310,9 @@ fn job_from_parts(
             design,
             partition: Some(partition),
             config: AnalysisConfig::new(),
+            // Carrying the source enables the flow-sensitive passes
+            // (A006–A009) and in-spec `@allow` suppressions server-side.
+            source: Some(source.to_owned()),
         },
     }
 }

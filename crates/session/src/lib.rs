@@ -59,7 +59,8 @@
 #![warn(clippy::unwrap_used)]
 
 use slif_analyze::{
-    analyze_compiled_memoized, AnalysisConfig, AnalysisDirt, AnalysisMemo, AnalysisReport,
+    analyze_compiled_memoized_with_flow, AnalysisConfig, AnalysisDirt, AnalysisMemo,
+    AnalysisReport,
 };
 use slif_core::{CompiledDesign, Design, Partition};
 use slif_estimate::{DesignReport, EstimatorConfig, IncrementalEstimator};
@@ -68,8 +69,8 @@ use slif_frontend::{
     BuildCache, BuildOptions,
 };
 use slif_speclang::{
-    parse_partial_with_limits, try_resolve, Diagnostic, ParseLimits, Reparse, ReparseScope,
-    ResolvedSpec, SourceMap, Spec,
+    parse_partial_with_limits, try_resolve, Diagnostic, FlowProgram, ParseLimits, Reparse,
+    ReparseScope, ResolvedSpec, SourceMap, Spec,
 };
 use slif_techlib::TechnologyLibrary;
 
@@ -375,8 +376,9 @@ impl EditSession {
         };
         let partition = all_software_partition(&design, arch);
         let sources = SourceMap::from_spec(resolved.spec());
+        let flow = FlowProgram::from_spec(resolved.spec());
 
-        match self.pipeline(design, partition, &sources) {
+        match self.pipeline(design, partition, &sources, &flow) {
             Ok((tier, dirty_nodes)) => self.update(tier, scope, dirty_nodes),
             Err(e) => {
                 // A design the estimator rejects outright (e.g. a weight
@@ -427,26 +429,36 @@ impl EditSession {
             if !delta.is_empty() {
                 g.estimate = DesignReport::compute_from_incremental(&g.design, &mut g.estimator)?;
             }
+            // The edit re-lowered the flow program, so the flow passes
+            // are always marked stale — the per-behavior solve cache
+            // inside the memo re-solves only behaviors whose structure
+            // actually changed, and re-materializes moved spans for the
+            // rest.
+            let flow = FlowProgram::from_spec(spec);
+            let mut dirt = AnalysisDirt::from(&delta);
+            dirt.flow = true;
             // The span map costs O(decls) to build but only findings
             // anchored to a node consume it, and most edits lint clean.
             // Assemble span-less first; rebuild with real spans (memo
             // warm, so only re-assembly) when something needs them.
             let empty = SourceMap::default();
-            let analysis = analyze_compiled_memoized(
+            let analysis = analyze_compiled_memoized_with_flow(
                 g.estimator.compiled(),
                 Some(&g.partition),
                 &lint_cfg,
                 &empty,
+                Some(&flow),
                 &mut g.memo,
-                &AnalysisDirt::from(&delta),
+                &dirt,
             );
             g.analysis = if analysis.findings().iter().any(|f| f.node.is_some()) {
                 let sources = SourceMap::from_spec(spec);
-                analyze_compiled_memoized(
+                analyze_compiled_memoized_with_flow(
                     g.estimator.compiled(),
                     Some(&g.partition),
                     &lint_cfg,
                     &sources,
+                    Some(&flow),
                     &mut g.memo,
                     &AnalysisDirt::none(),
                 )
@@ -465,6 +477,7 @@ impl EditSession {
         design: Design,
         partition: Partition,
         sources: &SourceMap,
+        flow: &FlowProgram,
     ) -> Result<(RecomputeTier, usize), slif_core::CoreError> {
         let (est_cfg, lint_cfg) = (self.config.estimator, self.config.analysis);
         if let Some(g) = self.good.as_mut() {
@@ -474,14 +487,19 @@ impl EditSession {
                 g.estimate = DesignReport::compute_from_incremental(&g.design, &mut g.estimator)?;
                 // The rebase verified topology identity and the fresh
                 // all-software partition assigns it identically, so the
-                // lint memo slices by the annotation delta alone.
-                g.analysis = analyze_compiled_memoized(
+                // lint memo slices by the annotation delta — plus the
+                // flow flag, because this revision's flow program was
+                // re-lowered (spans at least may have moved).
+                let mut dirt = AnalysisDirt::from(&delta);
+                dirt.flow = true;
+                g.analysis = analyze_compiled_memoized_with_flow(
                     g.estimator.compiled(),
                     Some(&g.partition),
                     &lint_cfg,
                     sources,
+                    Some(flow),
                     &mut g.memo,
-                    &AnalysisDirt::from(&delta),
+                    &dirt,
                 );
                 return Ok((RecomputeTier::Patched, delta.dirty_nodes.len()));
             }
@@ -491,11 +509,12 @@ impl EditSession {
             IncrementalEstimator::from_owned_compiled(cd, partition.clone(), est_cfg)?;
         let estimate = DesignReport::compute_from_incremental(&design, &mut estimator)?;
         let mut memo = AnalysisMemo::new();
-        let analysis = analyze_compiled_memoized(
+        let analysis = analyze_compiled_memoized_with_flow(
             estimator.compiled(),
             Some(&partition),
             &lint_cfg,
             sources,
+            Some(flow),
             &mut memo,
             &AnalysisDirt::all(),
         );

@@ -108,6 +108,10 @@ pub struct VarDecl {
     pub name: String,
     /// Data type.
     pub ty: Type,
+    /// Lint codes an `@allow(...)` annotation suppresses for findings
+    /// anchored to this variable (stable codes like `"A006"`, verbatim).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub allows: Vec<String>,
     /// Source location.
     pub span: Span,
 }
@@ -161,6 +165,10 @@ pub struct BehaviorDecl {
     pub locals: Vec<VarDecl>,
     /// The statement body.
     pub body: Vec<Stmt>,
+    /// Lint codes an `@allow(...)` annotation suppresses for this
+    /// behavior's whole subtree (stable codes like `"A006"`, verbatim).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub allows: Vec<String>,
     /// Source location.
     pub span: Span,
 }
@@ -793,6 +801,7 @@ mod tests {
             vars: vec![VarDecl {
                 name: "v".into(),
                 ty: Type::Int(8),
+                allows: vec![],
                 span: Span::dummy(),
             }],
             behaviors: vec![BehaviorDecl {
@@ -801,6 +810,7 @@ mod tests {
                 params: vec![],
                 locals: vec![],
                 body: vec![],
+                allows: vec![],
                 span: Span::dummy(),
             }],
         };

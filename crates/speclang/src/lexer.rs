@@ -11,7 +11,7 @@ use crate::token::{Token, TokenKind};
 /// The lexer stops recording diagnostics past this count; scanning keeps
 /// going (the token stream still covers the whole source), but a `P003`
 /// marker replaces the overflow. Bounds the memory a pathological input
-/// (say, a megabyte of `@`s) can claim through error reporting.
+/// (say, a megabyte of `#`s) can claim through error reporting.
 const MAX_LEX_DIAGNOSTICS: usize = 64;
 
 /// Tokenizes `source`, returning the tokens followed by an `Eof` token.
@@ -103,6 +103,7 @@ impl<'s> Lexer<'s> {
                 b';' => self.one(TokenKind::Semi),
                 b':' => self.one(TokenKind::Colon),
                 b',' => self.one(TokenKind::Comma),
+                b'@' => self.one(TokenKind::At),
                 b'+' => self.one(TokenKind::Plus),
                 b'*' => self.one(TokenKind::Star),
                 b'/' => self.one(TokenKind::Slash),
@@ -408,9 +409,16 @@ mod tests {
 
     #[test]
     fn unknown_character_is_an_error() {
-        let err = lex("var @x;").unwrap_err();
+        let err = lex("var #x;").unwrap_err();
         assert!(err.message().contains("unexpected character"));
         assert_eq!(err.span().col, 5);
+    }
+
+    #[test]
+    fn at_lexes_as_a_token() {
+        let tokens = lex("@allow(A006)").expect("lexes");
+        assert_eq!(tokens[0].kind, TokenKind::At);
+        assert_eq!(tokens[1].kind, TokenKind::Ident("allow".into()));
     }
 
     #[test]

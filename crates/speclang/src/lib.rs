@@ -38,6 +38,7 @@
 pub mod ast;
 pub mod corpus;
 mod diag;
+pub mod flow;
 pub mod incremental;
 mod lexer;
 mod limits;
@@ -50,6 +51,9 @@ mod token;
 
 pub use ast::{eq_modulo_spans, ForEachSpan, Spec};
 pub use diag::{codes, Diagnostic, Severity, SpecError};
+pub use flow::{
+    FlowBehavior, FlowExpr, FlowNode, FlowOp, FlowProgram, SlotInfo, SlotKind, Suppressions,
+};
 pub use incremental::{
     reparse_with_edit, reparse_with_edit_owned, EditDelta, EditError, Reparse, ReparseScope,
 };

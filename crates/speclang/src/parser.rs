@@ -172,6 +172,10 @@ pub(crate) fn parse_items_region(
             TokenKind::Process | TokenKind::Proc | TokenKind::Func => {
                 parser.behavior_decl().map(|b| items.behaviors.push(b))
             }
+            TokenKind::At => parser.annotated_decl().map(|d| match d {
+                AnnotatedDecl::Var(v) => items.vars.push(v),
+                AnnotatedDecl::Behavior(b) => items.behaviors.push(b),
+            }),
             _ => {
                 let diag = parser.error(format!("expected a declaration, found {}", parser.peek()));
                 parser.bump();
@@ -184,6 +188,12 @@ pub(crate) fn parse_items_region(
         }
     }
     (items, parser.diags)
+}
+
+/// A declaration parsed together with its `@allow` annotations.
+enum AnnotatedDecl {
+    Var(VarDecl),
+    Behavior(BehaviorDecl),
 }
 
 struct Parser {
@@ -227,6 +237,10 @@ impl Parser {
                 TokenKind::Process | TokenKind::Proc | TokenKind::Func => {
                     self.behavior_decl().map(|b| spec.behaviors.push(b))
                 }
+                TokenKind::At => self.annotated_decl().map(|d| match d {
+                    AnnotatedDecl::Var(v) => spec.vars.push(v),
+                    AnnotatedDecl::Behavior(b) => spec.behaviors.push(b),
+                }),
                 _ => {
                     let diag =
                         self.error(format!("expected a declaration, found {}", self.peek()));
@@ -283,6 +297,7 @@ impl Parser {
                 | TokenKind::Process
                 | TokenKind::Proc
                 | TokenKind::Func
+                | TokenKind::At
                     if depth == 0 =>
                 {
                     return;
@@ -382,13 +397,68 @@ impl Parser {
     }
 
     fn var_decl(&mut self) -> Result<VarDecl, Diagnostic> {
-        let span = self.span();
+        self.var_decl_with(Vec::new(), None)
+    }
+
+    fn var_decl_with(
+        &mut self,
+        allows: Vec<String>,
+        start: Option<Span>,
+    ) -> Result<VarDecl, Diagnostic> {
+        let span = start.unwrap_or_else(|| self.span());
         self.expect(TokenKind::Var)?;
         let name = self.ident()?;
         self.expect(TokenKind::Colon)?;
         let ty = self.ty()?;
         self.expect(TokenKind::Semi)?;
-        Ok(VarDecl { name, ty, span })
+        Ok(VarDecl {
+            name,
+            ty,
+            allows,
+            span,
+        })
+    }
+
+    /// Parses a run of `@allow(CODE, ...)` annotations and the `var` or
+    /// behavior declaration they attach to. The declaration's span starts
+    /// at the first `@`, so dirty-region reparsing keeps an annotation and
+    /// its declaration inside one extent.
+    fn annotated_decl(&mut self) -> Result<AnnotatedDecl, Diagnostic> {
+        let start = self.span();
+        let mut allows = Vec::new();
+        while self.peek() == &TokenKind::At {
+            self.bump();
+            let ann_span = self.span();
+            let name = self.ident()?;
+            if name != "allow" {
+                return Err(Diagnostic::error(
+                    ann_span,
+                    codes::PARSE_SYNTAX,
+                    format!("unknown annotation `@{name}`; only `@allow` is supported"),
+                ));
+            }
+            self.expect(TokenKind::LParen)?;
+            loop {
+                allows.push(self.ident()?);
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        match self.peek() {
+            TokenKind::Var => self
+                .var_decl_with(allows, Some(start))
+                .map(AnnotatedDecl::Var),
+            TokenKind::Process | TokenKind::Proc | TokenKind::Func => self
+                .behavior_decl_with(allows, Some(start))
+                .map(AnnotatedDecl::Behavior),
+            other => Err(self.constraint(format!(
+                "`@allow` must precede a `var` or behavior declaration, found {other}"
+            ))),
+        }
     }
 
     fn ty(&mut self) -> Result<Type, Diagnostic> {
@@ -425,7 +495,15 @@ impl Parser {
     }
 
     fn behavior_decl(&mut self) -> Result<BehaviorDecl, Diagnostic> {
-        let span = self.span();
+        self.behavior_decl_with(Vec::new(), None)
+    }
+
+    fn behavior_decl_with(
+        &mut self,
+        allows: Vec<String>,
+        start: Option<Span>,
+    ) -> Result<BehaviorDecl, Diagnostic> {
+        let span = start.unwrap_or_else(|| self.span());
         let (kind_tok, has_params) = match self.peek() {
             TokenKind::Process => (TokenKind::Process, false),
             TokenKind::Proc => (TokenKind::Proc, true),
@@ -480,6 +558,7 @@ impl Parser {
             params,
             locals,
             body,
+            allows,
             span,
         })
     }
@@ -1198,7 +1277,7 @@ mod tests {
 
     #[test]
     fn recovery_collects_lexer_and_parser_diagnostics_together() {
-        let src = "system T;\nvar @x : int<8>;\nproc P() { x = ; }\n";
+        let src = "system T;\nvar #x : int<8>;\nproc P() { x = ; }\n";
         let err = parse(src).unwrap_err();
         let codes: Vec<&str> = err.diagnostics().iter().map(|d| d.code()).collect();
         assert!(codes.contains(&super::codes::LEX_UNEXPECTED_CHAR), "{codes:?}");
@@ -1329,6 +1408,44 @@ mod tests {
         let (spec, diags) = parse_partial(&src);
         assert!(diags.iter().any(|d| d.code() == codes::PARSE_LIMIT));
         assert!(spec.behavior("Good").is_some(), "recovery lost proc Good");
+    }
+
+    #[test]
+    fn parses_allow_annotations_on_var_and_behavior() {
+        let s = parse_ok(
+            "system T;\n\
+             @allow(A008)\n\
+             var x : int<8>;\n\
+             @allow(A006, A009)\n\
+             process Main { x = 1; }\n",
+        );
+        assert_eq!(s.vars[0].allows, vec!["A008".to_owned()]);
+        let main = s.behavior("Main").unwrap();
+        assert_eq!(main.allows, vec!["A006".to_owned(), "A009".to_owned()]);
+        // The decl span starts at `@`, so region reparsing tiles correctly.
+        assert_eq!(s.vars[0].span.start, "system T;\n".len());
+    }
+
+    #[test]
+    fn stacked_allow_annotations_accumulate() {
+        let s = parse_ok(
+            "system T;\nvar x : int<8>;\n\
+             @allow(A007)\n@allow(A008)\nproc P() { x = 1; }\n",
+        );
+        let p = s.behavior("P").unwrap();
+        assert_eq!(p.allows, vec!["A007".to_owned(), "A008".to_owned()]);
+    }
+
+    #[test]
+    fn rejects_allow_on_port_or_const() {
+        assert!(parse("system T;\n@allow(A006)\nport p : in int<8>;\n").is_err());
+        assert!(parse("system T;\n@allow(A006)\nconst N = 1;\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_annotation() {
+        let err = parse("system T;\n@deny(A006)\nvar x : int<8>;\n").unwrap_err();
+        assert!(err.to_string().contains("only `@allow`"));
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub fn pretty(spec: &Spec) -> String {
         let _ = writeln!(out, "port {} : {} {};", p.name, p.direction, p.ty);
     }
     for v in &spec.vars {
+        print_allows(&mut out, &v.allows);
         let _ = writeln!(out, "var {} : {};", v.name, v.ty);
     }
     for b in &spec.behaviors {
@@ -26,7 +27,14 @@ pub fn pretty(spec: &Spec) -> String {
     out
 }
 
+fn print_allows(out: &mut String, allows: &[String]) {
+    if !allows.is_empty() {
+        let _ = writeln!(out, "@allow({})", allows.join(", "));
+    }
+}
+
 fn print_behavior(out: &mut String, b: &BehaviorDecl) {
+    print_allows(out, &b.allows);
     match &b.kind {
         BehaviorKind::Process => {
             let _ = write!(out, "process {}", b.name);
@@ -248,6 +256,19 @@ mod tests {
                wait 100;\n\
              }\n",
         );
+    }
+
+    #[test]
+    fn roundtrips_allow_annotations() {
+        roundtrip(
+            "system T;\n@allow(A008)\nvar x : int<8>;\n\
+             @allow(A006, A009)\nprocess Main { x = 1; }\n",
+        );
+        let spec = parse(
+            "system T;\n@allow(A008)\nvar x : int<8>;\nprocess Main { x = 1; }\n",
+        )
+        .unwrap();
+        assert!(pretty(&spec).contains("@allow(A008)\nvar x"));
     }
 
     #[test]

@@ -130,6 +130,8 @@ pub enum TokenKind {
     DotDot,
     /// `->`
     Arrow,
+    /// `@` (introduces a declaration annotation such as `@allow(A006)`)
+    At,
 
     /// End of input.
     Eof,
@@ -231,6 +233,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Percent => "%",
             TokenKind::DotDot => "..",
             TokenKind::Arrow => "->",
+            TokenKind::At => "@",
             TokenKind::Eof => "end of input",
         };
         f.write_str(s)

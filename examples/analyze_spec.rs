@@ -3,51 +3,122 @@
 //! For each corpus spec this driver builds the annotated design, runs
 //! the proc+ASIC allocation with the all-software starting partition —
 //! the same front half as every estimation example — and then runs the
-//! `slif-analyze` lint engine over it, with spec spans attached so
-//! findings point back into the source text.
+//! `slif-analyze` lint engine over it with the flow-sensitive passes
+//! (A006–A009) enabled and spec spans attached, so findings point back
+//! into the source text and in-spec `@allow` suppressions apply.
 //!
 //! Run with: `cargo run --release --example analyze_spec`
 //!
 //! Pass `--deny-warnings` (the CI mode `scripts/verify.sh` uses) to
 //! promote every warning to a denial and exit nonzero on any finding:
 //! the shipped corpus must lint clean.
+//!
+//! Pass `--format json` to emit one machine-readable report instead of
+//! the text rendering. The schema is stable: a top-level `specs` array
+//! with one object per corpus entry carrying `name`, a `findings` array
+//! (each with `id`, `level`, `span`, `message`), and the `suppressed`
+//! count, plus a top-level `denials` total.
 
-use slif::analyze::{analyze_with_sources, AnalysisConfig, LintId, SourceMap};
+use slif::analyze::{analyze_compiled_with_flow, AnalysisConfig, AnalysisReport, LintId, SourceMap};
+use slif::core::CompiledDesign;
 use slif::frontend::{all_software_partition, allocate_proc_asic, build_design};
-use slif::speclang::corpus;
+use slif::speclang::{corpus, FlowProgram};
 use slif::techlib::TechnologyLibrary;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn report_json(name: &str, report: &AnalysisReport) -> String {
+    let mut findings = String::new();
+    for (i, f) in report.findings().iter().enumerate() {
+        let span = match f.span {
+            Some(s) => format!("{{\"line\": {}, \"col\": {}}}", s.line, s.col),
+            None => "null".to_owned(),
+        };
+        if i > 0 {
+            findings.push_str(", ");
+        }
+        findings.push_str(&format!(
+            "{{\"id\": \"{}\", \"level\": \"{}\", \"span\": {span}, \"message\": \"{}\"}}",
+            f.lint.code(),
+            f.level,
+            json_escape(&f.message)
+        ));
+    }
+    format!(
+        "    {{\"name\": \"{}\", \"findings\": [{findings}], \"suppressed\": {}}}",
+        json_escape(name),
+        report.suppressed()
+    )
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deny_warnings = std::env::args().any(|a| a == "--deny-warnings");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args
+        .windows(2)
+        .any(|w| w[0] == "--format" && w[1] == "json");
     let config = AnalysisConfig::new().with_deny_warnings(deny_warnings);
 
-    println!("registered lints:");
-    for lint in LintId::ALL {
-        println!(
-            "  {:26} {:5}  {}",
-            lint.to_string(),
-            lint.default_level().to_string(),
-            lint.summary()
-        );
+    if !json {
+        println!("registered lints:");
+        for lint in LintId::ALL {
+            println!(
+                "  {:26} {:5}  {}",
+                lint.to_string(),
+                lint.default_level().to_string(),
+                lint.summary()
+            );
+        }
     }
 
     let mut denials = 0usize;
+    let mut spec_reports = Vec::new();
     for entry in corpus::all() {
         let rs = entry.load()?;
         let sources = SourceMap::from_spec(rs.spec());
+        let flow = FlowProgram::from_spec(rs.spec());
         let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
         let arch = allocate_proc_asic(&mut design);
         let partition = all_software_partition(&design, arch);
+        let cd = CompiledDesign::compile(&design);
 
-        let report = analyze_with_sources(&design, Some(&partition), &config, &sources);
-        println!("\n{:8} {}", entry.name, report);
+        let report =
+            analyze_compiled_with_flow(&cd, Some(&partition), &config, &flow, Some(&sources));
+        if json {
+            spec_reports.push(report_json(entry.name, &report));
+        } else {
+            println!("\n{:8} {}", entry.name, report);
+        }
         denials += report.deny_count();
     }
 
+    if json {
+        println!(
+            "{{\n  \"deny_warnings\": {deny_warnings},\n  \"denials\": {denials},\n  \
+             \"specs\": [\n{}\n  ]\n}}",
+            spec_reports.join(",\n")
+        );
+    }
     if denials > 0 {
         eprintln!("\n{denials} denial(s); failing");
         std::process::exit(1);
     }
-    println!("\ncorpus lints clean (deny-warnings: {deny_warnings})");
+    if !json {
+        println!("\ncorpus lints clean (deny-warnings: {deny_warnings})");
+    }
     Ok(())
 }

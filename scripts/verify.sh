@@ -17,11 +17,16 @@
 #    with inline execution for clean jobs, and balanced health books.
 #    The serve_batch example smoke-tests the same service end to end.
 # 5. Spec-level lint gate: the analyze_spec example runs the
-#    slif-analyze engine (races, dead code, recursion cycles, bitwidth
-#    hazards, annotation gaps) over every corpus spec in deny-warnings
-#    mode and exits nonzero on any finding — the shipped corpus must
-#    lint clean. The analyzer's own property suite (determinism,
-#    per-lint firing fixtures) runs with it.
+#    slif-analyze engine — the graph passes (races, dead code,
+#    recursion cycles, bitwidth hazards, annotation gaps) plus the
+#    flow-sensitive passes (value ranges, uninitialized reads, dead
+#    stores, constant conditions) — over every corpus spec in
+#    deny-warnings mode and exits nonzero on any finding; the shipped
+#    corpus must lint clean. It runs twice: once for the human-readable
+#    rendering and once in `--format json` (the stable machine schema).
+#    The analyzer's own property suites (determinism, per-lint firing
+#    fixtures, fixpoint determinism, incremental bit-identity) run with
+#    it.
 # 6. Bench smoke: the pr3_bench binary re-measures baseline vs
 #    compiled candidate evaluation and rewrites BENCH_pr3.json, so the
 #    committed speedup record always matches the code being verified.
@@ -67,7 +72,13 @@
 #    hit beats both the cold parse+compile path and the PR 7 design-only
 #    cache — and rewrites BENCH_wirefmt.json so the committed record
 #    matches the code.
-# 12. Lint gate: clippy with warnings denied (the workspace sweep covers
+# 12. Analysis bench smoke: pr10_analyze re-measures flow-sensitive
+#    analysis throughput at ~1k/10k/100k design nodes and the memoized
+#    one-procedure re-analysis on the largest corpus spec — asserting
+#    the warm pass beats the cold full analysis by ≥5x and returns a
+#    bit-identical report — and rewrites BENCH_analyze.json so the
+#    committed record matches the code.
+# 13. Lint gate: clippy with warnings denied (the workspace sweep covers
 #    crates/analyze like every other crate), plus `unwrap_used` on
 #    non-test code (without --all-targets, #[cfg(test)] code is not
 #    linted, which is exactly the carve-out we want: tests may unwrap,
@@ -89,7 +100,9 @@ cargo test -q --test runtime_soak
 cargo run --release --quiet --example resume_run
 cargo run --release --quiet --example serve_batch
 cargo test -q --test analyze_props
+cargo test -q --test dataflow_props
 cargo run --release --quiet --example analyze_spec -- --deny-warnings
+cargo run --release --quiet --example analyze_spec -- --deny-warnings --format json
 cargo run --release --quiet -p slif-bench --bin pr3_bench BENCH_pr3.json
 cargo run --release --quiet -p slif-serve --bin loadgen -- --self-serve --requests 500 --out BENCH_serve.json
 cargo test -q --test store_soak
@@ -100,4 +113,5 @@ cargo run --release --quiet -p slif-bench --bin pr8_edit
 cargo test -q --test format_soak
 cargo run --release --quiet --example slif_conv
 cargo run --release --quiet -p slif-bench --bin pr9_wirefmt
+cargo run --release --quiet -p slif-bench --bin pr10_analyze
 cargo clippy --workspace -- -D warnings -W clippy::unwrap_used

@@ -1,0 +1,376 @@
+//! Property tests for the flow-sensitive dataflow passes (A006–A009)
+//! and the happens-before refinement of the race detector (A001/A010).
+//!
+//! Four contracts ride on these:
+//!
+//! * **Fixpoint determinism** — the worklist solver's answer is a
+//!   function of the program alone: re-running analysis is bit-identical,
+//!   and shuffling behavior *declaration order* (which perturbs every
+//!   internal processing order: lowering, bottom-up summary order,
+//!   cache seeding) preserves the finding multiset.
+//! * **Corpus silence** — each new lint individually reports nothing on
+//!   the shipped specification corpus.
+//! * **Incremental bit-identity** — a 60-edit session over the largest
+//!   corpus spec produces, after every single edit, an analysis report
+//!   bit-identical to a cold run over the same text.
+//! * **Race refinement** — splitting A001 into proven/unproven strictly
+//!   reduces deny findings without losing a true positive: every racy
+//!   variable is still reported, just at the right confidence.
+
+use proptest::prelude::*;
+use slif::analyze::{
+    analyze_compiled_with_flow, check_flow_bounded, AnalysisConfig, AnalysisError, AnalysisReport,
+    LintId, LintLevel, SourceMap,
+};
+use slif::core::{AccessFreq, AccessKind, CompiledDesign, Design, NodeKind};
+use slif::frontend::{all_software_partition, allocate_proc_asic, build_design};
+use slif::session::{EditDelta, EditSession, RecomputeTier, SessionConfig};
+use slif::speclang::{corpus, parse, resolve, FlowProgram};
+use slif::techlib::TechnologyLibrary;
+
+const FLOW_LINTS: [LintId; 5] = [
+    LintId::ValueRangeOverflow,
+    LintId::UninitializedRead,
+    LintId::DeadStore,
+    LintId::ConstantCondition,
+    LintId::UnprovenInterleaving,
+];
+
+// ---------------------------------------------------------------------
+// Seeded random specification generator (xorshift, fully deterministic).
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn gen_expr(r: &mut Rng, vars: &[String], funcs: &[String], depth: u32) -> String {
+    if depth == 0 || r.below(3) == 0 {
+        match r.below(3) {
+            0 => format!("{}", r.below(400)),
+            1 if !funcs.is_empty() => format!("{}()", funcs[r.below(funcs.len() as u64) as usize]),
+            _ => vars[r.below(vars.len() as u64) as usize].clone(),
+        }
+    } else {
+        let op = ["+", "-", "*"][r.below(3) as usize];
+        let lhs = gen_expr(r, vars, funcs, depth - 1);
+        let rhs = gen_expr(r, vars, funcs, depth - 1);
+        format!("({lhs} {op} {rhs})")
+    }
+}
+
+fn gen_stmts(
+    r: &mut Rng,
+    vars: &[String],
+    funcs: &[String],
+    depth: u32,
+    fresh: &mut u32,
+    out: &mut String,
+) {
+    let count = 1 + r.below(3);
+    for _ in 0..count {
+        match r.below(if depth > 0 { 4 } else { 2 }) {
+            0 | 1 => {
+                let target = &vars[r.below(vars.len() as u64) as usize];
+                let value = gen_expr(r, vars, funcs, 2);
+                out.push_str(&format!("{target} = {value}; "));
+            }
+            2 => {
+                let cmp = [">", "<", "==", "!="][r.below(4) as usize];
+                let lhs = gen_expr(r, vars, funcs, 1);
+                let rhs = gen_expr(r, vars, funcs, 1);
+                out.push_str(&format!("if {lhs} {cmp} {rhs} {{ "));
+                gen_stmts(r, vars, funcs, depth - 1, fresh, out);
+                out.push_str("} else { ");
+                gen_stmts(r, vars, funcs, depth - 1, fresh, out);
+                out.push_str("} ");
+            }
+            _ => {
+                let i = *fresh;
+                *fresh += 1;
+                let hi = 1 + r.below(9);
+                out.push_str(&format!("for it{i} in 0 .. {hi} {{ "));
+                gen_stmts(r, vars, funcs, depth - 1, fresh, out);
+                out.push_str("} ");
+            }
+        }
+    }
+}
+
+/// Generates the behavior declarations of a random spec: a few `func`s
+/// over the globals, then a few `proc`s whose expressions may call them.
+/// Returned separately from the header so tests can permute declaration
+/// order.
+fn gen_behaviors(seed: u64) -> (String, Vec<String>) {
+    let mut r = Rng::new(seed);
+    let globals: Vec<String> = (0..3).map(|i| format!("g{i}")).collect();
+    let header = {
+        let mut h = String::from("system T;\n");
+        for g in &globals {
+            h.push_str(&format!("var {g} : int<8>;\n"));
+        }
+        h
+    };
+    let mut fresh = 0u32;
+    let mut decls = Vec::new();
+    let mut funcs = Vec::new();
+    for i in 0..(1 + r.below(2)) {
+        let name = format!("F{i}");
+        let mut body = format!("func {name}() -> int<8> {{ var a : int<8>; a = ");
+        let vars: Vec<String> = globals.iter().cloned().chain(["a".to_owned()]).collect();
+        body.push_str(&gen_expr(&mut r, &vars, &[], 2));
+        body.push_str("; return a; }\n");
+        decls.push(body);
+        funcs.push(name);
+    }
+    for i in 0..(2 + r.below(3)) {
+        let mut body = format!("proc P{i}() {{ var t : int<8>; ");
+        let vars: Vec<String> = globals.iter().cloned().chain(["t".to_owned()]).collect();
+        gen_stmts(&mut r, &vars, &funcs, 2, &mut fresh, &mut body);
+        body.push_str("}\n");
+        decls.push(body);
+    }
+    (header, decls)
+}
+
+fn flow_report(source: &str) -> AnalysisReport {
+    let spec = parse(source).expect("generated spec parses");
+    let flow = FlowProgram::from_spec(&spec);
+    let cd = CompiledDesign::compile(&Design::new("gen"));
+    analyze_compiled_with_flow(&cd, None, &AnalysisConfig::new(), &flow, None)
+}
+
+/// Declaration-order-independent view of a report: the multiset of
+/// (lint, level, message) triples. Spans and ordering legitimately vary
+/// with declaration order; the *facts* must not.
+fn finding_multiset(report: &AnalysisReport) -> Vec<(String, String, String)> {
+    let mut v: Vec<_> = report
+        .findings()
+        .iter()
+        .map(|f| (f.lint.code().to_owned(), f.level.to_string(), f.message.clone()))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fixpoint is a function of the program: analyzing the same
+    /// random spec twice is bit-identical, and permuting the behavior
+    /// declaration order — which reseeds the solver, the bottom-up
+    /// summary order, and the cache in every internal ordering —
+    /// preserves the finding multiset exactly.
+    #[test]
+    fn fixpoint_is_independent_of_processing_order(seed in 0u64..5000) {
+        let (header, decls) = gen_behaviors(seed);
+        let source = format!("{header}{}", decls.concat());
+        let a = flow_report(&source);
+        let b = flow_report(&source);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_string(), b.to_string());
+
+        // Seeded Fisher–Yates permutation of the declarations.
+        let mut r = Rng::new(seed ^ 0xdead_beef);
+        let mut perm = decls.clone();
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, r.below((i + 1) as u64) as usize);
+        }
+        let shuffled = flow_report(&format!("{header}{}", perm.concat()));
+        prop_assert_eq!(finding_multiset(&a), finding_multiset(&shuffled));
+    }
+
+    /// The engine is total and bounded on random programs: bounding
+    /// either refuses with the typed cap error or accepts, and analysis
+    /// itself always returns a (deterministic) report — never a panic,
+    /// never a hang.
+    #[test]
+    fn analysis_is_total_on_random_programs(seed in 0u64..5000, cap in 1u32..32) {
+        let (header, decls) = gen_behaviors(seed);
+        let source = format!("{header}{}", decls.concat());
+        let spec = parse(&source).expect("generated spec parses");
+        let flow = FlowProgram::from_spec(&spec);
+        let config = AnalysisConfig::new().with_max_fixpoint_visits(cap);
+        match check_flow_bounded(&flow, &config) {
+            Ok(()) | Err(AnalysisError::WideningCapExceeded { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+        let cd = CompiledDesign::compile(&Design::new("gen"));
+        let a = analyze_compiled_with_flow(&cd, None, &config, &flow, None);
+        let b = analyze_compiled_with_flow(&cd, None, &config, &flow, None);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn each_new_lint_is_silent_on_the_corpus() {
+    for entry in corpus::all() {
+        let rs = entry.load().expect("corpus specs resolve");
+        let sources = SourceMap::from_spec(rs.spec());
+        let flow = FlowProgram::from_spec(rs.spec());
+        let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+        let arch = allocate_proc_asic(&mut design);
+        let partition = all_software_partition(&design, arch);
+        let cd = CompiledDesign::compile(&design);
+        let report = analyze_compiled_with_flow(
+            &cd,
+            Some(&partition),
+            &AnalysisConfig::new(),
+            &flow,
+            Some(&sources),
+        );
+        for lint in FLOW_LINTS {
+            assert_eq!(
+                report.of(lint).count(),
+                0,
+                "{}: {lint} fired on the shipped corpus\n{report}",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn tight_visit_cap_refuses_typed_and_analysis_degrades_silently() {
+    let source = "system T;\nvar x : int<8>;\nprocess Main { for i in 0 .. 9 { x = x + 1; } wait 1; }\n";
+    let spec = parse(source).expect("spec parses");
+    let flow = FlowProgram::from_spec(&spec);
+
+    let tight = AnalysisConfig::new().with_max_fixpoint_visits(2);
+    let err = check_flow_bounded(&flow, &tight).expect_err("cap 2 cannot settle a loop");
+    assert!(
+        matches!(&err, AnalysisError::WideningCapExceeded { cap: 2, .. }),
+        "{err}"
+    );
+    // Analysis stays total: the capped behavior degrades to silence
+    // (⊤ summary, no flow findings) instead of failing the run.
+    let cd = CompiledDesign::compile(&Design::new("capped"));
+    let report = analyze_compiled_with_flow(&cd, None, &tight, &flow, None);
+    assert!(report.is_clean(), "{report}");
+
+    // The default budget settles the same loop via widening.
+    check_flow_bounded(&flow, &AnalysisConfig::new()).expect("default cap settles");
+}
+
+/// The A001 refinement: one variable with two *observed* writers stays a
+/// proven deny-level race; one whose interleaving no observed execution
+/// exercises demotes to warn-level A010. Deny findings strictly shrink
+/// (1 < 2) while the union still reports every racy variable.
+#[test]
+fn race_refinement_reduces_denials_without_losing_races() {
+    let mut d = Design::new("mixed-races");
+    let a = d.graph_mut().add_node("A", NodeKind::process());
+    let b = d.graph_mut().add_node("B", NodeKind::process());
+    let v1 = d.graph_mut().add_node("v1", NodeKind::scalar(8));
+    let v2 = d.graph_mut().add_node("v2", NodeKind::scalar(8));
+    d.graph_mut()
+        .add_channel(a, v1.into(), AccessKind::Write)
+        .expect("channel");
+    d.graph_mut()
+        .add_channel(b, v1.into(), AccessKind::Write)
+        .expect("channel");
+    d.graph_mut()
+        .add_channel(a, v2.into(), AccessKind::Write)
+        .expect("channel");
+    let quiet = d
+        .graph_mut()
+        .add_channel(b, v2.into(), AccessKind::Write)
+        .expect("channel");
+    *d.graph_mut().channel_mut(quiet).freq_mut() = AccessFreq::new(0.0, 0, 0);
+
+    let report = slif::analyze::analyze(&d, None, &AnalysisConfig::new());
+    let proven: Vec<_> = report.of(LintId::SharedVariableRace).collect();
+    let unproven: Vec<_> = report.of(LintId::UnprovenInterleaving).collect();
+    assert_eq!(proven.len(), 1, "{report}");
+    assert_eq!(unproven.len(), 1, "{report}");
+    assert!(proven[0].message.contains("v1"), "{}", proven[0].message);
+    assert_eq!(proven[0].level, LintLevel::Deny);
+    assert!(unproven[0].message.contains("v2"), "{}", unproven[0].message);
+    assert_eq!(unproven[0].level, LintLevel::Warn);
+    // Strictly fewer denials than the pre-refinement detector (which
+    // denied both), zero lost true positives (both variables reported).
+    assert_eq!(report.deny_count(), 1, "{report}");
+    assert_eq!(proven.len() + unproven.len(), 2);
+}
+
+/// Cold reference pipeline for the incremental test: full parse →
+/// resolve → build → allocate → partition → compile → flow analysis.
+fn cold_analysis(source: &str, config: &AnalysisConfig) -> AnalysisReport {
+    let spec = parse(source).expect("parse");
+    let rs = resolve(spec).expect("resolve");
+    let sources = SourceMap::from_spec(rs.spec());
+    let flow = FlowProgram::from_spec(rs.spec());
+    let mut design = build_design(&rs, &TechnologyLibrary::proc_asic());
+    let arch = allocate_proc_asic(&mut design);
+    let partition = all_software_partition(&design, arch);
+    let cd = CompiledDesign::compile(&design);
+    analyze_compiled_with_flow(&cd, Some(&partition), config, &flow, Some(&sources))
+}
+
+/// Byte ranges of the numeric operand of every `wait N;` statement.
+fn wait_sites(src: &str) -> Vec<(usize, usize)> {
+    let bytes = src.as_bytes();
+    let mut sites = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = src[i..].find("wait ") {
+        let start = i + pos + 5;
+        let mut end = start;
+        while end < bytes.len() && bytes[end].is_ascii_digit() {
+            end += 1;
+        }
+        if end > start && bytes.get(end) == Some(&b';') {
+            sites.push((start, end));
+        }
+        i = start;
+    }
+    sites
+}
+
+/// 60 consecutive warm edits over the largest corpus spec: after every
+/// single edit the session's (memoized, sliced) analysis report must be
+/// bit-identical to a cold analysis of the same text — findings, spans,
+/// rendering, everything.
+#[test]
+fn sixty_edit_session_stays_bit_identical_to_cold_analysis() {
+    let config = SessionConfig::default();
+    let analysis_config = config.analysis.clone();
+    let (mut session, open) = EditSession::open(corpus::ETHER, config);
+    assert!(open.clean, "{:?}", open.diagnostics);
+
+    let mut patched = 0usize;
+    for i in 0..60usize {
+        let sites = wait_sites(session.source());
+        assert!(!sites.is_empty(), "spec lost its wait statements");
+        let (start, end) = sites[i % sites.len()];
+        let value = 1 + (i * 7) % 97;
+        let update = session
+            .apply_edit(&EditDelta::new(start, end, value.to_string()))
+            .expect("edit applies");
+        assert!(update.clean, "edit {i}: {:?}", update.diagnostics);
+        if update.tier == RecomputeTier::Patched {
+            patched += 1;
+        }
+        let warm = session.analysis().expect("clean session has a report");
+        let cold = cold_analysis(session.source(), &analysis_config);
+        assert_eq!(warm, &cold, "edit {i}: incremental report diverged from cold");
+        assert_eq!(warm.to_string(), cold.to_string(), "edit {i}: rendering diverged");
+    }
+    assert!(
+        patched >= 54,
+        "only {patched}/60 edits took the patched tier — the warm path regressed"
+    );
+}

@@ -724,6 +724,56 @@ fn injected_concurrency_tag_conflicts_race() {
     assert_eq!(report.of(LintId::SharedVariableRace).count(), 1, "{report}");
 }
 
+#[test]
+fn planted_dataflow_defects_fire_their_lints() {
+    use slif::analyze::{analyze_compiled_with_flow, AnalysisConfig, LintId};
+    use slif::core::faults::ALL_DATAFLOW_DEFECT_KINDS;
+    use slif::core::CompiledDesign;
+    use slif::speclang::FlowProgram;
+
+    let lib = TechnologyLibrary::proc_asic();
+    let config = AnalysisConfig::new();
+    let flow_lints = [
+        LintId::ValueRangeOverflow,
+        LintId::UninitializedRead,
+        LintId::DeadStore,
+        LintId::ConstantCondition,
+    ];
+    for entry in corpus::all() {
+        for seed in 0..5u64 {
+            let mut inj = FaultInjector::new(seed);
+            let (mutated, names) =
+                inj.plant_dataflow_defects(entry.source, &ALL_DATAFLOW_DEFECT_KINDS);
+            assert_eq!(names.len(), ALL_DATAFLOW_DEFECT_KINDS.len());
+
+            // The defects are semantic: the poisoned spec still parses,
+            // resolves, and builds like any healthy one.
+            let parsed = slif::speclang::parse(&mutated)
+                .unwrap_or_else(|e| panic!("{}/{seed}: planted spec must parse: {e}", entry.name));
+            let flow = FlowProgram::from_spec(&parsed);
+            let rs = slif::speclang::resolve(parsed)
+                .unwrap_or_else(|e| panic!("{}/{seed}: planted spec must resolve: {e}", entry.name));
+            let mut design = build_design(&rs, &lib);
+            let arch = allocate_proc_asic(&mut design);
+            let partition = all_software_partition(&design, arch);
+            let cd = CompiledDesign::compile(&design);
+            let report = analyze_compiled_with_flow(&cd, Some(&partition), &config, &flow, None);
+
+            // The corpus itself is lint-silent (analyze_props holds that
+            // line), so each planted kind accounts for exactly one
+            // finding of exactly its lint.
+            for (kind, lint) in ALL_DATAFLOW_DEFECT_KINDS.iter().zip(flow_lints) {
+                assert_eq!(
+                    report.of(lint).count(),
+                    1,
+                    "{}/{seed}: planted {kind} must fire {lint} exactly once\n{report}",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Durable-store fault suites: each `StoreFaultKind` must land on its
 // documented recovery outcome — never a panic, never a replayed or

@@ -140,6 +140,7 @@ fn job_stream(limits: &RunLimits) -> Vec<(Job, Expectation)> {
                         design: design.clone(),
                         partition: Some(partition.clone()),
                         config: AnalysisConfig::new(),
+                        source: None,
                     },
                     Expectation::Clean,
                 ),
@@ -159,6 +160,7 @@ fn job_stream(limits: &RunLimits) -> Vec<(Job, Expectation)> {
                             design: dd,
                             partition: Some(dp),
                             config: AnalysisConfig::new(),
+                            source: None,
                         },
                         Expectation::Clean,
                     )
